@@ -1,0 +1,467 @@
+(* Benchmark harness: one section per paper artifact (see DESIGN.md §4 and
+   EXPERIMENTS.md).  The paper has no performance tables — its evaluation
+   is a set of mechanized constructions — so each section regenerates the
+   *shape* claims implied by those constructions: which algorithm is
+   linear, where determinization blows up, how the verified pipeline
+   compares with classical baselines.
+
+   Two kinds of measurement:
+   - sweeps: wall-clock (monotonic ns) over a size parameter, printed as
+     aligned tables;
+   - micro: Bechamel OLS estimates (ns/run) for the small fixed-input
+     operations (Figs 1-5, the kernel checker, the generated parser). *)
+
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module P = G.Ptree
+module E = G.Enum
+module R = Lambekd_regex.Regex
+module Rs = Lambekd_regex.Regex_syntax
+module Bz = Lambekd_regex.Brzozowski
+module An = Lambekd_regex.Antimirov
+module Bt = Lambekd_regex.Backtrack
+module Nfa = Lambekd_automata.Nfa
+module Dfa = Lambekd_automata.Dfa
+module Th = Lambekd_automata.Thompson
+module Det = Lambekd_automata.Determinize
+module Min = Lambekd_automata.Minimize
+module Dauto = Lambekd_automata.Dauto
+module Cfg = Lambekd_cfg.Cfg
+module Earley = Lambekd_cfg.Earley
+module Ll1 = Lambekd_cfg.Ll1
+module Dyck = Lambekd_cfg.Dyck
+module Expr = Lambekd_cfg.Expr
+module M = Lambekd_turing.Machine
+module Pl = Lambekd_parsing.Pipeline
+module Core = Lambekd_core
+module Elab = Lambekd_surface.Elab
+
+let abc = [ 'a'; 'b'; 'c' ]
+
+(* --- timing helpers ----------------------------------------------------------- *)
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+(* run [f] repeatedly until ~50ms elapsed; report ns per call *)
+let time_ns f =
+  (* warmup *)
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = now_ns () in
+  let iters = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < 5e7 && !iters < 1_000_000 do
+    ignore (Sys.opaque_identity (f ()));
+    incr iters;
+    elapsed := now_ns () -. t0
+  done;
+  !elapsed /. float_of_int !iters
+
+let header title = Fmt.pr "@.== %s ==@." title
+
+let row cells = Fmt.pr "%s@." (String.concat "  " cells)
+let cell fmt = Fmt.str fmt
+
+let pp_ns ns =
+  if ns >= 1e9 then Fmt.str "%8.2f s " (ns /. 1e9)
+  else if ns >= 1e6 then Fmt.str "%8.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Fmt.str "%8.2f us" (ns /. 1e3)
+  else Fmt.str "%8.1f ns" ns
+
+(* --- E6 / Theorem 4.9: DFA trace parsing is linear ----------------------------- *)
+
+let even_a =
+  Dauto.make ~name:"even_a" ~alphabet:[ 'a'; 'b' ] ~init:(G.Index.N 0)
+    ~is_accepting:(fun s -> G.Index.equal s (G.Index.N 0))
+    ~step:(fun s c ->
+      match s, c with
+      | G.Index.N n, 'a' -> G.Index.N (1 - n)
+      | s, _ -> s)
+
+let bench_thm49 () =
+  header "E6 / Theorem 4.9 — parse_D throughput (expect linear, flat ns/char)";
+  row [ cell "%8s" "len"; cell "%11s" "total"; cell "%11s" "ns/char" ];
+  List.iter
+    (fun len ->
+      let input = String.init len (fun i -> if i mod 3 = 0 then 'b' else 'a') in
+      let ns = time_ns (fun () -> Dauto.parse even_a input) in
+      row
+        [ cell "%8d" len; pp_ns ns; cell "%11.1f" (ns /. float_of_int len) ])
+    [ 64; 256; 1024; 4096; 16384 ]
+
+(* --- E7 / Construction 4.10: determinization blowup ----------------------------- *)
+
+let bench_c410 () =
+  header
+    "E7 / Construction 4.10 — powerset determinization on (a|b)*a(a|b)^n \
+     (expect ~2^(n+1) DFA states)";
+  row
+    [ cell "%4s" "n"; cell "%10s" "nfa"; cell "%10s" "dfa"; cell "%10s" "min";
+      cell "%11s" "build" ];
+  List.iter
+    (fun n ->
+      let suffix = List.init n (fun _ -> R.alt (R.chr 'a') (R.chr 'b')) in
+      let regex =
+        R.seq
+          (R.star (R.alt (R.chr 'a') (R.chr 'b')))
+          (R.seq (R.chr 'a') (R.seq_list suffix))
+      in
+      let th = Th.compile ~alphabet:[ 'a'; 'b' ] regex in
+      let t0 = now_ns () in
+      let det = Det.determinize th.Th.nfa in
+      let dt = now_ns () -. t0 in
+      let min = Min.minimize det.Det.dfa in
+      row
+        [ cell "%4d" n;
+          cell "%10d" th.Th.nfa.Nfa.num_states;
+          cell "%10d" det.Det.dfa.Dfa.num_states;
+          cell "%10d" min.Dfa.num_states;
+          pp_ns dt ])
+    [ 2; 4; 6; 8; 10 ]
+
+(* --- E8 / Construction 4.11: Thompson sizes -------------------------------------- *)
+
+let bench_c411 () =
+  header
+    "E8 / Construction 4.11 — Thompson NFA size vs regex size (expect \
+     linear, ~2 states/node), with the Antimirov partial-derivative NFA \
+     as ablation (fewer states, no ε)";
+  row
+    [ cell "%6s" "size"; cell "%8s" "states"; cell "%8s" "labeled";
+      cell "%8s" "eps"; cell "%8s" "pd-nfa"; cell "%10s" "dfa(th)";
+      cell "%10s" "dfa(pd)" ];
+  let rng = Random.State.make [| 2026 |] in
+  List.iter
+    (fun size ->
+      let samples = 20 in
+      let totals = ref (0, 0, 0, 0, 0, 0) in
+      for _ = 1 to samples do
+        let r = R.random ~chars:abc ~size rng in
+        let th = Th.compile ~alphabet:abc r in
+        let pd = Lambekd_automata.Pd_nfa.compile ~alphabet:abc r in
+        let dth = (Det.determinize th.Th.nfa).Det.dfa.Dfa.num_states in
+        let dpd = (Det.determinize pd.Lambekd_automata.Pd_nfa.nfa).Det.dfa.Dfa.num_states in
+        let s, l, e, p, a, b = !totals in
+        totals :=
+          ( s + th.Th.nfa.Nfa.num_states,
+            l + Array.length th.Th.nfa.Nfa.transitions,
+            e + Array.length th.Th.nfa.Nfa.eps,
+            p + pd.Lambekd_automata.Pd_nfa.nfa.Nfa.num_states,
+            a + dth,
+            b + dpd )
+      done;
+      let s, l, e, p, a, b = !totals in
+      let avg x = float_of_int x /. float_of_int samples in
+      row
+        [ cell "%6d" size; cell "%8.1f" (avg s); cell "%8.1f" (avg l);
+          cell "%8.1f" (avg e); cell "%8.1f" (avg p); cell "%10.1f" (avg a);
+          cell "%10.1f" (avg b) ])
+    [ 5; 10; 20; 40; 80 ]
+
+(* --- E9/E19: the verified pipeline vs classical baselines ------------------------- *)
+
+let bench_c412 () =
+  header
+    "E9 / Corollary 4.12 — verified pipeline vs baselines on (ab|c)* \
+     (expect same order of magnitude; all linear)";
+  let regex = Rs.parse_exn ~alphabet:abc "(ab|c)*" in
+  let pipeline = Pl.compile ~alphabet:abc regex in
+  let brz = Bz.compile ~alphabet:abc regex in
+  row
+    [ cell "%6s" "len"; cell "%11s" "pipeline"; cell "%11s" "greedy-drv";
+      cell "%11s" "brzozowski"; cell "%11s" "derivative";
+      cell "%11s" "antimirov" ];
+  List.iter
+    (fun len ->
+      (* an accepted input: (ab c)^k *)
+      let input = String.concat "" (List.init (len / 3) (fun _ -> "abc")) in
+      row
+        [ cell "%6d" (String.length input);
+          pp_ns (time_ns (fun () -> Pl.accepts pipeline input));
+          pp_ns
+            (time_ns (fun () -> Lambekd_regex.Deriv_parse.parse regex input));
+          pp_ns (time_ns (fun () -> Bz.matches brz input));
+          pp_ns (time_ns (fun () -> R.matches regex input));
+          pp_ns (time_ns (fun () -> An.matches regex input)) ])
+    [ 30; 90; 270; 810 ]
+
+let bench_pathological () =
+  header
+    "E19 — pathological (aa|a)*b on a^n: backtracking explodes, automata \
+     stay linear";
+  let patho =
+    R.seq (R.star (R.alt (R.seq (R.chr 'a') (R.chr 'a')) (R.chr 'a')))
+      (R.chr 'b')
+  in
+  let pipeline = Pl.compile ~alphabet:[ 'a'; 'b' ] patho in
+  let brz = Bz.compile ~alphabet:[ 'a'; 'b' ] patho in
+  row
+    [ cell "%6s" "n"; cell "%11s" "pipeline"; cell "%11s" "brzozowski";
+      cell "%14s" "backtracking" ];
+  List.iter
+    (fun n ->
+      let input = String.make n 'a' in
+      let bt_cell =
+        let fuel = 20_000_000 in
+        let t0 = now_ns () in
+        match Bt.matches_fuel ~fuel patho input with
+        | Some _ -> pp_ns (now_ns () -. t0)
+        | None -> Fmt.str "%14s" "gave up"
+      in
+      row
+        [ cell "%6d" n;
+          pp_ns (time_ns (fun () -> Pl.accepts pipeline input));
+          pp_ns (time_ns (fun () -> Bz.matches brz input));
+          bt_cell ])
+    [ 8; 16; 24; 32 ]
+
+(* --- E10 / Theorem 4.13: Dyck parsing ---------------------------------------------- *)
+
+let dyck_cfg =
+  Cfg.make ~start:"D"
+    ~productions:
+      [ ("D", []); ("D", [ Cfg.T '('; Cfg.N "D"; Cfg.T ')'; Cfg.N "D" ]) ]
+
+let bench_thm413 () =
+  header
+    "E10 / Theorem 4.13 — Dyck: counter-automaton parser (linear) vs \
+     Earley (superlinear)";
+  row
+    [ cell "%6s" "len"; cell "%11s" "automaton"; cell "%11s" "earley";
+      cell "%8s" "chart" ];
+  List.iter
+    (fun pairs ->
+      let input =
+        String.concat "" (List.init pairs (fun _ -> "()"))
+      in
+      let len = String.length input in
+      let earley_cell =
+        if len <= 256 then pp_ns (time_ns (fun () -> Earley.recognizes dyck_cfg input))
+        else Fmt.str "%11s" "(skipped)"
+      in
+      let chart =
+        if len <= 256 then cell "%8d" (Earley.chart_size dyck_cfg input)
+        else cell "%8s" "-"
+      in
+      row
+        [ cell "%6d" len;
+          pp_ns (time_ns (fun () -> Dyck.parse input));
+          earley_cell;
+          chart ])
+    [ 8; 32; 128; 512; 2048 ]
+
+(* --- E11 / Theorem 4.14: expression parsing ------------------------------------------ *)
+
+let expr_cfg_ll1 =
+  (* LL(1) form of the expression grammar *)
+  Cfg.make ~start:"E"
+    ~productions:
+      [ ("E", [ Cfg.N "A"; Cfg.N "E'" ]);
+        ("E'", []);
+        ("E'", [ Cfg.T '+'; Cfg.N "A"; Cfg.N "E'" ]);
+        ("A", [ Cfg.T 'n' ]);
+        ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ]
+
+let expr_cfg_plain =
+  Cfg.make ~start:"E"
+    ~productions:
+      [ ("E", [ Cfg.N "A" ]);
+        ("E", [ Cfg.N "A"; Cfg.T '+'; Cfg.N "E" ]);
+        ("A", [ Cfg.T 'n' ]);
+        ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ]
+
+let lr_expr =
+  (* left-recursive: SLR(1) but not LL(1) *)
+  Cfg.make ~start:"E"
+    ~productions:
+      [ ("E", [ Cfg.N "E"; Cfg.T '+'; Cfg.N "A" ]);
+        ("E", [ Cfg.N "A" ]);
+        ("A", [ Cfg.T 'n' ]);
+        ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ]
+
+let bench_thm414 () =
+  header
+    "E11 / Theorem 4.14 + E18 — expressions: lookahead automaton vs LL(1) \
+     vs SLR(1) vs Earley";
+  let table =
+    match Ll1.build expr_cfg_ll1 with
+    | Ok t -> t
+    | Error _ -> failwith "expr grammar should be LL(1)"
+  in
+  let slr_table =
+    match Lambekd_cfg.Slr.build lr_expr with
+    | Ok t -> t
+    | Error _ -> failwith "lr expr grammar should be SLR(1)"
+  in
+  let ll1_stack = Lambekd_cfg.Ll1_automaton.dauto table in
+  row
+    [ cell "%6s" "len"; cell "%11s" "lookahead"; cell "%11s" "ll1";
+      cell "%11s" "ll1-stack"; cell "%11s" "slr1"; cell "%11s" "earley" ];
+  List.iter
+    (fun terms ->
+      let input =
+        "n" ^ String.concat "" (List.init terms (fun i ->
+            if i mod 4 = 3 then "+(n+n)" else "+n"))
+      in
+      let len = String.length input in
+      let earley_cell =
+        if len <= 300 then
+          pp_ns (time_ns (fun () -> Earley.recognizes expr_cfg_plain input))
+        else Fmt.str "%11s" "(skipped)"
+      in
+      row
+        [ cell "%6d" len;
+          pp_ns (time_ns (fun () -> Expr.parse input));
+          pp_ns (time_ns (fun () -> Ll1.parse table input));
+          pp_ns (time_ns (fun () -> Dauto.parse ll1_stack input));
+          pp_ns (time_ns (fun () -> Lambekd_cfg.Slr.parse slr_table input));
+          earley_cell ])
+    [ 8; 32; 128; 512 ]
+
+(* --- E12 / Construction 4.15: reified Turing machine ----------------------------------- *)
+
+let bench_c415 () =
+  header
+    "E12 / Construction 4.15 — reified a^n b^n c^n membership (expect \
+     quadratic TM steps)";
+  let g = Lambekd_turing.Reify.of_machine M.anbncn in
+  row [ cell "%6s" "n"; cell "%8s" "steps"; cell "%11s" "time" ];
+  List.iter
+    (fun n ->
+      let input = String.make n 'a' ^ String.make n 'b' ^ String.make n 'c' in
+      row
+        [ cell "%6d" n;
+          cell "%8d" (M.steps M.anbncn input);
+          pp_ns (time_ns (fun () -> E.accepts g input)) ])
+    [ 4; 8; 16; 32; 64 ]
+
+(* --- engine ablation: enumeration vs counting --------------------------------- *)
+
+let bench_counting_ablation () =
+  header
+    "engine ablation — parse counting: tree enumeration (Enum.count) vs \
+     dynamic programming (Enum.count_fast) on ⊕b.O 0 b";
+  row [ cell "%6s" "len"; cell "%11s" "enumerate"; cell "%11s" "count_fast" ];
+  List.iter
+    (fun terms ->
+      let input =
+        "n" ^ String.concat "" (List.init terms (fun _ -> "+n"))
+      in
+      let len = String.length input in
+      let enum_cell =
+        if len <= 9 then pp_ns (time_ns (fun () -> E.count Expr.o_sigma input))
+        else Fmt.str "%11s" "(skipped)"
+      in
+      row
+        [ cell "%6d" len;
+          enum_cell;
+          pp_ns (time_ns (fun () -> E.count_fast Expr.o_sigma input)) ])
+    [ 2; 4; 8; 16 ]
+
+(* --- E17: surface checker throughput ------------------------------------------------------ *)
+
+let surface_program =
+  {|
+    type AB = 'a' * 'b' ;
+    type Fig1 = AB + 'c' ;
+    def f : AB -o Fig1 = \p. let (a, b) = p in inl (a, b) ;
+    type AStar = rec X. I + 'a' * X ;
+    def anil : AStar = roll inl () ;
+    def acons : 'a' -o AStar -o AStar =
+      \c. \(rest : AStar). roll inr (c, rest) ;
+    check [ a : 'a', b : 'b' ] |- inl (acons a anil, b) : AStar * 'b' + 'c' ;
+  |}
+
+let bench_surface () =
+  header "E17 — surface pipeline (lex + parse + elaborate + kernel check)";
+  row
+    [ cell "%22s" "stage"; cell "%11s" "time" ];
+  row
+    [ cell "%22s" "lex+parse";
+      pp_ns
+        (time_ns (fun () ->
+             Lambekd_surface.Parser.parse_program surface_program)) ];
+  row
+    [ cell "%22s" "full check";
+      pp_ns (time_ns (fun () -> Elab.run_string surface_program)) ]
+
+(* --- E1-E5, E16: Bechamel micro-benchmarks ------------------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let fig1 = Gr.alt2 (Gr.seq (Gr.chr 'a') (Gr.chr 'b')) (Gr.chr 'c') in
+  let fig3 = Gr.alt2 (Gr.seq (Gr.star (Gr.chr 'a')) (Gr.chr 'b')) (Gr.chr 'c') in
+  let _, _, h = Core.Library.fig4_h (Core.Syntax.Chr 'a') in
+  let four_as =
+    let aa = P.Pair (P.Tok 'a', P.Tok 'a') in
+    P.Roll
+      ( "star",
+        P.Inj
+          ( G.Index.S "cons",
+            P.Pair
+              ( aa,
+                P.Roll ("star", P.Inj (G.Index.S "nil", P.Eps)) ) ) )
+  in
+  let gen =
+    Core.Generator.generate
+      {
+        Core.Generator.num_states = 2;
+        init = 0;
+        accepting = (fun s -> s = 0);
+        step = (fun s c -> if Char.equal c 'a' then 1 - s else s);
+        alphabet = [ 'a'; 'b' ];
+      }
+  in
+  [ Test.make ~name:"E1 fig1: enumerate parses of \"ab\""
+      (Staged.stage (fun () -> E.parses fig1 "ab"));
+    Test.make ~name:"E2 fig3: enumerate parses of \"aaab\""
+      (Staged.stage (fun () -> E.parses fig3 "aaab"));
+    Test.make ~name:"E3 fig4: fold transformer on (aa)"
+      (Staged.stage (fun () -> Core.Semantics.apply_closed Core.Library.defs h four_as));
+    Test.make ~name:"E5 kernel: check fig1 term"
+      (Staged.stage (fun () ->
+           Core.Check.checks Core.Library.defs Core.Library.fig1_ctx
+             Core.Library.fig1_term Core.Library.fig1_type));
+    Test.make ~name:"E16 generated parse_D on \"abab\""
+      (Staged.stage (fun () -> Core.Generator.parse gen "abab")) ]
+
+let bench_micro () =
+  header "E1-E5, E16 — Bechamel micro-benchmarks (OLS ns/run)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true
+      ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg [ instance ] elt in
+          let est = Analyze.one ols instance result in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ ns ] -> ns
+            | _ -> nan
+          in
+          row [ cell "%-42s" (Test.Elt.name elt); pp_ns ns ])
+        (Test.elements test))
+    (micro_tests ())
+
+let () =
+  Fmt.pr "lambekd benchmark harness — each section regenerates one paper \
+          artifact's shape claim@.";
+  bench_thm49 ();
+  bench_c410 ();
+  bench_c411 ();
+  bench_c412 ();
+  bench_pathological ();
+  bench_thm413 ();
+  bench_thm414 ();
+  bench_c415 ();
+  bench_counting_ablation ();
+  bench_surface ();
+  bench_micro ();
+  Fmt.pr "@.done.@."

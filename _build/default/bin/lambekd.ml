@@ -1,0 +1,246 @@
+(* The lambekd command-line tool: verified parsing demonstrators.
+
+   Subcommands:
+     regex  — compile a regular expression through the Thompson →
+              determinize pipeline (Corollary 4.12) and parse an input
+     dyck   — parse balanced parentheses (Theorem 4.13)
+     expr   — parse and evaluate an arithmetic expression (Theorem 4.14)
+     reify  — decide membership in a Turing machine's language
+              (Construction 4.15)
+     check  — type check a surface-syntax (.lkd) file *)
+
+module G = Lambekd_grammar
+module P = G.Ptree
+module Rs = Lambekd_regex.Regex_syntax
+module Pl = Lambekd_parsing.Pipeline
+module Dyck = Lambekd_cfg.Dyck
+module Expr = Lambekd_cfg.Expr
+module M = Lambekd_turing.Machine
+module Reify = Lambekd_turing.Reify
+module Elab = Lambekd_surface.Elab
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
+
+let verbose =
+  let doc = "Enable debug logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let print_tree label tree =
+  Fmt.pr "%s:@.  %a@." label P.pp tree
+
+(* --- regex ----------------------------------------------------------------- *)
+
+let regex_cmd =
+  let run verbose pattern inputs show_tree =
+    setup_logs verbose;
+    match Rs.parse pattern with
+    | Error e ->
+      Fmt.epr "%a@." Rs.pp_error e;
+      1
+    | Ok r ->
+      let alphabet =
+        List.sort_uniq Char.compare
+          (Lambekd_regex.Regex.chars r
+          @ List.concat_map
+              (fun w -> List.init (String.length w) (String.get w))
+              inputs)
+      in
+      let t = Pl.compile ~alphabet r in
+      Logs.info (fun m ->
+          m "compiled %s: NFA %d states, DFA %d states" pattern
+            (Pl.nfa_states t) (Pl.dfa_states t));
+      List.iter
+        (fun w ->
+          match Pl.parse t w with
+          | Ok tree ->
+            Fmt.pr "%S: accepted@." w;
+            if show_tree then print_tree "parse tree" tree
+          | Error trace ->
+            Fmt.pr "%S: rejected@." w;
+            if show_tree then print_tree "rejecting trace" trace)
+        inputs;
+      0
+  in
+  let pattern =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX")
+  in
+  let inputs = Arg.(value & pos_right 0 string [] & info [] ~docv:"INPUT") in
+  let show_tree =
+    Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print parse trees.")
+  in
+  Cmd.v
+    (Cmd.info "regex"
+       ~doc:
+         "Parse inputs with a verified regular-expression parser \
+          (Corollary 4.12).")
+    Term.(const run $ verbose $ pattern $ inputs $ show_tree)
+
+(* --- dyck ------------------------------------------------------------------- *)
+
+let dyck_cmd =
+  let run verbose inputs show_tree =
+    setup_logs verbose;
+    List.iter
+      (fun w ->
+        match Dyck.parse w with
+        | Ok d ->
+          Fmt.pr "%S: balanced@." w;
+          if show_tree then print_tree "Dyck parse" d
+        | Error trace ->
+          Fmt.pr "%S: not balanced@." w;
+          if show_tree then print_tree "rejecting trace" trace)
+      inputs;
+    0
+  in
+  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
+  let show_tree =
+    Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print parse trees.")
+  in
+  Cmd.v
+    (Cmd.info "dyck"
+       ~doc:"Parse balanced parentheses with the counter automaton \
+             (Theorem 4.13).")
+    Term.(const run $ verbose $ inputs $ show_tree)
+
+(* --- expr ------------------------------------------------------------------- *)
+
+let expr_cmd =
+  let run verbose inputs show_tree =
+    setup_logs verbose;
+    List.iter
+      (fun w ->
+        match Expr.parse w with
+        | Ok e ->
+          Fmt.pr "%S: value %d@." w (Expr.eval e);
+          if show_tree then print_tree "Exp parse" e
+        | Error trace ->
+          Fmt.pr "%S: not an expression@." w;
+          if show_tree then print_tree "rejecting trace" trace)
+      inputs;
+    0
+  in
+  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
+  let show_tree =
+    Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print parse trees.")
+  in
+  Cmd.v
+    (Cmd.info "expr"
+       ~doc:
+         "Parse arithmetic expressions over {(,),+,n} with the lookahead \
+          automaton (Theorem 4.14); each n counts 1.")
+    Term.(const run $ verbose $ inputs $ show_tree)
+
+(* --- reify ------------------------------------------------------------------- *)
+
+let reify_cmd =
+  let run verbose machine inputs =
+    setup_logs verbose;
+    let m =
+      match machine with
+      | "anbncn" -> M.anbncn
+      | "unary_add" -> M.unary_add
+      | other ->
+        Fmt.epr "unknown machine %s (try anbncn or unary_add)@." other;
+        exit 1
+    in
+    let g = Reify.of_machine m in
+    List.iter
+      (fun w ->
+        let verdict = if G.Enum.accepts g w then "in" else "not in" in
+        Fmt.pr "%S: %s L(%s) (%d steps)@." w verdict machine (M.steps m w))
+      inputs;
+    0
+  in
+  let machine =
+    Arg.(
+      value
+      & opt string "anbncn"
+      & info [ "m"; "machine" ] ~doc:"Machine: anbncn or unary_add.")
+  in
+  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
+  Cmd.v
+    (Cmd.info "reify"
+       ~doc:
+         "Decide membership in a Turing machine's language via the reified \
+          grammar (Construction 4.15).")
+    Term.(const run $ verbose $ machine $ inputs)
+
+(* --- ambiguity --------------------------------------------------------------- *)
+
+let ambiguity_cmd =
+  let run verbose pattern =
+    setup_logs verbose;
+    match Rs.parse pattern with
+    | Error e ->
+      Fmt.epr "%a@." Rs.pp_error e;
+      1
+    | Ok r ->
+      let th = Lambekd_automata.Thompson.compile r in
+      (match
+         Lambekd_automata.Nfa_ambiguity.ambiguous_word
+           th.Lambekd_automata.Thompson.nfa
+       with
+       | Some w ->
+         Fmt.pr
+           "%s is AMBIGUOUS: %S has more than one parse (Construction 4.10 \
+            gives only a weak equivalence here)@."
+           pattern w
+       | None ->
+         Fmt.pr
+           "%s is unambiguous: every word has exactly one Thompson trace@."
+           pattern);
+      0
+  in
+  let pattern =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX")
+  in
+  Cmd.v
+    (Cmd.info "ambiguity"
+       ~doc:
+         "Decide whether a regular expression (via its Thompson NFA traces) \
+          is ambiguous, with a witness word.")
+    Term.(const run $ verbose $ pattern)
+
+(* --- check ------------------------------------------------------------------- *)
+
+let check_cmd =
+  let run verbose file =
+    setup_logs verbose;
+    let source =
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Elab.run_string source with
+    | Ok (_, outcomes) ->
+      List.iter
+        (fun outcome ->
+          match outcome with
+          | Elab.Type_declared name -> Fmt.pr "type %s declared@." name
+          | Elab.Def_checked name -> Fmt.pr "def %s checked ✓@." name
+          | Elab.Check_passed -> Fmt.pr "check passed ✓@.")
+        outcomes;
+      0
+    | Error e ->
+      Fmt.epr "%a@." Elab.pp_error e;
+      1
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.lkd")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Type check a Lambek^D surface-syntax file.")
+    Term.(const run $ verbose $ file)
+
+let main =
+  Cmd.group
+    (Cmd.info "lambekd" ~version:"1.0.0"
+       ~doc:"Intrinsically verified parsing in Dependent Lambek Calculus.")
+    [ regex_cmd; dyck_cmd; expr_cmd; reify_cmd; ambiguity_cmd; check_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/arith_calculator.ml: Fmt Lambekd_cfg Lambekd_grammar List

@@ -1,0 +1,1 @@
+examples/arith_calculator.mli:

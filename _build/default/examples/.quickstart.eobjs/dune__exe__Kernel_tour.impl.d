@@ -1,0 +1,1 @@
+examples/kernel_tour.ml: Char Fmt Lambekd_core Lambekd_grammar List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Lambekd_grammar List

@@ -1,0 +1,1 @@
+examples/sexp_reader.ml: Bool Fmt Lambekd_automata Lambekd_cfg Lambekd_grammar Lambekd_parsing List Result String

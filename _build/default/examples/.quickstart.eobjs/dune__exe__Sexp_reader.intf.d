@@ -1,0 +1,1 @@
+examples/sexp_reader.mli:

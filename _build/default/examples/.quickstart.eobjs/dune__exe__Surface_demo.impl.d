@@ -1,0 +1,1 @@
+examples/surface_demo.ml: Fmt Lambekd_core Lambekd_grammar Lambekd_surface List

@@ -1,0 +1,1 @@
+examples/surface_demo.mli:

@@ -1,0 +1,1 @@
+examples/verified_regex.ml: Bool Fmt Lambekd_grammar Lambekd_parsing Lambekd_regex List String

@@ -1,0 +1,34 @@
+(* A calculator from Theorem 4.14: the Fig 15 lookahead automaton parses
+   arithmetic expressions over {(,),+,n}; semantic actions (§6.2) turn
+   intrinsically-correct parse trees into values.
+
+   Run with: dune exec examples/arith_calculator.exe *)
+
+module Expr = Lambekd_cfg.Expr
+module P = Lambekd_grammar.Ptree
+module T = Lambekd_grammar.Transformer
+
+let () =
+  let inputs =
+    [ "n"; "n+n"; "(n+n)+n"; "n+(n+n)+n"; "((n))"; "n+"; "(n"; ")n("; "" ]
+  in
+  List.iter
+    (fun input ->
+      match Expr.parse input with
+      | Ok tree ->
+        (* eval is a semantic action Exp ⊸ ⊕(k:Nat) ⊤: the concrete tree
+           is forgotten, only the value and the consumed string remain *)
+        let value = Expr.eval tree in
+        let action = T.apply Expr.semantic_action tree in
+        Fmt.pr "%-12S = %d   (action: %a)@." input value P.pp action
+      | Error trace ->
+        (* rejection comes with evidence: a rejecting automaton trace
+           over exactly the input — the negative grammar of Def 4.6 *)
+        Fmt.pr "%-12S : syntax error (rejecting trace covers %S)@." input
+          (P.yield trace))
+    inputs;
+
+  (* right association is visible in the tree *)
+  match Expr.parse "n+n+n" with
+  | Ok tree -> Fmt.pr "tree of n+n+n: %a@." P.pp tree
+  | Error _ -> assert false

@@ -1,0 +1,47 @@
+(* Quickstart: the Gr model in five minutes.
+
+   Grammars are values; parse trees are data; parsers return evidence.
+   Run with: dune exec examples/quickstart.exe *)
+
+module G = Lambekd_grammar.Grammar
+module Enum = Lambekd_grammar.Enum
+module P = Lambekd_grammar.Ptree
+module Ambiguity = Lambekd_grammar.Ambiguity
+
+let () =
+  (* 1. Build the paper's running example, ('a'* ⊗ 'b') ⊕ 'c', from
+        combinators.  ⊕ is alt2, ⊗ is seq, Kleene star is an inductive
+        linear type. *)
+  let grammar = G.alt2 (G.seq (G.star (G.chr 'a')) (G.chr 'b')) (G.chr 'c') in
+  Fmt.pr "grammar: %s@." (G.to_string grammar);
+
+  (* 2. Membership is the boolean shadow of parsing. *)
+  List.iter
+    (fun w -> Fmt.pr "  %S in language? %b@." w (Enum.accepts grammar w))
+    [ "ab"; "aab"; "b"; "c"; "ca"; "" ];
+
+  (* 3. Parses are trees; every tree knows the string it proves
+        membership of (its yield). *)
+  (match Enum.first_parse grammar "aab" with
+   | Some tree ->
+     Fmt.pr "parse of \"aab\": %a@." P.pp tree;
+     Fmt.pr "its yield: %S (always the input — that's soundness)@."
+       (P.yield tree)
+   | None -> assert false);
+
+  (* 4. Ambiguity is parse counting. *)
+  let ambiguous = G.seq (G.star (G.chr 'a')) (G.star (G.chr 'a')) in
+  Fmt.pr "a* a* parses of \"aa\": %d (ambiguous!)@."
+    (Ambiguity.parse_count ambiguous "aa");
+  Fmt.pr "(a* b)|c parses of \"ab\": %d (unambiguous)@."
+    (Ambiguity.parse_count grammar "ab");
+
+  (* 5. Context-free power: the Dyck language as an inductive type. *)
+  let dyck =
+    G.fix "dyck" (fun d ->
+        G.alt2 G.eps (G.seq (G.chr '(') (G.seq d (G.seq (G.chr ')') d))))
+  in
+  List.iter
+    (fun w -> Fmt.pr "  %S balanced? %b@." w (Enum.accepts dyck w))
+    [ "(())()"; "(()" ];
+  Fmt.pr "done.@."

@@ -1,0 +1,81 @@
+(* A realistic scenario: reading S-expressions with an LL(1) stack
+   automaton (the paper's "LL(1) parsers using stack-based automata"),
+   plus a semantic action building a real AST.
+
+   Grammar over the alphabet {a, (, )}:
+     S -> a | ( L )
+     L -> ε | S L
+
+   Run with: dune exec examples/sexp_reader.exe *)
+
+module Cfg = Lambekd_cfg.Cfg
+module Ll1 = Lambekd_cfg.Ll1
+module La = Lambekd_cfg.Ll1_automaton
+module Earley = Lambekd_cfg.Earley
+module Pd = Lambekd_parsing.Parser_def
+module Dauto = Lambekd_automata.Dauto
+module P = Lambekd_grammar.Ptree
+
+let grammar =
+  Cfg.make ~start:"S"
+    ~productions:
+      [ ("S", [ Cfg.T 'a' ]);
+        ("S", [ Cfg.T '('; Cfg.N "L"; Cfg.T ')' ]);
+        ("L", []);
+        ("L", [ Cfg.N "S"; Cfg.N "L" ]) ]
+
+(* the semantic action's output: an actual AST, not a derivation tree *)
+type sexp = Atom | List of sexp list
+
+let rec pp_sexp ppf = function
+  | Atom -> Fmt.string ppf "a"
+  | List xs -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any " ") pp_sexp) xs
+
+(* derivation tree -> AST (the "semantic action" of §6.2: superfluous
+   syntactic detail is dropped) *)
+let rec sexp_of_tree = function
+  | Earley.Node ("S", 0, _) -> Atom
+  | Earley.Node ("S", 1, [ _; l; _ ]) -> List (items l)
+  | t -> invalid_arg (Fmt.str "not an S node: %s" (Earley.tree_yield t))
+
+and items = function
+  | Earley.Node ("L", 2, []) -> []
+  | Earley.Node ("L", 3, [ s; l ]) -> sexp_of_tree s :: items l
+  | t -> invalid_arg (Fmt.str "not an L node: %s" (Earley.tree_yield t))
+
+let () =
+  let table =
+    match Ll1.build grammar with
+    | Ok t -> t
+    | Error c -> Fmt.failwith "not LL(1): %a" Ll1.pp_conflict c
+  in
+  let parser_ = La.parser_of table in
+  Fmt.pr "S-expression reader: LL(1) stack automaton over {a,(,)}@.";
+  (* the framework audits the whole parser before we trust it *)
+  Fmt.pr "parser audit (sound+complete+disjoint, len <= 5): %b@."
+    (Pd.check parser_ [ 'a'; '('; ')' ] ~max_len:5);
+  List.iter
+    (fun input ->
+      match Pd.run parser_ input with
+      | Ok trace ->
+        (* the accepting trace is the evidence; the AST comes from the
+           derivation tree *)
+        assert (String.equal (P.yield trace) input);
+        let ast =
+          match Ll1.parse table input with
+          | Ok tree -> sexp_of_tree tree
+          | Error _ -> assert false (* the automaton already accepted *)
+        in
+        Fmt.pr "  %-14S -> %a@." input pp_sexp ast
+      | Error trace ->
+        Fmt.pr "  %-14S -> syntax error (rejecting trace covers %S)@." input
+          (P.yield trace))
+    [ "a"; "()"; "(a)"; "(aa(a))"; "((a)(a))"; "(a"; ")a("; "" ];
+  (* cross-check against Earley on all short words *)
+  let all_agree =
+    List.for_all
+      (fun w ->
+        Bool.equal (Earley.recognizes grammar w) (Result.is_ok (Pd.run parser_ w)))
+      (Lambekd_grammar.Language.words [ 'a'; '('; ')' ] ~max_len:6)
+  in
+  Fmt.pr "agrees with Earley on all words of length <= 6: %b@." all_agree

@@ -1,0 +1,1 @@
+lib/automata/dauto.ml: Array Bool Dfa Fmt Lambekd_grammar List String

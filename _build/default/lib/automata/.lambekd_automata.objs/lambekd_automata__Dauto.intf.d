@@ -1,0 +1,1 @@
+lib/automata/dauto.mli: Dfa Lambekd_grammar

@@ -1,0 +1,1 @@
+lib/automata/determinize.ml: Array Char Dauto Dfa Fmt Fun Hashtbl Int List Map Nfa Queue Stdlib

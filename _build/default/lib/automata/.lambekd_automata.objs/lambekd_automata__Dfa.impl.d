@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Bool Char Fmt Fun Hashtbl List Option Queue String

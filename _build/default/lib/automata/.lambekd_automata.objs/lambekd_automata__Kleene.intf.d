@@ -1,0 +1,1 @@
+lib/automata/kleene.mli: Dfa Lambekd_regex

@@ -1,0 +1,1 @@
+lib/automata/minimize.ml: Array Bool Dfa Fun Hashtbl List

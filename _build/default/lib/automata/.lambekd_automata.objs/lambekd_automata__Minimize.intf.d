@@ -1,0 +1,1 @@
+lib/automata/minimize.mli: Dfa

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Char Fmt Fun Int List Set String

@@ -1,0 +1,1 @@
+lib/automata/nfa_ambiguity.ml: Array Char Determinize Dfa Fun Hashtbl List Nfa Option Queue String

@@ -1,0 +1,1 @@
+lib/automata/nfa_ambiguity.mli: Nfa

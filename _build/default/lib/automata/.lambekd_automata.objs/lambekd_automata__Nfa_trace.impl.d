@@ -1,0 +1,1 @@
+lib/automata/nfa_trace.ml: Array Char Dauto Int Lambekd_grammar List Nfa Option Set String

@@ -1,0 +1,1 @@
+lib/automata/nfa_trace.mli: Dauto Lambekd_grammar Nfa

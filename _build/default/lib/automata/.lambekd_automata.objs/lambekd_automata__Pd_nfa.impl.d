@@ -1,0 +1,1 @@
+lib/automata/pd_nfa.ml: Array Fun Lambekd_regex List Map Nfa Queue

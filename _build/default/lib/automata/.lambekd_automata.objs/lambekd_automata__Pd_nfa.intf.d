@@ -1,0 +1,1 @@
+lib/automata/pd_nfa.mli: Lambekd_regex Nfa

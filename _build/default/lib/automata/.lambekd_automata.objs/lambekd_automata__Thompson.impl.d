@@ -1,0 +1,1 @@
+lib/automata/thompson.ml: Char Fmt Lambekd_grammar Lambekd_regex List Nfa Nfa_trace

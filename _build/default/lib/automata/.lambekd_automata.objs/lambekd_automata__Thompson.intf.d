@@ -1,0 +1,1 @@
+lib/automata/thompson.mli: Lambekd_grammar Lambekd_regex Nfa Nfa_trace

@@ -1,0 +1,116 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module P = G.Ptree
+module I = G.Index
+module T = G.Transformer
+
+type t = {
+  name : string;
+  alphabet : char list;
+  init : I.t;
+  is_accepting : I.t -> bool;
+  step : I.t -> char -> I.t;
+  trace_def : Gr.def;
+}
+
+let stop_tag = I.S "stop"
+
+let make ~name ~alphabet ~init ~is_accepting ~step =
+  let trace_def = Gr.declare (name ^ "_trace") in
+  Gr.set_rules trace_def (fun ix ->
+      match ix with
+      | I.P (s, I.B b) ->
+        let stop =
+          if Bool.equal (is_accepting s) b then [ (stop_tag, Gr.eps) ] else []
+        in
+        let conses =
+          List.map
+            (fun c ->
+              (I.C c, Gr.seq (Gr.chr c) (Gr.ref_ trace_def (I.P (step s c, I.B b)))))
+            alphabet
+        in
+        Gr.alt (stop @ conses)
+      | _ ->
+        invalid_arg
+          (Fmt.str "Dauto %s: trace index must be (state, bool), got %a" name
+             I.pp ix));
+  { name; alphabet; init; is_accepting; step; trace_def }
+
+let of_dfa name (d : Dfa.t) =
+  make ~name ~alphabet:d.Dfa.alphabet ~init:(I.N d.Dfa.init)
+    ~is_accepting:(fun ix ->
+      match ix with
+      | I.N s -> d.Dfa.accepting.(s)
+      | _ -> invalid_arg "Dauto.of_dfa: non-integer state")
+    ~step:(fun ix c ->
+      match ix with
+      | I.N s -> I.N (Dfa.step d s c)
+      | _ -> invalid_arg "Dauto.of_dfa: non-integer state")
+
+let trace_grammar t s b = Gr.ref_ t.trace_def (I.P (s, I.B b))
+
+let traces_grammar t =
+  Gr.alt
+    [ (I.B false, trace_grammar t t.init false);
+      (I.B true, trace_grammar t t.init true) ]
+
+let accepting_traces t = trace_grammar t t.init true
+let rejecting_traces t = trace_grammar t t.init false
+
+let run t w =
+  let state = ref t.init in
+  String.iter (fun c -> state := t.step !state c) w;
+  !state
+
+let accepts t w = t.is_accepting (run t w)
+
+let trace_name t = t.name ^ "_trace"
+
+let parse t w =
+  let n = String.length w in
+  let b = t.is_accepting (run t w) in
+  let rec go s k =
+    if k >= n then P.Roll (trace_name t, P.Inj (stop_tag, P.Eps))
+    else
+      let c = w.[k] in
+      P.Roll
+        ( trace_name t,
+          P.Inj (I.C c, P.Pair (P.Tok c, go (t.step s c) (k + 1))) )
+  in
+  (b, go t.init 0)
+
+let parse_sigma t w =
+  let b, trace = parse t w in
+  P.Inj (I.B b, trace)
+
+let print_trace = P.yield
+
+(* Fig 12's parse_D, by recursion on the String parse tree: a String parse
+   is a star of tagged characters; we peel it character by character,
+   walking the automaton, then rebuild the trace back-to-front. *)
+let parse_transformer t =
+  T.make (t.name ^ "_parse") (fun string_parse ->
+      let rec go s tree =
+        let _, body = P.as_roll tree in
+        let tag, payload = P.as_inj body in
+        if I.equal tag Gr.star_nil_tag then
+          ( t.is_accepting s,
+            P.Roll (trace_name t, P.Inj (stop_tag, P.Eps)) )
+        else
+          let char_parse, rest = P.as_pair payload in
+          let c =
+            match P.as_inj char_parse with
+            | I.C c, _ -> c
+            | _ -> invalid_arg "parse_transformer: malformed Char parse"
+          in
+          let b, trace = go (t.step s c) rest in
+          ( b,
+            P.Roll (trace_name t, P.Inj (I.C c, P.Pair (P.Tok c, trace))) )
+      in
+      let b, trace = go t.init string_parse in
+      P.Inj (I.B b, trace))
+
+let print_transformer t =
+  T.make (t.name ^ "_print") (fun sigma_trace ->
+      let _, trace = P.as_inj sigma_trace in
+      Gr.string_parse (P.yield trace))

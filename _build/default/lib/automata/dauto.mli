@@ -1,0 +1,74 @@
+(** Deterministic automata over a countable state space.
+
+    Generalizes DFAs to possibly-infinite state spaces (states are
+    {!Lambekd_grammar.Index} values), covering both finite DFAs and the
+    infinite-state automata of §4.2 (the counter automaton for the Dyck
+    language, Fig 14).  Every such automaton yields:
+
+    - a {e trace grammar} [Trace s b] (Fig 11) — an indexed inductive
+      linear type with [nil] at accepting states (tagged by whether the
+      trace accepts) and one [cons] per character, and
+    - a linear-time parser [parse_D] and printer [print_D] (Fig 12)
+      realizing Theorem 4.9: [⊕b. Trace s b] is a retract of [String],
+      hence unambiguous, and the accepting and rejecting traces are
+      disjoint — so [parse] is an intrinsically verified parser. *)
+
+module G := Lambekd_grammar
+
+type t = private {
+  name : string;
+  alphabet : char list;
+  init : G.Index.t;
+  is_accepting : G.Index.t -> bool;
+  step : G.Index.t -> char -> G.Index.t;  (** total *)
+  trace_def : G.Grammar.def;
+}
+
+val make :
+  name:string ->
+  alphabet:char list ->
+  init:G.Index.t ->
+  is_accepting:(G.Index.t -> bool) ->
+  step:(G.Index.t -> char -> G.Index.t) ->
+  t
+
+val of_dfa : string -> Dfa.t -> t
+(** Finite DFA as a [Dauto.t]; states become [Index.N]. *)
+
+(** {1 Trace grammar (Fig 11)} *)
+
+val stop_tag : G.Index.t
+
+val trace_grammar : t -> G.Index.t -> bool -> G.Grammar.t
+(** [Trace_D s b]: traces from state [s] that end [b = accepting]. *)
+
+val traces_grammar : t -> G.Grammar.t
+(** [⊕ b:Bool. Trace_D init b] — tagged [B false] / [B true]. *)
+
+val accepting_traces : t -> G.Grammar.t
+(** [Trace_D init true]: the language the automaton accepts. *)
+
+val rejecting_traces : t -> G.Grammar.t
+(** [Trace_D init false]: the negative grammar [A¬] of Def 4.6. *)
+
+(** {1 Parser and printer (Fig 12, Theorem 4.9)} *)
+
+val run : t -> string -> G.Index.t
+val accepts : t -> string -> bool
+
+val parse : t -> string -> bool * G.Ptree.t
+(** [parse d w] walks the automaton, returning whether the trace accepts
+    and the trace tree — a genuine parse of {!trace_grammar}[ d init b]. *)
+
+val parse_sigma : t -> string -> G.Ptree.t
+(** The parse of {!traces_grammar}: [σ b (parse d w)]. *)
+
+val print_trace : G.Ptree.t -> string
+(** [print_D]: the yield of a trace. *)
+
+val parse_transformer : t -> G.Transformer.t
+(** [String ⊸ ⊕b.Trace init b] as a parse transformer on trees: defined
+    (as in Fig 12) by recursion on the [String] parse. *)
+
+val print_transformer : t -> G.Transformer.t
+(** [⊕b.Trace init b ⊸ String]. *)

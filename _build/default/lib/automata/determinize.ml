@@ -1,0 +1,80 @@
+module Smap = Map.Make (struct
+  type t = int list
+
+  let compare = Stdlib.compare
+end)
+
+type t = {
+  nfa : Nfa.t;
+  dfa : Dfa.t;
+  subsets : int list array;
+}
+
+let determinize (nfa : Nfa.t) =
+  let closure set = Nfa.eps_closure nfa set in
+  let step subset c =
+    closure
+      (List.concat_map
+         (fun s ->
+           List.filter_map
+             (fun (_, (_, c', dst)) ->
+               if Char.equal c c' then Some dst else None)
+             (Nfa.transitions_from nfa s))
+         subset)
+  in
+  let init = closure [ nfa.Nfa.init ] in
+  let numbering = ref (Smap.singleton init 0) in
+  let subsets = ref [ init ] in
+  let count = ref 1 in
+  let table = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (init, 0) queue;
+  while not (Queue.is_empty queue) do
+    let subset, id = Queue.pop queue in
+    List.iter
+      (fun c ->
+        let subset' = step subset c in
+        let id' =
+          match Smap.find_opt subset' !numbering with
+          | Some id' -> id'
+          | None ->
+            let id' = !count in
+            incr count;
+            numbering := Smap.add subset' id' !numbering;
+            subsets := subset' :: !subsets;
+            Queue.add (subset', id') queue;
+            id'
+        in
+        Hashtbl.replace table (id, c) id')
+      nfa.Nfa.alphabet
+  done;
+  let subset_arr = Array.make !count [] in
+  Smap.iter (fun subset id -> subset_arr.(id) <- subset) !numbering;
+  let accepting =
+    List.filter
+      (fun id -> List.exists (fun s -> nfa.Nfa.accepting.(s)) subset_arr.(id))
+      (List.init !count Fun.id)
+  in
+  let dfa =
+    Dfa.make ~alphabet:nfa.Nfa.alphabet ~num_states:!count ~init:0 ~accepting
+      ~delta:(fun s c -> Hashtbl.find table (s, c))
+      ~labels:
+        (Array.map
+           (fun subset ->
+             Fmt.str "{%a}" Fmt.(list ~sep:comma int) subset)
+           subset_arr)
+      ()
+  in
+  { nfa; dfa; subsets = subset_arr }
+
+let dauto t = Dauto.of_dfa "det" t.dfa
+let subset_of t id = t.subsets.(id)
+
+let state_of_subset t subset =
+  let sorted = List.sort_uniq Int.compare subset in
+  let rec go i =
+    if i >= Array.length t.subsets then None
+    else if t.subsets.(i) = sorted then Some i
+    else go (i + 1)
+  in
+  go 0

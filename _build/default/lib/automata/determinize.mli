@@ -1,0 +1,22 @@
+(** Rabin–Scott powerset determinization over ε-closed subsets
+    (Construction 4.10).
+
+    The DFA's states are the ε-closed subsets of NFA states reachable from
+    the ε-closure of the initial state; a subset accepts iff it contains an
+    accepting NFA state; the transition on [c] is the ε-closure of the set
+    of [c]-successors. *)
+
+type t = private {
+  nfa : Nfa.t;
+  dfa : Dfa.t;
+  subsets : int list array;  (** for each DFA state, its sorted NFA subset *)
+}
+
+val determinize : Nfa.t -> t
+
+val dauto : t -> Dauto.t
+(** The DFA as a generic deterministic automaton (named ["det"]), for
+    trace grammars and parsers. *)
+
+val subset_of : t -> int -> int list
+val state_of_subset : t -> int list -> int option

@@ -1,0 +1,158 @@
+type t = {
+  alphabet : char list;
+  num_states : int;
+  init : int;
+  accepting : bool array;
+  delta : int array array;
+  labels : string array;
+}
+
+let make ~alphabet ~num_states ~init ~accepting ~delta ?labels () =
+  let check_state s =
+    if s < 0 || s >= num_states then
+      invalid_arg (Fmt.str "Dfa.make: state %d out of range" s)
+  in
+  check_state init;
+  List.iter check_state accepting;
+  let acc = Array.make num_states false in
+  List.iter (fun s -> acc.(s) <- true) accepting;
+  let table =
+    Array.init num_states (fun s ->
+        Array.of_list
+          (List.map
+             (fun c ->
+               let s' = delta s c in
+               check_state s';
+               s')
+             alphabet))
+  in
+  let labels =
+    match labels with
+    | Some ls ->
+      if Array.length ls <> num_states then
+        invalid_arg "Dfa.make: label array length mismatch";
+      ls
+    | None -> Array.init num_states string_of_int
+  in
+  { alphabet; num_states; init; accepting = acc; delta = table; labels }
+
+let char_index d c =
+  let rec go i = function
+    | [] -> None
+    | c' :: rest -> if Char.equal c c' then Some i else go (i + 1) rest
+  in
+  go 0 d.alphabet
+
+let step d s c =
+  match char_index d c with
+  | Some ci -> d.delta.(s).(ci)
+  | None -> invalid_arg (Fmt.str "Dfa.step: %C not in alphabet" c)
+
+let run d w =
+  let state = ref d.init in
+  String.iter (fun c -> state := step d !state c) w;
+  !state
+
+let accepts d w =
+  let ok = String.for_all (fun c -> Option.is_some (char_index d c)) w in
+  ok && d.accepting.(run d w)
+
+let reachable d =
+  let seen = Array.make d.num_states false in
+  let rec visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Array.iter visit d.delta.(s)
+    end
+  in
+  visit d.init;
+  List.filter (fun s -> seen.(s)) (List.init d.num_states Fun.id)
+
+let complement d =
+  {
+    d with
+    accepting = Array.map not d.accepting;
+    labels = Array.map (fun l -> "!" ^ l) d.labels;
+  }
+
+let product op d1 d2 =
+  if d1.alphabet <> d2.alphabet then
+    invalid_arg "Dfa.product: alphabets differ";
+  let n2 = d2.num_states in
+  let encode s1 s2 = (s1 * n2) + s2 in
+  let num_states = d1.num_states * n2 in
+  let accepting =
+    List.filter
+      (fun s -> op d1.accepting.(s / n2) d2.accepting.(s mod n2))
+      (List.init num_states Fun.id)
+  in
+  make ~alphabet:d1.alphabet ~num_states ~init:(encode d1.init d2.init)
+    ~accepting
+    ~delta:(fun s c ->
+      let s1 = s / n2 and s2 = s mod n2 in
+      encode (step d1 s1 c) (step d2 s2 c))
+    ~labels:
+      (Array.init num_states (fun s ->
+           Fmt.str "(%s,%s)" d1.labels.(s / n2) d2.labels.(s mod n2)))
+    ()
+
+let union d1 d2 = product ( || ) d1 d2
+let inter d1 d2 = product ( && ) d1 d2
+
+(* BFS over the product for the shortest distinguishing word. *)
+let counterexample d1 d2 =
+  if d1.alphabet <> d2.alphabet then
+    invalid_arg "Dfa.counterexample: alphabets differ";
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add ((d1.init, d2.init), "") queue;
+  Hashtbl.add seen (d1.init, d2.init) ();
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let (s1, s2), path = Queue.pop queue in
+       if not (Bool.equal d1.accepting.(s1) d2.accepting.(s2)) then begin
+         result := Some path;
+         raise Exit
+       end;
+       List.iter
+         (fun c ->
+           let pair = (step d1 s1 c, step d2 s2 c) in
+           if not (Hashtbl.mem seen pair) then begin
+             Hashtbl.add seen pair ();
+             Queue.add (pair, path ^ String.make 1 c) queue
+           end)
+         d1.alphabet
+     done
+   with Exit -> ());
+  !result
+
+let equivalent d1 d2 = Option.is_none (counterexample d1 d2)
+
+let shortest_accepted d =
+  let seen = Array.make d.num_states false in
+  let queue = Queue.create () in
+  Queue.add (d.init, "") queue;
+  seen.(d.init) <- true;
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let s, path = Queue.pop queue in
+    if d.accepting.(s) then result := Some path
+    else
+      List.iter
+        (fun c ->
+          let s' = step d s c in
+          if not seen.(s') then begin
+            seen.(s') <- true;
+            Queue.add (s', path ^ String.make 1 c) queue
+          end)
+        d.alphabet
+  done;
+  !result
+let is_empty d = not (List.exists (fun s -> d.accepting.(s)) (reachable d))
+
+let pp ppf d =
+  Fmt.pf ppf "@[<v>DFA: %d states, init %d, accepting {%a}@]" d.num_states
+    d.init
+    Fmt.(list ~sep:comma int)
+    (List.filteri (fun i _ -> d.accepting.(i)) (List.init d.num_states Fun.id))

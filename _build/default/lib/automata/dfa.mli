@@ -1,0 +1,58 @@
+(** Deterministic finite automata.
+
+    Total over their alphabet: every state has exactly one successor per
+    character.  [labels] optionally records what each state "means" (e.g.
+    the ε-closed subset it came from during determinization, or the
+    Brzozowski derivative). *)
+
+type t = private {
+  alphabet : char list;
+  num_states : int;
+  init : int;
+  accepting : bool array;
+  delta : int array array;   (** [delta.(s).(ci)] with [ci] the index of the
+                                 character in [alphabet] *)
+  labels : string array;     (** human-readable state labels *)
+}
+
+val make :
+  alphabet:char list ->
+  num_states:int ->
+  init:int ->
+  accepting:int list ->
+  delta:(int -> char -> int) ->
+  ?labels:string array ->
+  unit ->
+  t
+
+val char_index : t -> char -> int option
+val step : t -> int -> char -> int
+(** Raises [Invalid_argument] if the character is outside the alphabet. *)
+
+val accepts : t -> string -> bool
+(** Characters outside the alphabet reject. *)
+
+val run : t -> string -> int
+(** Final state after consuming the whole string (alphabet chars only). *)
+
+val reachable : t -> int list
+(** States reachable from the initial state. *)
+
+val complement : t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+(** Product constructions; both arguments must share an alphabet. *)
+
+val equivalent : t -> t -> bool
+(** Exact language equivalence via the product construction. *)
+
+val counterexample : t -> t -> string option
+(** Shortest word on which the two automata disagree, if any. *)
+
+val is_empty : t -> bool
+(** No reachable accepting state. *)
+
+val shortest_accepted : t -> string option
+(** A shortest accepted word ([None] iff the language is empty). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+module Regex = Lambekd_regex.Regex
+(* R.(i).(j) after round k: regex for paths i → j with intermediate states
+   numbered < k.  Standard dynamic programming (McNaughton–Yamada). *)
+let to_regex (d : Dfa.t) =
+  let n = d.Dfa.num_states in
+  let r = Array.make_matrix n n Regex.empty in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun c ->
+        let j = Dfa.step d i c in
+        r.(i).(j) <- Regex.alt r.(i).(j) (Regex.chr c))
+      d.Dfa.alphabet;
+    r.(i).(i) <- Regex.alt r.(i).(i) Regex.eps
+  done;
+  for k = 0 to n - 1 do
+    let prev = Array.map Array.copy r in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        r.(i).(j) <-
+          Regex.alt prev.(i).(j)
+            (Regex.seq prev.(i).(k)
+               (Regex.seq (Regex.star prev.(k).(k)) prev.(k).(j)))
+      done
+    done
+  done;
+  Regex.alt_list
+    (List.filter_map
+       (fun f -> if d.Dfa.accepting.(f) then Some r.(d.Dfa.init).(f) else None)
+       (List.init n Fun.id))

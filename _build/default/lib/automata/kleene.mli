@@ -1,0 +1,10 @@
+(** Kleene's theorem, automaton-to-regex direction (state elimination).
+
+    Closes the loop regex → NFA → DFA → regex: together with Thompson's
+    construction and determinization this witnesses, executably, that the
+    three formalisms have the same weak generative capacity. *)
+
+val to_regex : Dfa.t -> Lambekd_regex.Regex.t
+(** A regular expression for the DFA's language, by the transitive-closure
+    construction [R_ij^k] with the library's simplifying smart
+    constructors. *)

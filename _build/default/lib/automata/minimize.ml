@@ -1,0 +1,68 @@
+(* Trim to reachable states, then refine the accepting/rejecting partition
+   by successor-block signatures until stable. *)
+let minimize (d : Dfa.t) =
+  let reachable = Dfa.reachable d in
+  let block = Hashtbl.create 16 in
+  List.iter
+    (fun s -> Hashtbl.replace block s (if d.Dfa.accepting.(s) then 1 else 0))
+    reachable;
+  let stable = ref false in
+  while not !stable do
+    let signature s =
+      ( Hashtbl.find block s,
+        List.map (fun c -> Hashtbl.find block (Dfa.step d s c)) d.Dfa.alphabet )
+    in
+    let fresh = Hashtbl.create 16 in
+    let next_block = ref 0 in
+    let assignment = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let sg = signature s in
+        let b =
+          match Hashtbl.find_opt fresh sg with
+          | Some b -> b
+          | None ->
+            let b = !next_block in
+            incr next_block;
+            Hashtbl.replace fresh sg b;
+            b
+        in
+        Hashtbl.replace assignment s b)
+      reachable;
+    stable :=
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun s' ->
+              Bool.equal
+                (Hashtbl.find block s = Hashtbl.find block s')
+                (Hashtbl.find assignment s = Hashtbl.find assignment s'))
+            reachable)
+        reachable;
+    Hashtbl.reset block;
+    List.iter (fun s -> Hashtbl.replace block s (Hashtbl.find assignment s))
+      reachable
+  done;
+  let repr = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let b = Hashtbl.find block s in
+      if not (Hashtbl.mem repr b) then Hashtbl.replace repr b s)
+    reachable;
+  let num_states = Hashtbl.length repr in
+  let accepting =
+    List.filter_map
+      (fun b ->
+        let s = Hashtbl.find repr b in
+        if d.Dfa.accepting.(s) then Some b else None)
+      (List.init num_states Fun.id)
+  in
+  Dfa.make ~alphabet:d.Dfa.alphabet ~num_states
+    ~init:(Hashtbl.find block d.Dfa.init) ~accepting
+    ~delta:(fun b c ->
+      let s = Hashtbl.find repr b in
+      Hashtbl.find block (Dfa.step d s c))
+    ()
+
+let is_minimal d =
+  (minimize d).Dfa.num_states = d.Dfa.num_states

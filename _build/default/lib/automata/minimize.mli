@@ -1,0 +1,10 @@
+(** DFA minimization by partition refinement (Moore's algorithm).
+
+    An extension beyond the paper's constructions: minimal DFAs make the
+    determinization benches comparable across pipelines and give a
+    canonical form for language-equivalence tests. *)
+
+val minimize : Dfa.t -> Dfa.t
+(** Reachable-trimmed minimal automaton recognizing the same language. *)
+
+val is_minimal : Dfa.t -> bool

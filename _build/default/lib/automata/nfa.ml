@@ -1,0 +1,113 @@
+type t = {
+  alphabet : char list;
+  num_states : int;
+  init : int;
+  accepting : bool array;
+  transitions : (int * char * int) array;
+  eps : (int * int) array;
+}
+
+let make ~alphabet ~num_states ~init ~accepting ~transitions ~eps =
+  let check_state s =
+    if s < 0 || s >= num_states then
+      invalid_arg (Fmt.str "Nfa.make: state %d out of range" s)
+  in
+  check_state init;
+  List.iter check_state accepting;
+  List.iter
+    (fun (src, c, dst) ->
+      check_state src;
+      check_state dst;
+      if not (List.mem c alphabet) then
+        invalid_arg (Fmt.str "Nfa.make: label %C not in alphabet" c))
+    transitions;
+  List.iter
+    (fun (src, dst) ->
+      check_state src;
+      check_state dst)
+    eps;
+  let acc = Array.make num_states false in
+  List.iter (fun s -> acc.(s) <- true) accepting;
+  { alphabet; num_states; init; accepting = acc;
+    transitions = Array.of_list transitions; eps = Array.of_list eps }
+
+let transitions_from n s =
+  let out = ref [] in
+  Array.iteri
+    (fun id ((src, _, _) as tr) -> if src = s then out := (id, tr) :: !out)
+    n.transitions;
+  List.rev !out
+
+let eps_from n s =
+  let out = ref [] in
+  Array.iteri
+    (fun id ((src, _) as tr) -> if src = s then out := (id, tr) :: !out)
+    n.eps;
+  List.rev !out
+
+module Iset = Set.Make (Int)
+
+let closure_iset n set =
+  let rec go frontier seen =
+    if Iset.is_empty frontier then seen
+    else
+      let next =
+        Iset.fold
+          (fun s acc ->
+            Array.fold_left
+              (fun acc (src, dst) -> if src = s then Iset.add dst acc else acc)
+              acc n.eps)
+          frontier Iset.empty
+      in
+      let fresh = Iset.diff next seen in
+      go fresh (Iset.union seen fresh)
+  in
+  go set set
+
+let eps_closure n set = Iset.elements (closure_iset n (Iset.of_list set))
+
+let step_set n set c =
+  Iset.fold
+    (fun s acc ->
+      Array.fold_left
+        (fun acc (src, c', dst) ->
+          if src = s && Char.equal c c' then Iset.add dst acc else acc)
+        acc n.transitions)
+    set Iset.empty
+
+let accepts n w =
+  let current = ref (closure_iset n (Iset.singleton n.init)) in
+  String.iter
+    (fun c -> current := closure_iset n (step_set n !current c))
+    w;
+  Iset.exists (fun s -> n.accepting.(s)) !current
+
+let has_eps_cycle n =
+  (* DFS over the ε-graph with colors: 0 unvisited, 1 on stack, 2 done *)
+  let color = Array.make n.num_states 0 in
+  let succ s =
+    Array.to_list n.eps
+    |> List.filter_map (fun (src, dst) -> if src = s then Some dst else None)
+  in
+  let rec visit s =
+    if color.(s) = 1 then true
+    else if color.(s) = 2 then false
+    else begin
+      color.(s) <- 1;
+      let cyclic = List.exists visit (succ s) in
+      color.(s) <- 2;
+      cyclic
+    end
+  in
+  let rec any s = s < n.num_states && (visit s || any (s + 1)) in
+  any 0
+
+let pp ppf n =
+  Fmt.pf ppf "@[<v>NFA: %d states, init %d, accepting {%a}@,labels: %a@,eps: %a@]"
+    n.num_states n.init
+    Fmt.(list ~sep:comma int)
+    (List.filteri (fun i _ -> n.accepting.(i)) (List.init n.num_states Fun.id))
+    Fmt.(array ~sep:sp (fun ppf (s, c, d) -> Fmt.pf ppf "%d-%C->%d" s c d))
+    n.transitions
+    Fmt.(array ~sep:sp (fun ppf (s, d) -> Fmt.pf ppf "%d-ε->%d" s d))
+    n.eps

@@ -1,0 +1,42 @@
+(** Non-deterministic finite automata with ε-transitions.
+
+    States are integers [0 .. num_states-1].  Labeled and ε-transitions are
+    stored in arrays and carry stable identifiers (their array indices),
+    which tag the constructors of the trace grammar (Fig 11) and drive the
+    deterministic disambiguation strategy of Construction 4.10. *)
+
+type t = private {
+  alphabet : char list;
+  num_states : int;
+  init : int;
+  accepting : bool array;
+  transitions : (int * char * int) array;  (** (source, label, target) *)
+  eps : (int * int) array;                 (** (source, target) *)
+}
+
+val make :
+  alphabet:char list ->
+  num_states:int ->
+  init:int ->
+  accepting:int list ->
+  transitions:(int * char * int) list ->
+  eps:(int * int) list ->
+  t
+(** Validates state bounds and label membership in the alphabet. *)
+
+val transitions_from : t -> int -> (int * (int * char * int)) list
+(** Labeled transitions out of a state, with their identifiers. *)
+
+val eps_from : t -> int -> (int * (int * int)) list
+
+val eps_closure : t -> int list -> int list
+(** ε-closure of a set of states, as a sorted list without duplicates. *)
+
+val accepts : t -> string -> bool
+(** Subset-simulation membership. *)
+
+val has_eps_cycle : t -> bool
+(** Whether some ε-path revisits a state; such NFAs have infinitely many
+    traces for some strings. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,240 @@
+(* Ambiguity of ε-NFAs at the trace level (two traces are distinct when
+   their transition-identifier sequences differ, matching Fig 11's trace
+   grammar).
+
+   Algorithm:
+   1. Trim to states on some accepting path.
+   2. If the trimmed automaton has an ε-cycle, some word has infinitely
+      many traces: ambiguous.
+   3. Otherwise the ε-graph is a DAG.  Group a trace into macro-steps
+      (ε-path, labeled transition) plus a final ε-path into acceptance.
+      Two traces over the same word are equal iff all macro-steps and the
+      final path coincide, so ambiguity reduces to reachability in a
+      product: either a single state has ≥ 2 macro-steps on some
+      character pair-able into distinct continuations, or two diverged
+      states both complete.  Path counts are capped at 2 — only
+      "zero / one / many" matters. *)
+
+let cap2 n = min n 2
+
+(* restrict to states reachable from init and co-reachable to accepting *)
+let trimmed_states (n : Nfa.t) =
+  let forward = Array.make n.Nfa.num_states false in
+  let rec fwd s =
+    if not forward.(s) then begin
+      forward.(s) <- true;
+      Array.iter (fun (src, _, dst) -> if src = s then fwd dst) n.Nfa.transitions;
+      Array.iter (fun (src, dst) -> if src = s then fwd dst) n.Nfa.eps
+    end
+  in
+  fwd n.Nfa.init;
+  let backward = Array.make n.Nfa.num_states false in
+  let rec bwd s =
+    if not backward.(s) then begin
+      backward.(s) <- true;
+      Array.iter (fun (src, _, dst) -> if dst = s then bwd src) n.Nfa.transitions;
+      Array.iter (fun (src, dst) -> if dst = s then bwd src) n.Nfa.eps
+    end
+  in
+  Array.iteri (fun s acc -> if acc then bwd s) n.Nfa.accepting;
+  Array.init n.Nfa.num_states (fun s -> forward.(s) && backward.(s))
+
+let has_trimmed_eps_cycle (n : Nfa.t) alive =
+  let color = Array.make n.Nfa.num_states 0 in
+  let succ s =
+    Array.to_list n.Nfa.eps
+    |> List.filter_map (fun (src, dst) ->
+           if src = s && alive.(dst) then Some dst else None)
+  in
+  let rec visit s =
+    if color.(s) = 1 then true
+    else if color.(s) = 2 then false
+    else begin
+      color.(s) <- 1;
+      let cyclic = List.exists visit (succ s) in
+      color.(s) <- 2;
+      cyclic
+    end
+  in
+  let rec any s =
+    s < n.Nfa.num_states && ((alive.(s) && visit s) || any (s + 1))
+  in
+  any 0
+
+type analysis = {
+  final_count : int array;
+      (* ε-paths into acceptance per state, capped at 2 *)
+  macro : (char * (int * int) list) list array;
+      (* macro.(p) for char c: (dst, multiplicity capped at 2) list *)
+}
+
+let analyze (n : Nfa.t) alive =
+  let num = n.Nfa.num_states in
+  (* DAG path counting by memoized DFS *)
+  let eps_paths = Array.make_matrix num num (-1) in
+  let rec paths p q =
+    if not (alive.(p) && alive.(q)) then 0
+    else if eps_paths.(p).(q) >= 0 then eps_paths.(p).(q)
+    else begin
+      eps_paths.(p).(q) <- 0 (* provisional; DAG so no true cycles *);
+      let total = if p = q then 1 else 0 in
+      let total =
+        Array.fold_left
+          (fun acc (src, dst) ->
+            if src = p && alive.(dst) then acc + paths dst q else acc)
+          total n.Nfa.eps
+      in
+      eps_paths.(p).(q) <- cap2 total;
+      cap2 total
+    end
+  in
+  for p = 0 to num - 1 do
+    for q = 0 to num - 1 do
+      ignore (paths p q)
+    done
+  done;
+  let final_count =
+    Array.init num (fun p ->
+        cap2
+          (Array.to_list (Array.init num Fun.id)
+          |> List.filter (fun f -> n.Nfa.accepting.(f) && alive.(f))
+          |> List.fold_left (fun acc f -> acc + eps_paths.(p).(f)) 0))
+  in
+  let macro =
+    Array.init num (fun p ->
+        List.map
+          (fun c ->
+            let by_dst = Hashtbl.create 4 in
+            Array.iter
+              (fun (src, c', dst) ->
+                if Char.equal c c' && alive.(src) && alive.(dst) then begin
+                  let routes = eps_paths.(p).(src) in
+                  if routes > 0 then
+                    Hashtbl.replace by_dst dst
+                      (cap2
+                         (routes
+                         + Option.value (Hashtbl.find_opt by_dst dst)
+                             ~default:0))
+                end)
+              n.Nfa.transitions;
+            (c, Hashtbl.fold (fun dst m acc -> (dst, m) :: acc) by_dst []))
+          n.Nfa.alphabet)
+  in
+  { final_count; macro }
+
+type config = Undiv of int | Div of int * int
+
+let normalize = function
+  | Div (p, q) when p > q -> Div (q, p)
+  | c -> c
+
+(* Exact witness in the ε-cycle case: a word has infinitely many traces
+   iff some accepting run visits a state lying on a live ε-cycle.  Build
+   the automaton annotated with "visited such a state", and ask for its
+   shortest accepted word. *)
+let cycle_witness (n : Nfa.t) alive =
+  (* states on a live ε-cycle: s with a nonempty ε-path back to itself *)
+  let num = n.Nfa.num_states in
+  let reach = Array.make_matrix num num false in
+  Array.iter
+    (fun (src, dst) -> if alive.(src) && alive.(dst) then reach.(src).(dst) <- true)
+    n.Nfa.eps;
+  for k = 0 to num - 1 do
+    for i = 0 to num - 1 do
+      for j = 0 to num - 1 do
+        if reach.(i).(k) && reach.(k).(j) then reach.(i).(j) <- true
+      done
+    done
+  done;
+  let on_cycle s = reach.(s).(s) in
+  (* annotated state: s + num * flag *)
+  let enc s flag = if flag then s + num else s in
+  let annotate src dst base_flag =
+    (* moving src→dst: the flag absorbs both endpoints *)
+    enc dst (base_flag || on_cycle src || on_cycle dst)
+  in
+  let transitions =
+    List.concat_map
+      (fun flag ->
+        Array.to_list n.Nfa.transitions
+        |> List.map (fun (src, c, dst) ->
+               (enc src flag, c, annotate src dst flag)))
+      [ false; true ]
+  in
+  let eps =
+    List.concat_map
+      (fun flag ->
+        Array.to_list n.Nfa.eps
+        |> List.map (fun (src, dst) -> (enc src flag, annotate src dst flag)))
+      [ false; true ]
+  in
+  let accepting =
+    List.filter_map
+      (fun f -> if n.Nfa.accepting.(f) then Some (enc f true) else None)
+      (List.init num Fun.id)
+  in
+  let annotated =
+    Nfa.make ~alphabet:n.Nfa.alphabet ~num_states:(2 * num)
+      ~init:(enc n.Nfa.init (on_cycle n.Nfa.init))
+      ~accepting ~transitions ~eps
+  in
+  let det = Determinize.determinize annotated in
+  Dfa.shortest_accepted det.Determinize.dfa
+
+let search (n : Nfa.t) =
+  let alive = trimmed_states n in
+  if not alive.(n.Nfa.init) then None
+  else if has_trimmed_eps_cycle n alive then cycle_witness n alive
+  else begin
+    let a = analyze n alive in
+    let seen = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let push config word =
+      let config = normalize config in
+      if not (Hashtbl.mem seen config) then begin
+        Hashtbl.add seen config ();
+        Queue.add (config, word) queue
+      end
+    in
+    push (Undiv n.Nfa.init) "";
+    let witness = ref None in
+    while !witness = None && not (Queue.is_empty queue) do
+      let config, word = Queue.pop queue in
+      let accepting_here =
+        match config with
+        | Undiv p -> a.final_count.(p) >= 2
+        | Div (p, q) -> a.final_count.(p) >= 1 && a.final_count.(q) >= 1
+      in
+      if accepting_here then witness := Some word
+      else begin
+        match config with
+        | Undiv p ->
+          List.iter
+            (fun (c, steps) ->
+              let word' = word ^ String.make 1 c in
+              List.iter (fun (dst, _) -> push (Undiv dst) word') steps;
+              List.iter
+                (fun (d1, m1) ->
+                  List.iter
+                    (fun (d2, _) -> if d1 < d2 then push (Div (d1, d2)) word')
+                    steps;
+                  if m1 >= 2 then push (Div (d1, d1)) word')
+                steps)
+            a.macro.(p)
+        | Div (p, q) ->
+          List.iter
+            (fun (c, steps_p) ->
+              let steps_q = List.assoc c a.macro.(q) in
+              let word' = word ^ String.make 1 c in
+              List.iter
+                (fun (d1, _) ->
+                  List.iter (fun (d2, _) -> push (Div (d1, d2)) word') steps_q)
+                steps_p)
+            a.macro.(p)
+      end
+    done;
+    !witness
+  end
+
+let ambiguous_word = search
+let ambiguous n = Option.is_some (search n)

@@ -1,0 +1,17 @@
+(** Deciding NFA ambiguity.
+
+    An NFA is ambiguous iff some word has two distinct accepting runs.
+    Decidable by the classical self-product: the NFA is ambiguous iff some
+    pair of {e distinct} states, reachable from the diagonal start by
+    running two copies in lockstep after the runs have diverged, can both
+    reach acceptance.  Used to decide — not merely test — when
+    Construction 4.10's weak equivalence fails to be strong. *)
+
+val ambiguous : Nfa.t -> bool
+(** Exact decision.  ε-transitions are supported; a word with two distinct
+    trace {e paths} (including distinct ε-routings) counts as ambiguous,
+    matching the trace-grammar semantics of Fig 11. *)
+
+val ambiguous_word : Nfa.t -> string option
+(** A witness word with at least two distinct traces, if any (shortest
+    within its witness class). *)

@@ -1,0 +1,110 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module P = G.Ptree
+module I = G.Index
+module T = G.Transformer
+
+type t = {
+  nfa : Nfa.t;
+  trace_def : Gr.def;
+}
+
+let stop_tag = I.S "stop"
+let cons_tag id = I.P (I.S "cons", I.N id)
+let eps_tag id = I.P (I.S "eps", I.N id)
+
+let make (nfa : Nfa.t) =
+  let trace_def = Gr.declare "nfa_trace" in
+  Gr.set_rules trace_def (fun ix ->
+      match ix with
+      | I.N s ->
+        let stop = if nfa.Nfa.accepting.(s) then [ (stop_tag, Gr.eps) ] else [] in
+        let conses =
+          List.map
+            (fun (id, (_, c, dst)) ->
+              (cons_tag id, Gr.seq (Gr.chr c) (Gr.ref_ trace_def (I.N dst))))
+            (Nfa.transitions_from nfa s)
+        in
+        let epses =
+          List.map
+            (fun (id, (_, dst)) -> (eps_tag id, Gr.ref_ trace_def (I.N dst)))
+            (Nfa.eps_from nfa s)
+        in
+        Gr.alt (stop @ conses @ epses)
+      | _ -> invalid_arg "Nfa_trace: state index must be an integer")
+  ;
+  { nfa; trace_def }
+
+let trace_name = "nfa_trace"
+let stop _t = P.Roll (trace_name, P.Inj (stop_tag, P.Eps))
+
+let cons _t id c rest =
+  P.Roll (trace_name, P.Inj (cons_tag id, P.Pair (P.Tok c, rest)))
+
+let epsc _t id rest = P.Roll (trace_name, P.Inj (eps_tag id, rest))
+let trace_grammar t s = Gr.ref_ t.trace_def (I.N s)
+let parses_grammar t = trace_grammar t t.nfa.Nfa.init
+
+(* Ordered DFS for the least accepting trace.  ε-loops are avoided by
+   remembering the states visited since the last consumed character. *)
+let parse t w =
+  let nfa = t.nfa in
+  let n = String.length w in
+  let module Iset = Set.Make (Int) in
+  let rec go s k eps_seen =
+    if k = n && nfa.Nfa.accepting.(s) then Some (stop t)
+    else
+      let labeled () =
+        List.find_map
+          (fun (id, (_, c, dst)) ->
+            if k < n && Char.equal c w.[k] then
+              Option.map (cons t id c) (go dst (k + 1) Iset.empty)
+            else None)
+          (Nfa.transitions_from nfa s)
+      in
+      let epsilons () =
+        List.find_map
+          (fun (id, (_, dst)) ->
+            if Iset.mem dst eps_seen then None
+            else Option.map (epsc t id) (go dst k (Iset.add dst eps_seen)))
+          (Nfa.eps_from nfa s)
+      in
+      match labeled () with Some tr -> Some tr | None -> epsilons ()
+  in
+  go nfa.Nfa.init 0 (Iset.singleton nfa.Nfa.init)
+
+(* Structural NtoD: an accepting NFA trace from s, viewed at a DFA subset
+   state containing s, maps to the accepting DFA trace of the same word. *)
+let nto_d _t (d : Dauto.t) =
+  T.make "NtoD" (fun trace ->
+      let rec go trace x =
+        let _, body = P.as_roll trace in
+        let tag, payload = P.as_inj body in
+        match tag with
+        | I.S "stop" ->
+          P.Roll (d.Dauto.name ^ "_trace", P.Inj (Dauto.stop_tag, P.Eps))
+        | I.P (I.S "cons", _) ->
+          let char_parse, rest = P.as_pair payload in
+          let c =
+            match char_parse with
+            | P.Tok c -> c
+            | _ -> invalid_arg "NtoD: malformed cons"
+          in
+          let x' = d.Dauto.step x c in
+          P.Roll
+            ( d.Dauto.name ^ "_trace",
+              P.Inj (I.C c, P.Pair (P.Tok c, go rest x')) )
+        | I.P (I.S "eps", _) -> go payload x
+        | _ -> invalid_arg "NtoD: malformed trace"
+      in
+      let dfa_trace = go trace d.Dauto.init in
+      dfa_trace)
+
+let dto_n t =
+  T.make "DtoN" (fun dfa_trace ->
+      match parse t (P.yield dfa_trace) with
+      | Some nfa_trace -> nfa_trace
+      | None ->
+        invalid_arg
+          "DtoN: accepting DFA trace over a word the NFA rejects \
+           (automata do not correspond)")

@@ -1,0 +1,48 @@
+(** Traces of an NFA as an indexed inductive linear type (Fig 11).
+
+    [Trace_N s] has constructors [stop] (at accepting states), one [cons]
+    per labeled transition, and one [εcons] per ε-transition; constructors
+    are tagged by transition identifiers, which also provide the global
+    disambiguation ordering used by the choice function of
+    Construction 4.10 ("choose the smallest trace"). *)
+
+module G := Lambekd_grammar
+
+type t = private {
+  nfa : Nfa.t;
+  trace_def : G.Grammar.def;
+}
+
+val make : Nfa.t -> t
+
+(** {1 Trace trees} *)
+
+val stop : t -> G.Ptree.t
+val cons : t -> int -> char -> G.Ptree.t -> G.Ptree.t
+(** [cons t id c rest]: extend by labeled transition [id]. *)
+
+val epsc : t -> int -> G.Ptree.t -> G.Ptree.t
+
+val trace_grammar : t -> int -> G.Grammar.t
+(** [Trace_N s]: accepting traces from state [s]. *)
+
+val parses_grammar : t -> G.Grammar.t
+(** [Parse_N = Trace_N init]. *)
+
+val parse : t -> string -> G.Ptree.t option
+(** Least accepting trace of the word under the transition ordering
+    (ordered depth-first search avoiding ε-loops); [None] if the word is
+    not accepted.  This is the choice function used by [DtoN]. *)
+
+(** {1 Construction 4.10 transformers (weak equivalence with the DFA)} *)
+
+val nto_d : t -> Dauto.t -> G.Transformer.t
+(** Structural map from an accepting NFA trace to the accepting DFA trace
+    over the same string: [cons] steps follow the subset transition,
+    [εcons] steps are erased.  The target automaton must be the
+    determinization of [t.nfa]. *)
+
+val dto_n : t -> G.Transformer.t
+(** From an accepting DFA trace back to an NFA trace of the same string,
+    via the least-trace choice function.  Partial inverse of {!nto_d} up to
+    weak equivalence (Construction 4.10 gives only weak equivalence). *)

@@ -1,0 +1,59 @@
+module R = Lambekd_regex.Regex
+module An = Lambekd_regex.Antimirov
+
+type t = {
+  regex : R.t;
+  nfa : Nfa.t;
+  states : R.t array;
+}
+
+module Rmap = Map.Make (struct
+  type t = R.t
+
+  let compare = R.compare
+end)
+
+let compile ?alphabet regex =
+  let alphabet =
+    match alphabet with Some cs -> cs | None -> R.chars regex
+  in
+  let numbering = ref (Rmap.singleton regex 0) in
+  let states = ref [ regex ] in
+  let count = ref 1 in
+  let transitions = ref [] in
+  let queue = Queue.create () in
+  Queue.add (regex, 0) queue;
+  while not (Queue.is_empty queue) do
+    let state, id = Queue.pop queue in
+    List.iter
+      (fun c ->
+        R.Set.iter
+          (fun derivative ->
+            let target =
+              match Rmap.find_opt derivative !numbering with
+              | Some id' -> id'
+              | None ->
+                let id' = !count in
+                incr count;
+                numbering := Rmap.add derivative id' !numbering;
+                states := derivative :: !states;
+                Queue.add (derivative, id') queue;
+                id'
+            in
+            transitions := (id, c, target) :: !transitions)
+          (An.partial_derivative c state))
+      alphabet
+  done;
+  let states_arr = Array.make !count R.empty in
+  Rmap.iter (fun r id -> states_arr.(id) <- r) !numbering;
+  let accepting =
+    List.filter
+      (fun id -> R.nullable states_arr.(id))
+      (List.init !count Fun.id)
+  in
+  let nfa =
+    Nfa.make ~alphabet ~num_states:!count ~init:0 ~accepting
+      ~transitions:(List.rev !transitions)
+      ~eps:[]
+  in
+  { regex; nfa; states = states_arr }

@@ -1,0 +1,19 @@
+(** The Antimirov partial-derivative NFA.
+
+    An alternative to Thompson's construction: states are the partial
+    derivatives of the regex (at most [size r + 1] of them), with no
+    ε-transitions at all.  Used as an ablation against Thompson in the
+    determinization benches — fewer, denser states against Thompson's
+    many sparse ones — and as a third independently-constructed automaton
+    for differential testing. *)
+
+type t = private {
+  regex : Lambekd_regex.Regex.t;
+  nfa : Nfa.t;
+  states : Lambekd_regex.Regex.t array;  (** state i is this derivative *)
+}
+
+val compile : ?alphabet:char list -> Lambekd_regex.Regex.t -> t
+(** State 0 is the regex itself; accepting states are the nullable
+    derivatives; a [c]-transition links [r] to each element of
+    [partial_derivative c r]. *)

@@ -1,0 +1,230 @@
+module G = Lambekd_grammar
+module Regex = Lambekd_regex.Regex
+module Gr = G.Grammar
+module P = G.Ptree
+module I = G.Index
+module T = G.Transformer
+
+(* The construction tree: each node records its sub-NFA's entry/exit
+   states and the identifiers of the ε/labeled transitions it introduced.
+   Every subexpression gets fresh entry and exit states wired with explicit
+   ε-transitions, so traces decompose uniquely by transition identifiers
+   and decoding is deterministic. *)
+type node = {
+  entry : int;
+  exit_ : int;
+  shape : shape;
+}
+
+and shape =
+  | Svoid
+  | Seps of int                               (* ε: entry → exit *)
+  | Schr of char * int                        (* labeled: entry → exit *)
+  | Sseq of node * node * int * int * int     (* into, bridge, out *)
+  | Salt of node * node * int * int * int * int
+      (* into_l, into_r, out_l, out_r *)
+  | Sstar of node * int * int * int * int     (* skip, enter, loop, leave *)
+
+type t = {
+  regex : Regex.t;
+  nfa : Nfa.t;
+  traces : Nfa_trace.t;
+  root : node;
+}
+
+let compile ?alphabet regex =
+  let alphabet =
+    match alphabet with Some cs -> cs | None -> Regex.chars regex
+  in
+  let state_count = ref 0 in
+  let fresh_state () =
+    let s = !state_count in
+    incr state_count;
+    s
+  in
+  let transitions = ref [] and trans_count = ref 0 in
+  let eps = ref [] and eps_count = ref 0 in
+  let add_trans src c dst =
+    let id = !trans_count in
+    incr trans_count;
+    transitions := (src, c, dst) :: !transitions;
+    id
+  in
+  let add_eps src dst =
+    let id = !eps_count in
+    incr eps_count;
+    eps := (src, dst) :: !eps;
+    id
+  in
+  let rec build (r : Regex.t) =
+    let entry = fresh_state () in
+    let exit_ = fresh_state () in
+    let shape =
+      match r with
+      | Empty -> Svoid
+      | Eps -> Seps (add_eps entry exit_)
+      | Chr c -> Schr (c, add_trans entry c exit_)
+      | Seq (a, b) ->
+        let left = build a in
+        let right = build b in
+        let into = add_eps entry left.entry in
+        let bridge = add_eps left.exit_ right.entry in
+        let out = add_eps right.exit_ exit_ in
+        Sseq (left, right, into, bridge, out)
+      | Alt (a, b) ->
+        let left = build a in
+        let right = build b in
+        let into_l = add_eps entry left.entry in
+        let into_r = add_eps entry right.entry in
+        let out_l = add_eps left.exit_ exit_ in
+        let out_r = add_eps right.exit_ exit_ in
+        Salt (left, right, into_l, into_r, out_l, out_r)
+      | Star a ->
+        let body = build a in
+        let skip = add_eps entry exit_ in
+        let enter = add_eps entry body.entry in
+        let loop = add_eps body.exit_ body.entry in
+        let leave = add_eps body.exit_ exit_ in
+        Sstar (body, skip, enter, loop, leave)
+    in
+    { entry; exit_; shape }
+  in
+  let root = build regex in
+  let nfa =
+    Nfa.make ~alphabet ~num_states:!state_count ~init:root.entry
+      ~accepting:[ root.exit_ ]
+      ~transitions:(List.rev !transitions)
+      ~eps:(List.rev !eps)
+  in
+  { regex; nfa; traces = Nfa_trace.make nfa; root }
+
+(* --- encoding: regex parse trees to traces ------------------------------- *)
+
+let star_nil = P.Roll ("star", P.Inj (Gr.star_nil_tag, P.Eps))
+let star_cons hd tl = P.Roll ("star", P.Inj (Gr.star_cons_tag, P.Pair (hd, tl)))
+
+let encode t =
+  let tr = t.traces in
+  let rec enc node p k =
+    match node.shape, (p : P.t) with
+    | Svoid, _ -> invalid_arg "Thompson.encode: parse of the empty grammar"
+    | Seps id, P.Eps -> Nfa_trace.epsc tr id k
+    | Schr (c, id), P.Tok c' when Char.equal c c' ->
+      Nfa_trace.cons tr id c k
+    | Sseq (l, r, into, bridge, out), P.Pair (lp, rp) ->
+      Nfa_trace.epsc tr into
+        (enc l lp (Nfa_trace.epsc tr bridge (enc r rp (Nfa_trace.epsc tr out k))))
+    | Salt (l, r, into_l, into_r, out_l, out_r), P.Inj (tag, p') ->
+      if I.equal tag Gr.inl_tag then
+        Nfa_trace.epsc tr into_l (enc l p' (Nfa_trace.epsc tr out_l k))
+      else
+        Nfa_trace.epsc tr into_r (enc r p' (Nfa_trace.epsc tr out_r k))
+    | Sstar (body, skip, enter, loop, leave), p ->
+      let unroll p =
+        let _, b = P.as_roll p in
+        P.as_inj b
+      in
+      let rec chain hd rest =
+        enc body hd
+          (match unroll rest with
+           | tag, _ when I.equal tag Gr.star_nil_tag ->
+             Nfa_trace.epsc tr leave k
+           | tag, P.Pair (hd', rest') when I.equal tag Gr.star_cons_tag ->
+             Nfa_trace.epsc tr loop (chain hd' rest')
+           | _ -> invalid_arg "Thompson.encode: malformed star parse")
+      in
+      (match unroll p with
+       | tag, _ when I.equal tag Gr.star_nil_tag -> Nfa_trace.epsc tr skip k
+       | tag, P.Pair (hd, rest) when I.equal tag Gr.star_cons_tag ->
+         Nfa_trace.epsc tr enter (chain hd rest)
+       | _ -> invalid_arg "Thompson.encode: malformed star parse")
+    | (Seps _ | Schr _ | Sseq _ | Salt _), _ ->
+      invalid_arg
+        (Fmt.str "Thompson.encode: parse %a does not fit construction" P.pp p)
+  in
+  T.make "thompson-encode" (fun p -> enc t.root p (Nfa_trace.stop t.traces))
+
+(* --- decoding: traces back to regex parse trees --------------------------- *)
+
+exception Decode_error of string
+
+let un_trace trace =
+  let _, body = P.as_roll trace in
+  P.as_inj body
+
+let expect_eps id trace =
+  match un_trace trace with
+  | I.P (I.S "eps", I.N id'), rest when id' = id -> rest
+  | tag, _ ->
+    raise
+      (Decode_error (Fmt.str "expected ε-transition %d, found %a" id I.pp tag))
+
+let expect_cons id trace =
+  match un_trace trace with
+  | I.P (I.S "cons", I.N id'), P.Pair (P.Tok c, rest) when id' = id -> (c, rest)
+  | tag, _ ->
+    raise
+      (Decode_error
+         (Fmt.str "expected labeled transition %d, found %a" id I.pp tag))
+
+let expect_stop trace =
+  match un_trace trace with
+  | I.S "stop", P.Eps -> ()
+  | tag, _ ->
+    raise (Decode_error (Fmt.str "expected stop, found %a" I.pp tag))
+
+let decode t =
+  let rec dec node trace =
+    match node.shape with
+    | Svoid -> raise (Decode_error "trace through the empty grammar")
+    | Seps id -> (P.Eps, expect_eps id trace)
+    | Schr (c, id) ->
+      let c', rest = expect_cons id trace in
+      if not (Char.equal c c') then
+        raise (Decode_error "label mismatch");
+      (P.Tok c, rest)
+    | Sseq (l, r, into, bridge, out) ->
+      let trace = expect_eps into trace in
+      let lp, trace = dec l trace in
+      let trace = expect_eps bridge trace in
+      let rp, trace = dec r trace in
+      (P.Pair (lp, rp), expect_eps out trace)
+    | Salt (l, r, into_l, into_r, out_l, out_r) -> (
+      match un_trace trace with
+      | I.P (I.S "eps", I.N id), rest when id = into_l ->
+        let p, rest = dec l rest in
+        (P.Inj (Gr.inl_tag, p), expect_eps out_l rest)
+      | I.P (I.S "eps", I.N id), rest when id = into_r ->
+        let p, rest = dec r rest in
+        (P.Inj (Gr.inr_tag, p), expect_eps out_r rest)
+      | tag, _ ->
+        raise (Decode_error (Fmt.str "alt: unexpected %a" I.pp tag)))
+    | Sstar (body, skip, enter, loop, leave) -> (
+      match un_trace trace with
+      | I.P (I.S "eps", I.N id), rest when id = skip -> (star_nil, rest)
+      | I.P (I.S "eps", I.N id), rest when id = enter ->
+        let rec chain trace =
+          let p, trace = dec body trace in
+          match un_trace trace with
+          | I.P (I.S "eps", I.N id), rest when id = loop ->
+            let tail, rest = chain rest in
+            (star_cons p tail, rest)
+          | I.P (I.S "eps", I.N id), rest when id = leave ->
+            (star_cons p star_nil, rest)
+          | tag, _ ->
+            raise (Decode_error (Fmt.str "star: unexpected %a" I.pp tag))
+        in
+        chain rest
+      | tag, _ ->
+        raise (Decode_error (Fmt.str "star: unexpected %a" I.pp tag)))
+  in
+  T.make "thompson-decode" (fun trace ->
+      let p, rest = dec t.root trace in
+      expect_stop rest;
+      p)
+
+let equivalence t =
+  G.Equivalence.make
+    ~source:(Regex.to_grammar t.regex)
+    ~target:(Nfa_trace.parses_grammar t.traces)
+    ~fwd:(encode t) ~bwd:(decode t)

@@ -1,0 +1,35 @@
+(** Thompson's construction (Construction 4.11).
+
+    Compiles a regular expression to an ε-NFA whose accepting traces are
+    {e strongly} equivalent to the regex viewed as a grammar: {!encode} and
+    {!decode} are mutually inverse parse transformers between regex parse
+    trees and NFA traces.  The construction tree (sub-NFA entry/exit states
+    and the identifiers of the ε-transitions it introduced) is retained so
+    that decoding is deterministic structural recursion, not search. *)
+
+module G := Lambekd_grammar
+module Regex := Lambekd_regex.Regex
+
+type node
+(** Construction-tree node: sub-NFA entry/exit plus transition ids. *)
+
+type t = private {
+  regex : Regex.t;
+  nfa : Nfa.t;
+  traces : Nfa_trace.t;
+  root : node;
+}
+
+val compile : ?alphabet:char list -> Regex.t -> t
+(** One fresh entry and exit state per subexpression; the NFA's initial
+    state is the root entry, the unique accepting state the root exit. *)
+
+val encode : t -> G.Transformer.t
+(** Regex parse tree ⊸ accepting NFA trace (over the same string). *)
+
+val decode : t -> G.Transformer.t
+(** Accepting NFA trace ⊸ regex parse tree.  Inverse of {!encode}. *)
+
+val equivalence : t -> G.Equivalence.t
+(** The strong equivalence of Construction 4.11, packaged for
+    {!G.Equivalence.check_strong}. *)

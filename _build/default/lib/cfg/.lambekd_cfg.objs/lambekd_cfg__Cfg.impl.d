@@ -1,0 +1,1 @@
+lib/cfg/cfg.ml: Array Char Fmt Hashtbl Lambekd_grammar List String

@@ -1,0 +1,1 @@
+lib/cfg/cyk.ml: Array Cfg Char Fmt Hashtbl List Set String

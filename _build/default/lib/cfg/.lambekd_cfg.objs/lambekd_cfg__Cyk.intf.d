@@ -1,0 +1,1 @@
+lib/cfg/cyk.mli: Cfg

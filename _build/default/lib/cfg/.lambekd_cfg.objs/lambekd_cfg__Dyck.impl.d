@@ -1,0 +1,1 @@
+lib/cfg/dyck.ml: Buffer Lambekd_automata Lambekd_grammar Random Result

@@ -1,0 +1,1 @@
+lib/cfg/dyck.mli: Lambekd_automata Lambekd_grammar Random

@@ -1,0 +1,1 @@
+lib/cfg/earley.ml: Array Cfg Char Hashtbl Lambekd_grammar List Option Queue String

@@ -1,0 +1,1 @@
+lib/cfg/earley.mli: Cfg Lambekd_grammar

@@ -1,0 +1,1 @@
+lib/cfg/expr.ml: Buffer Fmt Lambekd_grammar List Option Random String

@@ -1,0 +1,1 @@
+lib/cfg/expr.mli: Lambekd_grammar Random

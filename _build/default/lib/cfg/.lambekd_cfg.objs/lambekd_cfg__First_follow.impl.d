@@ -1,0 +1,1 @@
+lib/cfg/first_follow.ml: Array Cfg Char Hashtbl List Option Set

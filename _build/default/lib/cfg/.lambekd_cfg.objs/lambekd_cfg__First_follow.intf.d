@@ -1,0 +1,1 @@
+lib/cfg/first_follow.mli: Cfg

@@ -1,0 +1,1 @@
+lib/cfg/ll1.ml: Array Cfg Char Earley First_follow Fmt Hashtbl List Result String

@@ -1,0 +1,1 @@
+lib/cfg/ll1.mli: Cfg Earley Format

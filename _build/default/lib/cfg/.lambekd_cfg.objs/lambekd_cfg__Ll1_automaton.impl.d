@@ -1,0 +1,1 @@
+lib/cfg/ll1_automaton.ml: Array Cfg Char Lambekd_automata Lambekd_grammar Lambekd_parsing Ll1 Option

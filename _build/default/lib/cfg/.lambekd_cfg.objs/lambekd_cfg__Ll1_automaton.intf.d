@@ -1,0 +1,1 @@
+lib/cfg/ll1_automaton.mli: Cfg Lambekd_automata Lambekd_grammar Lambekd_parsing Ll1

@@ -1,0 +1,1 @@
+lib/cfg/mu_regex.ml: Cfg Fmt Hashtbl Lambekd_grammar Lambekd_regex Lazy List String

@@ -1,0 +1,1 @@
+lib/cfg/mu_regex.mli: Cfg Format Lambekd_grammar Lambekd_regex

@@ -1,0 +1,1 @@
+lib/cfg/slr.ml: Array Cfg Earley First_follow Fmt Hashtbl List Queue Result String

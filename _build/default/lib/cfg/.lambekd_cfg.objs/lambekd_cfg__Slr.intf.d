@@ -1,0 +1,1 @@
+lib/cfg/slr.mli: Cfg Earley Format

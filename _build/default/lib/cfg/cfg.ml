@@ -1,0 +1,90 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module I = G.Index
+
+type symbol =
+  | T of char
+  | N of string
+
+type production = {
+  lhs : string;
+  rhs : symbol list;
+}
+
+type t = {
+  start : string;
+  productions : production array;
+  def : Gr.def;  (* the indexed inductive linear type of this CFG *)
+}
+
+let nonterminals_of productions start =
+  let seen = Hashtbl.create 8 in
+  let order = ref [ start ] in
+  Hashtbl.add seen start ();
+  Array.iter
+    (fun p ->
+      let note n =
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.add seen n ();
+          order := n :: !order
+        end
+      in
+      note p.lhs;
+      List.iter (function N n -> note n | T _ -> ()) p.rhs)
+    productions;
+  List.rev !order
+
+let productions_of_arr productions n =
+  Array.to_list productions
+  |> List.mapi (fun i p -> (i, p))
+  |> List.filter (fun (_, p) -> String.equal p.lhs n)
+
+let make ~start ~productions =
+  let productions =
+    Array.of_list (List.map (fun (lhs, rhs) -> { lhs; rhs }) productions)
+  in
+  let defined = Array.to_list (Array.map (fun p -> p.lhs) productions) in
+  List.iter
+    (fun n ->
+      if not (List.mem n defined) then
+        invalid_arg (Fmt.str "Cfg.make: nonterminal %s has no production" n))
+    (nonterminals_of productions start);
+  let def = Gr.declare "cfg" in
+  Gr.set_rules def (fun ix ->
+      match ix with
+      | I.S n ->
+        Gr.alt
+          (List.map
+             (fun (i, p) ->
+               ( I.N i,
+                 Gr.seq_list
+                   (List.map
+                      (function
+                        | T c -> Gr.chr c
+                        | N m -> Gr.ref_ def (I.S m))
+                      p.rhs) ))
+             (productions_of_arr productions n))
+      | _ -> invalid_arg "Cfg grammar: index must be a nonterminal name");
+  { start; productions; def }
+
+let nonterminals cfg = nonterminals_of cfg.productions cfg.start
+
+let alphabet cfg =
+  Array.to_list cfg.productions
+  |> List.concat_map (fun p ->
+         List.filter_map (function T c -> Some c | N _ -> None) p.rhs)
+  |> List.sort_uniq Char.compare
+
+let productions_of cfg n = productions_of_arr cfg.productions n
+let to_grammar cfg = Gr.ref_ cfg.def (I.S cfg.start)
+let nonterminal_grammar cfg n = Gr.ref_ cfg.def (I.S n)
+
+let pp_symbol ppf = function
+  | T c -> Fmt.pf ppf "%C" c
+  | N n -> Fmt.string ppf n
+
+let pp ppf cfg =
+  Fmt.pf ppf "@[<v>start: %s@,%a@]" cfg.start
+    (Fmt.array ~sep:Fmt.cut (fun ppf p ->
+         Fmt.pf ppf "%s -> %a" p.lhs Fmt.(list ~sep:sp pp_symbol) p.rhs))
+    cfg.productions

@@ -1,0 +1,43 @@
+(** Context-free grammars in generative (production-rule) form.
+
+    The classical formalism the paper's μ-regular / inductive-linear-type
+    encodings are measured against (§4.2).  [to_grammar] realizes a CFG as
+    an indexed inductive linear type in the Gr model: one indexed
+    definition whose index is the nonterminal and whose constructors are
+    the productions. *)
+
+type symbol =
+  | T of char     (** terminal *)
+  | N of string   (** nonterminal *)
+
+type production = {
+  lhs : string;
+  rhs : symbol list;
+}
+
+type t = private {
+  start : string;
+  productions : production array;
+  def : Lambekd_grammar.Grammar.def;
+      (** the CFG as an indexed inductive linear type: one definition,
+          indexed by nonterminal name, constructors tagged by production
+          index *)
+}
+
+val make : start:string -> productions:(string * symbol list) list -> t
+(** Validates that every nonterminal mentioned has at least one production
+    and that the start symbol exists. *)
+
+val nonterminals : t -> string list
+(** In first-occurrence order, start symbol first. *)
+
+val alphabet : t -> char list
+val productions_of : t -> string -> (int * production) list
+
+val to_grammar : t -> Lambekd_grammar.Grammar.t
+(** The start symbol's grammar; parses are [Roll] layers tagged by
+    production index with right-nested tensor payloads. *)
+
+val nonterminal_grammar : t -> string -> Lambekd_grammar.Grammar.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+(* CNF: nonterminals are ints; rules are either N -> c or N -> N1 N2. *)
+type cnf = {
+  start : int;
+  num_nts : int;
+  nullable_start : bool;
+  term_rules : (int * char) list;       (* N -> c *)
+  binary_rules : (int * int * int) list; (* N -> N1 N2 *)
+}
+
+let accepts_empty g = g.nullable_start
+let rule_count g = List.length g.term_rules + List.length g.binary_rules
+
+(* --- transformation ------------------------------------------------------ *)
+
+module Sset = Set.Make (String)
+
+let nullable_set (cfg : Cfg.t) =
+  let nullable = ref Sset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        if
+          (not (Sset.mem p.Cfg.lhs !nullable))
+          && List.for_all
+               (function
+                 | Cfg.T _ -> false
+                 | Cfg.N m -> Sset.mem m !nullable)
+               p.Cfg.rhs
+        then begin
+          nullable := Sset.add p.Cfg.lhs !nullable;
+          changed := true
+        end)
+      cfg.Cfg.productions
+  done;
+  !nullable
+
+let of_cfg (cfg : Cfg.t) =
+  let nullable = nullable_set cfg in
+  (* name table: original nonterminals, lifted terminals, helper splits *)
+  let names = Hashtbl.create 16 in
+  let count = ref 0 in
+  let intern name =
+    match Hashtbl.find_opt names name with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      Hashtbl.add names name i;
+      i
+  in
+  let term_rules = ref [] in
+  let binary_rules = ref [] in
+  let unit_rules = ref [] in
+  let lift_terminal c =
+    let name = Fmt.str "#chr%c" c in
+    let i = intern name in
+    if not (List.mem (i, c) !term_rules) then term_rules := (i, c) :: !term_rules;
+    i
+  in
+  let fresh_split =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      intern (Fmt.str "#split%d" !k)
+  in
+  (* For each production, expand the 2^(nullable occurrences) ε-free
+     variants, then binarize. *)
+  let rec variants rhs =
+    match rhs with
+    | [] -> [ [] ]
+    | Cfg.T c :: rest -> List.map (fun v -> lift_terminal c :: v) (variants rest)
+    | Cfg.N m :: rest ->
+      let tails = variants rest in
+      let with_m = List.map (fun v -> intern m :: v) tails in
+      if Sset.mem m nullable then with_m @ tails else with_m
+  in
+  let add_rule lhs rhs_nts =
+    match rhs_nts with
+    | [] -> () (* ε variants are dropped; ε handled by nullable_start *)
+    | [ single ] -> unit_rules := (lhs, single) :: !unit_rules
+    | [ a; b ] -> binary_rules := (lhs, a, b) :: !binary_rules
+    | a :: rest ->
+      let rec chain a rest lhs =
+        match rest with
+        | [ b ] -> binary_rules := (lhs, a, b) :: !binary_rules
+        | b :: more ->
+          let helper = fresh_split () in
+          binary_rules := (lhs, a, helper) :: !binary_rules;
+          chain b more helper
+        | [] -> assert false
+      in
+      chain a rest lhs
+  in
+  Array.iter
+    (fun p ->
+      let lhs = intern p.Cfg.lhs in
+      List.iter (add_rule lhs) (variants p.Cfg.rhs))
+    cfg.Cfg.productions;
+  (* unit-rule elimination: transitive closure, then copy non-unit rules *)
+  let num = !count in
+  let unit_closure = Array.init num (fun i -> [ i ]) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (a, b) ->
+        List.iter
+          (fun c ->
+            if not (List.mem c unit_closure.(a)) then begin
+              unit_closure.(a) <- c :: unit_closure.(a);
+              changed := true
+            end)
+          unit_closure.(b))
+      !unit_rules
+  done;
+  let final_terms = ref [] and final_bins = ref [] in
+  for a = 0 to num - 1 do
+    List.iter
+      (fun b ->
+        List.iter
+          (fun (lhs, c) ->
+            if lhs = b && not (List.mem (a, c) !final_terms) then
+              final_terms := (a, c) :: !final_terms)
+          !term_rules;
+        List.iter
+          (fun (lhs, x, y) ->
+            if lhs = b && not (List.mem (a, x, y) !final_bins) then
+              final_bins := (a, x, y) :: !final_bins)
+          !binary_rules)
+      unit_closure.(a)
+  done;
+  {
+    start = intern cfg.Cfg.start;
+    num_nts = !count;
+    nullable_start = Sset.mem cfg.Cfg.start nullable;
+    term_rules = !final_terms;
+    binary_rules = !final_bins;
+  }
+
+(* --- recognition ---------------------------------------------------------- *)
+
+let recognizes g w =
+  let n = String.length w in
+  if n = 0 then g.nullable_start
+  else begin
+    (* table.(i).(len-1).(nt) : derivable over w[i .. i+len) *)
+    let table =
+      Array.init n (fun _ -> Array.make_matrix n g.num_nts false)
+    in
+    for i = 0 to n - 1 do
+      List.iter
+        (fun (nt, c) -> if Char.equal c w.[i] then table.(i).(0).(nt) <- true)
+        g.term_rules
+    done;
+    for len = 2 to n do
+      for i = 0 to n - len do
+        for split = 1 to len - 1 do
+          List.iter
+            (fun (nt, x, y) ->
+              if
+                table.(i).(split - 1).(x)
+                && table.(i + split).(len - split - 1).(y)
+              then table.(i).(len - 1).(nt) <- true)
+            g.binary_rules
+        done
+      done
+    done;
+    table.(0).(n - 1).(g.start)
+  end
+
+let recognizes_cfg cfg w = recognizes (of_cfg cfg) w

@@ -1,0 +1,120 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module P = G.Ptree
+module I = G.Index
+module T = G.Transformer
+module Dauto = Lambekd_automata.Dauto
+
+let alphabet = [ '('; ')' ]
+let nil_tag = I.S "nil"
+let bal_tag = I.S "bal"
+
+let dyck_def =
+  let def = Gr.declare "dyck" in
+  Gr.set_rules def (fun _ ->
+      Gr.alt
+        [ (nil_tag, Gr.eps);
+          ( bal_tag,
+            Gr.seq (Gr.chr '(')
+              (Gr.seq (Gr.ref_ def I.U) (Gr.seq (Gr.chr ')') (Gr.ref_ def I.U)))
+          ) ]);
+  def
+
+let grammar = Gr.ref_ dyck_def I.U
+let nil = P.Roll ("dyck", P.Inj (nil_tag, P.Eps))
+
+let bal inner rest =
+  P.Roll
+    ( "dyck",
+      P.Inj
+        (bal_tag, P.Pair (P.Tok '(', P.Pair (inner, P.Pair (P.Tok ')', rest))))
+    )
+
+(* Fig 14: δ(n,'(') = n+1; δ(n,')') = n-1 for n ≥ 1; an unmatched ')'
+   falls into a rejecting sink.  Accepting state: counter 0. *)
+let sink = I.S "sink"
+
+let automaton =
+  Dauto.make ~name:"dyck" ~alphabet ~init:(I.N 0)
+    ~is_accepting:(fun s -> I.equal s (I.N 0))
+    ~step:(fun s c ->
+      match s, c with
+      | I.N n, '(' -> I.N (n + 1)
+      | I.N n, ')' -> if n > 0 then I.N (n - 1) else sink
+      | _, _ -> sink)
+
+let trace_name = "dyck_trace"
+let stop = P.Roll (trace_name, P.Inj (Dauto.stop_tag, P.Eps))
+
+let cons c rest =
+  P.Roll (trace_name, P.Inj (I.C c, P.Pair (P.Tok c, rest)))
+
+(* Dyck ⊸ Trace_M, continuation style: the continuation is the trace of
+   whatever follows this Dyck word. *)
+let to_traces =
+  T.make "dyck-to-traces" (fun dyck ->
+      let rec enc d k =
+        let _, body = P.as_roll d in
+        let tag, payload = P.as_inj body in
+        if I.equal tag nil_tag then k
+        else
+          match payload with
+          | P.Pair (P.Tok '(', P.Pair (inner, P.Pair (P.Tok ')', rest))) ->
+            cons '(' (enc inner (cons ')' (enc rest k)))
+          | _ -> invalid_arg "dyck-to-traces: malformed bal node"
+      in
+      enc dyck stop)
+
+(* Trace_M 0 true ⊸ Dyck: descend the trace; a ')' or stop at the current
+   level ends the current Dyck word. *)
+exception Not_balanced
+
+let of_traces =
+  T.make "dyck-of-traces" (fun trace ->
+      let un tr =
+        let _, body = P.as_roll tr in
+        P.as_inj body
+      in
+      (* returns the Dyck parse and the remaining trace *)
+      let rec dec tr =
+        match un tr with
+        | I.S "stop", _ -> (nil, tr)
+        | I.C ')', _ -> (nil, tr)
+        | I.C '(', P.Pair (_, rest) -> (
+          let inner, tr' = dec rest in
+          match un tr' with
+          | I.C ')', P.Pair (_, rest') ->
+            let after, tr'' = dec rest' in
+            (bal inner after, tr'')
+          | _ -> raise Not_balanced)
+        | _ -> invalid_arg "dyck-of-traces: malformed trace"
+      in
+      let d, tr = dec trace in
+      match un tr with
+      | I.S "stop", _ -> d
+      | _ -> raise Not_balanced)
+
+let equivalence =
+  G.Equivalence.make ~source:grammar
+    ~target:(Dauto.accepting_traces automaton)
+    ~fwd:to_traces ~bwd:of_traces
+
+let parse w =
+  let b, trace = Dauto.parse automaton w in
+  if b then Ok (T.apply of_traces trace) else Error trace
+
+let balanced w = Result.is_ok (parse w)
+
+let random_balanced ~depth rng =
+  let buf = Buffer.create 32 in
+  let rec go depth =
+    if depth <= 0 || Random.State.int rng 3 = 0 then ()
+    else begin
+      Buffer.add_char buf '(';
+      go (depth - 1);
+      Buffer.add_char buf ')';
+      go (depth - 1)
+    end
+  in
+  go depth;
+  Buffer.contents buf

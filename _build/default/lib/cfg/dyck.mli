@@ -1,0 +1,48 @@
+(** The Dyck language of balanced parentheses (Figs 13–14, Theorem 4.13).
+
+    [Dyck] is the inductive linear type with constructors
+    [nil : Dyck] and [bal : '(' ⊸ Dyck ⊸ ')' ⊸ Dyck ⊸ Dyck]; the parser
+    is the infinite-state deterministic {e counter automaton} M whose
+    states count open parentheses.  {!to_traces} and {!of_traces} are
+    mutually inverse parse transformers witnessing that Dyck and the
+    accepting traces of M are {e strongly} equivalent, which combined with
+    the automaton parser of Theorem 4.9 yields a verified Dyck parser. *)
+
+module G := Lambekd_grammar
+module Dauto := Lambekd_automata.Dauto
+
+val alphabet : char list
+(** [['('; ')']]. *)
+
+val grammar : G.Grammar.t
+(** The Dyck grammar as an inductive linear type (Fig 13). *)
+
+val nil : G.Ptree.t
+val bal : G.Ptree.t -> G.Ptree.t -> G.Ptree.t
+(** [bal inner rest] = "(" inner ")" rest. *)
+
+val automaton : Dauto.t
+(** Fig 14's counter automaton M: states are naturals (plus a rejecting
+    sink for unmatched [')']), state 0 accepting. *)
+
+val to_traces : G.Transformer.t
+(** [Dyck ⊸ Trace_M 0 true], by structural recursion (continuation
+    style). *)
+
+val of_traces : G.Transformer.t
+(** [Trace_M 0 true ⊸ Dyck], by deterministic descent over the trace. *)
+
+val equivalence : G.Equivalence.t
+(** The strong equivalence of Theorem 4.13. *)
+
+(** {1 The verified parser} *)
+
+val parse : string -> (G.Ptree.t, G.Ptree.t) result
+(** [Ok dyck_parse] for balanced input, [Error rejecting_trace] otherwise
+    — the rejecting trace is the inhabitant of the negative grammar of
+    Def 4.6. *)
+
+val balanced : string -> bool
+
+val random_balanced : depth:int -> Random.State.t -> string
+(** Generator for property tests and benches. *)

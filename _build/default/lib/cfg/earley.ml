@@ -1,0 +1,132 @@
+type item = {
+  prod : int;   (* production index *)
+  dot : int;    (* position in the rhs *)
+  origin : int; (* chart position where the item started *)
+}
+
+(* Run the recognizer, returning the chart and the set of completed
+   constituents (lhs, origin, end, production). *)
+let run (cfg : Cfg.t) w =
+  let n = String.length w in
+  let charts = Array.init (n + 1) (fun _ -> Hashtbl.create 16) in
+  let completed = Hashtbl.create 64 in
+  let enqueue pos item queue =
+    if not (Hashtbl.mem charts.(pos) item) then begin
+      Hashtbl.add charts.(pos) item ();
+      Queue.add item queue
+    end
+  in
+  let queues = Array.init (n + 1) (fun _ -> Queue.create ()) in
+  List.iter
+    (fun (i, _) -> enqueue 0 { prod = i; dot = 0; origin = 0 } queues.(0))
+    (Cfg.productions_of cfg cfg.Cfg.start);
+  for pos = 0 to n do
+    let queue = queues.(pos) in
+    while not (Queue.is_empty queue) do
+      let item = Queue.pop queue in
+      let p = cfg.Cfg.productions.(item.prod) in
+      match List.nth_opt p.Cfg.rhs item.dot with
+      | None ->
+        (* complete *)
+        Hashtbl.replace completed (p.Cfg.lhs, item.origin, pos, item.prod) ();
+        Hashtbl.iter
+          (fun parent () ->
+            let pp = cfg.Cfg.productions.(parent.prod) in
+            match List.nth_opt pp.Cfg.rhs parent.dot with
+            | Some (Cfg.N m) when String.equal m p.Cfg.lhs ->
+              enqueue pos { parent with dot = parent.dot + 1 } queue
+            | Some _ | None -> ())
+          charts.(item.origin)
+      | Some (Cfg.T c) ->
+        if pos < n && Char.equal w.[pos] c then
+          enqueue (pos + 1) { item with dot = item.dot + 1 } queues.(pos + 1)
+      | Some (Cfg.N m) ->
+        List.iter
+          (fun (i, _) -> enqueue pos { prod = i; dot = 0; origin = pos } queue)
+          (Cfg.productions_of cfg m);
+        (* if m has already been completed over (pos, pos) — ε — advance *)
+        List.iter
+          (fun (i, _) ->
+            if Hashtbl.mem completed (m, pos, pos, i) then
+              enqueue pos { item with dot = item.dot + 1 } queue)
+          (Cfg.productions_of cfg m)
+    done
+  done;
+  (charts, completed)
+
+let recognizes cfg w =
+  let n = String.length w in
+  let _, completed = run cfg w in
+  List.exists
+    (fun (i, _) -> Hashtbl.mem completed (cfg.Cfg.start, 0, n, i))
+    (Cfg.productions_of cfg cfg.Cfg.start)
+
+let chart_size cfg w =
+  let charts, _ = run cfg w in
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 charts
+
+type tree =
+  | Leaf of char
+  | Node of string * int * tree list
+
+(* Derivation reconstruction over the completed-constituent facts, with an
+   active set to avoid looping through nullable/left-recursive cycles. *)
+let parse (cfg : Cfg.t) w =
+  let n = String.length w in
+  let _, completed = run cfg w in
+  let active = Hashtbl.create 16 in
+  let rec build_nt name i j =
+    if Hashtbl.mem active (name, i, j) then None
+    else begin
+      Hashtbl.add active (name, i, j) ();
+      let result =
+        List.find_map
+          (fun (pi, p) ->
+            if Hashtbl.mem completed (name, i, j, pi) then
+              Option.map
+                (fun children -> Node (name, pi, children))
+                (build_seq p.Cfg.rhs i j)
+            else None)
+          (Cfg.productions_of cfg name)
+      in
+      Hashtbl.remove active (name, i, j);
+      result
+    end
+  and build_seq rhs i j =
+    match rhs with
+    | [] -> if i = j then Some [] else None
+    | Cfg.T c :: rest ->
+      if i < j && Char.equal w.[i] c then
+        Option.map (fun ts -> Leaf c :: ts) (build_seq rest (i + 1) j)
+      else None
+    | Cfg.N m :: rest ->
+      let rec split k =
+        if k > j then None
+        else
+          match build_nt m i k with
+          | Some t -> (
+            match build_seq rest k j with
+            | Some ts -> Some (t :: ts)
+            | None -> split (k + 1))
+          | None -> split (k + 1)
+      in
+      split i
+  in
+  build_nt cfg.Cfg.start 0 n
+
+let rec tree_yield = function
+  | Leaf c -> String.make 1 c
+  | Node (_, _, children) -> String.concat "" (List.map tree_yield children)
+
+module P = Lambekd_grammar.Ptree
+module I = Lambekd_grammar.Index
+
+let rec tree_to_ptree = function
+  | Leaf c -> P.Tok c
+  | Node (_, prod, children) ->
+    let rec payload = function
+      | [] -> P.Eps
+      | [ t ] -> tree_to_ptree t
+      | t :: rest -> P.Pair (tree_to_ptree t, payload rest)
+    in
+    P.Roll ("cfg", P.Inj (I.N prod, payload children))

@@ -1,0 +1,27 @@
+(** Earley's algorithm: general context-free recognition in O(n³).
+
+    The independent oracle the specialized parsers (Dyck's counter
+    automaton, the Fig 15 lookahead automaton, LL(1)) are differentially
+    tested against, and the general-CFG baseline in the benches.  Handles
+    ε-productions, left recursion and ambiguity. *)
+
+val recognizes : Cfg.t -> string -> bool
+
+val chart_size : Cfg.t -> string -> int
+(** Total number of Earley items constructed (a work measure for the
+    benches). *)
+
+type tree =
+  | Leaf of char
+  | Node of string * int * tree list
+      (** nonterminal, production index, children *)
+
+val parse : Cfg.t -> string -> tree option
+(** One derivation tree (the first found when walking back through
+    completed items); [None] if the word is not in the language. *)
+
+val tree_yield : tree -> string
+
+val tree_to_ptree : tree -> Lambekd_grammar.Ptree.t
+(** The derivation as a parse of {!Cfg.to_grammar} — [Roll]/[Inj] layers
+    tagged by production index. *)

@@ -1,0 +1,288 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module P = G.Ptree
+module I = G.Index
+module T = G.Transformer
+
+let alphabet = [ '('; ')'; '+'; 'n' ]
+
+(* --- Exp / Atom (Fig 15, top) --------------------------------------------- *)
+
+let done_tag = I.S "done"
+let add_tag = I.S "add"
+let num_tag = I.S "num"
+let parens_tag = I.S "parens"
+
+let exp_def = Gr.declare "exp"
+let atom_def = Gr.declare "atom"
+
+let () =
+  Gr.set_rules exp_def (fun _ ->
+      Gr.alt
+        [ (done_tag, Gr.ref_ atom_def I.U);
+          ( add_tag,
+            Gr.seq (Gr.ref_ atom_def I.U)
+              (Gr.seq (Gr.chr '+') (Gr.ref_ exp_def I.U)) ) ]);
+  Gr.set_rules atom_def (fun _ ->
+      Gr.alt
+        [ (num_tag, Gr.chr 'n');
+          ( parens_tag,
+            Gr.seq (Gr.chr '(') (Gr.seq (Gr.ref_ exp_def I.U) (Gr.chr ')')) )
+        ])
+
+let exp = Gr.ref_ exp_def I.U
+let atom = Gr.ref_ atom_def I.U
+let num = P.Roll ("atom", P.Inj (num_tag, P.Tok 'n'))
+
+let parens e =
+  P.Roll
+    ("atom", P.Inj (parens_tag, P.Pair (P.Tok '(', P.Pair (e, P.Tok ')'))))
+
+let e_done a = P.Roll ("exp", P.Inj (done_tag, a))
+
+let e_add a rest =
+  P.Roll ("exp", P.Inj (add_tag, P.Pair (a, P.Pair (P.Tok '+', rest))))
+
+(* --- lookahead grammars (Fig 15, bottom) ------------------------------------ *)
+
+let some_of chars =
+  (* (c1 ⊕ ... ⊕ ck) ⊗ ⊤, tagged by character *)
+  Gr.seq (Gr.alt (List.map (fun c -> (I.C c, Gr.chr c)) chars)) Gr.top
+
+let not_starts_with_lp = Gr.alt2 Gr.eps (some_of [ ')'; '+'; 'n' ])
+let not_starts_with_rp = Gr.alt2 Gr.eps (some_of [ '('; '+'; 'n' ])
+
+(* The O state's failure grammar.  The paper's footnote defines
+   NotStartsWithLP as [I ⊕ (')'⊕'+'⊕'NUM') ⊗ ⊤], but including NUM makes
+   [⊕b. O n b] ambiguous (a rejected string starting with NUM parses both
+   through the [num] constructor and through [unexpected]); for the
+   determinism Theorem 4.14 needs, [unexpected] must exclude both of the
+   characters the other two constructors consume. *)
+let o_failure = Gr.alt2 Gr.eps (some_of [ ')'; '+' ])
+
+let left_tag = I.S "left"
+let unexp_tag = I.S "unexpected"
+let look_rp_tag = I.S "lookAheadRP"
+let look_not_tag = I.S "lookAheadNot"
+let close_good_tag = I.S "closeGood"
+let close_bad_tag = I.S "closeBad"
+let done_good_tag = I.S "doneGood"
+let done_bad_tag = I.S "doneBad"
+
+let o_def = Gr.declare "O"
+let d_def = Gr.declare "D"
+let c_def = Gr.declare "C"
+let a_def = Gr.declare "A"
+
+let split_index name = function
+  | I.P (I.N n, I.B b) -> (n, b)
+  | ix ->
+    invalid_arg (Fmt.str "Expr.%s: index must be (nat, bool), got %a" name I.pp ix)
+
+let () =
+  Gr.set_rules o_def (fun ix ->
+      let n, b = split_index "O" ix in
+      Gr.alt
+        ([ (left_tag, Gr.seq (Gr.chr '(') (Gr.ref_ o_def (I.P (I.N (n + 1), I.B b))));
+           (num_tag, Gr.seq (Gr.chr 'n') (Gr.ref_ d_def (I.P (I.N n, I.B b)))) ]
+        @ if b then [] else [ (unexp_tag, o_failure) ]));
+  Gr.set_rules d_def (fun ix ->
+      let n, b = split_index "D" ix in
+      Gr.alt
+        [ ( look_rp_tag,
+            Gr.amp2
+              (Gr.seq (Gr.chr ')') Gr.top)
+              (Gr.ref_ c_def (I.P (I.N n, I.B b))) );
+          ( look_not_tag,
+            Gr.amp2 not_starts_with_rp (Gr.ref_ a_def (I.P (I.N n, I.B b))) )
+        ]);
+  Gr.set_rules c_def (fun ix ->
+      let n, b = split_index "C" ix in
+      Gr.alt
+        ((if n >= 1 then
+            [ ( close_good_tag,
+                Gr.seq (Gr.chr ')') (Gr.ref_ d_def (I.P (I.N (n - 1), I.B b))) )
+            ]
+          else if not b then
+            [ (close_bad_tag, Gr.seq (Gr.chr ')') Gr.top) ]
+          else [])
+        @ if b then [] else [ (unexp_tag, not_starts_with_rp) ]));
+  Gr.set_rules a_def (fun ix ->
+      let n, b = split_index "A" ix in
+      Gr.alt
+        ((if n = 0 && b then [ (done_good_tag, Gr.eps) ] else [])
+        @ (if n >= 1 && not b then [ (done_bad_tag, Gr.eps) ] else [])
+        @ [ (add_tag, Gr.seq (Gr.chr '+') (Gr.ref_ o_def (I.P (I.N n, I.B b)))) ]
+        @ if b then [] else [ (unexp_tag, some_of [ '('; ')'; 'n' ]) ]))
+
+let o_grammar n b = Gr.ref_ o_def (I.P (I.N n, I.B b))
+let d_grammar n b = Gr.ref_ d_def (I.P (I.N n, I.B b))
+let c_grammar n b = Gr.ref_ c_def (I.P (I.N n, I.B b))
+let a_grammar n b = Gr.ref_ a_def (I.P (I.N n, I.B b))
+
+let o_sigma =
+  Gr.alt [ (I.B false, o_grammar 0 false); (I.B true, o_grammar 0 true) ]
+
+(* --- the automaton's total parser --------------------------------------------- *)
+
+(* Parse-tree builders matching the grammar shapes above. *)
+let roll name tag payload = P.Roll (name, P.Inj (tag, payload))
+
+let top_from w k = P.TopP (String.sub w k (String.length w - k))
+
+(* parse of NotStartsWith* over the suffix starting at k *)
+let not_starts_parse w k =
+  if k >= String.length w then P.Inj (Gr.inl_tag, P.Eps)
+  else
+    let c = w.[k] in
+    P.Inj (Gr.inr_tag, P.Pair (P.Inj (I.C c, P.Tok c), top_from w (k + 1)))
+
+let parse_o_from w =
+  let len = String.length w in
+  let peek k = if k < len then Some w.[k] else None in
+  let rec parse_o n k =
+    match peek k with
+    | Some '(' ->
+      let b, t = parse_o (n + 1) (k + 1) in
+      (b, roll "O" left_tag (P.Pair (P.Tok '(', t)))
+    | Some 'n' ->
+      let b, t = parse_d n (k + 1) in
+      (b, roll "O" num_tag (P.Pair (P.Tok 'n', t)))
+    | Some _ | None -> (false, roll "O" unexp_tag (not_starts_parse w k))
+  and parse_d n k =
+    match peek k with
+    | Some ')' ->
+      let b, ct = parse_c n k in
+      let lookahead = P.Pair (P.Tok ')', top_from w (k + 1)) in
+      ( b,
+        roll "D" look_rp_tag
+          (P.Tuple [ (Gr.inl_tag, lookahead); (Gr.inr_tag, ct) ]) )
+    | Some _ | None ->
+      let b, at = parse_a n k in
+      ( b,
+        roll "D" look_not_tag
+          (P.Tuple [ (Gr.inl_tag, not_starts_parse w k); (Gr.inr_tag, at) ]) )
+  and parse_c n k =
+    match peek k with
+    | Some ')' ->
+      if n >= 1 then
+        let b, t = parse_d (n - 1) (k + 1) in
+        (b, roll "C" close_good_tag (P.Pair (P.Tok ')', t)))
+      else
+        (false, roll "C" close_bad_tag (P.Pair (P.Tok ')', top_from w (k + 1))))
+    | Some _ | None -> (false, roll "C" unexp_tag (not_starts_parse w k))
+  and parse_a n k =
+    match peek k with
+    | None ->
+      if n = 0 then (true, roll "A" done_good_tag P.Eps)
+      else (false, roll "A" done_bad_tag P.Eps)
+    | Some '+' ->
+      let b, t = parse_o n (k + 1) in
+      (b, roll "A" add_tag (P.Pair (P.Tok '+', t)))
+    | Some c ->
+      ( false,
+        roll "A" unexp_tag
+          (P.Pair (P.Inj (I.C c, P.Tok c), top_from w (k + 1))) )
+  in
+  parse_o 0 0
+
+let parse_o w = parse_o_from w
+
+(* --- recursive-descent Exp parser ---------------------------------------------- *)
+
+let parse_exp w =
+  let len = String.length w in
+  let peek k = if k < len then Some w.[k] else None in
+  let rec parse_e k =
+    match parse_atom k with
+    | None -> None
+    | Some (a, k') -> (
+      match peek k' with
+      | Some '+' ->
+        Option.map
+          (fun (rest, k'') -> (e_add a rest, k''))
+          (parse_e (k' + 1))
+      | Some _ | None -> Some (e_done a, k'))
+  and parse_atom k =
+    match peek k with
+    | Some 'n' -> Some (num, k + 1)
+    | Some '(' -> (
+      match parse_e (k + 1) with
+      | Some (e, k') when peek k' = Some ')' -> Some (parens e, k' + 1)
+      | Some _ | None -> None)
+    | Some _ | None -> None
+  in
+  match parse_e 0 with
+  | Some (e, k) when k = len -> Some e
+  | Some _ | None -> None
+
+let parse w =
+  let b, trace = parse_o w in
+  if b then
+    match parse_exp w with
+    | Some e -> Ok e
+    | None ->
+      invalid_arg
+        "Expr.parse: automaton accepted but descent failed (impossible if \
+         Theorem 4.14 holds)"
+  else Error trace
+
+let accepts w = fst (parse_o w)
+
+let to_traces =
+  T.make "exp-to-traces" (fun e ->
+      let b, trace = parse_o_from (P.yield e) in
+      if b then trace
+      else invalid_arg "exp-to-traces: automaton rejected an Exp parse")
+
+let of_traces =
+  T.make "traces-to-exp" (fun trace ->
+      match parse_exp (P.yield trace) with
+      | Some e -> e
+      | None -> invalid_arg "traces-to-exp: descent rejected an O-trace")
+
+let equivalence =
+  G.Equivalence.make ~source:exp ~target:(o_grammar 0 true) ~fwd:to_traces
+    ~bwd:of_traces
+
+(* --- semantic action -------------------------------------------------------------- *)
+
+let rec eval e =
+  let _, body = P.as_roll e in
+  let tag, payload = P.as_inj body in
+  if I.equal tag done_tag then eval_atom payload
+  else
+    match payload with
+    | P.Pair (a, P.Pair (_, rest)) -> eval_atom a + eval rest
+    | _ -> invalid_arg "Expr.eval: malformed add node"
+
+and eval_atom a =
+  let _, body = P.as_roll a in
+  let tag, payload = P.as_inj body in
+  if I.equal tag num_tag then 1
+  else
+    match payload with
+    | P.Pair (_, P.Pair (e, _)) -> eval e
+    | _ -> invalid_arg "Expr.eval: malformed parens node"
+
+let semantic_action =
+  T.make "exp-eval" (fun e -> P.Inj (I.N (eval e), P.TopP (P.yield e)))
+
+let random_expr ~depth rng =
+  let buf = Buffer.create 32 in
+  let rec go_exp depth =
+    go_atom depth;
+    if depth > 0 && Random.State.int rng 2 = 0 then begin
+      Buffer.add_char buf '+';
+      go_exp (depth - 1)
+    end
+  and go_atom depth =
+    if depth > 0 && Random.State.int rng 3 = 0 then begin
+      Buffer.add_char buf '(';
+      go_exp (depth - 1);
+      Buffer.add_char buf ')'
+    end
+    else Buffer.add_char buf 'n'
+  in
+  go_exp depth;
+  Buffer.contents buf

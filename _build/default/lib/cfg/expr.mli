@@ -1,0 +1,80 @@
+(** Arithmetic expressions with one-token lookahead (Fig 15, Theorem 4.14).
+
+    The alphabet is ['('], [')'], ['+'], ['n'] (the token NUM).  [Exp] and
+    [Atom] are the mutually recursive inductive linear types of Fig 15
+    (right-associated addition); [O]/[D]/[C]/[A] are the trace grammars of
+    the lookahead automaton, indexed by a natural-number "stack" and an
+    acceptance bit.  The lookahead in state [D] is expressed with the
+    additive conjunction [&], following the distributivity-based
+    decomposition of §4.2.
+
+    Theorem 4.14: [Exp] is weakly equivalent to [O 0 true], so the
+    automaton's total parser extends to a verified parser for [Exp]
+    (Lemma 4.8), with [O 0 false] as the negative grammar. *)
+
+module G := Lambekd_grammar
+
+val alphabet : char list
+
+(** {1 The expression grammars (Fig 15, top)} *)
+
+val exp : G.Grammar.t
+val atom : G.Grammar.t
+
+val num : G.Ptree.t
+(** [Atom.num 'n']. *)
+
+val parens : G.Ptree.t -> G.Ptree.t
+val e_done : G.Ptree.t -> G.Ptree.t
+val e_add : G.Ptree.t -> G.Ptree.t -> G.Ptree.t
+(** [e_add atom rest] = atom '+' rest. *)
+
+(** {1 The lookahead automaton grammars (Fig 15, bottom)} *)
+
+val o_grammar : int -> bool -> G.Grammar.t
+val d_grammar : int -> bool -> G.Grammar.t
+val c_grammar : int -> bool -> G.Grammar.t
+val a_grammar : int -> bool -> G.Grammar.t
+
+val o_sigma : G.Grammar.t
+(** [⊕ b. O 0 b]: total and unambiguous over all strings. *)
+
+val not_starts_with_lp : G.Grammar.t
+val not_starts_with_rp : G.Grammar.t
+
+(** {1 Parsers} *)
+
+val parse_o : string -> bool * G.Ptree.t
+(** The automaton's total parser: a genuine parse of [O 0 b]. *)
+
+val parse_exp : string -> G.Ptree.t option
+(** Recursive-descent parse of [Exp]; [None] when the input is not an
+    expression. *)
+
+val parse : string -> (G.Ptree.t, G.Ptree.t) result
+(** The verified parser of Theorem 4.14: [Ok exp_parse] or
+    [Error (O 0 false trace)]. *)
+
+val accepts : string -> bool
+
+(** {1 Theorem 4.14 equivalence} *)
+
+val to_traces : G.Transformer.t
+(** [Exp ⊸ O 0 true]. *)
+
+val of_traces : G.Transformer.t
+(** [O 0 true ⊸ Exp]. *)
+
+val equivalence : G.Equivalence.t
+
+(** {1 Semantic actions (§6.2)} *)
+
+val eval : G.Ptree.t -> int
+(** Evaluate an [Exp] parse, each NUM counting 1 — the semantic action
+    [↑(Exp ⊸ ⊕(x:Nat) ⊤)] of the Future Work discussion. *)
+
+val semantic_action : G.Transformer.t
+(** [Exp ⊸ ⊕(x:Nat) ⊤]: the parse is forgotten, only the value and the
+    string remain. *)
+
+val random_expr : depth:int -> Random.State.t -> string

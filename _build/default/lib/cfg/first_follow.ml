@@ -1,0 +1,109 @@
+module Cset = Set.Make (Char)
+
+type t = {
+  cfg : Cfg.t;
+  nullable_tbl : (string, unit) Hashtbl.t;
+  first_tbl : (string, Cset.t) Hashtbl.t;
+  follow_tbl : (string, Cset.t) Hashtbl.t;
+}
+
+let get tbl n = Option.value (Hashtbl.find_opt tbl n) ~default:Cset.empty
+
+let compute (cfg : Cfg.t) =
+  let nullable_tbl = Hashtbl.create 8 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        if
+          (not (Hashtbl.mem nullable_tbl p.Cfg.lhs))
+          && List.for_all
+               (function
+                 | Cfg.T _ -> false
+                 | Cfg.N m -> Hashtbl.mem nullable_tbl m)
+               p.Cfg.rhs
+        then begin
+          Hashtbl.add nullable_tbl p.Cfg.lhs ();
+          changed := true
+        end)
+      cfg.Cfg.productions
+  done;
+  let first_tbl = Hashtbl.create 8 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        let current = get first_tbl p.Cfg.lhs in
+        let rec first_of = function
+          | [] -> Cset.empty
+          | Cfg.T c :: _ -> Cset.singleton c
+          | Cfg.N m :: rest ->
+            let fm = get first_tbl m in
+            if Hashtbl.mem nullable_tbl m then Cset.union fm (first_of rest)
+            else fm
+        in
+        let updated = Cset.union current (first_of p.Cfg.rhs) in
+        if not (Cset.equal current updated) then begin
+          Hashtbl.replace first_tbl p.Cfg.lhs updated;
+          changed := true
+        end)
+      cfg.Cfg.productions
+  done;
+  let follow_tbl = Hashtbl.create 8 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        let rec walk = function
+          | [] -> ()
+          | Cfg.T _ :: rest -> walk rest
+          | Cfg.N m :: rest ->
+            let current = get follow_tbl m in
+            let rec first_of = function
+              | [] -> (Cset.empty, true)
+              | Cfg.T c :: _ -> (Cset.singleton c, false)
+              | Cfg.N m' :: rest' ->
+                let fm = get first_tbl m' in
+                if Hashtbl.mem nullable_tbl m' then
+                  let more, nullable = first_of rest' in
+                  (Cset.union fm more, nullable)
+                else (fm, false)
+            in
+            let first_rest, rest_nullable = first_of rest in
+            let updated = Cset.union current first_rest in
+            let updated =
+              if rest_nullable then
+                Cset.union updated (get follow_tbl p.Cfg.lhs)
+              else updated
+            in
+            if not (Cset.equal current updated) then begin
+              Hashtbl.replace follow_tbl m updated;
+              changed := true
+            end;
+            walk rest
+        in
+        walk p.Cfg.rhs)
+      cfg.Cfg.productions
+  done;
+  { cfg; nullable_tbl; first_tbl; follow_tbl }
+
+let nullable t n = Hashtbl.mem t.nullable_tbl n
+let first t n = Cset.elements (get t.first_tbl n)
+let follow t n = Cset.elements (get t.follow_tbl n)
+
+let first_of_seq t symbols =
+  let rec go = function
+    | [] -> (Cset.empty, true)
+    | Cfg.T c :: _ -> (Cset.singleton c, false)
+    | Cfg.N m :: rest ->
+      let fm = get t.first_tbl m in
+      if nullable t m then
+        let more, null = go rest in
+        (Cset.union fm more, null)
+      else (fm, false)
+  in
+  let set, null = go symbols in
+  (Cset.elements set, null)

@@ -1,0 +1,17 @@
+(** Nullable / FIRST / FOLLOW analyses for context-free grammars.
+
+    Standard fixpoint computations underlying predictive (LL(1)) parsing —
+    the grammar class the paper names for its stack-automaton examples. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val nullable : t -> string -> bool
+val first : t -> string -> char list
+(** Sorted, duplicate-free. *)
+
+val follow : t -> string -> char list
+
+val first_of_seq : t -> Cfg.symbol list -> char list * bool
+(** FIRST of a sentential form and whether it is nullable. *)

@@ -1,0 +1,93 @@
+type table = {
+  cfg : Cfg.t;
+  (* (nonterminal, Some char | None-for-eof) -> production index *)
+  entries : (string * char option, int) Hashtbl.t;
+}
+
+type conflict = {
+  nonterminal : string;
+  lookahead : char option;
+  productions : int * int;
+}
+
+exception Conflict of conflict
+
+let build (cfg : Cfg.t) =
+  let ff = First_follow.compute cfg in
+  let entries = Hashtbl.create 32 in
+  let add nt la prod =
+    match Hashtbl.find_opt entries (nt, la) with
+    | Some prod' when prod' <> prod ->
+      raise (Conflict { nonterminal = nt; lookahead = la; productions = (prod', prod) })
+    | Some _ -> ()
+    | None -> Hashtbl.add entries (nt, la) prod
+  in
+  match
+    List.iter
+      (fun nt ->
+        List.iter
+          (fun (pi, p) ->
+            let first, nullable = First_follow.first_of_seq ff p.Cfg.rhs in
+            List.iter (fun c -> add nt (Some c) pi) first;
+            if nullable then begin
+              List.iter (fun c -> add nt (Some c) pi) (First_follow.follow ff nt);
+              (* ε-production also applies at end of input *)
+              add nt None pi
+            end)
+          (Cfg.productions_of cfg nt))
+      (Cfg.nonterminals cfg)
+  with
+  | () -> Ok { cfg; entries }
+  | exception Conflict c -> Error c
+
+let is_ll1 cfg = Result.is_ok (build cfg)
+
+type error = {
+  position : int;
+  message : string;
+}
+
+exception Error of error
+
+let fail position fmt = Fmt.kstr (fun message -> raise (Error { position; message })) fmt
+
+let parse t w =
+  let n = String.length w in
+  let pos = ref 0 in
+  let lookahead () = if !pos < n then Some w.[!pos] else None in
+  let rec parse_nt name =
+    match Hashtbl.find_opt t.entries (name, lookahead ()) with
+    | None ->
+      fail !pos "no production for %s on %a" name
+        Fmt.(option ~none:(any "eof") char)
+        (lookahead ())
+    | Some pi ->
+      let p = t.cfg.Cfg.productions.(pi) in
+      let children = List.map parse_symbol p.Cfg.rhs in
+      Earley.Node (name, pi, children)
+  and parse_symbol = function
+    | Cfg.T c -> (
+      match lookahead () with
+      | Some c' when Char.equal c c' ->
+        incr pos;
+        Earley.Leaf c
+      | la ->
+        fail !pos "expected %C, found %a" c
+          Fmt.(option ~none:(any "eof") char)
+          la)
+    | Cfg.N m -> parse_nt m
+  in
+  match parse_nt t.cfg.Cfg.start with
+  | tree ->
+    if !pos = n then Ok tree else Error { position = !pos; message = "trailing input" }
+  | exception Error e -> Error e
+
+let lookup t n la = Hashtbl.find_opt t.entries (n, la)
+let cfg_of t = t.cfg
+
+let pp_conflict ppf c =
+  Fmt.pf ppf "LL(1) conflict at %s / %a: productions %d and %d" c.nonterminal
+    Fmt.(option ~none:(any "eof") char)
+    c.lookahead (fst c.productions) (snd c.productions)
+
+let pp_error ppf e = Fmt.pf ppf "parse error at %d: %s" e.position e.message

@@ -1,0 +1,35 @@
+(** Table-driven LL(1) parsing.
+
+    The paper mentions "some example LL(1) context-free grammars and
+    parsers using stack-based automata"; this module provides the classical
+    table construction (with conflict reporting) and a predictive parser
+    producing derivation trees, differential-tested against Earley. *)
+
+type table
+
+type conflict = {
+  nonterminal : string;
+  lookahead : char option;  (** [None] = end of input *)
+  productions : int * int;  (** the two clashing production indices *)
+}
+
+val build : Cfg.t -> (table, conflict) result
+val is_ll1 : Cfg.t -> bool
+
+type error = {
+  position : int;
+  message : string;
+}
+
+val parse : table -> string -> (Earley.tree, error) result
+(** Predictive parse to a derivation tree (shared with {!Earley.tree} so
+    results are directly comparable). *)
+
+val lookup : table -> string -> char option -> int option
+(** The table entry: production index for a nonterminal under a lookahead
+    ([None] = end of input). *)
+
+val cfg_of : table -> Cfg.t
+
+val pp_conflict : Format.formatter -> conflict -> unit
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,61 @@
+module G = Lambekd_grammar
+module I = G.Index
+module Dauto = Lambekd_automata.Dauto
+
+let stuck = I.S "stuck"
+
+let rec encode_stack = function
+  | [] -> I.U
+  | Cfg.T c :: rest -> I.P (I.C c, encode_stack rest)
+  | Cfg.N n :: rest -> I.P (I.S n, encode_stack rest)
+
+let rec decode_stack = function
+  | I.U -> Some []
+  | I.P (I.C c, rest) ->
+    Option.map (fun syms -> Cfg.T c :: syms) (decode_stack rest)
+  | I.P (I.S n, rest) ->
+    Option.map (fun syms -> Cfg.N n :: syms) (decode_stack rest)
+  | _ -> None
+
+(* expand nonterminals on top under the given lookahead until a terminal
+   (or the empty stack, or a prediction failure) surfaces *)
+let rec predict table lookahead stack =
+  match stack with
+  | Cfg.N n :: rest -> (
+    match Ll1.lookup table n lookahead with
+    | Some pi ->
+      let p = (Ll1.cfg_of table).Cfg.productions.(pi) in
+      predict table lookahead (p.Cfg.rhs @ rest)
+    | None -> None)
+  | Cfg.T _ :: _ | [] -> Some stack
+
+let dauto table =
+  let cfg = Ll1.cfg_of table in
+  let alphabet = Cfg.alphabet cfg in
+  let step ix c =
+    match decode_stack ix with
+    | None -> stuck
+    | Some stack -> (
+      match predict table (Some c) stack with
+      | Some (Cfg.T c' :: rest) when Char.equal c c' -> encode_stack rest
+      | Some _ | None -> stuck)
+  in
+  let is_accepting ix =
+    match decode_stack ix with
+    | None -> false
+    | Some stack -> (
+      (* at end of input: the remaining stack must predict away to ε *)
+      match predict table None stack with Some [] -> true | _ -> false)
+  in
+  Dauto.make ~name:"ll1_stack" ~alphabet
+    ~init:(encode_stack [ Cfg.N cfg.Cfg.start ])
+    ~is_accepting ~step
+
+let parser_of table =
+  let d = dauto table in
+  Lambekd_parsing.Parser_def.make ~name:"ll1-stack-automaton"
+    ~positive:(Dauto.accepting_traces d)
+    ~negative:(Dauto.rejecting_traces d)
+    (fun w ->
+      let accepted, trace = Dauto.parse d w in
+      if accepted then Ok trace else Error trace)

@@ -1,0 +1,23 @@
+(** LL(1) parsing as a stack-based automaton (paper §1: "example LL(1)
+    context-free grammars and parsers using stack-based automata").
+
+    The automaton's states are prediction stacks of grammar symbols,
+    encoded as {!Lambekd_grammar.Index} values; a step on character [c]
+    expands nonterminals on top of the stack by the LL(1) table (using
+    [c] as the lookahead) until a terminal surfaces, then matches it.
+    Because the construction reuses {!Lambekd_automata.Dauto}, the trace
+    grammars of Fig 11, the linear-time parser/printer of Fig 12, and all
+    of Theorem 4.9's properties (unambiguity, disjoint negative grammar,
+    retract of [String]) come for free. *)
+
+module G := Lambekd_grammar
+
+val encode_stack : Cfg.symbol list -> G.Index.t
+(** Right-nested pair encoding; the sink state is [S "stuck"]. *)
+
+val dauto : Ll1.table -> Lambekd_automata.Dauto.t
+(** The stack automaton; initial state is the stack [[start]]. *)
+
+val parser_of : Ll1.table -> Lambekd_parsing.Parser_def.t
+(** The Def 4.6 parser: positive = accepting traces, negative = rejecting
+    traces of the stack automaton. *)

@@ -1,0 +1,179 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+
+type t =
+  | Empty
+  | Eps
+  | Chr of char
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Var of string
+  | Mu of string * t
+
+let rec free_vars_acc bound acc = function
+  | Empty | Eps | Chr _ -> acc
+  | Seq (a, b) | Alt (a, b) -> free_vars_acc bound (free_vars_acc bound acc a) b
+  | Star a -> free_vars_acc bound acc a
+  | Var x -> if List.mem x bound then acc else x :: acc
+  | Mu (x, a) -> free_vars_acc (x :: bound) acc a
+
+let free_vars e = List.sort_uniq String.compare (free_vars_acc [] [] e)
+let is_closed e = free_vars e = []
+
+let rec subst x replacement e =
+  match e with
+  | Empty | Eps | Chr _ -> e
+  | Seq (a, b) -> Seq (subst x replacement a, subst x replacement b)
+  | Alt (a, b) -> Alt (subst x replacement a, subst x replacement b)
+  | Star a -> Star (subst x replacement a)
+  | Var y -> if String.equal x y then replacement else e
+  | Mu (y, a) -> if String.equal x y then e else Mu (y, subst x replacement a)
+
+let to_grammar e =
+  let rec go env = function
+    | Empty -> Gr.void
+    | Eps -> Gr.eps
+    | Chr c -> Gr.chr c
+    | Seq (a, b) -> Gr.seq (go env a) (go env b)
+    | Alt (a, b) -> Gr.alt2 (go env a) (go env b)
+    | Star a -> Gr.star (go env a)
+    | Var x -> (
+      match List.assoc_opt x env with
+      | Some g -> g
+      | None -> invalid_arg (Fmt.str "Mu_regex.to_grammar: free variable %s" x))
+    | Mu (x, body) ->
+      let def = Gr.declare ("mu_" ^ x) in
+      let self = Gr.ref_ def G.Index.U in
+      (* translate the body exactly once: re-translating on every
+         unfolding would mint fresh inner definitions, defeating the
+         enumeration engine's memoization *)
+      let translated = lazy (go ((x, self) :: env) body) in
+      Gr.set_rules def (fun _ -> Lazy.force translated);
+      self
+  in
+  go [] e
+
+let rec of_regex (r : Lambekd_regex.Regex.t) =
+  match r with
+  | Empty -> Empty
+  | Eps -> Eps
+  | Chr c -> Chr c
+  | Seq (a, b) -> Seq (of_regex a, of_regex b)
+  | Alt (a, b) -> Alt (of_regex a, of_regex b)
+  | Star a -> Star (of_regex a)
+
+(* --- μ-regex to CFG -------------------------------------------------------- *)
+
+let to_cfg e =
+  let productions = ref [] in
+  let defined = Hashtbl.create 8 in
+  let fresh =
+    let k = ref 0 in
+    fun prefix ->
+      incr k;
+      Fmt.str "#%s%d" prefix !k
+  in
+  let rec alternatives = function
+    | Alt (a, b) -> alternatives a @ alternatives b
+    | Empty -> []
+    | e -> [ e ]
+  and symbols = function
+    | Eps -> []
+    | Empty ->
+      (* a nonterminal with only a self-loop derives nothing *)
+      let h = fresh "void" in
+      productions := (h, [ Cfg.N h ]) :: !productions;
+      [ Cfg.N h ]
+    | Chr c -> [ Cfg.T c ]
+    | Var x -> [ Cfg.N x ]
+    | Seq (a, b) -> symbols a @ symbols b
+    | Star a ->
+      let h = fresh "star" in
+      let body = symbols a in
+      productions := (h, []) :: (h, body @ [ Cfg.N h ]) :: !productions;
+      [ Cfg.N h ]
+    | Alt _ as e ->
+      let h = fresh "alt" in
+      define h e;
+      [ Cfg.N h ]
+    | Mu (x, body) ->
+      if not (Hashtbl.mem defined x) then begin
+        Hashtbl.add defined x ();
+        define x body
+      end;
+      [ Cfg.N x ]
+  and define name e =
+    List.iter
+      (fun alt ->
+        (* force [symbols] first: it pushes productions for nested
+           definitions, which must not be lost to the later deref *)
+        let rhs = symbols alt in
+        productions := (name, rhs) :: !productions)
+      (alternatives e)
+  in
+  let start = fresh "start" in
+  define start e;
+  Cfg.make ~start ~productions:(List.rev !productions)
+
+(* --- CFG to μ-regex: equation elimination ------------------------------------ *)
+
+let of_cfg (cfg : Cfg.t) =
+  let body_of_production p =
+    List.fold_right
+      (fun sym acc ->
+        let s = match sym with Cfg.T c -> Chr c | Cfg.N m -> Var m in
+        match acc with Eps -> s | _ -> Seq (s, acc))
+      p.Cfg.rhs Eps
+  in
+  let equation n =
+    match Cfg.productions_of cfg n with
+    | [] -> Empty
+    | (_, p) :: rest ->
+      List.fold_left
+        (fun acc (_, p') -> Alt (acc, body_of_production p'))
+        (body_of_production p) rest
+  in
+  let nts = Cfg.nonterminals cfg in
+  (* Gaussian elimination on the grammar equations, last nonterminal
+     first.  solve returns, for each nonterminal, a solution whose free
+     variables are all *earlier* nonterminals: a later solution is built
+     by substituting the solutions of the nonterminals after it into its
+     own equation and closing with μ.  When substituting later solutions
+     into an earlier equation, the *latest* must be applied first, since
+     intermediate solutions may mention nonterminals between themselves
+     and the equation being solved. *)
+  let rec solve = function
+    | [] -> []
+    | (n, e) :: later ->
+      let solved_later = solve later in
+      let e' =
+        List.fold_left
+          (fun acc (m, s) -> subst m s acc)
+          e
+          (List.rev solved_later)
+      in
+      (n, Mu (n, e')) :: solved_later
+  in
+  match solve (List.map (fun n -> (n, equation n)) nts) with
+  | (_, solution) :: _ ->
+    (* head = start symbol: no earlier nonterminals remain, so closed *)
+    solution
+  | [] -> invalid_arg "Mu_regex.of_cfg: empty grammar"
+
+let rec pp_prec prec ppf e =
+  let paren p body = if prec > p then Fmt.pf ppf "(%t)" body else body ppf in
+  match e with
+  | Empty -> Fmt.string ppf "0"
+  | Eps -> Fmt.string ppf "ε"
+  | Chr c -> Fmt.pf ppf "%c" c
+  | Var x -> Fmt.pf ppf "%s" x
+  | Alt (a, b) ->
+    paren 0 (fun ppf -> Fmt.pf ppf "%a|%a" (pp_prec 0) a (pp_prec 1) b)
+  | Seq (a, b) ->
+    paren 1 (fun ppf -> Fmt.pf ppf "%a %a" (pp_prec 1) a (pp_prec 2) b)
+  | Star a -> paren 2 (fun ppf -> Fmt.pf ppf "%a*" (pp_prec 3) a)
+  | Mu (x, a) ->
+    paren 0 (fun ppf -> Fmt.pf ppf "μ%s. %a" x (pp_prec 0) a)
+
+let pp ppf e = pp_prec 0 ppf e

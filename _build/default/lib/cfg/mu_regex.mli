@@ -1,0 +1,44 @@
+(** μ-regular expressions (Leiß 1992).
+
+    Regular-expression syntax extended with variables and a least-fixpoint
+    binder [μx. e]; equal in expressive power to context-free grammars.
+    The paper encodes CFGs in Lambek^D exactly through this equivalence
+    ("CFGs are equivalent to the formalism of μ-regular expressions, where
+    the Kleene star is replaced by an arbitrary fixed point").
+
+    {!of_cfg} implements the grammar-equation elimination (Bekić/Gaussian
+    style) producing a closed μ-regular expression for any CFG; {!to_cfg}
+    is the easy converse.  Both directions preserve the language (tested
+    against Earley). *)
+
+type t =
+  | Empty
+  | Eps
+  | Chr of char
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Var of string
+  | Mu of string * t
+
+val free_vars : t -> string list
+val is_closed : t -> bool
+
+val to_grammar : t -> Lambekd_grammar.Grammar.t
+(** Denotation of a closed μ-regular expression in the Gr model: [Mu]
+    becomes an inductive linear type definition. *)
+
+val of_regex : Lambekd_regex.Regex.t -> t
+val to_cfg : t -> Cfg.t
+(** One nonterminal per [μ]-binder plus a start symbol. *)
+
+val of_cfg : Cfg.t -> t
+(** Closed expression for the start symbol, by eliminating nonterminals
+    one at a time: each equation [X = e] becomes [X := μX. e], substituted
+    into the remaining equations. *)
+
+val subst : string -> t -> t -> t
+(** [subst x replacement e]: capture-avoiding substitution (binders are
+    nonterminal names, assumed distinct from fresh binders). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,244 @@
+(* LR(0) items are (production index, dot position); the augmented start
+   production S' → S is index -1.  Item sets are sorted lists, used as
+   hash keys for the canonical collection. *)
+
+type action =
+  | Shift of int
+  | Reduce of int
+  | Accept
+
+type conflict = {
+  state : int;
+  lookahead : char option;
+  kind : [ `Shift_reduce of int | `Reduce_reduce of int * int ];
+}
+
+type table = {
+  cfg : Cfg.t;
+  num_states : int;
+  (* (state, char option as lookahead) -> action *)
+  actions : (int * char option, action) Hashtbl.t;
+  gotos : (int * string, int) Hashtbl.t;
+}
+
+exception Conflict of conflict
+
+let rhs_of (cfg : Cfg.t) prod =
+  if prod = -1 then [ Cfg.N cfg.Cfg.start ]
+  else (cfg.Cfg.productions.(prod)).Cfg.rhs
+
+let lhs_of (cfg : Cfg.t) prod =
+  if prod = -1 then "#start" else (cfg.Cfg.productions.(prod)).Cfg.lhs
+
+let closure cfg items =
+  let set = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let add item =
+    if not (Hashtbl.mem set item) then begin
+      Hashtbl.add set item ();
+      Queue.add item queue
+    end
+  in
+  List.iter add items;
+  while not (Queue.is_empty queue) do
+    let prod, dot = Queue.pop queue in
+    match List.nth_opt (rhs_of cfg prod) dot with
+    | Some (Cfg.N m) ->
+      List.iter (fun (pi, _) -> add (pi, 0)) (Cfg.productions_of cfg m)
+    | Some (Cfg.T _) | None -> ()
+  done;
+  List.sort compare (Hashtbl.fold (fun item () acc -> item :: acc) set [])
+
+let goto cfg items symbol =
+  closure cfg
+    (List.filter_map
+       (fun (prod, dot) ->
+         match List.nth_opt (rhs_of cfg prod) dot with
+         | Some s when s = symbol -> Some (prod, dot + 1)
+         | Some _ | None -> None)
+       items)
+
+(* eof ∈ FOLLOW(N): the start symbol has it; A → α N β with nullable β
+   propagates it from A to N. *)
+let eof_follow (cfg : Cfg.t) ff =
+  let table = Hashtbl.create 8 in
+  Hashtbl.replace table cfg.Cfg.start ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        if Hashtbl.mem table p.Cfg.lhs then begin
+          let rec walk = function
+            | [] -> ()
+            | Cfg.T _ :: rest -> walk rest
+            | Cfg.N m :: rest ->
+              let rest_nullable =
+                List.for_all
+                  (function
+                    | Cfg.T _ -> false
+                    | Cfg.N m' -> First_follow.nullable ff m')
+                  rest
+              in
+              if rest_nullable && not (Hashtbl.mem table m) then begin
+                Hashtbl.replace table m ();
+                changed := true
+              end;
+              walk rest
+          in
+          walk p.Cfg.rhs
+        end)
+      cfg.Cfg.productions
+  done;
+  fun n -> Hashtbl.mem table n
+
+let build (cfg : Cfg.t) =
+  let ff = First_follow.compute cfg in
+  let has_eof = eof_follow cfg ff in
+  let symbols =
+    List.map (fun c -> Cfg.T c) (Cfg.alphabet cfg)
+    @ List.map (fun n -> Cfg.N n) (Cfg.nonterminals cfg)
+  in
+  (* canonical collection *)
+  let numbering = Hashtbl.create 16 in
+  let states = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern items =
+    match Hashtbl.find_opt numbering items with
+    | Some id -> id
+    | None ->
+      let id = !count in
+      incr count;
+      Hashtbl.replace numbering items id;
+      states := (id, items) :: !states;
+      Queue.add (items, id) queue;
+      id
+  in
+  let start_state = intern (closure cfg [ (-1, 0) ]) in
+  assert (start_state = 0);
+  let transitions = Hashtbl.create 32 in
+  while not (Queue.is_empty queue) do
+    let items, id = Queue.pop queue in
+    List.iter
+      (fun symbol ->
+        match goto cfg items symbol with
+        | [] -> ()
+        | items' -> Hashtbl.replace transitions (id, symbol) (intern items'))
+      symbols
+  done;
+  (* tables *)
+  let actions = Hashtbl.create 64 in
+  let gotos = Hashtbl.create 32 in
+  let add_action state la action =
+    match Hashtbl.find_opt actions (state, la) with
+    | None -> Hashtbl.add actions (state, la) action
+    | Some existing when existing = action -> ()
+    | Some existing ->
+      let kind =
+        match existing, action with
+        | Shift _, Reduce p | Reduce p, Shift _ -> `Shift_reduce p
+        | Reduce p, Reduce q -> `Reduce_reduce (p, q)
+        | Accept, Reduce p | Reduce p, Accept -> `Shift_reduce p
+        | _ -> `Reduce_reduce (-1, -1)
+      in
+      raise (Conflict { state; lookahead = la; kind })
+  in
+  match
+    List.iter
+      (fun (id, items) ->
+        (* shifts *)
+        List.iter
+          (fun c ->
+            match Hashtbl.find_opt transitions (id, Cfg.T c) with
+            | Some id' -> add_action id (Some c) (Shift id')
+            | None -> ())
+          (Cfg.alphabet cfg);
+        (* reduces and accept *)
+        List.iter
+          (fun (prod, dot) ->
+            if dot = List.length (rhs_of cfg prod) then
+              if prod = -1 then add_action id None Accept
+              else begin
+                let lhs = lhs_of cfg prod in
+                List.iter
+                  (fun c -> add_action id (Some c) (Reduce prod))
+                  (First_follow.follow ff lhs);
+                if has_eof lhs then add_action id None (Reduce prod)
+              end)
+          items;
+        (* gotos *)
+        List.iter
+          (fun n ->
+            match Hashtbl.find_opt transitions (id, Cfg.N n) with
+            | Some id' -> Hashtbl.replace gotos (id, n) id'
+            | None -> ())
+          (Cfg.nonterminals cfg))
+      !states
+  with
+  | () -> Ok { cfg; num_states = !count; actions; gotos }
+  | exception Conflict c -> Error c
+
+let is_slr1 cfg = Result.is_ok (build cfg)
+let state_count t = t.num_states
+
+type error = {
+  position : int;
+  message : string;
+}
+
+exception Error of error
+
+let fail position fmt =
+  Fmt.kstr (fun message -> raise (Error { position; message })) fmt
+
+let parse t w =
+  let n = String.length w in
+  let lookahead pos = if pos < n then Some w.[pos] else None in
+  (* stack: (state, tree) list, newest first; the bottom has no tree *)
+  let rec loop stack pos =
+    let state = match stack with (s, _) :: _ -> s | [] -> assert false in
+    match Hashtbl.find_opt t.actions (state, lookahead pos) with
+    | None ->
+      fail pos "no action in state %d on %a" state
+        Fmt.(option ~none:(any "eof") char)
+        (lookahead pos)
+    | Some (Shift state') ->
+      let c = match lookahead pos with Some c -> c | None -> assert false in
+      loop ((state', Earley.Leaf c) :: stack) (pos + 1)
+    | Some (Reduce prod) ->
+      let p = t.cfg.Cfg.productions.(prod) in
+      let arity = List.length p.Cfg.rhs in
+      let rec pop k stack children =
+        if k = 0 then (stack, children)
+        else
+          match stack with
+          | (_, tree) :: rest -> pop (k - 1) rest (tree :: children)
+          | [] -> assert false
+      in
+      let stack, children = pop arity stack [] in
+      let exposed = match stack with (s, _) :: _ -> s | [] -> assert false in
+      (match Hashtbl.find_opt t.gotos (exposed, p.Cfg.lhs) with
+       | Some state' ->
+         loop ((state', Earley.Node (p.Cfg.lhs, prod, children)) :: stack) pos
+       | None -> fail pos "no goto from state %d on %s" exposed p.Cfg.lhs)
+    | Some Accept -> (
+      match stack with
+      | [ (_, tree); _ ] -> tree
+      | _ -> fail pos "accept with malformed stack")
+  in
+  match loop [ (0, Earley.Leaf ' ') ] 0 with
+  | tree -> Ok tree
+  | exception Error e -> Error e
+
+let pp_conflict ppf c =
+  let kind =
+    match c.kind with
+    | `Shift_reduce p -> Fmt.str "shift/reduce with production %d" p
+    | `Reduce_reduce (p, q) -> Fmt.str "reduce/reduce %d vs %d" p q
+  in
+  Fmt.pf ppf "SLR conflict in state %d on %a: %s" c.state
+    Fmt.(option ~none:(any "eof") char)
+    c.lookahead kind
+
+let pp_error ppf e = Fmt.pf ppf "parse error at %d: %s" e.position e.message

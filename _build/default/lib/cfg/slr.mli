@@ -1,0 +1,33 @@
+(** SLR(1) parsing.
+
+    The paper's future work names LR/LALR parser verification; this module
+    supplies the classical substrate: LR(0) item sets (closure/goto), the
+    canonical collection, the SLR(1) ACTION/GOTO tables with conflict
+    reporting, and a shift-reduce parser producing derivation trees
+    (shared with {!Earley.tree} for direct comparison).
+
+    SLR(1) strictly extends LL(1) in this repo's menu: the left-recursive
+    expression grammar [E → E + A | A] is SLR(1) but not LL(1). *)
+
+type table
+
+type conflict = {
+  state : int;
+  lookahead : char option;     (** [None] = end of input *)
+  kind : [ `Shift_reduce of int | `Reduce_reduce of int * int ];
+      (** offending production index(es) *)
+}
+
+val build : Cfg.t -> (table, conflict) result
+val is_slr1 : Cfg.t -> bool
+val state_count : table -> int
+
+type error = {
+  position : int;
+  message : string;
+}
+
+val parse : table -> string -> (Earley.tree, error) result
+
+val pp_conflict : Format.formatter -> conflict -> unit
+val pp_error : Format.formatter -> error -> unit

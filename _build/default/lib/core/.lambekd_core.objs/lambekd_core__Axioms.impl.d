@@ -1,0 +1,1 @@
+lib/core/axioms.ml: Lambekd_grammar List

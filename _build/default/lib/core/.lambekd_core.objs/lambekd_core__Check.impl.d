@@ -1,0 +1,1 @@
+lib/core/check.ml: Char Fmt Hashtbl Lambekd_grammar List Option Semantics String Syntax

@@ -1,0 +1,1 @@
+lib/core/equality.ml: Char Check Lambekd_grammar List Option Semantics String Syntax

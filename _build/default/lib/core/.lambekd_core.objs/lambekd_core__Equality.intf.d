@@ -1,0 +1,1 @@
+lib/core/equality.mli: Check Syntax

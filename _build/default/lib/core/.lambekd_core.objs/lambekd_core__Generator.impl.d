@@ -1,0 +1,1 @@
+lib/core/generator.ml: Bool Fmt Lambekd_grammar Library List Semantics String Syntax

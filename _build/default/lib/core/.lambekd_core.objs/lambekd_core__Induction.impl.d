@@ -1,0 +1,1 @@
+lib/core/induction.ml: Check Equality Fmt Lambekd_grammar Syntax

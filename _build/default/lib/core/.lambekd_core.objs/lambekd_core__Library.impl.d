@@ -1,0 +1,1 @@
+lib/core/library.ml: Bool Lambekd_grammar String Syntax

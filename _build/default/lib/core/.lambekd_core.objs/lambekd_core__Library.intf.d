@@ -1,0 +1,1 @@
+lib/core/library.mli: Check Lambekd_grammar Syntax

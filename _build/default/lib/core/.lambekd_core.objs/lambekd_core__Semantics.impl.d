@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Fmt Hashtbl Lambekd_grammar List Syntax

@@ -1,0 +1,1 @@
+lib/core/syntax.ml: Char Fmt Lambekd_grammar List

@@ -1,0 +1,74 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module P = G.Ptree
+module I = G.Index
+module T = G.Transformer
+module Q = G.Equivalence
+
+(* Axiom 3.1 (binary distributivity, Corollary-style form):
+   (A ⊕ B) & C  ≅  (A & C) ⊕ (B & C), as a strong equivalence with
+   explicit tree transformers. *)
+let distributivity a b c =
+  let source = Gr.amp2 (Gr.alt2 a b) c in
+  let target = Gr.alt2 (Gr.amp2 a c) (Gr.amp2 b c) in
+  let fwd =
+    T.make "distribute" (fun t ->
+        match P.as_tuple t with
+        | [ (_, P.Inj (tag, payload)); (_, tc) ] ->
+          P.Inj (tag, P.Tuple [ (Gr.inl_tag, payload); (Gr.inr_tag, tc) ])
+        | _ -> invalid_arg "distribute: malformed (A⊕B)&C parse")
+  in
+  let bwd =
+    T.make "undistribute" (fun t ->
+        let tag, payload = P.as_inj t in
+        match P.as_tuple payload with
+        | [ (_, tx); (_, tc) ] ->
+          P.Tuple
+            [ (Gr.inl_tag, P.Inj (tag, tx)); (Gr.inr_tag, tc) ]
+        | _ -> invalid_arg "undistribute: malformed parse")
+  in
+  Q.make ~source ~target ~fwd ~bwd
+
+let check_distributivity a b c alphabet ~max_len =
+  Q.check_strong (distributivity a b c) alphabet ~max_len
+
+(* 0 & A ≅ 0: both sides have empty languages. *)
+let check_zero_annihilates a alphabet ~max_len =
+  List.for_all
+    (fun w -> not (G.Enum.accepts (Gr.amp2 Gr.void a) w))
+    (G.Language.words alphabet ~max_len)
+
+(* Axiom 3.3 (σ-disjointness): for x ≠ x', no parses a : A x, a' : A x'
+   with σ x a = σ x' a'.  In the model this is the disjointness of
+   differently-tagged injections, checked over enumerated parses. *)
+let check_sigma_disjointness summands alphabet ~max_len =
+  List.for_all
+    (fun w ->
+      List.for_all
+        (fun (x, gx) ->
+          List.for_all
+            (fun (x', gx') ->
+              I.equal x x'
+              || List.for_all
+                   (fun a ->
+                     List.for_all
+                       (fun a' ->
+                         not (P.equal (P.Inj (x, a)) (P.Inj (x', a'))))
+                       (G.Enum.parses gx' w))
+                   (G.Enum.parses gx w))
+            summands)
+        summands)
+    (G.Language.words alphabet ~max_len)
+
+(* Axiom 3.4 / Theorem B.7: String is strongly equivalent to ⊤, which is
+   what makes `read` sound — reading the input after discarding it
+   recovers the same string. *)
+let read_equivalence alphabet =
+  Q.make
+    ~source:(Gr.string_g alphabet)
+    ~target:Gr.top
+    ~fwd:(T.make "!" (fun t -> P.TopP (P.yield t)))
+    ~bwd:(T.make "read" (fun t -> Gr.string_parse (P.yield t)))
+
+let check_read alphabet ~max_len =
+  Q.check_strong (read_equivalence alphabet) alphabet ~max_len

@@ -1,0 +1,29 @@
+(** The grammar-specific axioms of Lambek^D, verified in the model
+    (Axioms 3.1, 3.3, 3.4; Theorems B.5–B.7).
+
+    Each axiom is realized by explicit parse transformers and checked
+    exhaustively on all words up to a length bound — the executable
+    counterpart of the paper's Appendix B proofs. *)
+
+module G := Lambekd_grammar
+
+val distributivity :
+  G.Grammar.t -> G.Grammar.t -> G.Grammar.t -> G.Equivalence.t
+(** [(A ⊕ B) & C ≅ (A & C) ⊕ (B & C)] with explicit witnesses. *)
+
+val check_distributivity :
+  G.Grammar.t -> G.Grammar.t -> G.Grammar.t ->
+  char list -> max_len:int -> bool
+
+val check_zero_annihilates : G.Grammar.t -> char list -> max_len:int -> bool
+(** [0 & A ≅ 0]. *)
+
+val check_sigma_disjointness :
+  (Lambekd_grammar.Index.t * G.Grammar.t) list ->
+  char list -> max_len:int -> bool
+(** Axiom 3.3: distinct injections never produce equal parses. *)
+
+val read_equivalence : char list -> G.Equivalence.t
+(** Theorem B.7: [String ≅ ⊤], the semantic content of [read]. *)
+
+val check_read : char list -> max_len:int -> bool

@@ -1,0 +1,228 @@
+module G = Lambekd_grammar
+module I = G.Index
+module P = G.Ptree
+open Syntax
+
+type ctx = (string * ltype) list
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun m -> raise (Type_error m)) fmt
+
+(* all ordered binary splits of a context *)
+let splits2 ctx =
+  let n = List.length ctx in
+  List.init (n + 1) (fun i ->
+      (List.filteri (fun j _ -> j < i) ctx, List.filteri (fun j _ -> j >= i) ctx))
+
+let splits3 ctx =
+  List.concat_map
+    (fun (c1, rest) ->
+      List.map (fun (c2, c3) -> (c1, c2, c3)) (splits2 rest))
+    (splits2 ctx)
+
+let chars_of_ltype t =
+  let seen_mu = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go_t = function
+    | Chr c -> acc := c :: !acc
+    | One | Top -> ()
+    | Tensor (a, b) | LFun (a, b) | RFun (a, b) ->
+      go_t a;
+      go_t b
+    | Oplus f | With f ->
+      List.iter (fun x -> go_t (f.fam x)) (I.enumerate ~nat_bound:4 f.fam_set)
+    | Mu (m, _) ->
+      if not (Hashtbl.mem seen_mu m.mu_id) then begin
+        Hashtbl.add seen_mu m.mu_id ();
+        List.iter
+          (fun x -> go_spf (m.mu_spf x))
+          (I.enumerate ~nat_bound:4 m.mu_index_set)
+      end
+    | Equalizer (a, _) -> go_t a
+  and go_spf = function
+    | SVar _ -> ()
+    | SK t -> go_t t
+    | STensor (l, r) ->
+      go_spf l;
+      go_spf r
+    | SOplus f | SWith f ->
+      List.iter (fun x -> go_spf (f.sfam x)) (I.enumerate ~nat_bound:4 f.sfam_set)
+  in
+  go_t t;
+  List.sort_uniq Char.compare !acc
+
+(* The equalizer oracle: Γ; Δ ⊢ f e ≡ g e, tested on all parses of ⟦Δ⟧
+   over words up to the length bound. *)
+let equalizer_oracle ~oracle_len defs (ctx : ctx) e (eq : lfun2) body_ty =
+  let ctx_grammar = Semantics.grammar_of_ctx ~defs ctx in
+  let alphabet =
+    List.sort_uniq Char.compare
+      (List.concat_map (fun (_, t) -> chars_of_ltype t) ctx
+      @ chars_of_ltype body_ty)
+  in
+  let tr = Semantics.transformer defs ctx e in
+  let words =
+    if ctx = [] then [ "" ] else G.Language.words alphabet ~max_len:oracle_len
+  in
+  List.for_all
+    (fun w ->
+      List.for_all
+        (fun ctx_parse ->
+          let v = G.Transformer.apply tr ctx_parse in
+          P.equal
+            (Semantics.apply_closed defs eq.eq_left v)
+            (Semantics.apply_closed defs eq.eq_right v))
+        (G.Enum.parses ctx_grammar w))
+    words
+
+let rec checks_ ~nat_bound ~oracle_len defs (ctx : ctx) (e : term) (ty : ltype)
+    : bool =
+  let checks ctx e ty = checks_ ~nat_bound ~oracle_len defs ctx e ty in
+  let infer ctx e = infer_ ~nat_bound ~oracle_len defs ctx e in
+  let teq = ltype_equal ~nat_bound in
+  match e with
+  | Var x -> (
+    match ctx with
+    | [ (y, t) ] -> String.equal x y && teq t ty
+    | _ -> false)
+  | Global g -> (
+    ctx = []
+    && match find_def g defs with Some (t, _) -> teq t ty | None -> false)
+  | UnitI -> ctx = [] && teq ty One
+  | LetUnit (e1, e2) ->
+    List.exists
+      (fun (c1, c2, c3) -> checks c2 e1 One && checks (c1 @ c3) e2 ty)
+      (splits3 ctx)
+  | Pair (a, b) -> (
+    match ty with
+    | Tensor (ta, tb) ->
+      List.exists
+        (fun (c1, c2) -> checks c1 a ta && checks c2 b tb)
+        (splits2 ctx)
+    | _ -> false)
+  | LetPair (a, b, e1, e2) ->
+    List.exists
+      (fun (c1, c2, c3) ->
+        match infer c2 e1 with
+        | Some (Tensor (ta, tb)) ->
+          checks (c1 @ ((a, ta) :: (b, tb) :: c3)) e2 ty
+        | Some _ | None -> false)
+      (splits3 ctx)
+  | LamL (x, dom, body) -> (
+    match ty with
+    | LFun (a, b) -> teq dom a && checks (ctx @ [ (x, a) ]) body b
+    | _ -> false)
+  | LamR (x, dom, body) -> (
+    match ty with
+    | RFun (b, a) -> teq dom a && checks ((x, a) :: ctx) body b
+    | _ -> false)
+  | AppL _ | AppR _ | WithProj _ | EqElim _ | Fold _ -> (
+    match infer ctx e with Some t -> teq t ty | None -> false)
+  | WithLam (set, f) -> (
+    match ty with
+    | With fam ->
+      set = fam.fam_set
+      && List.for_all
+           (fun x -> checks ctx (f x) (fam.fam x))
+           (I.enumerate ~nat_bound set)
+    | _ -> false)
+  | Inj (x, e1) -> (
+    match ty with
+    | Oplus fam -> I.mem_set x fam.fam_set && checks ctx e1 (fam.fam x)
+    | _ -> false)
+  | Case (e1, a, branches) ->
+    List.exists
+      (fun (c1, c2, c3) ->
+        match infer c2 e1 with
+        | Some (Oplus fam) ->
+          List.for_all
+            (fun x -> checks (c1 @ ((a, fam.fam x) :: c3)) (branches x) ty)
+            (I.enumerate ~nat_bound fam.fam_set)
+        | Some _ | None -> false)
+      (splits3 ctx)
+  | Roll (m, e1) -> (
+    match ty with
+    | Mu (m', x) ->
+      m.mu_id = m'.mu_id
+      && checks ctx e1 (el (m.mu_spf x) (fun i -> Mu (m, i)))
+    | _ -> false)
+  | EqIntro e1 -> (
+    match ty with
+    | Equalizer (a, eq) ->
+      checks ctx e1 a && equalizer_oracle ~oracle_len defs ctx e1 eq a
+    | _ -> false)
+  | Ann (e1, t) -> teq t ty && checks ctx e1 t
+
+and infer_ ~nat_bound ~oracle_len defs (ctx : ctx) (e : term) : ltype option =
+  let checks ctx e ty = checks_ ~nat_bound ~oracle_len defs ctx e ty in
+  let infer ctx e = infer_ ~nat_bound ~oracle_len defs ctx e in
+  match e with
+  | Var x -> (
+    match ctx with
+    | [ (y, t) ] when String.equal x y -> Some t
+    | _ -> None)
+  | Global g -> if ctx = [] then Option.map fst (find_def g defs) else None
+  | UnitI -> if ctx = [] then Some One else None
+  | Ann (e1, t) -> if checks ctx e1 t then Some t else None
+  | AppL (f, arg) ->
+    List.find_map
+      (fun (cf, ca) ->
+        match infer cf f with
+        | Some (LFun (a, b)) -> if checks ca arg a then Some b else None
+        | Some _ | None -> None)
+      (splits2 ctx)
+  | AppR (arg, f) ->
+    List.find_map
+      (fun (ca, cf) ->
+        match infer cf f with
+        | Some (RFun (b, a)) -> if checks ca arg a then Some b else None
+        | Some _ | None -> None)
+      (splits2 ctx)
+  | WithProj (e1, x) -> (
+    match infer ctx e1 with
+    | Some (With fam) when I.mem_set x fam.fam_set -> Some (fam.fam x)
+    | Some _ | None -> None)
+  | EqElim e1 -> (
+    match infer ctx e1 with
+    | Some (Equalizer (a, _)) -> Some a
+    | Some _ | None -> None)
+  | Fold f ->
+    let algebras_ok =
+      List.for_all
+        (fun x ->
+          checks []
+            (f.fold_algebra x)
+            (LFun (el (f.fold_mu.mu_spf x) f.fold_target.fam, f.fold_target.fam x)))
+        (I.enumerate ~nat_bound f.fold_mu.mu_index_set)
+    in
+    if
+      algebras_ok
+      && I.mem_set f.fold_index f.fold_mu.mu_index_set
+      && checks ctx f.fold_scrutinee (Mu (f.fold_mu, f.fold_index))
+    then Some (f.fold_target.fam f.fold_index)
+    else None
+  | LetUnit _ | Pair _ | LetPair _ | LamL _ | LamR _ | WithLam _ | Inj _
+  | Case _ | Roll _ | EqIntro _ ->
+    None
+
+let checks ?(nat_bound = 8) ?(oracle_len = 6) defs ctx e ty =
+  checks_ ~nat_bound ~oracle_len defs ctx e ty
+
+let infer ?(nat_bound = 8) ?(oracle_len = 6) defs ctx e =
+  infer_ ~nat_bound ~oracle_len defs ctx e
+
+let check ?nat_bound ?oracle_len defs ctx e ty =
+  if not (checks ?nat_bound ?oracle_len defs ctx e ty) then
+    type_error "@[<v>ill-typed term:@,  %a@,does not check in context@,  [%a]@,against@,  %a@]"
+      pp_term e
+      Fmt.(list ~sep:comma (pair ~sep:(any ":") string pp_ltype))
+      ctx pp_ltype ty
+
+let check_def ?nat_bound ?oracle_len defs name =
+  match find_def name defs with
+  | None -> type_error "unknown definition %s" name
+  | Some (ty, body) -> check ?nat_bound ?oracle_len defs [] body ty
+
+let check_defs ?nat_bound ?oracle_len defs =
+  List.iter (check_def ?nat_bound ?oracle_len defs) (def_names defs)

@@ -1,0 +1,67 @@
+(** Algorithmic typing for Lambek^D linear terms (Fig 9).
+
+    The checker enforces the three substructural restrictions that make
+    parsers intrinsically sound (paper §2):
+
+    - {e no weakening}: every variable in the linear context must be
+      consumed ([a:'a', b:'b' ⊬ a : 'a']);
+    - {e no contraction}: a variable is consumed exactly once
+      ([a:'a' ⊬ (a,a) : 'a'⊗'a']);
+    - {e no exchange}: consumption happens in context order
+      ([a:'a', b:'b' ⊬ (b,a) : 'b'⊗'a']).
+
+    Context splitting for the multiplicative rules is resolved by
+    backtracking over the (ordered, contiguous) splits, which is complete
+    for this judgment; contexts in practice are tiny.
+
+    Judgments universally quantified over an index set (the branches of
+    [&]-introduction and ⊕-elimination, fold algebras) are checked at
+    every element of finite sets and at [0..nat_bound] of infinite ones —
+    the documented OCaml substitution for dependent checking.  The
+    equalizer introduction rule's equation premise is discharged by the
+    semantic oracle of {!Equality} on exhaustively enumerated context
+    parses up to [oracle_len]. *)
+
+type ctx = (string * Syntax.ltype) list
+
+exception Type_error of string
+
+val check :
+  ?nat_bound:int ->
+  ?oracle_len:int ->
+  Syntax.defs ->
+  ctx ->
+  Syntax.term ->
+  Syntax.ltype ->
+  unit
+(** [check defs Δ e A] verifies [Γ; Δ ⊢ e : A]; raises {!Type_error}.
+    Defaults: [nat_bound = 8], [oracle_len = 6]. *)
+
+val checks :
+  ?nat_bound:int ->
+  ?oracle_len:int ->
+  Syntax.defs ->
+  ctx ->
+  Syntax.term ->
+  Syntax.ltype ->
+  bool
+
+val infer :
+  ?nat_bound:int ->
+  ?oracle_len:int ->
+  Syntax.defs ->
+  ctx ->
+  Syntax.term ->
+  Syntax.ltype option
+(** Synthesize the type of an inferable form ([Var], [Global], [Ann],
+    applications, projections, [Fold]), consuming the context exactly. *)
+
+val check_def : ?nat_bound:int -> ?oracle_len:int -> Syntax.defs -> string -> unit
+(** Check one global definition against its declared type (closed). *)
+
+val check_defs : ?nat_bound:int -> ?oracle_len:int -> Syntax.defs -> unit
+(** Check every global definition. *)
+
+val chars_of_ltype : Syntax.ltype -> char list
+(** The characters a type's parses can contain — the alphabet used by the
+    equalizer oracle. *)

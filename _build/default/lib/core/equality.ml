@@ -1,0 +1,120 @@
+module G = Lambekd_grammar
+module P = G.Ptree
+open Syntax
+
+let rec subst x v (e : term) : term =
+  let s e = subst x v e in
+  match e with
+  | Var y -> if String.equal x y then v else e
+  | Global _ | UnitI -> e
+  | LetUnit (e1, e2) -> LetUnit (s e1, s e2)
+  | Pair (a, b) -> Pair (s a, s b)
+  | LetPair (a, b, e1, e2) ->
+    let e2' =
+      if String.equal a x || String.equal b x then e2 else s e2
+    in
+    LetPair (a, b, s e1, e2')
+  | LamL (y, t, body) ->
+    if String.equal y x then e else LamL (y, t, s body)
+  | LamR (y, t, body) ->
+    if String.equal y x then e else LamR (y, t, s body)
+  | AppL (f, a) -> AppL (s f, s a)
+  | AppR (a, f) -> AppR (s a, s f)
+  | WithLam (set, f) -> WithLam (set, fun i -> s (f i))
+  | WithProj (e1, i) -> WithProj (s e1, i)
+  | Inj (i, e1) -> Inj (i, s e1)
+  | Case (e1, a, branches) ->
+    let branches' =
+      if String.equal a x then branches else fun i -> s (branches i)
+    in
+    Case (s e1, a, branches')
+  | Roll (m, e1) -> Roll (m, s e1)
+  | Fold f ->
+    Fold
+      {
+        f with
+        fold_algebra = (fun i -> s (f.fold_algebra i));
+        fold_scrutinee = s f.fold_scrutinee;
+      }
+  | EqIntro e1 -> EqIntro (s e1)
+  | EqElim e1 -> EqElim (s e1)
+  | Ann (e1, t) -> Ann (s e1, t)
+
+let rec beta_step (e : term) : term option =
+  let descend rebuild parts =
+    (* reduce the leftmost reducible subterm *)
+    let rec go before = function
+      | [] -> None
+      | p :: rest -> (
+        match beta_step p with
+        | Some p' -> Some (rebuild (List.rev_append before (p' :: rest)))
+        | None -> go (p :: before) rest)
+    in
+    go [] parts
+  in
+  match e with
+  (* --- the β-redexes of Fig 22 --- *)
+  | AppL (LamL (x, _, body), arg) -> Some (subst x arg body)
+  | AppR (arg, LamR (x, _, body)) -> Some (subst x arg body)
+  | LetUnit (UnitI, e2) -> Some e2
+  | LetPair (a, b, Pair (e1, e2), e3) ->
+    Some (subst a e1 (subst b e2 e3))
+  | Case (Inj (i, p), a, branches) -> Some (subst a p (branches i))
+  | WithProj (WithLam (_, f), i) -> Some (f i)
+  | EqElim (EqIntro e1) -> Some e1
+  | Ann (e1, _) -> Some e1
+  (* --- congruence --- *)
+  | Var _ | Global _ | UnitI -> None
+  | LetUnit (e1, e2) ->
+    descend (function [ a; b ] -> LetUnit (a, b) | _ -> assert false) [ e1; e2 ]
+  | Pair (e1, e2) ->
+    descend (function [ a; b ] -> Pair (a, b) | _ -> assert false) [ e1; e2 ]
+  | LetPair (a, b, e1, e2) ->
+    descend
+      (function [ x; y ] -> LetPair (a, b, x, y) | _ -> assert false)
+      [ e1; e2 ]
+  | LamL (x, t, body) ->
+    Option.map (fun b -> LamL (x, t, b)) (beta_step body)
+  | LamR (x, t, body) ->
+    Option.map (fun b -> LamR (x, t, b)) (beta_step body)
+  | AppL (f, a) ->
+    descend (function [ x; y ] -> AppL (x, y) | _ -> assert false) [ f; a ]
+  | AppR (a, f) ->
+    descend (function [ x; y ] -> AppR (x, y) | _ -> assert false) [ a; f ]
+  | WithLam _ -> None (* bodies are index-functions; reduced on projection *)
+  | WithProj (e1, i) -> Option.map (fun x -> WithProj (x, i)) (beta_step e1)
+  | Inj (i, e1) -> Option.map (fun x -> Inj (i, x)) (beta_step e1)
+  | Case (e1, a, branches) ->
+    Option.map (fun x -> Case (x, a, branches)) (beta_step e1)
+  | Roll (m, e1) -> Option.map (fun x -> Roll (m, x)) (beta_step e1)
+  | Fold f ->
+    Option.map
+      (fun s -> Fold { f with fold_scrutinee = s })
+      (beta_step f.fold_scrutinee)
+  | EqIntro e1 -> Option.map (fun x -> EqIntro x) (beta_step e1)
+  | EqElim e1 -> Option.map (fun x -> EqElim x) (beta_step e1)
+
+let normalize ?(fuel = 1000) e =
+  let rec go fuel e =
+    if fuel <= 0 then e
+    else match beta_step e with Some e' -> go (fuel - 1) e' | None -> e
+  in
+  go fuel e
+
+let semantic_equal ?(max_len = 5) defs (ctx : Check.ctx) e1 e2 =
+  let ctx_grammar = Semantics.grammar_of_ctx ~defs ctx in
+  let alphabet =
+    List.sort_uniq Char.compare
+      (List.concat_map (fun (_, t) -> Check.chars_of_ltype t) ctx)
+  in
+  let t1 = Semantics.transformer defs ctx e1 in
+  let t2 = Semantics.transformer defs ctx e2 in
+  let words =
+    if ctx = [] then [ "" ] else G.Language.words alphabet ~max_len
+  in
+  List.for_all
+    (fun w ->
+      List.for_all
+        (fun p -> P.equal (G.Transformer.apply t1 p) (G.Transformer.apply t2 p))
+        (G.Enum.parses ctx_grammar w))
+    words

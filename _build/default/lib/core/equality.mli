@@ -1,0 +1,34 @@
+(** The equational theory of Lambek^D terms (Fig 22), executably.
+
+    Two complementary tools:
+
+    - a syntactic {e β-normalizer} for the redexes of Fig 22 (function
+      application, [let]-pattern matches, case-of-injection, projection of
+      a [&]-introduction, equalizer β), and
+
+    - the {e semantic oracle}: two terms of the same judgment are equal
+      iff their denotations agree, checked on every parse of the context
+      grammar up to a word-length bound.  The paper's soundness theorem
+      (§5.2, condition 5) says judgmental equality implies semantic
+      equality; the tests verify each β-law through this oracle. *)
+
+val subst : string -> Syntax.term -> Syntax.term -> Syntax.term
+(** [subst x v e]: substitute [v] for the free linear variable [x],
+    not descending under binders that shadow [x]. *)
+
+val beta_step : Syntax.term -> Syntax.term option
+(** One leftmost-outermost β-reduction, if any. *)
+
+val normalize : ?fuel:int -> Syntax.term -> Syntax.term
+(** Iterate {!beta_step} (default fuel 1000). *)
+
+val semantic_equal :
+  ?max_len:int ->
+  Syntax.defs ->
+  Check.ctx ->
+  Syntax.term ->
+  Syntax.term ->
+  bool
+(** [⟦e₁⟧ = ⟦e₂⟧] on all context parses of words up to [max_len]
+    (default 5).  For the empty context only the empty word matters, so
+    the check is exact. *)

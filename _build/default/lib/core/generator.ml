@@ -1,0 +1,168 @@
+module G = Lambekd_grammar
+module I = G.Index
+module P = G.Ptree
+open Syntax
+
+type dfa = {
+  num_states : int;
+  init : int;
+  accepting : int -> bool;
+  step : int -> char -> int;
+  alphabet : char list;
+}
+
+type t = {
+  dfa : dfa;
+  trace_mu : mu;
+  string_type : ltype;
+  string_mu : mu;
+  parse_term : term;
+  parse_type : ltype;
+  parse_from_init : term;
+  parse_from_init_type : ltype;
+  defs : defs;
+}
+
+let trace_mu_of d =
+  declare_mu "dfa_trace"
+    (I.Pair_set (I.Fin_set d.num_states, I.Bool_set))
+    (fun ix ->
+      match ix with
+      | I.P (I.N s, I.B b) ->
+        let stop_tags = if Bool.equal (d.accepting s) b then [ "stop" ] else [] in
+        let char_tags = List.map (String.make 1) d.alphabet in
+        SOplus
+          {
+            sfam_set = I.Tag_set (stop_tags @ char_tags);
+            sfam =
+              (fun tag ->
+                match tag with
+                | I.S "stop" when stop_tags <> [] -> SK One
+                | I.S t when String.length t = 1 ->
+                  let c = t.[0] in
+                  STensor (SK (Chr c), SVar (I.P (I.N (d.step s c), I.B b)))
+                | _ -> invalid_arg "dfa_trace: bad constructor tag");
+          }
+      | _ -> invalid_arg "dfa_trace: index must be (state, bool)")
+
+let generate d =
+  let trace_mu = trace_mu_of d in
+  let trace s b = Mu (trace_mu, I.P (I.N s, I.B b)) in
+  let string_type, string_mu = Library.string_type d.alphabet in
+  let states = I.Fin_set d.num_states in
+  (* the motive: A = &(s : states) ⊕(b : Bool) Trace s b *)
+  let motive_at s =
+    Oplus
+      {
+        fam_set = I.Bool_set;
+        fam = (fun bx -> match bx with I.B b -> trace s b | _ -> assert false);
+      }
+  in
+  let motive =
+    With
+      {
+        fam_set = states;
+        fam = (fun sx -> match sx with I.N s -> motive_at s | _ -> assert false);
+      }
+  in
+  let target = { fam_set = I.Unit_set; fam = (fun _ -> motive) } in
+  (* Fig 12, nil case: terminate at every state with its acceptance bit *)
+  let nil_case =
+    WithLam
+      ( states,
+        fun sx ->
+          match sx with
+          | I.N s ->
+            Inj
+              ( I.B (d.accepting s),
+                Roll (trace_mu, Inj (I.S "stop", UnitI)) )
+          | _ -> assert false )
+  in
+  (* Fig 12, cons case: on character c at state s, step and extend *)
+  let cons_case =
+    LetPair
+      ( "ch",
+        "rest",
+        Var "p",
+        Case
+          ( Var "ch",
+            "c0",
+            fun cx ->
+              match cx with
+              | I.C c ->
+                WithLam
+                  ( states,
+                    fun sx ->
+                      match sx with
+                      | I.N s ->
+                        Case
+                          ( WithProj (Var "rest", I.N (d.step s c)),
+                            "t",
+                            fun bx ->
+                              Inj
+                                ( bx,
+                                  Roll
+                                    ( trace_mu,
+                                      Inj
+                                        ( I.S (String.make 1 c),
+                                          Pair (Var "c0", Var "t") ) ) ) )
+                      | _ -> assert false )
+              | _ -> invalid_arg "parse_D: non-character tag" ) )
+  in
+  let algebra _ =
+    LamL
+      ( "v",
+        el (string_mu.mu_spf I.U) target.fam,
+        Case
+          ( Var "v",
+            "p",
+            fun tag ->
+              if I.equal tag (I.S "nil") then LetUnit (Var "p", nil_case)
+              else cons_case ) )
+  in
+  let parse_term =
+    LamL
+      ( "w",
+        string_type,
+        Fold
+          {
+            fold_mu = string_mu;
+            fold_target = target;
+            fold_algebra = algebra;
+            fold_index = I.U;
+            fold_scrutinee = Var "w";
+          } )
+  in
+  let parse_type = LFun (string_type, motive) in
+  let parse_from_init =
+    LamL
+      ( "w",
+        string_type,
+        WithProj (AppL (Global "parse_D", Var "w"), I.N d.init) )
+  in
+  let parse_from_init_type = LFun (string_type, motive_at d.init) in
+  let defs =
+    empty_defs
+    |> add_def "parse_D" parse_type parse_term
+    |> add_def "parse_init" parse_from_init_type parse_from_init
+  in
+  {
+    dfa = d;
+    trace_mu;
+    string_type;
+    string_mu;
+    parse_term;
+    parse_type;
+    parse_from_init;
+    parse_from_init_type;
+    defs;
+  }
+
+let trace_type t s b = Mu (t.trace_mu, I.P (I.N s, I.B b))
+
+let parse t w =
+  let string_parse = G.Grammar.string_parse w in
+  match Semantics.apply_closed t.defs t.parse_from_init string_parse with
+  | P.Inj (I.B b, trace) -> (b, trace)
+  | other ->
+    invalid_arg (Fmt.str "Generator.parse: unexpected result %a" P.pp other)

@@ -1,0 +1,68 @@
+module I = Lambekd_grammar.Index
+open Syntax
+
+let fresh =
+  let k = ref 0 in
+  fun prefix ->
+    incr k;
+    Fmt.str "%%%s%d" prefix !k
+
+let rec map_term (f : spf) (h : I.t -> term -> term) (v : term) : term =
+  match f with
+  | SVar x -> h x v
+  | SK _ -> v
+  | STensor (l, r) ->
+    let a = fresh "l" and b = fresh "r" in
+    LetPair (a, b, v, Pair (map_term l h (Var a), map_term r h (Var b)))
+  | SOplus { sfam; _ } ->
+    let p = fresh "p" in
+    Case (v, p, fun tag -> Inj (tag, map_term (sfam tag) h (Var p)))
+  | SWith { sfam_set; sfam } ->
+    WithLam (sfam_set, fun x -> map_term (sfam x) h (WithProj (v, x)))
+
+let equalizer_of mu ~f ~g x =
+  Equalizer (Mu (mu, x), { eq_left = f; eq_right = g })
+
+let induction_term mu ~f ~g x =
+  let target =
+    { fam_set = mu.mu_index_set; fam = (fun i -> equalizer_of mu ~f ~g i) }
+  in
+  let algebra i =
+    let v = fresh "v" in
+    LamL
+      ( v,
+        el (mu.mu_spf i) target.fam,
+        EqIntro
+          (Roll (mu, map_term (mu.mu_spf i) (fun _ e -> EqElim e) (Var v)))
+      )
+  in
+  let s = fresh "s" in
+  LamL
+    ( s,
+      Mu (mu, x),
+      Fold
+        {
+          fold_mu = mu;
+          fold_target = target;
+          fold_algebra = algebra;
+          fold_index = x;
+          fold_scrutinee = Var s;
+        } )
+
+let equal_by_induction ?(oracle_len = 5) defs mu ~f ~g x =
+  let ind = induction_term mu ~f ~g x in
+  let ind_type = LFun (Mu (mu, x), equalizer_of mu ~f ~g x) in
+  (* building ind succeeds only when the equalizer premise — the
+     inductive step — passes the oracle *)
+  Check.checks ~oracle_len defs [] ind ind_type
+  &&
+  (* EqElim ∘ ind ≡ id, hence any a : μF x satisfies f a = g a, i.e.
+     f ≡ g — compared extensionally in a context holding the argument *)
+  let s = fresh "s" in
+  let ctx = [ (s, Mu (mu, x)) ] in
+  Equality.semantic_equal ~max_len:oracle_len defs ctx
+    (EqElim (AppL (ind, Var s)))
+    (Var s)
+  && Equality.semantic_equal ~max_len:oracle_len defs ctx
+       (AppL (f, Var s))
+       (AppL (g, Var s))

@@ -1,0 +1,49 @@
+(** Inductive equality proofs via the equalizer type (paper §3.3).
+
+    Linear types cannot depend on linear types, so Lambek^D has no
+    dependent eliminator; instead, to prove two functions
+    [f, g : ↑(μF x ⊸ A x)] equal, one builds
+    [ind : ↑(μF x ⊸ {a : μF x │ f a = g a})] by [fold] — the algebra
+    re-rolls one layer, projecting the inductive hypotheses out of the
+    equalizer — and then observes that [EqElim ∘ ind ≡ id].
+
+    {!equal_by_induction} performs exactly this construction in the
+    kernel.  Discharging the [EqIntro] premise is where the inductive
+    step lives: the checker's semantic oracle verifies
+    [f (roll (map π v)) = g (roll (map π v))] for the one-layer context,
+    which holds whenever the pointwise equation commutes with one
+    unrolling — the β-consequence the paper's Ind-η rule captures. *)
+
+module I := Lambekd_grammar.Index
+
+val map_term :
+  Syntax.spf -> (I.t -> Syntax.term -> Syntax.term) -> Syntax.term ->
+  Syntax.term
+(** [map_term F h v]: the canonical term of type
+    [el F B ⊸ el F C] applied to [v], where [h x] transforms the
+    recursive position at index [x] (Fig 17's [map], generated as a
+    pattern-matching term). *)
+
+val induction_term :
+  Syntax.mu ->
+  f:Syntax.term ->
+  g:Syntax.term ->
+  I.t ->
+  Syntax.term
+(** [ind x : μF x ⊸ {a : μF x │ f a = g a}], as a [fold].  [f] and [g]
+    must be closed terms of type [μF x ⊸ μF x] (the common shape in the
+    paper's uses; the technique generalizes, the kernel encoding here is
+    specialized to endofunction equality). *)
+
+val equal_by_induction :
+  ?oracle_len:int ->
+  Syntax.defs ->
+  Syntax.mu ->
+  f:Syntax.term ->
+  g:Syntax.term ->
+  I.t ->
+  bool
+(** Run the whole §3.3 recipe: build [ind], check it (which discharges the
+    equalizer premise through the oracle), verify [EqElim ∘ ind ≡ id]
+    semantically, and conclude [f ≡ g].  Returns [false] if any step
+    fails — in particular when [f] and [g] genuinely differ. *)

@@ -1,0 +1,312 @@
+module I = Lambekd_grammar.Index
+open Syntax
+
+(* --- Kleene star (Fig 2) ----------------------------------------------------- *)
+
+let star_tags = I.Tag_set [ "nil"; "cons" ]
+
+let star_mu a =
+  declare_mu "star" I.Unit_set (fun _ ->
+      SOplus
+        {
+          sfam_set = star_tags;
+          sfam =
+            (fun tag ->
+              if I.equal tag (I.S "nil") then SK One
+              else STensor (SK a, SVar I.U));
+        })
+
+let star a = Mu (star_mu a, I.U)
+let nil m = Roll (m, Inj (I.S "nil", UnitI))
+let cons m hd tl = Roll (m, Inj (I.S "cons", Pair (hd, tl)))
+
+let char_type alphabet =
+  Oplus { fam_set = I.Char_set alphabet; fam = (fun x ->
+      match x with
+      | I.C c -> Chr c
+      | _ -> invalid_arg "char_type: non-character index") }
+
+let string_type alphabet =
+  let m = star_mu (char_type alphabet) in
+  (Mu (m, I.U), m)
+
+(* --- Fig 1 -------------------------------------------------------------------- *)
+
+let ab = Tensor (Chr 'a', Chr 'b')
+let fig1_type = oplus2 ab (Chr 'c')
+let fig1_ctx = [ ("a", Chr 'a'); ("b", Chr 'b') ]
+let fig1_term = inl (Pair (Var "a", Var "b"))
+
+let fig1_f =
+  LamL ("p", ab, LetPair ("a", "b", Var "p", inl (Pair (Var "a", Var "b"))))
+
+(* --- Fig 3 -------------------------------------------------------------------- *)
+
+let fig3_star = star_mu (Chr 'a')
+let fig3_type = oplus2 (Tensor (Mu (fig3_star, I.U), Chr 'b')) (Chr 'c')
+
+let fig3_term =
+  inl (Pair (cons fig3_star (Var "a") (nil fig3_star), Var "b"))
+
+(* --- Fig 4: h : (A⊗A)* ⊸ A* --------------------------------------------------- *)
+
+let fig4_h a =
+  let pairs = star_mu (Tensor (a, a)) in
+  let stars = star_mu a in
+  let target = { fam_set = I.Unit_set; fam = (fun _ -> Mu (stars, I.U)) } in
+  let algebra _ =
+    (* v : I ⊕ ((A⊗A) ⊗ A*target) *)
+    LamL
+      ( "v",
+        el (pairs.mu_spf I.U) target.fam,
+        Case
+          ( Var "v",
+            "p",
+            fun tag ->
+              if I.equal tag (I.S "nil") then LetUnit (Var "p", nil stars)
+              else
+                LetPair
+                  ( "aa",
+                    "rest",
+                    Var "p",
+                    LetPair
+                      ( "a1",
+                        "a2",
+                        Var "aa",
+                        cons stars (Var "a1")
+                          (cons stars (Var "a2") (Var "rest")) ) ) ) )
+  in
+  let h =
+    LamL
+      ( "s",
+        Mu (pairs, I.U),
+        Fold
+          {
+            fold_mu = pairs;
+            fold_target = target;
+            fold_algebra = algebra;
+            fold_index = I.U;
+            fold_scrutinee = Var "s";
+          } )
+  in
+  (pairs, stars, h)
+
+(* --- Fig 5: NFA traces ---------------------------------------------------------- *)
+
+let fig5_trace =
+  declare_mu "fig5_trace" (I.Fin_set 3) (fun s ->
+      match s with
+      | I.N 0 ->
+        SOplus
+          {
+            sfam_set = I.Tag_set [ "0to2"; "0to1" ];
+            sfam =
+              (fun tag ->
+                if I.equal tag (I.S "0to2") then
+                  STensor (SK (Chr 'c'), SVar (I.N 2))
+                else SVar (I.N 1));
+          }
+      | I.N 1 ->
+        SOplus
+          {
+            sfam_set = I.Tag_set [ "1to1"; "1to2" ];
+            sfam =
+              (fun tag ->
+                if I.equal tag (I.S "1to1") then
+                  STensor (SK (Chr 'a'), SVar (I.N 1))
+                else STensor (SK (Chr 'b'), SVar (I.N 2)));
+          }
+      | I.N 2 ->
+        SOplus
+          { sfam_set = I.Tag_set [ "stop" ]; sfam = (fun _ -> SK One) }
+      | _ -> invalid_arg "fig5_trace: state out of range")
+
+let fig5_trace_type s = Mu (fig5_trace, s)
+
+let fig5_k =
+  let roll tag payload = Roll (fig5_trace, Inj (I.S tag, payload)) in
+  LamL
+    ( "p",
+      ab,
+      LetPair
+        ( "a",
+          "b",
+          Var "p",
+          roll "0to1"
+            (roll "1to1"
+               (Pair
+                  ( Var "a",
+                    roll "1to2" (Pair (Var "b", roll "stop" UnitI)) ))) ) )
+
+
+(* --- Fig 13/14: the Dyck language in the kernel -------------------------------- *)
+
+(* Dyck = nil | bal '(' Dyck ')' Dyck, payload right-nested *)
+let dyck_mu =
+  declare_mu "kdyck" I.Unit_set (fun _ ->
+      SOplus
+        {
+          sfam_set = I.Tag_set [ "nil"; "bal" ];
+          sfam =
+            (fun tag ->
+              if I.equal tag (I.S "nil") then SK One
+              else
+                STensor
+                  ( SK (Chr '('),
+                    STensor (SVar I.U, STensor (SK (Chr ')'), SVar I.U)) ));
+        })
+
+let dyck_type = Mu (dyck_mu, I.U)
+let dyck_nil = Roll (dyck_mu, Inj (I.S "nil", UnitI))
+
+let dyck_bal op inner cp rest =
+  Roll (dyck_mu, Inj (I.S "bal", Pair (op, Pair (inner, Pair (cp, rest)))))
+
+(* Fig 14's counter automaton, states shifted by one so that the rejecting
+   sink is 0 and counter n is state n+1; state 1 (counter 0) accepts. *)
+let dyck_step s c =
+  if s = 0 then 0
+  else
+    match c with
+    | '(' -> s + 1
+    | ')' -> if s >= 2 then s - 1 else 0
+    | _ -> 0
+
+let dyck_trace_mu =
+  declare_mu "kdyck_trace"
+    (I.Pair_set (I.Nat_set, I.Bool_set))
+    (fun ix ->
+      match ix with
+      | I.P (I.N s, I.B b) ->
+        let stop_tags = if Bool.equal (s = 1) b then [ "stop" ] else [] in
+        SOplus
+          {
+            sfam_set = I.Tag_set (stop_tags @ [ "("; ")" ]);
+            sfam =
+              (fun tag ->
+                match tag with
+                | I.S "stop" when stop_tags <> [] -> SK One
+                | I.S "(" ->
+                  STensor
+                    (SK (Chr '('), SVar (I.P (I.N (dyck_step s '('), I.B b)))
+                | I.S ")" ->
+                  STensor
+                    (SK (Chr ')'), SVar (I.P (I.N (dyck_step s ')'), I.B b)))
+                | _ -> invalid_arg "kdyck_trace: bad tag");
+          }
+      | _ -> invalid_arg "kdyck_trace: index must be (state, bool)")
+
+let dyck_trace_type s b = Mu (dyck_trace_mu, I.P (I.N s, I.B b))
+
+(* Theorem 4.13's forward direction as a kernel term: a
+   continuation-passing fold.  The motive is the infinitely-indexed
+   conjunction &[(s,b)] (Trace (s,b) ⊸ Trace (s,b)) — a Dyck word maps
+   any continuation trace at counter state s back to a trace at s,
+   prefixed by its own brackets; the sink state absorbs, so the indices
+   line up at every s. *)
+let dyck_to_traces =
+  let motive =
+    With
+      {
+        fam_set = I.Pair_set (I.Nat_set, I.Bool_set);
+        fam =
+          (fun ix ->
+            match ix with
+            | I.P (I.N s, I.B b) ->
+              LFun (dyck_trace_type s b, dyck_trace_type s b)
+            | _ -> invalid_arg "dyck motive: bad index");
+      }
+  in
+  let target = { fam_set = I.Unit_set; fam = (fun _ -> motive) } in
+  let cons_term c payload_char sub =
+    Roll (dyck_trace_mu, Inj (I.S (String.make 1 c), Pair (payload_char, sub)))
+  in
+  let algebra _ =
+    LamL
+      ( "v",
+        el (dyck_mu.mu_spf I.U) target.fam,
+        Case
+          ( Var "v",
+            "p",
+            fun tag ->
+              if I.equal tag (I.S "nil") then
+                LetUnit
+                  ( Var "p",
+                    WithLam
+                      ( I.Pair_set (I.Nat_set, I.Bool_set),
+                        fun ix ->
+                          match ix with
+                          | I.P (I.N s, I.B b) ->
+                            LamL ("k", dyck_trace_type s b, Var "k")
+                          | _ -> invalid_arg "dyck algebra: bad index" ) )
+              else
+                LetPair
+                  ( "op",
+                    "rest1",
+                    Var "p",
+                    LetPair
+                      ( "m1",
+                        "rest2",
+                        Var "rest1",
+                        LetPair
+                          ( "cp",
+                            "m2",
+                            Var "rest2",
+                            WithLam
+                              ( I.Pair_set (I.Nat_set, I.Bool_set),
+                                fun ix ->
+                                  match ix with
+                                  | I.P (I.N s, I.B b) ->
+                                    let s1 = dyck_step s '(' in
+                                    LamL
+                                      ( "k",
+                                        dyck_trace_type s b,
+                                        cons_term '(' (Var "op")
+                                          (AppL
+                                             ( WithProj
+                                                 (Var "m1", I.P (I.N s1, I.B b)),
+                                               cons_term ')' (Var "cp")
+                                                 (AppL
+                                                    ( WithProj
+                                                        ( Var "m2",
+                                                          I.P (I.N s, I.B b) ),
+                                                      Var "k" )) )) )
+                                  | _ -> invalid_arg "dyck algebra: bad index"
+                              ) ) ) ) ) )
+  in
+  LamL
+    ( "d",
+      dyck_type,
+      LamL
+        ( "k0",
+          dyck_trace_type 1 true,
+          AppL
+            ( WithProj
+                ( Fold
+                    {
+                      fold_mu = dyck_mu;
+                      fold_target = target;
+                      fold_algebra = algebra;
+                      fold_index = I.U;
+                      fold_scrutinee = Var "d";
+                    },
+                  I.P (I.N 1, I.B true) ),
+              Var "k0" ) ) )
+
+let dyck_stop = Roll (dyck_trace_mu, Inj (I.S "stop", UnitI))
+
+(* --- global definitions ------------------------------------------------------------ *)
+
+(* fig4_h declares its own star μs; its global type must use exactly those
+   (μ types are nominal) *)
+let defs =
+  let pairs, stars, h = fig4_h (Chr 'a') in
+  empty_defs
+  |> add_def "fig1_f" (LFun (ab, fig1_type)) fig1_f
+  |> add_def "fig4_h" (LFun (Mu (pairs, I.U), Mu (stars, I.U))) h
+  |> add_def "fig5_k" (LFun (ab, fig5_trace_type (I.N 0))) fig5_k
+  |> add_def "dyck_to_traces"
+       (LFun
+          ( dyck_type,
+            LFun (dyck_trace_type 1 true, dyck_trace_type 1 true) ))
+       dyck_to_traces

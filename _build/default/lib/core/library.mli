@@ -1,0 +1,93 @@
+(** The paper's example programs as deep Lambek^D terms (§2).
+
+    Every term here is checkable with {!Check} and runnable with
+    {!Semantics}; tree shapes are chosen to coincide with the
+    {!Lambekd_grammar} layer's conventions (the Kleene-star μ uses the
+    same ["star"]/[nil]/[cons] naming as {!Lambekd_grammar.Grammar.star}),
+    so kernel-produced parses are interchangeable with engine-enumerated
+    ones. *)
+
+module I := Lambekd_grammar.Index
+
+(** {1 Kleene star as an inductive linear type (Fig 2)} *)
+
+val star_mu : Syntax.ltype -> Syntax.mu
+val star : Syntax.ltype -> Syntax.ltype
+val nil : Syntax.mu -> Syntax.term
+val cons : Syntax.mu -> Syntax.term -> Syntax.term -> Syntax.term
+
+val char_type : char list -> Syntax.ltype
+(** [Char] = ⊕ of the alphabet's literals. *)
+
+val string_type : char list -> Syntax.ltype * Syntax.mu
+(** [String] = Kleene star of [Char]; also returns the μ for building
+    terms. *)
+
+(** {1 Fig 1: a parse of "ab" by [('a'⊗'b') ⊕ 'c']} *)
+
+val fig1_type : Syntax.ltype
+val fig1_ctx : Check.ctx
+(** [⌜"ab"⌝ = a:'a', b:'b']. *)
+
+val fig1_term : Syntax.term
+(** [inl (a, b)]. *)
+
+val fig1_f : Syntax.term
+(** The function [f (a,b) = inl (a,b)] of Fig 1. *)
+
+(** {1 Fig 3: "ab" parsed by [('a'* ⊗ 'b') ⊕ 'c']} *)
+
+val fig3_star : Syntax.mu
+val fig3_type : Syntax.ltype
+val fig3_term : Syntax.term
+(** [inl (cons a nil, b)] in context [⌜"ab"⌝]. *)
+
+(** {1 Fig 4: the parse transformer [(A⊗A)* ⊸ A*]} *)
+
+val fig4_h : Syntax.ltype -> Syntax.mu * Syntax.mu * Syntax.term
+(** [(pairs_mu, star_mu, h)] where [h : (A⊗A)* ⊸ A*] is defined by
+    [fold] exactly as in Fig 4. *)
+
+(** {1 Fig 5: the NFA trace type and the trace of "ab"} *)
+
+val fig5_trace : Syntax.mu
+(** Indexed by [Fin 3]; constructors [stop], [1to1], [1to2], [0to2],
+    [0to1]. *)
+
+val fig5_trace_type : I.t -> Syntax.ltype
+val fig5_k : Syntax.term
+(** [k (a,b) = 0to1 (1to1 a (1to2 b stop)) : ('a'⊗'b') ⊸ Trace 0]. *)
+
+(** {1 Figs 13–14: the Dyck language, continuation style}
+
+    The counter automaton's states are shifted: state 0 is the rejecting
+    sink, state [n+1] holds counter [n]; state 1 accepts.  The forward
+    direction of Theorem 4.13 is a checked kernel term whose fold motive
+    is the {e infinitely indexed} conjunction
+    [&(s,b). Trace(s,b) ⊸ Trace(s,b)] — the continuation-passing style
+    of §5.3, expressible because evaluation keeps [&]-values symbolic. *)
+
+val dyck_mu : Syntax.mu
+val dyck_type : Syntax.ltype
+val dyck_nil : Syntax.term
+val dyck_bal :
+  Syntax.term -> Syntax.term -> Syntax.term -> Syntax.term -> Syntax.term
+(** [dyck_bal '(' inner ')' rest]. *)
+
+val dyck_trace_mu : Syntax.mu
+val dyck_trace_type : int -> bool -> Syntax.ltype
+val dyck_step : int -> char -> int
+val dyck_stop : Syntax.term
+(** The accepting terminator at state 1. *)
+
+val dyck_to_traces : Syntax.term
+(** [Dyck ⊸ Trace(1,true) ⊸ Trace(1,true)]: prefix a continuation trace
+    with this word's brackets (instantiate the continuation with
+    {!dyck_stop} for the whole-word trace). *)
+
+(** {1 Global definitions}
+
+    All of the above packaged as named, typed globals; [Check.check_defs]
+    validates the whole library. *)
+
+val defs : Syntax.defs

@@ -1,0 +1,230 @@
+module G = Lambekd_grammar
+module Gr = G.Grammar
+module P = G.Ptree
+module I = G.Index
+open Syntax
+
+exception Unsupported of string
+
+let unsupported fmt = Fmt.kstr (fun m -> raise (Unsupported m)) fmt
+
+(* Forward reference breaking the recursion between grammar translation
+   (equalizer types run their defining terms) and evaluation. *)
+let apply_for_equalizer : (defs -> term -> P.t -> P.t) ref =
+  ref (fun _ _ _ -> failwith "Semantics: not initialized")
+
+(* One grammar definition per μ declaration, shared across translations. *)
+let mu_grammar_defs : (int, Gr.def) Hashtbl.t = Hashtbl.create 16
+
+let rec grammar_of_ltype ?(defs = empty_defs) (t : ltype) =
+  match t with
+  | Chr c -> Gr.chr c
+  | One -> Gr.eps
+  | Top -> Gr.top
+  | Tensor (a, b) ->
+    Gr.seq (grammar_of_ltype ~defs a) (grammar_of_ltype ~defs b)
+  | LFun _ | RFun _ ->
+    unsupported "function type %a has no first-order grammar" pp_ltype t
+  | Oplus f ->
+    if I.set_is_finite f.fam_set then
+      Gr.alt
+        (List.map
+           (fun x -> (x, grammar_of_ltype ~defs (f.fam x)))
+           (I.enumerate f.fam_set))
+    else unsupported "⊕ over infinite index set"
+  | With f ->
+    if I.set_is_finite f.fam_set then
+      match I.enumerate f.fam_set with
+      | [] -> Gr.top
+      | comps ->
+        Gr.amp
+          (List.map (fun x -> (x, grammar_of_ltype ~defs (f.fam x))) comps)
+    else unsupported "& over infinite index set"
+  | Mu (m, x) -> Gr.ref_ (def_of_mu ~defs m) x
+  | Equalizer (a, { eq_left; eq_right }) ->
+    (* the subgrammar of A-parses on which f and g agree (§5.2) *)
+    let ga = grammar_of_ltype ~defs a in
+    Gr.atom "equalizer" (fun w ->
+        List.filter
+          (fun p ->
+            P.equal
+              (!apply_for_equalizer defs eq_left p)
+              (!apply_for_equalizer defs eq_right p))
+          (G.Enum.parses ga w))
+
+and def_of_mu ~defs m =
+  match Hashtbl.find_opt mu_grammar_defs m.mu_id with
+  | Some def -> def
+  | None ->
+    let def = Gr.declare m.mu_name in
+    Hashtbl.replace mu_grammar_defs m.mu_id def;
+    Gr.set_rules def (fun x ->
+        grammar_of_spf ~defs (m.mu_spf x) (fun i -> Gr.ref_ def i));
+    def
+
+and grammar_of_spf ~defs (f : spf) rec_pos =
+  match f with
+  | SVar x -> rec_pos x
+  | SK t -> grammar_of_ltype ~defs t
+  | STensor (l, r) ->
+    Gr.seq (grammar_of_spf ~defs l rec_pos) (grammar_of_spf ~defs r rec_pos)
+  | SOplus { sfam_set; sfam } ->
+    if I.set_is_finite sfam_set then
+      Gr.alt
+        (List.map
+           (fun x -> (x, grammar_of_spf ~defs (sfam x) rec_pos))
+           (I.enumerate sfam_set))
+    else unsupported "SPF ⊕ over infinite index set"
+  | SWith { sfam_set; sfam } ->
+    if I.set_is_finite sfam_set then
+      match I.enumerate sfam_set with
+      | [] -> Gr.top
+      | comps ->
+        Gr.amp
+          (List.map
+             (fun x -> (x, grammar_of_spf ~defs (sfam x) rec_pos))
+             comps)
+    else unsupported "SPF & over infinite index set"
+
+let grammar_of_ltype ?defs t = grammar_of_ltype ?defs t
+
+let grammar_of_ctx ?defs ctx =
+  Gr.seq_list (List.map (fun (_, t) -> grammar_of_ltype ?defs t) ctx)
+
+(* --- evaluation ------------------------------------------------------------ *)
+
+(* Values are kept structural (pairs, injections and rolled layers stay
+   symbolic) so that linear functions can flow through them — e.g. a fold
+   whose motive is a function type, the paper's continuation-passing
+   style.  Reification to a first-order parse tree happens only at the
+   observation boundary (force_tree). *)
+type value =
+  | VTree of P.t
+  | VFun of (value -> value)
+  | VIdx of I.set * (I.t -> value)
+  | VPair of value * value
+  | VInj of I.t * value
+  | VRoll of string * value
+
+let rec force_tree = function
+  | VTree t -> t
+  | VFun _ -> unsupported "cannot reify a linear function as a parse tree"
+  | VIdx (set, f) ->
+    if I.set_is_finite set then
+      P.Tuple (List.map (fun x -> (x, force_tree (f x))) (I.enumerate set))
+    else unsupported "cannot reify an infinitely-indexed & as a parse tree"
+  | VPair (a, b) -> P.Pair (force_tree a, force_tree b)
+  | VInj (tag, v) -> P.Inj (tag, force_tree v)
+  | VRoll (name, v) -> P.Roll (name, force_tree v)
+
+let as_fun = function
+  | VFun f -> f
+  | VTree _ | VIdx _ | VPair _ | VInj _ | VRoll _ ->
+    invalid_arg "Semantics.eval: expected a function value"
+
+let as_pair_v = function
+  | VPair (a, b) -> (a, b)
+  | VTree (P.Pair (a, b)) -> (VTree a, VTree b)
+  | _ -> invalid_arg "Semantics.eval: expected a pair value"
+
+let as_inj_v = function
+  | VInj (tag, v) -> (tag, v)
+  | VTree (P.Inj (tag, t)) -> (tag, VTree t)
+  | _ -> invalid_arg "Semantics.eval: expected an injection value"
+
+let as_unit_v = function
+  | VTree P.Eps -> ()
+  | _ -> invalid_arg "Semantics.eval: expected the unit value"
+
+(* fold over one μ layer: walk the payload tree along the SPF structure,
+   replacing recursive positions by recursive fold results (which may be
+   higher-order values). *)
+let rec map_spf (f : spf) (at_rec : I.t -> P.t -> value) (tree : P.t) : value =
+  match f, tree with
+  | SVar x, t -> at_rec x t
+  | SK _, t -> VTree t
+  | STensor (l, r), P.Pair (tl, tr) ->
+    VPair (map_spf l at_rec tl, map_spf r at_rec tr)
+  | SOplus { sfam; _ }, P.Inj (tag, payload) ->
+    VInj (tag, map_spf (sfam tag) at_rec payload)
+  | SWith { sfam; _ }, P.Tuple comps ->
+    VIdx
+      ( I.Tag_set [] (* set unused: projections look the tag up below *),
+        fun x ->
+          match List.find_opt (fun (tag, _) -> I.equal tag x) comps with
+          | Some (tag, t) -> map_spf (sfam tag) at_rec t
+          | None -> invalid_arg "Semantics.map_spf: missing & component" )
+  | (STensor _ | SOplus _ | SWith _), t ->
+    invalid_arg
+      (Fmt.str "Semantics.map_spf: tree %a does not match the functor" P.pp t)
+
+let rec eval (defs : defs) env (e : term) : value =
+  match e with
+  | Var x -> (
+    match List.assoc_opt x env with
+    | Some v -> v
+    | None -> invalid_arg (Fmt.str "Semantics.eval: unbound variable %s" x))
+  | Global g -> (
+    match find_def g defs with
+    | Some (_, body) -> eval defs [] body
+    | None -> invalid_arg (Fmt.str "Semantics.eval: unknown global %s" g))
+  | UnitI -> VTree P.Eps
+  | LetUnit (e, e') ->
+    as_unit_v (eval defs env e);
+    eval defs env e'
+  | Pair (a, b) -> VPair (eval defs env a, eval defs env b)
+  | LetPair (a, b, e, e') ->
+    let va, vb = as_pair_v (eval defs env e) in
+    eval defs ((a, va) :: (b, vb) :: env) e'
+  | LamL (x, _, body) | LamR (x, _, body) ->
+    VFun (fun v -> eval defs ((x, v) :: env) body)
+  | AppL (f, a) -> as_fun (eval defs env f) (eval defs env a)
+  | AppR (a, f) -> as_fun (eval defs env f) (eval defs env a)
+  | WithLam (set, f) -> VIdx (set, fun x -> eval defs env (f x))
+  | WithProj (e, x) -> (
+    match eval defs env e with
+    | VIdx (_, f) -> f x
+    | VTree (P.Tuple comps) -> (
+      match List.find_opt (fun (tag, _) -> I.equal tag x) comps with
+      | Some (_, t) -> VTree t
+      | None -> invalid_arg "Semantics.eval: missing & component")
+    | _ -> invalid_arg "Semantics.eval: projection from a non-&")
+  | Inj (x, e) -> VInj (x, eval defs env e)
+  | Case (e, a, branches) ->
+    let x, payload = as_inj_v (eval defs env e) in
+    eval defs ((a, payload) :: env) (branches x)
+  | Roll (m, e) -> VRoll (m.mu_name, eval defs env e)
+  | Fold f ->
+    let rec go (x : I.t) (tree : P.t) : value =
+      match tree with
+      | P.Roll (_, payload) ->
+        let folded = map_spf (f.fold_mu.mu_spf x) go payload in
+        as_fun (eval defs env (f.fold_algebra x)) folded
+      | _ -> invalid_arg "Semantics.eval: fold on a non-roll tree"
+    in
+    go f.fold_index (force_tree (eval defs env f.fold_scrutinee))
+  | EqIntro e | EqElim e -> eval defs env e
+  | Ann (e, _) -> eval defs env e
+
+let transformer defs ctx e =
+  let split_ctx tree =
+    (* a ⟦Δ⟧ parse is the right-nested pair of the variables' parses,
+       mirroring Grammar.seq_list *)
+    let rec go vars tree =
+      match vars, tree with
+      | [], P.Eps -> []
+      | [ (x, _) ], t -> [ (x, VTree t) ]
+      | (x, _) :: rest, P.Pair (t, t') -> (x, VTree t) :: go rest t'
+      | _, t ->
+        invalid_arg
+          (Fmt.str "Semantics.transformer: context/tree mismatch at %a" P.pp t)
+    in
+    go ctx tree
+  in
+  G.Transformer.make
+    (Fmt.str "⟦%a⟧" pp_term e)
+    (fun tree -> force_tree (eval defs (split_ctx tree) e))
+
+let run_closed defs e = force_tree (eval defs [] e)
+let apply_closed defs f p = force_tree (as_fun (eval defs [] f) (VTree p))
+let () = apply_for_equalizer := apply_closed

@@ -1,0 +1,58 @@
+(** Denotational semantics of the deep embedding (paper §5).
+
+    Linear types denote formal grammars in the Gr model; linear terms
+    denote parse transformers.  Function types ([⊸]/[⟜]) denote
+    higher-order values that exist during evaluation but cannot be stored
+    in first-order parse trees; a type is {e groundable} when its parses
+    are first-order (every type in the paper's grammar examples is). *)
+
+module G := Lambekd_grammar
+
+exception Unsupported of string
+(** Raised when a type has no first-order grammar denotation (function
+    types, disjunctions/conjunctions over infinite index sets). *)
+
+val grammar_of_ltype : ?defs:Syntax.defs -> Syntax.ltype -> G.Grammar.t
+(** The denotation [⟦A⟧].  μ-types translate to indexed grammar
+    definitions, memoized per declaration so repeated translations share
+    the definition.  [defs] is consulted when running the defining terms
+    of equalizer types. *)
+
+val grammar_of_ctx :
+  ?defs:Syntax.defs -> (string * Syntax.ltype) list -> G.Grammar.t
+(** [⟦Δ⟧]: the right-nested tensor of the context types ([I] if empty). *)
+
+(** {1 Evaluation} *)
+
+type value =
+  | VTree of G.Ptree.t
+  | VFun of (value -> value)
+  | VIdx of Lambekd_grammar.Index.set * (Lambekd_grammar.Index.t -> value)
+      (** a [&]-introduction: one value per index *)
+  | VPair of value * value
+  | VInj of Lambekd_grammar.Index.t * value
+  | VRoll of string * value
+      (** pairs, injections and μ layers stay symbolic so higher-order
+          values (continuation-passing folds) can flow through them *)
+
+val force_tree : value -> G.Ptree.t
+(** Reify a value as a parse tree; finite [VIdx] becomes a [Tuple];
+    raises {!Unsupported} on functions. *)
+
+val eval : Syntax.defs -> (string * value) list -> Syntax.term -> value
+(** Big-step evaluation under a global environment and a linear
+    environment.  Assumes the term is well-typed (checked by {!Check});
+    raises [Invalid_argument] on shape mismatches, which a checked term
+    never triggers. *)
+
+val transformer :
+  Syntax.defs -> (string * Syntax.ltype) list -> Syntax.term ->
+  G.Transformer.t
+(** [⟦Γ; Δ ⊢ e : A⟧] as a parse transformer from [⟦Δ⟧] to [⟦A⟧]: splits
+    the context parse into variable bindings and evaluates. *)
+
+val run_closed : Syntax.defs -> Syntax.term -> G.Ptree.t
+(** Evaluate a closed term to a parse tree. *)
+
+val apply_closed : Syntax.defs -> Syntax.term -> G.Ptree.t -> G.Ptree.t
+(** Evaluate a closed term of function type and apply it to a tree. *)

@@ -1,0 +1,181 @@
+module I = Lambekd_grammar.Index
+
+type ltype =
+  | Chr of char
+  | One
+  | Top
+  | Tensor of ltype * ltype
+  | LFun of ltype * ltype
+  | RFun of ltype * ltype
+  | Oplus of family
+  | With of family
+  | Mu of mu * I.t
+  | Equalizer of ltype * lfun2
+
+and family = {
+  fam_set : I.set;
+  fam : I.t -> ltype;
+}
+
+and spf =
+  | SVar of I.t
+  | SK of ltype
+  | STensor of spf * spf
+  | SOplus of sfamily
+  | SWith of sfamily
+
+and sfamily = {
+  sfam_set : I.set;
+  sfam : I.t -> spf;
+}
+
+and mu = {
+  mu_id : int;
+  mu_name : string;
+  mu_index_set : I.set;
+  mu_spf : I.t -> spf;
+}
+
+and term =
+  | Var of string
+  | Global of string
+  | UnitI
+  | LetUnit of term * term
+  | Pair of term * term
+  | LetPair of string * string * term * term
+  | LamL of string * ltype * term
+  | AppL of term * term
+  | LamR of string * ltype * term
+  | AppR of term * term
+  | WithLam of I.set * (I.t -> term)
+  | WithProj of term * I.t
+  | Inj of I.t * term
+  | Case of term * string * (I.t -> term)
+  | Roll of mu * term
+  | Fold of fold
+  | EqIntro of term
+  | EqElim of term
+  | Ann of term * ltype
+
+and fold = {
+  fold_mu : mu;
+  fold_target : family;
+  fold_algebra : I.t -> term;
+  fold_index : I.t;
+  fold_scrutinee : term;
+}
+
+and lfun2 = {
+  eq_left : term;
+  eq_right : term;
+}
+
+let next_mu_id = ref 0
+
+let declare_mu mu_name mu_index_set mu_spf =
+  incr next_mu_id;
+  { mu_id = !next_mu_id; mu_name; mu_index_set; mu_spf }
+
+let rec el f a =
+  match f with
+  | SVar x -> a x
+  | SK t -> t
+  | STensor (l, r) -> Tensor (el l a, el r a)
+  | SOplus { sfam_set; sfam } ->
+    Oplus { fam_set = sfam_set; fam = (fun x -> el (sfam x) a) }
+  | SWith { sfam_set; sfam } ->
+    With { fam_set = sfam_set; fam = (fun x -> el (sfam x) a) }
+
+let oplus fam_set fam = Oplus { fam_set; fam }
+let with_ fam_set fam = With { fam_set; fam }
+
+let bool_family a b =
+  { fam_set = I.Bool_set; fam = (fun x -> if I.equal x (I.B true) then b else a) }
+
+let oplus2 a b = Oplus (bool_family a b)
+let with2 a b = With (bool_family a b)
+let zero = Oplus { fam_set = I.Tag_set []; fam = (fun _ -> One) }
+let inl e = Inj (I.B false, e)
+let inr e = Inj (I.B true, e)
+
+let rec ltype_equal ?(nat_bound = 8) s t =
+  let fam_equal f g =
+    f.fam_set = g.fam_set
+    && List.for_all
+         (fun x -> ltype_equal ~nat_bound (f.fam x) (g.fam x))
+         (I.enumerate ~nat_bound f.fam_set)
+  in
+  match s, t with
+  | Chr a, Chr b -> Char.equal a b
+  | One, One | Top, Top -> true
+  | Tensor (a, b), Tensor (c, d)
+  | LFun (a, b), LFun (c, d)
+  | RFun (a, b), RFun (c, d) ->
+    ltype_equal ~nat_bound a c && ltype_equal ~nat_bound b d
+  | Oplus f, Oplus g | With f, With g -> fam_equal f g
+  | Mu (m, x), Mu (n, y) -> m.mu_id = n.mu_id && I.equal x y
+  | Equalizer (a, f), Equalizer (b, g) ->
+    ltype_equal ~nat_bound a b
+    && f.eq_left == g.eq_left
+    && f.eq_right == g.eq_right
+  | (Chr _ | One | Top | Tensor _ | LFun _ | RFun _ | Oplus _ | With _
+    | Mu _ | Equalizer _), _ ->
+    false
+
+let rec pp_ltype ppf = function
+  | Chr c -> Fmt.pf ppf "%C" c
+  | One -> Fmt.string ppf "I"
+  | Top -> Fmt.string ppf "⊤"
+  | Tensor (a, b) -> Fmt.pf ppf "(%a ⊗ %a)" pp_ltype a pp_ltype b
+  | LFun (a, b) -> Fmt.pf ppf "(%a ⊸ %a)" pp_ltype a pp_ltype b
+  | RFun (a, b) -> Fmt.pf ppf "(%a ⟜ %a)" pp_ltype a pp_ltype b
+  | Oplus f -> Fmt.pf ppf "⊕[%a]%a" I.pp_set f.fam_set pp_family f
+  | With f -> Fmt.pf ppf "&[%a]%a" I.pp_set f.fam_set pp_family f
+  | Mu (m, x) -> Fmt.pf ppf "%s(%a)" m.mu_name I.pp x
+  | Equalizer (a, _) -> Fmt.pf ppf "{_:%a | f=g}" pp_ltype a
+
+and pp_family ppf f =
+  if I.set_is_finite f.fam_set then
+    Fmt.pf ppf "(%a)"
+      Fmt.(
+        list ~sep:(any " | ") (fun ppf x ->
+            Fmt.pf ppf "%a:%a" I.pp x pp_ltype (f.fam x)))
+      (I.enumerate f.fam_set)
+  else Fmt.string ppf "(...)"
+
+let rec pp_term ppf = function
+  | Var x -> Fmt.string ppf x
+  | Global g -> Fmt.pf ppf "#%s" g
+  | UnitI -> Fmt.string ppf "()"
+  | LetUnit (e, e') ->
+    Fmt.pf ppf "@[let () =@ %a in@ %a@]" pp_term e pp_term e'
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp_term a pp_term b
+  | LetPair (a, b, e, e') ->
+    Fmt.pf ppf "@[let (%s, %s) =@ %a in@ %a@]" a b pp_term e pp_term e'
+  | LamL (x, t, e) -> Fmt.pf ppf "@[λ⊸ (%s:%a).@ %a@]" x pp_ltype t pp_term e
+  | AppL (f, a) -> Fmt.pf ppf "(%a %a)" pp_term f pp_term a
+  | LamR (x, t, e) -> Fmt.pf ppf "@[λ⟜ (%s:%a).@ %a@]" x pp_ltype t pp_term e
+  | AppR (a, f) -> Fmt.pf ppf "(%a ∘ %a)" pp_term a pp_term f
+  | WithLam (_, _) -> Fmt.string ppf "λ& x. …"
+  | WithProj (e, x) -> Fmt.pf ppf "%a.π%a" pp_term e I.pp x
+  | Inj (x, e) -> Fmt.pf ppf "σ%a·%a" I.pp x pp_term e
+  | Case (e, a, _) -> Fmt.pf ppf "@[let σ x %s =@ %a in …@]" a pp_term e
+  | Roll (m, e) -> Fmt.pf ppf "roll[%s](%a)" m.mu_name pp_term e
+  | Fold f ->
+    Fmt.pf ppf "fold[%s]@%a(%a)" f.fold_mu.mu_name I.pp f.fold_index pp_term
+      f.fold_scrutinee
+  | EqIntro e -> Fmt.pf ppf "⟨%a⟩" pp_term e
+  | EqElim e -> Fmt.pf ppf "%a.π" pp_term e
+  | Ann (e, t) -> Fmt.pf ppf "(%a : %a)" pp_term e pp_ltype t
+
+type defs = (string * (ltype * term)) list
+
+let empty_defs = []
+
+let add_def name ty body defs =
+  if List.mem_assoc name defs then
+    invalid_arg (Fmt.str "Syntax.add_def: duplicate definition %s" name);
+  (name, (ty, body)) :: defs
+
+let find_def name defs = List.assoc_opt name defs
+let def_names defs = List.map fst defs

@@ -1,0 +1,138 @@
+(** Deep embedding of Lambek^D: linear types, strictly positive functors
+    and linear terms (paper §3, Figs 8–10).
+
+    Non-linear data is represented by first-order {!Lambekd_grammar.Index}
+    values; dependency of linear types on non-linear data is HOAS: an
+    indexed family is an OCaml function from index values to types or
+    terms, together with a description of the index set.  Indexed
+    inductive linear types are {e generative}: each {!declare_mu} mints a
+    distinct type, as [data] declarations do in a proof assistant.
+
+    Non-linear contexts Γ are implicit (OCaml's own binding); linear
+    contexts Δ are explicit ordered lists, checked by {!Check} with no
+    weakening, contraction or exchange. *)
+
+module I := Lambekd_grammar.Index
+
+(** {1 Linear types (Fig 8)} *)
+
+type ltype =
+  | Chr of char                   (** the literal type ['c'] *)
+  | One                           (** the linear unit [I] *)
+  | Top                           (** the empty additive conjunction [⊤] *)
+  | Tensor of ltype * ltype       (** [A ⊗ B] *)
+  | LFun of ltype * ltype         (** [A ⊸ B]: argument on the right *)
+  | RFun of ltype * ltype         (** [B ⟜ A]: argument on the left *)
+  | Oplus of family               (** indexed disjunction [⊕(x:X) A x] *)
+  | With of family                (** indexed conjunction [&(x:X) A x] *)
+  | Mu of mu * I.t                (** indexed inductive type [μF x] *)
+  | Equalizer of ltype * lfun2    (** [{a : A │ f a = g a}] *)
+
+and family = {
+  fam_set : I.set;
+  fam : I.t -> ltype;
+}
+
+(** {1 Strictly positive functors (Fig 10)} *)
+
+and spf =
+  | SVar of I.t                   (** a recursive position, at an index *)
+  | SK of ltype                   (** a constant type *)
+  | STensor of spf * spf
+  | SOplus of sfamily
+  | SWith of sfamily
+
+and sfamily = {
+  sfam_set : I.set;
+  sfam : I.t -> spf;
+}
+
+and mu = private {
+  mu_id : int;
+  mu_name : string;
+  mu_index_set : I.set;
+  mu_spf : I.t -> spf;            (** [F : X → SPF X] *)
+}
+
+(** {1 Linear terms (Fig 9)} *)
+
+and term =
+  | Var of string
+  | Global of string              (** a named closed term (↑-typed constant) *)
+  | UnitI                         (** [() : I] *)
+  | LetUnit of term * term        (** [let () = e in e'] *)
+  | Pair of term * term           (** [(e₁, e₂) : A ⊗ B] *)
+  | LetPair of string * string * term * term
+                                  (** [let (a,b) = e in e'] *)
+  | LamL of string * ltype * term (** [λ⊸ a. e] (annotated domain) *)
+  | AppL of term * term           (** [e e'] — function left, argument right *)
+  | LamR of string * ltype * term (** [λ⟜ a. e] *)
+  | AppR of term * term           (** [e' ∘ e] — argument left, function right *)
+  | WithLam of I.set * (I.t -> term)
+                                  (** [λ& x. e], with its index set *)
+  | WithProj of term * I.t        (** [e.π M] *)
+  | Inj of I.t * term             (** [σ M e] *)
+  | Case of term * string * (I.t -> term)
+                                  (** [let σ x a = e in e'], [a] bound in
+                                      each branch *)
+  | Roll of mu * term             (** μ intro, at a declared type *)
+  | Fold of fold                  (** μ elim, fully applied *)
+  | EqIntro of term               (** [⟨e⟩] into an equalizer *)
+  | EqElim of term                (** [e.π] out of an equalizer *)
+  | Ann of term * ltype           (** type ascription (for inference) *)
+
+and fold = {
+  fold_mu : mu;
+  fold_target : family;           (** the motive [A : X → L] *)
+  fold_algebra : I.t -> term;     (** per index, [el (F x) A ⊸ A x] *)
+  fold_index : I.t;
+  fold_scrutinee : term;
+}
+
+and lfun2 = {
+  eq_left : term;                 (** closed, of type [A ⊸ B] *)
+  eq_right : term;
+}
+
+(** {1 Constructors and helpers} *)
+
+val declare_mu : string -> I.set -> (I.t -> spf) -> mu
+(** A fresh indexed inductive type. *)
+
+val el : spf -> (I.t -> ltype) -> ltype
+(** [el F A]: interpret a functor body with [A] at the recursive
+    positions (Fig 17). *)
+
+val oplus : I.set -> (I.t -> ltype) -> ltype
+val with_ : I.set -> (I.t -> ltype) -> ltype
+val oplus2 : ltype -> ltype -> ltype
+(** Binary [⊕], indexed by booleans ([inl = B false], [inr = B true]). *)
+
+val with2 : ltype -> ltype -> ltype
+val zero : ltype
+(** [0] — the empty disjunction. *)
+
+val inl : term -> term
+val inr : term -> term
+
+val ltype_equal : ?nat_bound:int -> ltype -> ltype -> bool
+(** Structural equality.  Families are compared extensionally on the
+    enumeration of their index sets ([nat_bound] controls the sample for
+    infinite sets); [mu]s nominally; equalizers by component types and
+    physical equality of the defining terms. *)
+
+val pp_ltype : Format.formatter -> ltype -> unit
+val pp_term : Format.formatter -> term -> unit
+
+(** {1 Global environments}
+
+    A [defs] maps names to closed, typed terms — the deep-embedding
+    counterpart of top-level [↑]-typed definitions (constructors, derived
+    combinators). *)
+
+type defs
+
+val empty_defs : defs
+val add_def : string -> ltype -> term -> defs -> defs
+val find_def : string -> defs -> (ltype * term) option
+val def_names : defs -> string list

@@ -1,0 +1,33 @@
+module G = Lambekd_grammar
+module A = G.Ambiguity
+
+let unambiguous ?defs t alphabet ~max_len =
+  A.unambiguous_upto (Semantics.grammar_of_ltype ?defs t) alphabet ~max_len
+
+let lemma_4_3 (e : G.Equivalence.t) alphabet ~max_len =
+  let hypotheses =
+    A.unambiguous_upto e.G.Equivalence.target alphabet ~max_len
+    && G.Equivalence.check_retract e alphabet ~max_len
+  in
+  (not hypotheses)
+  || A.unambiguous_upto e.G.Equivalence.source alphabet ~max_len
+
+let lemma_4_4 a b alphabet ~max_len =
+  let sum = G.Grammar.alt2 a b in
+  (not (A.unambiguous_upto sum alphabet ~max_len))
+  || (A.unambiguous_upto a alphabet ~max_len
+     && A.unambiguous_upto b alphabet ~max_len)
+
+let lemma_4_7 summands alphabet ~max_len =
+  let sum = G.Grammar.alt summands in
+  (not (A.unambiguous_upto sum alphabet ~max_len))
+  || List.for_all
+       (fun (x, gx) ->
+         List.for_all
+           (fun (y, gy) ->
+             G.Index.equal x y || A.disjoint_upto gx gy alphabet ~max_len)
+           summands)
+       summands
+
+let string_unambiguous alphabet ~max_len =
+  A.unambiguous_upto (G.Grammar.string_g alphabet) alphabet ~max_len

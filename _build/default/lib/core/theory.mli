@@ -1,0 +1,34 @@
+(** Executable formal grammar theory (§4, Lemmas 4.3, 4.4, 4.7).
+
+    The paper proves these lemmas inside Lambek^D; here each lemma is an
+    executable, instance-wise check over the Gr model: given concrete
+    grammars (or linear types), the hypotheses and the conclusion are both
+    decided on all words up to a length bound, so the test suite can
+    verify the implication on many instances (and exhibit that the
+    hypotheses are actually exercised). *)
+
+module G := Lambekd_grammar
+
+val unambiguous : ?defs:Syntax.defs -> Syntax.ltype -> char list -> max_len:int -> bool
+(** Def 4.2 for a linear type, through its denotation. *)
+
+val lemma_4_3 :
+  G.Equivalence.t -> char list -> max_len:int -> bool
+(** Retract transport: if the target is unambiguous and the equivalence is
+    a retract (source into target), then the source is unambiguous.  The
+    check validates the implication on the given instance: it returns
+    [false] only if the hypotheses hold and the conclusion fails. *)
+
+val lemma_4_4 :
+  G.Grammar.t -> G.Grammar.t -> char list -> max_len:int -> bool
+(** If [A ⊕ B] is unambiguous then so are [A] and [B] (implication checked
+    on the instance). *)
+
+val lemma_4_7 :
+  (Lambekd_grammar.Index.t * G.Grammar.t) list ->
+  char list -> max_len:int -> bool
+(** If [⊕(x) A x] is unambiguous then distinct summands are pairwise
+    disjoint (implication checked on the instance). *)
+
+val string_unambiguous : char list -> max_len:int -> bool
+(** §4's first consequence: [String] is unambiguous (retract of ⊤). *)

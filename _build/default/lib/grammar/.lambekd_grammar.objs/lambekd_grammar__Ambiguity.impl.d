@@ -1,0 +1,1 @@
+lib/grammar/ambiguity.ml: Enum Language List

@@ -1,0 +1,1 @@
+lib/grammar/ambiguity.mli: Grammar Ptree

@@ -1,0 +1,1 @@
+lib/grammar/enum.ml: Bool Char Grammar Hashtbl Index List Option Ptree String

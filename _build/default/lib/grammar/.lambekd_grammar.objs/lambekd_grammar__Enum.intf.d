@@ -1,0 +1,1 @@
+lib/grammar/enum.mli: Grammar Ptree

@@ -1,0 +1,1 @@
+lib/grammar/equivalence.ml: Enum Grammar Language List Ptree Transformer

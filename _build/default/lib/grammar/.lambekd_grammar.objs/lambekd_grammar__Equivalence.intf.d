@@ -1,0 +1,1 @@
+lib/grammar/equivalence.mli: Grammar Ptree Transformer

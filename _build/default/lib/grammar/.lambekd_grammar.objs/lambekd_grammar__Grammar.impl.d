@@ -1,0 +1,1 @@
+lib/grammar/grammar.ml: Char Fmt Index Lazy List Ptree String

@@ -1,0 +1,1 @@
+lib/grammar/index.ml: Bool Char Fmt Hashtbl Int List String

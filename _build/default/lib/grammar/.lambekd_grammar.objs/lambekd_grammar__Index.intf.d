@@ -1,0 +1,1 @@
+lib/grammar/index.mli: Format

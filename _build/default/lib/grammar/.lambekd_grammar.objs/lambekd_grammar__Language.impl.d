@@ -1,0 +1,1 @@
+lib/grammar/language.ml: Bool Enum List String

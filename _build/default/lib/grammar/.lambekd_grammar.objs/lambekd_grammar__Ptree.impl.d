@@ -1,0 +1,1 @@
+lib/grammar/ptree.ml: Char Fmt Index Int List String

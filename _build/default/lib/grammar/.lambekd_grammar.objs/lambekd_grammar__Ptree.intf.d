@@ -1,0 +1,1 @@
+lib/grammar/ptree.mli: Format Index

@@ -1,0 +1,1 @@
+lib/grammar/transformer.ml: List Ptree String

@@ -1,0 +1,19 @@
+let parse_count = Enum.count
+
+let unambiguous_at g w = Enum.count g w <= 1
+
+let unambiguous_upto g alphabet ~max_len =
+  List.for_all (unambiguous_at g) (Language.words alphabet ~max_len)
+
+let ambiguity_witness g alphabet ~max_len =
+  List.find_map
+    (fun w ->
+      match Enum.parses g w with
+      | _ :: _ :: _ as parses -> Some (w, parses)
+      | [] | [ _ ] -> None)
+    (Language.words alphabet ~max_len)
+
+let disjoint_at g h w = not (Enum.accepts g w && Enum.accepts h w)
+
+let disjoint_upto g h alphabet ~max_len =
+  List.for_all (disjoint_at g h) (Language.words alphabet ~max_len)

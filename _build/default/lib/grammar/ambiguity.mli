@@ -1,0 +1,25 @@
+(** Ambiguity and unambiguity of grammars (Def 4.2).
+
+    A grammar is {e ambiguous} when some string has more than one parse
+    tree.  The paper characterizes unambiguity universally ("at most one
+    parse transformer into it from anywhere"); by the denotational
+    semantics this is equivalent to every string having at most one parse,
+    which is what we check (exactly per string, exhaustively up to a word
+    length bound). *)
+
+val parse_count : Grammar.t -> string -> int
+
+val unambiguous_at : Grammar.t -> string -> bool
+(** At most one parse of the given string. *)
+
+val unambiguous_upto : Grammar.t -> char list -> max_len:int -> bool
+
+val ambiguity_witness :
+  Grammar.t -> char list -> max_len:int -> (string * Ptree.t list) option
+(** The first word (within the bound) with ≥ 2 parses, with its parses. *)
+
+val disjoint_at : Grammar.t -> Grammar.t -> string -> bool
+(** Def 4.5: grammars are disjoint when no string is parsed by both;
+    [disjoint_at] checks one string. *)
+
+val disjoint_upto : Grammar.t -> Grammar.t -> char list -> max_len:int -> bool

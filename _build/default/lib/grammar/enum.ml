@@ -1,0 +1,180 @@
+(* Keys identify an occurrence of an indexed definition at a span. *)
+module Key = struct
+  type t = int * Index.t * int * int
+
+  let equal (d, x, i, j) (d', x', i', j') =
+    d = d' && i = i' && j = j' && Index.equal x x'
+
+  let hash (d, x, i, j) = Hashtbl.hash (d, Index.hash x, i, j)
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* Cartesian product of per-component parse lists for additive
+   conjunction: a parse of [&] is a choice of one parse per component. *)
+let tuple_product comps =
+  List.fold_right
+    (fun (tag, trees) acc ->
+      List.concat_map
+        (fun t -> List.map (fun rest -> (tag, t) :: rest) acc)
+        trees)
+    comps [ [] ]
+
+type status = In_progress | Done of Ptree.t list
+
+let parses_span g s i0 j0 =
+  let memo : status Tbl.t = Tbl.create 64 in
+  let rec go g i j =
+    match (g : Grammar.t) with
+    | Chr c -> if j = i + 1 && Char.equal s.[i] c then [ Ptree.Tok c ] else []
+    | Eps -> if i = j then [ Ptree.Eps ] else []
+    | Void -> []
+    | Top -> [ Ptree.TopP (String.sub s i (j - i)) ]
+    | Atom a ->
+      let w = String.sub s i (j - i) in
+      List.filter
+        (fun t -> String.equal (Ptree.yield t) w)
+        (a.atom_parses w)
+    | Seq (a, b) ->
+      let acc = ref [] in
+      for k = j downto i do
+        match go a i k with
+        | [] -> ()
+        | lefts ->
+          let rights = go b k j in
+          List.iter
+            (fun l ->
+              List.iter (fun r -> acc := Ptree.Pair (l, r) :: !acc) rights)
+            lefts
+      done;
+      !acc
+    | Alt comps ->
+      List.concat_map
+        (fun (tag, g') -> List.map (fun t -> Ptree.Inj (tag, t)) (go g' i j))
+        comps
+    | And comps ->
+      let per_comp = List.map (fun (tag, g') -> (tag, go g' i j)) comps in
+      if List.exists (fun (_, ts) -> ts = []) per_comp then []
+      else List.map (fun comps -> Ptree.Tuple comps) (tuple_product per_comp)
+    | Ref (d, ix) -> (
+      let key = (Grammar.def_id d, ix, i, j) in
+      match Tbl.find_opt memo key with
+      | Some (Done ts) -> ts
+      | Some In_progress -> []
+      | None ->
+        Tbl.replace memo key In_progress;
+        let ts =
+          List.map
+            (fun t -> Ptree.Roll (Grammar.def_name d, t))
+            (go (Grammar.def_body d ix) i j)
+        in
+        Tbl.replace memo key (Done ts);
+        ts)
+  in
+  go g i0 j0
+
+let parses g s = parses_span g s 0 (String.length s)
+let count g s = List.length (parses g s)
+
+(* Membership by iterated least fixpoint.  Each pass recomputes every
+   reachable item; re-entrant items use the previous pass's value (false on
+   the first pass).  Membership is monotone in these assumptions, so the
+   table grows until it stabilizes at the least fixpoint. *)
+let accepts g s =
+  let prev : bool Tbl.t = Tbl.create 64 in
+  let changed = ref true in
+  let result = ref false in
+  while !changed do
+    changed := false;
+    let cur : bool Tbl.t = Tbl.create 64 in
+    let on_stack : unit Tbl.t = Tbl.create 16 in
+    let rec mem g i j =
+      match (g : Grammar.t) with
+      | Chr c -> j = i + 1 && Char.equal s.[i] c
+      | Eps -> i = j
+      | Void -> false
+      | Top -> true
+      | Atom a ->
+        let w = String.sub s i (j - i) in
+        List.exists
+          (fun t -> String.equal (Ptree.yield t) w)
+          (a.atom_parses w)
+      | Seq (a, b) ->
+        let rec split k = k <= j && ((mem a i k && mem b k j) || split (k + 1)) in
+        split i
+      | Alt comps -> List.exists (fun (_, g') -> mem g' i j) comps
+      | And comps -> List.for_all (fun (_, g') -> mem g' i j) comps
+      | Ref (d, ix) -> (
+        let key = (Grammar.def_id d, ix, i, j) in
+        match Tbl.find_opt cur key with
+        | Some b -> b
+        | None ->
+          if Tbl.mem on_stack key then
+            Option.value (Tbl.find_opt prev key) ~default:false
+          else begin
+            Tbl.add on_stack key ();
+            let b = mem (Grammar.def_body d ix) i j in
+            Tbl.remove on_stack key;
+            Tbl.replace cur key b;
+            b
+          end)
+    in
+    result := mem g 0 (String.length s);
+    Tbl.iter
+      (fun key b ->
+        match Tbl.find_opt prev key with
+        | Some b' when Bool.equal b b' -> ()
+        | _ ->
+          changed := true;
+          Tbl.replace prev key b)
+      cur
+  done;
+  !result
+
+let first_parse g s =
+  match parses g s with [] -> None | t :: _ -> Some t
+
+(* Counting without materializing trees: the same recursion as
+   [parses_span] with integer semiring values.  Exact under the same
+   ε-acyclicity proviso. *)
+let count_fast g s =
+  let memo : int Tbl.t = Tbl.create 64 in
+  let in_progress : unit Tbl.t = Tbl.create 16 in
+  let rec go g i j =
+    match (g : Grammar.t) with
+    | Chr c -> if j = i + 1 && Char.equal s.[i] c then 1 else 0
+    | Eps -> if i = j then 1 else 0
+    | Void -> 0
+    | Top -> 1
+    | Atom a ->
+      let w = String.sub s i (j - i) in
+      List.length
+        (List.filter
+           (fun t -> String.equal (Ptree.yield t) w)
+           (a.atom_parses w))
+    | Seq (a, b) ->
+      let total = ref 0 in
+      for k = i to j do
+        let left = go a i k in
+        if left > 0 then total := !total + (left * go b k j)
+      done;
+      !total
+    | Alt comps ->
+      List.fold_left (fun acc (_, g') -> acc + go g' i j) 0 comps
+    | And comps ->
+      List.fold_left (fun acc (_, g') -> acc * go g' i j) 1 comps
+    | Ref (d, ix) -> (
+      let key = (Grammar.def_id d, ix, i, j) in
+      match Tbl.find_opt memo key with
+      | Some n -> n
+      | None ->
+        if Tbl.mem in_progress key then 0
+        else begin
+          Tbl.add in_progress key ();
+          let n = go (Grammar.def_body d ix) i j in
+          Tbl.remove in_progress key;
+          Tbl.replace memo key n;
+          n
+        end)
+  in
+  go g 0 (String.length s)

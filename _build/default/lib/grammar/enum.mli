@@ -1,0 +1,39 @@
+(** Parse enumeration and membership for the {!Grammar} model.
+
+    Two engines:
+
+    - {!parses} enumerates parse trees by memoized recursion over spans of
+      the input, cutting re-entrant (non-consuming) cycles.  It is exact
+      whenever the grammar system has no ε-cycles (every recursive path
+      consumes input or shrinks the span), which holds for every grammar
+      constructed in this library after normalization.  For genuinely
+      infinitely-ambiguous grammars it returns a finite under-approximation.
+
+    - {!accepts} decides membership by iterating a boolean least fixpoint
+      to convergence; it is exact for {e all} grammar systems whose
+      reachable item set on the given input is finite.
+
+    Both engines explore only items reachable from the query, so infinitely
+    indexed definitions (counter automata, reified predicates) work as long
+    as only finitely many indices are reachable per input — which is forced
+    whenever index growth is guarded by input consumption. *)
+
+val parses_span : Grammar.t -> string -> int -> int -> Ptree.t list
+(** [parses_span g s i j] enumerates the parses of the substring
+    [s\[i..j)] for [g]. *)
+
+val parses : Grammar.t -> string -> Ptree.t list
+(** Parses of the full string. *)
+
+val count : Grammar.t -> string -> int
+(** Number of parses of the full string (via enumeration). *)
+
+val count_fast : Grammar.t -> string -> int
+(** Parse counting by dynamic programming, without materializing trees —
+    scales to inputs where enumeration would allocate heavily.  Agrees
+    with {!count} (tested) under the same ε-acyclicity proviso. *)
+
+val accepts : Grammar.t -> string -> bool
+(** Exact membership via boolean least fixpoint. *)
+
+val first_parse : Grammar.t -> string -> Ptree.t option

@@ -1,0 +1,53 @@
+type t = {
+  source : Grammar.t;
+  target : Grammar.t;
+  fwd : Transformer.t;
+  bwd : Transformer.t;
+}
+
+let make ~source ~target ~fwd ~bwd = { source; target; fwd; bwd }
+
+let inverse e =
+  { source = e.target; target = e.source; fwd = e.bwd; bwd = e.fwd }
+
+let all_parses g alphabet ~max_len =
+  List.concat_map
+    (fun w -> Enum.parses g w)
+    (Language.words alphabet ~max_len)
+
+let maps_into tr source target alphabet ~max_len =
+  List.for_all
+    (fun w ->
+      List.for_all
+        (fun p ->
+          match Transformer.apply tr p with
+          | out -> List.exists (Ptree.equal out) (Enum.parses target w)
+          | exception Transformer.Yield_violation _ -> false)
+        (Enum.parses source w))
+    (Language.words alphabet ~max_len)
+
+let check_weak e alphabet ~max_len =
+  maps_into e.fwd e.source e.target alphabet ~max_len
+  && maps_into e.bwd e.target e.source alphabet ~max_len
+
+let round_trip_id fwd bwd source alphabet ~max_len =
+  List.for_all
+    (fun p -> Ptree.equal (Transformer.apply bwd (Transformer.apply fwd p)) p)
+    (all_parses source alphabet ~max_len)
+
+let check_retract e alphabet ~max_len =
+  round_trip_id e.fwd e.bwd e.source alphabet ~max_len
+
+let check_strong e alphabet ~max_len =
+  check_retract e alphabet ~max_len
+  && round_trip_id e.bwd e.fwd e.target alphabet ~max_len
+
+let counterexample e alphabet ~max_len =
+  List.find_map
+    (fun w ->
+      List.find_map
+        (fun p ->
+          let back = Transformer.apply e.bwd (Transformer.apply e.fwd p) in
+          if Ptree.equal back p then None else Some (w, p))
+        (Enum.parses e.source w))
+    (Language.words alphabet ~max_len)

@@ -1,0 +1,37 @@
+(** Weak and strong equivalence of grammars (Def 4.1).
+
+    Grammars [A], [B] are {e weakly equivalent} when parse transformers
+    exist in both directions; [A] is a {e retract} of [B] when additionally
+    [g ∘ f = id]; they are {e strongly equivalent} when both composites are
+    the identity.  A weak equivalence is data (the two transformers); the
+    equational conditions are checked extensionally on all parses of all
+    words up to a length bound. *)
+
+type t = {
+  source : Grammar.t;
+  target : Grammar.t;
+  fwd : Transformer.t;  (** source ⊸ target *)
+  bwd : Transformer.t;  (** target ⊸ source *)
+}
+
+val make :
+  source:Grammar.t -> target:Grammar.t ->
+  fwd:Transformer.t -> bwd:Transformer.t -> t
+
+val inverse : t -> t
+
+val check_weak : t -> char list -> max_len:int -> bool
+(** Both transformers map parses to parses of the other grammar (same
+    yield, and the output is genuinely a parse of the target — verified by
+    membership of the output tree in the target's enumerated parse set). *)
+
+val check_retract : t -> char list -> max_len:int -> bool
+(** [bwd ∘ fwd = id] on all source parses within the bound. *)
+
+val check_strong : t -> char list -> max_len:int -> bool
+(** Both round trips are the identity within the bound. *)
+
+val counterexample :
+  t -> char list -> max_len:int -> (string * Ptree.t) option
+(** First source parse (within the bound) whose round trip is not the
+    identity, if any. *)

@@ -1,0 +1,146 @@
+type atom = {
+  atom_name : string;
+  atom_parses : string -> Ptree.t list;
+}
+
+type t =
+  | Chr of char
+  | Eps
+  | Void
+  | Top
+  | Seq of t * t
+  | Alt of (Index.t * t) list
+  | And of (Index.t * t) list
+  | Ref of def * Index.t
+  | Atom of atom
+
+and def = {
+  id : int;
+  name : string;
+  mutable rules : (Index.t -> t) option;
+}
+
+let next_id = ref 0
+
+let declare name =
+  incr next_id;
+  { id = !next_id; name; rules = None }
+
+let set_rules d f =
+  match d.rules with
+  | Some _ -> invalid_arg ("Grammar.set_rules: rules already set for " ^ d.name)
+  | None -> d.rules <- Some f
+
+let define name f =
+  let d = declare name in
+  set_rules d f;
+  d
+
+let def_name d = d.name
+let def_id d = d.id
+
+let def_body d ix =
+  match d.rules with
+  | Some f -> f ix
+  | None -> invalid_arg ("Grammar.def_body: no rules for " ^ d.name)
+
+let ref_ d ix = Ref (d, ix)
+
+let fix name f =
+  let d = declare name in
+  let self = Ref (d, Index.U) in
+  (* evaluate the body once: if [f] allocates definitions, re-running it
+     per unfolding would defeat enumeration memoization *)
+  let body = lazy (f self) in
+  set_rules d (fun _ -> Lazy.force body);
+  self
+
+let chr c = Chr c
+let eps = Eps
+let void = Void
+let top = Top
+
+let seq a b = Seq (a, b)
+
+let rec seq_list = function
+  | [] -> Eps
+  | [ g ] -> g
+  | g :: gs -> Seq (g, seq_list gs)
+
+let inl_tag = Index.B false
+let inr_tag = Index.B true
+let alt2 a b = Alt [ (inl_tag, a); (inr_tag, b) ]
+let alt comps = Alt comps
+
+let amp comps =
+  if comps = [] then invalid_arg "Grammar.amp: empty conjunction (use top)";
+  And comps
+
+let amp2 a b = amp [ (inl_tag, a); (inr_tag, b) ]
+
+let oplus_chars alphabet f =
+  Alt (List.map (fun c -> (Index.C c, f c)) alphabet)
+
+let literal w =
+  seq_list (List.init (String.length w) (fun i -> Chr w.[i]))
+
+let char_any alphabet = oplus_chars alphabet (fun c -> Chr c)
+
+let star_nil_tag = Index.S "nil"
+let star_cons_tag = Index.S "cons"
+
+let star a =
+  fix "star" (fun self ->
+      Alt [ (star_nil_tag, Eps); (star_cons_tag, Seq (a, self)) ])
+
+let plus a = Seq (a, star a)
+let opt a = alt2 Eps a
+let string_g alphabet = star (char_any alphabet)
+
+let string_parse w =
+  let rec go k =
+    if k >= String.length w then Ptree.Roll ("star", Ptree.Inj (star_nil_tag, Ptree.Eps))
+    else
+      Ptree.Roll
+        ( "star",
+          Ptree.Inj
+            ( star_cons_tag,
+              Ptree.Pair (Ptree.Inj (Index.C w.[k], Ptree.Tok w.[k]), go (k + 1)) ) )
+  in
+  go 0
+let atom name parses = Atom { atom_name = name; atom_parses = parses }
+
+let rec equal g h =
+  match g, h with
+  | Chr a, Chr b -> Char.equal a b
+  | Eps, Eps | Void, Void | Top, Top -> true
+  | Seq (a, b), Seq (c, d) -> equal a c && equal b d
+  | Alt xs, Alt ys | And xs, And ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (i, a) (j, b) -> Index.equal i j && equal a b)
+         xs ys
+  | Ref (d, i), Ref (e, j) -> d.id = e.id && Index.equal i j
+  | Atom a, Atom b -> a == b
+  | (Chr _ | Eps | Void | Top | Seq _ | Alt _ | And _ | Ref _ | Atom _), _ ->
+    false
+
+let rec pp ppf = function
+  | Chr c -> Fmt.pf ppf "%C" c
+  | Eps -> Fmt.string ppf "I"
+  | Void -> Fmt.string ppf "0"
+  | Top -> Fmt.string ppf "⊤"
+  | Seq (a, b) -> Fmt.pf ppf "(%a ⊗ %a)" pp a pp b
+  | Alt comps ->
+    Fmt.pf ppf "⊕[%a]"
+      Fmt.(list ~sep:(any " | ") (pair ~sep:(any ":") Index.pp pp))
+      comps
+  | And comps ->
+    Fmt.pf ppf "&[%a]"
+      Fmt.(list ~sep:(any " & ") (pair ~sep:(any ":") Index.pp pp))
+      comps
+  | Ref (d, Index.U) -> Fmt.string ppf d.name
+  | Ref (d, ix) -> Fmt.pf ppf "%s(%a)" d.name Index.pp ix
+  | Atom a -> Fmt.pf ppf "<%s>" a.atom_name
+
+let to_string g = Fmt.str "%a" pp g

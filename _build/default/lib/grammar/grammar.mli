@@ -1,0 +1,118 @@
+(** Formal grammars: the denotational model [Gr] of Lambek^D (§5).
+
+    A grammar denotes, for every string, the set of its parse trees.  We
+    represent grammars as finite syntax over the linear type formers of
+    Lambek^D, plus {e indexed grammar systems}: named, possibly mutually
+    recursive, possibly infinitely-indexed families of definitions — the
+    image of the paper's indexed inductive linear types [μF].  The actual
+    parse sets are computed by {!Enum}.
+
+    Definitions are {e generative} (nominal): two definitions are the same
+    grammar only if they are the same declaration, mirroring how inductive
+    types behave in proof assistants. *)
+
+type atom = {
+  atom_name : string;
+  atom_parses : string -> Ptree.t list;
+      (** parses of exactly the given string; every returned tree must
+          yield that string *)
+}
+(** A semantic atom: a grammar given directly by its parse sets.  Used for
+    the reification construction (Construction 4.15) where the disjunction
+    ranges over an infinite non-linear type. *)
+
+type t =
+  | Chr of char                  (** the literal grammar ['c'] *)
+  | Eps                          (** the linear unit [I] *)
+  | Void                         (** the empty grammar [0] *)
+  | Top                          (** [⊤]: exactly one parse of any string *)
+  | Seq of t * t                 (** concatenation [A ⊗ B] *)
+  | Alt of (Index.t * t) list    (** finite indexed disjunction ⊕ *)
+  | And of (Index.t * t) list    (** finite indexed conjunction & (nonempty) *)
+  | Ref of def * Index.t         (** reference to an indexed definition *)
+  | Atom of atom
+
+and def
+(** An indexed definition: a family [Index.t -> t] of grammar bodies, under
+    a unique name.  Bodies may refer back to the definition (recursion) and
+    to other definitions (mutual recursion). *)
+
+(** {1 Definitions} *)
+
+val declare : string -> def
+(** [declare name] creates a fresh definition with no rules yet; referring
+    to it before {!set_rules} raises on use. *)
+
+val set_rules : def -> (Index.t -> t) -> unit
+(** [set_rules d f] installs the bodies.  Raises [Invalid_argument] if [d]
+    already has rules. *)
+
+val define : string -> (Index.t -> t) -> def
+(** [define name f] = declare + set_rules. *)
+
+val fix : string -> (t -> t) -> t
+(** [fix name f] builds an unindexed recursive grammar: the body [f self]
+    may use [self] recursively.  Returns the reference. *)
+
+val def_name : def -> string
+val def_id : def -> int
+val def_body : def -> Index.t -> t
+val ref_ : def -> Index.t -> t
+
+(** {1 Smart constructors} *)
+
+val chr : char -> t
+val eps : t
+val void : t
+val top : t
+val seq : t -> t -> t
+val seq_list : t list -> t
+(** Right-nested tensor of a list; [seq_list [] = eps]. *)
+
+val alt2 : t -> t -> t
+(** Binary disjunction tagged [B false] / [B true] (inl / inr). *)
+
+val inl_tag : Index.t
+val inr_tag : Index.t
+
+val alt : (Index.t * t) list -> t
+val amp2 : t -> t -> t
+val amp : (Index.t * t) list -> t
+val oplus_chars : char list -> (char -> t) -> t
+(** Disjunction over an alphabet, tagged [C c]. *)
+
+val literal : string -> t
+(** [literal w] is [⌜w⌝]: the grammar with exactly one parse, of [w]. *)
+
+val char_any : char list -> t
+(** The grammar [Char] = ⊕ of all literals of an alphabet. *)
+
+val star : t -> t
+(** Kleene star as an inductive linear type (Fig 2): a fresh definition
+    with constructors [nil : I] and [cons : A ⊗ A*].  Parses are
+    [Roll("star", Inj("nil", Eps))] / [Roll("star", Inj("cons", Pair _))]. *)
+
+val star_nil_tag : Index.t
+val star_cons_tag : Index.t
+
+val plus : t -> t
+val opt : t -> t
+
+val string_g : char list -> t
+(** The [String] grammar over an alphabet: Kleene star of {!char_any}. *)
+
+val string_parse : string -> Ptree.t
+(** The unique parse of [w] for [string_g alphabet] (for any alphabet
+    containing the characters of [w]). *)
+
+val atom : string -> (string -> Ptree.t list) -> t
+
+(** {1 Structure} *)
+
+val equal : t -> t -> bool
+(** Structural equality; definitions compare by identity. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints recursive references by name without unfolding. *)
+
+val to_string : t -> string

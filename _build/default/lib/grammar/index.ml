@@ -1,0 +1,90 @@
+type t =
+  | U
+  | B of bool
+  | N of int
+  | C of char
+  | S of string
+  | P of t * t
+
+let rec equal x y =
+  match x, y with
+  | U, U -> true
+  | B a, B b -> Bool.equal a b
+  | N a, N b -> Int.equal a b
+  | C a, C b -> Char.equal a b
+  | S a, S b -> String.equal a b
+  | P (a, b), P (c, d) -> equal a c && equal b d
+  | (U | B _ | N _ | C _ | S _ | P _), _ -> false
+
+let rec compare x y =
+  let rank = function
+    | U -> 0 | B _ -> 1 | N _ -> 2 | C _ -> 3 | S _ -> 4 | P _ -> 5
+  in
+  match x, y with
+  | U, U -> 0
+  | B a, B b -> Bool.compare a b
+  | N a, N b -> Int.compare a b
+  | C a, C b -> Char.compare a b
+  | S a, S b -> String.compare a b
+  | P (a, b), P (c, d) ->
+    let c0 = compare a c in
+    if c0 <> 0 then c0 else compare b d
+  | _, _ -> Int.compare (rank x) (rank y)
+
+let hash x = Hashtbl.hash x
+
+let rec pp ppf = function
+  | U -> Fmt.string ppf "()"
+  | B b -> Fmt.bool ppf b
+  | N n -> Fmt.int ppf n
+  | C c -> Fmt.pf ppf "%C" c
+  | S s -> Fmt.string ppf s
+  | P (a, b) -> Fmt.pf ppf "(%a,%a)" pp a pp b
+
+let to_string x = Fmt.str "%a" pp x
+
+type set =
+  | Unit_set
+  | Bool_set
+  | Fin_set of int
+  | Char_set of char list
+  | Tag_set of string list
+  | Nat_set
+  | Pair_set of set * set
+
+let rec set_is_finite = function
+  | Unit_set | Bool_set | Fin_set _ | Char_set _ | Tag_set _ -> true
+  | Nat_set -> false
+  | Pair_set (a, b) -> set_is_finite a && set_is_finite b
+
+let rec enumerate ?(nat_bound = 24) set =
+  match set with
+  | Unit_set -> [ U ]
+  | Bool_set -> [ B false; B true ]
+  | Fin_set n -> List.init n (fun i -> N i)
+  | Char_set cs -> List.map (fun c -> C c) cs
+  | Tag_set ts -> List.map (fun t -> S t) ts
+  | Nat_set -> List.init (nat_bound + 1) (fun i -> N i)
+  | Pair_set (a, b) ->
+    let xs = enumerate ~nat_bound a and ys = enumerate ~nat_bound b in
+    List.concat_map (fun x -> List.map (fun y -> P (x, y)) ys) xs
+
+let rec mem_set x set =
+  match x, set with
+  | U, Unit_set -> true
+  | B _, Bool_set -> true
+  | N n, Fin_set k -> 0 <= n && n < k
+  | N n, Nat_set -> n >= 0
+  | C c, Char_set cs -> List.mem c cs
+  | S s, Tag_set ts -> List.mem s ts
+  | P (a, b), Pair_set (sa, sb) -> mem_set a sa && mem_set b sb
+  | (U | B _ | N _ | C _ | S _ | P _), _ -> false
+
+let rec pp_set ppf = function
+  | Unit_set -> Fmt.string ppf "Unit"
+  | Bool_set -> Fmt.string ppf "Bool"
+  | Fin_set n -> Fmt.pf ppf "Fin %d" n
+  | Char_set cs -> Fmt.pf ppf "Char{%a}" Fmt.(list ~sep:comma char) cs
+  | Tag_set ts -> Fmt.pf ppf "Tags{%a}" Fmt.(list ~sep:comma string) ts
+  | Nat_set -> Fmt.string ppf "Nat"
+  | Pair_set (a, b) -> Fmt.pf ppf "(%a * %a)" pp_set a pp_set b

@@ -1,0 +1,52 @@
+(** First-order index values.
+
+    Lambek^D allows linear types to depend on non-linear data.  In the
+    denotational model the indices that actually occur in the paper's
+    examples are finite types ([Bool], [Fin n]), natural numbers (counter
+    automata), characters, and tuples of these.  [Index.t] is the universal
+    first-order value language we use for:
+
+    - tags of indexed disjunctions ⊕ and conjunctions &,
+    - automaton states,
+    - constructor names of inductive linear types,
+    - indices of indexed inductive linear types. *)
+
+type t =
+  | U                 (** the unit index *)
+  | B of bool
+  | N of int          (** natural numbers; also used for [Fin n] elements *)
+  | C of char
+  | S of string       (** symbolic names, e.g. constructor tags *)
+  | P of t * t        (** pairs, for multi-dimensional indices *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Index sets}
+
+    A description of the non-linear set an index ranges over.  Finite sets
+    can be enumerated exhaustively; [Nat] is sampled up to a bound. *)
+
+type set =
+  | Unit_set
+  | Bool_set
+  | Fin_set of int            (** [{N 0, ..., N (n-1)}] *)
+  | Char_set of char list     (** an alphabet *)
+  | Tag_set of string list    (** a finite set of symbolic tags *)
+  | Nat_set                   (** all naturals; infinite *)
+  | Pair_set of set * set
+
+val set_is_finite : set -> bool
+
+val enumerate : ?nat_bound:int -> set -> t list
+(** [enumerate s] lists the elements of [s]; for the infinite [Nat_set]
+    (and pairs involving it) the naturals [0 .. nat_bound] are produced
+    (default [nat_bound = 24]). *)
+
+val mem_set : t -> set -> bool
+(** [mem_set x s] decides membership of a value in a set description. *)
+
+val pp_set : Format.formatter -> set -> unit

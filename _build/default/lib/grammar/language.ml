@@ -1,0 +1,28 @@
+let words alphabet ~max_len =
+  let rec level k =
+    if k = 0 then [ "" ]
+    else
+      let shorter = level (k - 1) in
+      List.concat_map
+        (fun w -> List.map (fun c -> w ^ String.make 1 c) alphabet)
+        shorter
+  in
+  List.concat (List.init (max_len + 1) level)
+
+let members g alphabet ~max_len =
+  List.filter (Enum.accepts g) (words alphabet ~max_len)
+
+let equal_upto g h alphabet ~max_len =
+  List.for_all
+    (fun w -> Bool.equal (Enum.accepts g w) (Enum.accepts h w))
+    (words alphabet ~max_len)
+
+let subset_upto g h alphabet ~max_len =
+  List.for_all
+    (fun w -> (not (Enum.accepts g w)) || Enum.accepts h w)
+    (words alphabet ~max_len)
+
+let difference_witness g h alphabet ~max_len =
+  List.find_opt
+    (fun w -> not (Bool.equal (Enum.accepts g w) (Enum.accepts h w)))
+    (words alphabet ~max_len)

@@ -1,0 +1,23 @@
+(** Weak generative capacity: the formal {e language} of a grammar.
+
+    A formal language is the image of a formal grammar under "is the parse
+    set nonempty" (§5.1).  This module provides bounded language
+    computations used throughout the test suite to compare grammars,
+    automata and parsers up to weak equivalence. *)
+
+val words : char list -> max_len:int -> string list
+(** All strings over the alphabet of length [0..max_len], in
+    length-lexicographic order.  Size is [Σ |Σ|^k] — keep [max_len] small. *)
+
+val members : Grammar.t -> char list -> max_len:int -> string list
+(** The language of the grammar restricted to {!words}. *)
+
+val equal_upto : Grammar.t -> Grammar.t -> char list -> max_len:int -> bool
+(** Bounded language equality. *)
+
+val subset_upto : Grammar.t -> Grammar.t -> char list -> max_len:int -> bool
+
+val difference_witness :
+  Grammar.t -> Grammar.t -> char list -> max_len:int -> string option
+(** A word accepted by exactly one of the two grammars, if any exists
+    within the bound. *)

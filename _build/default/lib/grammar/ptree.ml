@@ -1,0 +1,133 @@
+type t =
+  | Tok of char
+  | Eps
+  | Pair of t * t
+  | Inj of Index.t * t
+  | Tuple of (Index.t * t) list
+  | Roll of string * t
+  | TopP of string
+
+let rec yield = function
+  | Tok c -> String.make 1 c
+  | Eps -> ""
+  | Pair (l, r) -> yield l ^ yield r
+  | Inj (_, t) -> yield t
+  | Tuple [] -> invalid_arg "Ptree.yield: empty tuple"
+  | Tuple ((_, t) :: _) -> yield t
+  | Roll (_, t) -> yield t
+  | TopP w -> w
+
+let rec well_formed = function
+  | Tok _ | Eps | TopP _ -> true
+  | Pair (l, r) -> well_formed l && well_formed r
+  | Inj (_, t) | Roll (_, t) -> well_formed t
+  | Tuple [] -> false
+  | Tuple ((_, t0) :: rest as comps) ->
+    let w = yield t0 in
+    List.for_all (fun (_, t) -> well_formed t) comps
+    && List.for_all (fun (_, t) -> String.equal (yield t) w) rest
+
+let rec size = function
+  | Tok _ | Eps | TopP _ -> 1
+  | Pair (l, r) -> 1 + size l + size r
+  | Inj (_, t) | Roll (_, t) -> 1 + size t
+  | Tuple comps -> List.fold_left (fun acc (_, t) -> acc + size t) 1 comps
+
+let rec depth = function
+  | Tok _ | Eps | TopP _ -> 1
+  | Pair (l, r) -> 1 + max (depth l) (depth r)
+  | Inj (_, t) | Roll (_, t) -> 1 + depth t
+  | Tuple comps -> 1 + List.fold_left (fun acc (_, t) -> max acc (depth t)) 0 comps
+
+let rec equal x y =
+  match x, y with
+  | Tok a, Tok b -> Char.equal a b
+  | Eps, Eps -> true
+  | Pair (a, b), Pair (c, d) -> equal a c && equal b d
+  | Inj (i, a), Inj (j, b) -> Index.equal i j && equal a b
+  | Tuple xs, Tuple ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (i, a) (j, b) -> Index.equal i j && equal a b)
+         xs ys
+  | Roll (n, a), Roll (m, b) -> String.equal n m && equal a b
+  | TopP a, TopP b -> String.equal a b
+  | (Tok _ | Eps | Pair _ | Inj _ | Tuple _ | Roll _ | TopP _), _ -> false
+
+let rec compare x y =
+  let rank = function
+    | Tok _ -> 0 | Eps -> 1 | Pair _ -> 2 | Inj _ -> 3
+    | Tuple _ -> 4 | Roll _ -> 5 | TopP _ -> 6
+  in
+  match x, y with
+  | Tok a, Tok b -> Char.compare a b
+  | Eps, Eps -> 0
+  | Pair (a, b), Pair (c, d) ->
+    let c0 = compare a c in
+    if c0 <> 0 then c0 else compare b d
+  | Inj (i, a), Inj (j, b) ->
+    let c0 = Index.compare i j in
+    if c0 <> 0 then c0 else compare a b
+  | Tuple xs, Tuple ys ->
+    let rec go xs ys =
+      match xs, ys with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | (i, a) :: xs', (j, b) :: ys' ->
+        let c0 = Index.compare i j in
+        if c0 <> 0 then c0
+        else
+          let c1 = compare a b in
+          if c1 <> 0 then c1 else go xs' ys'
+    in
+    go xs ys
+  | Roll (n, a), Roll (m, b) ->
+    let c0 = String.compare n m in
+    if c0 <> 0 then c0 else compare a b
+  | TopP a, TopP b -> String.compare a b
+  | _, _ -> Int.compare (rank x) (rank y)
+
+let rec pp ppf = function
+  | Tok c -> Fmt.pf ppf "%C" c
+  | Eps -> Fmt.string ppf "ε"
+  | Pair (l, r) -> Fmt.pf ppf "(%a ⊗ %a)" pp l pp r
+  | Inj (i, t) -> Fmt.pf ppf "σ%a·%a" Index.pp i pp t
+  | Tuple comps ->
+    Fmt.pf ppf "⟨%a⟩"
+      Fmt.(list ~sep:(any "; ") (pair ~sep:(any "↦") Index.pp pp))
+      comps
+  | Roll (n, t) -> Fmt.pf ppf "%s[%a]" n pp t
+  | TopP w -> Fmt.pf ppf "⊤%S" w
+
+let to_string t = Fmt.str "%a" pp t
+
+let as_pair = function
+  | Pair (l, r) -> (l, r)
+  | t -> invalid_arg (Fmt.str "Ptree.as_pair: %a" pp t)
+
+let as_inj = function
+  | Inj (i, t) -> (i, t)
+  | t -> invalid_arg (Fmt.str "Ptree.as_inj: %a" pp t)
+
+let as_tuple = function
+  | Tuple comps -> comps
+  | t -> invalid_arg (Fmt.str "Ptree.as_tuple: %a" pp t)
+
+let as_roll = function
+  | Roll (n, t) -> (n, t)
+  | t -> invalid_arg (Fmt.str "Ptree.as_roll: %a" pp t)
+
+let proj i t =
+  match t with
+  | Tuple comps -> (
+    match List.find_opt (fun (j, _) -> Index.equal i j) comps with
+    | Some (_, c) -> c
+    | None -> invalid_arg (Fmt.str "Ptree.proj: no component %a" Index.pp i))
+  | _ -> invalid_arg (Fmt.str "Ptree.proj: %a" pp t)
+
+let literal w =
+  let rec go k =
+    if k >= String.length w then Eps else Pair (Tok w.[k], go (k + 1))
+  in
+  go 0

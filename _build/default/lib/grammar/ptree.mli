@@ -1,0 +1,63 @@
+(** Abstract parse trees.
+
+    In the paper's denotational semantics (§5.1) a formal grammar maps each
+    string to a {e set of parse trees}, with no commitment to what a "tree"
+    is.  We commit to a single universal first-order tree type rich enough
+    for every linear type former of Lambek^D: one constructor per way of
+    introducing a parse.
+
+    Every tree has a computable {e yield} — the string it parses.  The
+    yield is the bridge to intrinsic verification: a parse transformer is
+    only meaningful if it preserves yields, and a parser is only sound if
+    the tree it returns yields the input.  Both properties are enforced
+    dynamically throughout this library. *)
+
+type t =
+  | Tok of char                  (** the unique parse of ['c'] over ["c"] *)
+  | Eps                          (** the unique parse of [I] over [""] *)
+  | Pair of t * t                (** a parse of [A ⊗ B]: the split point is
+                                     implicit in the yields *)
+  | Inj of Index.t * t           (** a parse of an indexed ⊕: tag + payload *)
+  | Tuple of (Index.t * t) list  (** a parse of a finite indexed &: one
+                                     component per index, all with equal
+                                     yield *)
+  | Roll of string * t           (** one layer of a named inductive linear
+                                     type; payload parses the unfolding *)
+  | TopP of string               (** the unique parse of ⊤ over the given
+                                     string *)
+
+val yield : t -> string
+(** [yield t] is the string [t] parses.  For [Tuple] trees the first
+    component's yield is returned; well-formed tuples agree on yields
+    (checked by {!well_formed}). *)
+
+val well_formed : t -> bool
+(** [well_formed t] checks the internal yield coherence of [t]: all
+    components of every [Tuple] have equal yields. *)
+
+val size : t -> int
+(** Number of constructors in the tree. *)
+
+val depth : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {1 Views}
+
+    Partial destructors raising [Invalid_argument] on shape mismatch; used
+    by parse transformers, which by typing discipline only ever receive
+    trees of the right shape. *)
+
+val as_pair : t -> t * t
+val as_inj : t -> Index.t * t
+val as_tuple : t -> (Index.t * t) list
+val as_roll : t -> string * t
+val proj : Index.t -> t -> t
+(** [proj i t] extracts component [i] of a [Tuple]. *)
+
+val literal : string -> t
+(** [literal w] is the canonical parse of the literal grammar
+    [⌜w⌝ = 'w0' ⊗ ('w1' ⊗ (... ⊗ I))] — right-nested, ending in [Eps]. *)

@@ -1,0 +1,30 @@
+type t = {
+  tname : string;
+  tfun : Ptree.t -> Ptree.t;
+}
+
+exception Yield_violation of string * Ptree.t * Ptree.t
+
+let make tname tfun = { tname; tfun }
+
+let apply f t =
+  let out = f.tfun t in
+  if String.equal (Ptree.yield out) (Ptree.yield t) then out
+  else raise (Yield_violation (f.tname, t, out))
+
+let apply_unchecked f t = f.tfun t
+let id = make "id" (fun t -> t)
+
+let compose g f =
+  make (g.tname ^ " ∘ " ^ f.tname) (fun t -> g.tfun (f.tfun t))
+
+let preserves_yield_on f inputs =
+  List.for_all
+    (fun t ->
+      match apply f t with
+      | out -> String.equal (Ptree.yield out) (Ptree.yield t)
+      | exception Yield_violation _ -> false)
+    inputs
+
+let agree_on f g inputs =
+  List.for_all (fun t -> Ptree.equal (apply f t) (apply g t)) inputs

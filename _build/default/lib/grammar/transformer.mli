@@ -1,0 +1,34 @@
+(** Parse transformers: the denotations of linear terms (§5.1, Def 5.2).
+
+    A parse transformer from grammar [A] to grammar [B] assigns to each
+    string [w] a function from [A]-parses of [w] to [B]-parses of [w].
+    Because our parse trees carry their yields, a transformer is a plain
+    tree function subject to the {e yield-preservation} law
+    [yield (f t) = yield t] — the semantic content of linearity.  The law
+    is checked dynamically by {!apply} (cheaply, on every call) and
+    exhaustively by the test suite. *)
+
+type t = {
+  tname : string;
+  tfun : Ptree.t -> Ptree.t;
+}
+
+exception Yield_violation of string * Ptree.t * Ptree.t
+(** [(name, input, output)] — the transformer changed the underlying
+    string, which a linear term can never do. *)
+
+val make : string -> (Ptree.t -> Ptree.t) -> t
+
+val apply : t -> Ptree.t -> Ptree.t
+(** Applies and checks yield preservation; raises {!Yield_violation}. *)
+
+val apply_unchecked : t -> Ptree.t -> Ptree.t
+
+val id : t
+val compose : t -> t -> t
+(** [compose g f] is [g ∘ f]. *)
+
+val preserves_yield_on : t -> Ptree.t list -> bool
+
+val agree_on : t -> t -> Ptree.t list -> bool
+(** Extensional agreement on a list of input parses. *)

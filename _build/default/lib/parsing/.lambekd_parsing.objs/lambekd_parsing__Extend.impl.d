@@ -1,0 +1,1 @@
+lib/parsing/extend.ml: Lambekd_grammar Parser_def

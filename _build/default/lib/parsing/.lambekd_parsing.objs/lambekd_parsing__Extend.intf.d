@@ -1,0 +1,1 @@
+lib/parsing/extend.mli: Lambekd_grammar Parser_def

@@ -1,0 +1,1 @@
+lib/parsing/parser_def.ml: Bool Lambekd_grammar List Result String

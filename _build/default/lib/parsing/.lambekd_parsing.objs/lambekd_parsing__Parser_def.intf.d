@@ -1,0 +1,1 @@
+lib/parsing/parser_def.mli: Lambekd_grammar

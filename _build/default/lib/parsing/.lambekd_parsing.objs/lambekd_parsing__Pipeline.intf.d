@@ -1,0 +1,1 @@
+lib/parsing/pipeline.mli: Lambekd_automata Lambekd_grammar Lambekd_regex Parser_def

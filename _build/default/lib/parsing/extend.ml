@@ -1,0 +1,10 @@
+module G = Lambekd_grammar
+
+let along (e : G.Equivalence.t) (p : Parser_def.t) =
+  Parser_def.make
+    ~name:(p.Parser_def.pname ^ "/" ^ e.G.Equivalence.fwd.G.Transformer.tname)
+    ~positive:e.G.Equivalence.target ~negative:p.Parser_def.negative
+    (fun w ->
+      match Parser_def.run p w with
+      | Ok tree -> Ok (G.Transformer.apply e.G.Equivalence.fwd tree)
+      | Error tree -> Error tree)

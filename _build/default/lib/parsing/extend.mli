@@ -1,0 +1,13 @@
+(** Lemma 4.8: transporting parsers along weak equivalences.
+
+    If [A] is weakly equivalent to [B] (transformers [f : A ⊸ B],
+    [g : B ⊸ A]) then a parser for [A] extends to a parser for [B]: the
+    forward transformer upgrades accepted parses, and the backward one
+    transports the disjointness of [A¬] from [A] to [B] (checked by the
+    harness). *)
+
+module G := Lambekd_grammar
+
+val along : G.Equivalence.t -> Parser_def.t -> Parser_def.t
+(** [along e p]: [p] must be a parser for [e.source]; the result is a
+    parser for [e.target] with the same negative type. *)

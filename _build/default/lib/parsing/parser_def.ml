@@ -1,0 +1,44 @@
+module G = Lambekd_grammar
+module P = G.Ptree
+
+type t = {
+  pname : string;
+  positive : G.Grammar.t;
+  negative : G.Grammar.t;
+  run : string -> (P.t, P.t) result;
+}
+
+exception Unsound of string * string * P.t
+
+let make ~name ~positive ~negative run =
+  { pname = name; positive; negative; run }
+
+let run t w =
+  let result = t.run w in
+  let tree = match result with Ok tr | Error tr -> tr in
+  if String.equal (P.yield tree) w then result
+  else raise (Unsound (t.pname, w, tree))
+
+let accepts t w = Result.is_ok (run t w)
+
+let check_sound t alphabet ~max_len =
+  List.for_all
+    (fun w ->
+      match run t w with
+      | Ok tree -> List.exists (P.equal tree) (G.Enum.parses t.positive w)
+      | Error tree -> List.exists (P.equal tree) (G.Enum.parses t.negative w)
+      | exception Unsound _ -> false)
+    (G.Language.words alphabet ~max_len)
+
+let check_disjoint t alphabet ~max_len =
+  G.Ambiguity.disjoint_upto t.positive t.negative alphabet ~max_len
+
+let check_complete t alphabet ~max_len =
+  List.for_all
+    (fun w -> Bool.equal (accepts t w) (G.Enum.accepts t.positive w))
+    (G.Language.words alphabet ~max_len)
+
+let check t alphabet ~max_len =
+  check_sound t alphabet ~max_len
+  && check_disjoint t alphabet ~max_len
+  && check_complete t alphabet ~max_len

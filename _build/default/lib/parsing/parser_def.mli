@@ -1,0 +1,55 @@
+(** Verified parsers (Definitions 4.5 and 4.6).
+
+    A parser for a linear type [A] is a choice of a {e negative} type [A¬]
+    disjoint from [A], together with a total function
+    [String ⊸ A ⊕ A¬].  Writing the function as a linear term makes
+    {e soundness} intrinsic: a returned [inl] parse is a genuine parse of
+    the input.  Verifying the disjointness of [A] and [A¬] then gives
+    {e completeness}: a rejection really means no parse exists.
+
+    In this OCaml reproduction the intrinsic guarantee is enforced
+    dynamically — every parse produced is checked to yield the input
+    string — and disjointness/completeness are checked exhaustively up to
+    a word-length bound by the test harness. *)
+
+module G := Lambekd_grammar
+
+type t = {
+  pname : string;
+  positive : G.Grammar.t;             (** [A] *)
+  negative : G.Grammar.t;             (** [A¬] *)
+  run : string -> (G.Ptree.t, G.Ptree.t) result;
+      (** total: [Ok] a parse of [A], [Error] a parse of [A¬] *)
+}
+
+exception Unsound of string * string * G.Ptree.t
+(** [(parser, input, tree)]: the parser returned a tree that does not
+    yield its input — a linearity violation impossible for a checked
+    Lambek^D term. *)
+
+val make :
+  name:string ->
+  positive:G.Grammar.t ->
+  negative:G.Grammar.t ->
+  (string -> (G.Ptree.t, G.Ptree.t) result) ->
+  t
+
+val run : t -> string -> (G.Ptree.t, G.Ptree.t) result
+(** Runs and enforces the yield check on either outcome. *)
+
+val accepts : t -> string -> bool
+
+(** {1 Verification (bounded, exhaustive)} *)
+
+val check_sound : t -> char list -> max_len:int -> bool
+(** Every [Ok] tree is a genuine enumerated parse of [positive]; every
+    [Error] tree a genuine parse of [negative]. *)
+
+val check_disjoint : t -> char list -> max_len:int -> bool
+(** Def 4.5 for [positive]/[negative]: no word parses as both. *)
+
+val check_complete : t -> char list -> max_len:int -> bool
+(** The parser accepts exactly the words with a [positive] parse. *)
+
+val check : t -> char list -> max_len:int -> bool
+(** All three checks. *)

@@ -1,0 +1,48 @@
+module G = Lambekd_grammar
+module Regex = Lambekd_regex.Regex
+module Auto = Lambekd_automata
+
+type t = {
+  regex : Regex.t;
+  thompson : Auto.Thompson.t;
+  det : Auto.Determinize.t;
+  dauto : Auto.Dauto.t;
+  dfa_parser : Parser_def.t;
+  nfa_parser : Parser_def.t;
+  regex_parser : Parser_def.t;
+}
+
+let compile ?alphabet regex =
+  let alphabet =
+    match alphabet with Some cs -> cs | None -> Regex.chars regex
+  in
+  let thompson = Auto.Thompson.compile ~alphabet regex in
+  let det = Auto.Determinize.determinize thompson.Auto.Thompson.nfa in
+  let dauto = Auto.Determinize.dauto det in
+  let dfa_parser =
+    Parser_def.make ~name:"dfa-traces"
+      ~positive:(Auto.Dauto.accepting_traces dauto)
+      ~negative:(Auto.Dauto.rejecting_traces dauto)
+      (fun w ->
+        let accepted, trace = Auto.Dauto.parse dauto w in
+        if accepted then Ok trace else Error trace)
+  in
+  let traces = thompson.Auto.Thompson.traces in
+  let d_to_n =
+    G.Equivalence.make
+      ~source:(Auto.Dauto.accepting_traces dauto)
+      ~target:(Auto.Nfa_trace.parses_grammar traces)
+      ~fwd:(Auto.Nfa_trace.dto_n traces)
+      ~bwd:(Auto.Nfa_trace.nto_d traces dauto)
+  in
+  let nfa_parser = Extend.along d_to_n dfa_parser in
+  let n_to_r =
+    G.Equivalence.inverse (Auto.Thompson.equivalence thompson)
+  in
+  let regex_parser = Extend.along n_to_r nfa_parser in
+  { regex; thompson; det; dauto; dfa_parser; nfa_parser; regex_parser }
+
+let parse t w = Parser_def.run t.regex_parser w
+let accepts t w = Result.is_ok (parse t w)
+let dfa_states t = t.det.Auto.Determinize.dfa.Auto.Dfa.num_states
+let nfa_states t = t.thompson.Auto.Thompson.nfa.Auto.Nfa.num_states

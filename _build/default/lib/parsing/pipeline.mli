@@ -1,0 +1,38 @@
+(** Corollary 4.12: a verified parser for every regular expression.
+
+    The full construction chain of §4.1, assembled:
+
+    + Thompson's construction: [R] strongly equivalent to [Parse_N]
+      (Construction 4.11);
+    + determinization: [Parse_N] weakly equivalent to [Parse_D]
+      (Construction 4.10);
+    + the DFA trace parser of Theorem 4.9, with the rejecting traces as
+      the negative grammar;
+    + Lemma 4.8, twice, to transport that parser back to [R].
+
+    The resulting parser returns genuine parse trees of the regex viewed
+    as a linear type — not just acceptance. *)
+
+module G := Lambekd_grammar
+module Regex := Lambekd_regex.Regex
+
+type t = private {
+  regex : Regex.t;
+  thompson : Lambekd_automata.Thompson.t;
+  det : Lambekd_automata.Determinize.t;
+  dauto : Lambekd_automata.Dauto.t;
+  dfa_parser : Parser_def.t;    (** Theorem 4.9 *)
+  nfa_parser : Parser_def.t;    (** after Construction 4.10 *)
+  regex_parser : Parser_def.t;  (** Corollary 4.12 *)
+}
+
+val compile : ?alphabet:char list -> Regex.t -> t
+
+val parse : t -> string -> (G.Ptree.t, G.Ptree.t) result
+(** [Ok]: a parse tree of the regex over the input; [Error]: a rejecting
+    DFA trace — the proof that the automaton rejects. *)
+
+val accepts : t -> string -> bool
+
+val dfa_states : t -> int
+val nfa_states : t -> int

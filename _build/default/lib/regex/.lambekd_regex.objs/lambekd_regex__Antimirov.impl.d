@@ -1,0 +1,1 @@
+lib/regex/antimirov.ml: Char List Regex String

@@ -1,0 +1,1 @@
+lib/regex/antimirov.mli: Regex

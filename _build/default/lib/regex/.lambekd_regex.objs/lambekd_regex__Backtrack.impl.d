@@ -1,0 +1,1 @@
+lib/regex/backtrack.ml: Char Regex String

@@ -1,0 +1,1 @@
+lib/regex/backtrack.mli: Regex

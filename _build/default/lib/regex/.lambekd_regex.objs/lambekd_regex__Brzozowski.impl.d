@@ -1,0 +1,1 @@
+lib/regex/brzozowski.ml: Array List Map Queue Regex String

@@ -1,0 +1,1 @@
+lib/regex/brzozowski.mli: Regex

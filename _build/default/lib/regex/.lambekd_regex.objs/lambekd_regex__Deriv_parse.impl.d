@@ -1,0 +1,1 @@
+lib/regex/deriv_parse.ml: Array Char Lambekd_grammar Option Regex String

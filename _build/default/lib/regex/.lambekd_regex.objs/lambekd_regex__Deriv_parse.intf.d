@@ -1,0 +1,1 @@
+lib/regex/deriv_parse.mli: Lambekd_grammar Regex

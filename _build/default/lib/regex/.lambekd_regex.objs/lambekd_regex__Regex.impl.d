@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Char Fmt Int Lambekd_grammar List Random Stdlib String

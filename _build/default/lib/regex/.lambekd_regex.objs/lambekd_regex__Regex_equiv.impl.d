@@ -1,0 +1,1 @@
+lib/regex/regex_equiv.ml: Bool Char List Map Option Queue Regex String

@@ -1,0 +1,1 @@
+lib/regex/regex_equiv.mli: Regex

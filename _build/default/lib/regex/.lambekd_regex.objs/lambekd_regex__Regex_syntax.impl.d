@@ -1,0 +1,1 @@
+lib/regex/regex_syntax.ml: Char Fmt List Regex String

@@ -1,0 +1,44 @@
+module Set = Regex.Set
+
+(* pd c r = the set of r' with c·L(r') ⊆ L(r), jointly covering the
+   c-derivative. *)
+let rec partial_derivative c (r : Regex.t) =
+  match r with
+  | Empty | Eps -> Set.empty
+  | Chr c' -> if Char.equal c c' then Set.singleton Regex.eps else Set.empty
+  | Seq (a, b) ->
+    let head =
+      Set.map (fun a' -> Regex.seq a' b) (partial_derivative c a)
+    in
+    if Regex.nullable a then Set.union head (partial_derivative c b)
+    else head
+  | Alt (a, b) -> Set.union (partial_derivative c a) (partial_derivative c b)
+  | Star a ->
+    Set.map (fun a' -> Regex.seq a' r) (partial_derivative c a)
+
+let pd_set c set =
+  Set.fold (fun r acc -> Set.union (partial_derivative c r) acc) set Set.empty
+
+let matches r w =
+  let n = String.length w in
+  let rec go set k =
+    if k >= n then Set.exists Regex.nullable set
+    else if Set.is_empty set then false
+    else go (pd_set w.[k] set) (k + 1)
+  in
+  go (Set.singleton r) 0
+
+let reachable r =
+  let alphabet = Regex.chars r in
+  let rec explore frontier seen =
+    if Set.is_empty frontier then seen
+    else
+      let next =
+        List.fold_left
+          (fun acc c -> Set.union acc (pd_set c frontier))
+          Set.empty alphabet
+      in
+      let fresh = Set.diff next seen in
+      explore fresh (Set.union seen fresh)
+  in
+  explore (Set.singleton r) (Set.singleton r)

@@ -1,0 +1,16 @@
+(** Antimirov partial derivatives.
+
+    The partial derivative of a regex by a character is a {e set} of
+    regexes; partial derivatives yield a nondeterministic analogue of the
+    Brzozowski construction with at most [size r + 1] reachable states.
+    Used as a second independent matcher and as an alternative
+    regex-to-NFA construction alongside Thompson's. *)
+
+val partial_derivative : char -> Regex.t -> Regex.Set.t
+
+val matches : Regex.t -> string -> bool
+(** Membership by iterating partial-derivative sets. *)
+
+val reachable : Regex.t -> Regex.Set.t
+(** All regexes reachable from [r] by repeated partial derivatives
+    (including [r]); finite (Antimirov 1996). *)

@@ -1,0 +1,33 @@
+exception Out_of_fuel
+
+(* CPS matcher: [go r k cont] tries to match a prefix of w starting at k
+   and calls the continuation on the position after the match.  Star stops
+   repeating when the body consumed nothing, so matching always
+   terminates (though possibly after exponentially many attempts). *)
+let run ~fuel r w =
+  let steps = ref 0 in
+  let tick () =
+    incr steps;
+    if !steps > fuel then raise Out_of_fuel
+  in
+  let n = String.length w in
+  let rec go (r : Regex.t) k cont =
+    tick ();
+    match r with
+    | Empty -> false
+    | Eps -> cont k
+    | Chr c -> k < n && Char.equal w.[k] c && cont (k + 1)
+    | Seq (a, b) -> go a k (fun k' -> go b k' cont)
+    | Alt (a, b) -> go a k cont || go b k cont
+    | Star a ->
+      let rec loop k = cont k || go a k (fun k' -> k' > k && loop k') in
+      loop k
+  in
+  go r 0 (fun k -> k = n)
+
+let matches r w = run ~fuel:max_int r w
+
+let matches_fuel ~fuel r w =
+  match run ~fuel r w with
+  | b -> Some b
+  | exception Out_of_fuel -> None

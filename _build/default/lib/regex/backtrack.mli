@@ -1,0 +1,12 @@
+(** A naive backtracking regex matcher.
+
+    Continuation-passing matcher with exponential worst case (e.g.
+    [(a|a)*b] against [a^n]) — the strawman baseline whose pathological
+    behaviour the automaton pipeline avoids, exercised by the
+    [baselines_pathological] bench (experiment E19). *)
+
+val matches : Regex.t -> string -> bool
+
+val matches_fuel : fuel:int -> Regex.t -> string -> bool option
+(** Like {!matches} but gives up after [fuel] continuation steps,
+    returning [None]; used to bench pathological cases safely. *)

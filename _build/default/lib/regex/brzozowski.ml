@@ -1,0 +1,70 @@
+module Rmap = Map.Make (struct
+  type t = Regex.t
+
+  let compare = Regex.compare
+end)
+
+type t = {
+  alphabet : char list;
+  (* state numbering: 0 is the initial state *)
+  accepting : bool array;
+  (* delta.(state) is an association from characters to states *)
+  delta : (char * int) list array;
+  state_regexes : Regex.t array;
+}
+
+let compile ?alphabet r =
+  let alphabet =
+    match alphabet with Some cs -> cs | None -> Regex.chars r
+  in
+  (* Breadth-first exploration of derivatives. *)
+  let numbering = ref (Rmap.singleton r 0) in
+  let states = ref [ r ] in
+  let count = ref 1 in
+  let transitions = ref [] in
+  let queue = Queue.create () in
+  Queue.add (r, 0) queue;
+  while not (Queue.is_empty queue) do
+    let state, id = Queue.pop queue in
+    List.iter
+      (fun c ->
+        let d = Regex.derivative c state in
+        let target =
+          match Rmap.find_opt d !numbering with
+          | Some id' -> id'
+          | None ->
+            let id' = !count in
+            incr count;
+            numbering := Rmap.add d id' !numbering;
+            states := d :: !states;
+            Queue.add (d, id') queue;
+            id'
+        in
+        transitions := (id, c, target) :: !transitions)
+      alphabet
+  done;
+  let n = !count in
+  let state_regexes = Array.make n Regex.empty in
+  Rmap.iter (fun r id -> state_regexes.(id) <- r) !numbering;
+  let accepting = Array.map Regex.nullable state_regexes in
+  let delta = Array.make n [] in
+  List.iter (fun (src, c, dst) -> delta.(src) <- (c, dst) :: delta.(src))
+    !transitions;
+  { alphabet; accepting; delta; state_regexes }
+
+let state_count t = Array.length t.accepting
+let alphabet t = t.alphabet
+let states t = Array.to_list t.state_regexes
+
+let matches t w =
+  let n = String.length w in
+  let rec go state k =
+    if k >= n then t.accepting.(state)
+    else
+      match List.assoc_opt w.[k] t.delta.(state) with
+      | Some state' -> go state' (k + 1)
+      | None -> false
+  in
+  go 0 0
+
+let matches_regex = Regex.matches

@@ -1,0 +1,27 @@
+(** Brzozowski derivative automata.
+
+    The derivatives of a regex, taken modulo the similarity laws built into
+    {!Regex}'s smart constructors, form a finite deterministic automaton.
+    This is the classic baseline regex engine we compare the paper's
+    Thompson + determinization pipeline against, and an independent oracle
+    for differential testing. *)
+
+type t
+(** A compiled derivative automaton over a fixed alphabet. *)
+
+val compile : ?alphabet:char list -> Regex.t -> t
+(** Explore all derivatives.  [alphabet] defaults to the characters of the
+    regex (a derivative by any other character is [0]).  Termination is
+    guaranteed by similarity-quotienting. *)
+
+val state_count : t -> int
+val alphabet : t -> char list
+
+val matches : t -> string -> bool
+(** Table-driven matching, linear in the input length. *)
+
+val matches_regex : Regex.t -> string -> bool
+(** One-shot: derivative computation on the fly (no table). *)
+
+val states : t -> Regex.t list
+(** The distinct derivatives, initial state first. *)

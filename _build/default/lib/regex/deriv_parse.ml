@@ -1,0 +1,86 @@
+module P = Lambekd_grammar.Ptree
+module I = Lambekd_grammar.Index
+
+(* Raw regexes: no smart-constructor normalization, so each derivative's
+   shape is a function of the previous regex's shape and injection is
+   plain structural recursion. *)
+type rx =
+  | Empty
+  | Eps
+  | Chr of char
+  | Seq of rx * rx
+  | Alt of rx * rx
+  | Star of rx
+
+let rec import (r : Regex.t) : rx =
+  match r with
+  | Regex.Empty -> Empty
+  | Regex.Eps -> Eps
+  | Regex.Chr c -> Chr c
+  | Regex.Seq (a, b) -> Seq (import a, import b)
+  | Regex.Alt (a, b) -> Alt (import a, import b)
+  | Regex.Star a -> Star (import a)
+
+let rec nullable = function
+  | Empty | Chr _ -> false
+  | Eps | Star _ -> true
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+
+let rec derivative c = function
+  | Empty | Eps -> Empty
+  | Chr c' -> if Char.equal c c' then Eps else Empty
+  | Seq (a, b) ->
+    if nullable a then Alt (Seq (derivative c a, b), derivative c b)
+    else Seq (derivative c a, b)
+  | Alt (a, b) -> Alt (derivative c a, derivative c b)
+  | Star a -> Seq (derivative c a, Star a)
+
+let inl t = P.Inj (I.B false, t)
+let inr t = P.Inj (I.B true, t)
+let star_nil = P.Roll ("star", P.Inj (I.S "nil", P.Eps))
+let star_cons hd tl = P.Roll ("star", P.Inj (I.S "cons", P.Pair (hd, tl)))
+
+(* the greedy parse of ε: prefer left alternatives, stop stars *)
+let rec mkeps = function
+  | Eps -> P.Eps
+  | Seq (a, b) -> P.Pair (mkeps a, mkeps b)
+  | Alt (a, b) -> if nullable a then inl (mkeps a) else inr (mkeps b)
+  | Star _ -> star_nil
+  | Empty | Chr _ -> invalid_arg "Deriv_parse.mkeps: not nullable"
+
+(* [inj r c p]: p parses [w] for [derivative c r]; result parses [c·w]
+   for [r].  One case per derivative clause. *)
+let rec inj r c (p : P.t) : P.t =
+  match r, p with
+  | Chr c', P.Eps when Char.equal c c' -> P.Tok c
+  | Alt (a, _), P.Inj (I.B false, pa) -> inl (inj a c pa)
+  | Alt (_, b), P.Inj (I.B true, pb) -> inr (inj b c pb)
+  | Seq (a, b), _ when nullable a -> (
+    match p with
+    | P.Inj (I.B false, P.Pair (pa, pb)) -> P.Pair (inj a c pa, pb)
+    | P.Inj (I.B true, pb) -> P.Pair (mkeps a, inj b c pb)
+    | _ -> invalid_arg "Deriv_parse.inj: malformed nullable-seq parse")
+  | Seq (a, _), P.Pair (pa, pb) -> P.Pair (inj a c pa, pb)
+  | Star a, P.Pair (pa, rest) -> star_cons (inj a c pa) rest
+  | _, _ -> invalid_arg "Deriv_parse.inj: parse does not match derivative"
+
+let parse r w =
+  let r0 = import r in
+  (* forward: the derivative chain *)
+  let n = String.length w in
+  let chain = Array.make (n + 1) r0 in
+  for k = 0 to n - 1 do
+    chain.(k + 1) <- derivative w.[k] chain.(k)
+  done;
+  if not (nullable chain.(n)) then None
+  else begin
+    (* backward: inject the empty parse through the chain *)
+    let tree = ref (mkeps chain.(n)) in
+    for k = n - 1 downto 0 do
+      tree := inj chain.(k) w.[k] !tree
+    done;
+    Some !tree
+  end
+
+let accepts r w = Option.is_some (parse r w)

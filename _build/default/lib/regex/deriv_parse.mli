@@ -1,0 +1,18 @@
+(** Parse-tree construction by Brzozowski derivatives with greedy
+    (leftmost) disambiguation — the Frisch–Cardelli algorithm the paper
+    names as future verification work (§6.2).
+
+    The input is consumed once, producing the chain of {e unsimplified}
+    derivatives; the canonical empty-parse of the final derivative
+    ({!val-mkeps}, preferring left alternatives and empty stars) is then
+    injected backwards through the chain, one character at a time, into a
+    parse tree of the original regex.  Tree shapes follow
+    {!Regex.to_grammar}'s conventions, so outputs are directly comparable
+    with the Gr-model enumeration and the Thompson pipeline. *)
+
+val parse : Regex.t -> string -> Lambekd_grammar.Ptree.t option
+(** The greedy parse tree, or [None] when the word is not in the
+    language.  Deterministic; linear passes over the input (derivative
+    sizes may grow since no simplification is applied). *)
+
+val accepts : Regex.t -> string -> bool

@@ -1,0 +1,156 @@
+type t =
+  | Empty
+  | Eps
+  | Chr of char
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+let rec compare r s =
+  let rank = function
+    | Empty -> 0 | Eps -> 1 | Chr _ -> 2 | Seq _ -> 3 | Alt _ -> 4
+    | Star _ -> 5
+  in
+  match r, s with
+  | Empty, Empty | Eps, Eps -> 0
+  | Chr a, Chr b -> Char.compare a b
+  | Seq (a, b), Seq (c, d) | Alt (a, b), Alt (c, d) ->
+    let c0 = compare a c in
+    if c0 <> 0 then c0 else compare b d
+  | Star a, Star b -> compare a b
+  | _, _ -> Int.compare (rank r) (rank s)
+
+let equal r s = compare r s = 0
+
+module Set = Stdlib.Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let empty = Empty
+let eps = Eps
+let chr c = Chr c
+
+(* Smart constructors quotient by similarity (Brzozowski 1964) so that the
+   set of derivatives of any regex is finite. *)
+
+let rec seq r s =
+  match r, s with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, r | r, Eps -> r
+  | Seq (a, b), s -> seq a (seq b s)
+  | (Chr _ | Alt _ | Star _), _ -> Seq (r, s)
+
+(* Alternations are kept flattened, strictly sorted and deduplicated. *)
+let alt r s =
+  let rec summands acc = function
+    | Empty -> acc
+    | Alt (a, b) -> summands (summands acc a) b
+    | r -> Set.add r acc
+  in
+  let set = summands (summands Set.empty r) s in
+  match Set.elements set with
+  | [] -> Empty
+  | first :: rest -> List.fold_left (fun acc r -> Alt (acc, r)) first rest
+
+let star = function
+  | Empty | Eps -> Eps
+  | Star _ as r -> r
+  | (Chr _ | Seq _ | Alt _) as r -> Star r
+
+let seq_list rs = List.fold_right seq rs Eps
+let alt_list rs = List.fold_left alt Empty rs
+let plus r = seq r (star r)
+let opt r = alt eps r
+let literal w = seq_list (List.init (String.length w) (fun i -> Chr w.[i]))
+let any_of cs = alt_list (List.map chr cs)
+
+let rec size = function
+  | Empty | Eps | Chr _ -> 1
+  | Seq (a, b) | Alt (a, b) -> 1 + size a + size b
+  | Star a -> 1 + size a
+
+let chars r =
+  let rec go acc = function
+    | Empty | Eps -> acc
+    | Chr c -> c :: acc
+    | Seq (a, b) | Alt (a, b) -> go (go acc a) b
+    | Star a -> go acc a
+  in
+  List.sort_uniq Char.compare (go [] r)
+
+let rec nullable = function
+  | Empty | Chr _ -> false
+  | Eps | Star _ -> true
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+
+let rec derivative c = function
+  | Empty | Eps -> Empty
+  | Chr c' -> if Char.equal c c' then Eps else Empty
+  | Seq (a, b) ->
+    let head = seq (derivative c a) b in
+    if nullable a then alt head (derivative c b) else head
+  | Alt (a, b) -> alt (derivative c a) (derivative c b)
+  | Star a as r -> seq (derivative c a) r
+
+let matches r w =
+  let rec go r k =
+    if k >= String.length w then nullable r
+    else
+      match r with
+      | Empty -> false
+      | Eps | Chr _ | Seq _ | Alt _ | Star _ -> go (derivative w.[k] r) (k + 1)
+  in
+  go r 0
+
+module G = Lambekd_grammar.Grammar
+
+let rec to_grammar = function
+  | Empty -> G.void
+  | Eps -> G.eps
+  | Chr c -> G.chr c
+  | Seq (a, b) -> G.seq (to_grammar a) (to_grammar b)
+  | Alt (a, b) -> G.alt2 (to_grammar a) (to_grammar b)
+  | Star a -> G.star (to_grammar a)
+
+(* Precedence: alt 0, seq 1, postfix 2, atom 3. *)
+let rec pp_prec prec ppf r =
+  let paren p body =
+    if prec > p then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match r with
+  | Empty -> Fmt.string ppf "[]"
+  | Eps -> Fmt.string ppf "()"
+  | Chr c ->
+    if String.contains "|*+?()[]\\." c then Fmt.pf ppf "\\%c" c
+    else Fmt.char ppf c
+  | Alt (a, b) ->
+    paren 0 (fun ppf -> Fmt.pf ppf "%a|%a" (pp_prec 0) a (pp_prec 1) b)
+  | Seq (a, b) ->
+    paren 1 (fun ppf -> Fmt.pf ppf "%a%a" (pp_prec 1) a (pp_prec 2) b)
+  | Star a -> paren 2 (fun ppf -> Fmt.pf ppf "%a*" (pp_prec 3) a)
+
+let pp ppf r = pp_prec 0 ppf r
+let to_string r = Fmt.str "%a" pp r
+
+let random ?(star_depth = 2) ~chars ~size rng =
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  let rec go size star_depth =
+    if size <= 1 then
+      match Random.State.int rng 6 with
+      | 0 -> Eps
+      | 1 -> if Random.State.int rng 4 = 0 then Empty else chr (pick chars)
+      | _ -> chr (pick chars)
+    else
+      match Random.State.int rng (if star_depth > 0 then 3 else 2) with
+      | 0 ->
+        let k = 1 + Random.State.int rng (size - 1) in
+        seq (go k star_depth) (go (size - k) star_depth)
+      | 1 ->
+        let k = 1 + Random.State.int rng (size - 1) in
+        alt (go k star_depth) (go (size - k) star_depth)
+      | _ -> star (go (size - 1) (star_depth - 1))
+  in
+  go size star_depth

@@ -1,0 +1,74 @@
+(** Regular expressions.
+
+    In Lambek^D a regular expression is a linear type built from the
+    connectives ['c'], [0], [⊕], [I], [⊗] and Kleene star (§4.1).  This
+    module provides the syntactic side: an AST with smart constructors that
+    quotient by the standard "similarity" laws (associativity, units,
+    annihilators, idempotence of [⊕], collapsing of nested stars) so that
+    Brzozowski derivatives generate finitely many states. *)
+
+type t = private
+  | Empty                (** the empty grammar [0] *)
+  | Eps                  (** the empty-string grammar [I] *)
+  | Chr of char
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+
+(** {1 Smart constructors} *)
+
+val empty : t
+val eps : t
+val chr : char -> t
+
+val seq : t -> t -> t
+(** Right-nested; absorbs [Empty], drops [Eps]. *)
+
+val alt : t -> t -> t
+(** Flattened, sorted, deduplicated; absorbs [Empty]. *)
+
+val star : t -> t
+(** [star Empty = star Eps = Eps]; [star (star r) = star r]. *)
+
+val seq_list : t list -> t
+val alt_list : t list -> t
+val plus : t -> t
+val opt : t -> t
+val literal : string -> t
+val any_of : char list -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val size : t -> int
+(** Number of AST nodes. *)
+
+val chars : t -> char list
+(** The characters mentioned, sorted, without duplicates. *)
+
+(** {1 Semantics} *)
+
+val nullable : t -> bool
+(** Does the regex accept the empty string? *)
+
+val derivative : char -> t -> t
+(** Brzozowski derivative: [L (derivative c r) = { w | cw ∈ L r }]. *)
+
+val matches : t -> string -> bool
+(** Membership by iterated derivatives — the reference matcher. *)
+
+val to_grammar : t -> Lambekd_grammar.Grammar.t
+(** The denotation of the regex as a linear type in the Gr model.  [⊕] is
+    the binary [alt2]; Kleene star is the inductive linear type of Fig 2. *)
+
+val pp : Format.formatter -> t -> unit
+(** Precedence-aware concrete syntax, re-parseable by {!Regex_syntax}. *)
+
+val to_string : t -> string
+
+(** {1 Generation} *)
+
+val random : ?star_depth:int -> chars:char list -> size:int -> Random.State.t -> t
+(** A random regex for property-based testing, with bounded star nesting to
+    keep enumeration tractable. *)
+
+module Set : Stdlib.Set.S with type elt = t

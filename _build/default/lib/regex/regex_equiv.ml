@@ -1,0 +1,41 @@
+module Pmap = Map.Make (struct
+  type t = Regex.t * Regex.t
+
+  let compare (a, b) (c, d) =
+    let c0 = Regex.compare a c in
+    if c0 <> 0 then c0 else Regex.compare b d
+end)
+
+(* Breadth-first bisimulation search; returns the shortest
+   distinguishing word if any. *)
+let search r s =
+  let alphabet =
+    List.sort_uniq Char.compare (Regex.chars r @ Regex.chars s)
+  in
+  let visited = ref Pmap.empty in
+  let queue = Queue.create () in
+  Queue.add ((r, s), "") queue;
+  visited := Pmap.add (r, s) () !visited;
+  let result = ref None in
+  (try
+     while not (Queue.is_empty queue) do
+       let (a, b), path = Queue.pop queue in
+       if not (Bool.equal (Regex.nullable a) (Regex.nullable b)) then begin
+         result := Some path;
+         raise Exit
+       end;
+       List.iter
+         (fun c ->
+           let pair = (Regex.derivative c a, Regex.derivative c b) in
+           if not (Pmap.mem pair !visited) then begin
+             visited := Pmap.add pair () !visited;
+             Queue.add (pair, path ^ String.make 1 c) queue
+           end)
+         alphabet
+     done
+   with Exit -> ());
+  !result
+
+let counterexample r s = search r s
+let equivalent r s = Option.is_none (search r s)
+let subset r s = equivalent (Regex.alt r s) s

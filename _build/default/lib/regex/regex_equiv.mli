@@ -1,0 +1,14 @@
+(** Decision procedure for regular-expression language equivalence.
+
+    Hopcroft–Karp style bisimulation on Brzozowski derivatives: two
+    regexes are equivalent iff no reachable pair of simultaneous
+    derivatives disagrees on nullability.  Exact (not bounded), in contrast
+    to the bounded checks of {!Lambekd_grammar.Language}. *)
+
+val equivalent : Regex.t -> Regex.t -> bool
+
+val counterexample : Regex.t -> Regex.t -> string option
+(** A word accepted by exactly one of the two, when not equivalent. *)
+
+val subset : Regex.t -> Regex.t -> bool
+(** Language inclusion, via [equivalent (alt r s) s]. *)

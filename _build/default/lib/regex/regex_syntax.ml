@@ -1,0 +1,81 @@
+type error = { position : int; message : string }
+
+let pp_error ppf e =
+  Fmt.pf ppf "regex syntax error at %d: %s" e.position e.message
+
+exception Error of error
+
+let fail position message = raise (Error { position; message })
+
+let default_alphabet = List.init 26 (fun i -> Char.chr (Char.code 'a' + i))
+
+(* Recursive descent with an explicit cursor. *)
+let parse_exn ?(alphabet = default_alphabet) input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let rec parse_alt () =
+    let first = parse_seq () in
+    let rec more acc =
+      match peek () with
+      | Some '|' ->
+        advance ();
+        more (Regex.alt acc (parse_seq ()))
+      | Some _ | None -> acc
+    in
+    more first
+  and parse_seq () =
+    let rec more acc =
+      match peek () with
+      | None | Some ')' | Some '|' -> acc
+      | Some _ -> more (Regex.seq acc (parse_postfix ()))
+    in
+    more Regex.eps
+  and parse_postfix () =
+    let base = parse_atom () in
+    let rec more acc =
+      match peek () with
+      | Some '*' -> advance (); more (Regex.star acc)
+      | Some '+' -> advance (); more (Regex.plus acc)
+      | Some '?' -> advance (); more (Regex.opt acc)
+      | Some _ | None -> acc
+    in
+    more base
+  and parse_atom () =
+    match peek () with
+    | None -> fail !pos "expected an atom"
+    | Some '(' -> (
+      advance ();
+      match peek () with
+      | Some ')' -> advance (); Regex.eps
+      | Some _ | None ->
+        let r = parse_alt () in
+        (match peek () with
+         | Some ')' -> advance (); r
+         | Some c -> fail !pos (Fmt.str "expected ')', found %C" c)
+         | None -> fail !pos "unclosed '('"))
+    | Some '[' -> (
+      advance ();
+      match peek () with
+      | Some ']' -> advance (); Regex.empty
+      | Some _ | None -> fail !pos "expected ']' (only '[]' is supported)")
+    | Some '.' -> advance (); Regex.any_of alphabet
+    | Some '\\' -> (
+      advance ();
+      match peek () with
+      | Some c -> advance (); Regex.chr c
+      | None -> fail !pos "dangling escape")
+    | Some (('*' | '+' | '?' | ')' | '|' | ']') as c) ->
+      fail !pos (Fmt.str "unexpected %C" c)
+    | Some c -> advance (); Regex.chr c
+  in
+  let r = parse_alt () in
+  match peek () with
+  | None -> r
+  | Some c -> fail !pos (Fmt.str "trailing input starting with %C" c)
+
+let parse ?alphabet input =
+  match parse_exn ?alphabet input with
+  | r -> Ok r
+  | exception Error e -> Error e

@@ -1,0 +1,24 @@
+(** Concrete syntax for regular expressions.
+
+    Grammar (POSIX-ish, restricted to the constructs of §4.1):
+
+    {v
+      alt    ::= seq ('|' seq)*
+      seq    ::= postfix*            (empty seq is ε)
+      postfix ::= atom ('*' | '+' | '?')*
+      atom   ::= '(' alt ')' | '[]' | '()' | '.' | '\' any | plain-char
+    v}
+
+    ['[]'] is the empty grammar [0]; ['()'] is [ε]; ['.'] is the
+    disjunction of the supplied alphabet; backslash escapes metacharacters.
+    {!parse} and {!Regex.pp} round-trip. *)
+
+type error = { position : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : ?alphabet:char list -> string -> (Regex.t, error) result
+(** [parse s] parses [s]; [alphabet] (default [a-z]) gives the meaning of
+    ['.']. *)
+
+val parse_exn : ?alphabet:char list -> string -> Regex.t

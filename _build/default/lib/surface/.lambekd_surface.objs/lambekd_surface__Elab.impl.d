@@ -1,0 +1,1 @@
+lib/surface/elab.ml: Ast Fmt Lambekd_core Lambekd_grammar List Option Parser Stdlib String

@@ -1,0 +1,1 @@
+lib/surface/elab.mli: Ast Format Lambekd_core

@@ -1,0 +1,1 @@
+lib/surface/lexer.ml: Fmt List String Token

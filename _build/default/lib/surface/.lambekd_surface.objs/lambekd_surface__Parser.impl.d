@@ -1,0 +1,1 @@
+lib/surface/parser.ml: Ast Fmt Lexer List Stdlib Token

@@ -1,0 +1,1 @@
+lib/surface/pretty.ml: Ast Fmt String

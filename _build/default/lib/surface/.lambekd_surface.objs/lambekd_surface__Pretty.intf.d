@@ -1,0 +1,1 @@
+lib/surface/pretty.mli: Ast Format

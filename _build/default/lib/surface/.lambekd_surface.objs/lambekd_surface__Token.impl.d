@@ -1,0 +1,1 @@
+lib/surface/token.ml: Fmt

@@ -1,0 +1,53 @@
+type pos = {
+  line : int;
+  col : int;
+}
+
+type ty =
+  | TChar of char * pos
+  | TOne of pos
+  | TTop of pos
+  | TName of string * pos
+  | TTensor of ty * ty
+  | TSum of ty * ty
+  | TWith of ty * ty
+  | TLolli of ty * ty
+  | TRlolli of ty * ty
+  | TRec of string * ty * pos
+
+type tm =
+  | Var of string * pos
+  | Unit of pos
+  | LetUnit of tm * tm * pos
+  | Pair of tm * tm * pos
+  | LetPair of string * string * tm * tm * pos
+  | Lam of string * ty option * tm * pos
+  | App of tm * tm * pos
+  | InL of tm * pos
+  | InR of tm * pos
+  | CaseSum of tm * string * tm * string * tm * pos
+  | RollTm of tm * pos
+  | WithPair of tm * tm * pos
+  | Proj of tm * bool * pos
+  | Annot of tm * ty * pos
+
+type decl =
+  | DType of string * ty * pos
+  | DDef of string * ty * tm * pos
+  | DCheck of (string * ty) list * tm * ty * pos
+
+type program = decl list
+
+let rec pos_of_ty = function
+  | TChar (_, p) | TOne p | TTop p | TName (_, p) | TRec (_, _, p) -> p
+  | TTensor (a, _) | TSum (a, _) | TWith (a, _) | TLolli (a, _)
+  | TRlolli (a, _) ->
+    pos_of_ty a
+
+let pos_of_tm = function
+  | Var (_, p) | Unit p | LetUnit (_, _, p) | Pair (_, _, p)
+  | LetPair (_, _, _, _, p) | Lam (_, _, _, p) | App (_, _, p) | InL (_, p)
+  | InR (_, p) | CaseSum (_, _, _, _, _, p) | RollTm (_, p)
+  | WithPair (_, _, p) | Proj (_, _, p)
+  | Annot (_, _, p) ->
+    p

@@ -1,0 +1,53 @@
+(** Surface abstract syntax.
+
+    The surface language covers the non-indexed fragment of Lambek^D —
+    enough to write every Lambek-calculus-style grammar and parser of the
+    paper's §2 in a syntax "closer to the presentation in the paper"
+    (its stated future-work item).  Indexed families and [fold] remain
+    kernel-only. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+type ty =
+  | TChar of char * pos
+  | TOne of pos
+  | TTop of pos
+  | TName of string * pos          (** a declared type, or a [rec] variable *)
+  | TTensor of ty * ty
+  | TSum of ty * ty                (** binary ⊕, written [+] *)
+  | TWith of ty * ty               (** binary &, written [&] *)
+  | TLolli of ty * ty              (** [A -o B] *)
+  | TRlolli of ty * ty             (** [B o- A] *)
+  | TRec of string * ty * pos      (** [rec X. T] *)
+
+type tm =
+  | Var of string * pos
+  | Unit of pos                    (** [()] *)
+  | LetUnit of tm * tm * pos
+  | Pair of tm * tm * pos
+  | LetPair of string * string * tm * tm * pos
+  | Lam of string * ty option * tm * pos
+                                   (** [\x. e] or [\(x : T). e] *)
+  | App of tm * tm * pos
+  | InL of tm * pos
+  | InR of tm * pos
+  | CaseSum of tm * string * tm * string * tm * pos
+                                   (** [case e { inl x -> e1 | inr y -> e2 }] *)
+  | RollTm of tm * pos
+  | WithPair of tm * tm * pos   (** [<e1, e2>] : binary & introduction *)
+  | Proj of tm * bool * pos     (** [e.fst] / [e.snd] *)
+  | Annot of tm * ty * pos
+
+type decl =
+  | DType of string * ty * pos             (** [type N = T ;] *)
+  | DDef of string * ty * tm * pos         (** [def f : T = e ;] *)
+  | DCheck of (string * ty) list * tm * ty * pos
+      (** [check [a : 'a', b : 'b'] |- e : T ;] (context optional) *)
+
+type program = decl list
+
+val pos_of_ty : ty -> pos
+val pos_of_tm : tm -> pos

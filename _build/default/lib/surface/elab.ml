@@ -1,0 +1,250 @@
+module S = Lambekd_core.Syntax
+module Check = Lambekd_core.Check
+module Eq = Lambekd_core.Equality
+module I = Lambekd_grammar.Index
+open Ast
+
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "elaboration error at %d:%d: %s" e.line e.col e.message
+
+exception Error of error
+
+let fail (p : pos) fmt =
+  Fmt.kstr
+    (fun message -> raise (Error { line = p.line; col = p.col; message }))
+    fmt
+
+type env = {
+  types : (string * S.ltype) list;
+  defs : S.defs;
+}
+
+let empty_env = { types = []; defs = S.empty_defs }
+
+(* --- types ----------------------------------------------------------------- *)
+
+let rec occurs x = function
+  | TChar _ | TOne _ | TTop _ -> false
+  | TName (y, _) -> String.equal x y
+  | TTensor (a, b) | TSum (a, b) | TWith (a, b) | TLolli (a, b)
+  | TRlolli (a, b) ->
+    occurs x a || occurs x b
+  | TRec (y, body, _) -> (not (String.equal x y)) && occurs x body
+
+let rec elab_ty_exn env (ty : ty) : S.ltype =
+  match ty with
+  | TChar (c, _) -> S.Chr c
+  | TOne _ -> S.One
+  | TTop _ -> S.Top
+  | TName (x, p) -> (
+    match List.assoc_opt x env.types with
+    | Some t -> t
+    | None -> fail p "unknown type %s" x)
+  | TTensor (a, b) -> S.Tensor (elab_ty_exn env a, elab_ty_exn env b)
+  | TSum (a, b) -> S.oplus2 (elab_ty_exn env a) (elab_ty_exn env b)
+  | TWith (a, b) -> S.with2 (elab_ty_exn env a) (elab_ty_exn env b)
+  | TLolli (a, b) -> S.LFun (elab_ty_exn env a, elab_ty_exn env b)
+  | TRlolli (b, a) -> S.RFun (elab_ty_exn env b, elab_ty_exn env a)
+  | TRec (x, body, p) ->
+    if List.mem_assoc x env.types then
+      fail p "rec variable %s shadows a declared type" x;
+    let rec spf_of (t : ty) : S.spf =
+      match t with
+      | TName (y, _) when String.equal y x -> S.SVar I.U
+      | TChar _ | TOne _ | TTop _ | TName _ -> S.SK (elab_ty_exn env t)
+      | TTensor (a, b) -> S.STensor (spf_of a, spf_of b)
+      | TSum (a, b) ->
+        let sa = spf_of a and sb = spf_of b in
+        S.SOplus
+          {
+            S.sfam_set = I.Bool_set;
+            S.sfam =
+              (fun i -> if I.equal i (I.B true) then sb else sa);
+          }
+      | TWith (a, b) ->
+        let sa = spf_of a and sb = spf_of b in
+        S.SWith
+          {
+            S.sfam_set = I.Bool_set;
+            S.sfam =
+              (fun i -> if I.equal i (I.B true) then sb else sa);
+          }
+      | TLolli (a, b) | TRlolli (a, b) ->
+        if occurs x a || occurs x b then
+          fail (pos_of_ty t)
+            "rec variable %s occurs under a function arrow (not strictly \
+             positive)"
+            x
+        else S.SK (elab_ty_exn env t)
+      | TRec (y, body', p') ->
+        if occurs x (TRec (y, body', p')) then
+          fail p' "nested rec may not mention the outer variable %s" x
+        else S.SK (elab_ty_exn env t)
+    in
+    let body_spf = spf_of body in
+    let m = S.declare_mu ("rec_" ^ x) I.Unit_set (fun _ -> body_spf) in
+    S.Mu (m, I.U)
+
+(* --- terms ------------------------------------------------------------------ *)
+
+let case_payload = "%case"
+
+let rec elab_tm_exn env (tm : tm) ~(expected : S.ltype option) : S.term =
+  match tm with
+  | Var (x, _) ->
+    if Option.is_some (S.find_def x env.defs) then S.Global x else S.Var x
+  | Unit _ -> S.UnitI
+  | LetUnit (e1, e2, _) ->
+    S.LetUnit (elab_tm_exn env e1 ~expected:None, elab_tm_exn env e2 ~expected)
+  | Pair (a, b, _) -> (
+    match expected with
+    | Some (S.Tensor (ta, tb)) ->
+      S.Pair
+        ( elab_tm_exn env a ~expected:(Some ta),
+          elab_tm_exn env b ~expected:(Some tb) )
+    | Some _ | None ->
+      S.Pair
+        (elab_tm_exn env a ~expected:None, elab_tm_exn env b ~expected:None))
+  | LetPair (x, y, e1, e2, _) ->
+    S.LetPair
+      (x, y, elab_tm_exn env e1 ~expected:None, elab_tm_exn env e2 ~expected)
+  | Lam (x, Some ty, body, _) ->
+    let dom = elab_ty_exn env ty in
+    let body_expected =
+      match expected with
+      | Some (S.LFun (_, b)) -> Some b
+      | Some (S.RFun (b, _)) -> Some b
+      | Some _ | None -> None
+    in
+    let body' = elab_tm_exn env body ~expected:body_expected in
+    (match expected with
+     | Some (S.RFun (_, _)) -> S.LamR (x, dom, body')
+     | Some (S.LFun _) | Some _ | None -> S.LamL (x, dom, body'))
+  | Lam (x, None, body, p) -> (
+    match expected with
+    | Some (S.LFun (a, b)) ->
+      S.LamL (x, a, elab_tm_exn env body ~expected:(Some b))
+    | Some (S.RFun (b, a)) ->
+      S.LamR (x, a, elab_tm_exn env body ~expected:(Some b))
+    | Some other ->
+      fail p "lambda against non-function type %a" S.pp_ltype other
+    | None -> fail p "unannotated lambda needs an expected type")
+  | App (f, a, _) ->
+    S.AppL
+      (elab_tm_exn env f ~expected:None, elab_tm_exn env a ~expected:None)
+  | InL (e, _) ->
+    let inner =
+      match expected with
+      | Some (S.Oplus fam) -> Some (fam.S.fam (I.B false))
+      | Some _ | None -> None
+    in
+    S.Inj (I.B false, elab_tm_exn env e ~expected:inner)
+  | InR (e, _) ->
+    let inner =
+      match expected with
+      | Some (S.Oplus fam) -> Some (fam.S.fam (I.B true))
+      | Some _ | None -> None
+    in
+    S.Inj (I.B true, elab_tm_exn env e ~expected:inner)
+  | CaseSum (scrutinee, x, left, y, right, _) ->
+    let s' = elab_tm_exn env scrutinee ~expected:None in
+    let left' =
+      Eq.subst x (S.Var case_payload) (elab_tm_exn env left ~expected)
+    in
+    let right' =
+      Eq.subst y (S.Var case_payload) (elab_tm_exn env right ~expected)
+    in
+    S.Case
+      ( s',
+        case_payload,
+        fun tag -> if I.equal tag (I.B true) then right' else left' )
+  | WithPair (a, b, _) ->
+    let expected_at b' =
+      match expected with
+      | Some (S.With fam) when fam.S.fam_set = I.Bool_set ->
+        Some (fam.S.fam (I.B b'))
+      | Some _ | None -> None
+    in
+    let a' = elab_tm_exn env a ~expected:(expected_at false) in
+    let b' = elab_tm_exn env b ~expected:(expected_at true) in
+    S.WithLam
+      (I.Bool_set, fun i -> if I.equal i (I.B true) then b' else a')
+  | Proj (e, side, _) ->
+    S.WithProj (elab_tm_exn env e ~expected:None, I.B side)
+  | RollTm (e, p) -> (
+    match expected with
+    | Some (S.Mu (m, ix)) ->
+      let unfolding = S.el (m.S.mu_spf ix) (fun i -> S.Mu (m, i)) in
+      S.Roll (m, elab_tm_exn env e ~expected:(Some unfolding))
+    | Some other -> fail p "roll against non-rec type %a" S.pp_ltype other
+    | None -> fail p "roll needs an expected rec type")
+  | Annot (e, ty, _) ->
+    let t = elab_ty_exn env ty in
+    S.Ann (elab_tm_exn env e ~expected:(Some t), t)
+
+(* --- programs ------------------------------------------------------------------ *)
+
+type outcome =
+  | Type_declared of string
+  | Def_checked of string
+  | Check_passed
+
+let run_program_exn env (program : program) =
+  let outcomes = ref [] in
+  let env =
+    List.fold_left
+      (fun env decl ->
+        match decl with
+        | DType (name, ty, p) ->
+          if List.mem_assoc name env.types then
+            fail p "duplicate type %s" name;
+          outcomes := Type_declared name :: !outcomes;
+          { env with types = (name, elab_ty_exn env ty) :: env.types }
+        | DDef (name, ty, body, p) ->
+          let t = elab_ty_exn env ty in
+          let body' = elab_tm_exn env body ~expected:(Some t) in
+          (match Check.check env.defs [] body' t with
+           | () -> ()
+           | exception Check.Type_error m -> fail p "in def %s: %s" name m);
+          outcomes := Def_checked name :: !outcomes;
+          { env with defs = S.add_def name t body' env.defs }
+        | DCheck (ctx, body, ty, p) ->
+          let t = elab_ty_exn env ty in
+          let ctx' = List.map (fun (x, ty) -> (x, elab_ty_exn env ty)) ctx in
+          let body' = elab_tm_exn env body ~expected:(Some t) in
+          (match Check.check env.defs ctx' body' t with
+           | () -> ()
+           | exception Check.Type_error m -> fail p "check failed: %s" m);
+          outcomes := Check_passed :: !outcomes;
+          env)
+      env program
+  in
+  (env, List.rev !outcomes)
+
+let run_program ?(env = empty_env) program =
+  match run_program_exn env program with
+  | result -> Stdlib.Ok result
+  | exception Error e -> Stdlib.Error e
+
+let elab_ty env ty =
+  match elab_ty_exn env ty with
+  | t -> Stdlib.Ok t
+  | exception Error e -> Stdlib.Error e
+
+let elab_tm env tm ~expected =
+  match elab_tm_exn env tm ~expected with
+  | t -> Stdlib.Ok t
+  | exception Error e -> Stdlib.Error e
+
+let run_string ?env input =
+  match Parser.parse_program input with
+  | Stdlib.Error e ->
+    Stdlib.Error
+      { line = e.Parser.line; col = e.Parser.col; message = e.Parser.message }
+  | Stdlib.Ok program -> run_program ?env program

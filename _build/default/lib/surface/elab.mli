@@ -1,0 +1,45 @@
+(** Elaboration from surface syntax to the kernel.
+
+    Types elaborate compositionally; [rec X. T] elaborates through the
+    strictly-positive-functor language (an occurrence of [X] under a
+    function arrow is rejected).  Terms elaborate bidirectionally: the
+    expected type — always available from a declaration's signature —
+    flows down to fill in λ domains and [roll]'s μ; unannotated lambdas in
+    positions with no expected type are rejected with a request for an
+    annotation.
+
+    Elaborated declarations are re-verified by {!Lambekd_core.Check}, so
+    the surface pipeline inherits the kernel's substructural guarantees. *)
+
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+type env = {
+  types : (string * Lambekd_core.Syntax.ltype) list;
+  defs : Lambekd_core.Syntax.defs;
+}
+
+val empty_env : env
+
+val elab_ty : env -> Ast.ty -> (Lambekd_core.Syntax.ltype, error) result
+
+val elab_tm :
+  env -> Ast.tm -> expected:Lambekd_core.Syntax.ltype option ->
+  (Lambekd_core.Syntax.term, error) result
+
+type outcome =
+  | Type_declared of string
+  | Def_checked of string
+  | Check_passed
+
+val run_program : ?env:env -> Ast.program -> (env * outcome list, error) result
+(** Process declarations in order, type checking each [def] and [check]
+    with the kernel; stops at the first failure. *)
+
+val run_string : ?env:env -> string -> (env * outcome list, error) result
+(** Parse + elaborate + check. *)

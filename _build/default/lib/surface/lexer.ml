@@ -1,0 +1,129 @@
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "lexical error at %d:%d: %s" e.line e.col e.message
+
+exception Error of error
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let keyword = function
+  | "type" -> Some Token.KW_TYPE
+  | "def" -> Some Token.KW_DEF
+  | "check" -> Some Token.KW_CHECK
+  | "let" -> Some Token.KW_LET
+  | "in" -> Some Token.KW_IN
+  | "case" -> Some Token.KW_CASE
+  | "of" -> Some Token.KW_OF
+  | "inl" -> Some Token.KW_INL
+  | "inr" -> Some Token.KW_INR
+  | "roll" -> Some Token.KW_ROLL
+  | "rec" -> Some Token.KW_REC
+  | "I" -> Some Token.KW_I
+  | "Top" -> Some Token.KW_TOP
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let fail message = raise (Error { line = !line; col = !col; message }) in
+  let peek k = if !pos + k < n then Some input.[!pos + k] else None in
+  let advance () =
+    (match peek 0 with
+     | Some '\n' ->
+       incr line;
+       col := 1
+     | Some _ -> incr col
+     | None -> ());
+    incr pos
+  in
+  let tokens = ref [] in
+  let emit token tl tc =
+    tokens := { Token.token; line = tl; col = tc } :: !tokens
+  in
+  (try
+     while !pos < n do
+       let tl = !line and tc = !col in
+       match input.[!pos] with
+       | ' ' | '\t' | '\r' | '\n' -> advance ()
+       | '-' when peek 1 = Some '-' ->
+         while !pos < n && input.[!pos] <> '\n' do
+           advance ()
+         done
+       | '-' when peek 1 = Some 'o' ->
+         advance (); advance ();
+         emit Token.LOLLI tl tc
+       | '-' when peek 1 = Some '>' ->
+         advance (); advance ();
+         emit Token.ARROW tl tc
+       | 'o' when peek 1 = Some '-' ->
+         advance (); advance ();
+         emit Token.RLOLLI tl tc
+       | '\'' -> (
+         advance ();
+         let c =
+           match peek 0 with
+           | Some '\\' -> (
+             advance ();
+             match peek 0 with
+             | Some 'n' -> advance (); '\n'
+             | Some 't' -> advance (); '\t'
+             | Some '\\' -> advance (); '\\'
+             | Some '\'' -> advance (); '\''
+             | Some c -> fail (Fmt.str "unknown escape \\%c" c)
+             | None -> fail "unterminated character literal")
+           | Some c -> advance (); c
+           | None -> fail "unterminated character literal"
+         in
+         match peek 0 with
+         | Some '\'' ->
+           advance ();
+           emit (Token.CHAR c) tl tc
+         | _ -> fail "expected closing quote")
+       | '(' -> advance (); emit Token.LPAREN tl tc
+       | ')' -> advance (); emit Token.RPAREN tl tc
+       | '{' -> advance (); emit Token.LBRACE tl tc
+       | '}' -> advance (); emit Token.RBRACE tl tc
+       | '[' -> advance (); emit Token.LBRACKET tl tc
+       | ']' -> advance (); emit Token.RBRACKET tl tc
+       | ',' -> advance (); emit Token.COMMA tl tc
+       | '.' -> advance (); emit Token.DOT tl tc
+       | ':' -> advance (); emit Token.COLON tl tc
+       | ';' -> advance (); emit Token.SEMI tl tc
+       | '=' -> advance (); emit Token.EQUALS tl tc
+       | '*' -> advance (); emit Token.STAR tl tc
+       | '+' -> advance (); emit Token.PLUS tl tc
+       | '&' -> advance (); emit Token.AMP tl tc
+       | '|' when peek 1 = Some '-' ->
+         advance (); advance ();
+         emit Token.TURNSTILE tl tc
+       | '|' -> advance (); emit Token.BAR tl tc
+       | '<' -> advance (); emit Token.LANGLE tl tc
+       | '>' -> advance (); emit Token.RANGLE tl tc
+       | '\\' -> advance (); emit Token.LAMBDA tl tc
+       | c when is_ident_start c ->
+         let start = !pos in
+         while !pos < n && is_ident_char input.[!pos] do
+           advance ()
+         done;
+         let word = String.sub input start (!pos - start) in
+         emit
+           (match keyword word with Some kw -> kw | None -> Token.IDENT word)
+           tl tc
+       | c -> fail (Fmt.str "unexpected character %C" c)
+     done;
+     emit Token.EOF !line !col
+   with Error _ as e -> raise e);
+  List.rev !tokens
+
+let tokenize input =
+  match tokenize input with
+  | tokens -> Ok tokens
+  | exception Error e -> Error e

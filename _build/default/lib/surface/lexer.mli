@@ -1,0 +1,15 @@
+(** Hand-written lexer for the surface syntax.
+
+    Comments run from [--] to end of line.  Character literals are
+    ['c'] with [\\n], [\\t], [\\\\], [\\'] escapes. *)
+
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize : string -> (Token.located list, error) result
+(** The token list always ends with {!Token.EOF}. *)

@@ -1,0 +1,351 @@
+open Ast
+
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+let pp_error ppf e =
+  Fmt.pf ppf "syntax error at %d:%d: %s" e.line e.col e.message
+
+exception Error of error
+
+type state = {
+  mutable tokens : Token.located list;
+}
+
+let peek st =
+  match st.tokens with
+  | t :: _ -> t
+  | [] -> assert false (* the lexer always appends EOF *)
+
+let pos_of (t : Token.located) = { line = t.Token.line; col = t.Token.col }
+
+let fail_at (t : Token.located) fmt =
+  Fmt.kstr
+    (fun message ->
+      raise (Error { line = t.Token.line; col = t.Token.col; message }))
+    fmt
+
+let advance st =
+  match st.tokens with
+  | _ :: rest when rest <> [] -> st.tokens <- rest
+  | _ -> ()
+
+let expect st token =
+  let t = peek st in
+  if Token.equal t.Token.token token then advance st
+  else fail_at t "expected %a, found %a" Token.pp token Token.pp t.Token.token
+
+let expect_ident st =
+  let t = peek st in
+  match t.Token.token with
+  | Token.IDENT x ->
+    advance st;
+    x
+  | other -> fail_at t "expected an identifier, found %a" Token.pp other
+
+(* --- types ------------------------------------------------------------------ *)
+
+let rec parse_ty st =
+  let left = parse_sum st in
+  let t = peek st in
+  match t.Token.token with
+  | Token.LOLLI ->
+    advance st;
+    TLolli (left, parse_ty st)
+  | Token.RLOLLI ->
+    advance st;
+    (* [B o- A]: result B, argument A *)
+    TRlolli (left, parse_ty st)
+  | _ -> left
+
+and parse_sum st =
+  let first = parse_with st in
+  if Token.equal (peek st).Token.token Token.PLUS then begin
+    advance st;
+    TSum (first, parse_sum st)
+  end
+  else first
+
+and parse_with st =
+  let first = parse_tensor st in
+  if Token.equal (peek st).Token.token Token.AMP then begin
+    advance st;
+    TWith (first, parse_with st)
+  end
+  else first
+
+and parse_tensor st =
+  let first = parse_atom_ty st in
+  match (peek st).Token.token with
+  | Token.STAR ->
+    advance st;
+    TTensor (first, parse_tensor st)
+  | _ -> first
+
+and parse_atom_ty st =
+  let t = peek st in
+  match t.Token.token with
+  | Token.CHAR c ->
+    advance st;
+    TChar (c, pos_of t)
+  | Token.KW_I ->
+    advance st;
+    TOne (pos_of t)
+  | Token.KW_TOP ->
+    advance st;
+    TTop (pos_of t)
+  | Token.IDENT x ->
+    advance st;
+    TName (x, pos_of t)
+  | Token.LPAREN ->
+    advance st;
+    let ty = parse_ty st in
+    expect st Token.RPAREN;
+    ty
+  | Token.KW_REC ->
+    advance st;
+    let x = expect_ident st in
+    expect st Token.DOT;
+    TRec (x, parse_ty st, pos_of t)
+  | other -> fail_at t "expected a type, found %a" Token.pp other
+
+(* --- terms ------------------------------------------------------------------- *)
+
+let rec parse_term st =
+  let t = peek st in
+  match t.Token.token with
+  | Token.LAMBDA -> (
+    advance st;
+    let t2 = peek st in
+    match t2.Token.token with
+    | Token.IDENT x ->
+      advance st;
+      expect st Token.DOT;
+      Lam (x, None, parse_term st, pos_of t)
+    | Token.LPAREN ->
+      advance st;
+      let x = expect_ident st in
+      expect st Token.COLON;
+      let ty = parse_ty st in
+      expect st Token.RPAREN;
+      expect st Token.DOT;
+      Lam (x, Some ty, parse_term st, pos_of t)
+    | other -> fail_at t2 "expected a binder, found %a" Token.pp other)
+  | Token.KW_LET -> (
+    advance st;
+    expect st Token.LPAREN;
+    let t2 = peek st in
+    match t2.Token.token with
+    | Token.RPAREN ->
+      advance st;
+      expect st Token.EQUALS;
+      let scrutinee = parse_term st in
+      expect st Token.KW_IN;
+      LetUnit (scrutinee, parse_term st, pos_of t)
+    | Token.IDENT a ->
+      advance st;
+      expect st Token.COMMA;
+      let b = expect_ident st in
+      expect st Token.RPAREN;
+      expect st Token.EQUALS;
+      let scrutinee = parse_term st in
+      expect st Token.KW_IN;
+      LetPair (a, b, scrutinee, parse_term st, pos_of t)
+    | other -> fail_at t2 "expected '()' or '(a, b)', found %a" Token.pp other)
+  | Token.KW_CASE ->
+    advance st;
+    let scrutinee = parse_term st in
+    expect st Token.LBRACE;
+    expect st Token.KW_INL;
+    let x = expect_ident st in
+    expect st Token.ARROW;
+    let left = parse_term st in
+    expect st Token.BAR;
+    expect st Token.KW_INR;
+    let y = expect_ident st in
+    expect st Token.ARROW;
+    let right = parse_term st in
+    expect st Token.RBRACE;
+    CaseSum (scrutinee, x, left, y, right, pos_of t)
+  | _ -> parse_app st
+
+and parse_app st =
+  let first = parse_prefix st in
+  let rec more acc =
+    let t = peek st in
+    match t.Token.token with
+    | Token.IDENT _ | Token.LPAREN | Token.LANGLE | Token.KW_INL
+    | Token.KW_INR | Token.KW_ROLL ->
+      more (App (acc, parse_prefix st, pos_of t))
+    | _ -> acc
+  in
+  more first
+
+and parse_prefix st =
+  let t = peek st in
+  let base =
+    match t.Token.token with
+    | Token.KW_INL ->
+      advance st;
+      InL (parse_prefix st, pos_of t)
+    | Token.KW_INR ->
+      advance st;
+      InR (parse_prefix st, pos_of t)
+    | Token.KW_ROLL ->
+      advance st;
+      RollTm (parse_prefix st, pos_of t)
+    | _ -> parse_atom st
+  in
+  parse_postfix st base
+
+and parse_postfix st base =
+  (* .fst / .snd projections out of an additive pair *)
+  if Token.equal (peek st).Token.token Token.DOT then begin
+    let t = peek st in
+    advance st;
+    match (peek st).Token.token with
+    | Token.IDENT "fst" ->
+      advance st;
+      parse_postfix st (Proj (base, false, pos_of t))
+    | Token.IDENT "snd" ->
+      advance st;
+      parse_postfix st (Proj (base, true, pos_of t))
+    | other -> fail_at (peek st) "expected fst or snd, found %a" Token.pp other
+  end
+  else base
+
+and parse_atom st =
+  let t = peek st in
+  match t.Token.token with
+  | Token.LANGLE ->
+    advance st;
+    let a = parse_term st in
+    expect st Token.COMMA;
+    let b = parse_term st in
+    expect st Token.RANGLE;
+    WithPair (a, b, pos_of t)
+  | Token.IDENT x ->
+    advance st;
+    Var (x, pos_of t)
+  | Token.LPAREN -> (
+    advance st;
+    match (peek st).Token.token with
+    | Token.RPAREN ->
+      advance st;
+      Unit (pos_of t)
+    | _ -> (
+      let inner = parse_term st in
+      let t2 = peek st in
+      match t2.Token.token with
+      | Token.RPAREN ->
+        advance st;
+        inner
+      | Token.COMMA ->
+        advance st;
+        let snd = parse_term st in
+        expect st Token.RPAREN;
+        Pair (inner, snd, pos_of t)
+      | Token.COLON ->
+        advance st;
+        let ty = parse_ty st in
+        expect st Token.RPAREN;
+        Annot (inner, ty, pos_of t)
+      | other -> fail_at t2 "expected ')', ',' or ':', found %a" Token.pp other)
+    )
+  | other -> fail_at t "expected a term, found %a" Token.pp other
+
+(* --- declarations --------------------------------------------------------------- *)
+
+let parse_ctx st =
+  expect st Token.LBRACKET;
+  if Token.equal (peek st).Token.token Token.RBRACKET then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec entries () =
+      let x = expect_ident st in
+      expect st Token.COLON;
+      let ty = parse_ty st in
+      if Token.equal (peek st).Token.token Token.COMMA then begin
+        advance st;
+        (x, ty) :: entries ()
+      end
+      else [ (x, ty) ]
+    in
+    let ctx = entries () in
+    expect st Token.RBRACKET;
+    ctx
+  end
+
+let parse_decl st =
+  let t = peek st in
+  match t.Token.token with
+  | Token.KW_TYPE ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.EQUALS;
+    let ty = parse_ty st in
+    expect st Token.SEMI;
+    DType (name, ty, pos_of t)
+  | Token.KW_DEF ->
+    advance st;
+    let name = expect_ident st in
+    expect st Token.COLON;
+    let ty = parse_ty st in
+    expect st Token.EQUALS;
+    let body = parse_term st in
+    expect st Token.SEMI;
+    DDef (name, ty, body, pos_of t)
+  | Token.KW_CHECK ->
+    advance st;
+    let ctx =
+      if Token.equal (peek st).Token.token Token.LBRACKET then begin
+        let ctx = parse_ctx st in
+        expect st Token.TURNSTILE;
+        ctx
+      end
+      else []
+    in
+    let body = parse_term st in
+    expect st Token.COLON;
+    let ty = parse_ty st in
+    expect st Token.SEMI;
+    DCheck (ctx, body, ty, pos_of t)
+  | other -> fail_at t "expected a declaration, found %a" Token.pp other
+
+let parse_program_tokens st =
+  let rec go acc =
+    if Token.equal (peek st).Token.token Token.EOF then List.rev acc
+    else go (parse_decl st :: acc)
+  in
+  go []
+
+(* --- entry points ------------------------------------------------------------------ *)
+
+let with_tokens input k =
+  match Lexer.tokenize input with
+  | Stdlib.Error e ->
+    Stdlib.Error
+      { line = e.Lexer.line; col = e.Lexer.col; message = e.Lexer.message }
+  | Ok tokens -> (
+    let st = { tokens } in
+    match k st with
+    | result ->
+      let t = peek st in
+      if Token.equal t.Token.token Token.EOF then Stdlib.Ok result
+      else
+        Stdlib.Error
+          {
+            line = t.Token.line;
+            col = t.Token.col;
+            message = Fmt.str "trailing input at %a" Token.pp t.Token.token;
+          }
+    | exception Error e -> Stdlib.Error e)
+
+let parse_program input = with_tokens input parse_program_tokens
+let parse_ty input = with_tokens input parse_ty
+let parse_term input = with_tokens input parse_term

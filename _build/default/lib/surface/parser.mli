@@ -1,0 +1,35 @@
+(** Recursive-descent parser for the surface syntax.
+
+    {v
+    program  ::= decl*
+    decl     ::= 'type' IDENT '=' ty ';'
+               | 'def' IDENT ':' ty '=' term ';'
+               | 'check' ('[' (IDENT ':' ty) ,* ']' '|-')? term ':' ty ';'
+    ty       ::= sum ('-o' ty)? | sum 'o-' ty
+    sum      ::= with ('+' with)*            (right associated)
+    with     ::= tensor ('&' tensor)*
+    tensor   ::= atomty ('*' atomty)*
+    atomty   ::= CHAR | 'I' | 'Top' | IDENT | '(' ty ')' | 'rec' IDENT '.' ty
+    term     ::= '\' pat '.' term
+               | 'let' '(' ')' '=' term 'in' term
+               | 'let' '(' IDENT ',' IDENT ')' '=' term 'in' term
+               | 'case' term '{' 'inl' IDENT '->' term '|' 'inr' IDENT '->' term '}'
+               | app
+    app      ::= prefix+                     (left associated application)
+    prefix   ::= ('inl' | 'inr' | 'roll') prefix | atom ('.' ('fst'|'snd'))*
+    atom     ::= IDENT | '(' ')' | '(' term ')' | '(' term ',' term ')'
+               | '(' term ':' ty ')' | '<' term ',' term '>'
+    pat      ::= IDENT | '(' IDENT ':' ty ')'
+    v} *)
+
+type error = {
+  line : int;
+  col : int;
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_program : string -> (Ast.program, error) result
+val parse_ty : string -> (Ast.ty, error) result
+val parse_term : string -> (Ast.tm, error) result

@@ -1,0 +1,89 @@
+open Ast
+
+(* type precedence: -o/o- 0, + 1, & 2, * 3, atom 4 *)
+let rec pp_ty_prec prec ppf ty =
+  let paren p body = if prec > p then Fmt.pf ppf "(%t)" body else body ppf in
+  match ty with
+  | TChar (c, _) -> Fmt.pf ppf "'%s'"
+      (match c with
+       | '\n' -> "\\n"
+       | '\t' -> "\\t"
+       | '\\' -> "\\\\"
+       | '\'' -> "\\'"
+       | c -> String.make 1 c)
+  | TOne _ -> Fmt.string ppf "I"
+  | TTop _ -> Fmt.string ppf "Top"
+  | TName (x, _) -> Fmt.string ppf x
+  | TLolli (a, b) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "%a -o %a" (pp_ty_prec 1) a (pp_ty_prec 0) b)
+  | TRlolli (b, a) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "%a o- %a" (pp_ty_prec 1) b (pp_ty_prec 0) a)
+  | TSum (a, b) ->
+    paren 1 (fun ppf -> Fmt.pf ppf "%a + %a" (pp_ty_prec 2) a (pp_ty_prec 1) b)
+  | TWith (a, b) ->
+    paren 2 (fun ppf -> Fmt.pf ppf "%a & %a" (pp_ty_prec 3) a (pp_ty_prec 2) b)
+  | TTensor (a, b) ->
+    paren 3 (fun ppf -> Fmt.pf ppf "%a * %a" (pp_ty_prec 4) a (pp_ty_prec 3) b)
+  | TRec (x, body, _) ->
+    paren 0 (fun ppf -> Fmt.pf ppf "rec %s. %a" x (pp_ty_prec 0) body)
+
+let pp_ty ppf ty = pp_ty_prec 0 ppf ty
+
+(* term precedence: binders/lets/case 0, application 1, prefix 2, atom 3 *)
+let rec pp_tm_prec prec ppf tm =
+  let paren p body = if prec > p then Fmt.pf ppf "(%t)" body else body ppf in
+  match tm with
+  | Var (x, _) -> Fmt.string ppf x
+  | Unit _ -> Fmt.string ppf "()"
+  | Lam (x, None, body, _) ->
+    paren 0 (fun ppf -> Fmt.pf ppf "\\%s. %a" x (pp_tm_prec 0) body)
+  | Lam (x, Some ty, body, _) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "\\(%s : %a). %a" x pp_ty ty (pp_tm_prec 0) body)
+  | LetUnit (e1, e2, _) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "let () = %a in %a" (pp_tm_prec 0) e1 (pp_tm_prec 0) e2)
+  | LetPair (a, b, e1, e2, _) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "let (%s, %s) = %a in %a" a b (pp_tm_prec 0) e1
+          (pp_tm_prec 0) e2)
+  | CaseSum (s, x, l, y, r, _) ->
+    paren 0 (fun ppf ->
+        Fmt.pf ppf "case %a { inl %s -> %a | inr %s -> %a }" (pp_tm_prec 1) s
+          x (pp_tm_prec 0) l y (pp_tm_prec 0) r)
+  | App (f, a, _) ->
+    paren 1 (fun ppf -> Fmt.pf ppf "%a %a" (pp_tm_prec 1) f (pp_tm_prec 2) a)
+  | InL (e, _) -> paren 2 (fun ppf -> Fmt.pf ppf "inl %a" (pp_tm_prec 2) e)
+  | InR (e, _) -> paren 2 (fun ppf -> Fmt.pf ppf "inr %a" (pp_tm_prec 2) e)
+  | RollTm (e, _) -> paren 2 (fun ppf -> Fmt.pf ppf "roll %a" (pp_tm_prec 2) e)
+  | Pair (a, b, _) ->
+    Fmt.pf ppf "(%a, %a)" (pp_tm_prec 0) a (pp_tm_prec 0) b
+  | WithPair (a, b, _) ->
+    Fmt.pf ppf "<%a, %a>" (pp_tm_prec 0) a (pp_tm_prec 0) b
+  | Proj (e, side, _) ->
+    paren 2 (fun ppf ->
+        Fmt.pf ppf "%a.%s" (pp_tm_prec 3) e (if side then "snd" else "fst"))
+  | Annot (e, ty, _) -> Fmt.pf ppf "(%a : %a)" (pp_tm_prec 0) e pp_ty ty
+
+let pp_tm ppf tm = pp_tm_prec 0 ppf tm
+
+let pp_decl ppf = function
+  | DType (name, ty, _) -> Fmt.pf ppf "type %s = %a ;" name pp_ty ty
+  | DDef (name, ty, body, _) ->
+    Fmt.pf ppf "def %s : %a =@;<1 2>%a ;" name pp_ty ty pp_tm body
+  | DCheck ([], body, ty, _) ->
+    Fmt.pf ppf "check %a : %a ;" (pp_tm_prec 1) body pp_ty ty
+  | DCheck (ctx, body, ty, _) ->
+    Fmt.pf ppf "check [ %a ] |- %a : %a ;"
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (x, t) -> Fmt.pf ppf "%s : %a" x pp_ty t))
+      ctx (pp_tm_prec 1) body pp_ty ty
+
+let pp_program ppf program =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut pp_decl) program
+
+let ty_to_string ty = Fmt.str "%a" pp_ty ty
+let tm_to_string tm = Fmt.str "%a" pp_tm tm
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,14 @@
+(** Pretty-printing surface syntax back to concrete syntax.
+
+    Output re-parses to the same AST up to positions (tested by
+    round-trip), so programs can be generated, normalized and re-checked
+    textually. *)
+
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val pp_tm : Format.formatter -> Ast.tm -> unit
+val pp_decl : Format.formatter -> Ast.decl -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val ty_to_string : Ast.ty -> string
+val tm_to_string : Ast.tm -> string
+val program_to_string : Ast.program -> string

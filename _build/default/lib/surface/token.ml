@@ -1,0 +1,65 @@
+type t =
+  | IDENT of string
+  | CHAR of char
+  | KW_TYPE | KW_DEF | KW_CHECK
+  | KW_LET | KW_IN | KW_CASE | KW_OF
+  | KW_INL | KW_INR | KW_ROLL | KW_REC
+  | KW_I | KW_TOP
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | DOT | COLON | SEMI | EQUALS
+  | STAR | PLUS | AMP | BAR
+  | LOLLI
+  | RLOLLI
+  | LAMBDA
+  | ARROW
+  | TURNSTILE
+  | LANGLE | RANGLE
+  | EOF
+
+type located = {
+  token : t;
+  line : int;
+  col : int;
+}
+
+let pp ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %s" s
+  | CHAR c -> Fmt.pf ppf "character %C" c
+  | KW_TYPE -> Fmt.string ppf "'type'"
+  | KW_DEF -> Fmt.string ppf "'def'"
+  | KW_CHECK -> Fmt.string ppf "'check'"
+  | KW_LET -> Fmt.string ppf "'let'"
+  | KW_IN -> Fmt.string ppf "'in'"
+  | KW_CASE -> Fmt.string ppf "'case'"
+  | KW_OF -> Fmt.string ppf "'of'"
+  | KW_INL -> Fmt.string ppf "'inl'"
+  | KW_INR -> Fmt.string ppf "'inr'"
+  | KW_ROLL -> Fmt.string ppf "'roll'"
+  | KW_REC -> Fmt.string ppf "'rec'"
+  | KW_I -> Fmt.string ppf "'I'"
+  | KW_TOP -> Fmt.string ppf "'Top'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LBRACKET -> Fmt.string ppf "'['"
+  | RBRACKET -> Fmt.string ppf "']'"
+  | COMMA -> Fmt.string ppf "','"
+  | DOT -> Fmt.string ppf "'.'"
+  | COLON -> Fmt.string ppf "':'"
+  | SEMI -> Fmt.string ppf "';'"
+  | EQUALS -> Fmt.string ppf "'='"
+  | STAR -> Fmt.string ppf "'*'"
+  | PLUS -> Fmt.string ppf "'+'"
+  | AMP -> Fmt.string ppf "'&'"
+  | BAR -> Fmt.string ppf "'|'"
+  | LOLLI -> Fmt.string ppf "'-o'"
+  | RLOLLI -> Fmt.string ppf "'o-'"
+  | LAMBDA -> Fmt.string ppf "'\\'"
+  | ARROW -> Fmt.string ppf "'->'"
+  | TURNSTILE -> Fmt.string ppf "'|-'"
+  | LANGLE -> Fmt.string ppf "'<'"
+  | RANGLE -> Fmt.string ppf "'>'"
+  | EOF -> Fmt.string ppf "end of input"
+
+let equal (a : t) (b : t) = a = b

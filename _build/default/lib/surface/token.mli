@@ -1,0 +1,28 @@
+(** Tokens of the Lambek^D surface syntax. *)
+
+type t =
+  | IDENT of string
+  | CHAR of char        (** a character literal ['c'] *)
+  | KW_TYPE | KW_DEF | KW_CHECK
+  | KW_LET | KW_IN | KW_CASE | KW_OF
+  | KW_INL | KW_INR | KW_ROLL | KW_REC
+  | KW_I | KW_TOP
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | DOT | COLON | SEMI | EQUALS
+  | STAR | PLUS | AMP | BAR
+  | LOLLI          (** -o *)
+  | RLOLLI         (** o- *)
+  | LAMBDA         (** \ *)
+  | ARROW          (** -> *)
+  | TURNSTILE      (** |- *)
+  | LANGLE | RANGLE (** < > — additive-pair brackets *)
+  | EOF
+
+type located = {
+  token : t;
+  line : int;
+  col : int;
+}
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

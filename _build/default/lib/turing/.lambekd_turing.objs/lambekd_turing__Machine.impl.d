@@ -1,0 +1,1 @@
+lib/turing/machine.ml: Fmt Hashtbl List Option String

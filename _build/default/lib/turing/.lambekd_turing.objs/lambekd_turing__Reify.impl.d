@@ -1,0 +1,1 @@
+lib/turing/reify.ml: Lambekd_grammar Machine

@@ -1,0 +1,1 @@
+lib/turing/reify.mli: Lambekd_grammar Machine

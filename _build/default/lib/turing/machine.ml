@@ -1,0 +1,112 @@
+type move = Left | Right | Stay
+
+type t = {
+  name : string;
+  start : string;
+  accept : string;
+  reject : string;
+  delta : (string * char, string * char * move) Hashtbl.t;
+}
+
+let blank = '_'
+
+let make ~name ~start ?(accept = "accept") ?(reject = "reject") ~rules () =
+  let delta = Hashtbl.create 32 in
+  List.iter
+    (fun ((state, sym), action) ->
+      if Hashtbl.mem delta (state, sym) then
+        invalid_arg
+          (Fmt.str "Machine.make %s: duplicate rule for (%s, %C)" name state sym);
+      Hashtbl.replace delta (state, sym) action)
+    rules;
+  { name; start; accept; reject; delta }
+
+type outcome = Accepted | Rejected | Out_of_fuel
+
+let run_steps ?(fuel = 100_000) m input =
+  let tape = Hashtbl.create 64 in
+  String.iteri (fun i c -> Hashtbl.replace tape i c) input;
+  let read pos = Option.value (Hashtbl.find_opt tape pos) ~default:blank in
+  let rec go state pos steps =
+    if String.equal state m.accept then (Accepted, steps)
+    else if String.equal state m.reject then (Rejected, steps)
+    else if steps >= fuel then (Out_of_fuel, steps)
+    else
+      match Hashtbl.find_opt m.delta (state, read pos) with
+      | None -> (Rejected, steps)
+      | Some (state', written, move) ->
+        Hashtbl.replace tape pos written;
+        let pos' =
+          match move with Left -> pos - 1 | Right -> pos + 1 | Stay -> pos
+        in
+        go state' pos' (steps + 1)
+  in
+  go m.start 0 0
+
+let run ?fuel m input = fst (run_steps ?fuel m input)
+let accepts ?fuel m input = run ?fuel m input = Accepted
+let steps ?fuel m input = snd (run_steps ?fuel m input)
+
+(* --- a^n b^n c^n ------------------------------------------------------------ *)
+
+let anbncn =
+  make ~name:"anbncn" ~start:"q0"
+    ~rules:
+      [ (("q0", 'a'), ("q1", 'X', Right));
+        (("q0", 'Y'), ("q4", 'Y', Right));
+        (("q0", blank), ("accept", blank, Stay));
+        (("q1", 'a'), ("q1", 'a', Right));
+        (("q1", 'Y'), ("q1", 'Y', Right));
+        (("q1", 'b'), ("q2", 'Y', Right));
+        (("q2", 'b'), ("q2", 'b', Right));
+        (("q2", 'Z'), ("q2", 'Z', Right));
+        (("q2", 'c'), ("q3", 'Z', Left));
+        (("q3", 'a'), ("q3", 'a', Left));
+        (("q3", 'b'), ("q3", 'b', Left));
+        (("q3", 'Y'), ("q3", 'Y', Left));
+        (("q3", 'Z'), ("q3", 'Z', Left));
+        (("q3", 'X'), ("q0", 'X', Right));
+        (("q4", 'Y'), ("q4", 'Y', Right));
+        (("q4", 'Z'), ("q4", 'Z', Right));
+        (("q4", blank), ("accept", blank, Stay)) ]
+    ()
+
+(* --- unary addition: 1^i + 1^j = 1^(i+j) -------------------------------------- *)
+
+let unary_add =
+  make ~name:"unary_add" ~start:"f0"
+    ~rules:
+      [ (* format check: 1* '+' 1* '=' 1* then rewind *)
+        (("f0", '1'), ("f0", '1', Right));
+        (("f0", '+'), ("f1", '+', Right));
+        (("f1", '1'), ("f1", '1', Right));
+        (("f1", '='), ("f2", '=', Right));
+        (("f2", '1'), ("f2", '1', Right));
+        (("f2", blank), ("fr", blank, Left));
+        (("fr", '1'), ("fr", '1', Left));
+        (("fr", '+'), ("fr", '+', Left));
+        (("fr", '='), ("fr", '=', Left));
+        (("fr", blank), ("q0", blank, Right));
+        (* mark the next unmarked 1 left of '=' *)
+        (("q0", 'X'), ("q0", 'X', Right));
+        (("q0", '+'), ("q0", '+', Right));
+        (("q0", '1'), ("q1", 'X', Right));
+        (("q0", '='), ("q3", '=', Right));
+        (* seek '=' *)
+        (("q1", '1'), ("q1", '1', Right));
+        (("q1", 'X'), ("q1", 'X', Right));
+        (("q1", '+'), ("q1", '+', Right));
+        (("q1", '='), ("q2", '=', Right));
+        (* mark a matching 1 on the right *)
+        (("q2", 'X'), ("q2", 'X', Right));
+        (("q2", '1'), ("qr", 'X', Left));
+        (* rewind to the left edge *)
+        (("qr", 'X'), ("qr", 'X', Left));
+        (("qr", '1'), ("qr", '1', Left));
+        (("qr", '+'), ("qr", '+', Left));
+        (("qr", '='), ("qr", '=', Left));
+        (("qr", blank), ("q0", blank, Right));
+        (* verify the right side is fully marked *)
+        (("q3", 'X'), ("q3", 'X', Right));
+        (("q3", blank), ("accept", blank, Stay)) ]
+    ()

@@ -1,0 +1,54 @@
+(** Single-tape Turing machines.
+
+    The substrate for Construction 4.15: any TM-decidable predicate can be
+    reified as a Lambek^D grammar.  The tape alphabet is [char] with
+    ['_'] as the blank; machines are deterministic with explicit accept
+    and reject states; execution is fueled so that membership queries
+    always terminate in tests. *)
+
+type move = Left | Right | Stay
+
+type t = {
+  name : string;
+  start : string;
+  accept : string;
+  reject : string;
+  (* (state, scanned symbol) -> (next state, written symbol, move);
+     unlisted pairs mean an implicit transition to [reject] *)
+  delta : (string * char, string * char * move) Hashtbl.t;
+}
+
+val blank : char
+
+val make :
+  name:string ->
+  start:string ->
+  ?accept:string ->
+  ?reject:string ->
+  rules:((string * char) * (string * char * move)) list ->
+  unit ->
+  t
+
+type outcome = Accepted | Rejected | Out_of_fuel
+
+val run : ?fuel:int -> t -> string -> outcome
+(** Run on the given input (tape initialized to the input followed by
+    blanks).  Default fuel: 100_000 steps. *)
+
+val accepts : ?fuel:int -> t -> string -> bool
+(** [Accepted] within the fuel bound; [Rejected] and [Out_of_fuel] both
+    count as not accepted (the reified grammar is exact for machines that
+    halt within the fuel on all tested inputs). *)
+
+val steps : ?fuel:int -> t -> string -> int
+(** Number of steps until halting (or the fuel bound). *)
+
+(** {1 Example machines} *)
+
+val anbncn : t
+(** Accepts [a^k b^k c^k] — context-sensitive, beyond any CFG: the
+    demonstration that Reify exceeds the Chomsky hierarchy levels below
+    recursively enumerable. *)
+
+val unary_add : t
+(** Accepts [1^i + 1^j = 1^(i+j)] over the alphabet [{1,+,=}]. *)

@@ -1,0 +1,10 @@
+module G = Lambekd_grammar
+module P = G.Ptree
+module I = G.Index
+
+let reify name p =
+  G.Grammar.atom name (fun w ->
+      if p w then [ P.Inj (I.S w, P.Inj (I.U, P.literal w)) ] else [])
+
+let of_machine ?fuel m =
+  reify ("reify_" ^ m.Machine.name) (fun w -> Machine.accepts ?fuel m w)

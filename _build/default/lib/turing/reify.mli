@@ -1,0 +1,21 @@
+(** Reification of arbitrary predicates as grammars (§4.3,
+    Construction 4.15).
+
+    For any non-linear predicate [P : String → U],
+    [Reify P = ⊕(w : String) ⊕(x : P w) ⌜w⌝] is a linear type whose
+    parses over [w] are exactly the proofs of [P w].  In the Gr model this
+    is a semantic atom: the parse set of [w] is a singleton literal parse
+    when [P w] holds and empty otherwise.  With [P] a Turing machine's
+    acceptance predicate this reaches every recursively enumerable
+    language. *)
+
+module G := Lambekd_grammar
+
+val reify : string -> (string -> bool) -> G.Grammar.t
+(** [reify name p]: the parse of [w] (when [p w]) is
+    [Inj (S w, Inj (U, literal w))], matching the double-⊕ of
+    Construction 4.15 with the proof collapsed to a unit. *)
+
+val of_machine : ?fuel:int -> Machine.t -> G.Grammar.t
+(** [Reify (accepts T)]: the grammar of the machine's language
+    (Construction 4.15). *)

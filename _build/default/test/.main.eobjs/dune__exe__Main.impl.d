@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_automata Test_cfg Test_core Test_grammar Test_parsing Test_regex Test_surface Test_turing

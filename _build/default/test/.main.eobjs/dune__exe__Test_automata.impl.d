@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Bool Char Fmt Lambekd_automata Lambekd_grammar Lambekd_regex List QCheck QCheck_alcotest Random

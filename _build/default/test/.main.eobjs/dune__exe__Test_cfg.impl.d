@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Bool Fmt Lambekd_automata Lambekd_cfg Lambekd_grammar Lambekd_parsing Lambekd_regex List QCheck QCheck_alcotest Random Result String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bool Char Fmt Lambekd_core Lambekd_grammar List QCheck QCheck_alcotest String

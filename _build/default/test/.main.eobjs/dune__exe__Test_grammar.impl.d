@@ -1,0 +1,1 @@
+test/test_grammar.ml: Alcotest Bool Fmt Lambekd_grammar List QCheck QCheck_alcotest String

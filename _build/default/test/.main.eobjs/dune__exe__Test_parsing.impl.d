@@ -1,0 +1,1 @@
+test/test_parsing.ml: Alcotest Bool Fmt Lambekd_grammar Lambekd_parsing Lambekd_regex List QCheck QCheck_alcotest Random String

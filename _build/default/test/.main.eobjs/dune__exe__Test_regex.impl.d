@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Bool Fmt Lambekd_grammar Lambekd_regex List QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_surface.ml: Alcotest Bool Char Fmt Lambekd_core Lambekd_grammar Lambekd_surface List String

@@ -1,0 +1,1 @@
+test/test_turing.ml: Alcotest Bool Fmt Lambekd_grammar Lambekd_turing List QCheck QCheck_alcotest String

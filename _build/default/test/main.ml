@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "lambekd"
+    [ ("grammar", Test_grammar.suite);
+      ("regex", Test_regex.suite);
+      ("automata", Test_automata.suite);
+      ("cfg", Test_cfg.suite);
+      ("turing", Test_turing.suite);
+      ("parsing", Test_parsing.suite);
+      ("core", Test_core.suite);
+      ("surface", Test_surface.suite) ]

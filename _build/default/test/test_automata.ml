@@ -1,0 +1,480 @@
+(* Tests for automata: NFA/DFA semantics, trace grammars (Fig 11),
+   parse_D/print_D (Fig 12, Thm 4.9), determinization (Construction 4.10),
+   Thompson's construction (Construction 4.11) with its strong
+   equivalence, minimization and Kleene's theorem. *)
+
+module R = Lambekd_regex.Regex
+module Rs = Lambekd_regex.Regex_syntax
+module Nfa = Lambekd_automata.Nfa
+module Dfa = Lambekd_automata.Dfa
+module Dauto = Lambekd_automata.Dauto
+module Nt = Lambekd_automata.Nfa_trace
+module Det = Lambekd_automata.Determinize
+module Th = Lambekd_automata.Thompson
+module Min = Lambekd_automata.Minimize
+module Kl = Lambekd_automata.Kleene
+module G = Lambekd_grammar.Grammar
+module P = Lambekd_grammar.Ptree
+module E = Lambekd_grammar.Enum
+module L = Lambekd_grammar.Language
+module A = Lambekd_grammar.Ambiguity
+module T = Lambekd_grammar.Transformer
+module Q = Lambekd_grammar.Equivalence
+
+let abc = [ 'a'; 'b'; 'c' ]
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The paper's Fig 5 NFA for (a* b) ⊕ c:
+   states 0 (init), 1, 2 (accepting);
+   1 -a-> 1, 1 -b-> 2, 0 -c-> 2, 0 -ε-> 1. *)
+let fig5_nfa =
+  Nfa.make ~alphabet:abc ~num_states:3 ~init:0 ~accepting:[ 2 ]
+    ~transitions:[ (1, 'a', 1); (1, 'b', 2); (0, 'c', 2) ]
+    ~eps:[ (0, 1) ]
+
+(* --- NFA basics ---------------------------------------------------------- *)
+
+let test_nfa_accepts () =
+  List.iter
+    (fun (w, expected) ->
+      check_bool (Fmt.str "accepts %S" w) expected (Nfa.accepts fig5_nfa w))
+    [ ("ab", true); ("b", true); ("aaab", true); ("c", true); ("", false);
+      ("ca", false); ("ba", false); ("abc", false) ]
+
+let test_nfa_eps_closure () =
+  Alcotest.(check (list int)) "closure of {0}" [ 0; 1 ]
+    (Nfa.eps_closure fig5_nfa [ 0 ]);
+  Alcotest.(check (list int)) "closure of {2}" [ 2 ]
+    (Nfa.eps_closure fig5_nfa [ 2 ])
+
+let test_nfa_validation () =
+  let bad () =
+    Nfa.make ~alphabet:abc ~num_states:2 ~init:0 ~accepting:[ 5 ]
+      ~transitions:[] ~eps:[]
+  in
+  (match bad () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected Invalid_argument");
+  match
+    Nfa.make ~alphabet:abc ~num_states:1 ~init:0 ~accepting:[]
+      ~transitions:[ (0, 'z', 0) ] ~eps:[]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected label validation failure"
+
+let test_eps_cycle_detection () =
+  check_bool "fig5 acyclic" false (Nfa.has_eps_cycle fig5_nfa);
+  let cyclic =
+    Nfa.make ~alphabet:abc ~num_states:2 ~init:0 ~accepting:[ 1 ]
+      ~transitions:[] ~eps:[ (0, 1); (1, 0) ]
+  in
+  check_bool "cycle found" true (Nfa.has_eps_cycle cyclic)
+
+(* --- NFA trace grammar (Fig 5 / Fig 11) ----------------------------------- *)
+
+let fig5_traces = Nt.make fig5_nfa
+
+let test_nfa_trace_language () =
+  let g = Nt.parses_grammar fig5_traces in
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "trace grammar agrees on %S" w) true
+        (Bool.equal (E.accepts g w) (Nfa.accepts fig5_nfa w)))
+    (L.words abc ~max_len:4)
+
+let test_fig5_trace_of_ab () =
+  match Nt.parse fig5_traces "ab" with
+  | None -> Alcotest.fail "expected a trace"
+  | Some trace ->
+    Alcotest.(check string) "yield" "ab" (P.yield trace);
+    check_bool "is a parse of the trace grammar" true
+      (List.exists (P.equal trace)
+         (E.parses (Nt.parses_grammar fig5_traces) "ab"))
+
+let test_nfa_trace_parse_least () =
+  match Nt.parse fig5_traces "aab", Nt.parse fig5_traces "aab" with
+  | Some t1, Some t2 -> check_bool "deterministic" true (P.equal t1 t2)
+  | _ -> Alcotest.fail "expected traces"
+
+let test_nfa_trace_parse_rejects () =
+  check_bool "no trace of ca" true (Nt.parse fig5_traces "ca" = None);
+  check_bool "no trace of eps" true (Nt.parse fig5_traces "" = None)
+
+(* --- DFA + trace grammar (Thm 4.9) ----------------------------------------- *)
+
+(* DFA over {a,b}: even number of 'a's, any 'b's *)
+let even_a =
+  Dfa.make ~alphabet:[ 'a'; 'b' ] ~num_states:2 ~init:0 ~accepting:[ 0 ]
+    ~delta:(fun s c -> if Char.equal c 'a' then 1 - s else s)
+    ()
+
+let test_dfa_accepts () =
+  check_bool "eps" true (Dfa.accepts even_a "");
+  check_bool "aa" true (Dfa.accepts even_a "aa");
+  check_bool "aba" true (Dfa.accepts even_a "aba");
+  check_bool "a" false (Dfa.accepts even_a "a");
+  check_bool "outside alphabet" false (Dfa.accepts even_a "az")
+
+let test_dfa_ops () =
+  let odd_a = Dfa.complement even_a in
+  check_bool "complement" true (Dfa.accepts odd_a "a");
+  check_bool "inter empty" true (Dfa.is_empty (Dfa.inter even_a odd_a));
+  check_bool "union full" true
+    (List.for_all
+       (fun w -> Dfa.accepts (Dfa.union even_a odd_a) w)
+       (L.words [ 'a'; 'b' ] ~max_len:4));
+  check_bool "equivalent to self" true (Dfa.equivalent even_a even_a);
+  check_bool "not equivalent to complement" false (Dfa.equivalent even_a odd_a);
+  match Dfa.counterexample even_a odd_a with
+  | Some "" -> ()
+  | w -> Alcotest.failf "expected \"\", got %a" Fmt.(option string) w
+
+let even_auto = Dauto.of_dfa "even_a" even_a
+
+let test_dauto_trace_grammar () =
+  List.iter
+    (fun w ->
+      let acc = Dfa.accepts even_a w in
+      check_bool (Fmt.str "acc traces %S" w) acc
+        (E.accepts (Dauto.accepting_traces even_auto) w);
+      check_bool
+        (Fmt.str "rej traces %S" w)
+        (not acc)
+        (E.accepts (Dauto.rejecting_traces even_auto) w))
+    (L.words [ 'a'; 'b' ] ~max_len:4)
+
+let test_thm49_unambiguous () =
+  List.iter
+    (fun w ->
+      check_int
+        (Fmt.str "one parse %S" w)
+        1
+        (E.count (Dauto.traces_grammar even_auto) w))
+    (L.words [ 'a'; 'b' ] ~max_len:4)
+
+let test_thm49_disjoint () =
+  check_bool "acc/rej disjoint" true
+    (A.disjoint_upto
+       (Dauto.accepting_traces even_auto)
+       (Dauto.rejecting_traces even_auto)
+       [ 'a'; 'b' ] ~max_len:4)
+
+let test_thm49_parse_is_parse () =
+  List.iter
+    (fun w ->
+      let sigma = Dauto.parse_sigma even_auto w in
+      check_bool (Fmt.str "genuine parse %S" w) true
+        (List.exists (P.equal sigma)
+           (E.parses (Dauto.traces_grammar even_auto) w)))
+    (L.words [ 'a'; 'b' ] ~max_len:4)
+
+let test_thm49_retract () =
+  let e =
+    Q.make
+      ~source:(Dauto.traces_grammar even_auto)
+      ~target:(G.string_g [ 'a'; 'b' ])
+      ~fwd:(Dauto.print_transformer even_auto)
+      ~bwd:(Dauto.parse_transformer even_auto)
+  in
+  check_bool "weak" true (Q.check_weak e [ 'a'; 'b' ] ~max_len:3);
+  check_bool "retract" true (Q.check_retract e [ 'a'; 'b' ] ~max_len:3);
+  check_bool "strong" true (Q.check_strong e [ 'a'; 'b' ] ~max_len:3)
+
+(* --- determinization (Construction 4.10) ------------------------------------ *)
+
+let det = Det.determinize fig5_nfa
+
+let test_determinize_language () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "agree %S" w) true
+        (Bool.equal (Dfa.accepts det.Det.dfa w) (Nfa.accepts fig5_nfa w)))
+    (L.words abc ~max_len:5)
+
+let test_determinize_subsets () =
+  Alcotest.(check (list int)) "init subset" [ 0; 1 ] (Det.subset_of det 0);
+  check_bool "subset lookup" true (Det.state_of_subset det [ 1; 0 ] = Some 0)
+
+let test_c410_weak_equivalence () =
+  let d = Det.dauto det in
+  let nto_d = Nt.nto_d fig5_traces d in
+  let dto_n = Nt.dto_n fig5_traces in
+  List.iter
+    (fun w ->
+      if Nfa.accepts fig5_nfa w then begin
+        let dfa_trace_expected =
+          let b, t = Dauto.parse d w in
+          check_bool "accepting" true b;
+          t
+        in
+        List.iter
+          (fun nfa_trace ->
+            let out = T.apply nto_d nfa_trace in
+            check_bool (Fmt.str "NtoD on %S" w) true
+              (P.equal out dfa_trace_expected))
+          (E.parses (Nt.parses_grammar fig5_traces) w);
+        let back = T.apply dto_n dfa_trace_expected in
+        check_bool
+          (Fmt.str "DtoN lands in Trace_N %S" w)
+          true
+          (List.exists (P.equal back)
+             (E.parses (Nt.parses_grammar fig5_traces) w))
+      end)
+    (L.words abc ~max_len:4)
+
+(* --- Thompson (Construction 4.11): strong equivalence ------------------------ *)
+
+let thompson_strong_on regex_str =
+  let r = Rs.parse_exn ~alphabet:abc regex_str in
+  let th = Th.compile ~alphabet:abc r in
+  let e = Th.equivalence th in
+  check_bool (Fmt.str "%s: weak" regex_str) true (Q.check_weak e abc ~max_len:3);
+  check_bool
+    (Fmt.str "%s: strong" regex_str)
+    true
+    (Q.check_strong e abc ~max_len:3)
+
+let test_c411_strong_equivalence () =
+  List.iter thompson_strong_on
+    [ "a"; "ab"; "a|b"; "a*"; "a*b|c"; "(a|b)*"; "(ab|c)*a?"; "()"; "a+" ]
+
+let test_c411_language () =
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 40 do
+    let r = R.random ~chars:abc ~size:8 rng in
+    let th = Th.compile ~alphabet:abc r in
+    List.iter
+      (fun w ->
+        if not (Bool.equal (Nfa.accepts th.Th.nfa w) (R.matches r w)) then
+          Alcotest.failf "Thompson NFA disagrees with %s on %S" (R.to_string r)
+            w)
+      (L.words abc ~max_len:3)
+  done
+
+let test_c411_ambiguity_preserved () =
+  (* a* a* is ambiguous for "a"; its Thompson NFA has two traces *)
+  let r = R.seq (R.star (R.chr 'a')) (R.star (R.chr 'a')) in
+  let th = Th.compile ~alphabet:abc r in
+  let traces = E.parses (Nt.parses_grammar th.Th.traces) "a" in
+  check_int "two traces of \"a\"" 2 (List.length traces);
+  let dec = Th.decode th in
+  let decoded = List.map (T.apply dec) traces in
+  check_bool "distinct parses" true
+    (match decoded with
+     | [ p1; p2 ] -> not (P.equal p1 p2)
+     | _ -> false)
+
+(* --- pipeline: regex -> NFA -> DFA all agree --------------------------------- *)
+
+let test_pipeline_agreement () =
+  let rng = Random.State.make [| 23 |] in
+  for _ = 1 to 25 do
+    let r = R.random ~chars:abc ~size:8 rng in
+    let th = Th.compile ~alphabet:abc r in
+    let det = Det.determinize th.Th.nfa in
+    List.iter
+      (fun w ->
+        let expected = R.matches r w in
+        if not (Bool.equal (Dfa.accepts det.Det.dfa w) expected) then
+          Alcotest.failf "determinized DFA disagrees with %s on %S"
+            (R.to_string r) w)
+      (L.words abc ~max_len:3)
+  done
+
+(* --- minimization -------------------------------------------------------------- *)
+
+let test_minimize () =
+  let r = Rs.parse_exn ~alphabet:abc "a*b|c" in
+  let th = Th.compile ~alphabet:abc r in
+  let det = Det.determinize th.Th.nfa in
+  let min = Min.minimize det.Det.dfa in
+  check_bool "equivalent" true (Dfa.equivalent min det.Det.dfa);
+  check_bool "no bigger" true (min.Dfa.num_states <= det.Det.dfa.Dfa.num_states);
+  check_bool "minimal" true (Min.is_minimal min);
+  check_int "even_a minimal" 2 (Min.minimize even_a).Dfa.num_states
+
+(* --- Kleene's theorem ------------------------------------------------------------ *)
+
+let test_kleene () =
+  let round_trip d =
+    let r = Kl.to_regex d in
+    List.for_all
+      (fun w -> Bool.equal (R.matches r w) (Dfa.accepts d w))
+      (L.words d.Dfa.alphabet ~max_len:4)
+  in
+  check_bool "even_a round trip" true (round_trip even_a);
+  check_bool "fig5 determinized round trip" true (round_trip det.Det.dfa)
+
+
+(* --- NFA ambiguity decision -------------------------------------------------- *)
+
+module Amb = Lambekd_automata.Nfa_ambiguity
+module Pd = Lambekd_automata.Pd_nfa
+
+let test_nfa_ambiguity_unambiguous () =
+  (* fig5's NFA has a unique trace per accepted word *)
+  check_bool "fig5 unambiguous" false (Amb.ambiguous fig5_nfa);
+  check_bool "no witness" true (Amb.ambiguous_word fig5_nfa = None)
+
+let test_nfa_ambiguity_star_star () =
+  (* Thompson of a* a* is ambiguous, witnessed by "a" *)
+  let th = Th.compile ~alphabet:abc (R.seq (R.star (R.chr 'a')) (R.star (R.chr 'a'))) in
+  check_bool "ambiguous" true (Amb.ambiguous th.Th.nfa);
+  (match Amb.ambiguous_word th.Th.nfa with
+   | Some w ->
+     check_bool (Fmt.str "witness %S has >=2 traces" w) true
+       (List.length (E.parses (Nt.parses_grammar th.Th.traces) w) >= 2)
+   | None -> Alcotest.fail "expected a witness")
+
+let test_nfa_ambiguity_eps_cycle () =
+  (* a live ε-cycle makes every word through it infinitely ambiguous *)
+  let cyclic =
+    Nfa.make ~alphabet:[ 'a' ] ~num_states:2 ~init:0 ~accepting:[ 1 ]
+      ~transitions:[] ~eps:[ (0, 1); (1, 0) ]
+  in
+  check_bool "ambiguous" true (Amb.ambiguous cyclic);
+  check_bool "witness is eps" true (Amb.ambiguous_word cyclic = Some "")
+
+let test_nfa_ambiguity_agrees_with_counting () =
+  (* decision procedure vs. brute-force parse counting on Thompson NFAs *)
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 30 do
+    let r = R.random ~chars:abc ~size:7 rng in
+    let th = Th.compile ~alphabet:abc r in
+    if not (Nfa.has_eps_cycle th.Th.nfa) then begin
+      let decided = Amb.ambiguous th.Th.nfa in
+      let counted =
+        List.exists
+          (fun w -> List.length (E.parses (Nt.parses_grammar th.Th.traces) w) >= 2)
+          (L.words abc ~max_len:4)
+      in
+      (* counting is bounded: it can miss long witnesses but never invents
+         one, so counted=true must imply decided=true *)
+      if counted && not decided then
+        Alcotest.failf "decision says unambiguous but %s has a short witness"
+          (R.to_string r);
+      (* and for unambiguous verdicts the count must agree everywhere tested *)
+      if not decided then
+        if counted then Alcotest.fail "inconsistent"
+    end
+  done
+
+(* --- Antimirov partial-derivative NFA (ablation vs Thompson) ------------------- *)
+
+let test_pd_nfa_language () =
+  let rng = Random.State.make [| 37 |] in
+  for _ = 1 to 30 do
+    let r = R.random ~chars:abc ~size:8 rng in
+    let pd = Pd.compile ~alphabet:abc r in
+    List.iter
+      (fun w ->
+        if not (Bool.equal (Nfa.accepts pd.Pd.nfa w) (R.matches r w)) then
+          Alcotest.failf "pd-NFA disagrees with %s on %S" (R.to_string r) w)
+      (L.words abc ~max_len:3)
+  done
+
+let test_pd_nfa_structure () =
+  let r = Rs.parse_exn ~alphabet:abc "a*b|c" in
+  let pd = Pd.compile ~alphabet:abc r in
+  let th = Th.compile ~alphabet:abc r in
+  check_bool "no epsilon transitions" true (Array.length pd.Pd.nfa.Nfa.eps = 0);
+  check_bool "state bound" true
+    (pd.Pd.nfa.Nfa.num_states <= R.size r + 1);
+  check_bool "smaller than thompson" true
+    (pd.Pd.nfa.Nfa.num_states < th.Th.nfa.Nfa.num_states);
+  (* determinizing both yields equivalent DFAs *)
+  let d1 = (Det.determinize pd.Pd.nfa).Det.dfa in
+  let d2 = (Det.determinize th.Th.nfa).Det.dfa in
+  check_bool "same language after determinization" true (Dfa.equivalent d1 d2)
+
+let test_shortest_accepted () =
+  check_bool "even_a shortest" true (Dfa.shortest_accepted even_a = Some "");
+  let odd_a = Dfa.complement even_a in
+  check_bool "odd_a shortest" true (Dfa.shortest_accepted odd_a = Some "a");
+  let empty = Dfa.inter even_a (Dfa.complement even_a) in
+  check_bool "empty language" true (Dfa.shortest_accepted empty = None)
+
+(* --- qcheck ------------------------------------------------------------------------ *)
+
+let arb_regex =
+  QCheck.make
+    ~print:(fun r -> R.to_string r)
+    QCheck.Gen.(
+      map
+        (fun n ->
+          let rng = Random.State.make [| n |] in
+          R.random ~chars:abc ~size:8 rng)
+        int)
+
+let words3 = L.words abc ~max_len:3
+
+let prop_thompson_roundtrip =
+  QCheck.Test.make ~name:"thompson decode after encode = id on all parses"
+    ~count:30 arb_regex (fun r ->
+      let th = Th.compile ~alphabet:abc r in
+      let enc = Th.encode th and dec = Th.decode th in
+      let g = R.to_grammar r in
+      List.for_all
+        (fun w ->
+          List.for_all
+            (fun p -> P.equal (T.apply dec (T.apply enc p)) p)
+            (E.parses g w))
+        words3)
+
+let prop_determinize_unambiguous =
+  QCheck.Test.make ~name:"determinized trace grammar is unambiguous" ~count:20
+    arb_regex (fun r ->
+      let th = Th.compile ~alphabet:abc r in
+      let d = Det.dauto (Det.determinize th.Th.nfa) in
+      List.for_all (fun w -> E.count (Dauto.traces_grammar d) w = 1) words3)
+
+let prop_kleene_roundtrip =
+  QCheck.Test.make
+    ~name:"kleene after determinize after thompson preserves language"
+    ~count:15 arb_regex (fun r ->
+      let th = Th.compile ~alphabet:abc r in
+      let det = Det.determinize th.Th.nfa in
+      let r' = Kl.to_regex det.Det.dfa in
+      List.for_all
+        (fun w -> Bool.equal (R.matches r' w) (R.matches r w))
+        words3)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_thompson_roundtrip; prop_determinize_unambiguous;
+      prop_kleene_roundtrip ]
+
+let suite =
+  [ ("nfa accepts", `Quick, test_nfa_accepts);
+    ("nfa eps closure", `Quick, test_nfa_eps_closure);
+    ("nfa validation", `Quick, test_nfa_validation);
+    ("eps cycle detection", `Quick, test_eps_cycle_detection);
+    ("nfa trace grammar language", `Quick, test_nfa_trace_language);
+    ("fig5 trace of ab", `Quick, test_fig5_trace_of_ab);
+    ("least trace deterministic", `Quick, test_nfa_trace_parse_least);
+    ("trace parse rejects", `Quick, test_nfa_trace_parse_rejects);
+    ("dfa accepts", `Quick, test_dfa_accepts);
+    ("dfa boolean ops", `Quick, test_dfa_ops);
+    ("dauto trace grammar", `Quick, test_dauto_trace_grammar);
+    ("thm4.9 unambiguous", `Quick, test_thm49_unambiguous);
+    ("thm4.9 disjoint", `Quick, test_thm49_disjoint);
+    ("thm4.9 parse is genuine", `Quick, test_thm49_parse_is_parse);
+    ("thm4.9 retract of String", `Quick, test_thm49_retract);
+    ("c4.10 language preserved", `Quick, test_determinize_language);
+    ("c4.10 subsets", `Quick, test_determinize_subsets);
+    ("c4.10 weak equivalence", `Quick, test_c410_weak_equivalence);
+    ("c4.11 strong equivalence", `Quick, test_c411_strong_equivalence);
+    ("c4.11 language", `Quick, test_c411_language);
+    ("c4.11 ambiguity preserved", `Quick, test_c411_ambiguity_preserved);
+    ("pipeline agreement", `Quick, test_pipeline_agreement);
+    ("minimization", `Quick, test_minimize);
+    ("nfa ambiguity: unambiguous", `Quick, test_nfa_ambiguity_unambiguous);
+    ("nfa ambiguity: star star", `Quick, test_nfa_ambiguity_star_star);
+    ("nfa ambiguity: eps cycle", `Quick, test_nfa_ambiguity_eps_cycle);
+    ("nfa ambiguity vs counting", `Quick, test_nfa_ambiguity_agrees_with_counting);
+    ("pd-nfa language", `Quick, test_pd_nfa_language);
+    ("pd-nfa structure", `Quick, test_pd_nfa_structure);
+    ("dfa shortest accepted", `Quick, test_shortest_accepted);
+    ("kleene's theorem", `Quick, test_kleene) ]
+  @ qcheck_tests

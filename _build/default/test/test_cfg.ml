@@ -1,0 +1,702 @@
+(* Tests for context-free machinery: CFGs as inductive linear types,
+   Earley and CYK oracles, LL(1), mu-regular expressions (Leiss), the Dyck
+   language (Thm 4.13) and the Fig 15 expression parser (Thm 4.14). *)
+
+module Cfg = Lambekd_cfg.Cfg
+module Earley = Lambekd_cfg.Earley
+module Cyk = Lambekd_cfg.Cyk
+module Ff = Lambekd_cfg.First_follow
+module Ll1 = Lambekd_cfg.Ll1
+module Mu = Lambekd_cfg.Mu_regex
+module Dyck = Lambekd_cfg.Dyck
+module Expr = Lambekd_cfg.Expr
+module R = Lambekd_regex.Regex
+module Dauto = Lambekd_automata.Dauto
+module P = Lambekd_grammar.Ptree
+module E = Lambekd_grammar.Enum
+module L = Lambekd_grammar.Language
+module A = Lambekd_grammar.Ambiguity
+module T = Lambekd_grammar.Transformer
+module Q = Lambekd_grammar.Equivalence
+module I = Lambekd_grammar.Index
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* S -> eps | a S b   (a^n b^n) *)
+let anbn =
+  Cfg.make ~start:"S"
+    ~productions:[ ("S", []); ("S", [ Cfg.T 'a'; Cfg.N "S"; Cfg.T 'b' ]) ]
+
+(* ambiguous: S -> eps | SS | aSb; nullable + left recursion stress *)
+let hard =
+  Cfg.make ~start:"S"
+    ~productions:
+      [ ("S", []);
+        ("S", [ Cfg.N "S"; Cfg.N "S" ]);
+        ("S", [ Cfg.T 'a'; Cfg.N "S"; Cfg.T 'b' ]) ]
+
+(* balanced parens as a CFG *)
+let dyck_cfg =
+  Cfg.make ~start:"D"
+    ~productions:
+      [ ("D", []); ("D", [ Cfg.T '('; Cfg.N "D"; Cfg.T ')'; Cfg.N "D" ]) ]
+
+let anbn_member w =
+  let n = String.length w / 2 in
+  String.length w mod 2 = 0
+  && String.for_all (fun c -> c = 'a') (String.sub w 0 n)
+  && String.for_all (fun c -> c = 'b') (String.sub w n n)
+
+(* --- CFG structure ------------------------------------------------------- *)
+
+let test_cfg_make () =
+  Alcotest.(check (list string)) "nonterminals" [ "S" ] (Cfg.nonterminals anbn);
+  Alcotest.(check (list char)) "alphabet" [ 'a'; 'b' ] (Cfg.alphabet anbn);
+  check_int "productions of S" 2 (List.length (Cfg.productions_of anbn "S"));
+  match Cfg.make ~start:"S" ~productions:[ ("S", [ Cfg.N "Missing" ]) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected missing-nonterminal error"
+
+let test_cfg_to_grammar () =
+  let g = Cfg.to_grammar anbn in
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "agree %S" w) (anbn_member w) (E.accepts g w))
+    (L.words [ 'a'; 'b' ] ~max_len:6);
+  check_int "unambiguous" 1 (E.count g "aabb")
+
+(* --- Earley ----------------------------------------------------------------- *)
+
+let test_earley_basic () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "anbn %S" w) (anbn_member w)
+        (Earley.recognizes anbn w))
+    (L.words [ 'a'; 'b' ] ~max_len:6)
+
+let test_earley_hard () =
+  (* `hard` accepts exactly the balanced a/b strings (a=open, b=close) *)
+  let balanced w =
+    let ok = ref true and depth = ref 0 in
+    String.iter
+      (fun c ->
+        if c = 'a' then incr depth else decr depth;
+        if !depth < 0 then ok := false)
+      w;
+    !ok && !depth = 0
+  in
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "hard %S" w) (balanced w) (Earley.recognizes hard w))
+    (L.words [ 'a'; 'b' ] ~max_len:6)
+
+let test_earley_parse_tree () =
+  match Earley.parse anbn "aabb" with
+  | None -> Alcotest.fail "expected a parse"
+  | Some t ->
+    Alcotest.(check string) "yield" "aabb" (Earley.tree_yield t);
+    let pt = Earley.tree_to_ptree t in
+    check_bool "genuine parse" true
+      (List.exists (P.equal pt) (E.parses (Cfg.to_grammar anbn) "aabb"))
+
+let test_earley_parse_hard () =
+  List.iter
+    (fun w ->
+      match Earley.parse hard w with
+      | Some t -> Alcotest.(check string) "yield" w (Earley.tree_yield t)
+      | None ->
+        if Earley.recognizes hard w then
+          Alcotest.failf "recognized but no tree for %S" w)
+    [ ""; "ab"; "abab"; "aabb"; "aababb" ]
+
+let test_earley_chart_size_grows () =
+  let s1 = Earley.chart_size anbn "aabb" in
+  let s2 = Earley.chart_size anbn "aaaabbbb" in
+  check_bool "chart grows" true (s2 > s1)
+
+(* --- CYK ---------------------------------------------------------------------- *)
+
+let test_cyk_matches_earley () =
+  List.iter
+    (fun cfg ->
+      let cnf = Cyk.of_cfg cfg in
+      List.iter
+        (fun w ->
+          check_bool (Fmt.str "cyk=earley %S" w)
+            (Earley.recognizes cfg w)
+            (Cyk.recognizes cnf w))
+        (L.words (Cfg.alphabet cfg) ~max_len:6))
+    [ anbn; hard; dyck_cfg ]
+
+let test_cyk_empty () =
+  check_bool "anbn nullable" true (Cyk.accepts_empty (Cyk.of_cfg anbn));
+  let no_eps = Cfg.make ~start:"S" ~productions:[ ("S", [ Cfg.T 'a' ]) ] in
+  check_bool "no eps" false (Cyk.accepts_empty (Cyk.of_cfg no_eps));
+  check_bool "rules exist" true (Cyk.rule_count (Cyk.of_cfg anbn) > 0)
+
+(* --- FIRST/FOLLOW and LL(1) ----------------------------------------------------- *)
+
+(* classic LL(1) expression grammar:
+   E -> T E', E' -> eps | + T E', T -> n | ( E ) *)
+let ll1_expr =
+  Cfg.make ~start:"E"
+    ~productions:
+      [ ("E", [ Cfg.N "T"; Cfg.N "E'" ]);
+        ("E'", []);
+        ("E'", [ Cfg.T '+'; Cfg.N "T"; Cfg.N "E'" ]);
+        ("T", [ Cfg.T 'n' ]);
+        ("T", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ]
+
+let test_first_follow () =
+  let ff = Ff.compute ll1_expr in
+  check_bool "E' nullable" true (Ff.nullable ff "E'");
+  check_bool "E not nullable" false (Ff.nullable ff "E");
+  Alcotest.(check (list char)) "first E" [ '('; 'n' ] (Ff.first ff "E");
+  Alcotest.(check (list char)) "first E'" [ '+' ] (Ff.first ff "E'");
+  Alcotest.(check (list char)) "follow E" [ ')' ] (Ff.follow ff "E");
+  Alcotest.(check (list char)) "follow E'" [ ')' ] (Ff.follow ff "E'");
+  let first, nullable = Ff.first_of_seq ff [ Cfg.N "E'"; Cfg.T 'x' ] in
+  Alcotest.(check (list char)) "seq first" [ '+'; 'x' ] first;
+  check_bool "seq not nullable" false nullable
+
+let test_ll1_build () =
+  check_bool "ll1_expr is LL(1)" true (Ll1.is_ll1 ll1_expr);
+  check_bool "hard is not LL(1)" false (Ll1.is_ll1 hard);
+  match Ll1.build hard with
+  | Error c -> check_bool "conflict reported" true (c.Ll1.nonterminal <> "")
+  | Ok _ -> Alcotest.fail "expected conflict"
+
+let test_ll1_parse () =
+  let table = Result.get_ok (Ll1.build ll1_expr) in
+  List.iter
+    (fun w ->
+      let expected = Earley.recognizes ll1_expr w in
+      match Ll1.parse table w with
+      | Ok t ->
+        check_bool (Fmt.str "earley agrees %S" w) true expected;
+        Alcotest.(check string) "yield" w (Earley.tree_yield t)
+      | Error _ -> check_bool (Fmt.str "earley agrees %S" w) false expected)
+    (L.words [ 'n'; '+'; '('; ')' ] ~max_len:4)
+
+(* --- mu-regular expressions -------------------------------------------------------- *)
+
+let test_mu_regex_basic () =
+  let e =
+    Mu.Mu
+      ("X", Mu.Alt (Mu.Eps, Mu.Seq (Mu.Chr 'a', Mu.Seq (Mu.Var "X", Mu.Chr 'b'))))
+  in
+  check_bool "closed" true (Mu.is_closed e);
+  check_bool "open var" false (Mu.is_closed (Mu.Var "X"));
+  let g = Mu.to_grammar e in
+  List.iter
+    (fun w -> check_bool (Fmt.str "%S" w) (anbn_member w) (E.accepts g w))
+    (L.words [ 'a'; 'b' ] ~max_len:6)
+
+let test_mu_regex_star_is_mu () =
+  let star = Mu.of_regex (R.star (R.chr 'a')) in
+  let mu = Mu.Mu ("X", Mu.Alt (Mu.Eps, Mu.Seq (Mu.Chr 'a', Mu.Var "X"))) in
+  check_bool "same language" true
+    (L.equal_upto (Mu.to_grammar star) (Mu.to_grammar mu) [ 'a'; 'b' ]
+       ~max_len:5)
+
+let test_mu_to_cfg () =
+  let e =
+    Mu.Mu
+      ("X", Mu.Alt (Mu.Eps, Mu.Seq (Mu.Chr 'a', Mu.Seq (Mu.Var "X", Mu.Chr 'b'))))
+  in
+  let cfg = Mu.to_cfg e in
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "%S" w) (anbn_member w) (Earley.recognizes cfg w))
+    (L.words [ 'a'; 'b' ] ~max_len:6)
+
+let test_cfg_to_mu () =
+  List.iter
+    (fun cfg ->
+      let e = Mu.of_cfg cfg in
+      check_bool "closed" true (Mu.is_closed e);
+      let g = Mu.to_grammar e in
+      List.iter
+        (fun w ->
+          check_bool
+            (Fmt.str "of_cfg agrees on %S" w)
+            (Earley.recognizes cfg w)
+            (E.accepts g w))
+        (L.words (Cfg.alphabet cfg) ~max_len:5))
+    [ anbn; dyck_cfg; ll1_expr ]
+
+let test_mu_subst () =
+  let open Mu in
+  check_bool "subst var" true (subst "x" Eps (Var "x") = Eps);
+  check_bool "no capture" true
+    (subst "x" Eps (Mu ("x", Var "x")) = Mu ("x", Var "x"));
+  check_bool "under binder" true
+    (subst "y" Eps (Mu ("x", Seq (Var "x", Var "y")))
+    = Mu ("x", Seq (Var "x", Eps)))
+
+(* --- Dyck (Theorem 4.13) ------------------------------------------------------------ *)
+
+let dyck_words = L.words Dyck.alphabet ~max_len:6
+
+let test_dyck_language () =
+  let spec w =
+    let ok = ref true and depth = ref 0 in
+    String.iter
+      (fun c ->
+        if c = '(' then incr depth else decr depth;
+        if !depth < 0 then ok := false)
+      w;
+    !ok && !depth = 0
+  in
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "grammar %S" w) (spec w) (E.accepts Dyck.grammar w);
+      check_bool (Fmt.str "parser %S" w) (spec w) (Dyck.balanced w);
+      check_bool
+        (Fmt.str "automaton %S" w)
+        (spec w)
+        (Dauto.accepts Dyck.automaton w))
+    dyck_words
+
+let test_dyck_unambiguous () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "one parse %S" w) true (A.unambiguous_at Dyck.grammar w))
+    dyck_words
+
+let test_dyck_strong_equivalence () =
+  check_bool "weak" true (Q.check_weak Dyck.equivalence Dyck.alphabet ~max_len:6);
+  check_bool "strong" true
+    (Q.check_strong Dyck.equivalence Dyck.alphabet ~max_len:6)
+
+let test_dyck_parse_result () =
+  (match Dyck.parse "(())()" with
+   | Ok d ->
+     Alcotest.(check string) "yield" "(())()" (P.yield d);
+     check_bool "genuine parse" true
+       (List.exists (P.equal d) (E.parses Dyck.grammar "(())()"))
+   | Error _ -> Alcotest.fail "expected Ok");
+  match Dyck.parse "(()" with
+  | Error trace ->
+    Alcotest.(check string) "rejecting trace yield" "(()" (P.yield trace);
+    check_bool "trace in rejecting grammar" true
+      (List.exists (P.equal trace)
+         (E.parses (Dauto.rejecting_traces Dyck.automaton) "(()"))
+  | Ok _ -> Alcotest.fail "expected Error"
+
+let test_dyck_vs_earley () =
+  List.iter
+    (fun w ->
+      check_bool
+        (Fmt.str "dyck=earley %S" w)
+        (Earley.recognizes dyck_cfg w)
+        (Dyck.balanced w))
+    dyck_words
+
+(* --- Expr (Theorem 4.14) -------------------------------------------------------------- *)
+
+let expr_words = L.words Expr.alphabet ~max_len:4
+
+(* reference CFG for the expression language *)
+let expr_cfg =
+  Cfg.make ~start:"E"
+    ~productions:
+      [ ("E", [ Cfg.N "A" ]);
+        ("E", [ Cfg.N "A"; Cfg.T '+'; Cfg.N "E" ]);
+        ("A", [ Cfg.T 'n' ]);
+        ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ]
+
+let test_expr_language () =
+  List.iter
+    (fun w ->
+      let expected = Earley.recognizes expr_cfg w in
+      check_bool (Fmt.str "grammar %S" w) expected (E.accepts Expr.exp w);
+      check_bool (Fmt.str "automaton %S" w) expected (Expr.accepts w))
+    expr_words
+
+let test_expr_sigma_total_unambiguous () =
+  List.iter
+    (fun w ->
+      check_int (Fmt.str "exactly one %S" w) 1 (E.count Expr.o_sigma w))
+    (L.words Expr.alphabet ~max_len:3)
+
+let test_expr_parse_o_genuine () =
+  List.iter
+    (fun w ->
+      let b, t = Expr.parse_o w in
+      check_bool (Fmt.str "genuine O-parse %S" w) true
+        (List.exists (P.equal t) (E.parses (Expr.o_grammar 0 b) w)))
+    (L.words Expr.alphabet ~max_len:3)
+
+let test_expr_parse () =
+  (match Expr.parse "n+(n+n)" with
+   | Ok e ->
+     Alcotest.(check string) "yield" "n+(n+n)" (P.yield e);
+     check_bool "genuine Exp parse" true
+       (List.exists (P.equal e) (E.parses Expr.exp "n+(n+n)"))
+   | Error _ -> Alcotest.fail "expected Ok");
+  match Expr.parse "n+" with
+  | Error trace ->
+    Alcotest.(check string) "trace yield" "n+" (P.yield trace);
+    check_bool "genuine rejecting trace" true
+      (List.exists (P.equal trace) (E.parses (Expr.o_grammar 0 false) "n+"))
+  | Ok _ -> Alcotest.fail "expected Error"
+
+let test_expr_weak_equivalence () =
+  check_bool "thm 4.14 weak equivalence" true
+    (Q.check_weak Expr.equivalence Expr.alphabet ~max_len:4)
+
+let test_expr_right_associated () =
+  match Expr.parse "n+n+n" with
+  | Ok e ->
+    let _, body = P.as_roll e in
+    let tag, payload = P.as_inj body in
+    check_bool "top is add" true (I.equal tag (I.S "add"));
+    (match payload with
+     | P.Pair (_, P.Pair (_, rest)) ->
+       let _, body' = P.as_roll rest in
+       let tag', _ = P.as_inj body' in
+       check_bool "nested add" true (I.equal tag' (I.S "add"))
+     | _ -> Alcotest.fail "malformed add")
+  | Error _ -> Alcotest.fail "expected Ok"
+
+let test_expr_eval () =
+  let value w =
+    match Expr.parse w with
+    | Ok e -> Expr.eval e
+    | Error _ -> Alcotest.failf "expected %S to parse" w
+  in
+  check_int "n" 1 (value "n");
+  check_int "n+n" 2 (value "n+n");
+  check_int "(n+n)+n" 3 (value "(n+n)+n");
+  check_int "((n))" 1 (value "((n))");
+  match Expr.parse "n+n" with
+  | Ok e -> (
+    match T.apply Expr.semantic_action e with
+    | P.Inj (I.N 2, P.TopP "n+n") -> ()
+    | t -> Alcotest.failf "unexpected semantic action result %a" P.pp t)
+  | Error _ -> Alcotest.fail "expected Ok"
+
+
+(* --- SLR(1) (paper future work: LR parsing) ----------------------------------- *)
+
+module Slr = Lambekd_cfg.Slr
+
+(* left-recursive expression grammar: SLR(1) but NOT LL(1) *)
+let lr_expr =
+  Cfg.make ~start:"E"
+    ~productions:
+      [ ("E", [ Cfg.N "E"; Cfg.T '+'; Cfg.N "A" ]);
+        ("E", [ Cfg.N "A" ]);
+        ("A", [ Cfg.T 'n' ]);
+        ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ]
+
+let test_slr_accepts_left_recursion () =
+  check_bool "lr_expr is SLR(1)" true (Slr.is_slr1 lr_expr);
+  check_bool "lr_expr is not LL(1)" false (Ll1.is_ll1 lr_expr);
+  check_bool "ambiguous grammar is not SLR(1)" false (Slr.is_slr1 hard);
+  match Slr.build hard with
+  | Error c -> check_bool "conflict state sane" true (c.Slr.state >= 0)
+  | Ok _ -> Alcotest.fail "expected a conflict"
+
+let test_slr_parse () =
+  let table = Result.get_ok (Slr.build lr_expr) in
+  check_bool "states" true (Slr.state_count table > 3);
+  List.iter
+    (fun w ->
+      let expected = Earley.recognizes lr_expr w in
+      match Slr.parse table w with
+      | Ok t ->
+        check_bool (Fmt.str "earley agrees %S" w) true expected;
+        Alcotest.(check string) "yield" w (Earley.tree_yield t)
+      | Error _ -> check_bool (Fmt.str "earley agrees %S" w) false expected)
+    (L.words [ 'n'; '+'; '('; ')' ] ~max_len:5)
+
+let test_slr_left_associated () =
+  (* n+n+n under the left-recursive grammar: the top node reduces E+A with
+     a nested E+A on the left *)
+  let table = Result.get_ok (Slr.build lr_expr) in
+  match Slr.parse table "n+n+n" with
+  | Ok (Earley.Node ("E", 0, [ Earley.Node ("E", 0, _); _; _ ])) -> ()
+  | Ok t -> Alcotest.failf "unexpected tree shape: %s" (Earley.tree_yield t)
+  | Error e -> Alcotest.failf "parse failed: %a" Slr.pp_error e
+
+let test_slr_dyck () =
+  (* the Dyck CFG is SLR(1) too *)
+  match Slr.build dyck_cfg with
+  | Error c -> Alcotest.failf "unexpected conflict: %a" Slr.pp_conflict c
+  | Ok table ->
+    List.iter
+      (fun w ->
+        check_bool
+          (Fmt.str "slr=earley %S" w)
+          (Earley.recognizes dyck_cfg w)
+          (Result.is_ok (Slr.parse table w)))
+      (L.words [ '('; ')' ] ~max_len:6)
+
+let prop_slr_earley_agree =
+  QCheck.Test.make ~name:"slr agrees with earley on the expression grammar"
+    ~count:100
+    (QCheck.make
+       ~print:(fun s -> s)
+       QCheck.Gen.(
+         map
+           (fun cs -> String.concat "" (List.map (String.make 1) cs))
+           (list_size (int_bound 10) (oneofl [ 'n'; '+'; '('; ')' ]))))
+    (fun w ->
+      let table = Result.get_ok (Slr.build lr_expr) in
+      Bool.equal
+        (Result.is_ok (Slr.parse table w))
+        (Earley.recognizes lr_expr w))
+
+
+(* --- random CFGs: triple differential (Earley / CYK / Gr model) --------------- *)
+
+let random_cfg rng =
+  (* 2-3 nonterminals over {a,b}; random short productions; always give
+     the start symbol at least one production *)
+  let nts = [ "S"; "T"; "U" ] in
+  let num_nts = 2 + Random.State.int rng 2 in
+  let nts = List.filteri (fun i _ -> i < num_nts) nts in
+  let random_symbol () =
+    if Random.State.bool rng then
+      Cfg.T (if Random.State.bool rng then 'a' else 'b')
+    else Cfg.N (List.nth nts (Random.State.int rng num_nts))
+  in
+  let random_rhs () =
+    List.init (Random.State.int rng 4) (fun _ -> random_symbol ())
+  in
+  let productions =
+    List.concat_map
+      (fun nt ->
+        List.init
+          (1 + Random.State.int rng 2)
+          (fun _ -> (nt, random_rhs ())))
+      nts
+  in
+  Cfg.make ~start:"S" ~productions
+
+let test_random_cfg_differential () =
+  let rng = Random.State.make [| 271828 |] in
+  let words = L.words [ 'a'; 'b' ] ~max_len:5 in
+  for _ = 1 to 25 do
+    let cfg = random_cfg rng in
+    let cnf = Cyk.of_cfg cfg in
+    let g = Cfg.to_grammar cfg in
+    List.iter
+      (fun w ->
+        let earley = Earley.recognizes cfg w in
+        if not (Bool.equal earley (Cyk.recognizes cnf w)) then
+          Alcotest.failf "CYK disagrees with Earley on %S for@.%a" w Cfg.pp cfg;
+        if not (Bool.equal earley (E.accepts g w)) then
+          Alcotest.failf "Gr model disagrees with Earley on %S for@.%a" w
+            Cfg.pp cfg)
+      words
+  done
+
+let test_random_cfg_earley_trees () =
+  let rng = Random.State.make [| 314159 |] in
+  let words = L.words [ 'a'; 'b' ] ~max_len:4 in
+  for _ = 1 to 25 do
+    let cfg = random_cfg rng in
+    List.iter
+      (fun w ->
+        if Earley.recognizes cfg w then
+          match Earley.parse cfg w with
+          | Some t ->
+            if not (String.equal (Earley.tree_yield t) w) then
+              Alcotest.failf "tree yield mismatch on %S" w
+          | None ->
+            Alcotest.failf "recognized %S but no tree for@.%a" w Cfg.pp cfg)
+      words
+  done
+
+let test_random_cfg_mu_roundtrip () =
+  let rng = Random.State.make [| 161803 |] in
+  let words = L.words [ 'a'; 'b' ] ~max_len:4 in
+  for _ = 1 to 10 do
+    let cfg = random_cfg rng in
+    let e = Mu.of_cfg cfg in
+    let g = Mu.to_grammar e in
+    List.iter
+      (fun w ->
+        if not (Bool.equal (Earley.recognizes cfg w) (E.accepts g w)) then
+          Alcotest.failf "mu-regex roundtrip disagrees on %S for@.%a" w Cfg.pp
+            cfg)
+      words
+  done
+
+
+(* --- scaled unambiguity evidence via fast counting ------------------------------ *)
+
+let test_expr_sigma_unambiguous_scaled () =
+  (* count_fast makes exhaustive checking feasible at length 5 and random
+     checking at length ~40 *)
+  List.iter
+    (fun w ->
+      check_int (Fmt.str "exactly one %S" w) 1 (E.count_fast Expr.o_sigma w))
+    (L.words Expr.alphabet ~max_len:4);
+  let rng = Random.State.make [| 55 |] in
+  for _ = 1 to 50 do
+    let w =
+      String.init
+        (10 + Random.State.int rng 30)
+        (fun _ -> List.nth Expr.alphabet (Random.State.int rng 4))
+    in
+    check_int (Fmt.str "exactly one %S" w) 1 (E.count_fast Expr.o_sigma w)
+  done
+
+let test_dyck_unambiguous_scaled () =
+  let rng = Random.State.make [| 66 |] in
+  for _ = 1 to 50 do
+    let w = Dyck.random_balanced ~depth:6 rng in
+    check_int (Fmt.str "one parse %S" w) 1 (E.count_fast Dyck.grammar w)
+  done
+
+
+(* --- LL(1) as a stack automaton (paper §1) -------------------------------------- *)
+
+module La = Lambekd_cfg.Ll1_automaton
+module Pd = Lambekd_parsing.Parser_def
+
+let ll1_auto = La.dauto (Result.get_ok (Ll1.build ll1_expr))
+
+let test_ll1_automaton_language () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "agree %S" w)
+        (Earley.recognizes ll1_expr w)
+        (Dauto.accepts ll1_auto w))
+    (L.words [ 'n'; '+'; '('; ')' ] ~max_len:5)
+
+let test_ll1_automaton_traces () =
+  (* Theorem 4.9 comes for free from the Dauto construction *)
+  List.iter
+    (fun w ->
+      check_int (Fmt.str "one trace %S" w) 1
+        (E.count_fast (Dauto.traces_grammar ll1_auto) w))
+    (L.words [ 'n'; '+'; '('; ')' ] ~max_len:3);
+  (* the accepting trace grammar recognizes exactly the language *)
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "trace grammar %S" w)
+        (Earley.recognizes ll1_expr w)
+        (E.accepts (Dauto.accepting_traces ll1_auto) w))
+    (L.words [ 'n'; '+'; '('; ')' ] ~max_len:4)
+
+let test_ll1_automaton_parser () =
+  let p = La.parser_of (Result.get_ok (Ll1.build ll1_expr)) in
+  check_bool "sound" true (Pd.check_sound p [ 'n'; '+'; '(' ] ~max_len:3);
+  check_bool "complete" true (Pd.check_complete p [ 'n'; '+'; '(' ] ~max_len:3);
+  check_bool "disjoint" true (Pd.check_disjoint p [ 'n'; '+'; '(' ] ~max_len:3)
+
+let test_ll1_automaton_stack_encoding () =
+  let stack = [ Cfg.T 'a'; Cfg.N "E"; Cfg.T 'b' ] in
+  check_bool "roundtrip encode" true
+    (La.encode_stack stack
+     = I.P (I.C 'a', I.P (I.S "E", I.P (I.C 'b', I.U))))
+
+(* --- qcheck -------------------------------------------------------------------------- *)
+
+let arb_dyck =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      map
+        (fun n ->
+          let rng = Random.State.make [| n |] in
+          Dyck.random_balanced ~depth:5 rng)
+        int)
+
+let prop_dyck_roundtrip =
+  QCheck.Test.make ~name:"dyck parse yields input and round-trips" ~count:100
+    arb_dyck (fun w ->
+      match Dyck.parse w with
+      | Ok d ->
+        String.equal (P.yield d) w
+        && P.equal (T.apply Dyck.of_traces (T.apply Dyck.to_traces d)) d
+      | Error _ -> false)
+
+let arb_expr =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      map
+        (fun n ->
+          let rng = Random.State.make [| n |] in
+          Expr.random_expr ~depth:4 rng)
+        int)
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"expr parse yields input; eval counts nums" ~count:100
+    arb_expr (fun w ->
+      match Expr.parse w with
+      | Ok e ->
+        String.equal (P.yield e) w
+        && Expr.eval e
+           = String.fold_left (fun k c -> if c = 'n' then k + 1 else k) 0 w
+      | Error _ -> false)
+
+let arb_ab_word =
+  QCheck.make
+    ~print:(fun s -> s)
+    QCheck.Gen.(
+      map
+        (fun cs -> String.concat "" (List.map (String.make 1) cs))
+        (list_size (int_bound 8) (oneofl [ 'a'; 'b' ])))
+
+let prop_earley_cyk_agree =
+  QCheck.Test.make ~name:"earley and cyk agree on `hard`" ~count:100
+    arb_ab_word (fun w ->
+      Bool.equal (Earley.recognizes hard w) (Cyk.recognizes_cfg hard w))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_dyck_roundtrip; prop_expr_roundtrip; prop_earley_cyk_agree;
+      prop_slr_earley_agree ]
+
+let suite =
+  [ ("cfg make/validate", `Quick, test_cfg_make);
+    ("cfg as inductive linear type", `Quick, test_cfg_to_grammar);
+    ("earley basic", `Quick, test_earley_basic);
+    ("earley nullable+left-recursive", `Quick, test_earley_hard);
+    ("earley parse tree", `Quick, test_earley_parse_tree);
+    ("earley parse on hard grammar", `Quick, test_earley_parse_hard);
+    ("earley chart size", `Quick, test_earley_chart_size_grows);
+    ("cyk matches earley", `Quick, test_cyk_matches_earley);
+    ("cyk empty string", `Quick, test_cyk_empty);
+    ("first/follow", `Quick, test_first_follow);
+    ("ll1 table construction", `Quick, test_ll1_build);
+    ("ll1 parser", `Quick, test_ll1_parse);
+    ("mu-regex semantics", `Quick, test_mu_regex_basic);
+    ("mu-regex star", `Quick, test_mu_regex_star_is_mu);
+    ("mu-regex to cfg", `Quick, test_mu_to_cfg);
+    ("cfg to mu-regex (Leiss)", `Quick, test_cfg_to_mu);
+    ("mu-regex substitution", `Quick, test_mu_subst);
+    ("dyck language", `Quick, test_dyck_language);
+    ("dyck unambiguous", `Quick, test_dyck_unambiguous);
+    ("thm4.13 strong equivalence", `Quick, test_dyck_strong_equivalence);
+    ("dyck verified parser", `Quick, test_dyck_parse_result);
+    ("dyck vs earley", `Quick, test_dyck_vs_earley);
+    ("expr language", `Quick, test_expr_language);
+    ("expr sigma total+unambiguous", `Quick, test_expr_sigma_total_unambiguous);
+    ("expr parse_o genuine", `Quick, test_expr_parse_o_genuine);
+    ("thm4.14 verified parser", `Quick, test_expr_parse);
+    ("thm4.14 weak equivalence", `Quick, test_expr_weak_equivalence);
+    ("expr right association", `Quick, test_expr_right_associated);
+    ("expr semantic action", `Quick, test_expr_eval);
+    ("slr handles left recursion", `Quick, test_slr_accepts_left_recursion);
+    ("slr parser", `Quick, test_slr_parse);
+    ("slr left association", `Quick, test_slr_left_associated);
+    ("slr dyck", `Quick, test_slr_dyck);
+    ("random cfg differential", `Quick, test_random_cfg_differential);
+    ("random cfg earley trees", `Quick, test_random_cfg_earley_trees);
+    ("random cfg mu roundtrip", `Quick, test_random_cfg_mu_roundtrip);
+    ("expr unambiguity scaled", `Quick, test_expr_sigma_unambiguous_scaled);
+    ("dyck unambiguity scaled", `Quick, test_dyck_unambiguous_scaled);
+    ("ll1 stack automaton language", `Quick, test_ll1_automaton_language);
+    ("ll1 stack automaton traces", `Quick, test_ll1_automaton_traces);
+    ("ll1 stack automaton parser", `Quick, test_ll1_automaton_parser);
+    ("ll1 stack encoding", `Quick, test_ll1_automaton_stack_encoding) ]
+  @ qcheck_tests

@@ -1,0 +1,511 @@
+(* Tests for the semantic layer: the denotational model Gr (paper §5). *)
+
+module G = Lambekd_grammar.Grammar
+module P = Lambekd_grammar.Ptree
+module E = Lambekd_grammar.Enum
+module L = Lambekd_grammar.Language
+module A = Lambekd_grammar.Ambiguity
+module T = Lambekd_grammar.Transformer
+module Q = Lambekd_grammar.Equivalence
+module I = Lambekd_grammar.Index
+
+let abc = [ 'a'; 'b'; 'c' ]
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Index ------------------------------------------------------------ *)
+
+let test_index_equal () =
+  check_bool "pair equal" true I.(equal (P (N 1, B true)) (P (N 1, B true)));
+  check_bool "pair differ" false I.(equal (P (N 1, B true)) (P (N 2, B true)));
+  check_bool "rank differ" false I.(equal (N 0) (B false))
+
+let test_index_enumerate () =
+  check_int "bools" 2 (List.length (I.enumerate I.Bool_set));
+  check_int "fin 5" 5 (List.length (I.enumerate (I.Fin_set 5)));
+  check_int "nat sample" 25 (List.length (I.enumerate I.Nat_set));
+  check_int "pair" 10
+    (List.length (I.enumerate (I.Pair_set (I.Bool_set, I.Fin_set 5))));
+  check_bool "mem fin" true (I.mem_set (I.N 3) (I.Fin_set 5));
+  check_bool "not mem fin" false (I.mem_set (I.N 5) (I.Fin_set 5));
+  check_bool "mem nat" true (I.mem_set (I.N 1000) I.Nat_set)
+
+(* --- Ptree ------------------------------------------------------------ *)
+
+let test_yield () =
+  Alcotest.(check string) "literal" "abc" (P.yield (P.literal "abc"));
+  Alcotest.(check string)
+    "pair" "ab"
+    (P.yield (P.Pair (P.Tok 'a', P.Tok 'b')));
+  Alcotest.(check string) "top" "xyz" (P.yield (P.TopP "xyz"))
+
+let test_well_formed () =
+  check_bool "ok tuple" true
+    (P.well_formed (P.Tuple [ (I.N 0, P.Tok 'a'); (I.N 1, P.Tok 'a') ]));
+  check_bool "bad tuple" false
+    (P.well_formed (P.Tuple [ (I.N 0, P.Tok 'a'); (I.N 1, P.Tok 'b') ]))
+
+(* --- Finite grammars (paper Fig 1) ------------------------------------ *)
+
+(* ('a' ⊗ 'b') ⊕ 'c' *)
+let fig1 = G.alt2 (G.seq (G.chr 'a') (G.chr 'b')) (G.chr 'c')
+
+let test_fig1 () =
+  check_bool "ab in" true (E.accepts fig1 "ab");
+  check_bool "c in" true (E.accepts fig1 "c");
+  check_bool "a out" false (E.accepts fig1 "a");
+  check_bool "abc out" false (E.accepts fig1 "abc");
+  check_int "ab unique parse" 1 (E.count fig1 "ab");
+  match E.first_parse fig1 "ab" with
+  | Some (P.Inj (tag, P.Pair (P.Tok 'a', P.Tok 'b'))) ->
+    check_bool "inl" true (I.equal tag G.inl_tag)
+  | other ->
+    Alcotest.failf "unexpected parse: %a" Fmt.(option P.pp) other
+
+let test_base_types () =
+  check_bool "I accepts eps" true (E.accepts G.eps "");
+  check_bool "I rejects a" false (E.accepts G.eps "a");
+  check_bool "0 rejects eps" false (E.accepts G.void "");
+  check_bool "top accepts all" true (E.accepts G.top "whatever");
+  check_int "top one parse" 1 (E.count G.top "xy")
+
+(* --- Kleene star (paper Figs 2, 3) ------------------------------------ *)
+
+(* ('a'* ⊗ 'b') ⊕ 'c' *)
+let fig3 = G.alt2 (G.seq (G.star (G.chr 'a')) (G.chr 'b')) (G.chr 'c')
+
+let test_star_language () =
+  let a_star = G.star (G.chr 'a') in
+  check_bool "eps" true (E.accepts a_star "");
+  check_bool "a" true (E.accepts a_star "a");
+  check_bool "aaaa" true (E.accepts a_star "aaaa");
+  check_bool "ab" false (E.accepts a_star "ab");
+  check_int "unambiguous" 1 (E.count a_star "aaa")
+
+let test_fig3 () =
+  check_bool "ab" true (E.accepts fig3 "ab");
+  check_bool "aab" true (E.accepts fig3 "aab");
+  check_bool "b" true (E.accepts fig3 "b");
+  check_bool "c" true (E.accepts fig3 "c");
+  check_bool "ba" false (E.accepts fig3 "ba");
+  check_bool "cc" false (E.accepts fig3 "cc")
+
+let test_star_parse_shape () =
+  (* the parse of "ab" must be inl (cons a nil, b) *)
+  match E.parses fig3 "ab" with
+  | [ P.Inj (tag, P.Pair (star_parse, P.Tok 'b')) ] ->
+    check_bool "inl" true (I.equal tag G.inl_tag);
+    (match star_parse with
+     | P.Roll ("star", P.Inj (cons, P.Pair (P.Tok 'a', P.Roll ("star", P.Inj (nil, P.Eps))))) ->
+       check_bool "cons tag" true (I.equal cons G.star_cons_tag);
+       check_bool "nil tag" true (I.equal nil G.star_nil_tag)
+     | t -> Alcotest.failf "unexpected star parse: %a" P.pp t)
+  | ts -> Alcotest.failf "unexpected parses: %a" Fmt.(list P.pp) ts
+
+(* --- seq_list / literal / plus / opt ---------------------------------- *)
+
+let test_literal () =
+  let g = G.literal "abc" in
+  check_bool "abc" true (E.accepts g "abc");
+  check_bool "ab" false (E.accepts g "ab");
+  check_bool "abcd" false (E.accepts g "abcd");
+  check_int "one parse" 1 (E.count g "abc")
+
+let test_plus_opt () =
+  let p = G.plus (G.chr 'a') in
+  check_bool "plus rejects eps" false (E.accepts p "");
+  check_bool "plus a" true (E.accepts p "a");
+  check_bool "plus aaa" true (E.accepts p "aaa");
+  let o = G.opt (G.chr 'a') in
+  check_bool "opt eps" true (E.accepts o "");
+  check_bool "opt a" true (E.accepts o "a");
+  check_bool "opt aa" false (E.accepts o "aa")
+
+let test_string_grammar () =
+  let s = G.string_g abc in
+  check_bool "any string" true (E.accepts s "cab");
+  check_bool "eps" true (E.accepts s "");
+  check_int "string unambiguous" 1 (E.count s "abc")
+
+(* --- ambiguity --------------------------------------------------------- *)
+
+let test_ambiguity () =
+  let amb = G.alt2 (G.chr 'a') (G.chr 'a') in
+  check_int "two parses" 2 (A.parse_count amb "a");
+  check_bool "ambiguous" false (A.unambiguous_upto amb abc ~max_len:2);
+  (match A.ambiguity_witness amb abc ~max_len:2 with
+   | Some ("a", [ _; _ ]) -> ()
+   | _ -> Alcotest.fail "expected witness \"a\" with two parses");
+  check_bool "fig1 unambiguous" true (A.unambiguous_upto fig1 abc ~max_len:4)
+
+let test_ambiguous_star () =
+  (* (a ⊕ a)* has 2^n parses of a^n *)
+  let g = G.star (G.alt2 (G.chr 'a') (G.chr 'a')) in
+  check_int "1" 2 (E.count g "a");
+  check_int "2" 4 (E.count g "aa");
+  check_int "3" 8 (E.count g "aaa")
+
+let test_disjoint () =
+  check_bool "a,b disjoint" true
+    (A.disjoint_upto (G.chr 'a') (G.chr 'b') abc ~max_len:3);
+  check_bool "fig1 vs c not disjoint" false
+    (A.disjoint_upto fig1 (G.chr 'c') abc ~max_len:3)
+
+(* --- additive conjunction ---------------------------------------------- *)
+
+let test_amp () =
+  (* a* & (aa)* = (aa)* *)
+  let g = G.amp2 (G.star (G.chr 'a')) (G.star (G.seq (G.chr 'a') (G.chr 'a'))) in
+  check_bool "eps" true (E.accepts g "");
+  check_bool "a" false (E.accepts g "a");
+  check_bool "aa" true (E.accepts g "aa");
+  check_bool "aaa" false (E.accepts g "aaa");
+  check_bool "aaaa" true (E.accepts g "aaaa");
+  match E.parses g "aa" with
+  | [ P.Tuple [ (_, left); (_, right) ] ] ->
+    Alcotest.(check string) "same yield" (P.yield left) (P.yield right)
+  | ts -> Alcotest.failf "unexpected: %a" Fmt.(list P.pp) ts
+
+let test_lookahead_decomposition () =
+  (* The distributivity-based decomposition used in §4.2:
+     A ≅ (A & I) ⊕ ⊕_{c} (A & ('c' ⊗ ⊤)).  Check languages agree. *)
+  let a = G.star (G.alt2 (G.chr 'a') (G.chr 'b')) in
+  let decomposed =
+    G.alt
+      ((I.S "eps", G.amp2 a G.eps)
+       :: List.map
+            (fun c -> (I.C c, G.amp2 a (G.seq (G.chr c) G.top)))
+            [ 'a'; 'b'; 'c' ])
+  in
+  check_bool "same language" true (L.equal_upto a decomposed abc ~max_len:4)
+
+(* --- Atom / reification ------------------------------------------------ *)
+
+let test_atom () =
+  (* grammar of even-length strings via a semantic atom *)
+  let even =
+    G.atom "even-length" (fun w ->
+        if String.length w mod 2 = 0 then [ P.literal w ] else [])
+  in
+  check_bool "eps" true (E.accepts even "");
+  check_bool "ab" true (E.accepts even "ab");
+  check_bool "a" false (E.accepts even "a");
+  (* atoms returning wrong yields are filtered *)
+  let bogus = G.atom "bogus" (fun _ -> [ P.Tok 'z' ]) in
+  check_bool "bogus filtered" false (E.accepts bogus "ab")
+
+(* --- counter-indexed definitions (infinite index) ----------------------- *)
+
+(* a^n b^n as an indexed definition: D n accepts a^k b^(k+n). *)
+let anbn =
+  let d = G.declare "anbn" in
+  G.set_rules d (fun ix ->
+      match ix with
+      | I.N 0 ->
+        G.alt2 G.eps (G.seq (G.chr 'a') (G.seq (G.ref_ d (I.N 1)) (G.chr 'b')))
+      | _ -> Alcotest.fail "anbn: only index 0 used in this encoding");
+  (* simpler: single nonterminal S -> eps | a S b, index unused *)
+  G.fix "S" (fun self ->
+      G.alt2 G.eps (G.seq (G.chr 'a') (G.seq self (G.chr 'b'))))
+
+let test_anbn () =
+  check_bool "eps" true (E.accepts anbn "");
+  check_bool "ab" true (E.accepts anbn "ab");
+  check_bool "aabb" true (E.accepts anbn "aabb");
+  check_bool "aab" false (E.accepts anbn "aab");
+  check_bool "ba" false (E.accepts anbn "ba");
+  check_int "unambiguous" 1 (E.count anbn "aaabbb")
+
+(* --- language ops ------------------------------------------------------ *)
+
+let test_words () =
+  check_int "len<=2 over 3 chars" (1 + 3 + 9) (List.length (L.words abc ~max_len:2));
+  check_bool "sorted by length" true
+    (let ws = L.words abc ~max_len:3 in
+     let lens = List.map String.length ws in
+     List.sort compare lens = lens)
+
+let test_language_ops () =
+  let a_star = G.star (G.chr 'a') in
+  let a_star' = G.alt2 G.eps (G.plus (G.chr 'a')) in
+  check_bool "equal languages" true (L.equal_upto a_star a_star' abc ~max_len:4);
+  check_bool "subset" true (L.subset_upto (G.chr 'a') a_star abc ~max_len:4);
+  check_bool "not subset" false (L.subset_upto a_star (G.chr 'a') abc ~max_len:4);
+  match L.difference_witness a_star (G.chr 'a') abc ~max_len:4 with
+  | Some "" -> ()
+  | w -> Alcotest.failf "expected witness \"\", got %a" Fmt.(option string) w
+
+(* --- transformers (paper Fig 4) ----------------------------------------- *)
+
+(* h : (A ⊗ A)* ⊸ A*, h nil = nil, h (cons (a1,a2) as) = cons a1 (cons a2 (h as)) *)
+let fig4_h =
+  T.make "fig4-h" (fun t ->
+      let rec go t =
+        let _, body = P.as_roll t in
+        let tag, payload = P.as_inj body in
+        if I.equal tag G.star_nil_tag then t
+        else
+          let pair, rest = P.as_pair payload in
+          let a1, a2 = P.as_pair pair in
+          P.Roll
+            ( "star",
+              P.Inj
+                ( G.star_cons_tag,
+                  P.Pair
+                    ( a1,
+                      P.Roll
+                        ( "star",
+                          P.Inj (G.star_cons_tag, P.Pair (a2, go rest)) ) ) ) )
+      in
+      go t)
+
+let test_fig4_transformer () =
+  let a = G.chr 'a' in
+  let source = G.star (G.seq a a) in
+  let target = G.star a in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun p ->
+          let out = T.apply fig4_h p in
+          check_bool
+            (Fmt.str "output parses %S" w)
+            true
+            (List.exists (P.equal out) (Lambekd_grammar.Enum.parses target w)))
+        (E.parses source w))
+    [ ""; "aa"; "aaaa"; "aaaaaa" ]
+
+let test_yield_violation () =
+  let bad = T.make "bad" (fun _ -> P.Tok 'z') in
+  (match T.apply bad (P.Tok 'a') with
+   | exception T.Yield_violation ("bad", _, _) -> ()
+   | _ -> Alcotest.fail "expected Yield_violation");
+  check_bool "detected" false (T.preserves_yield_on bad [ P.Tok 'a' ])
+
+let test_transformer_compose () =
+  let t = T.compose T.id T.id in
+  check_bool "id" true (P.equal (T.apply t (P.literal "ab")) (P.literal "ab"))
+
+(* --- equivalence -------------------------------------------------------- *)
+
+let test_equivalence_strong () =
+  (* A ⊕ A' with tags swapped: strong equivalence via swap/swap *)
+  let g = G.alt2 (G.chr 'a') (G.chr 'b') in
+  let h = G.alt2 (G.chr 'b') (G.chr 'a') in
+  let swap =
+    T.make "swap" (fun t ->
+        let tag, payload = P.as_inj t in
+        let tag' = if I.equal tag G.inl_tag then G.inr_tag else G.inl_tag in
+        P.Inj (tag', payload))
+  in
+  let e = Q.make ~source:g ~target:h ~fwd:swap ~bwd:swap in
+  check_bool "weak" true (Q.check_weak e abc ~max_len:2);
+  check_bool "strong" true (Q.check_strong e abc ~max_len:2);
+  check_bool "no counterexample" true
+    (Q.counterexample e abc ~max_len:2 = None)
+
+let test_equivalence_retract_only () =
+  (* 'a' is a retract of 'a' ⊕ 'a' (via inl), but not strongly equivalent *)
+  let a = G.chr 'a' in
+  let aa = G.alt2 (G.chr 'a') (G.chr 'a') in
+  let fwd = T.make "inl" (fun t -> P.Inj (G.inl_tag, t)) in
+  let bwd = T.make "forget" (fun t -> snd (P.as_inj t)) in
+  let e = Q.make ~source:a ~target:aa ~fwd ~bwd in
+  check_bool "weak" true (Q.check_weak e abc ~max_len:2);
+  check_bool "retract" true (Q.check_retract e abc ~max_len:2);
+  check_bool "not strong" false (Q.check_strong e abc ~max_len:2)
+
+
+(* --- engine edge cases ---------------------------------------------------- *)
+
+let test_parses_span () =
+  (* parses of inner substrings *)
+  let g = G.chr 'b' in
+  check_int "middle" 1 (List.length (E.parses_span g "abc" 1 2));
+  check_int "wrong span" 0 (List.length (E.parses_span g "abc" 0 2));
+  check_int "empty span of eps" 1 (List.length (E.parses_span G.eps "abc" 2 2))
+
+let test_deep_nesting () =
+  (* a 60-deep nested Dyck word parses fine *)
+  let n = 60 in
+  let w = String.make n '(' ^ String.make n ')' in
+  check_bool "deep" true (E.accepts anbn (String.make 30 'a' ^ String.make 30 'b'));
+  let dyck =
+    G.fix "deep_dyck" (fun d ->
+        G.alt2 G.eps (G.seq (G.chr '(') (G.seq d (G.seq (G.chr ')') d))))
+  in
+  check_bool "nested" true (E.accepts dyck w);
+  check_int "one parse" 1 (E.count dyck w)
+
+let test_seq_list_edges () =
+  check_bool "empty seq_list is I" true (G.equal (G.seq_list []) G.eps);
+  check_bool "singleton" true (G.equal (G.seq_list [ G.chr 'a' ]) (G.chr 'a'));
+  check_bool "literal empty" true (E.accepts (G.literal "") "");
+  check_bool "literal nonempty rejects eps" false (E.accepts (G.literal "x") "")
+
+let test_amp_empty_rejected () =
+  match G.amp [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected amp [] to be rejected"
+
+let test_set_rules_twice () =
+  let d = G.declare "twice" in
+  G.set_rules d (fun _ -> G.eps);
+  match G.set_rules d (fun _ -> G.void) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected second set_rules to fail"
+
+let test_unset_rules () =
+  let d = G.declare "unset" in
+  match E.accepts (G.ref_ d I.U) "a" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected use-before-definition to fail"
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_smoke () =
+  (* printers don't crash and mention the key tokens *)
+  check_bool "mentions star" true (string_contains (G.to_string fig3) "star");
+  check_bool "nonempty tree print" true
+    (String.length (P.to_string (P.literal "ab")) > 0)
+
+let test_equivalence_counterexample_found () =
+  (* a deliberately wrong "equivalence": forget which side of a ⊕ a *)
+  let g = G.alt2 (G.chr 'a') (G.chr 'a') in
+  let collapse =
+    T.make "collapse" (fun t -> P.Inj (G.inl_tag, snd (P.as_inj t)))
+  in
+  let e = Q.make ~source:g ~target:g ~fwd:collapse ~bwd:T.id in
+  check_bool "not a retract" false (Q.check_retract e abc ~max_len:2);
+  match Q.counterexample e abc ~max_len:2 with
+  | Some ("a", _) -> ()
+  | other ->
+    Alcotest.failf "expected counterexample at \"a\", got %a"
+      Fmt.(option (pair string P.pp))
+      other
+
+let test_transformer_agree_on () =
+  let inputs = E.parses fig1 "ab" @ E.parses fig1 "c" in
+  check_bool "id agrees with id" true (T.agree_on T.id T.id inputs);
+  let not_id = T.make "reinj" (fun t -> t) in
+  check_bool "same function agrees" true (T.agree_on T.id not_id inputs)
+
+(* --- qcheck properties -------------------------------------------------- *)
+
+let gen_word =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_bound 8) (oneofl abc)))
+
+let arb_word = QCheck.make ~print:(fun s -> s) gen_word
+
+let prop_star_iff_concat =
+  QCheck.Test.make ~name:"w ∈ (abc-char)* always" ~count:100 arb_word
+    (fun w -> E.accepts (G.string_g abc) w)
+
+let prop_parse_yields =
+  QCheck.Test.make ~name:"every enumerated parse yields its word" ~count:100
+    arb_word (fun w ->
+      List.for_all
+        (fun p -> String.equal (P.yield p) w && P.well_formed p)
+        (E.parses fig3 w))
+
+let prop_count_fast_agrees =
+  QCheck.Test.make ~name:"count_fast = count" ~count:100 arb_word (fun w ->
+      E.count_fast fig3 w = E.count fig3 w
+      && E.count_fast (G.star (G.alt2 (G.chr 'a') (G.chr 'a'))) w
+         = E.count (G.star (G.alt2 (G.chr 'a') (G.chr 'a'))) w)
+
+let prop_accepts_agrees_with_enum =
+  QCheck.Test.make ~name:"accepts = (parses ≠ [])" ~count:100 arb_word
+    (fun w -> Bool.equal (E.accepts fig3 w) (E.parses fig3 w <> []))
+
+let prop_anbn =
+  QCheck.Test.make ~name:"anbn membership" ~count:100
+    QCheck.(pair small_nat small_nat)
+    (fun (n, m) ->
+      let n = n mod 6 and m = m mod 6 in
+      let w = String.make n 'a' ^ String.make m 'b' in
+      Bool.equal (E.accepts anbn w) (n = m))
+
+
+let arb_index =
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then
+      oneof
+        [ return I.U; map (fun b -> I.B b) bool;
+          map (fun n -> I.N (abs n mod 50)) int;
+          map (fun c -> I.C c) (oneofl [ 'a'; 'b'; 'z' ]);
+          map (fun s -> I.S s) (oneofl [ "x"; "y"; "cons" ]) ]
+    else
+      oneof
+        [ gen 0;
+          map2 (fun a b -> I.P (a, b)) (gen (depth - 1)) (gen (depth - 1)) ]
+  in
+  QCheck.make ~print:I.to_string (gen 2)
+
+let prop_index_order =
+  QCheck.Test.make ~name:"Index.compare is a total order consistent with equal"
+    ~count:200
+    QCheck.(pair arb_index arb_index)
+    (fun (x, y) ->
+      let c = I.compare x y in
+      Bool.equal (c = 0) (I.equal x y)
+      && I.compare y x = -c
+      && I.compare x x = 0)
+
+let prop_ptree_order =
+  QCheck.Test.make ~name:"Ptree.compare consistent with equal" ~count:200
+    QCheck.(pair arb_word arb_word)
+    (fun (w1, w2) ->
+      let t1 = P.literal w1 and t2 = P.literal w2 in
+      Bool.equal (P.compare t1 t2 = 0) (P.equal t1 t2)
+      && P.compare t1 t2 = -(P.compare t2 t1))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_star_iff_concat; prop_parse_yields; prop_accepts_agrees_with_enum;
+      prop_count_fast_agrees; prop_anbn; prop_index_order; prop_ptree_order ]
+
+let suite =
+  [ ("index equality", `Quick, test_index_equal);
+    ("index enumeration", `Quick, test_index_enumerate);
+    ("ptree yield", `Quick, test_yield);
+    ("ptree well-formed", `Quick, test_well_formed);
+    ("fig1 finite grammar", `Quick, test_fig1);
+    ("base types", `Quick, test_base_types);
+    ("star language", `Quick, test_star_language);
+    ("fig3 regex grammar", `Quick, test_fig3);
+    ("fig3 parse shape", `Quick, test_star_parse_shape);
+    ("literal", `Quick, test_literal);
+    ("plus/opt", `Quick, test_plus_opt);
+    ("string grammar", `Quick, test_string_grammar);
+    ("ambiguity counting", `Quick, test_ambiguity);
+    ("ambiguous star", `Quick, test_ambiguous_star);
+    ("disjointness", `Quick, test_disjoint);
+    ("additive conjunction", `Quick, test_amp);
+    ("lookahead decomposition", `Quick, test_lookahead_decomposition);
+    ("semantic atoms", `Quick, test_atom);
+    ("a^n b^n", `Quick, test_anbn);
+    ("word enumeration", `Quick, test_words);
+    ("language operations", `Quick, test_language_ops);
+    ("fig4 fold transformer", `Quick, test_fig4_transformer);
+    ("yield violation detection", `Quick, test_yield_violation);
+    ("transformer composition", `Quick, test_transformer_compose);
+    ("strong equivalence (swap)", `Quick, test_equivalence_strong);
+    ("retract but not strong", `Quick, test_equivalence_retract_only);
+    ("parses of spans", `Quick, test_parses_span);
+    ("deep nesting", `Quick, test_deep_nesting);
+    ("seq_list edge cases", `Quick, test_seq_list_edges);
+    ("empty amp rejected", `Quick, test_amp_empty_rejected);
+    ("set_rules twice rejected", `Quick, test_set_rules_twice);
+    ("use before definition", `Quick, test_unset_rules);
+    ("printers", `Quick, test_pp_smoke);
+    ("equivalence counterexample", `Quick, test_equivalence_counterexample_found);
+    ("transformer agree_on", `Quick, test_transformer_agree_on) ]
+  @ qcheck_tests

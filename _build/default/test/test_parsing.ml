@@ -1,0 +1,226 @@
+(* Tests for the verified-parser framework: Defs 4.5/4.6, Lemma 4.8
+   (Extend), and the full regex pipeline of Corollary 4.12, differentially
+   tested against the independent regex engines. *)
+
+module Pd = Lambekd_parsing.Parser_def
+module Extend = Lambekd_parsing.Extend
+module Pl = Lambekd_parsing.Pipeline
+module R = Lambekd_regex.Regex
+module Rs = Lambekd_regex.Regex_syntax
+module Bz = Lambekd_regex.Brzozowski
+module Bt = Lambekd_regex.Backtrack
+module G = Lambekd_grammar.Grammar
+module P = Lambekd_grammar.Ptree
+module E = Lambekd_grammar.Enum
+module L = Lambekd_grammar.Language
+module T = Lambekd_grammar.Transformer
+module Q = Lambekd_grammar.Equivalence
+
+let abc = [ 'a'; 'b'; 'c' ]
+let check_bool = Alcotest.(check bool)
+
+(* a trivial hand-built parser for 'a', negative = I ⊕ (non-a start ⊗ ⊤) *)
+let char_a_parser =
+  let negative =
+    G.alt2 G.eps
+      (G.alt
+         [ (Lambekd_grammar.Index.S "long",
+            G.seq (G.chr 'a') (G.seq (G.char_any abc) G.top));
+           (Lambekd_grammar.Index.S "wrong",
+            G.seq (G.alt2 (G.chr 'b') (G.chr 'c')) G.top) ])
+  in
+  Pd.make ~name:"char-a" ~positive:(G.chr 'a') ~negative (fun w ->
+      if String.equal w "a" then Ok (P.Tok 'a')
+      else if String.equal w "" then Error (P.Inj (G.inl_tag, P.Eps))
+      else
+        let rest k = P.TopP (String.sub w k (String.length w - k)) in
+        if w.[0] = 'a' then
+          Error
+            (P.Inj
+               ( G.inr_tag,
+                 P.Inj
+                   ( Lambekd_grammar.Index.S "long",
+                     P.Pair
+                       ( P.Tok 'a',
+                         P.Pair
+                           (P.Inj (Lambekd_grammar.Index.C w.[1], P.Tok w.[1]),
+                            rest 2) ) ) ))
+        else
+          Error
+            (P.Inj
+               ( G.inr_tag,
+                 P.Inj
+                   ( Lambekd_grammar.Index.S "wrong",
+                     P.Pair
+                       ( P.Inj
+                           ( (if w.[0] = 'b' then G.inl_tag else G.inr_tag),
+                             P.Tok w.[0] ),
+                         rest 1 ) ) )))
+
+let test_parser_def_checks () =
+  check_bool "sound" true (Pd.check_sound char_a_parser abc ~max_len:3);
+  check_bool "disjoint" true (Pd.check_disjoint char_a_parser abc ~max_len:3);
+  check_bool "complete" true (Pd.check_complete char_a_parser abc ~max_len:3);
+  check_bool "all" true (Pd.check char_a_parser abc ~max_len:3)
+
+let test_unsound_detected () =
+  let lying =
+    Pd.make ~name:"liar" ~positive:(G.chr 'a') ~negative:G.top (fun _ ->
+        Ok (P.Tok 'a'))
+  in
+  (match Pd.run lying "bb" with
+   | exception Pd.Unsound ("liar", "bb", _) -> ()
+   | _ -> Alcotest.fail "expected Unsound");
+  check_bool "caught by check" false (Pd.check_sound lying abc ~max_len:2)
+
+let test_incomplete_detected () =
+  (* rejects everything: sound but incomplete *)
+  let coward =
+    Pd.make ~name:"coward" ~positive:(G.chr 'a') ~negative:G.top (fun w ->
+        Error (P.TopP w))
+  in
+  check_bool "sound" true (Pd.check_sound coward abc ~max_len:2);
+  check_bool "not disjoint" false (Pd.check_disjoint coward abc ~max_len:2);
+  check_bool "not complete" false (Pd.check_complete coward abc ~max_len:2)
+
+(* --- Lemma 4.8 ------------------------------------------------------------- *)
+
+let test_extend_along () =
+  (* extend the 'a' parser along the strong equivalence 'a' ≅ 'a' ⊗ I *)
+  let target = G.seq (G.chr 'a') G.eps in
+  let e =
+    Q.make ~source:(G.chr 'a') ~target
+      ~fwd:(T.make "pad" (fun t -> P.Pair (t, P.Eps)))
+      ~bwd:(T.make "unpad" (fun t -> fst (P.as_pair t)))
+  in
+  let p = Extend.along e char_a_parser in
+  check_bool "extended parser checks" true (Pd.check p abc ~max_len:3)
+
+(* --- Corollary 4.12: the full pipeline ---------------------------------------- *)
+
+let pipeline_of s = Pl.compile ~alphabet:abc (Rs.parse_exn ~alphabet:abc s)
+
+let test_pipeline_running_example () =
+  let t = pipeline_of "a*b|c" in
+  (* accepted words produce genuine regex parses *)
+  List.iter
+    (fun w ->
+      match Pl.parse t w with
+      | Ok tree ->
+        check_bool (Fmt.str "genuine parse %S" w) true
+          (List.exists (P.equal tree)
+             (E.parses (R.to_grammar t.Pl.regex) w))
+      | Error tree ->
+        Alcotest.(check string) (Fmt.str "trace yield %S" w) w (P.yield tree))
+    (L.words abc ~max_len:4)
+
+let test_pipeline_parser_checks () =
+  List.iter
+    (fun s ->
+      let t = pipeline_of s in
+      check_bool (Fmt.str "%s: full parser check" s) true
+        (Pd.check t.Pl.regex_parser abc ~max_len:3);
+      check_bool (Fmt.str "%s: dfa parser check" s) true
+        (Pd.check t.Pl.dfa_parser abc ~max_len:3);
+      check_bool (Fmt.str "%s: nfa parser check" s) true
+        (Pd.check t.Pl.nfa_parser abc ~max_len:3))
+    [ "a*b|c"; "(a|b)*c?"; "ab|ba"; "()" ]
+
+let test_pipeline_vs_baselines () =
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 20 do
+    let r = R.random ~chars:abc ~size:8 rng in
+    let t = Pl.compile ~alphabet:abc r in
+    let bz = Bz.compile ~alphabet:abc r in
+    List.iter
+      (fun w ->
+        let expected = R.matches r w in
+        if not (Bool.equal (Pl.accepts t w) expected) then
+          Alcotest.failf "pipeline disagrees with derivatives on %s / %S"
+            (R.to_string r) w;
+        if not (Bool.equal (Bz.matches bz w) expected) then
+          Alcotest.failf "brzozowski disagrees on %s / %S" (R.to_string r) w;
+        if not (Bool.equal (Bt.matches r w) expected) then
+          Alcotest.failf "backtracker disagrees on %s / %S" (R.to_string r) w)
+      (L.words abc ~max_len:3)
+  done
+
+let test_pipeline_sizes () =
+  let t = pipeline_of "a*b|c" in
+  check_bool "nfa bigger than dfa here" true (Pl.nfa_states t > 0);
+  check_bool "dfa nonempty" true (Pl.dfa_states t > 0)
+
+
+(* --- cross-engine: pipeline trees vs greedy-derivative trees ----------------- *)
+
+let test_pipeline_vs_greedy_trees () =
+  (* on unambiguous regex/word pairs both engines must return THE parse *)
+  let rng = Random.State.make [| 77 |] in
+  for _ = 1 to 15 do
+    let r = R.random ~chars:abc ~size:7 rng in
+    let t = Pl.compile ~alphabet:abc r in
+    List.iter
+      (fun w ->
+        match E.parses (R.to_grammar r) w with
+        | [ unique ] -> (
+          (match Pl.parse t w with
+           | Ok tree ->
+             if not (P.equal tree unique) then
+               Alcotest.failf "pipeline tree differs from unique parse on %S" w
+           | Error _ -> Alcotest.failf "pipeline rejected unique parse %S" w);
+          match Lambekd_regex.Deriv_parse.parse r w with
+          | Some tree ->
+            if not (P.equal tree unique) then
+              Alcotest.failf "greedy tree differs from unique parse on %S" w
+          | None -> Alcotest.failf "greedy rejected unique parse %S" w)
+        | _ -> ())
+      (L.words abc ~max_len:3)
+  done
+
+let test_unsound_transformer_caught_in_pipeline () =
+  (* failure injection: a corrupted equivalence cannot smuggle a wrong
+     tree past Parser_def.run — the yield check trips *)
+  let t = pipeline_of "ab|c" in
+  let corrupted =
+    Extend.along
+      (Lambekd_grammar.Equivalence.make
+         ~source:(R.to_grammar t.Pl.regex)
+         ~target:(R.to_grammar t.Pl.regex)
+         ~fwd:(T.make "corrupt" (fun _ -> P.Tok 'z'))
+         ~bwd:T.id)
+      t.Pl.regex_parser
+  in
+  match Pd.run corrupted "ab" with
+  | exception T.Yield_violation _ -> ()
+  | exception Pd.Unsound _ -> ()
+  | _ -> Alcotest.fail "expected the corruption to be caught"
+
+let prop_pipeline_agrees =
+  QCheck.Test.make ~name:"pipeline = derivative matcher on random regexes"
+    ~count:25
+    (QCheck.make
+       ~print:(fun r -> R.to_string r)
+       QCheck.Gen.(
+         map
+           (fun n ->
+             let rng = Random.State.make [| n |] in
+             R.random ~chars:abc ~size:7 rng)
+           int))
+    (fun r ->
+      let t = Pl.compile ~alphabet:abc r in
+      List.for_all
+        (fun w -> Bool.equal (Pl.accepts t w) (R.matches r w))
+        (L.words abc ~max_len:3))
+
+let suite =
+  [ ("parser definition checks", `Quick, test_parser_def_checks);
+    ("unsound parser detected", `Quick, test_unsound_detected);
+    ("incomplete parser detected", `Quick, test_incomplete_detected);
+    ("lemma 4.8 extend", `Quick, test_extend_along);
+    ("c4.12 running example", `Quick, test_pipeline_running_example);
+    ("c4.12 parser checks", `Quick, test_pipeline_parser_checks);
+    ("c4.12 vs baselines", `Quick, test_pipeline_vs_baselines);
+    ("pipeline sizes", `Quick, test_pipeline_sizes);
+    ("pipeline vs greedy trees", `Quick, test_pipeline_vs_greedy_trees);
+    ("corrupted transformer caught", `Quick, test_unsound_transformer_caught_in_pipeline);
+    QCheck_alcotest.to_alcotest prop_pipeline_agrees ]

@@ -1,0 +1,332 @@
+(* Tests for regular expressions: smart constructors, derivatives,
+   syntax round trips, and differential testing of the matchers against
+   the Gr-model enumeration (paper §4.1 substrate). *)
+
+module R = Lambekd_regex.Regex
+module Rs = Lambekd_regex.Regex_syntax
+module Bz = Lambekd_regex.Brzozowski
+module An = Lambekd_regex.Antimirov
+module Bt = Lambekd_regex.Backtrack
+module Re = Lambekd_regex.Regex_equiv
+module E = Lambekd_grammar.Enum
+module L = Lambekd_grammar.Language
+
+let abc = [ 'a'; 'b'; 'c' ]
+let check_bool = Alcotest.(check bool)
+
+(* the paper's running example: (a* b) | c *)
+let running = R.alt (R.seq (R.star (R.chr 'a')) (R.chr 'b')) (R.chr 'c')
+
+(* --- smart constructors ------------------------------------------------- *)
+
+let test_smart_constructors () =
+  check_bool "seq empty" true (R.equal (R.seq R.empty (R.chr 'a')) R.empty);
+  check_bool "seq eps" true (R.equal (R.seq R.eps (R.chr 'a')) (R.chr 'a'));
+  check_bool "alt idempotent" true
+    (R.equal (R.alt (R.chr 'a') (R.chr 'a')) (R.chr 'a'));
+  check_bool "alt commutes" true
+    (R.equal (R.alt (R.chr 'a') (R.chr 'b')) (R.alt (R.chr 'b') (R.chr 'a')));
+  check_bool "alt assoc" true
+    (R.equal
+       (R.alt (R.chr 'a') (R.alt (R.chr 'b') (R.chr 'c')))
+       (R.alt (R.alt (R.chr 'a') (R.chr 'b')) (R.chr 'c')));
+  check_bool "alt empty" true (R.equal (R.alt R.empty (R.chr 'a')) (R.chr 'a'));
+  check_bool "star star" true
+    (R.equal (R.star (R.star (R.chr 'a'))) (R.star (R.chr 'a')));
+  check_bool "star empty" true (R.equal (R.star R.empty) R.eps);
+  check_bool "star eps" true (R.equal (R.star R.eps) R.eps)
+
+let test_nullable () =
+  check_bool "eps" true (R.nullable R.eps);
+  check_bool "star" true (R.nullable (R.star (R.chr 'a')));
+  check_bool "chr" false (R.nullable (R.chr 'a'));
+  check_bool "seq" false (R.nullable (R.seq R.eps (R.chr 'a')));
+  check_bool "running not nullable" false (R.nullable running)
+
+let test_chars () =
+  Alcotest.(check (list char)) "chars" [ 'a'; 'b'; 'c' ] (R.chars running)
+
+(* --- derivatives --------------------------------------------------------- *)
+
+let test_derivative () =
+  (* d_a ((a* b)|c) = a* b *)
+  let d = R.derivative 'a' running in
+  check_bool "d_a" true (R.equal d (R.seq (R.star (R.chr 'a')) (R.chr 'b')));
+  check_bool "d_b nullable" true (R.nullable (R.derivative 'b' running));
+  check_bool "d_c nullable" true (R.nullable (R.derivative 'c' running));
+  check_bool "d_z empty" true (R.equal (R.derivative 'z' running) R.empty)
+
+let test_matches () =
+  check_bool "ab" true (R.matches running "ab");
+  check_bool "aaab" true (R.matches running "aaab");
+  check_bool "b" true (R.matches running "b");
+  check_bool "c" true (R.matches running "c");
+  check_bool "ca" false (R.matches running "ca");
+  check_bool "eps" false (R.matches running "")
+
+(* --- to_grammar: regex semantics agree with the Gr model ------------------ *)
+
+let test_to_grammar () =
+  let g = R.to_grammar running in
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "agree on %S" w) true
+        (Bool.equal (R.matches running w) (E.accepts g w)))
+    (L.words abc ~max_len:4)
+
+(* --- concrete syntax ------------------------------------------------------ *)
+
+let test_parse_basic () =
+  let p s = Rs.parse_exn ~alphabet:abc s in
+  check_bool "a*b|c" true (R.equal (p "a*b|c") running);
+  check_bool "parens" true (R.equal (p "(a)(b)") (R.literal "ab"));
+  check_bool "empty regex is eps" true (R.equal (p "") R.eps);
+  check_bool "()" true (R.equal (p "()") R.eps);
+  check_bool "[]" true (R.equal (p "[]") R.empty);
+  check_bool "dot" true (R.equal (p ".") (R.any_of abc));
+  check_bool "plus" true (R.equal (p "a+") (R.plus (R.chr 'a')));
+  check_bool "opt" true (R.equal (p "a?") (R.opt (R.chr 'a')));
+  check_bool "escape" true (R.equal (p "\\*") (R.chr '*'))
+
+let test_parse_errors () =
+  let bad s = match Rs.parse s with Ok _ -> false | Error _ -> true in
+  check_bool "unclosed paren" true (bad "(ab");
+  check_bool "dangling star" true (bad "*a");
+  check_bool "trailing paren" true (bad "ab)");
+  check_bool "dangling escape" true (bad "ab\\");
+  check_bool "lone [" true (bad "[a]")
+
+let test_print_parse_roundtrip () =
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 200 do
+    let r = R.random ~chars:abc ~size:12 rng in
+    let printed = R.to_string r in
+    match Rs.parse ~alphabet:abc printed with
+    | Ok r' ->
+      if not (R.equal r r') then
+        Alcotest.failf "roundtrip failed: %s reparsed as %s" printed
+          (R.to_string r')
+    | Error e ->
+      Alcotest.failf "reparse error on %s: %a" printed Rs.pp_error e
+  done
+
+(* --- Brzozowski automaton -------------------------------------------------- *)
+
+let test_brzozowski_states () =
+  let t = Bz.compile running in
+  check_bool "finite" true (Bz.state_count t <= 8);
+  check_bool "has initial" true (List.mem running (Bz.states t))
+
+let test_brzozowski_matches () =
+  let t = Bz.compile running in
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "agree on %S" w) true
+        (Bool.equal (Bz.matches t w) (R.matches running w)))
+    (L.words abc ~max_len:5)
+
+(* --- Antimirov -------------------------------------------------------------- *)
+
+let test_antimirov_matches () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "agree on %S" w) true
+        (Bool.equal (An.matches running w) (R.matches running w)))
+    (L.words abc ~max_len:5)
+
+let test_antimirov_reachable_bound () =
+  (* Antimirov: at most size+1 reachable partial derivatives *)
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let r = R.random ~chars:abc ~size:10 rng in
+    let n = R.Set.cardinal (An.reachable r) in
+    if n > R.size r + 1 then
+      Alcotest.failf "too many partial derivatives for %s: %d > %d"
+        (R.to_string r) n (R.size r + 1)
+  done
+
+(* --- backtracking ------------------------------------------------------------ *)
+
+let test_backtrack_matches () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "agree on %S" w) true
+        (Bool.equal (Bt.matches running w) (R.matches running w)))
+    (L.words abc ~max_len:5)
+
+let test_backtrack_fuel () =
+  (* ((aa|a)* b) against a^n: exponential for the backtracker *)
+  let patho =
+    R.seq (R.star (R.alt (R.seq (R.chr 'a') (R.chr 'a')) (R.chr 'a')))
+      (R.chr 'b')
+  in
+  check_bool "fuel exhaustion returns None" true
+    (Bt.matches_fuel ~fuel:500 patho (String.make 40 'a') = None);
+  check_bool "enough fuel gives answer" true
+    (Bt.matches_fuel ~fuel:1_000_000 patho "aab" = Some true)
+
+(* --- equivalence -------------------------------------------------------------- *)
+
+let test_equiv () =
+  let p s = Rs.parse_exn ~alphabet:abc s in
+  check_bool "(ab)*a = a(ba)*" true (Re.equivalent (p "(ab)*a") (p "a(ba)*"));
+  check_bool "a* <> a+" false (Re.equivalent (p "a*") (p "a+"));
+  (match Re.counterexample (p "a*") (p "a+") with
+   | Some "" -> ()
+   | w -> Alcotest.failf "expected \"\", got %a" Fmt.(option string) w);
+  check_bool "a+ in a*" true (Re.subset (p "a+") (p "a*"));
+  check_bool "a* not in a+" false (Re.subset (p "a*") (p "a+"));
+  check_bool "denesting" true (Re.equivalent (p "(a|b)*") (p "(a*b)*a*"))
+
+
+(* --- greedy derivative parsing (Frisch-Cardelli, paper future work) --------- *)
+
+module Dp = Lambekd_regex.Deriv_parse
+
+let test_deriv_parse_basic () =
+  (match Dp.parse running "aab" with
+   | Some tree ->
+     Alcotest.(check string) "yield" "aab" (Lambekd_grammar.Ptree.yield tree);
+     check_bool "genuine parse" true
+       (List.exists
+          (Lambekd_grammar.Ptree.equal tree)
+          (E.parses (R.to_grammar running) "aab"))
+   | None -> Alcotest.fail "expected a parse");
+  check_bool "reject" true (Dp.parse running "ca" = None)
+
+let test_deriv_parse_greedy_alt () =
+  (* both summands match "a": greedy takes the left *)
+  let r = R.alt (R.seq (R.chr 'a') (R.star (R.chr 'a'))) (R.star (R.chr 'a')) in
+  (* smart alt sorts summands: find which one 'a a*' became *)
+  match Dp.parse r "a" with
+  | Some (Lambekd_grammar.Ptree.Inj (tag, _)) ->
+    (* the leftmost summand of the *normalized* alternation must be chosen *)
+    let leftmost =
+      match r with
+      | R.Alt (first, _) ->
+        let g = R.to_grammar first in
+        E.accepts g "a"
+      | _ -> false
+    in
+    check_bool "left summand matches" true leftmost;
+    check_bool "greedy picked inl" true
+      (Lambekd_grammar.Index.equal tag Lambekd_grammar.Grammar.inl_tag)
+  | _ -> Alcotest.fail "expected an Inj parse"
+
+let test_deriv_parse_greedy_star () =
+  (* a* a* on "a": greedy gives the character to the first star *)
+  let r = R.seq (R.star (R.chr 'a')) (R.star (R.chr 'a')) in
+  match Dp.parse r "a" with
+  | Some (Lambekd_grammar.Ptree.Pair (left, right)) ->
+    Alcotest.(check string) "left consumed" "a"
+      (Lambekd_grammar.Ptree.yield left);
+    Alcotest.(check string) "right empty" ""
+      (Lambekd_grammar.Ptree.yield right)
+  | _ -> Alcotest.fail "expected a Pair parse"
+
+(* --- qcheck: differential testing of all engines ------------------------------- *)
+
+let arb_regex =
+  QCheck.make
+    ~print:(fun r -> R.to_string r)
+    QCheck.Gen.(
+      map
+        (fun n ->
+          let rng = Random.State.make [| n |] in
+          R.random ~chars:abc ~size:10 rng)
+        int)
+
+let words3 = L.words abc ~max_len:3
+
+let prop_deriv_parse_agrees =
+  QCheck.Test.make ~name:"deriv parse: acceptance = matches, tree genuine"
+    ~count:50 arb_regex (fun r ->
+      List.for_all
+        (fun w ->
+          match Dp.parse r w with
+          | Some tree ->
+            R.matches r w
+            && String.equal (Lambekd_grammar.Ptree.yield tree) w
+            && List.exists
+                 (Lambekd_grammar.Ptree.equal tree)
+                 (E.parses (R.to_grammar r) w)
+          | None -> not (R.matches r w))
+        words3)
+
+let prop_deriv_parse_unambiguous_unique =
+  QCheck.Test.make
+    ~name:"deriv parse = the unique parse on unambiguous regex/word pairs"
+    ~count:50 arb_regex (fun r ->
+      List.for_all
+        (fun w ->
+          match E.parses (R.to_grammar r) w with
+          | [ unique ] -> (
+            match Dp.parse r w with
+            | Some tree -> Lambekd_grammar.Ptree.equal tree unique
+            | None -> false)
+          | _ -> true)
+        words3)
+
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"derivative = brzozowski-dfa = antimirov = backtrack"
+    ~count:60 arb_regex (fun r ->
+      let t = Bz.compile r in
+      List.for_all
+        (fun w ->
+          let reference = R.matches r w in
+          Bool.equal (Bz.matches t w) reference
+          && Bool.equal (An.matches r w) reference
+          && Bool.equal (Bt.matches r w) reference)
+        words3)
+
+let prop_grammar_agrees =
+  QCheck.Test.make ~name:"Gr-model semantics = derivative matcher" ~count:40
+    arb_regex (fun r ->
+      let g = R.to_grammar r in
+      List.for_all
+        (fun w -> Bool.equal (E.accepts g w) (R.matches r w))
+        words3)
+
+let prop_derivative_sound =
+  QCheck.Test.make ~name:"w in d_c r iff cw in r" ~count:60
+    QCheck.(pair arb_regex (oneofl abc))
+    (fun (r, c) ->
+      List.for_all
+        (fun w ->
+          Bool.equal
+            (R.matches (R.derivative c r) w)
+            (R.matches r (String.make 1 c ^ w)))
+        words3)
+
+let prop_equiv_reflexive =
+  QCheck.Test.make ~name:"equivalence is reflexive on random regexes" ~count:60
+    arb_regex (fun r -> Re.equivalent r r)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_engines_agree; prop_grammar_agrees; prop_derivative_sound;
+      prop_equiv_reflexive; prop_deriv_parse_agrees;
+      prop_deriv_parse_unambiguous_unique ]
+
+let suite =
+  [ ("smart constructors", `Quick, test_smart_constructors);
+    ("nullable", `Quick, test_nullable);
+    ("chars", `Quick, test_chars);
+    ("derivative", `Quick, test_derivative);
+    ("derivative matcher", `Quick, test_matches);
+    ("to_grammar agrees", `Quick, test_to_grammar);
+    ("concrete syntax", `Quick, test_parse_basic);
+    ("syntax errors", `Quick, test_parse_errors);
+    ("print/parse roundtrip", `Quick, test_print_parse_roundtrip);
+    ("brzozowski state count", `Quick, test_brzozowski_states);
+    ("brzozowski matcher", `Quick, test_brzozowski_matches);
+    ("antimirov matcher", `Quick, test_antimirov_matches);
+    ("antimirov state bound", `Quick, test_antimirov_reachable_bound);
+    ("backtracking matcher", `Quick, test_backtrack_matches);
+    ("backtracking fuel", `Quick, test_backtrack_fuel);
+    ("regex equivalence", `Quick, test_equiv);
+    ("deriv parse basic", `Quick, test_deriv_parse_basic);
+    ("deriv parse greedy alt", `Quick, test_deriv_parse_greedy_alt);
+    ("deriv parse greedy star", `Quick, test_deriv_parse_greedy_star) ]
+  @ qcheck_tests

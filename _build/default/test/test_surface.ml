@@ -1,0 +1,420 @@
+(* Tests for the surface syntax: lexer, parser, elaborator, and
+   end-to-end checking of paper examples written in concrete syntax
+   (the paper's future-work "type checker for a syntax closer to the
+   presentation in this paper"). *)
+
+module Lexer = Lambekd_surface.Lexer
+module Parser = Lambekd_surface.Parser
+module Elab = Lambekd_surface.Elab
+module Ast = Lambekd_surface.Ast
+module Token = Lambekd_surface.Token
+module S = Lambekd_core.Syntax
+module Sem = Lambekd_core.Semantics
+module E = Lambekd_grammar.Enum
+module P = Lambekd_grammar.Ptree
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- lexer ---------------------------------------------------------------- *)
+
+let tokens_of s =
+  match Lexer.tokenize s with
+  | Ok ts -> List.map (fun t -> t.Token.token) ts
+  | Error e -> Alcotest.failf "lex error: %a" Lexer.pp_error e
+
+let test_lexer_basic () =
+  Alcotest.(check int) "count" 8
+    (List.length (tokens_of "def f : 'a' -o I ;"));
+  check_bool "lolli" true (List.mem Token.LOLLI (tokens_of "-o"));
+  check_bool "rlolli" true (List.mem Token.RLOLLI (tokens_of "o-"));
+  check_bool "arrow" true (List.mem Token.ARROW (tokens_of "->"));
+  check_bool "turnstile" true (List.mem Token.TURNSTILE (tokens_of "|-"));
+  check_bool "bar" true (List.mem Token.BAR (tokens_of "|"));
+  check_bool "escape" true (List.mem (Token.CHAR '\n') (tokens_of "'\\n'"))
+
+let test_lexer_comments () =
+  Alcotest.(check int) "comment stripped" 2
+    (List.length (tokens_of "x -- everything ignored\ny" ) - 1)
+
+let test_lexer_errors () =
+  (match Lexer.tokenize "'a" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unterminated char");
+  match Lexer.tokenize "%" with
+  | Error e -> check_bool "position" true (e.Lexer.line = 1 && e.Lexer.col = 1)
+  | Ok _ -> Alcotest.fail "bad char"
+
+(* --- parser ---------------------------------------------------------------- *)
+
+let parse_ty_exn s =
+  match Parser.parse_ty s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let test_parser_ty_precedence () =
+  (* * binds tighter than & binds tighter than + binds tighter than -o *)
+  (match parse_ty_exn "'a' * 'b' + 'c' -o I" with
+   | Ast.TLolli (Ast.TSum (Ast.TTensor _, Ast.TChar ('c', _)), Ast.TOne _) -> ()
+   | _ -> Alcotest.fail "wrong precedence");
+  (match parse_ty_exn "'a' + 'b' & 'c'" with
+   | Ast.TSum (Ast.TChar ('a', _), Ast.TWith _) -> ()
+   | _ -> Alcotest.fail "wrong +/& precedence");
+  match parse_ty_exn "rec X. I + 'a' * X" with
+  | Ast.TRec ("X", Ast.TSum (Ast.TOne _, Ast.TTensor _), _) -> ()
+  | _ -> Alcotest.fail "wrong rec parse"
+
+let test_parser_term () =
+  (match Parser.parse_term "\\p. let (a, b) = p in inl (a, b)" with
+   | Ok (Ast.Lam ("p", None, Ast.LetPair ("a", "b", _, Ast.InL _, _), _)) -> ()
+   | Ok _ -> Alcotest.fail "wrong shape"
+   | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e);
+  match Parser.parse_term "case x { inl a -> a | inr b -> b }" with
+  | Ok (Ast.CaseSum (Ast.Var ("x", _), "a", _, "b", _, _)) -> ()
+  | Ok _ -> Alcotest.fail "wrong case shape"
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let test_parser_errors () =
+  let bad s =
+    match Parser.parse_program s with Error _ -> true | Ok _ -> false
+  in
+  check_bool "missing semi" true (bad "type T = I");
+  check_bool "unclosed paren" true (bad "def f : (I = () ;");
+  check_bool "trailing" true (bad "type T = I ; garbage")
+
+(* --- elaboration + end-to-end checking ---------------------------------------- *)
+
+let run s =
+  match Elab.run_string s with
+  | Ok (env, outcomes) -> (env, outcomes)
+  | Error e -> Alcotest.failf "program failed: %a" Elab.pp_error e
+
+let fails s =
+  match Elab.run_string s with Error _ -> true | Ok _ -> false
+
+(* Fig 1 in concrete syntax *)
+let fig1_src =
+  {|
+    type AB = 'a' * 'b' ;
+    type T = AB + 'c' ;
+    def f : AB -o T = \p. let (a, b) = p in inl (a, b) ;
+    check [ a : 'a', b : 'b' ] |- inl (a, b) : T ;
+  |}
+
+let test_fig1_surface () =
+  let _, outcomes = run fig1_src in
+  check_int "outcomes" 4 (List.length outcomes);
+  check_bool "check passed" true (List.mem Elab.Check_passed outcomes)
+
+(* the three §2 substructural rejections, in concrete syntax *)
+let test_substructural_surface () =
+  check_bool "weakening" true
+    (fails "check [ a : 'a', b : 'b' ] |- a : 'a' ;");
+  check_bool "contraction" true
+    (fails "check [ a : 'a' ] |- (a, a) : 'a' * 'a' ;");
+  check_bool "exchange" true
+    (fails "check [ a : 'a', b : 'b' ] |- (b, a) : 'b' * 'a' ;");
+  check_bool "ordered ok" false
+    (fails "check [ a : 'a', b : 'b' ] |- (a, b) : 'a' * 'b' ;")
+
+(* Kleene star via rec, with constructors as defs (Fig 2/3) *)
+let star_src =
+  {|
+    type AStar = rec X. I + 'a' * X ;
+    def anil : AStar = roll inl () ;
+    def acons : 'a' -o AStar -o AStar =
+      \c. \(rest : AStar). roll inr (c, rest) ;
+    check [ a : 'a', b : 'b' ] |- (acons a anil, b) : AStar * 'b' ;
+  |}
+
+let test_star_surface () =
+  let env, outcomes = run star_src in
+  check_int "outcomes" 4 (List.length outcomes);
+  (* the declared type denotes a* *)
+  match List.assoc_opt "AStar" env.Elab.types with
+  | None -> Alcotest.fail "AStar not declared"
+  | Some t ->
+    let g = Sem.grammar_of_ltype t in
+    check_bool "eps" true (E.accepts g "");
+    check_bool "aaa" true (E.accepts g "aaa");
+    check_bool "ab" false (E.accepts g "ab")
+
+(* a surface Dyck grammar *)
+let dyck_src =
+  {|
+    type Dyck = rec D. I + '(' * D * ')' * D ;
+    def dnil : Dyck = roll inl () ;
+    def wrap : '(' -o Dyck -o ')' -o Dyck -o Dyck =
+      \o. \(d1 : Dyck). \c. \(d2 : Dyck). roll inr (o, (d1, (c, d2))) ;
+  |}
+
+let test_dyck_surface () =
+  let env, _ = run dyck_src in
+  match List.assoc_opt "Dyck" env.Elab.types with
+  | None -> Alcotest.fail "Dyck not declared"
+  | Some t ->
+    let g = Sem.grammar_of_ltype t in
+    check_bool "eps" true (E.accepts g "");
+    check_bool "(())()" true (E.accepts g "(())()");
+    check_bool "(()" false (E.accepts g "(()");
+    (* run the constructors *)
+    let defs = env.Elab.defs in
+    let dnil = Sem.run_closed defs (S.Global "dnil") in
+    check_bool "dnil is a parse of eps" true
+      (List.exists (P.equal dnil) (E.parses g ""))
+
+let test_positivity_rejected () =
+  check_bool "X under arrow" true
+    (fails "type Bad = rec X. (X -o I) + 'a' ;")
+
+let test_case_elaboration () =
+  let src =
+    {|
+      def swap : 'a' + 'b' -o 'b' + 'a' =
+        \x. case x { inl a -> inr a | inr b -> inl b } ;
+    |}
+  in
+  let env, _ = run src in
+  let defs = env.Elab.defs in
+  let out =
+    Sem.apply_closed defs (S.Global "swap")
+      (P.Inj (Lambekd_grammar.Index.B false, P.Tok 'a'))
+  in
+  match out with
+  | P.Inj (Lambekd_grammar.Index.B true, P.Tok 'a') -> ()
+  | _ -> Alcotest.failf "unexpected %a" P.pp out
+
+let test_duplicate_type_rejected () =
+  check_bool "dup" true (fails "type T = I ; type T = I ;")
+
+let test_unannotated_lambda_rejected () =
+  (* a lambda in argument position has no expected type *)
+  check_bool "needs annotation" true
+    (fails "def g : I = (\\x. x) () ;")
+
+let test_globals_are_reusable () =
+  (* ↑-typed globals may be used several times (non-linearly) *)
+  let src =
+    {|
+      type AStar = rec X. I + 'a' * X ;
+      def anil : AStar = roll inl () ;
+      def two : AStar * AStar = (anil, anil) ;
+    |}
+  in
+  let _, outcomes = run src in
+  check_int "outcomes" 3 (List.length outcomes)
+
+
+let test_rfun_surface () =
+  (* the left-arrow function type: argument on the left *)
+  let src =
+    {|
+      def pairup : 'a' * 'b' o- 'a' = \x. (x, b) ;
+    |}
+  in
+  (* free b: must fail *)
+  check_bool "free variable rejected" true (fails src);
+  (* a real o- use: check inside a context *)
+  let src2 =
+    {|
+      check [ a : 'a' ] |- a ((\x. x) : 'a' -o 'a') : 'a' ;
+    |}
+  in
+  (* application syntax is left-assoc AppL; o- application is not in the
+     surface grammar, so this is a -o application with the function in
+     argument position — rejected (functions must synthesize) *)
+  ignore src2;
+  let src3 =
+    {|
+      type F = ('a' * 'b') o- 'a' ;
+      def g : 'b' -o F = \b. \x. (x, b) ;
+    |}
+  in
+  match Elab.run_string src3 with
+  | Ok (_, outcomes) -> check_int "o- def checked" 2 (List.length outcomes)
+  | Error e -> Alcotest.failf "o- def failed: %a" Elab.pp_error e
+
+let test_annotation_propagation () =
+  (* annotated subterm lets a lambda appear in argument position *)
+  let src =
+    {|
+      def apply_id : 'a' -o 'a' =
+        \x. ((\y. y) : 'a' -o 'a') x ;
+    |}
+  in
+  match Elab.run_string src with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "annotated lambda failed: %a" Elab.pp_error e
+
+let test_nested_case () =
+  let src =
+    {|
+      type Two = I + I ;
+      def nested : Two + Two -o Two =
+        \x. case x { inl t -> case t { inl u -> inl u | inr v -> inr v }
+                   | inr t -> t } ;
+    |}
+  in
+  match Elab.run_string src with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "nested case failed: %a" Elab.pp_error e
+
+
+(* --- pretty-printer round trips ----------------------------------------------- *)
+
+module Pretty = Lambekd_surface.Pretty
+
+let rec ty_eq (a : Ast.ty) (b : Ast.ty) =
+  match a, b with
+  | Ast.TChar (c, _), Ast.TChar (d, _) -> Char.equal c d
+  | Ast.TOne _, Ast.TOne _ | Ast.TTop _, Ast.TTop _ -> true
+  | Ast.TName (x, _), Ast.TName (y, _) -> String.equal x y
+  | Ast.TTensor (x, y), Ast.TTensor (x', y')
+  | Ast.TSum (x, y), Ast.TSum (x', y')
+  | Ast.TWith (x, y), Ast.TWith (x', y')
+  | Ast.TLolli (x, y), Ast.TLolli (x', y')
+  | Ast.TRlolli (x, y), Ast.TRlolli (x', y') ->
+    ty_eq x x' && ty_eq y y'
+  | Ast.TRec (x, b1, _), Ast.TRec (y, b2, _) ->
+    String.equal x y && ty_eq b1 b2
+  | _, _ -> false
+
+let rec tm_eq (a : Ast.tm) (b : Ast.tm) =
+  match a, b with
+  | Ast.Var (x, _), Ast.Var (y, _) -> String.equal x y
+  | Ast.Unit _, Ast.Unit _ -> true
+  | Ast.LetUnit (x, y, _), Ast.LetUnit (x', y', _) -> tm_eq x x' && tm_eq y y'
+  | Ast.Pair (x, y, _), Ast.Pair (x', y', _) -> tm_eq x x' && tm_eq y y'
+  | Ast.LetPair (a1, b1, x, y, _), Ast.LetPair (a2, b2, x', y', _) ->
+    String.equal a1 a2 && String.equal b1 b2 && tm_eq x x' && tm_eq y y'
+  | Ast.Lam (x, None, b1, _), Ast.Lam (y, None, b2, _) ->
+    String.equal x y && tm_eq b1 b2
+  | Ast.Lam (x, Some t1, b1, _), Ast.Lam (y, Some t2, b2, _) ->
+    String.equal x y && ty_eq t1 t2 && tm_eq b1 b2
+  | Ast.App (x, y, _), Ast.App (x', y', _) -> tm_eq x x' && tm_eq y y'
+  | Ast.InL (x, _), Ast.InL (y, _) | Ast.InR (x, _), Ast.InR (y, _)
+  | Ast.RollTm (x, _), Ast.RollTm (y, _) ->
+    tm_eq x y
+  | Ast.CaseSum (s, x, l, y, r, _), Ast.CaseSum (s', x', l', y', r', _) ->
+    tm_eq s s' && String.equal x x' && tm_eq l l' && String.equal y y'
+    && tm_eq r r'
+  | Ast.Annot (x, t1, _), Ast.Annot (y, t2, _) -> tm_eq x y && ty_eq t1 t2
+  | Ast.WithPair (x, y, _), Ast.WithPair (x', y', _) -> tm_eq x x' && tm_eq y y'
+  | Ast.Proj (x, s1, _), Ast.Proj (y, s2, _) -> tm_eq x y && Bool.equal s1 s2
+  | _, _ -> false
+
+let test_pretty_roundtrip_ty () =
+  List.iter
+    (fun src ->
+      let t = parse_ty_exn src in
+      let printed = Pretty.ty_to_string t in
+      match Parser.parse_ty printed with
+      | Ok t' ->
+        check_bool (Fmt.str "ty roundtrip %s -> %s" src printed) true
+          (ty_eq t t')
+      | Error e ->
+        Alcotest.failf "reparse of %s failed: %a" printed Parser.pp_error e)
+    [ "'a' * 'b' + 'c' -o I"; "rec X. I + 'a' * X"; "('a' -o I) o- Top";
+      "'a' & 'b' + 'c' * I"; "'\\n'" ]
+
+let test_pretty_roundtrip_tm () =
+  List.iter
+    (fun src ->
+      match Parser.parse_term src with
+      | Error e -> Alcotest.failf "parse of %s failed: %a" src Parser.pp_error e
+      | Ok t -> (
+        let printed = Pretty.tm_to_string t in
+        match Parser.parse_term printed with
+        | Ok t' ->
+          check_bool (Fmt.str "tm roundtrip %s -> %s" src printed) true
+            (tm_eq t t')
+        | Error e ->
+          Alcotest.failf "reparse of %s failed: %a" printed Parser.pp_error e))
+    [ "\\p. let (a, b) = p in inl (a, b)";
+      "case x { inl a -> inr a | inr b -> inl b }";
+      "roll inr (c, rest)"; "f (\\x. x) y";
+      "let () = u in (v : I)"; "f inl x" ]
+
+let test_pretty_roundtrip_program () =
+  match Parser.parse_program fig1_src with
+  | Error e -> Alcotest.failf "parse failed: %a" Parser.pp_error e
+  | Ok program -> (
+    let printed = Pretty.program_to_string program in
+    match Parser.parse_program printed with
+    | Ok program' ->
+      check_int "same length" (List.length program) (List.length program');
+      (* and the reprinted program still checks *)
+      (match Elab.run_string printed with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "reprinted program fails: %a" Elab.pp_error e)
+    | Error e ->
+      Alcotest.failf "reparse failed: %a@.%s" Parser.pp_error e printed)
+
+
+let test_with_pairs () =
+  (* additive pairs: the lookahead style of §4.2 in concrete syntax *)
+  let src =
+    {|
+      type AB = 'a' & 'b' ;
+      def dup : 'a' & 'a' o- 'a' = \x. <x, x> ;
+      def first : ('a' & 'b') -o 'a' = \p. p.fst ;
+    |}
+  in
+  (match Elab.run_string src with
+   | Ok (env, _) ->
+     (* & shares the context: <x, x> uses x in both components — legal *)
+     let defs = env.Elab.defs in
+     let out =
+       Sem.apply_closed defs (S.Global "dup") (P.Tok 'a')
+     in
+     (match out with
+      | P.Tuple [ (_, P.Tok 'a'); (_, P.Tok 'a') ] -> ()
+      | t -> Alcotest.failf "unexpected dup result %a" P.pp t);
+     let proj =
+       Sem.apply_closed defs (S.Global "first")
+         (P.Tuple
+            [ (Lambekd_grammar.Index.B false, P.Tok 'a');
+              (Lambekd_grammar.Index.B true, P.Tok 'a') ])
+     in
+     (match proj with
+      | P.Tok 'a' -> ()
+      | t -> Alcotest.failf "unexpected proj result %a" P.pp t)
+   | Error e -> Alcotest.failf "with-pairs failed: %a" Elab.pp_error e);
+  (* projections must respect the component types *)
+  check_bool "wrong projection type rejected" true
+    (fails
+       "def bad : ('a' & 'b') -o 'b' = \\p. p.fst ;")
+
+let test_with_pair_roundtrip () =
+  match Parser.parse_term "<x, y>.fst" with
+  | Ok t -> (
+    let printed = Pretty.tm_to_string t in
+    match Parser.parse_term printed with
+    | Ok t' -> check_bool (Fmt.str "roundtrip %s" printed) true (tm_eq t t')
+    | Error e -> Alcotest.failf "reparse failed: %a" Parser.pp_error e)
+  | Error e -> Alcotest.failf "parse failed: %a" Parser.pp_error e
+
+let suite =
+  [ ("lexer basics", `Quick, test_lexer_basic);
+    ("lexer comments", `Quick, test_lexer_comments);
+    ("lexer errors", `Quick, test_lexer_errors);
+    ("type precedence", `Quick, test_parser_ty_precedence);
+    ("term parsing", `Quick, test_parser_term);
+    ("parser errors", `Quick, test_parser_errors);
+    ("fig1 end-to-end", `Quick, test_fig1_surface);
+    ("substructural rejections", `Quick, test_substructural_surface);
+    ("kleene star via rec", `Quick, test_star_surface);
+    ("dyck via rec", `Quick, test_dyck_surface);
+    ("positivity rejected", `Quick, test_positivity_rejected);
+    ("case elaboration", `Quick, test_case_elaboration);
+    ("duplicate type rejected", `Quick, test_duplicate_type_rejected);
+    ("unannotated lambda rejected", `Quick, test_unannotated_lambda_rejected);
+    ("globals reusable", `Quick, test_globals_are_reusable);
+    ("rfun in surface", `Quick, test_rfun_surface);
+    ("annotation propagation", `Quick, test_annotation_propagation);
+    ("nested case", `Quick, test_nested_case);
+    ("pretty roundtrip: types", `Quick, test_pretty_roundtrip_ty);
+    ("pretty roundtrip: terms", `Quick, test_pretty_roundtrip_tm);
+    ("pretty roundtrip: program", `Quick, test_pretty_roundtrip_program);
+    ("with-pairs", `Quick, test_with_pairs);
+    ("with-pair roundtrip", `Quick, test_with_pair_roundtrip) ]

@@ -1,0 +1,130 @@
+(* Tests for the Turing machine substrate and the reification
+   construction (Construction 4.15). *)
+
+module M = Lambekd_turing.Machine
+module Reify = Lambekd_turing.Reify
+module E = Lambekd_grammar.Enum
+module P = Lambekd_grammar.Ptree
+module L = Lambekd_grammar.Language
+module A = Lambekd_grammar.Ambiguity
+
+let check_bool = Alcotest.(check bool)
+
+let anbncn_member w =
+  let n = String.length w / 3 in
+  String.length w mod 3 = 0
+  && String.equal w (String.make n 'a' ^ String.make n 'b' ^ String.make n 'c')
+
+let test_anbncn_machine () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "%S" w) (anbncn_member w) (M.accepts M.anbncn w))
+    (L.words [ 'a'; 'b'; 'c' ] ~max_len:6);
+  check_bool "a^4b^4c^4" true (M.accepts M.anbncn "aaaabbbbcccc");
+  check_bool "a^4b^4c^3" false (M.accepts M.anbncn "aaaabbbbccc")
+
+let test_unary_add_machine () =
+  List.iter
+    (fun (w, expected) ->
+      check_bool (Fmt.str "%S" w) expected (M.accepts M.unary_add w))
+    [ ("+=", true); ("1+=1", true); ("+1=1", true); ("1+1=11", true);
+      ("11+111=11111", true); ("1+1=1", false); ("1+1=111", false);
+      ("11=11", false); ("1+1", false); ("", false) ]
+
+let test_fuel () =
+  (* a machine that loops forever *)
+  let loop =
+    M.make ~name:"loop" ~start:"q"
+      ~rules:[ (("q", M.blank), ("q", M.blank, M.Right)) ]
+      ()
+  in
+  check_bool "out of fuel" true (M.run ~fuel:100 loop "" = M.Out_of_fuel);
+  check_bool "not accepted" false (M.accepts ~fuel:100 loop "");
+  check_bool "steps capped" true (M.steps ~fuel:100 loop "" = 100)
+
+let test_duplicate_rule () =
+  match
+    M.make ~name:"dup" ~start:"q"
+      ~rules:
+        [ (("q", 'a'), ("q", 'a', M.Right)); (("q", 'a'), ("q", 'b', M.Left)) ]
+      ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate-rule error"
+
+(* --- Construction 4.15 -------------------------------------------------------- *)
+
+let reified = Reify.of_machine M.anbncn
+
+let test_reify_language () =
+  List.iter
+    (fun w ->
+      check_bool (Fmt.str "%S" w) (anbncn_member w) (E.accepts reified w))
+    (L.words [ 'a'; 'b'; 'c' ] ~max_len:6)
+
+let test_reify_parse_shape () =
+  (* the parse of w is σ w (σ proof ⌜w⌝), with computable yield w *)
+  match E.parses reified "abc" with
+  | [ (P.Inj (Lambekd_grammar.Index.S "abc", P.Inj (Lambekd_grammar.Index.U, lit)) as t) ] ->
+    Alcotest.(check string) "yield" "abc" (P.yield t);
+    check_bool "literal payload" true (P.equal lit (P.literal "abc"))
+  | ts -> Alcotest.failf "unexpected parses: %a" Fmt.(list P.pp) ts
+
+let test_reify_unambiguous () =
+  check_bool "deterministic predicate reifies unambiguously" true
+    (A.unambiguous_upto reified [ 'a'; 'b'; 'c' ] ~max_len:5)
+
+let test_reify_beyond_cfg () =
+  (* sanity: the language distinguishes counts that any single counter
+     automaton or CFG test in this repo would conflate *)
+  check_bool "abc in" true (E.accepts reified "abc");
+  check_bool "aabbcc in" true (E.accepts reified "aabbcc");
+  check_bool "aabbc out" false (E.accepts reified "aabbc");
+  check_bool "abcabc out" false (E.accepts reified "abcabc")
+
+let test_reify_arbitrary_predicate () =
+  (* Reify is not tied to machines: any OCaml predicate works *)
+  let squares = Reify.reify "squares" (fun w ->
+      let n = String.length w in
+      let r = int_of_float (sqrt (float_of_int n)) in
+      r * r = n && String.for_all (fun c -> c = 'a') w)
+  in
+  check_bool "len 0" true (E.accepts squares "");
+  check_bool "len 1" true (E.accepts squares "a");
+  check_bool "len 2" false (E.accepts squares "aa");
+  check_bool "len 4" true (E.accepts squares "aaaa");
+  check_bool "len 4 wrong char" false (E.accepts squares "aaab")
+
+let prop_reify_matches_machine =
+  QCheck.Test.make ~name:"reified grammar = machine acceptance" ~count:100
+    (QCheck.make
+       ~print:(fun s -> s)
+       QCheck.Gen.(
+         map
+           (fun cs -> String.concat "" (List.map (String.make 1) cs))
+           (list_size (int_bound 9) (oneofl [ 'a'; 'b'; 'c' ]))))
+    (fun w -> Bool.equal (E.accepts reified w) (M.accepts M.anbncn w))
+
+
+let prop_unary_add_correct =
+  QCheck.Test.make ~name:"unary_add accepts exactly i+j=k with k=i+j"
+    ~count:100
+    QCheck.(triple (int_bound 6) (int_bound 6) (int_bound 12))
+    (fun (i, j, k) ->
+      let w =
+        String.make i '1' ^ "+" ^ String.make j '1' ^ "=" ^ String.make k '1'
+      in
+      Bool.equal (M.accepts M.unary_add w) (i + j = k))
+
+let suite =
+  [ ("a^n b^n c^n machine", `Quick, test_anbncn_machine);
+    ("unary addition machine", `Quick, test_unary_add_machine);
+    ("fuel handling", `Quick, test_fuel);
+    ("duplicate rule rejected", `Quick, test_duplicate_rule);
+    ("c4.15 reified language", `Quick, test_reify_language);
+    ("c4.15 parse shape", `Quick, test_reify_parse_shape);
+    ("c4.15 unambiguous", `Quick, test_reify_unambiguous);
+    ("c4.15 beyond CFG", `Quick, test_reify_beyond_cfg);
+    ("reify arbitrary predicate", `Quick, test_reify_arbitrary_predicate);
+    QCheck_alcotest.to_alcotest prop_reify_matches_machine;
+    QCheck_alcotest.to_alcotest prop_unary_add_correct ]
