@@ -35,26 +35,41 @@ module M = Lambekd_turing.Machine
 module Pl = Lambekd_parsing.Pipeline
 module Core = Lambekd_core
 module Elab = Lambekd_surface.Elab
+module Clock = Lambekd_telemetry.Clock
+module Ev = Lambekd_telemetry.Event
+module Sink = Lambekd_telemetry.Sink
 
 let abc = [ 'a'; 'b'; 'c' ]
 
-(* --- timing helpers ----------------------------------------------------------- *)
+(* --- timing helpers (shared with the telemetry runtime) ------------------------ *)
 
-let now_ns () = Int64.to_float (Monotonic_clock.now ())
+let now_ns = Clock.now_ns
+let time_ns f = Clock.time_ns f
 
-(* run [f] repeatedly until ~50ms elapsed; report ns per call *)
-let time_ns f =
-  (* warmup *)
-  ignore (Sys.opaque_identity (f ()));
-  let t0 = now_ns () in
-  let iters = ref 0 in
-  let elapsed = ref 0.0 in
-  while !elapsed < 5e7 && !iters < 1_000_000 do
-    ignore (Sys.opaque_identity (f ()));
-    incr iters;
-    elapsed := now_ns () -. t0
-  done;
-  !elapsed /. float_of_int !iters
+(* --- machine-readable output ---------------------------------------------------
+
+   Alongside the human tables, every measurement row is appended as one
+   JSON object to a JSON-lines file so successive runs build a perf
+   trajectory (BENCH_*.json).  Destination: [--json FILE] or
+   $LAMBEKD_BENCH_JSON, default [BENCH_RESULTS.jsonl] in the cwd. *)
+
+let json_path =
+  let rec from_argv = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> from_argv rest
+    | [] -> None
+  in
+  match from_argv (Array.to_list Sys.argv) with
+  | Some path -> path
+  | None -> (
+    match Sys.getenv_opt "LAMBEKD_BENCH_JSON" with
+    | Some path -> path
+    | None -> "BENCH_RESULTS.jsonl")
+
+let json_sink = ref Sink.null
+
+let json ~section fields =
+  !json_sink.Sink.emit (Ev.Point { name = section; fields })
 
 let header title = Fmt.pr "@.== %s ==@." title
 
@@ -84,6 +99,10 @@ let bench_thm49 () =
     (fun len ->
       let input = String.init len (fun i -> if i mod 3 = 0 then 'b' else 'a') in
       let ns = time_ns (fun () -> Dauto.parse even_a input) in
+      json ~section:"thm49_dfa_trace_linear"
+        [ ("len", Ev.Int len);
+          ("ns", Ev.Float ns);
+          ("ns_per_char", Ev.Float (ns /. float_of_int len)) ];
       row
         [ cell "%8d" len; pp_ns ns; cell "%11.1f" (ns /. float_of_int len) ])
     [ 64; 256; 1024; 4096; 16384 ]
@@ -110,6 +129,12 @@ let bench_c410 () =
       let det = Det.determinize th.Th.nfa in
       let dt = now_ns () -. t0 in
       let min = Min.minimize det.Det.dfa in
+      json ~section:"c410_determinization_blowup"
+        [ ("n", Ev.Int n);
+          ("nfa_states", Ev.Int th.Th.nfa.Nfa.num_states);
+          ("dfa_states", Ev.Int det.Det.dfa.Dfa.num_states);
+          ("min_states", Ev.Int min.Dfa.num_states);
+          ("build_ns", Ev.Float dt) ];
       row
         [ cell "%4d" n;
           cell "%10d" th.Th.nfa.Nfa.num_states;
@@ -151,6 +176,14 @@ let bench_c411 () =
       done;
       let s, l, e, p, a, b = !totals in
       let avg x = float_of_int x /. float_of_int samples in
+      json ~section:"c411_thompson_sizes"
+        [ ("size", Ev.Int size);
+          ("avg_states", Ev.Float (avg s));
+          ("avg_labeled", Ev.Float (avg l));
+          ("avg_eps", Ev.Float (avg e));
+          ("avg_pd_states", Ev.Float (avg p));
+          ("avg_dfa_thompson", Ev.Float (avg a));
+          ("avg_dfa_pd", Ev.Float (avg b)) ];
       row
         [ cell "%6d" size; cell "%8.1f" (avg s); cell "%8.1f" (avg l);
           cell "%8.1f" (avg e); cell "%8.1f" (avg p); cell "%10.1f" (avg a);
@@ -174,14 +207,27 @@ let bench_c412 () =
     (fun len ->
       (* an accepted input: (ab c)^k *)
       let input = String.concat "" (List.init (len / 3) (fun _ -> "abc")) in
+      let pipeline_ns = time_ns (fun () -> Pl.accepts pipeline input) in
+      let greedy_ns =
+        time_ns (fun () -> Lambekd_regex.Deriv_parse.parse regex input)
+      in
+      let brz_ns = time_ns (fun () -> Bz.matches brz input) in
+      let deriv_ns = time_ns (fun () -> R.matches regex input) in
+      let an_ns = time_ns (fun () -> An.matches regex input) in
+      json ~section:"c412_pipeline_vs_baselines"
+        [ ("len", Ev.Int (String.length input));
+          ("pipeline_ns", Ev.Float pipeline_ns);
+          ("greedy_deriv_ns", Ev.Float greedy_ns);
+          ("brzozowski_ns", Ev.Float brz_ns);
+          ("derivative_ns", Ev.Float deriv_ns);
+          ("antimirov_ns", Ev.Float an_ns) ];
       row
         [ cell "%6d" (String.length input);
-          pp_ns (time_ns (fun () -> Pl.accepts pipeline input));
-          pp_ns
-            (time_ns (fun () -> Lambekd_regex.Deriv_parse.parse regex input));
-          pp_ns (time_ns (fun () -> Bz.matches brz input));
-          pp_ns (time_ns (fun () -> R.matches regex input));
-          pp_ns (time_ns (fun () -> An.matches regex input)) ])
+          pp_ns pipeline_ns;
+          pp_ns greedy_ns;
+          pp_ns brz_ns;
+          pp_ns deriv_ns;
+          pp_ns an_ns ])
     [ 30; 90; 270; 810 ]
 
 let bench_pathological () =
@@ -200,18 +246,28 @@ let bench_pathological () =
   List.iter
     (fun n ->
       let input = String.make n 'a' in
-      let bt_cell =
+      let bt_ns =
         let fuel = 20_000_000 in
         let t0 = now_ns () in
         match Bt.matches_fuel ~fuel patho input with
-        | Some _ -> pp_ns (now_ns () -. t0)
+        | Some _ -> Some (now_ns () -. t0)
+        | None -> None
+      in
+      let bt_cell =
+        match bt_ns with
+        | Some ns -> pp_ns ns
         | None -> Fmt.str "%14s" "gave up"
       in
-      row
-        [ cell "%6d" n;
-          pp_ns (time_ns (fun () -> Pl.accepts pipeline input));
-          pp_ns (time_ns (fun () -> Bz.matches brz input));
-          bt_cell ])
+      let pipeline_ns = time_ns (fun () -> Pl.accepts pipeline input) in
+      let brz_ns = time_ns (fun () -> Bz.matches brz input) in
+      json ~section:"e19_pathological_backtracking"
+        [ ("n", Ev.Int n);
+          ("pipeline_ns", Ev.Float pipeline_ns);
+          ("brzozowski_ns", Ev.Float brz_ns);
+          ("backtracking_ns",
+           match bt_ns with Some ns -> Ev.Float ns | None -> Ev.Str "gave up")
+        ];
+      row [ cell "%6d" n; pp_ns pipeline_ns; pp_ns brz_ns; bt_cell ])
     [ 8; 16; 24; 32 ]
 
 (* --- E10 / Theorem 4.13: Dyck parsing ---------------------------------------------- *)
@@ -234,19 +290,30 @@ let bench_thm413 () =
         String.concat "" (List.init pairs (fun _ -> "()"))
       in
       let len = String.length input in
-      let earley_cell =
-        if len <= 256 then pp_ns (time_ns (fun () -> Earley.recognizes dyck_cfg input))
-        else Fmt.str "%11s" "(skipped)"
+      let automaton_ns = time_ns (fun () -> Dyck.parse input) in
+      let earley_ns =
+        if len <= 256 then
+          Some (time_ns (fun () -> Earley.recognizes dyck_cfg input))
+        else None
       in
-      let chart =
-        if len <= 256 then cell "%8d" (Earley.chart_size dyck_cfg input)
-        else cell "%8s" "-"
+      let chart_items =
+        if len <= 256 then Some (Earley.chart_size dyck_cfg input) else None
       in
+      let skipped s = Option.fold ~none:(Ev.Str s) in
+      json ~section:"thm413_dyck"
+        [ ("len", Ev.Int len);
+          ("automaton_ns", Ev.Float automaton_ns);
+          ("earley_ns", skipped "skipped" ~some:(fun ns -> Ev.Float ns) earley_ns);
+          ("chart_items", skipped "-" ~some:(fun n -> Ev.Int n) chart_items) ];
       row
         [ cell "%6d" len;
-          pp_ns (time_ns (fun () -> Dyck.parse input));
-          earley_cell;
-          chart ])
+          pp_ns automaton_ns;
+          (match earley_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)");
+          (match chart_items with
+           | Some n -> cell "%8d" n
+           | None -> cell "%8s" "-") ])
     [ 8; 32; 128; 512; 2048 ]
 
 (* --- E11 / Theorem 4.14: expression parsing ------------------------------------------ *)
@@ -303,18 +370,33 @@ let bench_thm414 () =
             if i mod 4 = 3 then "+(n+n)" else "+n"))
       in
       let len = String.length input in
-      let earley_cell =
+      let lookahead_ns = time_ns (fun () -> Expr.parse input) in
+      let ll1_ns = time_ns (fun () -> Ll1.parse table input) in
+      let ll1_stack_ns = time_ns (fun () -> Dauto.parse ll1_stack input) in
+      let slr_ns = time_ns (fun () -> Lambekd_cfg.Slr.parse slr_table input) in
+      let earley_ns =
         if len <= 300 then
-          pp_ns (time_ns (fun () -> Earley.recognizes expr_cfg_plain input))
-        else Fmt.str "%11s" "(skipped)"
+          Some (time_ns (fun () -> Earley.recognizes expr_cfg_plain input))
+        else None
       in
+      json ~section:"thm414_expr"
+        [ ("len", Ev.Int len);
+          ("lookahead_ns", Ev.Float lookahead_ns);
+          ("ll1_ns", Ev.Float ll1_ns);
+          ("ll1_stack_ns", Ev.Float ll1_stack_ns);
+          ("slr_ns", Ev.Float slr_ns);
+          ("earley_ns",
+           match earley_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped")
+        ];
       row
         [ cell "%6d" len;
-          pp_ns (time_ns (fun () -> Expr.parse input));
-          pp_ns (time_ns (fun () -> Ll1.parse table input));
-          pp_ns (time_ns (fun () -> Dauto.parse ll1_stack input));
-          pp_ns (time_ns (fun () -> Lambekd_cfg.Slr.parse slr_table input));
-          earley_cell ])
+          pp_ns lookahead_ns;
+          pp_ns ll1_ns;
+          pp_ns ll1_stack_ns;
+          pp_ns slr_ns;
+          (match earley_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)") ])
     [ 8; 32; 128; 512 ]
 
 (* --- E12 / Construction 4.15: reified Turing machine ----------------------------------- *)
@@ -328,10 +410,11 @@ let bench_c415 () =
   List.iter
     (fun n ->
       let input = String.make n 'a' ^ String.make n 'b' ^ String.make n 'c' in
-      row
-        [ cell "%6d" n;
-          cell "%8d" (M.steps M.anbncn input);
-          pp_ns (time_ns (fun () -> E.accepts g input)) ])
+      let steps = M.steps M.anbncn input in
+      let ns = time_ns (fun () -> E.accepts g input) in
+      json ~section:"c415_reified_tm"
+        [ ("n", Ev.Int n); ("steps", Ev.Int steps); ("ns", Ev.Float ns) ];
+      row [ cell "%6d" n; cell "%8d" steps; pp_ns ns ])
     [ 4; 8; 16; 32; 64 ]
 
 (* --- engine ablation: enumeration vs counting --------------------------------- *)
@@ -347,14 +430,23 @@ let bench_counting_ablation () =
         "n" ^ String.concat "" (List.init terms (fun _ -> "+n"))
       in
       let len = String.length input in
-      let enum_cell =
-        if len <= 9 then pp_ns (time_ns (fun () -> E.count Expr.o_sigma input))
-        else Fmt.str "%11s" "(skipped)"
+      let enum_ns =
+        if len <= 9 then
+          Some (time_ns (fun () -> E.count Expr.o_sigma input))
+        else None
       in
+      let fast_ns = time_ns (fun () -> E.count_fast Expr.o_sigma input) in
+      json ~section:"counting_ablation"
+        [ ("len", Ev.Int len);
+          ("enumerate_ns",
+           match enum_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped");
+          ("count_fast_ns", Ev.Float fast_ns) ];
       row
         [ cell "%6d" len;
-          enum_cell;
-          pp_ns (time_ns (fun () -> E.count_fast Expr.o_sigma input)) ])
+          (match enum_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)");
+          pp_ns fast_ns ])
     [ 2; 4; 8; 16 ]
 
 (* --- E17: surface checker throughput ------------------------------------------------------ *)
@@ -373,16 +465,16 @@ let surface_program =
 
 let bench_surface () =
   header "E17 — surface pipeline (lex + parse + elaborate + kernel check)";
-  row
-    [ cell "%22s" "stage"; cell "%11s" "time" ];
-  row
-    [ cell "%22s" "lex+parse";
-      pp_ns
-        (time_ns (fun () ->
-             Lambekd_surface.Parser.parse_program surface_program)) ];
-  row
-    [ cell "%22s" "full check";
-      pp_ns (time_ns (fun () -> Elab.run_string surface_program)) ]
+  row [ cell "%22s" "stage"; cell "%11s" "time" ];
+  let parse_ns =
+    time_ns (fun () -> Lambekd_surface.Parser.parse_program surface_program)
+  in
+  let check_ns = time_ns (fun () -> Elab.run_string surface_program) in
+  json ~section:"e17_surface"
+    [ ("lex_parse_ns", Ev.Float parse_ns);
+      ("full_check_ns", Ev.Float check_ns) ];
+  row [ cell "%22s" "lex+parse"; pp_ns parse_ns ];
+  row [ cell "%22s" "full check"; pp_ns check_ns ]
 
 (* --- E1-E5, E16: Bechamel micro-benchmarks ------------------------------------------------- *)
 
@@ -446,22 +538,52 @@ let bench_micro () =
             | Some [ ns ] -> ns
             | _ -> nan
           in
+          json ~section:"micro"
+            [ ("name", Ev.Str (Test.Elt.name elt)); ("ns", Ev.Float ns) ];
           row [ cell "%-42s" (Test.Elt.name elt); pp_ns ns ])
         (Test.elements test))
     (micro_tests ())
 
+(* --- overhead gate: instrumented Enum with telemetry disabled ------------------- *)
+
+(* The probes compiled into [Enum] must cost nothing while no sink is
+   installed.  Comparable sweep to the Dyck section, reported as ns and a
+   JSON record so the trajectory keeps an eye on it. *)
+let bench_probe_overhead () =
+  header
+    "telemetry — disabled-probe overhead on Enum.accepts over the Dyck \
+     grammar (counters/spans compiled in, sink off)";
+  row [ cell "%6s" "len"; cell "%11s" "accepts" ];
+  List.iter
+    (fun pairs ->
+      let input = String.concat "" (List.init pairs (fun _ -> "()")) in
+      let ns = time_ns (fun () -> E.accepts Lambekd_cfg.Dyck.grammar input) in
+      json ~section:"telemetry_disabled_overhead"
+        [ ("len", Ev.Int (String.length input)); ("accepts_ns", Ev.Float ns) ];
+      row [ cell "%6d" (String.length input); pp_ns ns ])
+    [ 4; 16; 64 ]
+
 let () =
   Fmt.pr "lambekd benchmark harness — each section regenerates one paper \
           artifact's shape claim@.";
-  bench_thm49 ();
-  bench_c410 ();
-  bench_c411 ();
-  bench_c412 ();
-  bench_pathological ();
-  bench_thm413 ();
-  bench_thm414 ();
-  bench_c415 ();
-  bench_counting_ablation ();
-  bench_surface ();
-  bench_micro ();
-  Fmt.pr "@.done.@."
+  let oc = open_out json_path in
+  json_sink := Sink.json_lines oc;
+  Fun.protect
+    ~finally:(fun () ->
+      !json_sink.Sink.flush ();
+      json_sink := Sink.null;
+      close_out oc)
+    (fun () ->
+      bench_thm49 ();
+      bench_c410 ();
+      bench_c411 ();
+      bench_c412 ();
+      bench_pathological ();
+      bench_thm413 ();
+      bench_thm414 ();
+      bench_c415 ();
+      bench_counting_ablation ();
+      bench_surface ();
+      bench_probe_overhead ();
+      bench_micro ());
+  Fmt.pr "@.done (JSON records in %s).@." json_path

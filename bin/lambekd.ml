@@ -18,15 +18,75 @@ module Expr = Lambekd_cfg.Expr
 module M = Lambekd_turing.Machine
 module Reify = Lambekd_turing.Reify
 module Elab = Lambekd_surface.Elab
+module T = Lambekd_telemetry
 open Cmdliner
 
 let setup_logs verbose =
+  (* install the Fmt style renderer so debug logging and the telemetry
+     tables are colored consistently (and styling is dropped on pipes) *)
+  Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info))
 
-let verbose =
-  let doc = "Enable debug logging." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+(* --- global flags: logging + telemetry ------------------------------------- *)
+
+type common = {
+  stats : bool;
+  trace_json : string option;
+}
+
+let common_term =
+  let verbose =
+    let doc = "Enable debug logging." in
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+  in
+  let stats =
+    let doc =
+      "Print telemetry to stderr: per-stage timings (hierarchical spans), \
+       state/table counts, and the aggregate counter table."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let trace_json =
+    let doc =
+      "Append telemetry events to $(docv) as JSON lines (one object per \
+       span/point event, plus a final counter snapshot)."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE" ~doc)
+  in
+  let make verbose stats trace_json =
+    setup_logs verbose;
+    { stats; trace_json }
+  in
+  Term.(const make $ verbose $ stats $ trace_json)
+
+(* Install the sinks requested by [--stats] / [--trace-json] around a
+   subcommand body, and tear them down (flushing the counter snapshot)
+   afterwards. *)
+let with_telemetry c f =
+  match Option.map open_out c.trace_json with
+  | exception Sys_error msg ->
+    Fmt.epr "lambekd: cannot open trace file: %s@." msg;
+    2
+  | oc ->
+  let sinks =
+    (if c.stats then [ T.Sink.pretty Fmt.stderr ] else [])
+    @ (match oc with Some oc -> [ T.Sink.json_lines oc ] | None -> [])
+  in
+  match sinks with
+  | [] -> f ()
+  | sinks ->
+    T.Probe.reset ();
+    T.Probe.enable ~sink:(T.Sink.tee sinks) ();
+    Fun.protect
+      ~finally:(fun () ->
+        T.Probe.flush ();
+        T.Probe.disable ();
+        Option.iter close_out oc)
+      f
 
 let print_tree label tree =
   Fmt.pr "%s:@.  %a@." label P.pp tree
@@ -34,8 +94,8 @@ let print_tree label tree =
 (* --- regex ----------------------------------------------------------------- *)
 
 let regex_cmd =
-  let run verbose pattern inputs show_tree =
-    setup_logs verbose;
+  let run common pattern inputs show_tree =
+    with_telemetry common @@ fun () ->
     match Rs.parse pattern with
     | Error e ->
       Fmt.epr "%a@." Rs.pp_error e;
@@ -76,13 +136,13 @@ let regex_cmd =
        ~doc:
          "Parse inputs with a verified regular-expression parser \
           (Corollary 4.12).")
-    Term.(const run $ verbose $ pattern $ inputs $ show_tree)
+    Term.(const run $ common_term $ pattern $ inputs $ show_tree)
 
 (* --- dyck ------------------------------------------------------------------- *)
 
 let dyck_cmd =
-  let run verbose inputs show_tree =
-    setup_logs verbose;
+  let run common inputs show_tree =
+    with_telemetry common @@ fun () ->
     List.iter
       (fun w ->
         match Dyck.parse w with
@@ -103,13 +163,13 @@ let dyck_cmd =
     (Cmd.info "dyck"
        ~doc:"Parse balanced parentheses with the counter automaton \
              (Theorem 4.13).")
-    Term.(const run $ verbose $ inputs $ show_tree)
+    Term.(const run $ common_term $ inputs $ show_tree)
 
 (* --- expr ------------------------------------------------------------------- *)
 
 let expr_cmd =
-  let run verbose inputs show_tree =
-    setup_logs verbose;
+  let run common inputs show_tree =
+    with_telemetry common @@ fun () ->
     List.iter
       (fun w ->
         match Expr.parse w with
@@ -131,13 +191,13 @@ let expr_cmd =
        ~doc:
          "Parse arithmetic expressions over {(,),+,n} with the lookahead \
           automaton (Theorem 4.14); each n counts 1.")
-    Term.(const run $ verbose $ inputs $ show_tree)
+    Term.(const run $ common_term $ inputs $ show_tree)
 
 (* --- reify ------------------------------------------------------------------- *)
 
 let reify_cmd =
-  let run verbose machine inputs =
-    setup_logs verbose;
+  let run common machine inputs =
+    with_telemetry common @@ fun () ->
     let m =
       match machine with
       | "anbncn" -> M.anbncn
@@ -166,13 +226,13 @@ let reify_cmd =
        ~doc:
          "Decide membership in a Turing machine's language via the reified \
           grammar (Construction 4.15).")
-    Term.(const run $ verbose $ machine $ inputs)
+    Term.(const run $ common_term $ machine $ inputs)
 
 (* --- ambiguity --------------------------------------------------------------- *)
 
 let ambiguity_cmd =
-  let run verbose pattern =
-    setup_logs verbose;
+  let run common pattern =
+    with_telemetry common @@ fun () ->
     match Rs.parse pattern with
     | Error e ->
       Fmt.epr "%a@." Rs.pp_error e;
@@ -202,13 +262,13 @@ let ambiguity_cmd =
        ~doc:
          "Decide whether a regular expression (via its Thompson NFA traces) \
           is ambiguous, with a witness word.")
-    Term.(const run $ verbose $ pattern)
+    Term.(const run $ common_term $ pattern)
 
 (* --- check ------------------------------------------------------------------- *)
 
 let check_cmd =
-  let run verbose file =
-    setup_logs verbose;
+  let run common file =
+    with_telemetry common @@ fun () ->
     let source =
       let ic = open_in file in
       Fun.protect
@@ -235,7 +295,7 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Type check a Lambek^D surface-syntax file.")
-    Term.(const run $ verbose $ file)
+    Term.(const run $ common_term $ file)
 
 let main =
   Cmd.group

@@ -3,6 +3,10 @@ module Gr = G.Grammar
 module P = G.Ptree
 module I = G.Index
 module T = G.Transformer
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
+
+let c_steps = Probe.counter "dauto.steps"
 
 type t = {
   name : string;
@@ -58,6 +62,7 @@ let accepting_traces t = trace_grammar t t.init true
 let rejecting_traces t = trace_grammar t t.init false
 
 let run t w =
+  Probe.add c_steps (String.length w);
   let state = ref t.init in
   String.iter (fun c -> state := t.step !state c) w;
   !state
@@ -67,8 +72,16 @@ let accepts t w = t.is_accepting (run t w)
 let trace_name t = t.name ^ "_trace"
 
 let parse t w =
+  let accepted = ref false in
+  Probe.with_span "dauto.parse"
+    ~fields:(fun () ->
+      [ ("automaton", Ev.Str t.name);
+        ("len", Ev.Int (String.length w));
+        ("accepted", Ev.Bool !accepted) ])
+  @@ fun () ->
   let n = String.length w in
   let b = t.is_accepting (run t w) in
+  accepted := b;
   let rec go s k =
     if k >= n then P.Roll (trace_name t, P.Inj (stop_tag, P.Eps))
     else

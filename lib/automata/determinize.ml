@@ -11,6 +11,19 @@ type t = {
 }
 
 let determinize (nfa : Nfa.t) =
+  let module Probe = Lambekd_telemetry.Probe in
+  let module Ev = Lambekd_telemetry.Event in
+  let result = ref None in
+  Probe.with_span "determinize"
+    ~fields:(fun () ->
+      match !result with
+      | None -> []
+      | Some (t : t) ->
+        [ ("nfa_states", Ev.Int nfa.Nfa.num_states);
+          ("dfa_states", Ev.Int t.dfa.Dfa.num_states);
+          ("dfa_transitions",
+           Ev.Int (t.dfa.Dfa.num_states * List.length nfa.Nfa.alphabet)) ])
+  @@ fun () ->
   let closure set = Nfa.eps_closure nfa set in
   let step subset c =
     closure
@@ -65,7 +78,9 @@ let determinize (nfa : Nfa.t) =
            subset_arr)
       ()
   in
-  { nfa; dfa; subsets = subset_arr }
+  let t = { nfa; dfa; subsets = subset_arr } in
+  result := Some t;
+  t
 
 let dauto t = Dauto.of_dfa "det" t.dfa
 let subset_of t id = t.subsets.(id)

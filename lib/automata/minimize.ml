@@ -1,6 +1,19 @@
 (* Trim to reachable states, then refine the accepting/rejecting partition
    by successor-block signatures until stable. *)
 let minimize (d : Dfa.t) =
+  let module Probe = Lambekd_telemetry.Probe in
+  let module Ev = Lambekd_telemetry.Event in
+  let result = ref None in
+  let passes = ref 0 in
+  Probe.with_span "minimize"
+    ~fields:(fun () ->
+      match !result with
+      | None -> []
+      | Some (m : Dfa.t) ->
+        [ ("dfa_states", Ev.Int d.Dfa.num_states);
+          ("min_states", Ev.Int m.Dfa.num_states);
+          ("refinement_passes", Ev.Int !passes) ])
+  @@ fun () ->
   let reachable = Dfa.reachable d in
   let block = Hashtbl.create 16 in
   List.iter
@@ -8,6 +21,7 @@ let minimize (d : Dfa.t) =
     reachable;
   let stable = ref false in
   while not !stable do
+    incr passes;
     let signature s =
       ( Hashtbl.find block s,
         List.map (fun c -> Hashtbl.find block (Dfa.step d s c)) d.Dfa.alphabet )
@@ -57,12 +71,16 @@ let minimize (d : Dfa.t) =
         if d.Dfa.accepting.(s) then Some b else None)
       (List.init num_states Fun.id)
   in
-  Dfa.make ~alphabet:d.Dfa.alphabet ~num_states
-    ~init:(Hashtbl.find block d.Dfa.init) ~accepting
-    ~delta:(fun b c ->
-      let s = Hashtbl.find repr b in
-      Hashtbl.find block (Dfa.step d s c))
-    ()
+  let m =
+    Dfa.make ~alphabet:d.Dfa.alphabet ~num_states
+      ~init:(Hashtbl.find block d.Dfa.init) ~accepting
+      ~delta:(fun b c ->
+        let s = Hashtbl.find repr b in
+        Hashtbl.find block (Dfa.step d s c))
+      ()
+  in
+  result := Some m;
+  m
 
 let is_minimal d =
   (minimize d).Dfa.num_states = d.Dfa.num_states

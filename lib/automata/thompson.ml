@@ -33,6 +33,19 @@ type t = {
 }
 
 let compile ?alphabet regex =
+  let module Probe = Lambekd_telemetry.Probe in
+  let module Ev = Lambekd_telemetry.Event in
+  let result = ref None in
+  Probe.with_span "thompson.compile"
+    ~fields:(fun () ->
+      match !result with
+      | None -> []
+      | Some t ->
+        [ ("nfa_states", Ev.Int t.nfa.Nfa.num_states);
+          ("nfa_transitions", Ev.Int (Array.length t.nfa.Nfa.transitions));
+          ("nfa_eps", Ev.Int (Array.length t.nfa.Nfa.eps));
+          ("regex_size", Ev.Int (Regex.size regex)) ])
+  @@ fun () ->
   let alphabet =
     match alphabet with Some cs -> cs | None -> Regex.chars regex
   in
@@ -96,7 +109,9 @@ let compile ?alphabet regex =
       ~transitions:(List.rev !transitions)
       ~eps:(List.rev !eps)
   in
-  { regex; nfa; traces = Nfa_trace.make nfa; root }
+  let t = { regex; nfa; traces = Nfa_trace.make nfa; root } in
+  result := Some t;
+  t
 
 (* --- encoding: regex parse trees to traces ------------------------------- *)
 

@@ -1,3 +1,9 @@
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
+
+let c_items = Probe.counter "earley.items"
+let c_completed = Probe.counter "earley.completed"
+
 type item = {
   prod : int;   (* production index *)
   dot : int;    (* position in the rhs *)
@@ -7,11 +13,19 @@ type item = {
 (* Run the recognizer, returning the chart and the set of completed
    constituents (lhs, origin, end, production). *)
 let run (cfg : Cfg.t) w =
+  let chart_items = ref 0 in
+  Probe.with_span "earley.run"
+    ~fields:(fun () ->
+      [ ("len", Ev.Int (String.length w));
+        ("chart_items", Ev.Int !chart_items) ])
+  @@ fun () ->
   let n = String.length w in
   let charts = Array.init (n + 1) (fun _ -> Hashtbl.create 16) in
   let completed = Hashtbl.create 64 in
   let enqueue pos item queue =
     if not (Hashtbl.mem charts.(pos) item) then begin
+      Probe.bump c_items;
+      incr chart_items;
       Hashtbl.add charts.(pos) item ();
       Queue.add item queue
     end
@@ -28,6 +42,7 @@ let run (cfg : Cfg.t) w =
       match List.nth_opt p.Cfg.rhs item.dot with
       | None ->
         (* complete *)
+        Probe.bump c_completed;
         Hashtbl.replace completed (p.Cfg.lhs, item.origin, pos, item.prod) ();
         Hashtbl.iter
           (fun parent () ->

@@ -3,6 +3,8 @@ module Gr = G.Grammar
 module P = G.Ptree
 module I = G.Index
 module T = G.Transformer
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
 
 let alphabet = [ '('; ')'; '+'; 'n' ]
 
@@ -217,7 +219,13 @@ let parse_exp w =
   | Some _ | None -> None
 
 let parse w =
+  let accepted = ref false in
+  Probe.with_span "expr.parse"
+    ~fields:(fun () ->
+      [ ("len", Ev.Int (String.length w)); ("accepted", Ev.Bool !accepted) ])
+  @@ fun () ->
   let b, trace = parse_o w in
+  accepted := b;
   if b then
     match parse_exp w with
     | Some e -> Ok e

@@ -1,3 +1,9 @@
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
+
+let c_conflicts = Probe.counter "ll1.conflicts"
+let c_steps = Probe.counter "ll1.steps"
+
 type table = {
   cfg : Cfg.t;
   (* (nonterminal, Some char | None-for-eof) -> production index *)
@@ -13,8 +19,14 @@ type conflict = {
 exception Conflict of conflict
 
 let build (cfg : Cfg.t) =
-  let ff = First_follow.compute cfg in
+  let outcome = ref "conflict" in
   let entries = Hashtbl.create 32 in
+  Probe.with_span "ll1.build"
+    ~fields:(fun () ->
+      [ ("entries", Ev.Int (Hashtbl.length entries));
+        ("outcome", Ev.Str !outcome) ])
+  @@ fun () ->
+  let ff = First_follow.compute cfg in
   let add nt la prod =
     match Hashtbl.find_opt entries (nt, la) with
     | Some prod' when prod' <> prod ->
@@ -37,8 +49,12 @@ let build (cfg : Cfg.t) =
           (Cfg.productions_of cfg nt))
       (Cfg.nonterminals cfg)
   with
-  | () -> Ok { cfg; entries }
-  | exception Conflict c -> Error c
+  | () ->
+    outcome := "ok";
+    Ok { cfg; entries }
+  | exception Conflict c ->
+    Probe.bump c_conflicts;
+    Error c
 
 let is_ll1 cfg = Result.is_ok (build cfg)
 
@@ -52,10 +68,14 @@ exception Error of error
 let fail position fmt = Fmt.kstr (fun message -> raise (Error { position; message })) fmt
 
 let parse t w =
+  Probe.with_span "ll1.parse"
+    ~fields:(fun () -> [ ("len", Ev.Int (String.length w)) ])
+  @@ fun () ->
   let n = String.length w in
   let pos = ref 0 in
   let lookahead () = if !pos < n then Some w.[!pos] else None in
   let rec parse_nt name =
+    Probe.bump c_steps;
     match Hashtbl.find_opt t.entries (name, lookahead ()) with
     | None ->
       fail !pos "no production for %s on %a" name

@@ -2,6 +2,12 @@
    production S' → S is index -1.  Item sets are sorted lists, used as
    hash keys for the canonical collection. *)
 
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
+
+let c_conflicts = Probe.counter "slr.conflicts"
+let c_steps = Probe.counter "slr.steps"
+
 type action =
   | Shift of int
   | Reduce of int
@@ -93,6 +99,17 @@ let eof_follow (cfg : Cfg.t) ff =
   fun n -> Hashtbl.mem table n
 
 let build (cfg : Cfg.t) =
+  let result = ref None in
+  Probe.with_span "slr.build"
+    ~fields:(fun () ->
+      match !result with
+      | None -> [ ("outcome", Ev.Str "conflict") ]
+      | Some t ->
+        [ ("states", Ev.Int t.num_states);
+          ("actions", Ev.Int (Hashtbl.length t.actions));
+          ("gotos", Ev.Int (Hashtbl.length t.gotos));
+          ("outcome", Ev.Str "ok") ])
+  @@ fun () ->
   let ff = First_follow.compute cfg in
   let has_eof = eof_follow cfg ff in
   let symbols =
@@ -176,8 +193,13 @@ let build (cfg : Cfg.t) =
           (Cfg.nonterminals cfg))
       !states
   with
-  | () -> Ok { cfg; num_states = !count; actions; gotos }
-  | exception Conflict c -> Error c
+  | () ->
+    let t = { cfg; num_states = !count; actions; gotos } in
+    result := Some t;
+    Ok t
+  | exception Conflict c ->
+    Probe.bump c_conflicts;
+    Error c
 
 let is_slr1 cfg = Result.is_ok (build cfg)
 let state_count t = t.num_states
@@ -193,10 +215,14 @@ let fail position fmt =
   Fmt.kstr (fun message -> raise (Error { position; message })) fmt
 
 let parse t w =
+  Probe.with_span "slr.parse"
+    ~fields:(fun () -> [ ("len", Ev.Int (String.length w)) ])
+  @@ fun () ->
   let n = String.length w in
   let lookahead pos = if pos < n then Some w.[pos] else None in
   (* stack: (state, tree) list, newest first; the bottom has no tree *)
   let rec loop stack pos =
+    Probe.bump c_steps;
     let state = match stack with (s, _) :: _ -> s | [] -> assert false in
     match Hashtbl.find_opt t.actions (state, lookahead pos) with
     | None ->

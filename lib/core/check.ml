@@ -1,7 +1,12 @@
 module G = Lambekd_grammar
 module I = G.Index
 module P = G.Ptree
+module Probe = Lambekd_telemetry.Probe
 open Syntax
+
+let c_rules = Probe.counter "check.rules"
+let c_axioms = Probe.counter "check.axiom_uses"
+let c_oracle = Probe.counter "check.oracle_words"
 
 type ctx = (string * ltype) list
 
@@ -67,6 +72,7 @@ let equalizer_oracle ~oracle_len defs (ctx : ctx) e (eq : lfun2) body_ty =
   in
   List.for_all
     (fun w ->
+      Probe.bump c_oracle;
       List.for_all
         (fun ctx_parse ->
           let v = G.Transformer.apply tr ctx_parse in
@@ -78,11 +84,13 @@ let equalizer_oracle ~oracle_len defs (ctx : ctx) e (eq : lfun2) body_ty =
 
 let rec checks_ ~nat_bound ~oracle_len defs (ctx : ctx) (e : term) (ty : ltype)
     : bool =
+  Probe.bump c_rules;
   let checks ctx e ty = checks_ ~nat_bound ~oracle_len defs ctx e ty in
   let infer ctx e = infer_ ~nat_bound ~oracle_len defs ctx e in
   let teq = ltype_equal ~nat_bound in
   match e with
   | Var x -> (
+    Probe.bump c_axioms;
     match ctx with
     | [ (y, t) ] -> String.equal x y && teq t ty
     | _ -> false)
@@ -155,10 +163,12 @@ let rec checks_ ~nat_bound ~oracle_len defs (ctx : ctx) (e : term) (ty : ltype)
   | Ann (e1, t) -> teq t ty && checks ctx e1 t
 
 and infer_ ~nat_bound ~oracle_len defs (ctx : ctx) (e : term) : ltype option =
+  Probe.bump c_rules;
   let checks ctx e ty = checks_ ~nat_bound ~oracle_len defs ctx e ty in
   let infer ctx e = infer_ ~nat_bound ~oracle_len defs ctx e in
   match e with
   | Var x -> (
+    Probe.bump c_axioms;
     match ctx with
     | [ (y, t) ] when String.equal x y -> Some t
     | _ -> None)
@@ -207,7 +217,8 @@ and infer_ ~nat_bound ~oracle_len defs (ctx : ctx) (e : term) : ltype option =
     None
 
 let checks ?(nat_bound = 8) ?(oracle_len = 6) defs ctx e ty =
-  checks_ ~nat_bound ~oracle_len defs ctx e ty
+  Probe.with_span "check" (fun () ->
+      checks_ ~nat_bound ~oracle_len defs ctx e ty)
 
 let infer ?(nat_bound = 8) ?(oracle_len = 6) defs ctx e =
   infer_ ~nat_bound ~oracle_len defs ctx e

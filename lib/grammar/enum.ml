@@ -1,3 +1,18 @@
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
+
+(* Aggregate counters across all three engines; see DESIGN.md §6.
+   An "item" is an occurrence of an indexed definition at a span — a [Ref]
+   visit, i.e. one probe of the memo [Key] space.  Counting at [Ref] nodes
+   only keeps the cheap leaf cases (Chr/Eps/...) probe-free, so the
+   disabled-telemetry build measures identically to an uninstrumented one. *)
+let c_items = Probe.counter "enum.items"
+let c_memo_hit = Probe.counter "enum.memo_hit"
+let c_memo_miss = Probe.counter "enum.memo_miss"
+let c_fix_iters = Probe.counter "enum.fixpoint_iters"
+
+let len_field s () = [ ("len", Ev.Int (String.length s)) ]
+
 (* Keys identify an occurrence of an indexed definition at a span. *)
 module Key = struct
   type t = int * Index.t * int * int
@@ -57,11 +72,15 @@ let parses_span g s i0 j0 =
       if List.exists (fun (_, ts) -> ts = []) per_comp then []
       else List.map (fun comps -> Ptree.Tuple comps) (tuple_product per_comp)
     | Ref (d, ix) -> (
+      Probe.bump c_items;
       let key = (Grammar.def_id d, ix, i, j) in
       match Tbl.find_opt memo key with
-      | Some (Done ts) -> ts
+      | Some (Done ts) ->
+        Probe.bump c_memo_hit;
+        ts
       | Some In_progress -> []
       | None ->
+        Probe.bump c_memo_miss;
         Tbl.replace memo key In_progress;
         let ts =
           List.map
@@ -73,7 +92,10 @@ let parses_span g s i0 j0 =
   in
   go g i0 j0
 
-let parses g s = parses_span g s 0 (String.length s)
+let parses g s =
+  Probe.with_span "enum.parses" ~fields:(len_field s) (fun () ->
+      parses_span g s 0 (String.length s))
+
 let count g s = List.length (parses g s)
 
 (* Membership by iterated least fixpoint.  Each pass recomputes every
@@ -81,11 +103,13 @@ let count g s = List.length (parses g s)
    the first pass).  Membership is monotone in these assumptions, so the
    table grows until it stabilizes at the least fixpoint. *)
 let accepts g s =
+  Probe.with_span "enum.accepts" ~fields:(len_field s) @@ fun () ->
   let prev : bool Tbl.t = Tbl.create 64 in
   let changed = ref true in
   let result = ref false in
   while !changed do
     changed := false;
+    Probe.bump c_fix_iters;
     let cur : bool Tbl.t = Tbl.create 64 in
     let on_stack : unit Tbl.t = Tbl.create 16 in
     let rec mem g i j =
@@ -105,13 +129,17 @@ let accepts g s =
       | Alt comps -> List.exists (fun (_, g') -> mem g' i j) comps
       | And comps -> List.for_all (fun (_, g') -> mem g' i j) comps
       | Ref (d, ix) -> (
+        Probe.bump c_items;
         let key = (Grammar.def_id d, ix, i, j) in
         match Tbl.find_opt cur key with
-        | Some b -> b
+        | Some b ->
+          Probe.bump c_memo_hit;
+          b
         | None ->
           if Tbl.mem on_stack key then
             Option.value (Tbl.find_opt prev key) ~default:false
           else begin
+            Probe.bump c_memo_miss;
             Tbl.add on_stack key ();
             let b = mem (Grammar.def_body d ix) i j in
             Tbl.remove on_stack key;
@@ -138,6 +166,7 @@ let first_parse g s =
    [parses_span] with integer semiring values.  Exact under the same
    ε-acyclicity proviso. *)
 let count_fast g s =
+  Probe.with_span "enum.count_fast" ~fields:(len_field s) @@ fun () ->
   let memo : int Tbl.t = Tbl.create 64 in
   let in_progress : unit Tbl.t = Tbl.create 16 in
   let rec go g i j =
@@ -164,12 +193,16 @@ let count_fast g s =
     | And comps ->
       List.fold_left (fun acc (_, g') -> acc * go g' i j) 1 comps
     | Ref (d, ix) -> (
+      Probe.bump c_items;
       let key = (Grammar.def_id d, ix, i, j) in
       match Tbl.find_opt memo key with
-      | Some n -> n
+      | Some n ->
+        Probe.bump c_memo_hit;
+        n
       | None ->
         if Tbl.mem in_progress key then 0
         else begin
+          Probe.bump c_memo_miss;
           Tbl.add in_progress key ();
           let n = go (Grammar.def_body d ix) i j in
           Tbl.remove in_progress key;

@@ -1,6 +1,8 @@
 module G = Lambekd_grammar
 module Regex = Lambekd_regex.Regex
 module Auto = Lambekd_automata
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
 
 type t = {
   regex : Regex.t;
@@ -13,11 +15,15 @@ type t = {
 }
 
 let compile ?alphabet regex =
+  Probe.with_span "pipeline.compile"
+    ~fields:(fun () -> [ ("regex", Ev.Str (Regex.to_string regex)) ])
+  @@ fun () ->
   let alphabet =
     match alphabet with Some cs -> cs | None -> Regex.chars regex
   in
   let thompson = Auto.Thompson.compile ~alphabet regex in
   let det = Auto.Determinize.determinize thompson.Auto.Thompson.nfa in
+  Probe.with_span "pipeline.transport" @@ fun () ->
   let dauto = Auto.Determinize.dauto det in
   let dfa_parser =
     Parser_def.make ~name:"dfa-traces"
@@ -42,7 +48,10 @@ let compile ?alphabet regex =
   let regex_parser = Extend.along n_to_r nfa_parser in
   { regex; thompson; det; dauto; dfa_parser; nfa_parser; regex_parser }
 
-let parse t w = Parser_def.run t.regex_parser w
+let parse t w =
+  Probe.with_span "pipeline.parse"
+    ~fields:(fun () -> [ ("len", Ev.Int (String.length w)) ])
+  @@ fun () -> Parser_def.run t.regex_parser w
 let accepts t w = Result.is_ok (parse t w)
 let dfa_states t = t.det.Auto.Determinize.dfa.Auto.Dfa.num_states
 let nfa_states t = t.thompson.Auto.Thompson.nfa.Auto.Nfa.num_states

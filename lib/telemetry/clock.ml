@@ -1,0 +1,20 @@
+let now_ns_i64 () = Monotonic_clock.now ()
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let elapsed_ns f =
+  let t0 = now_ns () in
+  let x = f () in
+  (x, now_ns () -. t0)
+
+let time_ns ?(budget_ns = 5e7) ?(max_iters = 1_000_000) f =
+  (* warmup *)
+  ignore (Sys.opaque_identity (f ()));
+  let t0 = now_ns () in
+  let iters = ref 0 in
+  let elapsed = ref 0.0 in
+  while !elapsed < budget_ns && !iters < max_iters do
+    ignore (Sys.opaque_identity (f ()));
+    incr iters;
+    elapsed := now_ns () -. t0
+  done;
+  !elapsed /. float_of_int !iters

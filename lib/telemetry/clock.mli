@@ -1,0 +1,22 @@
+(** Monotonic time, shared by the benches and the telemetry runtime.
+
+    Thin wrapper over the [clock_gettime(CLOCK_MONOTONIC)] stub so that
+    every component measures time the same way and the ad-hoc helpers
+    that used to live in [bench/main.ml] have one home. *)
+
+val now_ns : unit -> float
+(** Current monotonic time in nanoseconds, as a float (53-bit mantissa
+    holds ~104 days of nanoseconds — plenty for interval arithmetic). *)
+
+val now_ns_i64 : unit -> int64
+(** Current monotonic time in nanoseconds, unrounded. *)
+
+val elapsed_ns : (unit -> 'a) -> 'a * float
+(** [elapsed_ns f] runs [f] once and returns its result with the
+    wall-clock nanoseconds it took. *)
+
+val time_ns : ?budget_ns:float -> ?max_iters:int -> (unit -> 'a) -> float
+(** [time_ns f] runs [f] repeatedly (after one warmup call) until
+    [budget_ns] (default 5e7 = 50ms) has elapsed or [max_iters] (default
+    1_000_000) calls were made, and reports the mean nanoseconds per
+    call.  The repeat-until-budget estimator the sweep benches use. *)

@@ -1,0 +1,81 @@
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type fields = (string * value) list
+
+type t =
+  | Span of { name : string; depth : int; dur_ns : float; fields : fields }
+  | Point of { name : string; fields : fields }
+  | Counters of (string * int) list
+
+(* minimal JSON string escaping: the control characters, quote, backslash *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_value = function
+  | Int n -> string_of_int n
+  | Float f ->
+    (* JSON has no NaN/inf; clamp to null *)
+    if Float.is_finite f then Fmt.str "%.6g" f else "null"
+  | Str s -> Fmt.str "\"%s\"" (escape s)
+  | Bool b -> string_of_bool b
+
+let json_obj kvs =
+  let b = Buffer.create 64 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Fmt.str "\"%s\":%s" (escape k) v))
+    kvs;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let json_fields fields =
+  json_obj (List.map (fun (k, v) -> (k, json_value v)) fields)
+
+let to_json = function
+  | Span { name; depth; dur_ns; fields } ->
+    json_obj
+      [ ("ev", "\"span\"");
+        ("name", json_value (Str name));
+        ("depth", string_of_int depth);
+        ("dur_ns", json_value (Float dur_ns));
+        ("fields", json_fields fields) ]
+  | Point { name; fields } ->
+    json_obj
+      [ ("ev", "\"point\"");
+        ("name", json_value (Str name));
+        ("fields", json_fields fields) ]
+  | Counters counters ->
+    json_obj
+      [ ("ev", "\"counters\"");
+        ("fields", json_fields (List.map (fun (k, n) -> (k, Int n)) counters))
+      ]
+
+let pp_value ppf = function
+  | Int n -> Fmt.int ppf n
+  | Float f -> Fmt.pf ppf "%.6g" f
+  | Str s -> Fmt.string ppf s
+  | Bool b -> Fmt.bool ppf b
+
+let pp_fields ppf fields =
+  Fmt.pf ppf "@[<h>%a@]"
+    Fmt.(list ~sep:sp (pair ~sep:(any "=") string pp_value))
+    fields

@@ -1,0 +1,38 @@
+(** Telemetry events and their JSON-lines encoding.
+
+    Three event shapes flow from instrumented code to a {!Sink}:
+
+    - [Span]: a named, timed region finished; [depth] is its nesting
+      level at the time it ran (0 = outermost);
+    - [Point]: an instantaneous observation with structured fields
+      (state counts, table sizes, conflicts);
+    - [Counters]: a snapshot of the aggregate counters, emitted by
+      [Probe.flush] at the end of a run.
+
+    The JSON encoding is one object per line ({e JSON lines}), schema:
+
+    {v
+    {"ev":"span","name":"pipeline.compile","depth":0,"dur_ns":12345.0,
+     "fields":{...}}
+    {"ev":"point","name":"determinize.dfa","fields":{"dfa_states":5,...}}
+    {"ev":"counters","fields":{"enum.items":812,...}}
+    v} *)
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type fields = (string * value) list
+
+type t =
+  | Span of { name : string; depth : int; dur_ns : float; fields : fields }
+  | Point of { name : string; fields : fields }
+  | Counters of (string * int) list
+
+val to_json : t -> string
+(** One JSON object, no trailing newline. *)
+
+val pp_value : Format.formatter -> value -> unit
+val pp_fields : Format.formatter -> fields -> unit

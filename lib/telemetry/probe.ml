@@ -1,0 +1,72 @@
+type counter = {
+  name : string;
+  mutable count : int;
+}
+
+let on = ref false
+let sink = ref Sink.null
+let depth = ref 0
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some c -> c
+  | None ->
+    let c = { name; count = 0 } in
+    Hashtbl.add registry name c;
+    c
+
+let[@inline] bump c = if !on then c.count <- c.count + 1
+let[@inline] add c n = if !on then c.count <- c.count + n
+let value c = c.count
+
+let emit name fields =
+  if !on then !sink.Sink.emit (Event.Point { name; fields })
+
+let with_span ?fields name f =
+  if not !on then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_ns = Clock.now_ns () -. t0 in
+        depth := d;
+        (* [on] may have been toggled inside [f]; still restore depth,
+           but only emit if telemetry is live *)
+        if !on then
+          let fields = match fields with None -> [] | Some f -> f () in
+          !sink.Sink.emit (Event.Span { name; depth = d; dur_ns; fields }))
+      f
+  end
+
+let enabled () = !on
+
+let enable ?sink:s () =
+  (match s with Some s -> sink := s | None -> ());
+  on := true
+
+let disable () =
+  on := false;
+  sink := Sink.null
+
+let set_sink s = sink := s
+
+let counters () =
+  Hashtbl.fold
+    (fun name c acc -> if c.count <> 0 then (name, c.count) :: acc else acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) registry;
+  depth := 0
+
+let flush () =
+  if !on then begin
+    (match counters () with
+     | [] -> ()
+     | cs -> !sink.Sink.emit (Event.Counters cs));
+    !sink.Sink.flush ()
+  end

@@ -1,0 +1,64 @@
+(** The global instrumentation runtime the engine libraries talk to.
+
+    Probes are compiled into the hot paths unconditionally, but do
+    nothing until {!enable} installs a sink: a disabled {!bump} is one
+    load and one branch, a disabled {!with_span} is a tail call of the
+    thunk.  The contract the bench overhead gate checks is that
+    instrumented code with telemetry disabled is indistinguishable from
+    uninstrumented code.
+
+    Counters are process-global aggregates identified by name (create
+    them once at module initialization, bump them in the hot loop);
+    spans and points are streamed to the installed sink as they happen.
+    The runtime is not thread-safe — instrument per-domain state before
+    parallelizing the engines. *)
+
+type counter
+
+val counter : string -> counter
+(** [counter name] returns the (unique, registered) counter called
+    [name], creating it on first use. *)
+
+val bump : counter -> unit
+(** Add 1 (when enabled; no-op otherwise). *)
+
+val add : counter -> int -> unit
+(** Add [n] (when enabled; no-op otherwise). *)
+
+val value : counter -> int
+(** Current value of a counter (readable even when disabled). *)
+
+(** {1 Spans and points} *)
+
+val with_span : ?fields:(unit -> Event.fields) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f]; when enabled, emits an
+    {!Event.Span} with [f]'s wall-clock duration when it returns or
+    raises.  Spans nest: the emitted [depth] is the number of enclosing
+    [with_span]s.  [fields] is evaluated after [f] (so it can observe
+    results through a ref), and only when enabled. *)
+
+val emit : string -> Event.fields -> unit
+(** Emit an {!Event.Point} (when enabled). *)
+
+(** {1 Control} *)
+
+val enabled : unit -> bool
+
+val enable : ?sink:Sink.t -> unit -> unit
+(** Turn instrumentation on, optionally installing a sink (default:
+    keep the current one, initially {!Sink.null}). *)
+
+val disable : unit -> unit
+(** Turn instrumentation off and restore the {!Sink.null} sink. *)
+
+val set_sink : Sink.t -> unit
+
+val counters : unit -> (string * int) list
+(** Snapshot of all counters with nonzero value, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every counter and reset the span depth. *)
+
+val flush : unit -> unit
+(** Emit a final {!Event.Counters} snapshot (when enabled and any
+    counter is nonzero) and flush the sink. *)

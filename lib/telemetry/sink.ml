@@ -1,0 +1,63 @@
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+}
+
+let null = { emit = (fun _ -> ()); flush = (fun () -> ()) }
+
+let pp_ns ppf ns =
+  if ns >= 1e9 then Fmt.pf ppf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Fmt.pf ppf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Fmt.pf ppf "%.2f us" (ns /. 1e3)
+  else Fmt.pf ppf "%.0f ns" ns
+
+let pretty ppf =
+  let emit (ev : Event.t) =
+    match ev with
+    | Span { name; depth; dur_ns; fields } ->
+      Fmt.pf ppf "%s%a %a"
+        (String.make (2 * depth) ' ')
+        Fmt.(styled `Cyan string)
+        name
+        Fmt.(styled `Bold pp_ns)
+        dur_ns;
+      if fields <> [] then Fmt.pf ppf "  %a" Event.pp_fields fields;
+      Fmt.pf ppf "@."
+    | Point { name; fields } ->
+      Fmt.pf ppf "%a %a@."
+        Fmt.(styled `Yellow string)
+        name Event.pp_fields fields
+    | Counters [] -> ()
+    | Counters counters ->
+      let width =
+        List.fold_left (fun w (k, _) -> max w (String.length k)) 0 counters
+      in
+      Fmt.pf ppf "%a@." Fmt.(styled `Bold string) "counters:";
+      List.iter
+        (fun (k, n) -> Fmt.pf ppf "  %-*s %10d@." width k n)
+        counters
+  in
+  { emit; flush = (fun () -> Format.pp_print_flush ppf ()) }
+
+let json_lines oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Event.to_json ev);
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+  }
+
+let tee sinks =
+  {
+    emit = (fun ev -> List.iter (fun s -> s.emit ev) sinks);
+    flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
+  }
+
+let memory () =
+  let events = ref [] in
+  ( {
+      emit = (fun ev -> events := ev :: !events);
+      flush = (fun () -> ());
+    },
+    fun () -> List.rev !events )

@@ -1,0 +1,31 @@
+(** Pluggable destinations for telemetry events.
+
+    A sink is a pair of callbacks.  The {!null} sink drops everything —
+    with it installed (the default) the instrumentation layer never
+    formats, allocates events, or does I/O, so disabled telemetry costs
+    only the enabled-flag branch at each probe site. *)
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+}
+
+val null : t
+(** Drops all events. *)
+
+val pretty : Format.formatter -> t
+(** Human-readable rendering: spans as they close (indented by depth,
+    with durations), points as [name field=value ...], and the final
+    counter snapshot as an aligned table.  Honors the formatter's style
+    renderer, so output is colored when {!Fmt_tty} set one up. *)
+
+val json_lines : out_channel -> t
+(** One JSON object per event per line (see {!Event.to_json}); [flush]
+    flushes the channel but does not close it. *)
+
+val tee : t list -> t
+(** Broadcast to several sinks. *)
+
+val memory : unit -> t * (unit -> Event.t list)
+(** An in-memory sink plus an accessor returning the events recorded so
+    far, oldest first.  For tests. *)

@@ -7,4 +7,5 @@ let () =
       ("turing", Test_turing.suite);
       ("parsing", Test_parsing.suite);
       ("core", Test_core.suite);
-      ("surface", Test_surface.suite) ]
+      ("surface", Test_surface.suite);
+      ("telemetry", Test_telemetry.suite) ]

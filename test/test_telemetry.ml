@@ -1,0 +1,230 @@
+(* Tests for the telemetry runtime: counters, spans, sinks, and the
+   instrumentation contract of the Enum engines. *)
+
+module T = Lambekd_telemetry
+module Probe = T.Probe
+module Sink = T.Sink
+module Ev = T.Event
+module E = Lambekd_grammar.Enum
+module R = Lambekd_regex.Regex
+module L = Lambekd_grammar.Language
+module Dyck = Lambekd_cfg.Dyck
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Every test must leave telemetry off; a helper that guarantees it. *)
+let with_probe ?sink f =
+  Probe.reset ();
+  Probe.enable ?sink ();
+  Fun.protect
+    ~finally:(fun () ->
+      Probe.disable ();
+      Probe.reset ())
+    f
+
+(* --- counters ---------------------------------------------------------- *)
+
+let test_counters () =
+  let a = Probe.counter "test.a" in
+  let b = Probe.counter "test.b" in
+  with_probe (fun () ->
+      Probe.bump a;
+      Probe.bump a;
+      Probe.add b 40;
+      check_int "bump twice" 2 (Probe.value a);
+      check_int "add" 40 (Probe.value b);
+      check_bool "same name, same counter" true
+        (Probe.value (Probe.counter "test.a") = 2);
+      let snapshot = Probe.counters () in
+      check_bool "snapshot contains a" true
+        (List.mem_assoc "test.a" snapshot);
+      check_bool "snapshot sorted" true
+        (let names = List.map fst snapshot in
+         names = List.sort String.compare names);
+      Probe.reset ();
+      check_int "reset zeroes" 0 (Probe.value a);
+      check_bool "reset empties snapshot" true
+        (not (List.mem_assoc "test.a" (Probe.counters ()))))
+
+let test_counters_disabled () =
+  let c = Probe.counter "test.disabled" in
+  Probe.disable ();
+  Probe.reset ();
+  Probe.bump c;
+  Probe.add c 10;
+  check_int "no counting while disabled" 0 (Probe.value c)
+
+(* --- spans ------------------------------------------------------------- *)
+
+let span_names events =
+  List.filter_map
+    (function Ev.Span { name; depth; _ } -> Some (name, depth) | _ -> None)
+    events
+
+let test_spans_nest () =
+  let sink, events = Sink.memory () in
+  with_probe ~sink (fun () ->
+      let x =
+        Probe.with_span "outer" (fun () ->
+            Probe.with_span "inner" (fun () -> 21) * 2)
+      in
+      check_int "span body result" 42 x;
+      (* inner closes first, one level deep *)
+      Alcotest.(check (list (pair string int)))
+        "nesting depths"
+        [ ("inner", 1); ("outer", 0) ]
+        (span_names (events ())))
+
+let test_span_depth_restored_on_raise () =
+  let sink, events = Sink.memory () in
+  with_probe ~sink (fun () ->
+      (try
+         Probe.with_span "raiser" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Probe.with_span "after" (fun () -> ());
+      match span_names (events ()) with
+      | [ ("raiser", 0); ("after", 0) ] -> ()
+      | other ->
+        Alcotest.failf "unexpected spans: %a"
+          Fmt.(Dump.list (Dump.pair string int))
+          other)
+
+let test_span_fields_lazy () =
+  (* fields thunks must not run when telemetry is off *)
+  Probe.disable ();
+  let ran = ref false in
+  let x =
+    Probe.with_span "off"
+      ~fields:(fun () ->
+        ran := true;
+        [])
+      (fun () -> 7)
+  in
+  check_int "result passes through" 7 x;
+  check_bool "fields not evaluated when disabled" false !ran
+
+(* --- sinks ------------------------------------------------------------- *)
+
+let test_null_sink_no_events () =
+  (* with telemetry disabled, an instrumented engine emits nothing and
+     counts nothing — the null-sink zero-overhead contract *)
+  let sink, events = Sink.memory () in
+  Probe.set_sink sink;
+  Probe.disable ();
+  Probe.reset ();
+  ignore (E.parses Dyck.grammar "()");
+  ignore (E.accepts Dyck.grammar "()");
+  ignore (E.count_fast Dyck.grammar "()");
+  check_int "no events recorded" 0 (List.length (events ()));
+  check_bool "no counters recorded" true (Probe.counters () = []);
+  Probe.set_sink Sink.null
+
+let test_tee_and_flush () =
+  let s1, e1 = Sink.memory () in
+  let s2, e2 = Sink.memory () in
+  with_probe ~sink:(Sink.tee [ s1; s2 ]) (fun () ->
+      Probe.emit "point" [ ("k", Ev.Int 1) ];
+      Probe.bump (Probe.counter "test.tee");
+      Probe.flush ();
+      check_int "both sinks saw point+counters" 2 (List.length (e1 ()));
+      check_int "tee broadcasts" (List.length (e1 ())) (List.length (e2 ())))
+
+let test_json_encoding () =
+  Alcotest.(check string)
+    "point json"
+    {|{"ev":"point","name":"a \"b\"","fields":{"n":3,"ok":true,"s":"x\ny"}}|}
+    (Ev.to_json
+       (Ev.Point
+          {
+            name = "a \"b\"";
+            fields = [ ("n", Ev.Int 3); ("ok", Ev.Bool true); ("s", Ev.Str "x\ny") ];
+          }));
+  Alcotest.(check string)
+    "counters json"
+    {|{"ev":"counters","fields":{"c":2}}|}
+    (Ev.to_json (Ev.Counters [ ("c", 2) ]))
+
+(* --- clock ------------------------------------------------------------- *)
+
+let test_clock () =
+  let t0 = T.Clock.now_ns () in
+  let t1 = T.Clock.now_ns () in
+  check_bool "monotone" true (t1 >= t0);
+  let ns = T.Clock.time_ns ~budget_ns:1e5 (fun () -> ()) in
+  check_bool "time_ns positive and finite" true (ns >= 0.0 && Float.is_finite ns)
+
+(* --- instrumented engines ---------------------------------------------- *)
+
+(* Memo traffic of [count_fast] on the Dyck grammar over "(())", by hand.
+
+   D(i,j) abbreviates the Ref item for the Dyck definition on span [i,j).
+   The recursion explores, in order: D(0,4) [the query], D(1,1), D(1,2)
+   (which explores D(2,2)), D(1,3) (D(2,2) again — HIT — then D(3,3),
+   D(2,3)), D(1,4) (D(2,2) HIT, D(3,4), D(2,3) HIT, D(2,4)), and finally
+   D(4,4) while closing the outer bal production.  That is 11 distinct
+   items (misses) and 3 memo hits, for a word with exactly one parse. *)
+let test_count_fast_memo_dyck () =
+  let hit = Probe.counter "enum.memo_hit" in
+  let miss = Probe.counter "enum.memo_miss" in
+  with_probe (fun () ->
+      check_int "one parse" 1 (E.count_fast Dyck.grammar "(())");
+      check_int "memo hits on (())" 3 (Probe.value hit);
+      check_int "memo misses on (())" 11 (Probe.value miss))
+
+let test_accepts_fixpoint_counter () =
+  let iters = Probe.counter "enum.fixpoint_iters" in
+  with_probe (fun () ->
+      check_bool "balanced" true (E.accepts Dyck.grammar "()()");
+      check_bool "at least one fixpoint pass" true (Probe.value iters >= 1))
+
+(* --- satellite: the Enum interface contract ----------------------------- *)
+
+let abc = [ 'a'; 'b'; 'c' ]
+
+let arb_regex =
+  QCheck.make
+    ~print:(fun r -> R.to_string r)
+    QCheck.Gen.(
+      map
+        (fun n ->
+          let rng = Random.State.make [| n |] in
+          R.random ~chars:abc ~size:8 rng)
+        int)
+
+let words3 = L.words abc ~max_len:3
+
+(* enum.mli: count_fast "agrees with count … under the same ε-acyclicity
+   proviso", and accepts is exact membership.  Locked in on random
+   regex-derived grammars (star-normalized, hence ε-acyclic). *)
+let prop_count_agrees =
+  QCheck.Test.make ~name:"Enum.count = Enum.count_fast on regex grammars"
+    ~count:40 arb_regex (fun r ->
+      let g = R.to_grammar r in
+      List.for_all (fun w -> E.count g w = E.count_fast g w) words3)
+
+let prop_accepts_iff_parses =
+  QCheck.Test.make ~name:"Enum.accepts ⇔ Enum.parses <> [] on regex grammars"
+    ~count:40 arb_regex (fun r ->
+      let g = R.to_grammar r in
+      List.for_all
+        (fun w -> Bool.equal (E.accepts g w) (E.parses g w <> []))
+        words3)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_count_agrees; prop_accepts_iff_parses ]
+
+let suite =
+  [ ("counters bump/add/reset", `Quick, test_counters);
+    ("counters frozen when disabled", `Quick, test_counters_disabled);
+    ("spans nest", `Quick, test_spans_nest);
+    ("span depth restored on raise", `Quick, test_span_depth_restored_on_raise);
+    ("span fields lazy when disabled", `Quick, test_span_fields_lazy);
+    ("null sink: no events, no counts", `Quick, test_null_sink_no_events);
+    ("tee and flush", `Quick, test_tee_and_flush);
+    ("json-lines encoding", `Quick, test_json_encoding);
+    ("clock", `Quick, test_clock);
+    ("count_fast memo traffic on Dyck", `Quick, test_count_fast_memo_dyck);
+    ("accepts fixpoint counter", `Quick, test_accepts_fixpoint_counter) ]
+  @ qcheck_tests
