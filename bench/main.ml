@@ -51,20 +51,37 @@ let time_ns f = Clock.time_ns f
    Alongside the human tables, every measurement row is appended as one
    JSON object to a JSON-lines file so successive runs build a perf
    trajectory (BENCH_*.json).  Destination: [--json FILE] or
-   $LAMBEKD_BENCH_JSON, default [BENCH_RESULTS.jsonl] in the cwd. *)
+   $LAMBEKD_BENCH_JSON, default [BENCH_RESULTS.jsonl] in the cwd.
+   [--only sec1,sec2] restricts the run to the named sections (the CI
+   smoke runs just the engine sections). *)
 
-let json_path =
-  let rec from_argv = function
-    | "--json" :: path :: _ -> Some path
-    | _ :: rest -> from_argv rest
-    | [] -> None
+type cli = {
+  json_path : string;
+  only : string list option;
+}
+
+let usage_error msg =
+  Fmt.epr "bench: %s@.usage: bench [--json FILE] [--only sec1,sec2,...]@." msg;
+  exit 2
+
+let parse_cli () =
+  let default_json =
+    Option.value
+      (Sys.getenv_opt "LAMBEKD_BENCH_JSON")
+      ~default:"BENCH_RESULTS.jsonl"
   in
-  match from_argv (Array.to_list Sys.argv) with
-  | Some path -> path
-  | None -> (
-    match Sys.getenv_opt "LAMBEKD_BENCH_JSON" with
-    | Some path -> path
-    | None -> "BENCH_RESULTS.jsonl")
+  let rec go acc = function
+    | [] -> acc
+    | [ "--json" ] -> usage_error "--json requires a FILE argument"
+    | "--json" :: path :: rest -> go { acc with json_path = path } rest
+    | [ "--only" ] -> usage_error "--only requires a section list"
+    | "--only" :: specs :: rest ->
+      go { acc with only = Some (String.split_on_char ',' specs) } rest
+    | arg :: _ -> usage_error (Fmt.str "unknown argument %s" arg)
+  in
+  go
+    { json_path = default_json; only = None }
+    (List.tl (Array.to_list Sys.argv))
 
 let json_sink = ref Sink.null
 
@@ -291,14 +308,18 @@ let bench_thm413 () =
       in
       let len = String.length input in
       let automaton_ns = time_ns (fun () -> Dyck.parse input) in
-      let earley_ns =
-        if len <= 256 then
-          Some (time_ns (fun () -> Earley.recognizes dyck_cfg input))
+      (* one [Earley.run] per input; accepts and chart size read off the
+         same chart instead of paying for recognition twice *)
+      let earley =
+        if len <= 256 then begin
+          let chart = ref None in
+          let ns = time_ns (fun () -> chart := Some (Earley.run dyck_cfg input)) in
+          Some (ns, Earley.size (Option.get !chart))
+        end
         else None
       in
-      let chart_items =
-        if len <= 256 then Some (Earley.chart_size dyck_cfg input) else None
-      in
+      let earley_ns = Option.map fst earley in
+      let chart_items = Option.map snd earley in
       let skipped s = Option.fold ~none:(Ev.Str s) in
       json ~section:"thm413_dyck"
         [ ("len", Ev.Int len);
@@ -449,6 +470,118 @@ let bench_counting_ablation () =
           pp_ns fast_ns ])
     [ 2; 4; 8; 16 ]
 
+(* --- engine: packed forests on an exponentially ambiguous grammar --------------- *)
+
+(* S → SS | a has Catalan(n-1) parses of a^n, so any engine that counts by
+   enumerating trees is doomed past n ≈ 14.  The packed forest shares
+   subderivations across parses and counts in polynomial time. *)
+let bench_forest_count () =
+  header
+    "engine — exact ambiguity counting on S → SS | a over a^n \
+     (Catalan(n-1) parses): packed forest vs tree enumeration";
+  let ss = Gr.fix "S" (fun self -> Gr.alt2 (Gr.seq self self) (Gr.chr 'a')) in
+  row
+    [ cell "%4s" "n"; cell "%16s" "parses"; cell "%7s" "nodes";
+      cell "%11s" "forest"; cell "%11s" "enumerate" ];
+  List.iter
+    (fun n ->
+      let input = String.make n 'a' in
+      let count = ref 0 and nodes = ref 0 in
+      let forest_ns =
+        time_ns (fun () ->
+            let f = G.Forest.build ss input in
+            count := G.Forest.count f;
+            nodes := G.Forest.nodes f)
+      in
+      let enum_ns =
+        if n <= 12 then Some (time_ns (fun () -> ignore (E.count ss input)))
+        else None
+      in
+      json ~section:"forest_count"
+        [ ("n", Ev.Int n);
+          ("parses", Ev.Int !count);
+          ("forest_nodes", Ev.Int !nodes);
+          ("forest_ns", Ev.Float forest_ns);
+          ("enumerate_ns",
+           match enum_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped")
+        ];
+      row
+        [ cell "%4d" n; cell "%16d" !count; cell "%7d" !nodes;
+          pp_ns forest_ns;
+          (match enum_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)") ])
+    [ 6; 10; 14; 18; 24 ]
+
+(* --- engine: worklist membership vs whole-recomputation fixpoint ----------------- *)
+
+let bench_accepts_worklist () =
+  header
+    "engine — Enum.accepts on the Dyck grammar: semi-naive worklist (with \
+     split pruning) vs the seed whole-recomputation fixpoint";
+  row [ cell "%6s" "len"; cell "%11s" "worklist"; cell "%11s" "fixpoint" ];
+  List.iter
+    (fun pairs ->
+      let input = String.concat "" (List.init pairs (fun _ -> "()")) in
+      let worklist_ns = time_ns (fun () -> E.accepts Dyck.grammar input) in
+      let fixpoint_ns =
+        if pairs <= 64 then
+          Some (time_ns (fun () -> E.accepts_fixpoint Dyck.grammar input))
+        else None
+      in
+      json ~section:"accepts_worklist"
+        [ ("len", Ev.Int (String.length input));
+          ("worklist_ns", Ev.Float worklist_ns);
+          ("fixpoint_ns",
+           match fixpoint_ns with
+           | Some ns -> Ev.Float ns
+           | None -> Ev.Str "skipped") ];
+      row
+        [ cell "%6d" (String.length input);
+          pp_ns worklist_ns;
+          (match fixpoint_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)") ])
+    [ 4; 16; 64; 256 ]
+
+(* --- cfg: Earley completer index ablation ---------------------------------------- *)
+
+let bench_earley_completer () =
+  header
+    "cfg — Earley completer on the Dyck CFG: awaited-nonterminal index vs \
+     full origin-chart scan (identical item sets)";
+  row
+    [ cell "%6s" "len"; cell "%8s" "items"; cell "%11s" "indexed";
+      cell "%11s" "scan" ];
+  List.iter
+    (fun pairs ->
+      let input = String.concat "" (List.init pairs (fun _ -> "()")) in
+      let len = String.length input in
+      let chart = ref None in
+      let indexed_ns =
+        time_ns (fun () -> chart := Some (Earley.run dyck_cfg input))
+      in
+      let items = Earley.size (Option.get !chart) in
+      let scan_ns =
+        if len <= 2048 then
+          Some
+            (time_ns (fun () -> ignore (Earley.run ~indexed:false dyck_cfg input)))
+        else None
+      in
+      json ~section:"earley_completer"
+        [ ("len", Ev.Int len);
+          ("chart_items", Ev.Int items);
+          ("indexed_ns", Ev.Float indexed_ns);
+          ("scan_ns",
+           match scan_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped")
+        ];
+      row
+        [ cell "%6d" len; cell "%8d" items; pp_ns indexed_ns;
+          (match scan_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)") ])
+    [ 16; 128; 512; 1024 ]
+
 (* --- E17: surface checker throughput ------------------------------------------------------ *)
 
 let surface_program =
@@ -563,27 +696,48 @@ let bench_probe_overhead () =
       row [ cell "%6d" (String.length input); pp_ns ns ])
     [ 4; 16; 64 ]
 
+(* --- section registry and driver -------------------------------------------------- *)
+
+let sections =
+  [ ("thm49", bench_thm49);
+    ("c410", bench_c410);
+    ("c411", bench_c411);
+    ("c412", bench_c412);
+    ("pathological", bench_pathological);
+    ("thm413", bench_thm413);
+    ("thm414", bench_thm414);
+    ("c415", bench_c415);
+    ("counting", bench_counting_ablation);
+    ("forest_count", bench_forest_count);
+    ("accepts_worklist", bench_accepts_worklist);
+    ("earley_completer", bench_earley_completer);
+    ("surface", bench_surface);
+    ("probe_overhead", bench_probe_overhead);
+    ("micro", bench_micro) ]
+
 let () =
+  let cli = parse_cli () in
+  let selected =
+    match cli.only with
+    | None -> sections
+    | Some names ->
+      List.iter
+        (fun n ->
+          if not (List.mem_assoc n sections) then
+            usage_error
+              (Fmt.str "unknown section %s (known: %s)" n
+                 (String.concat ", " (List.map fst sections))))
+        names;
+      List.filter (fun (n, _) -> List.mem n names) sections
+  in
   Fmt.pr "lambekd benchmark harness — each section regenerates one paper \
           artifact's shape claim@.";
-  let oc = open_out json_path in
+  let oc = open_out cli.json_path in
   json_sink := Sink.json_lines oc;
   Fun.protect
     ~finally:(fun () ->
       !json_sink.Sink.flush ();
       json_sink := Sink.null;
       close_out oc)
-    (fun () ->
-      bench_thm49 ();
-      bench_c410 ();
-      bench_c411 ();
-      bench_c412 ();
-      bench_pathological ();
-      bench_thm413 ();
-      bench_thm414 ();
-      bench_c415 ();
-      bench_counting_ablation ();
-      bench_surface ();
-      bench_probe_overhead ();
-      bench_micro ());
-  Fmt.pr "@.done (JSON records in %s).@." json_path
+    (fun () -> List.iter (fun (_, f) -> f ()) selected);
+  Fmt.pr "@.done (JSON records in %s).@." cli.json_path

@@ -228,6 +228,88 @@ let reify_cmd =
           grammar (Construction 4.15).")
     Term.(const run $ common_term $ machine $ inputs)
 
+(* --- forest ------------------------------------------------------------------ *)
+
+(* Count/inspect parses on the shared packed parse forest: exact counts and
+   first parses on grammars whose tree sets are astronomically large. *)
+let forest_cmd =
+  let run common gname max_trees inputs =
+    with_telemetry common @@ fun () ->
+    let grammar =
+      match gname with
+      | "dyck" -> Ok Dyck.grammar
+      | "expr" -> Ok Expr.exp
+      | "ss" ->
+        (* the maximally ambiguous S → SS | a: Catalan-many parses of aⁿ *)
+        Ok
+          (G.Grammar.fix "S" (fun self ->
+               G.Grammar.alt2
+                 (G.Grammar.seq self self)
+                 (G.Grammar.chr 'a')))
+      | other -> (
+        match String.index_opt other ':' with
+        | Some 2 when String.length other > 3 && String.sub other 0 2 = "re"
+          -> (
+          let pattern = String.sub other 3 (String.length other - 3) in
+          match Rs.parse pattern with
+          | Ok r -> Ok (Lambekd_regex.Regex.to_grammar r)
+          | Error e -> Error (Fmt.str "%a" Rs.pp_error e))
+        | _ ->
+          Error
+            (Fmt.str "unknown grammar %s (try dyck, expr, ss or re:PATTERN)"
+               other))
+    in
+    match grammar with
+    | Error msg ->
+      Fmt.epr "lambekd: %s@." msg;
+      1
+    | Ok g ->
+      List.iter
+        (fun w ->
+          let f = G.Forest.build g w in
+          let c = G.Forest.count f in
+          let verdict =
+            if not (G.Forest.accepts f) then "rejected"
+            else if G.Forest.is_saturated c then
+              Fmt.str "at least %d parses" c
+            else if c = 1 then "unambiguous (1 parse)"
+            else Fmt.str "ambiguous (%d parses)" c
+          in
+          Fmt.pr "%S: %s [forest: %d nodes, %d packed]@." w verdict
+            (G.Forest.nodes f) (G.Forest.packed f);
+          if max_trees > 0 then
+            Seq.iteri
+              (fun i t -> print_tree (Fmt.str "parse %d" (i + 1)) t)
+              (G.Forest.enumerate ~max_trees f)
+          else
+            Option.iter (print_tree "first parse") (G.Forest.first_parse f))
+        inputs;
+      0
+  in
+  let gname =
+    Arg.(
+      value
+      & opt string "dyck"
+      & info [ "g"; "grammar" ]
+          ~doc:"Grammar: dyck, expr, ss (S → SS | a), or re:PATTERN.")
+  in
+  let max_trees =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-trees" ] ~docv:"N"
+          ~doc:
+            "Unpack and print up to $(docv) parse trees from the forest \
+             (0: print only the first parse).")
+  in
+  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
+  Cmd.v
+    (Cmd.info "forest"
+       ~doc:
+         "Count and inspect parses via the shared packed parse forest — \
+          exact ambiguity counts without materializing the tree set.")
+    Term.(const run $ common_term $ gname $ max_trees $ inputs)
+
 (* --- ambiguity --------------------------------------------------------------- *)
 
 let ambiguity_cmd =
@@ -301,6 +383,7 @@ let main =
   Cmd.group
     (Cmd.info "lambekd" ~version:"1.0.0"
        ~doc:"Intrinsically verified parsing in Dependent Lambek Calculus.")
-    [ regex_cmd; dyck_cmd; expr_cmd; reify_cmd; ambiguity_cmd; check_cmd ]
+    [ regex_cmd; dyck_cmd; expr_cmd; forest_cmd; reify_cmd; ambiguity_cmd;
+      check_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -4,15 +4,56 @@ module Ev = Lambekd_telemetry.Event
 let c_items = Probe.counter "earley.items"
 let c_completed = Probe.counter "earley.completed"
 
-type item = {
-  prod : int;   (* production index *)
-  dot : int;    (* position in the rhs *)
-  origin : int; (* chart position where the item started *)
+(* An Earley item (production, dot position, origin) is packed into one
+   int — [((origin * nprods) + prod) * maxdot + dot] — so chart and queue
+   membership hash a word instead of walking a record, and advancing the
+   dot is [enc + 1].  Completed constituents (origin, end, production)
+   pack the same way.  The tables are int-keyed with an inline
+   multiplicative hash: no generic-hash C call per probe. *)
+module IntTbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = (x * 0x01000193) land max_int
+end)
+
+(* One recognizer run: the chart (packed items grouped by end position),
+   the set of completed constituents, and the input it was built for —
+   shared by recognition, size reporting and derivation reconstruction so
+   none of them pays for the chart twice. *)
+type chart = {
+  cfg : Cfg.t;
+  input : string;
+  charts : unit IntTbl.t array;
+  completed : unit IntTbl.t; (* keys packed by [pack] below *)
 }
 
-(* Run the recognizer, returning the chart and the set of completed
-   constituents (lhs, origin, end, production). *)
-let run (cfg : Cfg.t) w =
+(* (origin, end, production) of a completed constituent as one int; the
+   constituent's nonterminal is implied by the production. *)
+let pack ch origin pos prod =
+  let nprods = Array.length ch.cfg.Cfg.productions in
+  let n = String.length ch.input in
+  (((origin * (n + 1)) + pos) * nprods) + prod
+
+(* The completer has two implementations:
+
+   - [indexed = true] (default): every enqueued item whose dot is before a
+     nonterminal is registered, at its end position, under that awaited
+     nonterminal.  Completing (lhs, origin → pos) then advances exactly
+     the parents waiting on [lhs] at [origin] — O(matching parents).
+
+   - [indexed = false]: the seed behaviour, kept as the bench baseline —
+     scan {e every} item of the origin chart and test its next symbol,
+     which is quadratic in chart width for each completion.
+
+   Both produce the identical item set.  The waiting index is complete
+   because items are only ever added to chart [x] while the scan position
+   is at [x] (prediction adds at the current position, scanning at the
+   next), so by the time a longer constituent completes back into [x] the
+   index over [x] is final; same-position completions that race with
+   insertion are caught — in both modes — by the ε-completion check when
+   the late item is popped. *)
+let run ?(indexed = true) (cfg : Cfg.t) w =
   let chart_items = ref 0 in
   Probe.with_span "earley.run"
     ~fields:(fun () ->
@@ -20,65 +61,136 @@ let run (cfg : Cfg.t) w =
         ("chart_items", Ev.Int !chart_items) ])
   @@ fun () ->
   let n = String.length w in
-  let charts = Array.init (n + 1) (fun _ -> Hashtbl.create 16) in
-  let completed = Hashtbl.create 64 in
-  let enqueue pos item queue =
-    if not (Hashtbl.mem charts.(pos) item) then begin
+  let prods = cfg.Cfg.productions in
+  let nprods = Array.length prods in
+  (* per-run precomputations: rhs as arrays (a dot lookup is an array
+     access, not a list walk), dense nonterminal ids for the waiting
+     index, and a productions-by-name table so prediction does not rescan
+     the whole production list *)
+  let rhs_arr = Array.map (fun p -> Array.of_list p.Cfg.rhs) prods in
+  let maxdot =
+    1 + Array.fold_left (fun m r -> max m (Array.length r)) 0 rhs_arr
+  in
+  let encode origin prod dot = ((origin * nprods) + prod) * maxdot + dot in
+  let nt_ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      if not (Hashtbl.mem nt_ids p.Cfg.lhs) then
+        Hashtbl.add nt_ids p.Cfg.lhs (Hashtbl.length nt_ids))
+    prods;
+  let nnts = Hashtbl.length nt_ids in
+  let lhs_id = Array.map (fun p -> Hashtbl.find nt_ids p.Cfg.lhs) prods in
+  let prods_by_name : (string, (int * Cfg.production) list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  Array.iteri
+    (fun i p ->
+      let l =
+        match Hashtbl.find_opt prods_by_name p.Cfg.lhs with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace prods_by_name p.Cfg.lhs (l @ [ (i, p) ]))
+    prods;
+  let predictions m =
+    match Hashtbl.find_opt prods_by_name m with Some l -> l | None -> []
+  in
+  let packc origin pos prod = (((origin * (n + 1)) + pos) * nprods) + prod in
+  let charts : unit IntTbl.t array =
+    Array.init (n + 1) (fun _ -> IntTbl.create 16)
+  in
+  (* waiting.(pos).(ntid): items ending at [pos] whose dot awaits that
+     nonterminal.  A nonterminal with no productions gets no id — nothing
+     can ever complete it, so its awaiters need no registration. *)
+  let waiting : int list array array =
+    Array.init (if indexed then n + 1 else 0) (fun _ -> Array.make nnts [])
+  in
+  let completed = IntTbl.create 64 in
+  let queues = Array.init (n + 1) (fun _ -> Queue.create ()) in
+  let enqueue pos enc queue =
+    if not (IntTbl.mem charts.(pos) enc) then begin
       Probe.bump c_items;
       incr chart_items;
-      Hashtbl.add charts.(pos) item ();
-      Queue.add item queue
+      IntTbl.add charts.(pos) enc ();
+      if indexed then begin
+        let dot = enc mod maxdot in
+        let prod = enc / maxdot mod nprods in
+        let rhs = rhs_arr.(prod) in
+        if dot < Array.length rhs then
+          match rhs.(dot) with
+          | Cfg.N m -> (
+            match Hashtbl.find_opt nt_ids m with
+            | Some id -> waiting.(pos).(id) <- enc :: waiting.(pos).(id)
+            | None -> ())
+          | Cfg.T _ -> ()
+      end;
+      Queue.add enc queue
     end
   in
-  let queues = Array.init (n + 1) (fun _ -> Queue.create ()) in
   List.iter
-    (fun (i, _) -> enqueue 0 { prod = i; dot = 0; origin = 0 } queues.(0))
+    (fun (i, _) -> enqueue 0 (encode 0 i 0) queues.(0))
     (Cfg.productions_of cfg cfg.Cfg.start);
   for pos = 0 to n do
     let queue = queues.(pos) in
     while not (Queue.is_empty queue) do
-      let item = Queue.pop queue in
-      let p = cfg.Cfg.productions.(item.prod) in
-      match List.nth_opt p.Cfg.rhs item.dot with
-      | None ->
+      let enc = Queue.pop queue in
+      let dot = enc mod maxdot in
+      let pd = enc / maxdot in
+      let prod = pd mod nprods in
+      let origin = pd / nprods in
+      let rhs = rhs_arr.(prod) in
+      if dot >= Array.length rhs then begin
         (* complete *)
         Probe.bump c_completed;
-        Hashtbl.replace completed (p.Cfg.lhs, item.origin, pos, item.prod) ();
-        Hashtbl.iter
-          (fun parent () ->
-            let pp = cfg.Cfg.productions.(parent.prod) in
-            match List.nth_opt pp.Cfg.rhs parent.dot with
-            | Some (Cfg.N m) when String.equal m p.Cfg.lhs ->
-              enqueue pos { parent with dot = parent.dot + 1 } queue
-            | Some _ | None -> ())
-          charts.(item.origin)
-      | Some (Cfg.T c) ->
-        if pos < n && Char.equal w.[pos] c then
-          enqueue (pos + 1) { item with dot = item.dot + 1 } queues.(pos + 1)
-      | Some (Cfg.N m) ->
-        List.iter
-          (fun (i, _) -> enqueue pos { prod = i; dot = 0; origin = pos } queue)
-          (Cfg.productions_of cfg m);
-        (* if m has already been completed over (pos, pos) — ε — advance *)
-        List.iter
-          (fun (i, _) ->
-            if Hashtbl.mem completed (m, pos, pos, i) then
-              enqueue pos { item with dot = item.dot + 1 } queue)
-          (Cfg.productions_of cfg m)
+        IntTbl.replace completed (packc origin pos prod) ();
+        if indexed then
+          (* the list read is a snapshot: parents registered during these
+             enqueues are same-position items, handled by the pop-time
+             ε-check *)
+          List.iter
+            (fun parent -> enqueue pos (parent + 1) queue)
+            waiting.(origin).(lhs_id.(prod))
+        else
+          (* seed behaviour, kept as the bench baseline: scan every item
+             of the origin chart and test its next symbol *)
+          let lhs = prods.(prod).Cfg.lhs in
+          IntTbl.iter
+            (fun parent () ->
+              let pdot = parent mod maxdot in
+              let pprod = parent / maxdot mod nprods in
+              match List.nth_opt prods.(pprod).Cfg.rhs pdot with
+              | Some (Cfg.N m) when String.equal m lhs ->
+                enqueue pos (parent + 1) queue
+              | Some _ | None -> ())
+            charts.(origin)
+      end
+      else
+        match rhs.(dot) with
+        | Cfg.T c ->
+          if pos < n && Char.equal w.[pos] c then
+            enqueue (pos + 1) (enc + 1) queues.(pos + 1)
+        | Cfg.N m ->
+          List.iter
+            (fun (i, _) -> enqueue pos (encode pos i 0) queue)
+            (predictions m);
+          (* if m has already been completed over (pos, pos) — ε — advance *)
+          List.iter
+            (fun (i, _) ->
+              if IntTbl.mem completed (packc pos pos i) then
+                enqueue pos (enc + 1) queue)
+            (predictions m)
     done
   done;
-  (charts, completed)
+  { cfg; input = w; charts; completed }
 
-let recognizes cfg w =
-  let n = String.length w in
-  let _, completed = run cfg w in
+let accepts ch =
+  let n = String.length ch.input in
   List.exists
-    (fun (i, _) -> Hashtbl.mem completed (cfg.Cfg.start, 0, n, i))
-    (Cfg.productions_of cfg cfg.Cfg.start)
+    (fun (i, _) -> IntTbl.mem ch.completed (pack ch 0 n i))
+    (Cfg.productions_of ch.cfg ch.cfg.Cfg.start)
 
-let chart_size cfg w =
-  let charts, _ = run cfg w in
-  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 charts
+let size ch =
+  Array.fold_left (fun acc tbl -> acc + IntTbl.length tbl) 0 ch.charts
 
 type tree =
   | Leaf of char
@@ -86,9 +198,9 @@ type tree =
 
 (* Derivation reconstruction over the completed-constituent facts, with an
    active set to avoid looping through nullable/left-recursive cycles. *)
-let parse (cfg : Cfg.t) w =
+let parse_tree ch =
+  let cfg = ch.cfg and w = ch.input in
   let n = String.length w in
-  let _, completed = run cfg w in
   let active = Hashtbl.create 16 in
   let rec build_nt name i j =
     if Hashtbl.mem active (name, i, j) then None
@@ -97,7 +209,7 @@ let parse (cfg : Cfg.t) w =
       let result =
         List.find_map
           (fun (pi, p) ->
-            if Hashtbl.mem completed (name, i, j, pi) then
+            if IntTbl.mem ch.completed (pack ch i j pi) then
               Option.map
                 (fun children -> Node (name, pi, children))
                 (build_seq p.Cfg.rhs i j)
@@ -128,6 +240,12 @@ let parse (cfg : Cfg.t) w =
       split i
   in
   build_nt cfg.Cfg.start 0 n
+
+(* One-shot conveniences; callers wanting more than one answer should
+   [run] once and interrogate the chart. *)
+let recognizes cfg w = accepts (run cfg w)
+let chart_size cfg w = size (run cfg w)
+let parse cfg w = parse_tree (run cfg w)
 
 let rec tree_yield = function
   | Leaf c -> String.make 1 c

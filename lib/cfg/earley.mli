@@ -3,11 +3,28 @@
     The independent oracle the specialized parsers (Dyck's counter
     automaton, the Fig 15 lookahead automaton, LL(1)) are differentially
     tested against, and the general-CFG baseline in the benches.  Handles
-    ε-productions, left recursion and ambiguity. *)
+    ε-productions, left recursion and ambiguity.
 
-val recognizes : Cfg.t -> string -> bool
+    The completer is indexed by awaited nonterminal: completing a
+    constituent advances exactly the parents waiting on it at its origin,
+    instead of scanning the whole origin chart ([~indexed:false] keeps
+    the scanning completer as a bench baseline — both construct the
+    identical item set).  One {!run} produces a {!chart} that
+    {!accepts}, {!size} and {!parse_tree} all interrogate, so a
+    recognize-and-report pays for the chart once. *)
 
-val chart_size : Cfg.t -> string -> int
+type chart
+(** The result of one recognizer run over one input. *)
+
+val run : ?indexed:bool -> Cfg.t -> string -> chart
+(** Build the chart.  [indexed] (default [true]) selects the
+    nonterminal-indexed completer; [false] the seed's full-scan
+    completer. *)
+
+val accepts : chart -> bool
+(** Was the whole input derived from the start symbol? *)
+
+val size : chart -> int
 (** Total number of Earley items constructed (a work measure for the
     benches). *)
 
@@ -16,9 +33,18 @@ type tree =
   | Node of string * int * tree list
       (** nonterminal, production index, children *)
 
-val parse : Cfg.t -> string -> tree option
+val parse_tree : chart -> tree option
 (** One derivation tree (the first found when walking back through
     completed items); [None] if the word is not in the language. *)
+
+val recognizes : Cfg.t -> string -> bool
+(** [accepts (run cfg w)]. *)
+
+val chart_size : Cfg.t -> string -> int
+(** [size (run cfg w)]. *)
+
+val parse : Cfg.t -> string -> tree option
+(** [parse_tree (run cfg w)]. *)
 
 val tree_yield : tree -> string
 

@@ -4,6 +4,7 @@ type t = {
   cfg : Cfg.t;
   nullable_tbl : (string, unit) Hashtbl.t;
   first_tbl : (string, Cset.t) Hashtbl.t;
+  last_tbl : (string, Cset.t) Hashtbl.t;
   follow_tbl : (string, Cset.t) Hashtbl.t;
 }
 
@@ -51,6 +52,32 @@ let compute (cfg : Cfg.t) =
         end)
       cfg.Cfg.productions
   done;
+  (* LAST is FIRST over the reversed right-hand sides: the characters that
+     can end a non-empty derivation.  Used (with FIRST) to prune split
+     points in the chart engines — see Lambekd_grammar.Charsets for the
+     same analysis on grammar terms. *)
+  let last_tbl = Hashtbl.create 8 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        let current = get last_tbl p.Cfg.lhs in
+        let rec last_of = function
+          | [] -> Cset.empty
+          | Cfg.T c :: _ -> Cset.singleton c
+          | Cfg.N m :: rest ->
+            let lm = get last_tbl m in
+            if Hashtbl.mem nullable_tbl m then Cset.union lm (last_of rest)
+            else lm
+        in
+        let updated = Cset.union current (last_of (List.rev p.Cfg.rhs)) in
+        if not (Cset.equal current updated) then begin
+          Hashtbl.replace last_tbl p.Cfg.lhs updated;
+          changed := true
+        end)
+      cfg.Cfg.productions
+  done;
   let follow_tbl = Hashtbl.create 8 in
   let changed = ref true in
   while !changed do
@@ -88,10 +115,11 @@ let compute (cfg : Cfg.t) =
         walk p.Cfg.rhs)
       cfg.Cfg.productions
   done;
-  { cfg; nullable_tbl; first_tbl; follow_tbl }
+  { cfg; nullable_tbl; first_tbl; last_tbl; follow_tbl }
 
 let nullable t n = Hashtbl.mem t.nullable_tbl n
 let first t n = Cset.elements (get t.first_tbl n)
+let last t n = Cset.elements (get t.last_tbl n)
 let follow t n = Cset.elements (get t.follow_tbl n)
 
 let first_of_seq t symbols =

@@ -11,6 +11,10 @@ val nullable : t -> string -> bool
 val first : t -> string -> char list
 (** Sorted, duplicate-free. *)
 
+val last : t -> string -> char list
+(** Characters that can end a non-empty derivation of the nonterminal —
+    FIRST of the reversed grammar.  Sorted, duplicate-free. *)
+
 val follow : t -> string -> char list
 
 val first_of_seq : t -> Cfg.symbol list -> char list * bool

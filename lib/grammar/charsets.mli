@@ -1,0 +1,124 @@
+(** Nullability, first/last character sets and width bounds for {!Grammar}
+    terms — the split-pruning oracle of the enumeration engines.
+
+    This lifts the nullable/FIRST analysis of [Lambekd_cfg.First_follow]
+    from production CFGs to [Grammar.t], adds LAST sets (engines split
+    [Seq] on both endpoints) and derivation-width bounds (a [Chr]-headed
+    [Seq] splits at exactly one point), and approximates unknowns by [⊤].
+    [nullable]/[first]/[last]/[wmin]/[wmax] are over-approximations of
+    the true language: if [g] has a parse over [s.\[i..j)] then
+    [admits (info t g) s i j] holds, so a split point the analysis
+    rejects can be skipped without losing parses.  [sure_null] is the one
+    under-approximation — when set, an ε-parse definitely exists, so
+    engines can answer empty-span membership without touching their memo
+    tables.  Instances of indexed definitions are analyzed by least
+    fixpoint over the reachable instance closure (with widening on the
+    width bounds), with a budget beyond which instances are soundly
+    treated as [⊤]. *)
+
+(** Character sets as 256-bit vectors: membership is a shift and a mask,
+    cheap enough for the per-split checks in the engine hot loops. *)
+module Cset : sig
+  type t
+
+  val empty : t
+  val singleton : char -> t
+  val mem : char -> t -> bool
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val equal : t -> t -> bool
+  val elements : t -> char list
+end
+
+type cset = Any | Chars of Cset.t
+
+val cset_mem : char -> cset -> bool
+val pp_cset : Format.formatter -> cset -> unit
+
+type info = {
+  nullable : bool;  (** may derive the empty string *)
+  sure_null : bool;  (** {e definitely} derives the empty string *)
+  first : cset;  (** characters that may start a non-empty parse *)
+  last : cset;  (** characters that may end a non-empty parse *)
+  wmin : int;  (** minimum width of any parse *)
+  wmax : int;  (** maximum width of any parse; [max_int] = unbounded *)
+}
+
+val top : info
+(** No information: nullable, any first/last character, any width — but
+    not [sure_null] (nothing is sure about an unknown). *)
+
+val pp_info : Format.formatter -> info -> unit
+
+val admits : info -> string -> int -> int -> bool
+(** [admits i s lo hi]: can a grammar with info [i] possibly derive
+    [s.\[lo..hi)]?  [false] guarantees no parse exists. *)
+
+val split_bounds : info -> info -> int -> int -> int * int
+(** [split_bounds ia ib i j] is the window [(lo, hi)] of split points [k]
+    for a [Seq] with component infos [ia], [ib] over [s.\[i..j)] that
+    leave a realizable width on both sides.  Candidates outside it cannot
+    yield a parse. *)
+
+type t
+(** Mutable analysis state: one per engine run.  Caches instance infos and
+    annotated definition bodies. *)
+
+val create : ?budget:int -> unit -> t
+(** [budget] bounds how many instances of each definition are analyzed
+    precisely; later instances of that definition get [⊤].  Default 512,
+    so an infinitely-indexed definition (a counter automaton, say) cannot
+    starve other definitions of precision. *)
+
+val shared : unit -> t
+(** The process-wide analysis state used by the engines.  Sound to share:
+    instance infos are time-invariant once rules are installed (rules are
+    write-once), and an instance analyzed as [⊤] before its rules existed
+    merely stays unpruned.  Sharing amortizes the fixpoint to once per
+    definition closure instead of once per parse. *)
+
+val info : t -> Grammar.t -> info
+(** Analyze a term, running the instance fixpoint to stability first. *)
+
+val nullable : t -> Grammar.t -> bool
+
+(** {1 Annotated terms}
+
+    Engines traverse annotated terms so pruning info is O(1) at every hot
+    node instead of a recomputed walk. *)
+
+type ann = { ainfo : info; view : view }
+
+and view =
+  | AChr of char
+  | AEps
+  | AVoid
+  | ATop
+  | AAtom of Grammar.atom
+  | ASeq of ann * ann
+  | AAlt of (Index.t * ann) list
+  | AAnd of (Index.t * ann) list
+  | ARef of aref
+
+and aref = {
+  rdef : Grammar.def;
+  rix : Index.t;
+  ruid : int;
+      (** dense id of the instance within the analysis state — a
+          one-word alias for [(Grammar.def_id rdef, rix)], suitable as an
+          engine memo key component *)
+  mutable rbody : ann option;  (** engine-private cache; use {!ref_body} *)
+}
+
+val annotate : t -> Grammar.t -> ann
+(** Stabilize the analysis, then annotate every subterm with its (final)
+    info. *)
+
+val body_ann : t -> Grammar.def -> Index.t -> ann
+(** Annotated body of a definition instance, memoized: at most one
+    [Grammar.def_body] call per instance per analysis state.  [def_body]
+    failures (rules not installed) propagate to the caller. *)
+
+val ref_body : t -> aref -> ann
+(** [body_ann] for an [ARef] node, cached in the node itself so repeat
+    resolutions skip the instance table entirely. *)

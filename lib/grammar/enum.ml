@@ -1,15 +1,20 @@
 module Probe = Lambekd_telemetry.Probe
 module Ev = Lambekd_telemetry.Event
 
-(* Aggregate counters across all three engines; see DESIGN.md §6.
+(* Aggregate counters across all engines; see DESIGN.md §6.
    An "item" is an occurrence of an indexed definition at a span — a [Ref]
    visit, i.e. one probe of the memo [Key] space.  Counting at [Ref] nodes
    only keeps the cheap leaf cases (Chr/Eps/...) probe-free, so the
-   disabled-telemetry build measures identically to an uninstrumented one. *)
+   disabled-telemetry build measures identically to an uninstrumented one.
+   [enum.fixpoint_iters] counts membership solver runs (the seed engine
+   bumped it once per full recomputation pass; the worklist solver makes
+   one pass plus targeted re-propagations, counted by
+   [enum.worklist_pops]). *)
 let c_items = Probe.counter "enum.items"
 let c_memo_hit = Probe.counter "enum.memo_hit"
 let c_memo_miss = Probe.counter "enum.memo_miss"
 let c_fix_iters = Probe.counter "enum.fixpoint_iters"
+let c_worklist_pops = Probe.counter "enum.worklist_pops"
 
 let len_field s () = [ ("len", Ev.Int (String.length s)) ]
 
@@ -20,77 +25,33 @@ module Key = struct
   let equal (d, x, i, j) (d', x', i', j') =
     d = d' && i = i' && j = j' && Index.equal x x'
 
-  let hash (d, x, i, j) = Hashtbl.hash (d, Index.hash x, i, j)
+  (* FNV-style mix without the tuple allocation of [Hashtbl.hash] *)
+  let hash (d, x, i, j) =
+    let h = (d * 0x01000193) lxor Index.hash x in
+    let h = (h * 0x01000193) lxor i in
+    (h * 0x01000193) lxor j
 end
 
 module Tbl = Hashtbl.Make (Key)
 
-(* Cartesian product of per-component parse lists for additive
-   conjunction: a parse of [&] is a choice of one parse per component. *)
-let tuple_product comps =
-  List.fold_right
-    (fun (tag, trees) acc ->
-      List.concat_map
-        (fun t -> List.map (fun rest -> (tag, t) :: rest) acc)
-        trees)
-    comps [ [] ]
+(* The worklist solver keys on the instance's dense [Charsets] uid instead
+   of (def, index): one-word hashing and comparison in the hot path. *)
+module IKey = struct
+  type t = int * int * int
 
-type status = In_progress | Done of Ptree.t list
+  let equal (u, i, j) (u', i', j') = u = u' && i = i' && j = j'
 
-let parses_span g s i0 j0 =
-  let memo : status Tbl.t = Tbl.create 64 in
-  let rec go g i j =
-    match (g : Grammar.t) with
-    | Chr c -> if j = i + 1 && Char.equal s.[i] c then [ Ptree.Tok c ] else []
-    | Eps -> if i = j then [ Ptree.Eps ] else []
-    | Void -> []
-    | Top -> [ Ptree.TopP (String.sub s i (j - i)) ]
-    | Atom a ->
-      let w = String.sub s i (j - i) in
-      List.filter
-        (fun t -> String.equal (Ptree.yield t) w)
-        (a.atom_parses w)
-    | Seq (a, b) ->
-      let acc = ref [] in
-      for k = j downto i do
-        match go a i k with
-        | [] -> ()
-        | lefts ->
-          let rights = go b k j in
-          List.iter
-            (fun l ->
-              List.iter (fun r -> acc := Ptree.Pair (l, r) :: !acc) rights)
-            lefts
-      done;
-      !acc
-    | Alt comps ->
-      List.concat_map
-        (fun (tag, g') -> List.map (fun t -> Ptree.Inj (tag, t)) (go g' i j))
-        comps
-    | And comps ->
-      let per_comp = List.map (fun (tag, g') -> (tag, go g' i j)) comps in
-      if List.exists (fun (_, ts) -> ts = []) per_comp then []
-      else List.map (fun comps -> Ptree.Tuple comps) (tuple_product per_comp)
-    | Ref (d, ix) -> (
-      Probe.bump c_items;
-      let key = (Grammar.def_id d, ix, i, j) in
-      match Tbl.find_opt memo key with
-      | Some (Done ts) ->
-        Probe.bump c_memo_hit;
-        ts
-      | Some In_progress -> []
-      | None ->
-        Probe.bump c_memo_miss;
-        Tbl.replace memo key In_progress;
-        let ts =
-          List.map
-            (fun t -> Ptree.Roll (Grammar.def_name d, t))
-            (go (Grammar.def_body d ix) i j)
-        in
-        Tbl.replace memo key (Done ts);
-        ts)
-  in
-  go g i0 j0
+  let hash (u, i, j) =
+    let h = (u * 0x01000193) lxor i in
+    (h * 0x01000193) lxor j
+end
+
+module ITbl = Hashtbl.Make (IKey)
+
+(* --- enumeration: thin wrappers over the packed forest -------------------- *)
+
+let parses_span g s i j =
+  List.of_seq (Forest.enumerate (Forest.build_span g s i j))
 
 let parses g s =
   Probe.with_span "enum.parses" ~fields:(len_field s) (fun () ->
@@ -98,20 +59,186 @@ let parses g s =
 
 let count g s = List.length (parses g s)
 
-(* Membership by iterated least fixpoint.  Each pass recomputes every
-   reachable item; re-entrant items use the previous pass's value (false on
-   the first pass).  Membership is monotone in these assumptions, so the
-   table grows until it stabilizes at the least fixpoint. *)
+let count_fast g s =
+  Probe.with_span "enum.count_fast" ~fields:(len_field s) @@ fun () ->
+  Forest.count_string g s
+
+let first_parse g s = Forest.first_parse (Forest.build g s)
+
+(* --- membership: semi-naive worklist over the item graph ------------------ *)
+
+(* Membership is the least fixpoint of the monotone system whose unknowns
+   are items (definition instance × span).  The seed engine iterated
+   whole recomputation passes to convergence — every reachable item
+   re-evaluated every pass, with [passes] as large as the longest
+   false→true chain through item cycles.  Here we solve it semi-naively:
+
+   - an unseen item is evaluated depth-first, exactly like a seed pass —
+     full short-circuiting, recursing into unseen [Ref]s.  The item's
+     value is set to a provisional [false] {e before} its body runs, so a
+     re-entrant occurrence (an ε-cycle) reads [false] instead of looping;
+   - a [Ref] read that returns [false] records a dependency edge
+     reader ← read.  [true] reads record nothing — values are monotone,
+     a [true] can never be invalidated;
+   - when an item flips [false → true], exactly its recorded readers are
+     re-queued and re-evaluated.
+
+   On a cycle-free instance every depth-first evaluation is already
+   exact, no edge ever fires, and the whole run is a single seed pass —
+   where the seed always pays at least one more full pass to detect
+   convergence.  With cycles, each edge fires at most once (values flip
+   once), so repair work is O(false-edges · body-cost) instead of
+   O(passes · items · body-cost).  Short-circuit evaluation stays safe:
+   a [false] verdict is witnessed by the premises actually read, so any
+   flip that could change it must flip a recorded premise first.
+
+   Split points are pruned with the {!Charsets} first/last/nullability
+   analysis — an over-approximation, so a refuted item is [false] in the
+   least fixpoint and can be cut without recording anything. *)
+type item = {
+  ibody : Charsets.ann;
+  ii : int;
+  ij : int;
+  mutable ival : bool;
+  mutable ireaders : item list;
+      (* items whose last evaluation read this one as [false] *)
+  mutable iqueued : bool;
+}
+
 let accepts g s =
   Probe.with_span "enum.accepts" ~fields:(len_field s) @@ fun () ->
+  Probe.bump c_fix_iters;
+  let cs = Charsets.shared () in
+  let ag = Charsets.annotate cs g in
+  let n = String.length s in
+  let items : item ITbl.t = ITbl.create (16 + n) in
+  let queue : item Queue.t = Queue.create () in
+  let add_reader it reader =
+    if not (List.memq reader it.ireaders) then
+      it.ireaders <- reader :: it.ireaders
+  in
+  let flip it =
+    it.ival <- true;
+    List.iter
+      (fun r ->
+        if (not r.ival) && not r.iqueued then begin
+          r.iqueued <- true;
+          Queue.push r queue
+        end)
+      it.ireaders;
+    it.ireaders <- []
+  in
+  let rec mem ~reader (a : Charsets.ann) i j =
+    (* leaves are exact checks already — the [admits] filter and the
+       [sure_null] empty-span fast path only pay off on composite nodes *)
+    match a.view with
+    | AChr c -> j = i + 1 && Char.equal s.[i] c
+    | AEps -> i = j
+    | AVoid -> false
+    | ATop -> true
+    | AAtom at ->
+      Charsets.admits a.ainfo s i j
+      &&
+      let w = String.sub s i (j - i) in
+      List.exists
+        (fun t -> String.equal (Ptree.yield t) w)
+        (at.Grammar.atom_parses w)
+    | ASeq (ka, kb) ->
+      (* [sure_null] is exact: an empty-span query needs no evaluation *)
+      (i = j && a.ainfo.Charsets.sure_null)
+      || Charsets.admits a.ainfo s i j
+         &&
+         (* the width window cuts the scan range up front; the right
+            component's [admits] is checked before the left is evaluated
+            so an impossible right side costs one bit test, not a memo
+            item *)
+         let lo, hi = Charsets.split_bounds ka.ainfo kb.ainfo i j in
+         split ~reader ka kb i j lo hi
+    | AAlt comps ->
+      (i = j && a.ainfo.Charsets.sure_null)
+      || (Charsets.admits a.ainfo s i j && alt_any ~reader comps i j)
+    | AAnd comps ->
+      (i = j && a.ainfo.Charsets.sure_null)
+      || (Charsets.admits a.ainfo s i j && and_all ~reader comps i j)
+    | ARef r ->
+      (i = j && a.ainfo.Charsets.sure_null)
+      || Charsets.admits a.ainfo s i j
+         && (Probe.bump c_items;
+             let key = (r.Charsets.ruid, i, j) in
+             match ITbl.find_opt items key with
+             | Some it ->
+               Probe.bump c_memo_hit;
+               if it.ival then true
+               else begin
+                 add_reader it reader;
+                 false
+               end
+             | None ->
+               (* unseen: evaluate depth-first, exactly like a seed pass;
+                  the provisional [false] stored before the body runs is
+                  the ε-cycle cut *)
+               Probe.bump c_memo_miss;
+               let it =
+                 { ibody = Charsets.ref_body cs r; ii = i; ij = j;
+                   ival = false; ireaders = []; iqueued = false }
+               in
+               ITbl.add items key it;
+               if mem ~reader:it it.ibody i j then begin
+                 flip it;
+                 true
+               end
+               else begin
+                 add_reader it reader;
+                 false
+               end)
+  (* the structural walkers are mutually recursive with [mem] instead of
+     local closures so hot-loop visits allocate nothing *)
+  and split ~reader ka kb i j k hi =
+    k <= hi
+    && ((Charsets.admits kb.Charsets.ainfo s k j
+        && mem ~reader ka i k && mem ~reader kb k j)
+       || split ~reader ka kb i j (k + 1) hi)
+  and alt_any ~reader comps i j =
+    match comps with
+    | [] -> false
+    | (_, k) :: rest -> mem ~reader k i j || alt_any ~reader rest i j
+  and and_all ~reader comps i j =
+    match comps with
+    | [] -> true
+    | (_, k) :: rest -> mem ~reader k i j && and_all ~reader rest i j
+  in
+  (* the query itself is a pseudo-item so it re-evaluates when its
+     premises flip *)
+  let root =
+    { ibody = ag; ii = 0; ij = n; ival = false; ireaders = [];
+      iqueued = false }
+  in
+  if mem ~reader:root ag 0 n then root.ival <- true;
+  while not (Queue.is_empty queue) do
+    let it = Queue.pop queue in
+    Probe.bump c_worklist_pops;
+    it.iqueued <- false;
+    if (not it.ival) && mem ~reader:it it.ibody it.ii it.ij then flip it
+  done;
+  root.ival
+
+(* Seed membership algorithm, kept as the reference implementation and the
+   bench baseline for the worklist solver: iterate full recomputation
+   passes to convergence, re-entrant items reading the previous pass's
+   value.  Satellite fix applied: [cur]/[on_stack] are allocated once and
+   [Tbl.reset] between passes instead of rebuilt. *)
+let accepts_fixpoint g s =
+  Probe.with_span "enum.accepts_fixpoint" ~fields:(len_field s) @@ fun () ->
   let prev : bool Tbl.t = Tbl.create 64 in
+  let cur : bool Tbl.t = Tbl.create 64 in
+  let on_stack : unit Tbl.t = Tbl.create 16 in
   let changed = ref true in
   let result = ref false in
   while !changed do
     changed := false;
     Probe.bump c_fix_iters;
-    let cur : bool Tbl.t = Tbl.create 64 in
-    let on_stack : unit Tbl.t = Tbl.create 16 in
+    Tbl.reset cur;
+    Tbl.reset on_stack;
     let rec mem g i j =
       match (g : Grammar.t) with
       | Chr c -> j = i + 1 && Char.equal s.[i] c
@@ -158,56 +285,3 @@ let accepts g s =
       cur
   done;
   !result
-
-let first_parse g s =
-  match parses g s with [] -> None | t :: _ -> Some t
-
-(* Counting without materializing trees: the same recursion as
-   [parses_span] with integer semiring values.  Exact under the same
-   ε-acyclicity proviso. *)
-let count_fast g s =
-  Probe.with_span "enum.count_fast" ~fields:(len_field s) @@ fun () ->
-  let memo : int Tbl.t = Tbl.create 64 in
-  let in_progress : unit Tbl.t = Tbl.create 16 in
-  let rec go g i j =
-    match (g : Grammar.t) with
-    | Chr c -> if j = i + 1 && Char.equal s.[i] c then 1 else 0
-    | Eps -> if i = j then 1 else 0
-    | Void -> 0
-    | Top -> 1
-    | Atom a ->
-      let w = String.sub s i (j - i) in
-      List.length
-        (List.filter
-           (fun t -> String.equal (Ptree.yield t) w)
-           (a.atom_parses w))
-    | Seq (a, b) ->
-      let total = ref 0 in
-      for k = i to j do
-        let left = go a i k in
-        if left > 0 then total := !total + (left * go b k j)
-      done;
-      !total
-    | Alt comps ->
-      List.fold_left (fun acc (_, g') -> acc + go g' i j) 0 comps
-    | And comps ->
-      List.fold_left (fun acc (_, g') -> acc * go g' i j) 1 comps
-    | Ref (d, ix) -> (
-      Probe.bump c_items;
-      let key = (Grammar.def_id d, ix, i, j) in
-      match Tbl.find_opt memo key with
-      | Some n ->
-        Probe.bump c_memo_hit;
-        n
-      | None ->
-        if Tbl.mem in_progress key then 0
-        else begin
-          Probe.bump c_memo_miss;
-          Tbl.add in_progress key ();
-          let n = go (Grammar.def_body d ix) i j in
-          Tbl.remove in_progress key;
-          Tbl.replace memo key n;
-          n
-        end)
-  in
-  go g 0 (String.length s)

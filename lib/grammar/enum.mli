@@ -1,22 +1,27 @@
 (** Parse enumeration and membership for the {!Grammar} model.
 
-    Two engines:
+    Enumeration ({!parses}, {!count_fast}, {!first_parse}) is implemented
+    on the shared packed parse forest of {!Forest}: build once, then
+    count/unpack.  It is exact whenever the grammar system has no
+    ε-cycles (every recursive path consumes input or shrinks the span),
+    which holds for every grammar constructed in this library after
+    normalization.  For genuinely infinitely-ambiguous grammars it
+    returns a finite under-approximation.
 
-    - {!parses} enumerates parse trees by memoized recursion over spans of
-      the input, cutting re-entrant (non-consuming) cycles.  It is exact
-      whenever the grammar system has no ε-cycles (every recursive path
-      consumes input or shrinks the span), which holds for every grammar
-      constructed in this library after normalization.  For genuinely
-      infinitely-ambiguous grammars it returns a finite under-approximation.
+    Membership ({!accepts}) solves the boolean least fixpoint over items
+    with a semi-naive worklist: dependency edges are recorded as item
+    bodies are first evaluated, and only the readers of an item that
+    flips [false → true] are re-propagated.  It computes the same least
+    fixpoint as the seed's iterated full recomputation (kept as
+    {!accepts_fixpoint}) and is exact for {e all} grammar systems whose
+    reachable item set on the given input is finite.
 
-    - {!accepts} decides membership by iterating a boolean least fixpoint
-      to convergence; it is exact for {e all} grammar systems whose
-      reachable item set on the given input is finite.
-
-    Both engines explore only items reachable from the query, so infinitely
-    indexed definitions (counter automata, reified predicates) work as long
-    as only finitely many indices are reachable per input — which is forced
-    whenever index growth is guarded by input consumption. *)
+    Both engines prune [Seq] split points with the {!Charsets}
+    nullability / first / last analysis — a sound over-approximation of
+    each sub-language — and explore only items reachable from the query,
+    so infinitely indexed definitions (counter automata, reified
+    predicates) work as long as only finitely many indices are reachable
+    per input. *)
 
 val parses_span : Grammar.t -> string -> int -> int -> Ptree.t list
 (** [parses_span g s i j] enumerates the parses of the substring
@@ -29,11 +34,18 @@ val count : Grammar.t -> string -> int
 (** Number of parses of the full string (via enumeration). *)
 
 val count_fast : Grammar.t -> string -> int
-(** Parse counting by dynamic programming, without materializing trees —
-    scales to inputs where enumeration would allocate heavily.  Agrees
-    with {!count} (tested) under the same ε-acyclicity proviso. *)
+(** Parse counting on the packed forest, without materializing trees —
+    polynomial even on grammars with exponentially many parses.  Agrees
+    with {!count} (tested) under the same ε-acyclicity proviso;
+    saturates at [max_int]. *)
 
 val accepts : Grammar.t -> string -> bool
-(** Exact membership via boolean least fixpoint. *)
+(** Exact membership: the boolean least fixpoint, solved by a semi-naive
+    worklist ([enum.worklist_pops] counts re-propagations). *)
+
+val accepts_fixpoint : Grammar.t -> string -> bool
+(** The seed membership algorithm — iterated full recomputation to
+    convergence.  Kept as the reference implementation and the bench
+    baseline for {!accepts}; always agrees with it (tested). *)
 
 val first_parse : Grammar.t -> string -> Ptree.t option

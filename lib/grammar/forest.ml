@@ -1,0 +1,244 @@
+(* Shared packed parse forests for the Grammar model.
+
+   Where [Enum.parses_span] memoizes a materialized [Ptree.t list] per
+   definition-instance span — exponential storage on ambiguous grammars —
+   this engine memoizes a {e packed node}: the list of local derivation
+   choices at that span, whose children are (shared) nodes.  The forest is
+   a DAG: counting is a product/sum sweep over it (polynomial where tree
+   counts are exponential), membership is emptiness, first-parse and
+   bounded enumeration unpack nodes on demand via [Seq.t].
+
+   Semantics mirror the seed enumerator exactly (tested): memoization
+   happens only at [Ref] nodes, keyed (definition, index, span); a
+   re-entrant occurrence of the key currently being built contributes no
+   derivations (the ε-cycle cut), so the engine is exact precisely under
+   Enum's ε-acyclicity proviso.  Split points that the {!Charsets}
+   analysis refutes are skipped — a sound pruning, since the analysis
+   over-approximates every sub-language. *)
+
+module Probe = Lambekd_telemetry.Probe
+module Ev = Lambekd_telemetry.Event
+
+let c_nodes = Probe.counter "forest.nodes"
+let c_packed = Probe.counter "forest.packed"
+
+(* The forest engine is the implementation behind Enum.parses/count_fast,
+   so it bumps the same enum.* item/memo counters at Ref visits. *)
+let c_items = Probe.counter "enum.items"
+let c_memo_hit = Probe.counter "enum.memo_hit"
+let c_memo_miss = Probe.counter "enum.memo_miss"
+
+let len_field s () = [ ("len", Ev.Int (String.length s)) ]
+
+(* Memo keys use the instance's dense [Charsets] uid — a one-word alias
+   for (definition, index) — so hashing and comparison are int-only. *)
+module Key = struct
+  type t = int * int * int
+
+  let equal (u, i, j) (u', i', j') = u = u' && i = i' && j = j'
+
+  let hash (u, i, j) =
+    let h = (u * 0x01000193) lxor i in
+    (h * 0x01000193) lxor j
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* A node's parse set is the union over its alternatives; an alternative
+   combines child nodes the way the matching [Ptree] constructor does.
+   Invariant: every node reachable from a build has at least one parse —
+   emptiness is represented solely by the shared [empty] node, so
+   "non-empty list of alternatives" and "accepted" coincide. *)
+type node = {
+  mutable alts : shape list;
+  mutable ncount : int; (* memoized saturating count; -1 = not yet *)
+}
+
+and shape =
+  | STok of char
+  | SEps
+  | STop of string
+  | SAtoms of Ptree.t list (* non-empty, yield-filtered *)
+  | SPair of node * node
+  | SInj of Index.t * node
+  | STuple of (Index.t * node) list
+  | SRoll of string * node
+
+type t = {
+  root : node;
+  nodes : int; (* nodes allocated while building *)
+  packed : int; (* nodes with ≥ 2 alternatives (genuine packing) *)
+}
+
+type status = Building | Built of node
+
+let saturated = max_int
+
+let sat_add a b =
+  let c = a + b in
+  if c < 0 then saturated else c
+
+let sat_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a > saturated / b then saturated
+  else a * b
+
+let build_span g s i0 j0 =
+  let cs = Charsets.shared () in
+  let ag = Charsets.annotate cs g in
+  let memo : status Tbl.t = Tbl.create 64 in
+  let n_nodes = ref 0 and n_packed = ref 0 in
+  let empty = { alts = []; ncount = 0 } in
+  let mk alts =
+    incr n_nodes;
+    (match alts with _ :: _ :: _ -> incr n_packed | _ -> ());
+    { alts; ncount = -1 }
+  in
+  let rec go (a : Charsets.ann) i j =
+    if not (Charsets.admits a.ainfo s i j) then empty
+    else
+      match a.view with
+      | AChr c ->
+        if j = i + 1 && Char.equal s.[i] c then mk [ STok c ] else empty
+      | AEps -> if i = j then mk [ SEps ] else empty
+      | AVoid -> empty
+      | ATop -> mk [ STop (String.sub s i (j - i)) ]
+      | AAtom at -> (
+        let w = String.sub s i (j - i) in
+        match
+          List.filter (fun t -> String.equal (Ptree.yield t) w)
+            (at.Grammar.atom_parses w)
+        with
+        | [] -> empty
+        | ts -> mk [ SAtoms ts ])
+      | ASeq (ka, kb) ->
+        (* the width window cuts the scan range up front; the right
+           component's [admits] is checked before building the left so an
+           impossible right side costs one bit test, not a subtree *)
+        let lo, hi = Charsets.split_bounds ka.ainfo kb.ainfo i j in
+        let alts = ref [] in
+        for k = hi downto lo do
+          if Charsets.admits kb.ainfo s k j then begin
+            let ln = go ka i k in
+            if ln.alts <> [] then begin
+              let rn = go kb k j in
+              if rn.alts <> [] then alts := SPair (ln, rn) :: !alts
+            end
+          end
+        done;
+        (match !alts with [] -> empty | alts -> mk alts)
+      | AAlt comps -> (
+        match
+          List.filter_map
+            (fun (tag, k) ->
+              let n = go k i j in
+              if n.alts = [] then None else Some (SInj (tag, n)))
+            comps
+        with
+        | [] -> empty
+        | alts -> mk alts)
+      | AAnd comps ->
+        let rec all acc = function
+          | [] -> Some (List.rev acc)
+          | (tag, k) :: rest ->
+            let n = go k i j in
+            if n.alts = [] then None else all ((tag, n) :: acc) rest
+        in
+        (match all [] comps with
+        | None -> empty
+        | Some ns -> mk [ STuple ns ])
+      | ARef r -> (
+        Probe.bump c_items;
+        let key = (r.Charsets.ruid, i, j) in
+        match Tbl.find_opt memo key with
+        | Some (Built n) ->
+          Probe.bump c_memo_hit;
+          n
+        | Some Building -> empty (* ε-cycle cut, as in the seed engines *)
+        | None ->
+          Probe.bump c_memo_miss;
+          Tbl.replace memo key Building;
+          let body = Charsets.ref_body cs r in
+          let bn = go body i j in
+          let n =
+            if bn.alts = [] then empty
+            else mk [ SRoll (Grammar.def_name r.Charsets.rdef, bn) ]
+          in
+          Tbl.replace memo key (Built n);
+          n)
+  in
+  let root = go ag i0 j0 in
+  Probe.add c_nodes !n_nodes;
+  Probe.add c_packed !n_packed;
+  { root; nodes = !n_nodes; packed = !n_packed }
+
+let build g s =
+  Probe.with_span "forest.build" ~fields:(len_field s) @@ fun () ->
+  build_span g s 0 (String.length s)
+
+let nodes f = f.nodes
+let packed f = f.packed
+let accepts f = f.root.alts <> []
+
+(* --- counting: one sweep over the DAG ----------------------------------- *)
+
+let rec count_node n =
+  if n.ncount >= 0 then n.ncount
+  else begin
+    let c =
+      List.fold_left (fun acc sh -> sat_add acc (count_shape sh)) 0 n.alts
+    in
+    n.ncount <- c;
+    c
+  end
+
+and count_shape = function
+  | STok _ | SEps | STop _ -> 1
+  | SAtoms ts -> List.length ts
+  | SPair (l, r) -> sat_mul (count_node l) (count_node r)
+  | SInj (_, n) -> count_node n
+  | STuple comps ->
+    List.fold_left (fun acc (_, n) -> sat_mul acc (count_node n)) 1 comps
+  | SRoll (_, n) -> count_node n
+
+let count f = count_node f.root
+let is_saturated c = c = saturated
+
+(* --- on-demand unpacking ------------------------------------------------- *)
+
+let rec enum_node n : Ptree.t Seq.t =
+  Seq.concat_map enum_shape (List.to_seq n.alts)
+
+and enum_shape = function
+  | STok c -> Seq.return (Ptree.Tok c)
+  | SEps -> Seq.return Ptree.Eps
+  | STop w -> Seq.return (Ptree.TopP w)
+  | SAtoms ts -> List.to_seq ts
+  | SPair (l, r) ->
+    Seq.concat_map
+      (fun lt -> Seq.map (fun rt -> Ptree.Pair (lt, rt)) (enum_node r))
+      (enum_node l)
+  | SInj (tag, n) -> Seq.map (fun t -> Ptree.Inj (tag, t)) (enum_node n)
+  | STuple comps ->
+    let rec prod = function
+      | [] -> Seq.return []
+      | (tag, n) :: rest ->
+        Seq.concat_map
+          (fun t -> Seq.map (fun ts -> (tag, t) :: ts) (prod rest))
+          (enum_node n)
+    in
+    Seq.map (fun comps -> Ptree.Tuple comps) (prod comps)
+  | SRoll (name, n) -> Seq.map (fun t -> Ptree.Roll (name, t)) (enum_node n)
+
+let enumerate ?max_trees f =
+  let seq = enum_node f.root in
+  match max_trees with None -> seq | Some k -> Seq.take k seq
+
+let first_parse f = match enum_node f.root () with
+  | Seq.Nil -> None
+  | Seq.Cons (t, _) -> Some t
+
+(* --- one-shot conveniences ----------------------------------------------- *)
+
+let count_string g s = count (build g s)
+let accepts_string g s = accepts (build g s)

@@ -1,0 +1,61 @@
+(** Shared packed parse forests (SPPF) for the {!Grammar} model.
+
+    {!build} runs the memoized span recursion of the seed enumerator but
+    stores, per (definition, index, span) item, a {e packed node} — the
+    local derivation choices with shared child nodes — instead of a
+    materialized tree list.  The result is a DAG whose size is polynomial
+    in the input (for fixed grammar), even when the number of parse trees
+    is exponential:
+
+    - {!count} sweeps the DAG once with saturating integer arithmetic;
+    - {!accepts} is emptiness of the root;
+    - {!first_parse} and {!enumerate} unpack derivations on demand
+      ([Seq.t]), so asking for [k] trees of a 2^n-ambiguous grammar does
+      not materialize the other [2^n - k].
+
+    Exactness: identical to {!Enum.parses} — memoization at [Ref] nodes
+    with the ε-cycle cut, so counts/sets are exact whenever the grammar
+    system has no ε-cycles, and a finite under-approximation otherwise.
+    Split points refuted by the {!Charsets} first/last/nullability
+    analysis are skipped (sound: the analysis over-approximates).  *)
+
+type t
+(** A built forest for one grammar over one input span. *)
+
+val build : Grammar.t -> string -> t
+(** [build g s] constructs the forest of parses of the whole of [s]. *)
+
+val build_span : Grammar.t -> string -> int -> int -> t
+(** [build_span g s i j] constructs the forest for the substring
+    [s.\[i..j)]. *)
+
+val accepts : t -> bool
+(** Does the forest contain at least one parse? *)
+
+val count : t -> int
+(** Number of parse trees, computed over the shared DAG with saturating
+    arithmetic: a result of [max_int] means "at least [max_int]"
+    (see {!is_saturated}). *)
+
+val is_saturated : int -> bool
+(** Did {!count} overflow the native integer range? *)
+
+val first_parse : t -> Ptree.t option
+(** The first parse, unpacking only one derivation path. *)
+
+val enumerate : ?max_trees:int -> t -> Ptree.t Seq.t
+(** Lazily unpack parse trees; [max_trees] bounds the enumeration. *)
+
+val nodes : t -> int
+(** Forest nodes allocated during the build (telemetry: [forest.nodes]). *)
+
+val packed : t -> int
+(** Nodes with two or more alternatives — the genuinely packed ones
+    (telemetry: [forest.packed]). *)
+
+val count_string : Grammar.t -> string -> int
+(** [count (build g s)]. *)
+
+val accepts_string : Grammar.t -> string -> bool
+(** [accepts (build g s)] — exact under the ε-acyclicity proviso; use
+    {!Enum.accepts} for the fully general fixpoint. *)

@@ -31,7 +31,15 @@ let rec compare x y =
     if c0 <> 0 then c0 else compare b d
   | _, _ -> Int.compare (rank x) (rank y)
 
-let hash x = Hashtbl.hash x
+(* structural, without the generic-hash C call on the common leaves *)
+let rec hash = function
+  | U -> 0x11
+  | B false -> 0x1d
+  | B true -> 0x1f
+  | N n -> (n * 0x01000193) lxor 0x25
+  | C c -> (Char.code c * 0x01000193) lxor 0x9e
+  | S s -> Hashtbl.hash s
+  | P (a, b) -> (hash a * 0x01000193) lxor hash b
 
 let rec pp ppf = function
   | U -> Fmt.string ppf "()"

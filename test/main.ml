@@ -4,6 +4,7 @@ let () =
       ("regex", Test_regex.suite);
       ("automata", Test_automata.suite);
       ("cfg", Test_cfg.suite);
+      ("forest", Test_forest.suite);
       ("turing", Test_turing.suite);
       ("parsing", Test_parsing.suite);
       ("core", Test_core.suite);

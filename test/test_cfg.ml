@@ -651,6 +651,56 @@ let prop_earley_cyk_agree =
     arb_ab_word (fun w ->
       Bool.equal (Earley.recognizes hard w) (Cyk.recognizes_cfg hard w))
 
+(* --- completer index ------------------------------------------------------ *)
+
+(* The indexed completer (default) and the seed full-scan completer must
+   construct the identical item set — same chart size — and agree on
+   acceptance, across the stress grammars (ε-productions, left recursion,
+   ambiguity) and on rejected inputs. *)
+let test_earley_indexed_vs_scan () =
+  let cases =
+    [ (anbn, [ ""; "ab"; "aabb"; "aaabbb"; "aab"; "ba"; "abab" ]);
+      (hard, [ ""; "ab"; "abab"; "aabb"; "abba"; "b"; "aabbab" ]);
+      (dyck_cfg, [ ""; "()"; "()()"; "(())()"; ")("; "((" ]);
+      (ll1_expr, [ "n"; "n+n"; "(n+n)+n"; "n+"; "" ]) ]
+  in
+  List.iter
+    (fun (cfg, inputs) ->
+      List.iter
+        (fun w ->
+          let fast = Earley.run cfg w in
+          let slow = Earley.run ~indexed:false cfg w in
+          check_bool
+            (Fmt.str "accepts agree on %S" w)
+            (Earley.accepts slow) (Earley.accepts fast);
+          check_int
+            (Fmt.str "item sets agree on %S" w)
+            (Earley.size slow) (Earley.size fast))
+        inputs)
+    cases
+
+(* One run answers accepts, size and parse_tree without rebuilding, and
+   matches the one-shot wrappers. *)
+let test_earley_shared_chart () =
+  let w = "(())()" in
+  let ch = Earley.run dyck_cfg w in
+  check_bool "accepts" true (Earley.accepts ch);
+  check_int "size = legacy chart_size" (Earley.chart_size dyck_cfg w)
+    (Earley.size ch);
+  (match Earley.parse_tree ch with
+  | Some t -> Alcotest.(check string) "tree yield" w (Earley.tree_yield t)
+  | None -> Alcotest.fail "expected a parse tree");
+  check_bool "legacy recognizes" true (Earley.recognizes dyck_cfg w)
+
+let test_first_last () =
+  let ff = Ff.compute ll1_expr in
+  Alcotest.(check (list char)) "last E" (Ff.last ff "E") (Ff.last ff "T");
+  check_bool "last T has ) and n" true
+    (List.mem ')' (Ff.last ff "T") && List.mem 'n' (Ff.last ff "T"));
+  let ffd = Ff.compute dyck_cfg in
+  Alcotest.(check (list char)) "first D" [ '(' ] (Ff.first ffd "D");
+  Alcotest.(check (list char)) "last D" [ ')' ] (Ff.last ffd "D")
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_dyck_roundtrip; prop_expr_roundtrip; prop_earley_cyk_agree;
@@ -664,6 +714,9 @@ let suite =
     ("earley parse tree", `Quick, test_earley_parse_tree);
     ("earley parse on hard grammar", `Quick, test_earley_parse_hard);
     ("earley chart size", `Quick, test_earley_chart_size_grows);
+    ("earley indexed vs scan completer", `Quick, test_earley_indexed_vs_scan);
+    ("earley shared chart", `Quick, test_earley_shared_chart);
+    ("first/last sets", `Quick, test_first_last);
     ("cyk matches earley", `Quick, test_cyk_matches_earley);
     ("cyk empty string", `Quick, test_cyk_empty);
     ("first/follow", `Quick, test_first_follow);
