@@ -7,7 +7,10 @@
      expr   — parse and evaluate an arithmetic expression (Theorem 4.14)
      reify  — decide membership in a Turing machine's language
               (Construction 4.15)
-     check  — type check a surface-syntax (.lkd) file *)
+     check  — type check a surface-syntax (.lkd) file
+     serve  — NDJSON parse service over stdio or TCP (grammar registry +
+              multi-domain scheduler)
+     batch  — run an NDJSON request file through the service pipeline *)
 
 module G = Lambekd_grammar
 module P = G.Ptree
@@ -19,6 +22,7 @@ module M = Lambekd_turing.Machine
 module Reify = Lambekd_turing.Reify
 module Elab = Lambekd_surface.Elab
 module T = Lambekd_telemetry
+module Sv = Lambekd_service
 open Cmdliner
 
 let setup_logs verbose =
@@ -91,6 +95,13 @@ let with_telemetry c f =
 let print_tree label tree =
   Fmt.pr "%s:@.  %a@." label P.pp tree
 
+(* Argument terms shared by the word-at-a-time subcommands (previously
+   copy-pasted into each body). *)
+let inputs_arg = Arg.(value & pos_all string [] & info [] ~docv:"INPUT")
+
+let show_tree_arg =
+  Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print parse trees.")
+
 (* --- regex ----------------------------------------------------------------- *)
 
 let regex_cmd =
@@ -155,15 +166,11 @@ let dyck_cmd =
       inputs;
     0
   in
-  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
-  let show_tree =
-    Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print parse trees.")
-  in
   Cmd.v
     (Cmd.info "dyck"
        ~doc:"Parse balanced parentheses with the counter automaton \
              (Theorem 4.13).")
-    Term.(const run $ common_term $ inputs $ show_tree)
+    Term.(const run $ common_term $ inputs_arg $ show_tree_arg)
 
 (* --- expr ------------------------------------------------------------------- *)
 
@@ -182,16 +189,12 @@ let expr_cmd =
       inputs;
     0
   in
-  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
-  let show_tree =
-    Arg.(value & flag & info [ "t"; "tree" ] ~doc:"Print parse trees.")
-  in
   Cmd.v
     (Cmd.info "expr"
        ~doc:
          "Parse arithmetic expressions over {(,),+,n} with the lookahead \
           automaton (Theorem 4.14); each n counts 1.")
-    Term.(const run $ common_term $ inputs $ show_tree)
+    Term.(const run $ common_term $ inputs_arg $ show_tree_arg)
 
 (* --- reify ------------------------------------------------------------------- *)
 
@@ -220,13 +223,12 @@ let reify_cmd =
       & opt string "anbncn"
       & info [ "m"; "machine" ] ~doc:"Machine: anbncn or unary_add.")
   in
-  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
   Cmd.v
     (Cmd.info "reify"
        ~doc:
          "Decide membership in a Turing machine's language via the reified \
           grammar (Construction 4.15).")
-    Term.(const run $ common_term $ machine $ inputs)
+    Term.(const run $ common_term $ machine $ inputs_arg)
 
 (* --- forest ------------------------------------------------------------------ *)
 
@@ -302,13 +304,12 @@ let forest_cmd =
             "Unpack and print up to $(docv) parse trees from the forest \
              (0: print only the first parse).")
   in
-  let inputs = Arg.(value & pos_all string [] & info [] ~docv:"INPUT") in
   Cmd.v
     (Cmd.info "forest"
        ~doc:
          "Count and inspect parses via the shared packed parse forest — \
           exact ambiguity counts without materializing the tree set.")
-    Term.(const run $ common_term $ gname $ max_trees $ inputs)
+    Term.(const run $ common_term $ gname $ max_trees $ inputs_arg)
 
 (* --- ambiguity --------------------------------------------------------------- *)
 
@@ -379,11 +380,306 @@ let check_cmd =
        ~doc:"Type check a Lambek^D surface-syntax file.")
     Term.(const run $ common_term $ file)
 
+(* --- serve / batch: the parse service ----------------------------------------- *)
+
+(* Distinct failure exit codes, documented in --help via [service_exits]:
+   cmdliner reserves 123-125, so low codes are free. *)
+let exit_malformed = 3
+let exit_timeout = 4
+
+let service_exits =
+  Cmd.Exit.defaults
+  @ [ Cmd.Exit.info ~doc:"on malformed request lines (bad JSON, unknown \
+                          grammar/query/engine, invalid inline grammar)."
+        exit_malformed;
+      Cmd.Exit.info ~doc:"when every request line was well-formed but at \
+                          least one exceeded its time budget." exit_timeout ]
+
+(* Workers complete out of submission order; the writer buffers responses
+   and releases them in order, so service output is byte-identical
+   however many domains raced — which is what the CI smoke diff and the
+   serial/parallel differential test check. *)
+module Ordered_writer = struct
+  type t = {
+    mu : Mutex.t;
+    pending : (int, string) Hashtbl.t;
+    mutable next : int;
+    oc : out_channel;
+  }
+
+  let create oc = { mu = Mutex.create (); pending = Hashtbl.create 64; next = 0; oc }
+
+  let write t seq line =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.replace t.pending seq line;
+        let rec pump () =
+          match Hashtbl.find_opt t.pending t.next with
+          | Some l ->
+            Hashtbl.remove t.pending t.next;
+            output_string t.oc l;
+            output_char t.oc '\n';
+            flush t.oc;
+            t.next <- t.next + 1;
+            pump ()
+          | None -> ()
+        in
+        pump ())
+end
+
+(* Exit-code bookkeeping across a stream of responses (callbacks run on
+   worker domains, hence atomics). *)
+type verdict_flags = { malformed : bool Atomic.t; timed_out : bool Atomic.t }
+
+let flags_create () =
+  { malformed = Atomic.make false; timed_out = Atomic.make false }
+
+let flags_note flags (r : Sv.Protocol.response) =
+  match r.outcome with
+  | Error (Sv.Protocol.Bad_request _) -> Atomic.set flags.malformed true
+  | Error (Sv.Protocol.Timeout _) -> Atomic.set flags.timed_out true
+  | Error (Sv.Protocol.Overloaded _) | Ok _ -> ()
+
+let flags_exit flags =
+  if Atomic.get flags.malformed then exit_malformed
+  else if Atomic.get flags.timed_out then exit_timeout
+  else 0
+
+(* Serve one NDJSON connection: decode on this thread (grammar
+   construction is not domain-safe), execute on the pool, emit in
+   order.  Returns the exit code for the stream it saw. *)
+let serve_connection registry ~domains ~queue_cap ~times ic oc =
+  let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
+  let writer = Ordered_writer.create oc in
+  let flags = flags_create () in
+  let seq = ref 0 in
+  let respond s r =
+    flags_note flags r;
+    Ordered_writer.write writer s (Sv.Protocol.response_to_json ~times r)
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         let s = !seq in
+         incr seq;
+         match Sv.Protocol.parse_request line with
+         | Error msg -> respond s (Sv.Protocol.bad_request msg)
+         | Ok req -> (
+           match Sv.Scheduler.try_submit sched req (respond s) with
+           | Ok () -> ()
+           | Error retry_after_ms ->
+             respond s (Sv.Protocol.overloaded ?id:req.id ~retry_after_ms ()))
+       end
+     done
+   with End_of_file -> ());
+  Sv.Scheduler.shutdown sched;
+  flags_exit flags
+
+let serve_cmd =
+  let run common domains queue_cap artifact_cap result_cap no_times tcp =
+    with_telemetry common @@ fun () ->
+    let registry =
+      Sv.Registry.create ~artifact_cap ~result_cap ()
+    in
+    let times = not no_times in
+    match tcp with
+    | None -> serve_connection registry ~domains ~queue_cap ~times stdin stdout
+    | Some port ->
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen sock 8;
+      Logs.app (fun m -> m "lambekd: serving on 127.0.0.1:%d" port);
+      (* iterative server: one client at a time, registry warm across
+         connections; runs until killed *)
+      while true do
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        ignore
+          (try serve_connection registry ~domains ~queue_cap ~times ic oc
+           with Sys_error _ | Unix.Unix_error _ -> 0);
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      done;
+      0
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains in the scheduler pool (default: the runtime's \
+             recommended domain count minus one, at least 1).")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bound on queued requests; beyond it new requests are shed \
+             with an $(i,overloaded) response carrying a retry hint.")
+  in
+  let artifact_cap =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "artifact-cache" ] ~docv:"N"
+          ~doc:"Compiled-grammar LRU capacity (0 disables).")
+  in
+  let result_cap =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "result-cache" ] ~docv:"N"
+          ~doc:"Query-result LRU capacity (0 disables).")
+  in
+  let no_times =
+    Arg.(
+      value & flag
+      & info [ "no-times" ]
+          ~doc:
+            "Omit the $(i,ns) duration field from responses, making output \
+             byte-reproducible (used by the CI smoke diff).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Listen on 127.0.0.1:$(docv) instead of stdio; clients speak \
+             the same NDJSON, one connection served at a time.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:service_exits
+       ~doc:
+         "Parse service: read NDJSON requests from stdin (or a TCP \
+          socket), answer each on a pool of worker domains against a \
+          shared compiled-grammar registry.  Responses are emitted in \
+          request order.  See lib/service/protocol.mli for the wire \
+          format.")
+    Term.(
+      const run $ common_term $ domains $ queue_cap $ artifact_cap
+      $ result_cap $ no_times $ tcp)
+
+let batch_cmd =
+  let run common file domains queue_cap artifact_cap result_cap no_times =
+    with_telemetry common @@ fun () ->
+    match open_in file with
+    | exception Sys_error msg ->
+      Fmt.epr "lambekd: %s@." msg;
+      1
+    | ic ->
+      let lines = ref [] in
+      (try
+         while true do
+           let l = input_line ic in
+           if String.trim l <> "" then lines := l :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      let registry = Sv.Registry.create ~artifact_cap ~result_cap () in
+      let times = not no_times in
+      let writer = Ordered_writer.create stdout in
+      let flags = flags_create () in
+      let respond s r =
+        flags_note flags r;
+        Ordered_writer.write writer s (Sv.Protocol.response_to_json ~times r)
+      in
+      (* decode everything up front on this thread; grammar construction
+         is not domain-safe *)
+      let requests =
+        List.mapi (fun s line -> (s, Sv.Protocol.parse_request line)) lines
+      in
+      if domains = Some 0 then
+        (* serial reference mode: same pipeline, no pool — the baseline
+           the differential test and the bench compare against *)
+        List.iter
+          (fun (s, req) ->
+            match req with
+            | Error msg -> respond s (Sv.Protocol.bad_request msg)
+            | Ok req -> respond s (Sv.Exec.run registry req))
+          requests
+      else begin
+        let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
+        List.iter
+          (fun (s, req) ->
+            match req with
+            | Error msg -> respond s (Sv.Protocol.bad_request msg)
+            | Ok req -> Sv.Scheduler.submit sched req (respond s))
+          requests;
+        Sv.Scheduler.shutdown sched
+      end;
+      flags_exit flags
+  in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ndjson")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: runtime recommendation; 0 runs the \
+             whole batch serially on the calling thread, the reference \
+             the parallel output is byte-compared against).")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N" ~doc:"Bound on queued requests.")
+  in
+  let artifact_cap =
+    Arg.(
+      value & opt int 64
+      & info [ "artifact-cache" ] ~docv:"N"
+          ~doc:"Compiled-grammar LRU capacity (0 disables).")
+  in
+  let result_cap =
+    Arg.(
+      value & opt int 4096
+      & info [ "result-cache" ] ~docv:"N"
+          ~doc:"Query-result LRU capacity (0 disables).")
+  in
+  let no_times =
+    Arg.(
+      value & flag
+      & info [ "no-times" ]
+          ~doc:"Omit the $(i,ns) field, making output byte-reproducible.")
+  in
+  Cmd.v
+    (Cmd.info "batch" ~exits:service_exits
+       ~doc:
+         "Run a file of NDJSON requests through the parse service \
+          pipeline and print one response line per request, in order.")
+    Term.(
+      const run $ common_term $ file $ domains $ queue_cap $ artifact_cap
+      $ result_cap $ no_times)
+
+let grammars_cmd =
+  let run () =
+    List.iter
+      (fun name ->
+        Fmt.pr "%-12s %s@." name
+          (Option.value ~default:"" (Sv.Builtin.describe name)))
+      Sv.Builtin.names;
+    0
+  in
+  Cmd.v
+    (Cmd.info "grammars"
+       ~doc:
+         "List the builtin grammars the parse service accepts by name in \
+          the $(i,grammar) request field.")
+    Term.(const run $ const ())
+
 let main =
   Cmd.group
     (Cmd.info "lambekd" ~version:"1.0.0"
        ~doc:"Intrinsically verified parsing in Dependent Lambek Calculus.")
     [ regex_cmd; dyck_cmd; expr_cmd; forest_cmd; reify_cmd; ambiguity_cmd;
-      check_cmd ]
+      check_cmd; serve_cmd; batch_cmd; grammars_cmd ]
 
 let () = exit (Cmd.eval' main)

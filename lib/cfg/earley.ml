@@ -53,7 +53,7 @@ let pack ch origin pos prod =
    index over [x] is final; same-position completions that race with
    insertion are caught — in both modes — by the ε-completion check when
    the late item is popped. *)
-let run ?(indexed = true) (cfg : Cfg.t) w =
+let run ?(indexed = true) ?poll (cfg : Cfg.t) w =
   let chart_items = ref 0 in
   Probe.with_span "earley.run"
     ~fields:(fun () ->
@@ -133,6 +133,7 @@ let run ?(indexed = true) (cfg : Cfg.t) w =
   for pos = 0 to n do
     let queue = queues.(pos) in
     while not (Queue.is_empty queue) do
+      (match poll with Some p -> p () | None -> ());
       let enc = Queue.pop queue in
       let dot = enc mod maxdot in
       let pd = enc / maxdot in

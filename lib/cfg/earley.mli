@@ -16,10 +16,11 @@
 type chart
 (** The result of one recognizer run over one input. *)
 
-val run : ?indexed:bool -> Cfg.t -> string -> chart
+val run : ?indexed:bool -> ?poll:(unit -> unit) -> Cfg.t -> string -> chart
 (** Build the chart.  [indexed] (default [true]) selects the
     nonterminal-indexed completer; [false] the seed's full-scan
-    completer. *)
+    completer.  [poll] is invoked once per popped item; it may raise to
+    abort the run (deadline cancellation — the exception propagates). *)
 
 val accepts : chart -> bool
 (** Was the whole input derived from the start symbol? *)

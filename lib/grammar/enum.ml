@@ -105,10 +105,10 @@ type item = {
   mutable iqueued : bool;
 }
 
-let accepts g s =
+let accepts ?cs ?poll g s =
   Probe.with_span "enum.accepts" ~fields:(len_field s) @@ fun () ->
   Probe.bump c_fix_iters;
-  let cs = Charsets.shared () in
+  let cs = match cs with Some cs -> cs | None -> Charsets.shared () in
   let ag = Charsets.annotate cs g in
   let n = String.length s in
   let items : item ITbl.t = ITbl.create (16 + n) in
@@ -163,7 +163,8 @@ let accepts g s =
     | ARef r ->
       (i = j && a.ainfo.Charsets.sure_null)
       || Charsets.admits a.ainfo s i j
-         && (Probe.bump c_items;
+         && ((match poll with Some p -> p () | None -> ());
+             Probe.bump c_items;
              let key = (r.Charsets.ruid, i, j) in
              match ITbl.find_opt items key with
              | Some it ->

@@ -39,9 +39,16 @@ val count_fast : Grammar.t -> string -> int
     with {!count} (tested) under the same ε-acyclicity proviso;
     saturates at [max_int]. *)
 
-val accepts : Grammar.t -> string -> bool
+val accepts :
+  ?cs:Charsets.t -> ?poll:(unit -> unit) -> Grammar.t -> string -> bool
 (** Exact membership: the boolean least fixpoint, solved by a semi-naive
-    worklist ([enum.worklist_pops] counts re-propagations). *)
+    worklist ([enum.worklist_pops] counts re-propagations).
+
+    [cs] supplies a private analysis state instead of {!Charsets.shared}
+    — the service layer passes a per-artifact state that was fully
+    warmed at compile time, so concurrent domains only read it.  [poll]
+    is invoked at every definition-instance visit; it may raise to abort
+    the run (deadline cancellation — the exception propagates). *)
 
 val accepts_fixpoint : Grammar.t -> string -> bool
 (** The seed membership algorithm — iterated full recomputation to

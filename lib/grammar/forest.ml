@@ -83,8 +83,8 @@ let sat_mul a b =
   else if a > saturated / b then saturated
   else a * b
 
-let build_span g s i0 j0 =
-  let cs = Charsets.shared () in
+let build_span ?cs ?poll g s i0 j0 =
+  let cs = match cs with Some cs -> cs | None -> Charsets.shared () in
   let ag = Charsets.annotate cs g in
   let memo : status Tbl.t = Tbl.create 64 in
   let n_nodes = ref 0 and n_packed = ref 0 in
@@ -148,6 +148,7 @@ let build_span g s i0 j0 =
         | None -> empty
         | Some ns -> mk [ STuple ns ])
       | ARef r -> (
+        (match poll with Some p -> p () | None -> ());
         Probe.bump c_items;
         let key = (r.Charsets.ruid, i, j) in
         match Tbl.find_opt memo key with
@@ -172,9 +173,9 @@ let build_span g s i0 j0 =
   Probe.add c_packed !n_packed;
   { root; nodes = !n_nodes; packed = !n_packed }
 
-let build g s =
+let build ?cs ?poll g s =
   Probe.with_span "forest.build" ~fields:(len_field s) @@ fun () ->
-  build_span g s 0 (String.length s)
+  build_span ?cs ?poll g s 0 (String.length s)
 
 let nodes f = f.nodes
 let packed f = f.packed

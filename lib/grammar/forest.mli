@@ -22,10 +22,21 @@
 type t
 (** A built forest for one grammar over one input span. *)
 
-val build : Grammar.t -> string -> t
-(** [build g s] constructs the forest of parses of the whole of [s]. *)
+val build : ?cs:Charsets.t -> ?poll:(unit -> unit) -> Grammar.t -> string -> t
+(** [build g s] constructs the forest of parses of the whole of [s].
+    [cs] supplies a private analysis state instead of {!Charsets.shared}
+    (the service layer passes a per-artifact state warmed at compile
+    time); [poll] runs at every definition-instance visit and may raise
+    to abort the build (deadline cancellation). *)
 
-val build_span : Grammar.t -> string -> int -> int -> t
+val build_span :
+  ?cs:Charsets.t ->
+  ?poll:(unit -> unit) ->
+  Grammar.t ->
+  string ->
+  int ->
+  int ->
+  t
 (** [build_span g s i j] constructs the forest for the substring
     [s.\[i..j)]. *)
 

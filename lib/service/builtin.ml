@@ -1,0 +1,112 @@
+open Lambekd_cfg
+
+(* Built lazily: Cfg.make allocates Grammar definitions through the
+   global declaration counter, which must only ever run on the main
+   thread — forcing at first lookup (request decode happens on the
+   submitting thread) preserves that. *)
+
+let dyck =
+  lazy
+    (Cfg.make ~start:"D"
+       ~productions:
+         [ ("D", []); ("D", [ Cfg.T '('; Cfg.N "D"; Cfg.T ')'; Cfg.N "D" ]) ])
+
+let expr =
+  lazy
+    (Cfg.make ~start:"E"
+       ~productions:
+         [ ("E", [ Cfg.N "A"; Cfg.N "E'" ]);
+           ("E'", []);
+           ("E'", [ Cfg.T '+'; Cfg.N "A"; Cfg.N "E'" ]);
+           ("A", [ Cfg.T 'n' ]);
+           ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ])
+
+let expr_lr =
+  lazy
+    (Cfg.make ~start:"E"
+       ~productions:
+         [ ("E", [ Cfg.N "E"; Cfg.T '+'; Cfg.N "A" ]);
+           ("E", [ Cfg.N "A" ]);
+           ("A", [ Cfg.T 'n' ]);
+           ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ])
+
+let expr_plain =
+  lazy
+    (Cfg.make ~start:"E"
+       ~productions:
+         [ ("E", [ Cfg.N "A" ]);
+           ("E", [ Cfg.N "A"; Cfg.T '+'; Cfg.N "E" ]);
+           ("A", [ Cfg.T 'n' ]);
+           ("A", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ])
+
+let ss =
+  lazy
+    (Cfg.make ~start:"S"
+       ~productions:[ ("S", [ Cfg.N "S"; Cfg.N "S" ]); ("S", [ Cfg.T 'a' ]) ])
+
+let anbn =
+  lazy
+    (Cfg.make ~start:"S"
+       ~productions:[ ("S", []); ("S", [ Cfg.T 'a'; Cfg.N "S"; Cfg.T 'b' ]) ])
+
+let arith =
+  (* three precedence levels with unary minus: the biggest table in the
+     menu (the batch bench leans on its compile cost being >> one parse) *)
+  lazy
+    (Cfg.make ~start:"E"
+       ~productions:
+         [ ("E", [ Cfg.N "E"; Cfg.T '+'; Cfg.N "T" ]);
+           ("E", [ Cfg.N "E"; Cfg.T '-'; Cfg.N "T" ]);
+           ("E", [ Cfg.N "T" ]);
+           ("T", [ Cfg.N "T"; Cfg.T '*'; Cfg.N "F" ]);
+           ("T", [ Cfg.N "T"; Cfg.T '/'; Cfg.N "F" ]);
+           ("T", [ Cfg.N "F" ]);
+           ("F", [ Cfg.T 'n' ]);
+           ("F", [ Cfg.T '-'; Cfg.N "F" ]);
+           ("F", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ])
+
+let stmt =
+  (* a small statement language (assignment, if-then-else, while, blocks,
+     two-level expressions): the largest LR automaton in the menu, so the
+     cost a cold request repays is dominated by table construction.
+     Terminals: v=variable n=number i=if e=else w=while, punctuation
+     literal; [else] is mandatory, keeping the grammar SLR(1). *)
+  lazy
+    (Cfg.make ~start:"S"
+       ~productions:
+         [ ("S", [ Cfg.T 'v'; Cfg.T '='; Cfg.N "E"; Cfg.T ';' ]);
+           ("S", [ Cfg.T 'i'; Cfg.T '('; Cfg.N "E"; Cfg.T ')'; Cfg.N "S";
+                   Cfg.T 'e'; Cfg.N "S" ]);
+           ("S", [ Cfg.T 'w'; Cfg.T '('; Cfg.N "E"; Cfg.T ')'; Cfg.N "S" ]);
+           ("S", [ Cfg.T '{'; Cfg.N "L"; Cfg.T '}' ]);
+           ("L", []);
+           ("L", [ Cfg.N "S"; Cfg.N "L" ]);
+           ("E", [ Cfg.N "E"; Cfg.T '+'; Cfg.N "T" ]);
+           ("E", [ Cfg.N "T" ]);
+           ("T", [ Cfg.N "T"; Cfg.T '*'; Cfg.N "F" ]);
+           ("T", [ Cfg.N "F" ]);
+           ("F", [ Cfg.T 'v' ]);
+           ("F", [ Cfg.T 'n' ]);
+           ("F", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ])
+
+let table =
+  [ ("dyck", dyck, "balanced parentheses (LL(1))");
+    ("expr", expr, "arithmetic expressions, LL(1) form");
+    ("expr_lr", expr_lr, "left-recursive expressions: SLR(1), not LL(1)");
+    ("expr_plain", expr_plain, "right-biased expressions (not LL(1))");
+    ("ss", ss, "S -> S S | a: ambiguous, for parse counting");
+    ("anbn", anbn, "a^n b^n");
+    ("arith", arith, "three-level arithmetic with unary minus (SLR(1))");
+    ("stmt", stmt, "statement language: assign/if/while/blocks (SLR(1))") ]
+
+let find name =
+  List.find_map
+    (fun (n, cfg, _) -> if String.equal n name then Some (Lazy.force cfg) else None)
+    table
+
+let names = List.map (fun (n, _, _) -> n) table
+
+let describe name =
+  List.find_map
+    (fun (n, _, d) -> if String.equal n name then Some d else None)
+    table

@@ -1,0 +1,18 @@
+(** The named grammars clients can request by name.
+
+    A small menu spanning the engine-selection space: an LL(1) grammar, a
+    grammar that is SLR(1) but not LL(1), a grammar that is neither
+    (general Earley territory), the Dyck language, and an ambiguous
+    grammar for parse counting.  Requests may also ship an inline grammar
+    (see {!Protocol}); these are the ones worth caching across requests
+    and the ones the CI smoke test and benches exercise. *)
+
+val find : string -> Lambekd_cfg.Cfg.t option
+(** Look up a builtin by name. *)
+
+val names : string list
+(** All builtin names, in a fixed documentation order. *)
+
+val describe : string -> string option
+(** One-line description for [--help] and the [grammars] protocol
+    command. *)

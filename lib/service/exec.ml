@@ -1,0 +1,155 @@
+open Lambekd_cfg
+module Grammar = Lambekd_grammar
+module Clock = Lambekd_telemetry.Clock
+module Probe = Lambekd_telemetry.Probe
+
+exception Deadline
+
+let c_requests = Probe.counter "service.requests"
+let c_timeouts = Probe.counter "service.timeouts"
+
+(* One clock read per 256 polls: the hooks sit in engine hot loops. *)
+let make_poll deadline_ns =
+  match deadline_ns with
+  | None -> None
+  | Some d ->
+    let k = ref 0 in
+    Some
+      (fun () ->
+        incr k;
+        if !k land 255 = 0 && Clock.now_ns () > d then raise Deadline)
+
+let tree_string (t : Earley.tree) =
+  Grammar.Ptree.to_string (Earley.tree_to_ptree t)
+
+(* The engine [Auto] resolves to, given what the artifact offers. *)
+let resolve (a : Registry.artifact) (req : Protocol.request) =
+  match req.query with
+  | Protocol.Count -> Ok `Forest
+  | Protocol.Membership | Protocol.Parse -> (
+    match req.engine with
+    | Protocol.Auto -> (
+      match (a.ll1, a.slr) with
+      | Some t, _ -> Ok (`Ll1 t)
+      | None, Some t -> Ok (`Slr t)
+      | None, None -> Ok `Earley)
+    | Protocol.Ll1 -> (
+      match a.ll1 with
+      | Some t -> Ok (`Ll1 t)
+      | None -> Error "grammar is not LL(1); cannot pin engine \"ll1\"")
+    | Protocol.Slr -> (
+      match a.slr with
+      | Some t -> Ok (`Slr t)
+      | None -> Error "grammar is not SLR(1); cannot pin engine \"slr\"")
+    | Protocol.Earley -> Ok `Earley
+    | Protocol.Enum -> Ok `Enum)
+
+let engine_name = function
+  | `Ll1 _ -> "ll1"
+  | `Slr _ -> "slr"
+  | `Earley -> "earley"
+  | `Enum -> "enum"
+  | `Forest -> "forest"
+
+let query_tag = function
+  | Protocol.Membership -> "member"
+  | Protocol.Parse -> "parse"
+  | Protocol.Count -> "count"
+
+let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
+  let want_tree = req.query = Protocol.Parse in
+  let accepted tree =
+    (* render only on parse queries: Ptree rendering would otherwise
+       dominate a table-driven membership request *)
+    if want_tree then Protocol.Accepted (Some (tree_string tree))
+    else Protocol.Accepted None
+  in
+  match engine with
+  | `Forest ->
+    let forest = Grammar.Forest.build ~cs:a.cs ?poll a.grammar req.input in
+    let count = Grammar.Forest.count forest in
+    Protocol.Count { count; saturated = Grammar.Forest.is_saturated count }
+  | `Ll1 table -> (
+    match Ll1.parse table req.input with
+    | Ok tree -> accepted tree
+    | Error _ -> Protocol.Rejected)
+  | `Slr table -> (
+    match Slr.parse table req.input with
+    | Ok tree -> accepted tree
+    | Error _ -> Protocol.Rejected)
+  | `Earley -> (
+    let chart = Earley.run ?poll a.cfg req.input in
+    if not (Earley.accepts chart) then Protocol.Rejected
+    else
+      match if want_tree then Earley.parse_tree chart else None with
+      | Some tree -> accepted tree
+      | None -> Protocol.Accepted None)
+  | `Enum ->
+    if not want_tree then
+      if Grammar.Enum.accepts ~cs:a.cs ?poll a.grammar req.input then
+        Protocol.Accepted None
+      else Protocol.Rejected
+    else (
+      let forest = Grammar.Forest.build ~cs:a.cs ?poll a.grammar req.input in
+      match Grammar.Forest.first_parse forest with
+      | Some p -> Protocol.Accepted (Some (Grammar.Ptree.to_string p))
+      | None -> Protocol.Rejected)
+
+let run registry ?deadline_ns (req : Protocol.request) =
+  Probe.bump c_requests;
+  let t0 = Clock.now_ns () in
+  let deadline_ns =
+    match (deadline_ns, req.timeout_ms) with
+    | (Some _ as d), _ -> d
+    | None, Some ms -> Some (t0 +. (ms *. 1e6))
+    | None, None -> None
+  in
+  let timeout () =
+    Probe.bump c_timeouts;
+    Error
+      (Protocol.Timeout
+         { after_ms = Option.value req.timeout_ms ~default:0. })
+  in
+  let finish ~engine_used ~artifact_cache ~result_cache outcome =
+    { Protocol.rid = req.id;
+      outcome;
+      engine_used;
+      artifact_cache;
+      result_cache;
+      dur_ns = Clock.now_ns () -. t0 }
+  in
+  let artifact, artifact_hm = Registry.get registry req.cfg in
+  let artifact_cache = (artifact_hm :> [ `Hit | `Miss | `None ]) in
+  match resolve artifact req with
+  | Error msg ->
+    finish ~engine_used:"" ~artifact_cache ~result_cache:`None
+      (Error (Protocol.Bad_request msg))
+  | Ok engine -> (
+    let name = engine_name engine in
+    let key = query_tag req.query ^ ":" ^ name in
+    match
+      Registry.find_result registry ~digest:artifact.digest ~key
+        ~input:req.input
+    with
+    | Some verdict ->
+      finish ~engine_used:name ~artifact_cache ~result_cache:`Hit (Ok verdict)
+    | None ->
+      if
+        match deadline_ns with
+        | Some d -> Clock.now_ns () > d
+        | None -> false
+      then finish ~engine_used:name ~artifact_cache ~result_cache:`None (timeout ())
+      else (
+        let poll = make_poll deadline_ns in
+        match
+          Probe.with_span ("service.engine." ^ name) (fun () ->
+              run_engine engine artifact req poll)
+        with
+        | verdict ->
+          Registry.put_result registry ~digest:artifact.digest ~key
+            ~input:req.input verdict;
+          finish ~engine_used:name ~artifact_cache ~result_cache:`Miss
+            (Ok verdict)
+        | exception Deadline ->
+          finish ~engine_used:name ~artifact_cache ~result_cache:`Miss
+            (timeout ())))

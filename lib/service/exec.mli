@@ -1,0 +1,22 @@
+(** Request execution: engine selection, deadlines, result caching.
+
+    One call = one request against one registry.  The engine policy for
+    [Auto] picks the cheapest applicable machinery the compiled artifact
+    offers — LL(1) table, else SLR(1) table, else the indexed Earley
+    recognizer; [Count] queries always run the packed forest; [Enum] pins
+    the grammar-model enumeration engines.  The engine actually used is
+    recorded in the response.
+
+    Deadlines are cooperative: the engines' [poll] hooks call a
+    rate-limited clock check that raises {!Deadline} past the budget, so
+    a request that exceeds [timeout_ms] aborts mid-run instead of
+    occupying its domain to completion. *)
+
+exception Deadline
+
+val run :
+  Registry.t -> ?deadline_ns:float -> Protocol.request -> Protocol.response
+(** Execute one request.  [deadline_ns] is an absolute
+    {!Lambekd_telemetry.Clock.now_ns} instant (the scheduler computes it
+    at submission so queue time counts against the budget); when absent,
+    [request.timeout_ms] counts from this call. *)

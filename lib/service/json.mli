@@ -1,0 +1,35 @@
+(** A minimal JSON value type, parser and printer.
+
+    The serving front ends speak NDJSON — one JSON object per line — and
+    the container ships no JSON library, so this module implements the
+    small subset the protocol needs: the full JSON value grammar
+    (RFC 8259), strict parsing with positioned error messages, and a
+    canonical compact printer (object fields in the order given, no
+    whitespace) whose output is stable enough to diff in CI. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value; trailing non-whitespace is an error.
+    Errors read ["offset N: message"]. *)
+
+val to_string : t -> string
+(** Compact canonical rendering; integral [Num]s print without a
+    decimal point. *)
+
+(** {1 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val mem : string -> t -> t option
+(** Field of an object. *)
+
+val str : t -> string option
+val num : t -> float option
+val int_ : t -> int option
+val bool_ : t -> bool option
+val arr : t -> t list option

@@ -1,0 +1,35 @@
+(** A small bounded map with least-recently-used eviction.
+
+    Backs the two service caches (compiled artifacts, query results).
+    Recency is a per-entry stamp refreshed on every {!find} hit;
+    eviction scans for the minimum stamp, which is O(size) but only runs
+    on an insert into a full cache — fine at the cache sizes the service
+    uses (tens to a few thousand entries), and it keeps the structure
+    allocation-free on the hit path.
+
+    Not synchronized: callers (the registry) guard it with their own
+    mutex. *)
+
+type ('k, 'v) t
+
+val create : cap:int -> ('k, 'v) t
+(** [cap] ≤ 0 disables the cache: every {!find} misses, every {!put} is
+    dropped (and counted as an eviction of itself). *)
+
+val cap : ('k, 'v) t -> int
+val size : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Refreshes the entry's recency on a hit. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; evicts the least-recently-used entry when the
+    cache is full. *)
+
+val evictions : ('k, 'v) t -> int
+(** Entries evicted (not replaced) since creation. *)
+
+val bindings : ('k, 'v) t -> ('k * 'v) list
+(** Current entries, unordered. *)
+
+val clear : ('k, 'v) t -> unit

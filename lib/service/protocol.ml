@@ -1,0 +1,209 @@
+open Lambekd_cfg
+
+type query = Membership | Parse | Count
+
+type engine_choice = Auto | Ll1 | Slr | Earley | Enum
+
+let engine_choice_name = function
+  | Auto -> "auto"
+  | Ll1 -> "ll1"
+  | Slr -> "slr"
+  | Earley -> "earley"
+  | Enum -> "enum"
+
+type request = {
+  id : string option;
+  cfg : Cfg.t;
+  gname : string;
+  input : string;
+  query : query;
+  engine : engine_choice;
+  timeout_ms : float option;
+}
+
+(* --- request decoding ---------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let symbol_of_string s =
+  let n = String.length s in
+  if n = 3 && s.[0] = '\'' && s.[2] = '\'' then Ok (Cfg.T s.[1])
+  else if n > 0 && s.[0] <> '\'' then Ok (Cfg.N s)
+  else Error (Fmt.str "bad symbol %S (terminals are 'c', nonterminals bare)" s)
+
+let inline_cfg j =
+  let* start =
+    match Option.bind (Json.mem "start" j) Json.str with
+    | Some s -> Ok s
+    | None -> Error "inline grammar needs a \"start\" string"
+  in
+  let* prods =
+    match Option.bind (Json.mem "prods" j) Json.arr with
+    | Some ps -> Ok ps
+    | None -> Error "inline grammar needs a \"prods\" array"
+  in
+  let* productions =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        match Json.arr p with
+        | Some [ lhs; rhs ] -> (
+          match (Json.str lhs, Json.arr rhs) with
+          | Some lhs, Some syms ->
+            let* syms =
+              List.fold_left
+                (fun acc s ->
+                  let* acc = acc in
+                  match Json.str s with
+                  | Some s ->
+                    let* sym = symbol_of_string s in
+                    Ok (sym :: acc)
+                  | None -> Error "production symbols must be strings")
+                (Ok []) syms
+            in
+            Ok ((lhs, List.rev syms) :: acc)
+          | _ -> Error "a production is [\"Lhs\", [symbols...]]")
+        | _ -> Error "a production is [\"Lhs\", [symbols...]]")
+      (Ok []) prods
+  in
+  let productions = List.rev productions in
+  if productions = [] then Error "inline grammar needs at least one production"
+  else
+    match Cfg.make ~start ~productions with
+    | cfg -> Ok cfg
+    | exception (Invalid_argument msg | Failure msg) ->
+      Error (Fmt.str "invalid grammar: %s" msg)
+
+let parse_request line =
+  let* j = Json.parse line in
+  let* () = match j with Json.Obj _ -> Ok () | _ -> Error "request must be an object" in
+  let id = Option.bind (Json.mem "id" j) Json.str in
+  let* gname, cfg =
+    match Json.mem "grammar" j with
+    | Some (Json.Str name) -> (
+      match Builtin.find name with
+      | Some cfg -> Ok (name, cfg)
+      | None ->
+        Error
+          (Fmt.str "unknown grammar %S (builtins: %s)" name
+             (String.concat ", " Builtin.names)))
+    | Some (Json.Obj _ as g) ->
+      let* cfg = inline_cfg g in
+      Ok ("inline", cfg)
+    | Some _ -> Error "\"grammar\" must be a builtin name or an inline object"
+    | None -> Error "request needs a \"grammar\""
+  in
+  let* input =
+    match Option.bind (Json.mem "input" j) Json.str with
+    | Some s -> Ok s
+    | None -> Error "request needs an \"input\" string"
+  in
+  let* query =
+    match Option.bind (Json.mem "query" j) Json.str with
+    | None -> Ok Membership
+    | Some "member" -> Ok Membership
+    | Some "parse" -> Ok Parse
+    | Some "count" -> Ok Count
+    | Some q -> Error (Fmt.str "unknown query %S (member|parse|count)" q)
+  in
+  let* engine =
+    match Option.bind (Json.mem "engine" j) Json.str with
+    | None -> Ok Auto
+    | Some "auto" -> Ok Auto
+    | Some "ll1" -> Ok Ll1
+    | Some "slr" -> Ok Slr
+    | Some "earley" -> Ok Earley
+    | Some "enum" -> Ok Enum
+    | Some e -> Error (Fmt.str "unknown engine %S (auto|ll1|slr|earley|enum)" e)
+  in
+  let* timeout_ms =
+    match Json.mem "timeout_ms" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.num v with
+      | Some ms when ms >= 0. -> Ok (Some ms)
+      | _ -> Error "\"timeout_ms\" must be a non-negative number")
+  in
+  Ok { id; cfg; gname; input; query; engine; timeout_ms }
+
+(* --- responses ----------------------------------------------------------- *)
+
+type verdict =
+  | Accepted of string option
+  | Rejected
+  | Count of { count : int; saturated : bool }
+
+type failure =
+  | Bad_request of string
+  | Timeout of { after_ms : float }
+  | Overloaded of { retry_after_ms : int }
+
+type response = {
+  rid : string option;
+  outcome : (verdict, failure) result;
+  engine_used : string;
+  artifact_cache : [ `Hit | `Miss | `None ];
+  result_cache : [ `Hit | `Miss | `None ];
+  dur_ns : float;
+}
+
+let cache_field name = function
+  | `Hit -> [ (name, Json.Str "hit") ]
+  | `Miss -> [ (name, Json.Str "miss") ]
+  | `None -> []
+
+let response_to_json ?(times = true) r =
+  let id = match r.rid with Some id -> [ ("id", Json.Str id) ] | None -> [] in
+  let body =
+    match r.outcome with
+    | Ok v ->
+      let verdict =
+        match v with
+        | Accepted _ -> [ ("verdict", Json.Str "accept") ]
+        | Rejected -> [ ("verdict", Json.Str "reject") ]
+        | Count { count; saturated } ->
+          [ ("verdict", Json.Str "count");
+            ("count", Json.Num (float_of_int count)) ]
+          @ if saturated then [ ("saturated", Json.Bool true) ] else []
+      in
+      let tree =
+        match v with
+        | Accepted (Some t) -> [ ("tree", Json.Str t) ]
+        | _ -> []
+      in
+      [ ("ok", Json.Bool true) ]
+      @ verdict @ tree
+      @ [ ("engine", Json.Str r.engine_used) ]
+      @ cache_field "artifact" r.artifact_cache
+      @ cache_field "result" r.result_cache
+    | Error f ->
+      [ ("ok", Json.Bool false) ]
+      @ (match f with
+        | Bad_request msg ->
+          [ ("error", Json.Str "bad_request"); ("message", Json.Str msg) ]
+        | Timeout { after_ms } ->
+          [ ("error", Json.Str "timeout"); ("after_ms", Json.Num after_ms) ]
+        | Overloaded { retry_after_ms } ->
+          [ ("error", Json.Str "overloaded");
+            ("retry_after_ms", Json.Num (float_of_int retry_after_ms)) ])
+  in
+  let times =
+    if times then [ ("ns", Json.Num (Float.round r.dur_ns)) ] else []
+  in
+  Json.to_string (Json.Obj (id @ body @ times))
+
+let bad_request ?id msg =
+  { rid = id;
+    outcome = Error (Bad_request msg);
+    engine_used = "";
+    artifact_cache = `None;
+    result_cache = `None;
+    dur_ns = 0. }
+
+let overloaded ?id ~retry_after_ms () =
+  { rid = id;
+    outcome = Error (Overloaded { retry_after_ms });
+    engine_used = "";
+    artifact_cache = `None;
+    result_cache = `None;
+    dur_ns = 0. }

@@ -1,0 +1,85 @@
+(** The NDJSON request/response protocol spoken by [lambekd serve] and
+    [lambekd batch].
+
+    One request per line.  Shape:
+
+    {v
+    {"id":"r1","grammar":"dyck","input":"(())","query":"member"}
+    {"id":"r2","grammar":{"start":"S","prods":[["S",[]],["S",["'a'","S","'b'"]]]},
+     "input":"aabb","query":"parse","engine":"earley","timeout_ms":50}
+    v}
+
+    - [grammar]: a builtin name ({!Builtin.names}) or an inline object
+      with [start] and [prods], where each production is
+      [[lhs, [sym, ...]]] and a symbol is either ["'c'"] (a quoted
+      terminal character) or a bare nonterminal name.
+    - [query]: ["member"] (default), ["parse"], or ["count"].
+    - [engine]: ["auto"] (default), ["ll1"], ["slr"], ["earley"], or
+      ["enum"].  [auto] picks the cheapest applicable table
+      (LL(1) → SLR(1) → Earley); pinning an engine whose table does not
+      exist for the grammar is a bad request.
+    - [timeout_ms]: per-request deadline; expiry yields a [timeout]
+      response.
+
+    Responses mirror the request [id] and carry the verdict, the engine
+    used, both cache outcomes and the duration:
+
+    {v
+    {"id":"r1","ok":true,"verdict":"accept","engine":"ll1",
+     "artifact":"miss","result":"miss","ns":81250}
+    {"id":"r2","ok":false,"error":"timeout","after_ms":50}
+    v}
+
+    Requests must be decoded on the main (submitting) thread: building an
+    inline grammar allocates definitions through the process-global
+    declaration counter, which is not domain-safe. *)
+
+type query = Membership | Parse | Count
+
+type engine_choice = Auto | Ll1 | Slr | Earley | Enum
+
+val engine_choice_name : engine_choice -> string
+
+type request = {
+  id : string option;
+  cfg : Lambekd_cfg.Cfg.t;
+  gname : string;  (** builtin name, or ["inline"] *)
+  input : string;
+  query : query;
+  engine : engine_choice;
+  timeout_ms : float option;
+}
+
+val parse_request : string -> (request, string) result
+(** Decode one NDJSON line.  Resolves the grammar (builtin lookup or
+    inline construction) immediately — call only from the main thread. *)
+
+type verdict =
+  | Accepted of string option  (** optional rendered parse tree *)
+  | Rejected
+  | Count of { count : int; saturated : bool }
+
+type failure =
+  | Bad_request of string
+  | Timeout of { after_ms : float }
+  | Overloaded of { retry_after_ms : int }
+
+type response = {
+  rid : string option;
+  outcome : (verdict, failure) result;
+  engine_used : string;  (** engine that ran, or [""] on failure *)
+  artifact_cache : [ `Hit | `Miss | `None ];
+  result_cache : [ `Hit | `Miss | `None ];
+  dur_ns : float;
+}
+
+val response_to_json : ?times:bool -> response -> string
+(** Render one response line (no trailing newline).  [~times:false]
+    omits the [ns] field so output is byte-reproducible for CI diffs and
+    the serial/parallel identical-output checks. *)
+
+val bad_request : ?id:string -> string -> response
+(** A failure response for a line that never became a request. *)
+
+val overloaded : ?id:string -> retry_after_ms:int -> unit -> response
+(** The shed response: queue full, try again in [retry_after_ms]. *)

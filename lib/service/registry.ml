@@ -1,0 +1,155 @@
+open Lambekd_cfg
+module Charsets = Lambekd_grammar.Charsets
+module Clock = Lambekd_telemetry.Clock
+module Probe = Lambekd_telemetry.Probe
+
+type artifact = {
+  cfg : Cfg.t;
+  digest : string;
+  grammar : Lambekd_grammar.Grammar.t;
+  cs : Charsets.t;
+  ff : First_follow.t;
+  ll1 : Ll1.table option;
+  slr : Slr.table option;
+  compile_ns : float;
+}
+
+let c_compile = Probe.counter "service.compile"
+let c_artifact_hit = Probe.counter "service.artifact_hit"
+let c_artifact_miss = Probe.counter "service.artifact_miss"
+let c_result_hit = Probe.counter "service.result_hit"
+let c_result_miss = Probe.counter "service.result_miss"
+
+(* --- digest -------------------------------------------------------------- *)
+
+let digest_cfg (cfg : Cfg.t) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b cfg.start;
+  Buffer.add_char b '\x00';
+  Array.iter
+    (fun (p : Cfg.production) ->
+      Buffer.add_string b p.lhs;
+      Buffer.add_string b "->";
+      List.iter
+        (function
+          | Cfg.T c ->
+            Buffer.add_char b '\'';
+            Buffer.add_char b c
+          | Cfg.N n ->
+            Buffer.add_char b '.';
+            Buffer.add_string b n)
+        p.rhs;
+      Buffer.add_char b '\x00')
+    cfg.productions;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* --- compilation --------------------------------------------------------- *)
+
+(* Resolve every definition instance reachable from the annotated root so
+   that query-time traversals never write the analysis state: [ref_body]
+   on an already-cached node is a pure read. *)
+let warm cs root_ann =
+  let seen = Hashtbl.create 16 in
+  let rec go (a : Charsets.ann) =
+    match a.view with
+    | Charsets.ASeq (x, y) ->
+      go x;
+      go y
+    | Charsets.AAlt alts | Charsets.AAnd alts ->
+      List.iter (fun (_, x) -> go x) alts
+    | Charsets.ARef r ->
+      if not (Hashtbl.mem seen r.ruid) then begin
+        Hashtbl.add seen r.ruid ();
+        match Charsets.ref_body cs r with
+        | body -> go body
+        | exception _ -> ()  (* rules not installed: engines fail the same way *)
+      end
+    | Charsets.AChr _ | Charsets.AEps | Charsets.AVoid | Charsets.ATop
+    | Charsets.AAtom _ ->
+      ()
+  in
+  go root_ann
+
+let compile cfg =
+  Probe.with_span "service.compile" (fun () ->
+      Probe.bump c_compile;
+      let t0 = Clock.now_ns () in
+      let digest = digest_cfg cfg in
+      let grammar = Cfg.to_grammar cfg in
+      let cs = Charsets.create () in
+      warm cs (Charsets.annotate cs grammar);
+      let ff = First_follow.compute cfg in
+      let ll1 = Result.to_option (Ll1.build cfg) in
+      let slr = Result.to_option (Slr.build cfg) in
+      let compile_ns = Clock.now_ns () -. t0 in
+      { cfg; digest; grammar; cs; ff; ll1; slr; compile_ns })
+
+(* --- registry ------------------------------------------------------------ *)
+
+type t = {
+  mu : Mutex.t;
+  artifacts : (string, artifact) Lru.t;
+  snap : (string * artifact) list Atomic.t;
+      (** immutable mirror of [artifacts], rebuilt on every insert: the
+          lock-free hit path.  At most [artifact_cap] (small) entries, so
+          a scan beats a contended futex by orders of magnitude when
+          several domains serve the same few grammars. *)
+  results : (string * string * string, Protocol.verdict) Lru.t;
+}
+
+let create ?(artifact_cap = 64) ?(result_cap = 4096) () =
+  { mu = Mutex.create ();
+    artifacts = Lru.create ~cap:artifact_cap;
+    snap = Atomic.make [];
+    results = Lru.create ~cap:result_cap }
+
+let get t cfg =
+  let digest = digest_cfg cfg in
+  match List.assoc_opt digest (Atomic.get t.snap) with
+  | Some a ->
+    Probe.bump c_artifact_hit;
+    (* refresh LRU recency opportunistically: skip rather than contend *)
+    if Mutex.try_lock t.mu then begin
+      ignore (Lru.find t.artifacts digest);
+      Mutex.unlock t.mu
+    end;
+    (a, `Hit)
+  | None ->
+    Mutex.protect t.mu (fun () ->
+        (* double-check under the lock: another domain may have compiled
+           this grammar while we were waiting *)
+        match Lru.find t.artifacts digest with
+        | Some a ->
+          Probe.bump c_artifact_hit;
+          (a, `Hit)
+        | None ->
+          Probe.bump c_artifact_miss;
+          let a = compile cfg in
+          Lru.put t.artifacts digest a;
+          Atomic.set t.snap (Lru.bindings t.artifacts);
+          (a, `Miss))
+
+let find_result t ~digest ~key ~input =
+  if Lru.cap t.results = 0 then None
+  else
+    Mutex.protect t.mu (fun () ->
+        match Lru.find t.results (digest, key, input) with
+        | Some _ as r ->
+          Probe.bump c_result_hit;
+          r
+        | None ->
+          Probe.bump c_result_miss;
+          None)
+
+let put_result t ~digest ~key ~input v =
+  if Lru.cap t.results = 0 then ()
+  else Mutex.protect t.mu (fun () -> Lru.put t.results (digest, key, input) v)
+
+let artifact_evictions t = Mutex.protect t.mu (fun () -> Lru.evictions t.artifacts)
+let result_evictions t = Mutex.protect t.mu (fun () -> Lru.evictions t.results)
+
+let clear t =
+  Mutex.protect t.mu (fun () ->
+      Lru.clear t.artifacts;
+      Atomic.set t.snap [];
+      Lru.clear t.results)

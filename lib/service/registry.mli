@@ -1,0 +1,63 @@
+(** The grammar registry: compile once, serve many.
+
+    A grammar arriving at the service is compiled into an immutable
+    {!artifact} — everything the per-request engines would otherwise
+    recompute: the grammar-model realization, a private {!Charsets}
+    pruning state warmed over the whole definition closure, the
+    nullable/FIRST/FOLLOW analysis, and the LL(1) and SLR(1) tables when
+    the grammar admits them.  Artifacts are keyed by a structural digest
+    of the grammar, so the same grammar sent inline by different clients
+    (or under different builtin names) compiles once.
+
+    Two LRU caches, both guarded by one registry mutex:
+    - artifact cache: digest → compiled artifact;
+    - result cache: (digest, query key, input) → rendered verdict, for
+      repeated identical queries.
+
+    Everything inside an artifact is read-only after {!compile} returns
+    (the warmed [Charsets] state included: every definition body it will
+    ever resolve is already cached), so artifacts are shared freely
+    across scheduler domains. *)
+
+type artifact = private {
+  cfg : Lambekd_cfg.Cfg.t;
+  digest : string;  (** structural digest (hex) *)
+  grammar : Lambekd_grammar.Grammar.t;  (** [Cfg.to_grammar cfg] *)
+  cs : Lambekd_grammar.Charsets.t;
+      (** private pruning state, fully warmed at compile time *)
+  ff : Lambekd_cfg.First_follow.t;
+  ll1 : Lambekd_cfg.Ll1.table option;
+  slr : Lambekd_cfg.Slr.table option;
+  compile_ns : float;  (** wall-clock cost of this compilation *)
+}
+
+val digest_cfg : Lambekd_cfg.Cfg.t -> string
+(** Hex digest of the canonical structural rendering (start symbol plus
+    the production list in order). *)
+
+val compile : Lambekd_cfg.Cfg.t -> artifact
+(** Compile outside any registry — what {!get} does on a miss, exposed
+    for the differential tests and the cold-path bench. *)
+
+type t
+
+val create : ?artifact_cap:int -> ?result_cap:int -> unit -> t
+(** Defaults: 64 artifacts, 4096 results.  A cap of 0 disables that
+    cache. *)
+
+val get : t -> Lambekd_cfg.Cfg.t -> artifact * [ `Hit | `Miss ]
+(** Fetch the artifact for a grammar, compiling on a miss.  The digest
+    is computed outside the lock; compilation happens under it (the
+    registry serves one compile at a time — queries against already
+    compiled grammars do not wait on it beyond the cache probe). *)
+
+val find_result :
+  t -> digest:string -> key:string -> input:string -> Protocol.verdict option
+(** Probe the result cache.  [key] encodes query kind and engine. *)
+
+val put_result :
+  t -> digest:string -> key:string -> input:string -> Protocol.verdict -> unit
+
+val artifact_evictions : t -> int
+val result_evictions : t -> int
+val clear : t -> unit

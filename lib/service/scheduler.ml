@@ -1,0 +1,162 @@
+module Clock = Lambekd_telemetry.Clock
+module Probe = Lambekd_telemetry.Probe
+
+let c_enqueued = Probe.counter "service.enqueued"
+let c_dequeued = Probe.counter "service.dequeued"
+let c_shed = Probe.counter "service.shed"
+
+type job = {
+  req : Protocol.request;
+  deadline_ns : float option;  (** fixed at submission: queue time counts *)
+  k : Protocol.response -> unit;
+}
+
+type t = {
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : job Queue.t;
+  cap : int;
+  ndomains : int;
+  reg : Registry.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.ndomains
+let registry t = t.reg
+
+let job_of req k =
+  let deadline_ns =
+    Option.map (fun ms -> Clock.now_ns () +. (ms *. 1e6)) req.Protocol.timeout_ms
+  in
+  { req; deadline_ns; k }
+
+let run_job t job =
+  Probe.bump c_dequeued;
+  let resp =
+    match Exec.run t.reg ?deadline_ns:job.deadline_ns job.req with
+    | resp -> resp
+    | exception exn ->
+      (* an engine bug must not kill the worker; surface it to the client *)
+      Protocol.bad_request ?id:job.req.Protocol.id
+        (Fmt.str "internal error: %s" (Printexc.to_string exn))
+  in
+  try job.k resp with _ -> ()
+
+let worker t () =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.not_empty t.mu
+    done;
+    if Queue.is_empty t.queue then (* stopping && drained *)
+      Mutex.unlock t.mu
+    else begin
+      let len = Queue.length t.queue in
+      let was_full = len >= t.cap in
+      (* claim a chunk per lock acquisition: with a deep queue, per-job
+         locking makes every pop a contended futex wait (every worker
+         fighting for the mutex), which on few cores costs more than the
+         jobs themselves.  A worker's share of the queue, capped at 16
+         so deadline polling stays fine-grained under load. *)
+      let chunk = min 16 (max 1 (len / max 1 t.ndomains)) in
+      let jobs = ref [] in
+      for _ = 1 to chunk do
+        jobs := Queue.pop t.queue :: !jobs
+      done;
+      (* signal only across the full boundary: producers block (or shed)
+         only at cap, so popping below it never needs a wakeup — on a
+         single core this cuts the per-job context-switch ping-pong *)
+      if was_full then Condition.signal t.not_full;
+      (* wakeup relay: producers signal only the empty→non-empty edge,
+         so a worker that leaves work behind wakes the next worker *)
+      if not (Queue.is_empty t.queue) then Condition.signal t.not_empty;
+      Mutex.unlock t.mu;
+      List.iter (run_job t) (List.rev !jobs);
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains ?(queue_cap = 64) ~registry () =
+  let ndomains =
+    match domains with
+    | Some n when n >= 0 -> n
+    | Some n -> invalid_arg (Fmt.str "Scheduler.create: domains = %d" n)
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    { mu = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      cap = max 1 queue_cap;
+      ndomains;
+      reg = registry;
+      stopping = false;
+      workers = [] }
+  in
+  t.workers <- List.init ndomains (fun _ -> Domain.spawn (worker t));
+  t
+
+let try_submit t req k =
+  let job = job_of req k in
+  Mutex.protect t.mu (fun () ->
+      if t.stopping then invalid_arg "Scheduler: submit after shutdown";
+      let len = Queue.length t.queue in
+      if len >= t.cap then begin
+        Probe.bump c_shed;
+        (* crude service-time hint: a full queue spread over the pool *)
+        Error (max 1 (len / max 1 t.ndomains))
+      end
+      else begin
+        Probe.bump c_enqueued;
+        (* dually, workers sleep only on an empty queue *)
+        if len = 0 then Condition.signal t.not_empty;
+        Queue.push job t.queue;
+        Ok ()
+      end)
+
+let submit t req k =
+  let job = job_of req k in
+  Mutex.lock t.mu;
+  while Queue.length t.queue >= t.cap && not t.stopping do
+    Condition.wait t.not_full t.mu
+  done;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Scheduler: submit after shutdown"
+  end;
+  Probe.bump c_enqueued;
+  if Queue.is_empty t.queue then Condition.signal t.not_empty;
+  Queue.push job t.queue;
+  Mutex.unlock t.mu
+
+let drain_one t =
+  let job =
+    Mutex.protect t.mu (fun () ->
+        if Queue.is_empty t.queue then None
+        else begin
+          let j = Queue.pop t.queue in
+          Condition.signal t.not_full;
+          Some j
+        end)
+  in
+  match job with
+  | Some j ->
+    run_job t j;
+    true
+  | None -> false
+
+let shutdown t =
+  let workers =
+    Mutex.protect t.mu (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full;
+        let ws = t.workers in
+        t.workers <- [];
+        ws)
+  in
+  List.iter Domain.join workers

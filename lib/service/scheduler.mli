@@ -1,0 +1,47 @@
+(** A multi-domain request scheduler: bounded queue, worker pool,
+    overload shedding.
+
+    Requests are submitted (already decoded — see {!Protocol}) with a
+    completion callback; a fixed pool of OCaml domains pulls them from a
+    bounded MPMC queue and runs them through {!Exec.run} against a shared
+    {!Registry.t}.  Per-request deadlines are fixed at submission time,
+    so time spent queued counts against the budget.  When the queue is
+    full, {!try_submit} sheds the request instead of blocking — the
+    caller turns that into an [overloaded] response with a retry hint.
+
+    Callbacks run on worker domains.  They must be domain-safe (the
+    front ends funnel them through a mutex-guarded writer) and should be
+    quick — a slow callback stalls its worker.
+
+    [domains = 0] is a valid degenerate pool for deterministic tests:
+    nothing drains the queue until {!drain_one} is called from the
+    controlling thread. *)
+
+type t
+
+val create :
+  ?domains:int -> ?queue_cap:int -> registry:Registry.t -> unit -> t
+(** Start the pool.  Defaults: [domains] =
+    [max 1 (Domain.recommended_domain_count () - 1)], [queue_cap] = 64.
+    [domains = 0] starts no workers. *)
+
+val domains : t -> int
+val registry : t -> Registry.t
+
+val try_submit :
+  t -> Protocol.request -> (Protocol.response -> unit) -> (unit, int) result
+(** Enqueue, or shed: [Error retry_after_ms] when the queue is full (the
+    hint scales with queue depth).  Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val submit : t -> Protocol.request -> (Protocol.response -> unit) -> unit
+(** Blocking enqueue — waits for queue space instead of shedding.  The
+    batch front end uses this; the serve loop uses {!try_submit}. *)
+
+val drain_one : t -> bool
+(** Pop and execute one request on the calling thread; [false] if the
+    queue was empty.  For [domains = 0] tests. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, wait for the queue to drain and all in-flight
+    requests to complete, then join every worker.  Idempotent. *)

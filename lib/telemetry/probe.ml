@@ -1,31 +1,44 @@
+(* The runtime is domain-safe: counters are atomics, the registry is
+   mutex-guarded (cold path only — callers hold counter handles), and the
+   span nesting depth lives in domain-local storage so concurrently
+   running domains each see their own nesting.  The sink itself must be
+   domain-safe when several domains emit — see {!Sink.synchronized}. *)
+
 type counter = {
   name : string;
-  mutable count : int;
+  count : int Atomic.t;
 }
 
-let on = ref false
-let sink = ref Sink.null
-let depth = ref 0
+let on = Atomic.make false
+let sink = Atomic.make Sink.null
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let registry_mu = Mutex.create ()
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some c -> c
-  | None ->
-    let c = { name; count = 0 } in
-    Hashtbl.add registry name c;
-    c
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+        let c = { name; count = Atomic.make 0 } in
+        Hashtbl.add registry name c;
+        c)
 
-let[@inline] bump c = if !on then c.count <- c.count + 1
-let[@inline] add c n = if !on then c.count <- c.count + n
-let value c = c.count
+let[@inline] bump c =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c.count 1)
+
+let[@inline] add c n =
+  if Atomic.get on then ignore (Atomic.fetch_and_add c.count n)
+
+let value c = Atomic.get c.count
 
 let emit name fields =
-  if !on then !sink.Sink.emit (Event.Point { name; fields })
+  if Atomic.get on then (Atomic.get sink).Sink.emit (Event.Point { name; fields })
 
 let with_span ?fields name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
     let t0 = Clock.now_ns () in
@@ -35,38 +48,44 @@ let with_span ?fields name f =
         depth := d;
         (* [on] may have been toggled inside [f]; still restore depth,
            but only emit if telemetry is live *)
-        if !on then
+        if Atomic.get on then
           let fields = match fields with None -> [] | Some f -> f () in
-          !sink.Sink.emit (Event.Span { name; depth = d; dur_ns; fields }))
+          (Atomic.get sink).Sink.emit
+            (Event.Span { name; depth = d; dur_ns; fields }))
       f
   end
 
-let enabled () = !on
+let enabled () = Atomic.get on
 
 let enable ?sink:s () =
-  (match s with Some s -> sink := s | None -> ());
-  on := true
+  (match s with Some s -> Atomic.set sink s | None -> ());
+  Atomic.set on true
 
 let disable () =
-  on := false;
-  sink := Sink.null
+  Atomic.set on false;
+  Atomic.set sink Sink.null
 
-let set_sink s = sink := s
+let set_sink s = Atomic.set sink s
 
 let counters () =
-  Hashtbl.fold
-    (fun name c acc -> if c.count <> 0 then (name, c.count) :: acc else acc)
-    registry []
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.fold
+        (fun name c acc ->
+          let n = Atomic.get c.count in
+          if n <> 0 then (name, n) :: acc else acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) registry;
-  depth := 0
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.count 0) registry);
+  Domain.DLS.get depth_key := 0
 
 let flush () =
-  if !on then begin
+  if Atomic.get on then begin
+    let s = Atomic.get sink in
     (match counters () with
      | [] -> ()
-     | cs -> !sink.Sink.emit (Event.Counters cs));
-    !sink.Sink.flush ()
+     | cs -> s.Sink.emit (Event.Counters cs));
+    s.Sink.flush ()
   end

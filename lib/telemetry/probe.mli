@@ -10,8 +10,13 @@
     Counters are process-global aggregates identified by name (create
     them once at module initialization, bump them in the hot loop);
     spans and points are streamed to the installed sink as they happen.
-    The runtime is not thread-safe — instrument per-domain state before
-    parallelizing the engines. *)
+
+    The runtime is domain-safe: counters are atomic, the registry is
+    mutex-guarded, and the span nesting depth is domain-local (each
+    domain sees its own nesting).  The one thing it cannot make safe on
+    its own is the sink — when several domains emit concurrently, wrap
+    the sink with {!Sink.synchronized} so events do not interleave
+    mid-write. *)
 
 type counter
 

@@ -54,10 +54,18 @@ let tee sinks =
     flush = (fun () -> List.iter (fun s -> s.flush ()) sinks);
   }
 
+let synchronized t =
+  let mu = Mutex.create () in
+  {
+    emit = (fun ev -> Mutex.protect mu (fun () -> t.emit ev));
+    flush = (fun () -> Mutex.protect mu (fun () -> t.flush ()));
+  }
+
 let memory () =
+  let mu = Mutex.create () in
   let events = ref [] in
   ( {
-      emit = (fun ev -> events := ev :: !events);
+      emit = (fun ev -> Mutex.protect mu (fun () -> events := ev :: !events));
       flush = (fun () -> ());
     },
-    fun () -> List.rev !events )
+    fun () -> Mutex.protect mu (fun () -> List.rev !events) )

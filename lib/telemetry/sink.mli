@@ -26,6 +26,12 @@ val json_lines : out_channel -> t
 val tee : t list -> t
 (** Broadcast to several sinks. *)
 
+val synchronized : t -> t
+(** Serialize emissions through a mutex, so several domains can share
+    one sink without interleaving events mid-write.  Wrap the {e outer}
+    sink (a tee, say) once rather than each inner sink. *)
+
 val memory : unit -> t * (unit -> Event.t list)
 (** An in-memory sink plus an accessor returning the events recorded so
-    far, oldest first.  For tests. *)
+    far, oldest first.  Safe to record from concurrent domains.  For
+    tests. *)

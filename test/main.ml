@@ -9,4 +9,5 @@ let () =
       ("parsing", Test_parsing.suite);
       ("core", Test_core.suite);
       ("surface", Test_surface.suite);
-      ("telemetry", Test_telemetry.suite) ]
+      ("telemetry", Test_telemetry.suite);
+      ("service", Test_service.suite) ]

@@ -1,0 +1,518 @@
+(* Tests for the service layer: LRU, JSON, protocol decoding, the grammar
+   registry (including a random differential against fresh compilation),
+   request execution (engine policy, deadlines, result cache), and the
+   multi-domain scheduler (shedding, and a stress test asserting parallel
+   output is byte-identical to serial). *)
+
+module Sv = Lambekd_service
+module Lru = Sv.Lru
+module Json = Sv.Json
+module Protocol = Sv.Protocol
+module Registry = Sv.Registry
+module Exec = Sv.Exec
+module Scheduler = Sv.Scheduler
+module Builtin = Sv.Builtin
+module Cfg = Lambekd_cfg.Cfg
+module Ff = Lambekd_cfg.First_follow
+module Charsets = Lambekd_grammar.Charsets
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- lru ---------------------------------------------------------------- *)
+
+let test_lru_basic () =
+  let c = Lru.create ~cap:2 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  check_bool "find a" true (Lru.find c "a" = Some 1);
+  (* a is now most recent; inserting c evicts b *)
+  Lru.put c "c" 3;
+  check_int "size stays at cap" 2 (Lru.size c);
+  check_bool "b evicted" true (Lru.find c "b" = None);
+  check_bool "a survives" true (Lru.find c "a" = Some 1);
+  check_bool "c present" true (Lru.find c "c" = Some 3);
+  check_int "one eviction" 1 (Lru.evictions c)
+
+let test_lru_replace () =
+  let c = Lru.create ~cap:2 in
+  Lru.put c "a" 1;
+  Lru.put c "a" 10;
+  check_int "replace does not grow" 1 (Lru.size c);
+  check_bool "replaced value" true (Lru.find c "a" = Some 10);
+  check_int "replace is not an eviction" 0 (Lru.evictions c)
+
+let test_lru_disabled () =
+  let c = Lru.create ~cap:0 in
+  Lru.put c "a" 1;
+  check_bool "cap 0 never stores" true (Lru.find c "a" = None);
+  check_int "drop counted as eviction" 1 (Lru.evictions c)
+
+(* --- json --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let cases =
+    [ {|null|}; {|true|}; {|[1,2,3]|}; {|{"a":1,"b":[true,null]}|};
+      {|"he\"llo\n"|}; {|{"nested":{"x":[{"y":"z"}]}}|} ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse %s: %s" s e
+      | Ok v -> (
+        let printed = Json.to_string v in
+        match Json.parse printed with
+        | Error e -> Alcotest.failf "reparse %s: %s" printed e
+        | Ok v' -> check_bool ("roundtrip " ^ s) true (v = v')))
+    cases
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      check_bool ("rejects " ^ s) true (Result.is_error (Json.parse s)))
+    [ ""; "{"; "[1,"; {|{"a"}|}; "tru"; {|"unterminated|}; "1 2"; "{} []" ]
+
+let test_json_escapes () =
+  (match Json.parse {|"A\t"|} with
+  | Ok (Json.Str s) -> check_string "unicode escape" "A\t" s
+  | _ -> Alcotest.fail "escape parse");
+  check_string "control chars escaped" {|"\u0001"|}
+    (Json.to_string (Json.Str "\001"));
+  check_string "integral floats print as ints" {|{"n":42}|}
+    (Json.to_string (Json.Obj [ ("n", Json.Num 42.) ]))
+
+(* --- protocol ----------------------------------------------------------- *)
+
+let test_parse_request () =
+  match
+    Protocol.parse_request
+      {|{"id":"r1","grammar":"dyck","input":"()","query":"parse","engine":"earley","timeout_ms":50}|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check_bool "id" true (r.Protocol.id = Some "r1");
+    check_string "gname" "dyck" r.Protocol.gname;
+    check_string "input" "()" r.Protocol.input;
+    check_bool "query" true (r.Protocol.query = Protocol.Parse);
+    check_bool "engine" true (r.Protocol.engine = Protocol.Earley);
+    check_bool "timeout" true (r.Protocol.timeout_ms = Some 50.)
+
+let test_parse_request_defaults () =
+  match Protocol.parse_request {|{"grammar":"expr","input":"n"}|} with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check_bool "no id" true (r.Protocol.id = None);
+    check_bool "default query" true (r.Protocol.query = Protocol.Membership);
+    check_bool "default engine" true (r.Protocol.engine = Protocol.Auto);
+    check_bool "no timeout" true (r.Protocol.timeout_ms = None)
+
+let test_parse_request_inline () =
+  match
+    Protocol.parse_request
+      {|{"grammar":{"start":"S","prods":[["S",[]],["S",["'a'","S","'b'"]]]},"input":"aabb"}|}
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    check_string "inline gname" "inline" r.Protocol.gname;
+    let resp = Exec.run (Registry.create ()) r in
+    check_bool "a^n b^n accepted" true
+      (resp.Protocol.outcome = Ok (Protocol.Accepted None))
+
+let test_parse_request_errors () =
+  List.iter
+    (fun line ->
+      check_bool
+        ("rejects " ^ line)
+        true
+        (Result.is_error (Protocol.parse_request line)))
+    [ "not json";
+      {|["grammar"]|};
+      {|{"input":"x"}|};
+      {|{"grammar":"nope","input":"x"}|};
+      {|{"grammar":"dyck"}|};
+      {|{"grammar":"dyck","input":"x","query":"frobnicate"}|};
+      {|{"grammar":"dyck","input":"x","engine":"cyk"}|};
+      {|{"grammar":"dyck","input":"x","timeout_ms":-1}|};
+      {|{"grammar":{"start":"S","prods":[["S",["T"]]]},"input":"x"}|};
+      {|{"grammar":{"start":"S","prods":[["S",["''"]]]},"input":"x"}|} ]
+
+let test_response_json () =
+  let resp =
+    { Protocol.rid = Some "r7";
+      outcome = Ok (Protocol.Accepted None);
+      engine_used = "ll1";
+      artifact_cache = `Hit;
+      result_cache = `Miss;
+      dur_ns = 1234.5 }
+  in
+  check_string "with times"
+    {|{"id":"r7","ok":true,"verdict":"accept","engine":"ll1","artifact":"hit","result":"miss","ns":1235}|}
+    (Protocol.response_to_json resp);
+  check_string "no times"
+    {|{"id":"r7","ok":true,"verdict":"accept","engine":"ll1","artifact":"hit","result":"miss"}|}
+    (Protocol.response_to_json ~times:false resp);
+  check_string "timeout shape"
+    {|{"ok":false,"error":"timeout","after_ms":5}|}
+    (Protocol.response_to_json ~times:false
+       { resp with
+         rid = None;
+         outcome = Error (Protocol.Timeout { after_ms = 5. });
+         artifact_cache = `None;
+         result_cache = `None })
+
+(* --- registry ----------------------------------------------------------- *)
+
+let test_registry_caching () =
+  let reg = Registry.create () in
+  let cfg = Option.get (Builtin.find "dyck") in
+  let a1, m1 = Registry.get reg cfg in
+  let a2, m2 = Registry.get reg cfg in
+  check_bool "first is a miss" true (m1 = `Miss);
+  check_bool "second is a hit" true (m2 = `Hit);
+  check_bool "hit returns the same artifact" true (a1 == a2);
+  check_string "digest stable" a1.Registry.digest (Registry.digest_cfg cfg)
+
+let test_registry_digest_structural () =
+  (* the same structure sent inline digests identically to the builtin *)
+  let inline =
+    Cfg.make ~start:"D"
+      ~productions:
+        [ ("D", []); ("D", [ Cfg.T '('; Cfg.N "D"; Cfg.T ')'; Cfg.N "D" ]) ]
+  in
+  let builtin = Option.get (Builtin.find "dyck") in
+  check_string "structural digest" (Registry.digest_cfg builtin)
+    (Registry.digest_cfg inline);
+  check_bool "different grammar, different digest" true
+    (Registry.digest_cfg builtin
+    <> Registry.digest_cfg (Option.get (Builtin.find "expr")))
+
+let test_registry_eviction () =
+  let reg = Registry.create ~artifact_cap:1 ~result_cap:0 () in
+  let d = Option.get (Builtin.find "dyck") in
+  let e = Option.get (Builtin.find "expr") in
+  ignore (Registry.get reg d);
+  ignore (Registry.get reg e);
+  (* dyck was evicted by expr *)
+  let _, m = Registry.get reg d in
+  check_bool "evicted artifact recompiles" true (m = `Miss);
+  check_bool "evictions counted" true (Registry.artifact_evictions reg >= 1)
+
+(* A small random CFG generator.  Every nonterminal gets at least one
+   production by construction, so [Cfg.make] always accepts the result. *)
+let random_cfg rng =
+  let nts = 1 + Random.State.int rng 3 in
+  let nt i = Fmt.str "N%d" i in
+  let sym () =
+    match Random.State.int rng 4 with
+    | 0 -> Cfg.T 'a'
+    | 1 -> Cfg.T 'b'
+    | _ -> Cfg.N (nt (Random.State.int rng nts))
+  in
+  let productions =
+    List.concat_map
+      (fun i ->
+        let prods = 1 + Random.State.int rng 2 in
+        List.init prods (fun _ ->
+            let len = Random.State.int rng 4 in
+            (nt i, List.init len (fun _ -> sym ()))))
+      (List.init nts Fun.id)
+  in
+  Cfg.make ~start:(nt 0) ~productions
+
+let random_word rng =
+  String.init (Random.State.int rng 6) (fun _ ->
+      if Random.State.bool rng then 'a' else 'b')
+
+let info_string cs g = Fmt.str "%a" Charsets.pp_info (Charsets.info cs g)
+
+(* The 100-grammar differential: for random grammars, the artifact served
+   from the registry cache must be indistinguishable from one compiled
+   fresh — same digest, same table existence, same FIRST/FOLLOW, same
+   charsets analysis, and same verdicts on random inputs. *)
+let test_registry_differential () =
+  let rng = Random.State.make [| 0x5e41ce |] in
+  let reg = Registry.create ~artifact_cap:128 ~result_cap:0 () in
+  for _ = 1 to 100 do
+    let cfg = random_cfg rng in
+    let fresh = Registry.compile cfg in
+    (* small random space: a structurally equal grammar may have been
+       drawn before, in which case the first get is already a hit *)
+    let a, _ = Registry.get reg cfg in
+    let cached, m2 = Registry.get reg cfg in
+    check_bool "second get hits" true (m2 = `Hit);
+    check_bool "cached is the compiled artifact" true (a == cached);
+    check_string "digest" fresh.Registry.digest cached.Registry.digest;
+    check_bool "ll1 existence" true
+      (Option.is_some fresh.Registry.ll1 = Option.is_some cached.Registry.ll1);
+    check_bool "slr existence" true
+      (Option.is_some fresh.Registry.slr = Option.is_some cached.Registry.slr);
+    List.iter
+      (fun n ->
+        check_bool "nullable" true
+          (Ff.nullable fresh.Registry.ff n = Ff.nullable cached.Registry.ff n);
+        check_bool "first" true
+          (Ff.first fresh.Registry.ff n = Ff.first cached.Registry.ff n);
+        check_bool "follow" true
+          (Ff.follow fresh.Registry.ff n = Ff.follow cached.Registry.ff n))
+      (Cfg.nonterminals cfg);
+    check_string "charsets root analysis"
+      (info_string fresh.Registry.cs fresh.Registry.grammar)
+      (info_string cached.Registry.cs cached.Registry.grammar);
+    (* verdict agreement through the cached artifact vs a cold registry *)
+    for _ = 1 to 3 do
+      let w = random_word rng in
+      let req =
+        { Protocol.id = None; cfg; gname = "random"; input = w;
+          query = Protocol.Membership; engine = Protocol.Auto;
+          timeout_ms = None }
+      in
+      let cold = Exec.run (Registry.create ~artifact_cap:0 ~result_cap:0 ()) req in
+      let warm = Exec.run reg req in
+      check_bool
+        (Fmt.str "verdict agreement on %S" w)
+        true
+        (cold.Protocol.outcome = warm.Protocol.outcome)
+    done
+  done
+
+(* --- exec: engine policy, deadlines, result cache ----------------------- *)
+
+let run_line ?(reg = Registry.create ()) line =
+  match Protocol.parse_request line with
+  | Error e -> Alcotest.fail e
+  | Ok req -> Exec.run reg req
+
+let test_engine_policy () =
+  let engine line =
+    (run_line line).Protocol.engine_used
+  in
+  check_string "LL(1) grammar uses ll1" "ll1"
+    (engine {|{"grammar":"dyck","input":"()"}|});
+  check_string "left-recursive grammar falls back to slr" "slr"
+    (engine {|{"grammar":"expr_lr","input":"n+n"}|});
+  check_string "no table falls back to earley" "earley"
+    (engine {|{"grammar":"ss","input":"aa"}|});
+  check_string "count always runs the forest" "forest"
+    (engine {|{"grammar":"ss","input":"aaa","query":"count"}|});
+  check_string "enum pin respected" "enum"
+    (engine {|{"grammar":"dyck","input":"()","engine":"enum"}|})
+
+let test_engine_pin_errors () =
+  let r = run_line {|{"grammar":"ss","input":"aa","engine":"ll1"}|} in
+  (match r.Protocol.outcome with
+  | Error (Protocol.Bad_request _) -> ()
+  | _ -> Alcotest.fail "pinning ll1 on a non-LL(1) grammar must fail");
+  let r = run_line {|{"grammar":"ss","input":"aa","engine":"slr"}|} in
+  match r.Protocol.outcome with
+  | Error (Protocol.Bad_request _) -> ()
+  | _ -> Alcotest.fail "pinning slr on a non-SLR(1) grammar must fail"
+
+let test_verdicts_across_engines () =
+  (* all engines agree with each other on the same inputs *)
+  let reg = Registry.create () in
+  List.iter
+    (fun (w, expect) ->
+      List.iter
+        (fun eng ->
+          let r =
+            run_line ~reg
+              (Fmt.str {|{"grammar":"dyck","input":"%s","engine":"%s"}|} w eng)
+          in
+          let got =
+            match r.Protocol.outcome with
+            | Ok (Protocol.Accepted _) -> true
+            | Ok Protocol.Rejected -> false
+            | _ -> Alcotest.fail "unexpected failure"
+          in
+          check_bool (Fmt.str "%s on %S" eng w) expect got)
+        [ "auto"; "ll1"; "slr"; "earley"; "enum" ])
+    [ ("", true); ("()", true); ("(())()", true); ("(", false);
+      ("())", false) ]
+
+let test_count_query () =
+  let r = run_line {|{"grammar":"ss","input":"aaaa","query":"count"}|} in
+  match r.Protocol.outcome with
+  | Ok (Protocol.Count { count; saturated }) ->
+    check_int "catalan(3)" 5 count;
+    check_bool "not saturated" false saturated
+  | _ -> Alcotest.fail "expected a count"
+
+let test_parse_query_tree () =
+  let r = run_line {|{"grammar":"expr","input":"n+n","query":"parse"}|} in
+  match r.Protocol.outcome with
+  | Ok (Protocol.Accepted (Some tree)) ->
+    check_bool "tree is non-empty" true (String.length tree > 0)
+  | _ -> Alcotest.fail "expected a parse tree"
+
+let test_timeout () =
+  (* timeout_ms = 0: the deadline has always already passed *)
+  let r = run_line {|{"grammar":"dyck","input":"()","timeout_ms":0}|} in
+  match r.Protocol.outcome with
+  | Error (Protocol.Timeout { after_ms }) ->
+    check_bool "after_ms echoes budget" true (after_ms = 0.)
+  | _ -> Alcotest.fail "expected a timeout"
+
+let test_result_cache () =
+  let reg = Registry.create () in
+  let line = {|{"grammar":"dyck","input":"(())"}|} in
+  let r1 = run_line ~reg line in
+  let r2 = run_line ~reg line in
+  check_bool "first result is a miss" true (r1.Protocol.result_cache = `Miss);
+  check_bool "second result is a hit" true (r2.Protocol.result_cache = `Hit);
+  check_bool "same verdict" true (r1.Protocol.outcome = r2.Protocol.outcome);
+  (* a disabled result cache never hits *)
+  let reg0 = Registry.create ~result_cap:0 () in
+  let r1 = run_line ~reg:reg0 line in
+  let r2 = run_line ~reg:reg0 line in
+  check_bool "cap 0 never hits" true
+    (r1.Protocol.result_cache = `Miss && r2.Protocol.result_cache = `Miss)
+
+(* --- scheduler ----------------------------------------------------------- *)
+
+let test_scheduler_shed () =
+  (* domains = 0: nothing drains, so the queue fills deterministically *)
+  let reg = Registry.create () in
+  let sched = Scheduler.create ~domains:0 ~queue_cap:2 ~registry:reg () in
+  let req =
+    match Protocol.parse_request {|{"grammar":"dyck","input":"()"}|} with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let got = ref [] in
+  let submit () = Scheduler.try_submit sched req (fun r -> got := r :: !got) in
+  check_bool "first enqueues" true (submit () = Ok ());
+  check_bool "second enqueues" true (submit () = Ok ());
+  (match submit () with
+  | Error retry -> check_bool "retry hint positive" true (retry > 0)
+  | Ok () -> Alcotest.fail "queue over capacity");
+  check_bool "drain one" true (Scheduler.drain_one sched);
+  check_bool "space again" true (submit () = Ok ());
+  while Scheduler.drain_one sched do () done;
+  check_int "all accepted jobs answered" 3 (List.length !got);
+  Scheduler.shutdown sched
+
+let mixed_requests () =
+  List.filter_map
+    (fun line ->
+      match Protocol.parse_request line with
+      | Ok r -> Some r
+      | Error e -> Alcotest.fail e)
+    (List.concat
+       (List.init 25 (fun i ->
+            [ Fmt.str
+                {|{"id":"d%d","grammar":"dyck","input":"%s"}|}
+                i
+                (String.concat "" (List.init (i mod 7) (fun _ -> "()")));
+              Fmt.str
+                {|{"id":"e%d","grammar":"expr","input":"n%s","query":"parse"}|}
+                i
+                (String.concat "" (List.init (i mod 5) (fun _ -> "+n")));
+              Fmt.str
+                {|{"id":"l%d","grammar":"expr_lr","input":"n+n*1","query":"member"}|}
+                i;
+              Fmt.str
+                {|{"id":"s%d","grammar":"ss","input":"%s","query":"count"}|}
+                i
+                (String.make (1 + (i mod 6)) 'a') ])))
+
+(* The stress differential: 4 scheduler domains must produce exactly the
+   responses the serial loop produces, byte for byte (modulo timing
+   fields). *)
+let test_scheduler_parallel_identical () =
+  let reqs = mixed_requests () in
+  let total = List.length reqs in
+  let render rs =
+    String.concat "\n"
+      (List.map (Protocol.response_to_json ~times:false) rs)
+  in
+  let serial =
+    let reg = Registry.create ~result_cap:0 () in
+    List.map (Exec.run reg) reqs
+  in
+  let parallel =
+    let reg = Registry.create ~result_cap:0 () in
+    (* pre-warm so artifact hit/miss fields match the serial run's
+       steady state is not needed: both runs compile on first touch in
+       submission order for serial; for parallel, compilation order can
+       differ, so warm both ways instead *)
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    let reg_serial = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg_serial r.Protocol.cfg)) reqs;
+    let sched = Scheduler.create ~domains:4 ~queue_cap:32 ~registry:reg () in
+    let out = Array.make total None in
+    List.iteri
+      (fun i r -> Scheduler.submit sched r (fun resp -> out.(i) <- Some resp))
+      reqs;
+    Scheduler.shutdown sched;
+    Array.to_list (Array.map Option.get out)
+  in
+  let serial_warm =
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    List.map (Exec.run reg) reqs
+  in
+  check_int "every request answered" total (List.length parallel);
+  check_string "parallel output identical to serial (warm)"
+    (render serial_warm) (render parallel);
+  (* verdicts (not cache fields) also match the fully cold serial run *)
+  List.iter2
+    (fun (a : Protocol.response) (b : Protocol.response) ->
+      check_bool "verdict matches cold serial" true
+        (a.Protocol.outcome = b.Protocol.outcome))
+    serial parallel
+
+let test_scheduler_shutdown_drains () =
+  let reg = Registry.create () in
+  let sched = Scheduler.create ~domains:2 ~queue_cap:128 ~registry:reg () in
+  let req =
+    match Protocol.parse_request {|{"grammar":"dyck","input":"(())"}|} with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let answered = Atomic.make 0 in
+  for _ = 1 to 100 do
+    Scheduler.submit sched req (fun _ -> Atomic.incr answered)
+  done;
+  Scheduler.shutdown sched;
+  check_int "shutdown waits for every queued job" 100 (Atomic.get answered)
+
+let suite =
+  [ Alcotest.test_case "lru: recency eviction" `Quick test_lru_basic;
+    Alcotest.test_case "lru: replace" `Quick test_lru_replace;
+    Alcotest.test_case "lru: cap 0 disables" `Quick test_lru_disabled;
+    Alcotest.test_case "json: roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: errors" `Quick test_json_errors;
+    Alcotest.test_case "json: escapes" `Quick test_json_escapes;
+    Alcotest.test_case "protocol: full request" `Quick test_parse_request;
+    Alcotest.test_case "protocol: defaults" `Quick test_parse_request_defaults;
+    Alcotest.test_case "protocol: inline grammar" `Quick
+      test_parse_request_inline;
+    Alcotest.test_case "protocol: bad requests" `Quick
+      test_parse_request_errors;
+    Alcotest.test_case "protocol: response rendering" `Quick
+      test_response_json;
+    Alcotest.test_case "registry: artifact caching" `Quick
+      test_registry_caching;
+    Alcotest.test_case "registry: structural digest" `Quick
+      test_registry_digest_structural;
+    Alcotest.test_case "registry: eviction recompiles" `Quick
+      test_registry_eviction;
+    Alcotest.test_case "registry: 100-grammar differential vs fresh compile"
+      `Quick test_registry_differential;
+    Alcotest.test_case "exec: engine policy" `Quick test_engine_policy;
+    Alcotest.test_case "exec: engine pin errors" `Quick
+      test_engine_pin_errors;
+    Alcotest.test_case "exec: engines agree on dyck" `Quick
+      test_verdicts_across_engines;
+    Alcotest.test_case "exec: count query" `Quick test_count_query;
+    Alcotest.test_case "exec: parse query returns tree" `Quick
+      test_parse_query_tree;
+    Alcotest.test_case "exec: timeout" `Quick test_timeout;
+    Alcotest.test_case "exec: result cache" `Quick test_result_cache;
+    Alcotest.test_case "scheduler: overload shedding" `Quick
+      test_scheduler_shed;
+    Alcotest.test_case "scheduler: 4-domain output identical to serial"
+      `Quick test_scheduler_parallel_identical;
+    Alcotest.test_case "scheduler: shutdown drains" `Quick
+      test_scheduler_shutdown_drains ]

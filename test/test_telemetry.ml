@@ -25,6 +25,22 @@ let with_probe ?sink f =
 
 (* --- counters ---------------------------------------------------------- *)
 
+let test_counters_concurrent () =
+  (* counters are atomics: bumps from concurrent domains must not be
+     lost (this is what lets the service scheduler share one probe) *)
+  let c = Probe.counter "test.concurrent" in
+  with_probe (fun () ->
+      let per_domain = 10_000 in
+      let worker () =
+        for _ = 1 to per_domain do
+          Probe.bump c
+        done
+      in
+      let ds = List.init 4 (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join ds;
+      check_int "no lost bumps" (5 * per_domain) (Probe.value c))
+
 let test_counters () =
   let a = Probe.counter "test.a" in
   let b = Probe.counter "test.b" in
@@ -221,6 +237,7 @@ let qcheck_tests =
 
 let suite =
   [ ("counters bump/add/reset", `Quick, test_counters);
+    ("counters domain-safe", `Quick, test_counters_concurrent);
     ("counters frozen when disabled", `Quick, test_counters_disabled);
     ("spans nest", `Quick, test_spans_nest);
     ("span depth restored on raise", `Quick, test_span_depth_restored_on_raise);
