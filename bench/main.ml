@@ -846,6 +846,55 @@ let bench_service () =
       cell "%6.1fx vs cold" speedup;
       cell "%s" (if identical then "outputs identical" else "OUTPUTS DIFFER") ]
 
+(* --- PR4: fault plane — disarmed probe overhead --------------------------------- *)
+
+(* The fault plane's contract (ISSUE PR4) is zero production cost: a
+   disarmed probe is one atomic load and one branch, so request latency
+   with the plane disarmed must be indistinguishable from the pre-fault
+   service.  Armed schedules are reported alongside for scale: an idle
+   schedule (armed, all rates zero) costs the config fetch, and a
+   corrupt-heavy schedule pays its degraded paths. *)
+let bench_fault_overhead () =
+  let module Sv = Lambekd_service in
+  header "PR4 fault plane — disarmed probes vs armed schedules (warm registry)";
+  let req =
+    match
+      Sv.Protocol.parse_request
+        {|{"grammar":"expr","input":"n+n+n+n+n+n","query":"member"}|}
+    with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  let reg = Sv.Registry.create ~artifact_cap:8 ~result_cap:0 () in
+  ignore (Sv.Exec.run reg req);
+  let measure schedule =
+    (match schedule with
+    | None -> Sv.Fault.clear ()
+    | Some s -> (
+      match Sv.Fault.parse s with
+      | Ok cfg -> Sv.Fault.install cfg
+      | Error e -> failwith e));
+    let ns = time_ns (fun () -> Sv.Exec.run reg req) in
+    Sv.Fault.clear ();
+    ns
+  in
+  let disarmed_ns = measure None in
+  row [ cell "%-14s" "disarmed"; pp_ns disarmed_ns ];
+  json ~section:"fault_overhead"
+    [ ("mode", Ev.Str "disarmed"); ("ns", Ev.Float disarmed_ns) ];
+  List.iter
+    (fun (label, schedule) ->
+      let ns = measure (Some schedule) in
+      json ~section:"fault_overhead"
+        [ ("mode", Ev.Str label);
+          ("ns", Ev.Float ns);
+          ("overhead_vs_disarmed", Ev.Float (ns /. disarmed_ns)) ];
+      row
+        [ cell "%-14s" label; pp_ns ns;
+          cell "%6.2fx vs disarmed" (ns /. disarmed_ns) ])
+    [ ("armed idle", "seed=1");
+      ("armed corrupt", "seed=1;registry.get:corrupt:0.5;registry.result:corrupt:0.5") ]
+
 (* --- section registry and driver -------------------------------------------------- *)
 
 let sections =
@@ -863,6 +912,7 @@ let sections =
     ("earley_completer", bench_earley_completer);
     ("surface", bench_surface);
     ("service", bench_service);
+    ("fault_overhead", bench_fault_overhead);
     ("probe_overhead", bench_probe_overhead);
     ("micro", bench_micro) ]
 

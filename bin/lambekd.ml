@@ -9,8 +9,11 @@
               (Construction 4.15)
      check  — type check a surface-syntax (.lkd) file
      serve  — NDJSON parse service over stdio or TCP (grammar registry +
-              multi-domain scheduler)
-     batch  — run an NDJSON request file through the service pipeline *)
+              multi-domain scheduler, concurrent connections, graceful
+              drain on SIGINT/SIGTERM)
+     batch  — run an NDJSON request file through the service pipeline
+     fuzz   — seeded differential fuzzing of the service against the
+              serial reference, optionally under fault schedules *)
 
 module G = Lambekd_grammar
 module P = G.Ptree
@@ -444,64 +447,64 @@ let flags_exit flags =
   else if Atomic.get flags.timed_out then exit_timeout
   else 0
 
-(* Serve one NDJSON connection: decode on this thread (grammar
-   construction is not domain-safe), execute on the pool, emit in
-   order.  Returns the exit code for the stream it saw. *)
-let serve_connection registry ~domains ~queue_cap ~times ic oc =
-  let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
-  let writer = Ordered_writer.create oc in
-  let flags = flags_create () in
-  let seq = ref 0 in
-  let respond s r =
-    flags_note flags r;
-    Ordered_writer.write writer s (Sv.Protocol.response_to_json ~times r)
-  in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then begin
-         let s = !seq in
-         incr seq;
-         match Sv.Protocol.parse_request line with
-         | Error msg -> respond s (Sv.Protocol.bad_request msg)
-         | Ok req -> (
-           match Sv.Scheduler.try_submit sched req (respond s) with
-           | Ok () -> ()
-           | Error retry_after_ms ->
-             respond s (Sv.Protocol.overloaded ?id:req.id ~retry_after_ms ()))
-       end
-     done
-   with End_of_file -> ());
-  Sv.Scheduler.shutdown sched;
-  flags_exit flags
+let status_exit : Sv.Server.status -> int = function
+  | `Clean -> 0
+  | `Malformed -> exit_malformed
+  | `Timed_out -> exit_timeout
+
+(* Arm the fault plane from LAMBEKD_FAULTS (a no-op when unset), or
+   refuse to start on a malformed schedule — a typo must not silently
+   run a production server with faults half-armed. *)
+let with_faults f =
+  match Sv.Fault.install_from_env () with
+  | Error msg ->
+    Fmt.epr "lambekd: %s@." msg;
+    2
+  | Ok armed ->
+    if armed then
+      Logs.warn (fun m ->
+          m "fault injection ARMED via LAMBEKD_FAULTS (%s)"
+            (Option.value ~default:"?" (Sys.getenv_opt "LAMBEKD_FAULTS")));
+    Fun.protect ~finally:Sv.Fault.clear f
 
 let serve_cmd =
-  let run common domains queue_cap artifact_cap result_cap no_times tcp =
+  let run common domains queue_cap artifact_cap result_cap no_times tcp
+      max_conns max_line_bytes =
     with_telemetry common @@ fun () ->
-    let registry =
-      Sv.Registry.create ~artifact_cap ~result_cap ()
-    in
+    with_faults @@ fun () ->
+    (* a vanished peer must surface as EPIPE on the write, not kill the
+       process *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let registry = Sv.Registry.create ~artifact_cap ~result_cap () in
     let times = not no_times in
+    let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
+    Fun.protect ~finally:(fun () -> Sv.Scheduler.shutdown sched)
+    @@ fun () ->
     match tcp with
-    | None -> serve_connection registry ~domains ~queue_cap ~times stdin stdout
-    | Some port ->
-      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      Unix.setsockopt sock Unix.SO_REUSEADDR true;
-      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-      Unix.listen sock 8;
-      Logs.app (fun m -> m "lambekd: serving on 127.0.0.1:%d" port);
-      (* iterative server: one client at a time, registry warm across
-         connections; runs until killed *)
-      while true do
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        ignore
-          (try serve_connection registry ~domains ~queue_cap ~times ic oc
-           with Sys_error _ | Unix.Unix_error _ -> 0);
-        (try Unix.close fd with Unix.Unix_error _ -> ())
-      done;
-      0
+    | None ->
+      status_exit
+        (Sv.Server.serve_stream ~max_line_bytes ~sched ~times Unix.stdin
+           Unix.stdout)
+    | Some port -> (
+      match Sv.Server.tcp_create ~port () with
+      | Error msg ->
+        Fmt.epr "lambekd: %s@." msg;
+        2
+      | Ok t ->
+        (* graceful drain: stop accepting, flush in-flight responses,
+           exit 0 — so an orchestrator's TERM is not data loss *)
+        List.iter
+          (fun s ->
+            Sys.set_signal s
+              (Sys.Signal_handle (fun _ -> Sv.Server.stop t)))
+          [ Sys.sigint; Sys.sigterm ];
+        Logs.app (fun m ->
+            m "lambekd: serving on 127.0.0.1:%d" (Sv.Server.port t));
+        Sv.Server.run ~max_conns ~max_line_bytes ~sched ~times t;
+        Logs.app (fun m ->
+            m "lambekd: drained after %d connections"
+              (Sv.Server.connections t));
+        0)
   in
   let domains =
     Arg.(
@@ -549,8 +552,29 @@ let serve_cmd =
       & opt (some int) None
       & info [ "tcp" ] ~docv:"PORT"
           ~doc:
-            "Listen on 127.0.0.1:$(docv) instead of stdio; clients speak \
-             the same NDJSON, one connection served at a time.")
+            "Listen on 127.0.0.1:$(docv) instead of stdio (0 picks an \
+             ephemeral port); clients speak the same NDJSON, each \
+             connection served concurrently against the shared \
+             scheduler.  SIGINT/SIGTERM drain gracefully: in-flight \
+             responses are flushed, then the process exits 0.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent TCP connection cap; beyond it new connections \
+             get one $(i,overloaded) response and are closed.")
+  in
+  let max_line_bytes =
+    Arg.(
+      value
+      & opt int Sv.Server.default_max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Per-line read limit.  An oversized line is consumed (never \
+             buffered) and answered with a $(i,bad_request) response.")
   in
   Cmd.v
     (Cmd.info "serve" ~exits:service_exits
@@ -562,7 +586,7 @@ let serve_cmd =
           format.")
     Term.(
       const run $ common_term $ domains $ queue_cap $ artifact_cap
-      $ result_cap $ no_times $ tcp)
+      $ result_cap $ no_times $ tcp $ max_conns $ max_line_bytes)
 
 let batch_cmd =
   let run common file domains queue_cap artifact_cap result_cap no_times =
@@ -659,6 +683,187 @@ let batch_cmd =
       const run $ common_term $ file $ domains $ queue_cap $ artifact_cap
       $ result_cap $ no_times)
 
+(* Corpus mode: replay every committed .ndjson case through the serial
+   reference and diff (or rewrite) its .expected golden. *)
+let fuzz_corpus ~write dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg ->
+    Fmt.epr "lambekd: %s@." msg;
+    2
+  | entries ->
+    let cases =
+      Array.to_list entries
+      |> List.filter (fun f -> Filename.check_suffix f ".ndjson")
+      |> List.sort String.compare
+    in
+    let read_lines path =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          go [])
+    in
+    let failures =
+      List.fold_left
+        (fun failures case ->
+          let golden_path =
+            Filename.concat dir (Filename.chop_suffix case ".ndjson" ^ ".expected")
+          in
+          let lines = read_lines (Filename.concat dir case) in
+          let reg = Sv.Registry.create ~result_cap:0 () in
+          let got = Sv.Fuzz.reference reg lines in
+          if write then begin
+            let oc = open_out_bin golden_path in
+            List.iter (fun l -> output_string oc (l ^ "\n")) got;
+            close_out oc;
+            Fmt.pr "wrote %s (%d responses)@." golden_path (List.length got);
+            failures
+          end
+          else
+            let want =
+              match read_lines golden_path with
+              | lines -> lines
+              | exception Sys_error _ -> []
+            in
+            if got = want then begin
+              Fmt.pr "corpus ok: %s (%d responses)@." case (List.length got);
+              failures
+            end
+            else begin
+              Fmt.epr "corpus FAILED: %s (run with --write-goldens to \
+                       regenerate after an intended change)@." case;
+              failures + 1
+            end)
+        0 cases
+    in
+    if cases = [] then begin
+      Fmt.epr "lambekd: no .ndjson cases in %s@." dir;
+      2
+    end
+    else if failures = 0 then 0
+    else 1
+
+let fuzz_cmd =
+  let run common seed requests domains max_line_bytes faults corpus
+      write_goldens =
+    with_telemetry common @@ fun () ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match corpus with
+    | Some dir -> fuzz_corpus ~write:write_goldens dir
+    | None ->
+    let parsed =
+      List.map
+        (fun s ->
+          match Sv.Fault.parse s with
+          | Ok cfg -> Ok (cfg, s)
+          | Error e -> Error (s, e))
+        faults
+    in
+    match
+      List.find_map (function Error se -> Some se | Ok _ -> None) parsed
+    with
+    | Some (s, e) ->
+      Fmt.epr "lambekd: --faults %S: %s@." s e;
+      2
+    | None ->
+      let schedules = List.filter_map Result.to_option parsed in
+      (* always one clean round; then one round per fault schedule *)
+      let rounds = None :: List.map Option.some schedules in
+      let failures =
+        List.fold_left
+          (fun failures schedule ->
+            let label =
+              match schedule with
+              | None -> "no faults"
+              | Some (_, s) -> Fmt.str "faults %s" s
+            in
+            match
+              Sv.Fuzz.differential ?domains ~max_line_bytes ?schedule ~seed
+                ~requests ()
+            with
+            | Ok r ->
+              Fmt.pr "fuzz ok: seed %d, %d lines, %d responses, %s@." seed
+                r.Sv.Fuzz.lines r.Sv.Fuzz.responses label;
+              failures
+            | Error msg ->
+              Fmt.epr "fuzz FAILED (seed %d, %d requests, %s):@.%s@." seed
+                requests label msg;
+              failures + 1)
+          0 rounds
+      in
+      if failures = 0 then 0 else 1
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Stream seed.  A failing (seed, requests, faults) triple is a \
+             complete reproducer.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 500
+      & info [ "requests" ] ~docv:"N" ~doc:"Lines to generate per round.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the service replay (at least 1).")
+  in
+  let max_line_bytes =
+    Arg.(
+      value
+      & opt int Sv.Fuzz.default_max_line_bytes
+      & info [ "max-line-bytes" ] ~docv:"BYTES"
+          ~doc:"Per-line limit both replays enforce.")
+  in
+  let faults =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "faults" ] ~docv:"SCHEDULE"
+          ~doc:
+            "A fault schedule (LAMBEKD_FAULTS syntax, e.g. \
+             $(i,seed=7;registry.get:delay:0.3:5;exec.run:fail:0.2)) to \
+             replay under, in addition to the always-run clean round.  \
+             Repeatable.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Instead of generating a stream, replay every $(i,*.ndjson) \
+             case in $(docv) through the serial reference and diff it \
+             against its $(i,*.expected) golden.")
+  in
+  let write_goldens =
+    Arg.(
+      value & flag
+      & info [ "write-goldens" ]
+          ~doc:"With --corpus: rewrite the goldens instead of diffing.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits:service_exits
+       ~doc:
+         "Differential fuzzing: generate a seeded NDJSON stream mixing \
+          valid, malformed, truncated, oversized and astral-plane lines; \
+          replay it through the serial reference and the multi-domain \
+          service (optionally under fault schedules); fail unless both \
+          outputs are byte-identical.")
+    Term.(
+      const run $ common_term $ seed $ requests $ domains $ max_line_bytes
+      $ faults $ corpus $ write_goldens)
+
 let grammars_cmd =
   let run () =
     List.iter
@@ -680,6 +885,6 @@ let main =
     (Cmd.info "lambekd" ~version:"1.0.0"
        ~doc:"Intrinsically verified parsing in Dependent Lambek Calculus.")
     [ regex_cmd; dyck_cmd; expr_cmd; forest_cmd; reify_cmd; ambiguity_cmd;
-      check_cmd; serve_cmd; batch_cmd; grammars_cmd ]
+      check_cmd; serve_cmd; batch_cmd; fuzz_cmd; grammars_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -20,11 +20,13 @@ and def = {
   mutable rules : (Index.t -> t) option;
 }
 
-let next_id = ref 0
+(* Atomic: the serve front end decodes inline grammars on concurrent
+   connection threads, so declaration ids must stay unique under
+   interleaving. *)
+let next_id = Atomic.make 0
 
 let declare name =
-  incr next_id;
-  { id = !next_id; name; rules = None }
+  { id = Atomic.fetch_and_add next_id 1 + 1; name; rules = None }
 
 let set_rules d f =
   match d.rules with

@@ -7,6 +7,7 @@ exception Deadline
 
 let c_requests = Probe.counter "service.requests"
 let c_timeouts = Probe.counter "service.timeouts"
+let c_fault_retries = Probe.counter "service.fault_retries"
 
 (* One clock read per 256 polls: the hooks sit in engine hot loops. *)
 let make_poll deadline_ns =
@@ -95,7 +96,7 @@ let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
       | Some p -> Protocol.Accepted (Some (Grammar.Ptree.to_string p))
       | None -> Protocol.Rejected)
 
-let run registry ?deadline_ns (req : Protocol.request) =
+let run_once registry ?deadline_ns (req : Protocol.request) =
   Probe.bump c_requests;
   let t0 = Clock.now_ns () in
   let deadline_ns =
@@ -153,3 +154,19 @@ let run registry ?deadline_ns (req : Protocol.request) =
         | exception Deadline ->
           finish ~engine_used:name ~artifact_cache ~result_cache:`Miss
             (timeout ())))
+
+(* The [exec.run] fault point fires before any engine state is touched,
+   so a retry is a clean re-execution; the per-site consecutive-failure
+   cap in {!Fault} bounds the loop. *)
+let run registry ?deadline_ns (req : Protocol.request) =
+  let rec attempt () =
+    match
+      Fault.disrupt Fault.Exec_run;
+      run_once registry ?deadline_ns req
+    with
+    | resp -> resp
+    | exception Fault.Injected _ ->
+      Probe.bump c_fault_retries;
+      attempt ()
+  in
+  attempt ()

@@ -1,0 +1,209 @@
+module Probe = Lambekd_telemetry.Probe
+
+type site = Registry_get | Registry_result | Scheduler_claim | Exec_run
+
+let site_name = function
+  | Registry_get -> "registry.get"
+  | Registry_result -> "registry.result"
+  | Scheduler_claim -> "scheduler.claim"
+  | Exec_run -> "exec.run"
+
+let site_index = function
+  | Registry_get -> 0
+  | Registry_result -> 1
+  | Scheduler_claim -> 2
+  | Exec_run -> 3
+
+let nsites = 4
+
+let site_of_name = function
+  | "registry.get" -> Some Registry_get
+  | "registry.result" -> Some Registry_result
+  | "scheduler.claim" -> Some Scheduler_claim
+  | "exec.run" -> Some Exec_run
+  | _ -> None
+
+exception Injected of string
+
+let c_delays = Probe.counter "fault.delays"
+let c_injected = Probe.counter "fault.injected"
+let c_degraded = Probe.counter "fault.degraded"
+
+(* --- configuration -------------------------------------------------------- *)
+
+type rule = {
+  delay_rate : float;
+  delay_ms : float;
+  fail_rate : float;
+  corrupt_rate : float;
+}
+
+let no_rule =
+  { delay_rate = 0.; delay_ms = 0.; fail_rate = 0.; corrupt_rate = 0. }
+
+type config = { seed : int; rules : rule array (* length [nsites] *) }
+
+let parse s =
+  let ( let* ) = Result.bind in
+  let seed = ref 0 in
+  let rules = Array.make nsites no_rule in
+  let clause c =
+    let c = String.trim c in
+    if c = "" then Ok ()
+    else
+      match String.index_opt c '=' with
+      | Some i when String.sub c 0 i = "seed" -> (
+        match int_of_string_opt (String.sub c (i + 1) (String.length c - i - 1)) with
+        | Some n ->
+          seed := n;
+          Ok ()
+        | None -> Error (Fmt.str "bad seed in %S" c))
+      | _ -> (
+        match String.split_on_char ':' c with
+        | site :: kind :: rate :: rest -> (
+          let* site =
+            match site_of_name site with
+            | Some s -> Ok s
+            | None ->
+              Error
+                (Fmt.str
+                   "unknown fault site %S (registry.get, registry.result, \
+                    scheduler.claim, exec.run)"
+                   site)
+          in
+          let* rate =
+            match float_of_string_opt rate with
+            | Some r when r >= 0. && r <= 1. -> Ok r
+            | _ -> Error (Fmt.str "bad rate in %S (want 0..1)" c)
+          in
+          let* ms =
+            match rest with
+            | [] -> Ok 1.
+            | [ ms ] -> (
+              match float_of_string_opt ms with
+              | Some m when m >= 0. -> Ok (Float.min m 100.)
+              | _ -> Error (Fmt.str "bad delay ms in %S" c))
+            | _ -> Error (Fmt.str "too many fields in %S" c)
+          in
+          let i = site_index site in
+          let r = rules.(i) in
+          match kind with
+          | "delay" -> Ok (rules.(i) <- { r with delay_rate = rate; delay_ms = ms })
+          | "fail" ->
+            (* clamp so the consecutive-failure cap stays the rare case *)
+            Ok (rules.(i) <- { r with fail_rate = Float.min rate 0.5 })
+          | "corrupt" -> Ok (rules.(i) <- { r with corrupt_rate = rate })
+          | k -> Error (Fmt.str "unknown fault kind %S (delay|fail|corrupt)" k))
+        | _ ->
+          Error (Fmt.str "bad fault clause %S (want site:kind:rate[:ms])" c))
+  in
+  let parts =
+    String.split_on_char ';' s |> List.concat_map (String.split_on_char ',')
+  in
+  let* () =
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        clause c)
+      (Ok ()) parts
+  in
+  Ok { seed = !seed; rules }
+
+(* --- armed state ---------------------------------------------------------- *)
+
+type state = {
+  cfg : config;
+  seq : int Atomic.t array;  (** per-site draw sequence *)
+  consec : int Atomic.t array;  (** per-site consecutive [fail] draws *)
+}
+
+let current : state option Atomic.t = Atomic.make None
+
+let install cfg =
+  Atomic.set current
+    (Some
+       { cfg;
+         seq = Array.init nsites (fun _ -> Atomic.make 0);
+         consec = Array.init nsites (fun _ -> Atomic.make 0) })
+
+let clear () = Atomic.set current None
+let active () = Atomic.get current <> None
+
+let install_from_env () =
+  match Sys.getenv_opt "LAMBEKD_FAULTS" with
+  | None -> Ok false
+  | Some s when String.trim s = "" -> Ok false
+  | Some s -> (
+    match parse s with
+    | Ok cfg ->
+      install cfg;
+      Ok true
+    | Error e -> Error (Fmt.str "LAMBEKD_FAULTS: %s" e))
+
+(* --- deterministic draws -------------------------------------------------- *)
+
+(* splitmix64: cheap, well-mixed, and stateless given the key — every
+   draw is a pure function of (seed, site, sequence number), so a
+   schedule replays identically run to run. *)
+let mix64 (k : int64) =
+  let open Int64 in
+  let z = add k 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let draw st i =
+  let n = Atomic.fetch_and_add st.seq.(i) 1 in
+  let key =
+    Int64.(
+      logxor
+        (mul (of_int st.cfg.seed) 0xD1B54A32D192ED03L)
+        (logxor (mul (of_int i) 0x8CB92BA72F3D8DD7L) (of_int n)))
+  in
+  Int64.to_float (Int64.shift_right_logical (mix64 key) 11) /. 9007199254740992.
+
+(* --- probes --------------------------------------------------------------- *)
+
+let apply_delay st i r =
+  if r.delay_rate > 0. && draw st i < r.delay_rate then begin
+    Probe.bump c_delays;
+    Unix.sleepf (r.delay_ms /. 1e3)
+  end
+
+let delay site =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    let i = site_index site in
+    apply_delay st i st.cfg.rules.(i)
+
+let disrupt site =
+  match Atomic.get current with
+  | None -> ()
+  | Some st ->
+    let i = site_index site in
+    let r = st.cfg.rules.(i) in
+    apply_delay st i r;
+    if r.fail_rate > 0. && draw st i < r.fail_rate then begin
+      (* the fourth consecutive fail at a site is forced to pass: retry
+         loops at the call sites always terminate *)
+      if Atomic.fetch_and_add st.consec.(i) 1 >= 3 then
+        Atomic.set st.consec.(i) 0
+      else begin
+        Probe.bump c_injected;
+        raise (Injected (site_name site))
+      end
+    end
+    else Atomic.set st.consec.(i) 0
+
+let degraded site =
+  match Atomic.get current with
+  | None -> false
+  | Some st ->
+    let i = site_index site in
+    let r = st.cfg.rules.(i) in
+    if r.corrupt_rate > 0. && draw st i < r.corrupt_rate then begin
+      Probe.bump c_degraded;
+      true
+    end
+    else false

@@ -1,0 +1,108 @@
+(** Deterministic fault injection for the parse service.
+
+    A long-running parse service is only trustworthy if its degraded
+    paths — cache bypasses, transient failures, slow lookups — are
+    exercised as routinely as its happy path.  This module is the
+    fault plane the robustness tests and the [lambekd fuzz]
+    differential drive: seeded, deterministic probes compiled into the
+    service hot paths that can {e delay}, {e fail}, or {e corrupt} an
+    operation at a configured rate.
+
+    {b Cost when disabled is zero by construction}: every probe is one
+    atomic load and one branch ([Atomic.get] of the installed-config
+    cell against [None]); nothing else is evaluated.  The plane is only
+    armed when {!install} is called — the front ends arm it from the
+    [LAMBEKD_FAULTS] environment variable, so production deployments
+    that do not set it never pay more than the load-and-branch.
+
+    {b Faults must be invisible in outputs.}  Every site pairs an
+    injected fault with a recovery co-located at the call site:
+
+    - [exec.run]: [fail] raises {!Injected} before the engine runs;
+      {!Exec.run} retries the attempt.  [delay] stalls the run.
+    - [scheduler.claim]: [fail] makes a worker skip one claim round
+      (it re-loops); [delay] stalls the worker before it takes the
+      queue lock.
+    - [registry.get]: [corrupt] poisons the lock-free snapshot probe,
+      forcing the locked LRU path (which still hits); [delay] stalls
+      the lookup.
+    - [registry.result]: [corrupt] forces a result-cache miss (the
+      engine recomputes the identical verdict); [delay] stalls the
+      probe.
+
+    Because recovery re-establishes the result in every case, verdicts
+    under any schedule equal an unfaulted run's, and with result
+    caching disabled ([--result-cache 0], as the fuzz differential
+    runs) output is byte-identical.  The one observable trace a fault
+    may leave with result caching {e on} is metadata: a
+    [registry.result:corrupt] draw turns a would-be [result:"hit"]
+    into a recomputed ["miss"].
+
+    {b Determinism.}  Draws are splitmix64 over
+    [(seed, site, sequence)], where each site advances its own atomic
+    sequence counter.  A given schedule therefore produces the same
+    aggregate fault pattern on every run; which worker domain observes
+    which draw may vary, but outputs are invariant to that by design.
+    A per-site consecutive-failure cap (3) bounds retry storms: the
+    fourth consecutive [fail] draw at a site is forced to pass, so a
+    retry loop always terminates.
+
+    {b Schedule format} ([LAMBEKD_FAULTS] or {!parse}):
+
+    {v
+    seed=42;exec.run:fail:0.1;registry.get:corrupt:0.3;scheduler.claim:delay:0.05:2
+    v}
+
+    Clauses are separated by [;] or [,].  [seed=N] seeds the draw
+    stream (default 0).  Every other clause is
+    [site:kind:rate[:ms]] — [site] one of [registry.get],
+    [registry.result], [scheduler.claim], [exec.run]; [kind] one of
+    [delay], [fail], [corrupt]; [rate] a probability in [0,1] ([fail]
+    is clamped to 0.5 so the consecutive-failure cap is never the
+    common case); [ms] the sleep for [delay] in milliseconds (default
+    1, capped at 100). *)
+
+type site = Registry_get | Registry_result | Scheduler_claim | Exec_run
+
+val site_name : site -> string
+(** The wire name used in schedules: ["registry.get"] etc. *)
+
+exception Injected of string
+(** Raised by {!disrupt} on a [fail] draw; the payload is the site
+    name.  Call sites that invoke {!disrupt} own the recovery. *)
+
+type config
+
+val parse : string -> (config, string) result
+(** Parse a schedule string (see the module docs for the format).  The
+    empty string is a valid, empty schedule. *)
+
+val install : config -> unit
+(** Arm the fault plane.  Replaces any previous configuration and
+    resets the draw sequence, so the schedule is reproducible. *)
+
+val clear : unit -> unit
+(** Disarm: every probe returns to the one-load-one-branch no-op. *)
+
+val active : unit -> bool
+
+val install_from_env : unit -> (bool, string) result
+(** Read [LAMBEKD_FAULTS]; unset or empty installs nothing
+    ([Ok false]), a valid schedule arms the plane ([Ok true]), a
+    malformed one reports [Error].  The service front ends call this
+    at startup. *)
+
+(** {1 Probes} — the three shapes compiled into call sites. *)
+
+val delay : site -> unit
+(** Apply a configured [delay] fault (sleep), if one is drawn.  Never
+    raises. *)
+
+val disrupt : site -> unit
+(** Apply [delay], then possibly raise {!Injected} on a [fail] draw.
+    Only call from sites whose caller recovers (retry / skip). *)
+
+val degraded : site -> bool
+(** Draw for a [corrupt] fault: [true] means the caller should take
+    its degraded path (bypass the fast path, recompute, ...).  Never
+    raises. *)

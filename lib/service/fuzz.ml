@@ -1,0 +1,306 @@
+module Cfg = Lambekd_cfg.Cfg
+
+let default_max_line_bytes = 8192
+let render = Protocol.response_to_json ~times:false
+
+(* --- stream generation ------------------------------------------------------ *)
+
+let utf8_of_cp b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+(* The characters a grammar can actually consume: random inputs over
+   them hit accept and reject paths in useful proportion, where pure
+   ASCII noise would reject at the first character every time. *)
+let terminals (cfg : Cfg.t) =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun (p : Cfg.production) ->
+      List.iter
+        (function Cfg.T c -> Hashtbl.replace seen c () | Cfg.N _ -> ())
+        p.rhs)
+    cfg.productions;
+  let cs = Hashtbl.fold (fun c () acc -> c :: acc) seen [] in
+  match List.sort Char.compare cs with [] -> [ 'a' ] | cs -> cs
+
+let gen_lines ~seed ~requests =
+  let rng = Random.State.make [| 0xfacade; seed |] in
+  let int n = Random.State.int rng n in
+  let pick l = List.nth l (int (List.length l)) in
+  let builtins = Builtin.names in
+  let word alphabet len =
+    String.init len (fun _ -> pick alphabet)
+  in
+  let field k v = (k, Json.Str v) in
+  let obj fields = Json.to_string (Json.Obj fields) in
+  let astral_word () =
+    let b = Buffer.create 16 in
+    for _ = 0 to int 4 do
+      utf8_of_cp b
+        (pick [ 0x1F600; 0x1F680; 0x10348; 0x2713; 0x3B1; 0x1D11E ])
+    done;
+    Buffer.contents b
+  in
+  let valid i =
+    let gname = pick builtins in
+    let cfg = Option.get (Builtin.find gname) in
+    let query = match int 10 with 0 | 1 -> "parse" | 2 -> "count" | _ -> "member" in
+    let maxlen = if query = "count" then 10 else 24 in
+    let input = word (terminals cfg) (int (maxlen + 1)) in
+    let extras =
+      match int 10 with
+      | 0 ->
+        (* engine pins: earley/enum always apply; ll1/slr may be a
+           (deterministic) bad request on grammars without the table *)
+        [ field "engine" (pick [ "ll1"; "slr"; "earley"; "enum" ]) ]
+      | 1 | 2 ->
+        (* an already-expired deadline: exercises the queued-expiry
+           path; only with the auto engine, whose resolution cannot
+           fail (a failed pin wins over the deadline in the serial
+           reference) *)
+        [ ("timeout_ms", Json.Num 0.) ]
+      | _ -> []
+    in
+    let id = if int 10 < 8 then [ field "id" (Fmt.str "r%d" i) ] else [] in
+    obj (id @ [ field "grammar" gname; field "input" input;
+                field "query" query ] @ extras)
+  in
+  let inline i =
+    let nts = 1 + int 3 in
+    let nt k = Fmt.str "N%d" k in
+    let sym () =
+      match int 4 with
+      | 0 -> "'a'"
+      | 1 -> "'b'"
+      | _ ->
+        (* out-of-range index ~10% of the time: an undefined
+           nonterminal is a deterministic bad request *)
+        nt (int (nts + if int 10 = 0 then 1 else 0))
+    in
+    let prods =
+      List.concat_map
+        (fun k ->
+          List.init (1 + int 2) (fun _ ->
+              Json.Arr
+                [ Json.Str (nt k);
+                  Json.Arr (List.init (int 4) (fun _ -> Json.Str (sym ()))) ]))
+        (List.init nts Fun.id)
+    in
+    obj
+      [ field "id" (Fmt.str "r%d" i);
+        ("grammar",
+         Json.Obj [ field "start" (nt 0); ("prods", Json.Arr prods) ]);
+        field "input" (word [ 'a'; 'b' ] (int 8)) ]
+  in
+  let malformed i =
+    let base = valid i in
+    match int 5 with
+    | 0 ->
+      (* truncated line: always drops at least the closing brace *)
+      String.sub base 0 (1 + int (String.length base - 1))
+    | 1 -> "}" ^ base
+    | 2 -> String.concat "" (List.init (1 + int 6) (fun _ -> pick [ "{"; "["; "\""; ":"; "nul"; "tru" ]))
+    | 3 ->
+      (* lone surrogates in a string are rejected by the decoder *)
+      obj [ field "id" (Fmt.str "r%d" i); field "grammar" "dyck" ]
+      |> fun s -> String.sub s 0 (String.length s - 1)
+         ^ {|,"input":"\ud800x"}|}
+    | _ ->
+      let b = Bytes.of_string base in
+      Bytes.set b (int (Bytes.length b)) (pick [ '}'; '{'; '"'; '\001' ]);
+      Bytes.to_string b
+  in
+  let bad_field i =
+    let id = field "id" (Fmt.str "r%d" i) in
+    match int 4 with
+    | 0 -> obj [ id; field "grammar" (Fmt.str "nosuch%d" (int 5)); field "input" "x" ]
+    | 1 -> obj [ id; field "grammar" "dyck"; field "input" "()"; field "query" "frobnicate" ]
+    | 2 -> obj [ id; field "grammar" "dyck"; field "input" "()"; field "engine" "cyk" ]
+    | _ -> obj [ id; field "grammar" "dyck"; field "input" "()"; ("timeout_ms", Json.Num (-5.)) ]
+  in
+  let unicode i =
+    match int 4 with
+    | 0 ->
+      (* raw astral bytes straight through the JSON escaper *)
+      obj [ field "id" (Fmt.str "r%d" i); field "grammar" "dyck";
+            field "input" (astral_word () ^ word [ '('; ')' ] (int 6)) ]
+    | 1 ->
+      (* the same U+1F600 as an escaped UTF-16 surrogate pair *)
+      Fmt.str {|{"id":"r%d","grammar":"dyck","input":"😀%s"}|} i
+        (word [ '('; ')' ] (int 6))
+    | 2 -> obj [ field "id" (astral_word ()); field "grammar" "expr"; field "input" "n+n" ]
+    | _ ->
+      Fmt.str {|{"id":"r%d","grammar":"anbn","input":"ab"}|} i
+  in
+  let oversized i =
+    obj [ field "id" (Fmt.str "r%d" i); field "grammar" "dyck";
+          field "input" (String.make (default_max_line_bytes + 512 + int 1024) '(') ]
+  in
+  List.init requests (fun i ->
+      match int 100 with
+      | n when n < 55 -> valid i
+      | n when n < 62 -> inline i
+      | n when n < 74 -> malformed i
+      | n when n < 81 -> bad_field i
+      | n when n < 90 -> unicode i
+      | n when n < 95 -> oversized i
+      | _ -> pick [ ""; "   "; "\t" ])
+
+(* --- classification and the serial reference -------------------------------- *)
+
+type item =
+  | Blank
+  | Oversized_line
+  | Malformed of string
+  | Request of Protocol.request
+
+let classify ~max_line_bytes line =
+  if String.length line > max_line_bytes then Oversized_line
+  else if String.trim line = "" then Blank
+  else
+    match Protocol.parse_request line with
+    | Error msg -> Malformed msg
+    | Ok r -> Request r
+
+let direct_response ~max_line_bytes = function
+  | Blank -> None
+  | Oversized_line ->
+    Some (Protocol.bad_request (Server.oversized_message max_line_bytes))
+  | Malformed msg -> Some (Protocol.bad_request msg)
+  | Request _ -> None
+
+let reference ?(max_line_bytes = default_max_line_bytes) reg lines =
+  List.filter_map
+    (fun line ->
+      let item = classify ~max_line_bytes line in
+      match direct_response ~max_line_bytes item with
+      | Some r -> Some (render r)
+      | None -> (
+        match item with
+        | Request r -> Some (render (Exec.run reg r))
+        | _ -> None))
+    lines
+
+(* --- the differential -------------------------------------------------------- *)
+
+type report = {
+  lines : int;
+  responses : int;
+  schedule : string option;
+}
+
+let warm reg items =
+  List.iter
+    (function
+      | Request r -> ignore (Registry.get reg r.Protocol.cfg)
+      | Blank | Oversized_line | Malformed _ -> ())
+    items
+
+(* Both registries are pre-warmed over every grammar in the stream so
+   artifact hit/miss fields do not depend on which side compiled a
+   grammar first; result caching is off so repeated identical requests
+   do not depend on execution order either. *)
+let fresh_registry () = Registry.create ~artifact_cap:2048 ~result_cap:0 ()
+
+let run_serial ~max_line_bytes items =
+  let reg = fresh_registry () in
+  warm reg items;
+  List.filter_map
+    (fun item ->
+      match direct_response ~max_line_bytes item with
+      | Some r -> Some (render r)
+      | None -> (
+        match item with
+        | Request r -> Some (render (Exec.run reg r))
+        | _ -> None))
+    items
+
+let run_service ~domains ~max_line_bytes ~schedule items =
+  let reg = fresh_registry () in
+  warm reg items;
+  let n_resp =
+    List.fold_left
+      (fun k item -> match item with Blank -> k | _ -> k + 1)
+      0 items
+  in
+  let out = Array.make n_resp None in
+  (match schedule with Some (cfg, _) -> Fault.install cfg | None -> ());
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let sched = Scheduler.create ~domains ~queue_cap:64 ~registry:reg () in
+  let slot = ref 0 in
+  List.iter
+    (fun item ->
+      match direct_response ~max_line_bytes item with
+      | Some r ->
+        let s = !slot in
+        incr slot;
+        out.(s) <- Some (render r)
+      | None -> (
+        match item with
+        | Blank -> ()
+        | Request r ->
+          let s = !slot in
+          incr slot;
+          Scheduler.submit sched r (fun resp -> out.(s) <- Some (render resp))
+        | Oversized_line | Malformed _ -> assert false))
+    items;
+  Scheduler.shutdown sched;
+  Array.to_list
+    (Array.map
+       (function
+         | Some l -> l
+         | None -> "<missing response>")
+       out)
+
+let differential ?(domains = 4) ?(max_line_bytes = default_max_line_bytes)
+    ?schedule ~seed ~requests () =
+  let domains = max 1 domains in
+  Fault.clear ();
+  let lines = gen_lines ~seed ~requests in
+  let items = List.map (classify ~max_line_bytes) lines in
+  let guard side f =
+    match f () with
+    | v -> Ok v
+    | exception exn ->
+      Fault.clear ();
+      Error (Fmt.str "%s replay crashed: %s" side (Printexc.to_string exn))
+  in
+  let ( let* ) = Result.bind in
+  let* serial = guard "serial" (fun () -> run_serial ~max_line_bytes items) in
+  let* service =
+    guard "service" (fun () ->
+        run_service ~domains ~max_line_bytes ~schedule items)
+  in
+  let rec compare i a b =
+    match (a, b) with
+    | [], [] ->
+      Ok
+        { lines = List.length lines;
+          responses = List.length serial;
+          schedule = Option.map snd schedule }
+    | x :: xs, y :: ys ->
+      if String.equal x y then compare (i + 1) xs ys
+      else
+        Error
+          (Fmt.str
+             "response %d differs\n  serial:  %s\n  service: %s" i x y)
+    | _ ->
+      Error
+        (Fmt.str "response count differs: serial %d, service %d"
+           (List.length serial) (List.length service))
+  in
+  compare 0 serial service

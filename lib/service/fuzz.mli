@@ -1,0 +1,68 @@
+(** Seeded fuzzing and differential replay for the parse service.
+
+    [lambekd fuzz] drives this module: generate a reproducible NDJSON
+    request stream mixing valid traffic with hostile input — malformed
+    JSON, truncated lines, oversized lines, unknown grammar names,
+    astral-plane strings and lone surrogates — then replay it twice:
+
+    - the {b serial reference}: every line handled on one thread by a
+      direct {!Exec.run} against a warm registry (exactly what
+      [lambekd batch --domains 0] does), with the fault plane
+      disarmed;
+    - the {b service replay}: the same lines through the multi-domain
+      {!Scheduler} against its own warm registry, optionally under a
+      {!Fault} schedule.
+
+    The two outputs must be byte-identical (timing fields off): faults
+    may only delay, reorder internally, or force degraded paths —
+    never change a response.  Any divergence or crash is reported with
+    the first differing line.
+
+    Streams are deterministic functions of the seed, so a failing
+    [(seed, requests, schedule)] triple is a complete reproducer. *)
+
+val default_max_line_bytes : int
+(** 8 KiB — small enough that the generator can cheaply produce
+    oversized lines. *)
+
+val gen_lines : seed:int -> requests:int -> string list
+(** The seeded stream: [requests] lines (some deliberately blank —
+    blank lines get no response, like the serve loop). *)
+
+(** How one line is handled, decided before any execution — shared by
+    the serial reference and the service replay so both sides classify
+    identically. *)
+type item =
+  | Blank
+  | Oversized_line
+  | Malformed of string  (** decode error *)
+  | Request of Protocol.request
+
+val classify : max_line_bytes:int -> string -> item
+
+val reference :
+  ?max_line_bytes:int -> Registry.t -> string list -> string list
+(** The serial reference rendering (timing fields off): one response
+    line per non-blank input line, in order.  Also the oracle the
+    committed corpus goldens under [test/data/fuzz/] are generated
+    from and checked against. *)
+
+type report = {
+  lines : int;  (** input lines generated *)
+  responses : int;  (** response lines each side produced *)
+  schedule : string option;  (** fault schedule in force, if any *)
+}
+
+val differential :
+  ?domains:int ->
+  ?max_line_bytes:int ->
+  ?schedule:Fault.config * string ->
+  seed:int ->
+  requests:int ->
+  unit ->
+  (report, string) result
+(** Run one generate-and-replay round.  [schedule] arms the fault
+    plane for the service replay only (the string is echoed in
+    reports); the plane is disarmed again before returning, whatever
+    happens.  [Error] carries the first mismatch (with both lines) or
+    the exception that crashed a side. *)

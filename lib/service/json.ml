@@ -36,15 +36,22 @@ let parse s =
     end
     else fail (Fmt.str "expected %s" word)
   in
-  (* \uXXXX escapes are decoded to UTF-8 bytes *)
+  (* \uXXXX escapes are decoded to UTF-8 bytes; astral code points
+     (from surrogate pairs) take the 4-byte form *)
   let utf8_add b cp =
     if cp < 0x80 then Buffer.add_char b (Char.chr cp)
     else if cp < 0x800 then begin
       Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
       Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
       Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
       Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
     end
@@ -87,7 +94,25 @@ let parse s =
         | Some 'f' -> Buffer.add_char b '\012'; advance ()
         | Some 'u' ->
           advance ();
-          utf8_add b (hex4 ())
+          let cp = hex4 () in
+          if cp >= 0xd800 && cp <= 0xdbff then begin
+            (* a high surrogate is only meaningful as half of a UTF-16
+               pair: the low half must follow immediately *)
+            (match peek () with
+            | Some '\\' -> advance ()
+            | _ -> fail "high surrogate not followed by \\u escape");
+            (match peek () with
+            | Some 'u' -> advance ()
+            | _ -> fail "high surrogate not followed by \\u escape");
+            let lo = hex4 () in
+            if lo < 0xdc00 || lo > 0xdfff then
+              fail "high surrogate not followed by a low surrogate";
+            utf8_add b
+              (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
+          end
+          else if cp >= 0xdc00 && cp <= 0xdfff then
+            fail "lone low surrogate"
+          else utf8_add b cp
         | _ -> fail "bad escape");
         go ()
       | Some c when Char.code c < 0x20 -> fail "control character in string"

@@ -17,7 +17,13 @@ type t =
 
 val parse : string -> (t, string) result
 (** Parse one complete JSON value; trailing non-whitespace is an error.
-    Errors read ["offset N: message"]. *)
+    Errors read ["offset N: message"].
+
+    [\uXXXX] escapes decode to UTF-8 bytes; a UTF-16 surrogate pair
+    (["\uD83D\uDE00"] - U+1F600) decodes to the astral code point's
+    4-byte UTF-8 form, and lone surrogates are rejected with a
+    positioned error.  {!to_string} round-trips with this decoder:
+    escaping a decoded string re-parses to the same bytes. *)
 
 val to_string : t -> string
 (** Compact canonical rendering; integral [Num]s print without a

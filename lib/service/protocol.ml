@@ -200,6 +200,14 @@ let bad_request ?id msg =
     result_cache = `None;
     dur_ns = 0. }
 
+let timeout ?id ~after_ms () =
+  { rid = id;
+    outcome = Error (Timeout { after_ms });
+    engine_used = "";
+    artifact_cache = `None;
+    result_cache = `None;
+    dur_ns = 0. }
+
 let overloaded ?id ~retry_after_ms () =
   { rid = id;
     outcome = Error (Overloaded { retry_after_ms });

@@ -81,5 +81,11 @@ val response_to_json : ?times:bool -> response -> string
 val bad_request : ?id:string -> string -> response
 (** A failure response for a line that never became a request. *)
 
+val timeout : ?id:string -> after_ms:float -> unit -> response
+(** The deadline-expired response.  {!Exec.run} builds this when an
+    engine overruns its budget; the scheduler builds it directly for a
+    request whose deadline expired while still queued.  Both render
+    identically (failure responses carry no engine/cache fields). *)
+
 val overloaded : ?id:string -> retry_after_ms:int -> unit -> response
 (** The shed response: queue full, try again in [retry_after_ms]. *)

@@ -104,8 +104,16 @@ let create ?(artifact_cap = 64) ?(result_cap = 4096) () =
     results = Lru.create ~cap:result_cap }
 
 let get t cfg =
+  Fault.delay Fault.Registry_get;
   let digest = digest_cfg cfg in
-  match List.assoc_opt digest (Atomic.get t.snap) with
+  (* a [corrupt] fault poisons the lock-free snapshot probe; the locked
+     LRU path below recovers (and still reports a hit), so the fault is
+     invisible in responses — which the fuzz differential asserts *)
+  let snap =
+    if Fault.degraded Fault.Registry_get then None
+    else List.assoc_opt digest (Atomic.get t.snap)
+  in
+  match snap with
   | Some a ->
     Probe.bump c_artifact_hit;
     (* refresh LRU recency opportunistically: skip rather than contend *)
@@ -131,15 +139,21 @@ let get t cfg =
 
 let find_result t ~digest ~key ~input =
   if Lru.cap t.results = 0 then None
-  else
-    Mutex.protect t.mu (fun () ->
-        match Lru.find t.results (digest, key, input) with
-        | Some _ as r ->
-          Probe.bump c_result_hit;
-          r
-        | None ->
-          Probe.bump c_result_miss;
-          None)
+  else begin
+    Fault.delay Fault.Registry_result;
+    (* a [corrupt] fault forces a miss: the engine recomputes the same
+       verdict and re-inserts it, so recovery is the recompute *)
+    if Fault.degraded Fault.Registry_result then None
+    else
+      Mutex.protect t.mu (fun () ->
+          match Lru.find t.results (digest, key, input) with
+          | Some _ as r ->
+            Probe.bump c_result_hit;
+            r
+          | None ->
+            Probe.bump c_result_miss;
+            None)
+  end
 
 let put_result t ~digest ~key ~input v =
   if Lru.cap t.results = 0 then ()

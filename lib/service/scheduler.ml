@@ -4,6 +4,8 @@ module Probe = Lambekd_telemetry.Probe
 let c_enqueued = Probe.counter "service.enqueued"
 let c_dequeued = Probe.counter "service.dequeued"
 let c_shed = Probe.counter "service.shed"
+let c_expired_in_queue = Probe.counter "scheduler.expired_in_queue"
+let c_claim_faults = Probe.counter "scheduler.claim_faults"
 
 type job = {
   req : Protocol.request;
@@ -32,20 +34,45 @@ let job_of req k =
   in
   { req; deadline_ns; k }
 
+(* A deadline that expired while the job sat queued yields the timeout
+   response right here, without ever entering an engine — [Exec.run]
+   only polls the clock inside engine loops, so without this check a
+   long-dead request would still pay artifact lookup and engine setup. *)
+let expired_in_queue job =
+  match job.deadline_ns with
+  | Some d when Clock.now_ns () > d -> true
+  | _ -> false
+
 let run_job t job =
   Probe.bump c_dequeued;
   let resp =
-    match Exec.run t.reg ?deadline_ns:job.deadline_ns job.req with
-    | resp -> resp
-    | exception exn ->
-      (* an engine bug must not kill the worker; surface it to the client *)
-      Protocol.bad_request ?id:job.req.Protocol.id
-        (Fmt.str "internal error: %s" (Printexc.to_string exn))
+    if expired_in_queue job then begin
+      Probe.bump c_expired_in_queue;
+      Protocol.timeout ?id:job.req.Protocol.id
+        ~after_ms:(Option.value job.req.Protocol.timeout_ms ~default:0.)
+        ()
+    end
+    else
+      match Exec.run t.reg ?deadline_ns:job.deadline_ns job.req with
+      | resp -> resp
+      | exception exn ->
+        (* an engine bug must not kill the worker; surface it to the client *)
+        Protocol.bad_request ?id:job.req.Protocol.id
+          (Fmt.str "internal error: %s" (Printexc.to_string exn))
   in
   try job.k resp with _ -> ()
 
 let worker t () =
   let rec loop () =
+    (* the claim fault point: a [fail] draw voids this claim attempt —
+       the worker backs off and claims on the next round anyway (that
+       is the recovery); a [delay] stalls it.  Both fire outside the
+       lock, so faults never stretch the critical section. *)
+    (match Fault.disrupt Fault.Scheduler_claim with
+    | () -> ()
+    | exception Fault.Injected _ ->
+      Probe.bump c_claim_faults;
+      Domain.cpu_relax ());
     Mutex.lock t.mu;
     while Queue.is_empty t.queue && not t.stopping do
       Condition.wait t.not_empty t.mu

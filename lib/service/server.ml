@@ -1,0 +1,320 @@
+module Probe = Lambekd_telemetry.Probe
+
+let c_connections = Probe.counter "server.connections"
+let c_shed_conns = Probe.counter "server.shed_connections"
+let c_oversized = Probe.counter "server.oversized_lines"
+let c_write_errors = Probe.counter "server.write_errors"
+
+let default_max_line_bytes = 1 lsl 20
+
+(* --- low-level writes ------------------------------------------------------ *)
+
+(* Loop [single_write]; with SIGPIPE ignored a vanished peer surfaces as
+   a [Unix_error] the caller confines to the connection.  EINTR retries;
+   everything else (EPIPE, ECONNRESET, a send-timeout EAGAIN) raises. *)
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.single_write_substring fd s !off (n - !off) with
+    | k -> off := !off + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* --- bounded line reading -------------------------------------------------- *)
+
+type reader = {
+  fd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable lo : int;
+  mutable hi : int;  (** unread bytes are [chunk.[lo..hi)] *)
+  mutable at_eof : bool;
+}
+
+let reader fd =
+  { fd; chunk = Bytes.create 8192; lo = 0; hi = 0; at_eof = false }
+
+let refill r =
+  if r.at_eof then false
+  else begin
+    let n =
+      let rec go () =
+        match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | n -> n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (_, _, _) ->
+          (* a peer reset mid-read is EOF for this stream, not a crash *)
+          0
+        | exception Sys_error _ -> 0
+      in
+      go ()
+    in
+    if n = 0 then begin
+      r.at_eof <- true;
+      false
+    end
+    else begin
+      r.lo <- 0;
+      r.hi <- n;
+      true
+    end
+  end
+
+type line = Line of string | Oversized of int | Eof
+
+let read_line r ~max_bytes =
+  let b = Buffer.create 128 in
+  (* once over the cap we stop buffering and only count: an adversarial
+     line costs its read bandwidth, never its length in memory *)
+  let over = ref 0 in
+  let rec go () =
+    if r.lo >= r.hi && not (refill r) then
+      if !over > 0 then Oversized !over
+      else if Buffer.length b = 0 then Eof
+      else Line (Buffer.contents b)
+    else begin
+      let i = ref r.lo in
+      while !i < r.hi && Bytes.get r.chunk !i <> '\n' do
+        incr i
+      done;
+      let seg = !i - r.lo in
+      if !over > 0 then over := !over + seg
+      else if Buffer.length b + seg > max_bytes then begin
+        over := Buffer.length b + seg;
+        Buffer.clear b
+      end
+      else Buffer.add_subbytes b r.chunk r.lo seg;
+      if !i < r.hi then begin
+        r.lo <- !i + 1;
+        if !over > 0 then Oversized !over else Line (Buffer.contents b)
+      end
+      else begin
+        r.lo <- r.hi;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let oversized_message max_bytes =
+  Fmt.str "line exceeds %d-byte limit" max_bytes
+
+(* --- ordered, crash-safe stream output ------------------------------------- *)
+
+(* Workers complete out of submission order; responses are buffered and
+   released in order.  A write failure marks the stream dead: later
+   responses are sequenced and dropped, so accounting (and thus drain)
+   still completes even though the peer is gone. *)
+type stream = {
+  mu : Mutex.t;
+  flushed : Condition.t;  (** signalled whenever [next] advances *)
+  pending : (int, string) Hashtbl.t;
+  mutable next : int;
+  mutable dead : bool;
+  fd_out : Unix.file_descr;
+}
+
+let stream fd_out =
+  { mu = Mutex.create ();
+    flushed = Condition.create ();
+    pending = Hashtbl.create 16;
+    next = 0;
+    dead = false;
+    fd_out }
+
+let stream_emit st seq line =
+  Mutex.protect st.mu (fun () ->
+      Hashtbl.replace st.pending seq line;
+      let rec pump () =
+        match Hashtbl.find_opt st.pending st.next with
+        | None -> ()
+        | Some l ->
+          Hashtbl.remove st.pending st.next;
+          if not st.dead then begin
+            match write_all st.fd_out (l ^ "\n") with
+            | () -> ()
+            | exception (Unix.Unix_error _ | Sys_error _) ->
+              Probe.bump c_write_errors;
+              st.dead <- true
+          end;
+          st.next <- st.next + 1;
+          Condition.broadcast st.flushed;
+          pump ()
+      in
+      pump ())
+
+let stream_dead st = Mutex.protect st.mu (fun () -> st.dead)
+
+(* --- stream serving --------------------------------------------------------- *)
+
+type status = [ `Clean | `Malformed | `Timed_out ]
+
+let serve_stream ?(max_line_bytes = default_max_line_bytes) ~sched ~times
+    fd_in fd_out : status =
+  let st = stream fd_out in
+  let malformed = Atomic.make false in
+  let timed_out = Atomic.make false in
+  let respond seq (r : Protocol.response) =
+    (match r.outcome with
+    | Error (Protocol.Bad_request _) -> Atomic.set malformed true
+    | Error (Protocol.Timeout _) -> Atomic.set timed_out true
+    | Error (Protocol.Overloaded _) | Ok _ -> ());
+    stream_emit st seq (Protocol.response_to_json ~times r)
+  in
+  let rdr = reader fd_in in
+  let seq = ref 0 in
+  let next_seq () =
+    let s = !seq in
+    incr seq;
+    s
+  in
+  let rec loop () =
+    (* a dead peer cannot receive anything we would compute: stop
+       reading instead of burning the pool on a vanished client *)
+    if stream_dead st then ()
+    else
+      match read_line rdr ~max_bytes:max_line_bytes with
+      | Eof -> ()
+      | Oversized _ ->
+        Probe.bump c_oversized;
+        respond (next_seq ())
+          (Protocol.bad_request (oversized_message max_line_bytes));
+        loop ()
+      | Line l ->
+        if String.trim l <> "" then begin
+          let s = next_seq () in
+          (match Protocol.parse_request l with
+          | Error msg -> respond s (Protocol.bad_request msg)
+          | Ok req -> (
+            match Scheduler.try_submit sched req (respond s) with
+            | Ok () -> ()
+            | Error retry_after_ms ->
+              respond s
+                (Protocol.overloaded ?id:req.Protocol.id ~retry_after_ms ())))
+        end;
+        loop ()
+  in
+  loop ();
+  (* wait until every sequenced response was written (or dropped): the
+     stream's view of "drained" *)
+  let total = !seq in
+  Mutex.lock st.mu;
+  while st.next < total do
+    Condition.wait st.flushed st.mu
+  done;
+  Mutex.unlock st.mu;
+  if Atomic.get malformed then `Malformed
+  else if Atomic.get timed_out then `Timed_out
+  else `Clean
+
+(* --- the TCP front end ------------------------------------------------------ *)
+
+type tcp = {
+  sock : Unix.file_descr;
+  tcp_port : int;
+  stopping : bool Atomic.t;
+  tmu : Mutex.t;
+  conn_done : Condition.t;
+  active : (Unix.file_descr, unit) Hashtbl.t;
+  accepted : int Atomic.t;
+}
+
+let tcp_create ?(backlog = 64) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock backlog
+  with
+  | () ->
+    let tcp_port =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    Ok
+      { sock;
+        tcp_port;
+        stopping = Atomic.make false;
+        tmu = Mutex.create ();
+        conn_done = Condition.create ();
+        active = Hashtbl.create 16;
+        accepted = Atomic.make 0 }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error (Fmt.str "cannot listen on 127.0.0.1:%d: %s" port
+             (Unix.error_message e))
+
+let port t = t.tcp_port
+let connections t = Atomic.get t.accepted
+let stop t = Atomic.set t.stopping true
+
+let handle_connection t ~max_line_bytes ~sched ~times fd =
+  (try
+     ignore (serve_stream ~max_line_bytes ~sched ~times fd fd)
+   with _ -> ());
+  (* remove from the active set BEFORE closing: once closed, the kernel
+     may reuse the descriptor number, and the drain path must never
+     shut down a stranger's descriptor *)
+  Mutex.protect t.tmu (fun () -> Hashtbl.remove t.active fd);
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.protect t.tmu (fun () -> Condition.broadcast t.conn_done)
+
+let run ?(max_conns = 64) ?(max_line_bytes = default_max_line_bytes) ~sched
+    ~times t =
+  while not (Atomic.get t.stopping) do
+    (* poll-accept: a quarter-second tick bounds stop latency without
+       signal-delivery trickery, and EINTR (a signal did arrive) just
+       re-checks the flag *)
+    match Unix.select [ t.sock ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept t.sock with
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+        ->
+        ()
+      | fd, _ ->
+        Atomic.incr t.accepted;
+        (* a client that stops reading must not wedge a worker forever:
+           writes give up after 30s and the connection is marked dead *)
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30. with
+        | Unix.Unix_error _ -> ());
+        let live =
+          Mutex.protect t.tmu (fun () -> Hashtbl.length t.active)
+        in
+        if live >= max_conns then begin
+          Probe.bump c_shed_conns;
+          (try
+             write_all fd
+               (Protocol.response_to_json ~times
+                  (Protocol.overloaded ~retry_after_ms:250 ())
+               ^ "\n")
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+        end
+        else begin
+          Probe.bump c_connections;
+          Mutex.protect t.tmu (fun () -> Hashtbl.replace t.active fd ());
+          ignore
+            (Thread.create
+               (fun () -> handle_connection t ~max_line_bytes ~sched ~times fd)
+               ())
+        end)
+  done;
+  (try Unix.close t.sock with Unix.Unix_error _ -> ());
+  (* graceful drain: EOF every live reader (half-close), then wait for
+     each connection to flush its in-flight responses and finish *)
+  Mutex.protect t.tmu (fun () ->
+      Hashtbl.iter
+        (fun fd () ->
+          try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        t.active);
+  Mutex.lock t.tmu;
+  while Hashtbl.length t.active > 0 do
+    Condition.wait t.conn_done t.tmu
+  done;
+  Mutex.unlock t.tmu

@@ -1,0 +1,110 @@
+(** The crash-safe NDJSON serving front end.
+
+    [lambekd serve] used to be correct only on the happy path: one
+    connection at a time, unbounded [input_line] buffering, and a
+    [SIGPIPE] away from death.  This module is the hardened core both
+    stdio and TCP modes run on:
+
+    - {b bounded reads}: lines are read through {!read_line} with a
+      byte cap; an oversized line is consumed (not buffered) and
+      answered with a [bad_request] response instead of growing the
+      heap without limit;
+    - {b crash-safe writes}: all output goes through [Unix.write] with
+      [EPIPE]/reset errors confined to the connection that suffered
+      them (the process must ignore [SIGPIPE]; the front ends do);
+    - {b exactly-once teardown}: a connection's descriptor is closed
+      once, after its stream is flushed — no double closes racing
+      descriptor reuse, no leaked descriptors across connection churn;
+    - {b concurrency with a cap}: the TCP accept loop serves each
+      connection on its own thread against one shared scheduler, and
+      sheds connections beyond [max_conns] with an [overloaded]
+      response;
+    - {b graceful drain}: {!stop} (wired to [SIGINT]/[SIGTERM] by the
+      CLI) stops the accept loop, half-closes the read side of every
+      live connection so its stream sees EOF, waits for all in-flight
+      responses to flush, and returns — the CLI then exits 0.
+
+    Responses on a stream are emitted in request order (an internal
+    ordered writer re-sequences worker completions), so output is
+    byte-identical however many domains raced — the same invariant the
+    batch pipeline and [lambekd fuzz] enforce. *)
+
+val default_max_line_bytes : int
+(** 1 MiB. *)
+
+(** {1 Bounded line reading} *)
+
+type reader
+(** A buffered line reader over a file descriptor. *)
+
+val reader : Unix.file_descr -> reader
+
+type line =
+  | Line of string  (** one line, without the newline *)
+  | Oversized of int
+      (** the line exceeded the cap; it was consumed and discarded.
+          The payload is the number of bytes seen. *)
+  | Eof
+
+val read_line : reader -> max_bytes:int -> line
+(** Read the next line.  A read error (reset, etc.) and a final
+    unterminated chunk are treated like [input_line] would: the chunk
+    is a line, the error is EOF. *)
+
+val oversized_message : int -> string
+(** The [bad_request] message for a line over the cap — shared with
+    the fuzz reference so both render identical bytes. *)
+
+(** {1 Stream serving} *)
+
+type status = [ `Clean | `Malformed | `Timed_out ]
+(** What a finished stream saw, for the CLI's exit code: [`Malformed]
+    if any line was bad (exit-code-3 class), else [`Timed_out] if any
+    request timed out (exit-code-4 class). *)
+
+val serve_stream :
+  ?max_line_bytes:int ->
+  sched:Scheduler.t ->
+  times:bool ->
+  Unix.file_descr ->
+  Unix.file_descr ->
+  status
+(** Serve one NDJSON stream: read and decode on the calling thread,
+    execute on the scheduler pool, emit responses in request order.
+    Returns when the input is exhausted and every in-flight response
+    has been written (or dropped, if the peer vanished).  Never raises
+    on peer-caused I/O errors; does not close either descriptor. *)
+
+(** {1 The TCP front end} *)
+
+type tcp
+
+val tcp_create :
+  ?backlog:int -> port:int -> unit -> (tcp, string) result
+(** Bind and listen on [127.0.0.1:port] ([port = 0] picks an ephemeral
+    port — see {!port}).  Does not accept yet. *)
+
+val port : tcp -> int
+
+val connections : tcp -> int
+(** Connections accepted so far (shed ones included). *)
+
+val stop : tcp -> unit
+(** Request a graceful drain.  Async-signal-safe (sets a flag the
+    accept loop polls); callable from any thread or a signal
+    handler.  Idempotent. *)
+
+val run :
+  ?max_conns:int ->
+  ?max_line_bytes:int ->
+  sched:Scheduler.t ->
+  times:bool ->
+  tcp ->
+  unit
+(** Run the accept loop until {!stop}: each accepted connection is
+    served by {!serve_stream} on its own thread; beyond [max_conns]
+    (default 64) live connections, new ones get a single [overloaded]
+    response and are closed.  On stop: the listener closes, every live
+    connection's read side is shut down (its stream drains and
+    flushes), and [run] returns once all connections finished.  The
+    caller still owns the scheduler and shuts it down afterwards. *)

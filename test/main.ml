@@ -10,4 +10,5 @@ let () =
       ("core", Test_core.suite);
       ("surface", Test_surface.suite);
       ("telemetry", Test_telemetry.suite);
-      ("service", Test_service.suite) ]
+      ("service", Test_service.suite);
+      ("server", Test_server.suite) ]

@@ -1,0 +1,348 @@
+(* Tests for the hardened serving front end: bounded line reading,
+   ordered crash-safe stream output (including a peer that vanishes
+   mid-stream), concurrent TCP serving, 1000-connection churn without
+   descriptor leaks, overload shedding, and graceful drain. *)
+
+module Sv = Lambekd_service
+module Server = Sv.Server
+module Scheduler = Sv.Scheduler
+module Registry = Sv.Registry
+module Protocol = Sv.Protocol
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* every test writes to peers that may be gone; EPIPE must be an error
+   code, not a process death *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* --- bounded line reading -------------------------------------------------- *)
+
+(* Feed [payload] through a pipe in deliberately awkward 37-byte chunks
+   so lines straddle refill boundaries. *)
+let with_pipe_reader payload f =
+  let r, w = Unix.pipe () in
+  let writer =
+    Thread.create
+      (fun () ->
+        let n = String.length payload in
+        let off = ref 0 in
+        while !off < n do
+          let k = min 37 (n - !off) in
+          off := !off + Unix.write_substring w payload !off k
+        done;
+        Unix.close w)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join writer;
+      Unix.close r)
+    (fun () -> f (Server.reader r))
+
+let test_read_line_basic () =
+  with_pipe_reader "a\nbb\n\nccc no newline" @@ fun rdr ->
+  let next () = Server.read_line rdr ~max_bytes:1024 in
+  check_bool "line a" true (next () = Server.Line "a");
+  check_bool "line bb" true (next () = Server.Line "bb");
+  check_bool "empty line" true (next () = Server.Line "");
+  check_bool "final unterminated chunk is a line" true
+    (next () = Server.Line "ccc no newline");
+  check_bool "eof" true (next () = Server.Eof);
+  check_bool "eof is sticky" true (next () = Server.Eof)
+
+let test_read_line_oversized () =
+  let payload =
+    String.make 50 'x' ^ "\n" ^ "short\n" ^ String.make 10 'y' ^ "\n"
+    ^ String.make 20 'z'
+  in
+  with_pipe_reader payload @@ fun rdr ->
+  let next () = Server.read_line rdr ~max_bytes:10 in
+  (match next () with
+  | Server.Oversized n -> check_int "bytes counted, not buffered" 50 n
+  | _ -> Alcotest.fail "expected oversized");
+  check_bool "next line unaffected" true (next () = Server.Line "short");
+  check_bool "exactly max_bytes passes" true
+    (next () = Server.Line (String.make 10 'y'));
+  (match next () with
+  | Server.Oversized n -> check_int "oversized at eof" 20 n
+  | _ -> Alcotest.fail "expected trailing oversized");
+  check_bool "eof after" true (next () = Server.Eof)
+
+let test_read_line_long_valid () =
+  (* a line far larger than the reader's internal chunk still reads *)
+  let big = String.make 40_000 'q' in
+  with_pipe_reader (big ^ "\nend\n") @@ fun rdr ->
+  check_bool "40k line reads" true
+    (Server.read_line rdr ~max_bytes:65536 = Server.Line big);
+  check_bool "next" true (Server.read_line rdr ~max_bytes:65536 = Server.Line "end")
+
+(* --- stream serving -------------------------------------------------------- *)
+
+let with_sched f =
+  let reg = Registry.create () in
+  let sched = Scheduler.create ~domains:2 ~queue_cap:32 ~registry:reg () in
+  Fun.protect ~finally:(fun () -> Scheduler.shutdown sched) (fun () -> f sched)
+
+let read_all_lines fd =
+  let rdr = Server.reader fd in
+  let rec go acc =
+    match Server.read_line rdr ~max_bytes:(1 lsl 20) with
+    | Server.Line l -> go (l :: acc)
+    | Server.Oversized _ -> go acc
+    | Server.Eof -> List.rev acc
+  in
+  go []
+
+let test_serve_stream_ordered () =
+  with_sched @@ fun sched ->
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let input =
+    String.concat "\n"
+      (List.init 20 (fun i ->
+           Fmt.str {|{"id":"r%d","grammar":"dyck","input":"%s"}|} i
+             (String.concat "" (List.init (i mod 5) (fun _ -> "()")))))
+    ^ "\nnot json\n\n"
+  in
+  write_all in_w input;
+  Unix.close in_w;
+  let status =
+    Server.serve_stream ~max_line_bytes:1024 ~sched ~times:false in_r out_w
+  in
+  Unix.close out_w;
+  let lines = read_all_lines out_r in
+  Unix.close out_r;
+  Unix.close in_r;
+  check_bool "bad line makes the stream malformed" true (status = `Malformed);
+  check_int "one response per non-blank line" 21 (List.length lines);
+  (* responses come back in request order whatever the pool did *)
+  List.iteri
+    (fun i l ->
+      if i < 20 then
+        check_bool (Fmt.str "response %d in order" i) true
+          (String.length l > 7 && String.sub l 0 7 = Fmt.str {|{"id":"|}
+          && String.equal (Fmt.str {|{"id":"r%d"|} i)
+               (String.sub l 0 (String.length (Fmt.str {|{"id":"r%d"|} i)))))
+    lines
+
+let test_serve_stream_peer_vanishes () =
+  (* the reading peer closes before any response is written: every write
+     EPIPEs, the stream goes dead, and serve_stream still returns *)
+  with_sched @@ fun sched ->
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  Unix.close out_r;
+  write_all in_w
+    (String.concat ""
+       (List.init 10 (fun i ->
+            Fmt.str {|{"id":"v%d","grammar":"dyck","input":"()"}|} i ^ "\n")));
+  Unix.close in_w;
+  (match
+     Server.serve_stream ~max_line_bytes:1024 ~sched ~times:false in_r out_w
+   with
+  | (_ : Server.status) -> ()
+  | exception e ->
+    Alcotest.failf "serve_stream raised on dead peer: %s" (Printexc.to_string e));
+  Unix.close out_w;
+  Unix.close in_r
+
+(* --- the TCP front end ------------------------------------------------------ *)
+
+type running = {
+  t : Server.tcp;
+  sched : Scheduler.t;
+  thread : Thread.t;
+}
+
+let start_server ?max_conns ?max_line_bytes () =
+  let reg = Registry.create () in
+  let sched = Scheduler.create ~domains:2 ~queue_cap:32 ~registry:reg () in
+  match Server.tcp_create ~port:0 () with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    let thread =
+      Thread.create
+        (fun () -> Server.run ?max_conns ?max_line_bytes ~sched ~times:false t)
+        ()
+    in
+    { t; sched; thread }
+
+let stop_server r =
+  Server.stop r.t;
+  Thread.join r.thread;
+  Scheduler.shutdown r.sched
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let recv_line fd =
+  let rdr = Server.reader fd in
+  match Server.read_line rdr ~max_bytes:(1 lsl 20) with
+  | Server.Line l -> Some l
+  | Server.Oversized _ | Server.Eof -> None
+
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_tcp_churn () =
+  let r = start_server () in
+  Fun.protect ~finally:(fun () -> stop_server r) @@ fun () ->
+  let port = Server.port r.t in
+  (* settle: first connection compiles the grammar into the registry *)
+  let warm = connect port in
+  write_all warm {|{"id":"w","grammar":"dyck","input":"()"}|};
+  write_all warm "\n";
+  ignore (recv_line warm);
+  Unix.close warm;
+  let before = open_fds () in
+  for i = 1 to 1000 do
+    let fd = connect port in
+    write_all fd (Fmt.str {|{"id":"c%d","grammar":"dyck","input":"()"}|} i ^ "\n");
+    (match recv_line fd with
+    | Some l ->
+      check_bool (Fmt.str "conn %d answered" i) true
+        (String.length l > 0 && l.[0] = '{')
+    | None -> Alcotest.failf "conn %d got no response" i);
+    Unix.close fd
+  done;
+  (* descriptor-leak gate: churn must not grow the fd table (slack for
+     the handler threads of the last few connections still tearing down) *)
+  let rec settle tries =
+    let now = open_fds () in
+    if now <= before + 8 || tries = 0 then now
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.05;
+      settle (tries - 1)
+    end
+  in
+  let after = settle 40 in
+  check_bool
+    (Fmt.str "no fd leak across 1000 connections (%d -> %d)" before after)
+    true
+    (after <= before + 8);
+  check_bool "all connections counted" true (Server.connections r.t >= 1001)
+
+let test_tcp_shed () =
+  let r = start_server ~max_conns:1 () in
+  Fun.protect ~finally:(fun () -> stop_server r) @@ fun () ->
+  let port = Server.port r.t in
+  let c1 = connect port in
+  write_all c1 {|{"id":"h","grammar":"dyck","input":"()"}|};
+  write_all c1 "\n";
+  (* reading c1's response guarantees the server registered it as live *)
+  check_bool "held connection answered" true (recv_line c1 <> None);
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  let c2 = connect port in
+  (match recv_line c2 with
+  | Some l ->
+    check_bool "shed response is overloaded" true
+      (contains ~sub:"overloaded" l)
+  | None -> Alcotest.fail "shed connection got no response");
+  (* and the shed connection is closed right after *)
+  check_bool "shed connection closed" true (recv_line c2 = None);
+  Unix.close c2;
+  Unix.close c1
+
+let test_tcp_oversized_line () =
+  let r = start_server ~max_line_bytes:64 () in
+  Fun.protect ~finally:(fun () -> stop_server r) @@ fun () ->
+  let fd = connect (Server.port r.t) in
+  write_all fd (String.make 500 'x');
+  write_all fd "\n";
+  write_all fd {|{"id":"ok","grammar":"dyck","input":"()"}|};
+  write_all fd "\n";
+  let rdr = Server.reader fd in
+  (match Server.read_line rdr ~max_bytes:4096 with
+  | Server.Line l ->
+    check_string "oversized line answered with bad_request"
+      {|{"ok":false,"error":"bad_request","message":"line exceeds 64-byte limit"}|}
+      l
+  | _ -> Alcotest.fail "no response to oversized line");
+  (match Server.read_line rdr ~max_bytes:4096 with
+  | Server.Line l ->
+    check_bool "stream continues after oversized line" true
+      (String.length l > 0 && l.[0] = '{')
+  | _ -> Alcotest.fail "stream died after oversized line");
+  Unix.close fd
+
+let test_tcp_abrupt_disconnect () =
+  (* a client that sends work and slams the connection shut must not
+     poison the server for the next client *)
+  let r = start_server () in
+  Fun.protect ~finally:(fun () -> stop_server r) @@ fun () ->
+  let port = Server.port r.t in
+  for _ = 1 to 20 do
+    let fd = connect port in
+    write_all fd
+      (String.concat ""
+         (List.init 5 (fun i ->
+              Fmt.str {|{"id":"a%d","grammar":"expr","input":"n+n","query":"parse"}|}
+                i
+              ^ "\n")));
+    (* close without reading a single response *)
+    Unix.close fd
+  done;
+  let fd = connect port in
+  write_all fd {|{"id":"after","grammar":"dyck","input":"()"}|};
+  write_all fd "\n";
+  check_bool "server healthy after abrupt disconnects" true
+    (recv_line fd <> None);
+  Unix.close fd
+
+let test_tcp_graceful_drain () =
+  let r = start_server () in
+  let port = Server.port r.t in
+  let fd = connect port in
+  write_all fd {|{"id":"d","grammar":"dyck","input":"(())"}|};
+  write_all fd "\n";
+  check_bool "response before drain" true (recv_line fd <> None);
+  (* connection still open when the stop lands: drain must half-close
+     it, flush, and let run return *)
+  Server.stop r.t;
+  Thread.join r.thread;
+  check_bool "drained connection sees EOF" true (recv_line fd = None);
+  Unix.close fd;
+  Scheduler.shutdown r.sched;
+  (* the listener is gone: connecting again fails *)
+  check_bool "listener closed" true
+    (match connect port with
+    | fd ->
+      Unix.close fd;
+      false
+    | exception Unix.Unix_error _ -> true)
+
+let suite =
+  [ Alcotest.test_case "read_line: chunk-straddling lines" `Quick
+      test_read_line_basic;
+    Alcotest.test_case "read_line: oversized consumed, not buffered" `Quick
+      test_read_line_oversized;
+    Alcotest.test_case "read_line: long valid line" `Quick
+      test_read_line_long_valid;
+    Alcotest.test_case "serve_stream: ordered responses, malformed status"
+      `Quick test_serve_stream_ordered;
+    Alcotest.test_case "serve_stream: survives a vanished peer" `Quick
+      test_serve_stream_peer_vanishes;
+    Alcotest.test_case "tcp: 1000-connection churn, no fd leak" `Quick
+      test_tcp_churn;
+    Alcotest.test_case "tcp: sheds beyond max-conns" `Quick test_tcp_shed;
+    Alcotest.test_case "tcp: oversized line answered and survived" `Quick
+      test_tcp_oversized_line;
+    Alcotest.test_case "tcp: abrupt disconnects do not poison the server"
+      `Quick test_tcp_abrupt_disconnect;
+    Alcotest.test_case "tcp: graceful drain flushes and exits" `Quick
+      test_tcp_graceful_drain ]

@@ -82,6 +82,77 @@ let test_json_escapes () =
   check_string "integral floats print as ints" {|{"n":42}|}
     (Json.to_string (Json.Obj [ ("n", Json.Num 42.) ]))
 
+(* Encode one code point as UTF-8 (the test-side mirror of the encoder
+   the JSON decoder uses, so properties do not test it against itself). *)
+let utf8_of_cp cp =
+  let b = Buffer.create 4 in
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3f)))
+  end;
+  Buffer.contents b
+
+let test_json_surrogates () =
+  (match Json.parse {|"\ud83d\ude00"|} with
+  | Ok (Json.Str s) ->
+    check_string "pair decodes to 4-byte UTF-8" (utf8_of_cp 0x1F600) s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.fail e);
+  (match Json.parse {|"A\ud834\udd1e!"|} with
+  | Ok (Json.Str s) ->
+    check_string "pair embeds in surrounding text" ("A" ^ utf8_of_cp 0x1D11E ^ "!") s
+  | _ -> Alcotest.fail "mixed pair");
+  (* raw astral bytes pass through the string lexer untouched *)
+  (match Json.parse ("\"" ^ utf8_of_cp 0x1F680 ^ "\"") with
+  | Ok (Json.Str s) -> check_string "raw astral" (utf8_of_cp 0x1F680) s
+  | _ -> Alcotest.fail "raw astral");
+  List.iter
+    (fun s ->
+      check_bool ("rejects " ^ s) true (Result.is_error (Json.parse s)))
+    [ {|"\ud800"|};           (* lone high surrogate at end *)
+      {|"\ud83dx"|};          (* high surrogate, then a plain char *)
+      {|"\ud83d\u0041"|};     (* high surrogate, then a non-low escape *)
+      {|"\udc00"|};           (* lone low surrogate *)
+      {|"\ude00()"|} ]
+
+let arbitrary_unicode_string =
+  QCheck.make
+    ~print:(fun s -> String.escaped s)
+    QCheck.Gen.(
+      let cp =
+        (* all four UTF-8 widths, surrogate range excluded *)
+        frequency
+          [ (4, int_range 1 0x7f);
+            (2, int_range 0x80 0x7ff);
+            (1, int_range 0x800 0xd7ff);
+            (1, int_range 0xe000 0xffff);
+            (2, int_range 0x10000 0x10ffff) ]
+      in
+      map
+        (fun cps -> String.concat "" (List.map utf8_of_cp cps))
+        (list_size (int_bound 24) cp))
+
+let qcheck_json_string_roundtrip =
+  QCheck.Test.make
+    ~name:"json: escape/decode round-trips any UTF-8 string" ~count:300
+    arbitrary_unicode_string
+    (fun s ->
+      match Json.parse (Json.to_string (Json.Str s)) with
+      | Ok (Json.Str s') -> String.equal s s'
+      | _ -> false)
+
 (* --- protocol ----------------------------------------------------------- *)
 
 let test_parse_request () =
@@ -477,6 +548,200 @@ let test_scheduler_shutdown_drains () =
   Scheduler.shutdown sched;
   check_int "shutdown waits for every queued job" 100 (Atomic.get answered)
 
+(* --- fault plane ---------------------------------------------------------- *)
+
+module Fault = Sv.Fault
+module Fuzz = Sv.Fuzz
+module Probe = Lambekd_telemetry.Probe
+
+let with_schedule s f =
+  match Fault.parse s with
+  | Error e -> Alcotest.failf "schedule %S: %s" s e
+  | Ok cfg ->
+    Fault.install cfg;
+    Fun.protect ~finally:Fault.clear f
+
+let test_fault_parse () =
+  check_bool "empty schedule ok" true (Result.is_ok (Fault.parse ""));
+  check_bool "full schedule ok" true
+    (Result.is_ok
+       (Fault.parse
+          "seed=42;exec.run:fail:0.3;registry.get:corrupt:0.5,scheduler.claim:delay:0.1:2"));
+  check_bool "not active before install" false (Fault.active ());
+  with_schedule "seed=1;exec.run:fail:0.1" (fun () ->
+      check_bool "active after install" true (Fault.active ()));
+  check_bool "cleared" false (Fault.active ());
+  List.iter
+    (fun s ->
+      check_bool ("rejects " ^ s) true (Result.is_error (Fault.parse s)))
+    [ "bogus.site:fail:0.1"; "exec.run:explode:0.1"; "exec.run:fail:nan";
+      "exec.run:fail:1.5"; "exec.run:fail"; "seed=x;exec.run:fail:0.1";
+      "exec.run:delay:0.1:-3"; "exec.run:delay:0.1:2:9" ]
+
+(* The determinism contract: a schedule's draw stream is a pure function
+   of (seed, site, sequence), so two installs produce the same pattern. *)
+let test_fault_deterministic () =
+  let pattern () =
+    with_schedule "seed=9;exec.run:fail:0.5" (fun () ->
+        List.init 200 (fun _ ->
+            match Fault.disrupt Fault.Exec_run with
+            | () -> false
+            | exception Fault.Injected _ -> true))
+  in
+  let p1 = pattern () and p2 = pattern () in
+  check_bool "same draw pattern on reinstall" true (p1 = p2);
+  check_bool "some draws fail" true (List.mem true p1);
+  check_bool "some draws pass" true (List.mem false p1);
+  (* the consecutive-failure cap: never more than 3 fails in a row *)
+  let worst, _ =
+    List.fold_left
+      (fun (worst, run) f ->
+        let run = if f then run + 1 else 0 in
+        (max worst run, run))
+      (0, 0) p1
+  in
+  check_bool "at most 3 consecutive fails" true (worst <= 3)
+
+(* Output invariance: with result caching off, responses under any fault
+   schedule are byte-identical to an unfaulted run (the tentpole
+   invariant; [lambekd fuzz] checks it at scale and under concurrency). *)
+let test_fault_output_invariant () =
+  let reqs = mixed_requests () in
+  let render r = Protocol.response_to_json ~times:false r in
+  let run_all () =
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    List.map (fun r -> render (Exec.run reg r)) reqs
+  in
+  let clean = run_all () in
+  List.iter
+    (fun s ->
+      let faulted = with_schedule s run_all in
+      check_bool ("byte-identical under " ^ s) true
+        (List.equal String.equal clean faulted))
+    [ "seed=1;exec.run:fail:0.5";
+      "seed=2;registry.get:corrupt:0.5;registry.result:corrupt:0.5";
+      "seed=3;exec.run:corrupt:0.3;registry.get:delay:0.05:1";
+      "seed=4;exec.run:fail:0.5;registry.get:corrupt:0.5" ]
+
+let test_fault_verdict_invariant_with_cache () =
+  (* with result caching ON, corrupt may flip a result:"hit" to "miss",
+     but verdicts still match the clean run *)
+  let reqs = mixed_requests () in
+  let verdicts reg =
+    List.map (fun r -> (Exec.run reg r).Protocol.outcome) reqs
+  in
+  let clean = verdicts (Registry.create ()) in
+  let faulted =
+    with_schedule "seed=5;registry.result:corrupt:0.5" (fun () ->
+        verdicts (Registry.create ()))
+  in
+  check_bool "verdicts invariant under result-cache corruption" true
+    (clean = faulted)
+
+(* --- scheduler: queued-deadline expiry ------------------------------------ *)
+
+let test_queue_expiry () =
+  (* domains = 0: the job provably sits queued past its deadline before
+     [drain_one] runs it *)
+  let was_enabled = Probe.enabled () in
+  Probe.enable ();
+  let c = Probe.counter "scheduler.expired_in_queue" in
+  let before = Probe.value c in
+  let reg = Registry.create () in
+  let sched = Scheduler.create ~domains:0 ~queue_cap:4 ~registry:reg () in
+  let req =
+    match
+      Protocol.parse_request
+        {|{"id":"q1","grammar":"dyck","input":"(())","timeout_ms":5}|}
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let got = ref None in
+  (match Scheduler.try_submit sched req (fun r -> got := Some r) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "submit");
+  Unix.sleepf 0.02;
+  check_bool "drained" true (Scheduler.drain_one sched);
+  Scheduler.shutdown sched;
+  if not was_enabled then Probe.disable ();
+  match !got with
+  | Some r ->
+    (match r.Protocol.outcome with
+    | Error (Protocol.Timeout { after_ms }) ->
+      check_bool "echoes the budget" true (after_ms = 5.)
+    | _ -> Alcotest.fail "expected a timeout");
+    check_string "no engine ever ran" "" r.Protocol.engine_used;
+    check_string "response keeps the id" "q1"
+      (Option.value ~default:"" r.Protocol.rid);
+    check_bool "expiry counted" true (Probe.value c > before)
+  | None -> Alcotest.fail "no response"
+
+(* --- fuzz: the in-process differential ------------------------------------ *)
+
+let test_fuzz_differential () =
+  List.iter
+    (fun (seed, schedule) ->
+      let schedule =
+        Option.map
+          (fun s ->
+            match Fault.parse s with
+            | Ok cfg -> (cfg, s)
+            | Error e -> Alcotest.failf "schedule %S: %s" s e)
+          schedule
+      in
+      match
+        Fuzz.differential ~domains:2 ?schedule ~seed ~requests:80 ()
+      with
+      | Ok r ->
+        check_int "all lines generated" 80 r.Fuzz.lines;
+        check_bool "responses produced" true (r.Fuzz.responses > 0)
+      | Error msg -> Alcotest.failf "differential (seed %d): %s" seed msg)
+    [ (7, None); (8, Some "seed=2;exec.run:fail:0.4;registry.get:corrupt:0.5") ]
+
+(* --- fuzz: the committed corpus ------------------------------------------- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | l -> go (l :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Every corpus case replays against its committed golden through the
+   serial reference — the regression net for protocol and engine output
+   (regenerate with [lambekd fuzz --corpus test/data/fuzz --write-goldens]). *)
+let test_fuzz_corpus () =
+  let dir = "data/fuzz" in
+  let cases =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".ndjson")
+    |> List.sort String.compare
+  in
+  check_bool "at least 20 corpus cases" true (List.length cases >= 20);
+  List.iter
+    (fun case ->
+      let lines = read_lines (Filename.concat dir case) in
+      let golden =
+        read_lines
+          (Filename.concat dir (Filename.chop_suffix case ".ndjson" ^ ".expected"))
+      in
+      let reg = Registry.create ~result_cap:0 () in
+      let got = Fuzz.reference reg lines in
+      check_int (case ^ ": response count") (List.length golden)
+        (List.length got);
+      List.iteri
+        (fun i (want, have) ->
+          check_string (Fmt.str "%s: response %d" case i) want have)
+        (List.combine golden got))
+    cases
+
 let suite =
   [ Alcotest.test_case "lru: recency eviction" `Quick test_lru_basic;
     Alcotest.test_case "lru: replace" `Quick test_lru_replace;
@@ -515,4 +780,19 @@ let suite =
     Alcotest.test_case "scheduler: 4-domain output identical to serial"
       `Quick test_scheduler_parallel_identical;
     Alcotest.test_case "scheduler: shutdown drains" `Quick
-      test_scheduler_shutdown_drains ]
+      test_scheduler_shutdown_drains;
+    Alcotest.test_case "json: surrogate pairs" `Quick test_json_surrogates;
+    QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip;
+    Alcotest.test_case "fault: schedule parsing" `Quick test_fault_parse;
+    Alcotest.test_case "fault: deterministic draws, bounded fail runs"
+      `Quick test_fault_deterministic;
+    Alcotest.test_case "fault: output byte-invariant" `Quick
+      test_fault_output_invariant;
+    Alcotest.test_case "fault: verdicts invariant with result cache on"
+      `Quick test_fault_verdict_invariant_with_cache;
+    Alcotest.test_case "scheduler: queued deadline expiry" `Quick
+      test_queue_expiry;
+    Alcotest.test_case "fuzz: differential (clean and faulted)" `Quick
+      test_fuzz_differential;
+    Alcotest.test_case "fuzz: committed corpus matches goldens" `Quick
+      test_fuzz_corpus ]
