@@ -58,10 +58,15 @@ let time_ns f = Clock.time_ns f
 type cli = {
   json_path : string;
   only : string list option;
+  check : string option;
+  threshold : float;
 }
 
 let usage_error msg =
-  Fmt.epr "bench: %s@.usage: bench [--json FILE] [--only sec1,sec2,...]@." msg;
+  Fmt.epr
+    "bench: %s@.usage: bench [--json FILE] [--only sec1,sec2,...] [--check \
+     BASELINE.json] [--threshold X]@."
+    msg;
   exit 2
 
 let parse_cli () =
@@ -77,16 +82,32 @@ let parse_cli () =
     | [ "--only" ] -> usage_error "--only requires a section list"
     | "--only" :: specs :: rest ->
       go { acc with only = Some (String.split_on_char ',' specs) } rest
+    | [ "--check" ] -> usage_error "--check requires a BASELINE.json argument"
+    | "--check" :: path :: rest -> go { acc with check = Some path } rest
+    | [ "--threshold" ] -> usage_error "--threshold requires a ratio argument"
+    | "--threshold" :: x :: rest -> (
+      match float_of_string_opt x with
+      | Some t when t > 1.0 -> go { acc with threshold = t } rest
+      | _ -> usage_error (Fmt.str "--threshold must be a ratio > 1, got %s" x))
     | arg :: _ -> usage_error (Fmt.str "unknown argument %s" arg)
   in
   go
-    { json_path = default_json; only = None }
+    { json_path = default_json; only = None; check = None; threshold = 3.0 }
     (List.tl (Array.to_list Sys.argv))
 
 let json_sink = ref Sink.null
 
 let json ~section fields =
   !json_sink.Sink.emit (Ev.Point { name = section; fields })
+
+(* A measurement that was skipped (input too large for the slow baseline)
+   must not change the field's JSON type: instead of a string placeholder
+   in a numeric slot, the numeric field is omitted and
+   [<name>_skipped: true] is recorded, so every field that is present
+   parses with one type across all rows of a section. *)
+let opt_field name conv = function
+  | Some v -> (name, conv v)
+  | None -> (name ^ "_skipped", Ev.Bool true)
 
 let header title = Fmt.pr "@.== %s ==@." title
 
@@ -281,9 +302,7 @@ let bench_pathological () =
         [ ("n", Ev.Int n);
           ("pipeline_ns", Ev.Float pipeline_ns);
           ("brzozowski_ns", Ev.Float brz_ns);
-          ("backtracking_ns",
-           match bt_ns with Some ns -> Ev.Float ns | None -> Ev.Str "gave up")
-        ];
+          opt_field "backtracking_ns" (fun ns -> Ev.Float ns) bt_ns ];
       row [ cell "%6d" n; pp_ns pipeline_ns; pp_ns brz_ns; bt_cell ])
     [ 8; 16; 24; 32 ]
 
@@ -320,12 +339,11 @@ let bench_thm413 () =
       in
       let earley_ns = Option.map fst earley in
       let chart_items = Option.map snd earley in
-      let skipped s = Option.fold ~none:(Ev.Str s) in
       json ~section:"thm413_dyck"
         [ ("len", Ev.Int len);
           ("automaton_ns", Ev.Float automaton_ns);
-          ("earley_ns", skipped "skipped" ~some:(fun ns -> Ev.Float ns) earley_ns);
-          ("chart_items", skipped "-" ~some:(fun n -> Ev.Int n) chart_items) ];
+          opt_field "earley_ns" (fun ns -> Ev.Float ns) earley_ns;
+          opt_field "chart_items" (fun n -> Ev.Int n) chart_items ];
       row
         [ cell "%6d" len;
           pp_ns automaton_ns;
@@ -406,9 +424,7 @@ let bench_thm414 () =
           ("ll1_ns", Ev.Float ll1_ns);
           ("ll1_stack_ns", Ev.Float ll1_stack_ns);
           ("slr_ns", Ev.Float slr_ns);
-          ("earley_ns",
-           match earley_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped")
-        ];
+          opt_field "earley_ns" (fun ns -> Ev.Float ns) earley_ns ];
       row
         [ cell "%6d" len;
           pp_ns lookahead_ns;
@@ -459,8 +475,7 @@ let bench_counting_ablation () =
       let fast_ns = time_ns (fun () -> E.count_fast Expr.o_sigma input) in
       json ~section:"counting_ablation"
         [ ("len", Ev.Int len);
-          ("enumerate_ns",
-           match enum_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped");
+          opt_field "enumerate_ns" (fun ns -> Ev.Float ns) enum_ns;
           ("count_fast_ns", Ev.Float fast_ns) ];
       row
         [ cell "%6d" len;
@@ -502,9 +517,7 @@ let bench_forest_count () =
           ("parses", Ev.Int !count);
           ("forest_nodes", Ev.Int !nodes);
           ("forest_ns", Ev.Float forest_ns);
-          ("enumerate_ns",
-           match enum_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped")
-        ];
+          opt_field "enumerate_ns" (fun ns -> Ev.Float ns) enum_ns ];
       row
         [ cell "%4d" n; cell "%16d" !count; cell "%7d" !nodes;
           pp_ns forest_ns;
@@ -532,10 +545,7 @@ let bench_accepts_worklist () =
       json ~section:"accepts_worklist"
         [ ("len", Ev.Int (String.length input));
           ("worklist_ns", Ev.Float worklist_ns);
-          ("fixpoint_ns",
-           match fixpoint_ns with
-           | Some ns -> Ev.Float ns
-           | None -> Ev.Str "skipped") ];
+          opt_field "fixpoint_ns" (fun ns -> Ev.Float ns) fixpoint_ns ];
       row
         [ cell "%6d" (String.length input);
           pp_ns worklist_ns;
@@ -572,15 +582,112 @@ let bench_earley_completer () =
         [ ("len", Ev.Int len);
           ("chart_items", Ev.Int items);
           ("indexed_ns", Ev.Float indexed_ns);
-          ("scan_ns",
-           match scan_ns with Some ns -> Ev.Float ns | None -> Ev.Str "skipped")
-        ];
+          opt_field "scan_ns" (fun ns -> Ev.Float ns) scan_ns ];
       row
         [ cell "%6d" len; cell "%8d" items; pp_ns indexed_ns;
           (match scan_ns with
            | Some ns -> pp_ns ns
            | None -> Fmt.str "%11s" "(skipped)") ])
     [ 16; 128; 512; 1024 ]
+
+(* --- cfg: Leo right recursion ----------------------------------------------------- *)
+
+(* E → a | aE parses a^n with a completion chain through every set, so the
+   classical completer builds Θ(n²) items.  Leo's deterministic-reduction
+   memo replaces each chain with one topmost item: the chart stays linear
+   and so does wall-clock. *)
+let bench_earley_leo () =
+  header
+    "cfg — Leo right recursion on E → a | aE over a^n: deterministic-\
+     reduction memo (leo on) vs classical completion chains (leo off)";
+  let rr_cfg =
+    Cfg.make ~start:"E"
+      ~productions:[ ("E", [ Cfg.T 'a' ]); ("E", [ Cfg.T 'a'; Cfg.N "E" ]) ]
+  in
+  let comp = Earley.compile rr_cfg in
+  row
+    [ cell "%6s" "len"; cell "%9s" "leo itms"; cell "%9s" "cls itms";
+      cell "%11s" "leo"; cell "%11s" "classical"; cell "%8s" "speedup" ];
+  List.iter
+    (fun n ->
+      let input = String.make n 'a' in
+      let chart_on = ref None and chart_off = ref None in
+      (* best of 3 to keep the pinned speedup ratio out of scheduler noise *)
+      let best f =
+        let t = ref infinity in
+        for _ = 1 to 3 do t := Float.min !t (time_ns f) done;
+        !t
+      in
+      let on_ns =
+        best (fun () -> chart_on := Some (Earley.run_compiled comp input))
+      in
+      let off_ns =
+        best (fun () ->
+            chart_off := Some (Earley.run_compiled ~leo:false comp input))
+      in
+      let items_on = Earley.size (Option.get !chart_on) in
+      let items_off = Earley.size (Option.get !chart_off) in
+      json ~section:"earley_leo"
+        [ ("len", Ev.Int n);
+          ("leo_items", Ev.Int items_on);
+          ("classical_items", Ev.Int items_off);
+          ("leo_ns", Ev.Float on_ns);
+          ("classical_ns", Ev.Float off_ns);
+          ("speedup", Ev.Float (off_ns /. on_ns)) ];
+      row
+        [ cell "%6d" n; cell "%9d" items_on; cell "%9d" items_off;
+          pp_ns on_ns; pp_ns off_ns;
+          cell "%7.1fx" (off_ns /. on_ns) ])
+    [ 128; 512; 2048; 4096 ]
+
+(* --- engine: allocation-lean hot path --------------------------------------------- *)
+
+let bench_scratch_reuse () =
+  header
+    "engine — allocation-lean hot path: reusable Earley scratch and forest \
+     pool vs fresh per-request allocation (warm requests)";
+  let comp = Earley.compile dyck_cfg in
+  let input = String.concat "" (List.init 128 (fun _ -> "()")) in
+  let iters = 200 in
+  row [ cell "%-14s" "mode"; cell "%11s" "ns/run"; cell "%14s" "words/run" ];
+  (* total allocation, not just minor words: the savings are chart tables
+     and flat arrays, which are large enough to be allocated directly on
+     the major heap *)
+  let alloc_words () =
+    let s = Gc.quick_stat () in
+    s.Gc.minor_words +. s.Gc.major_words -. s.Gc.promoted_words
+  in
+  let measure label f =
+    (* one untimed run to warm the pool, then [iters] measured runs; timed
+       with raw [now_ns] rather than [time_ns], whose warmup + repeat
+       budget would multiply the allocation delta by an unknown factor *)
+    f ();
+    Gc.full_major ();
+    let w0 = alloc_words () in
+    let t0 = now_ns () in
+    for _ = 1 to iters do f () done;
+    let ns = now_ns () -. t0 in
+    let words = (alloc_words () -. w0) /. float_of_int iters in
+    json ~section:"scratch_reuse"
+      [ ("mode", Ev.Str label);
+        ("iters", Ev.Int iters);
+        ("ns_per_run", Ev.Float (ns /. float_of_int iters));
+        ("alloc_words_per_run", Ev.Float words) ];
+    row
+      [ cell "%-14s" label;
+        pp_ns (ns /. float_of_int iters);
+        cell "%14.0f" words ]
+  in
+  measure "earley cold" (fun () -> ignore (Earley.run_compiled comp input));
+  let sc = Earley.scratch () in
+  measure "earley warm" (fun () ->
+      ignore (Earley.run_compiled ~scratch:sc comp input));
+  let ss = Gr.fix "S" (fun self -> Gr.alt2 (Gr.seq self self) (Gr.chr 'a')) in
+  let finput = String.make 12 'a' in
+  measure "forest cold" (fun () -> ignore (G.Forest.build ss finput));
+  let fp = G.Forest.pool () in
+  measure "forest warm" (fun () ->
+      ignore (G.Forest.build ~pool:fp ss finput))
 
 (* --- E17: surface checker throughput ------------------------------------------------------ *)
 
@@ -895,6 +1002,127 @@ let bench_fault_overhead () =
     [ ("armed idle", "seed=1");
       ("armed corrupt", "seed=1;registry.get:corrupt:0.5;registry.result:corrupt:0.5") ]
 
+(* --- baseline regression check ----------------------------------------------------- *)
+
+(* [--check BASELINE.json] re-reads the JSON-lines this run just wrote and
+   compares every timing field against the named baseline.  The threshold
+   is deliberately generous (default 3x): wall-clock on shared CI is
+   noisy, and this check exists to catch order-of-magnitude regressions —
+   a complexity-class change in a hot path — not single-digit drift.
+   Rows are paired by section and position (every section is a
+   deterministic sweep); rows, sections or fields present on only one
+   side are reported as notes but never fail the check, so adding a
+   section does not invalidate an old baseline.  Sub-100µs measurements
+   are never flagged: at that scale the ratio is all scheduler noise. *)
+
+module Check = struct
+  module Sj = Lambekd_service.Json
+
+  let timing_field name =
+    name = "ns" || name = "ns_per_run"
+    || (String.length name > 3
+        && String.sub name (String.length name - 3) 3 = "_ns")
+
+  (* one JSON-lines record: (section, numeric timing fields) *)
+  let parse_record path line =
+    match Sj.parse line with
+    | Error e -> usage_error (Fmt.str "%s: bad JSON line (%s): %s" path e line)
+    | Ok v -> (
+      match (Option.bind (Sj.mem "name" v) Sj.str, Sj.mem "fields" v) with
+      | Some name, Some (Sj.Obj fields) ->
+        let timings =
+          List.filter_map
+            (fun (k, fv) ->
+              if timing_field k then
+                Option.map (fun f -> (k, f)) (Sj.num fv)
+              else None)
+            fields
+        in
+        Some (name, timings)
+      | _ -> None)
+
+  let read_records path =
+    let ic =
+      try open_in path
+      with Sys_error e -> usage_error (Fmt.str "cannot read baseline: %s" e)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | "" -> go acc
+          | line -> (
+            match parse_record path line with
+            | Some r -> go (r :: acc)
+            | None -> go acc)
+        in
+        go [])
+
+  (* group records by section, keeping each section's row order *)
+  let by_section records =
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun (name, timings) ->
+        if not (Hashtbl.mem tbl name) then begin
+          order := name :: !order;
+          Hashtbl.add tbl name []
+        end;
+        Hashtbl.replace tbl name (timings :: Hashtbl.find tbl name))
+      records;
+    List.rev_map (fun n -> (n, List.rev (Hashtbl.find tbl n))) !order
+
+  let noise_floor_ns = 1e5
+
+  let run ~baseline ~current ~threshold =
+    let base = by_section (read_records baseline) in
+    let cur = by_section (read_records current) in
+    let regressions = ref 0 in
+    Fmt.pr "@.== regression check vs %s (threshold %.1fx) ==@." baseline
+      threshold;
+    List.iter
+      (fun (section, cur_rows) ->
+        match List.assoc_opt section base with
+        | None -> Fmt.pr "  note: section %s not in baseline, skipped@." section
+        | Some base_rows ->
+          if List.length base_rows <> List.length cur_rows then
+            Fmt.pr "  note: section %s row count differs (%d vs %d)@." section
+              (List.length cur_rows) (List.length base_rows);
+          List.iteri
+            (fun i cur_timings ->
+              match List.nth_opt base_rows i with
+              | None -> ()
+              | Some base_timings ->
+                List.iter
+                  (fun (field, cur_ns) ->
+                    match List.assoc_opt field base_timings with
+                    | None -> ()
+                    | Some base_ns ->
+                      if
+                        cur_ns > base_ns *. threshold
+                        && cur_ns -. base_ns > noise_floor_ns
+                      then begin
+                        incr regressions;
+                        Fmt.pr
+                          "  REGRESSION %s[%d].%s: %s -> %s (%.1fx > %.1fx)@."
+                          section i field (pp_ns base_ns) (pp_ns cur_ns)
+                          (cur_ns /. base_ns) threshold
+                      end)
+                  cur_timings)
+            cur_rows)
+      cur;
+    if !regressions = 0 then begin
+      Fmt.pr "  ok: no timing regression beyond %.1fx@." threshold;
+      true
+    end
+    else begin
+      Fmt.pr "  FAILED: %d regression(s) beyond %.1fx@." !regressions threshold;
+      false
+    end
+end
+
 (* --- section registry and driver -------------------------------------------------- *)
 
 let sections =
@@ -910,6 +1138,8 @@ let sections =
     ("forest_count", bench_forest_count);
     ("accepts_worklist", bench_accepts_worklist);
     ("earley_completer", bench_earley_completer);
+    ("earley_leo", bench_earley_leo);
+    ("scratch_reuse", bench_scratch_reuse);
     ("surface", bench_surface);
     ("service", bench_service);
     ("fault_overhead", bench_fault_overhead);
@@ -941,4 +1171,11 @@ let () =
       json_sink := Sink.null;
       close_out oc)
     (fun () -> List.iter (fun (_, f) -> f ()) selected);
-  Fmt.pr "@.done (JSON records in %s).@." cli.json_path
+  Fmt.pr "@.done (JSON records in %s).@." cli.json_path;
+  match cli.check with
+  | None -> ()
+  | Some baseline ->
+    if
+      not
+        (Check.run ~baseline ~current:cli.json_path ~threshold:cli.threshold)
+    then exit 1

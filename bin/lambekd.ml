@@ -589,7 +589,8 @@ let serve_cmd =
       $ result_cap $ no_times $ tcp $ max_conns $ max_line_bytes)
 
 let batch_cmd =
-  let run common file domains queue_cap artifact_cap result_cap no_times =
+  let run common file domains queue_cap artifact_cap result_cap no_times
+      no_leo =
     with_telemetry common @@ fun () ->
     match open_in file with
     | exception Sys_error msg ->
@@ -615,7 +616,21 @@ let batch_cmd =
       (* decode everything up front on this thread; grammar construction
          is not domain-safe *)
       let requests =
-        List.mapi (fun s line -> (s, Sv.Protocol.parse_request line)) lines
+        List.mapi
+          (fun s line ->
+            let req = Sv.Protocol.parse_request line in
+            let req =
+              (* force-pin the Leo optimization off for the whole batch:
+                 diffing against a default run checks the optimized and
+                 classical Earley engines end to end *)
+              if no_leo then
+                Result.map
+                  (fun r -> { r with Sv.Protocol.leo = Some false })
+                  req
+              else req
+            in
+            (s, req))
+          lines
       in
       if domains = Some 0 then
         (* serial reference mode: same pipeline, no pool — the baseline
@@ -674,6 +689,17 @@ let batch_cmd =
       & info [ "no-times" ]
           ~doc:"Omit the $(i,ns) field, making output byte-reproducible.")
   in
+  let no_leo =
+    Arg.(
+      value & flag
+      & info [ "no-leo" ]
+          ~doc:
+            "Pin the Earley engine's Leo right-recursion optimization \
+             off for every request in the batch (as if each carried \
+             $(i,\"leo\":false)).  Verdicts are identical either way; \
+             diffing a $(b,--no-leo) run against a default run \
+             exercises both completer paths end to end.")
+  in
   Cmd.v
     (Cmd.info "batch" ~exits:service_exits
        ~doc:
@@ -681,7 +707,7 @@ let batch_cmd =
           pipeline and print one response line per request, in order.")
     Term.(
       const run $ common_term $ file $ domains $ queue_cap $ artifact_cap
-      $ result_cap $ no_times)
+      $ result_cap $ no_times $ no_leo)
 
 (* Corpus mode: replay every committed .ndjson case through the serial
    reference and diff (or rewrite) its .expected golden. *)

@@ -14,27 +14,8 @@ let rule_count g = List.length g.term_rules + List.length g.binary_rules
 
 module Sset = Set.Make (String)
 
-let nullable_set (cfg : Cfg.t) =
-  let nullable = ref Sset.empty in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun p ->
-        if
-          (not (Sset.mem p.Cfg.lhs !nullable))
-          && List.for_all
-               (function
-                 | Cfg.T _ -> false
-                 | Cfg.N m -> Sset.mem m !nullable)
-               p.Cfg.rhs
-        then begin
-          nullable := Sset.add p.Cfg.lhs !nullable;
-          changed := true
-        end)
-      cfg.Cfg.productions
-  done;
-  !nullable
+(* The fixpoint lives in {!Nullable}; CYK only folds over the result. *)
+let nullable_set (cfg : Cfg.t) = Nullable.set (Nullable.compute cfg)
 
 let of_cfg (cfg : Cfg.t) =
   let nullable = nullable_set cfg in

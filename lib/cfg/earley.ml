@@ -3,6 +3,8 @@ module Ev = Lambekd_telemetry.Event
 
 let c_items = Probe.counter "earley.items"
 let c_completed = Probe.counter "earley.completed"
+let c_leo_items = Probe.counter "earley.leo_items"
+let c_leo_uses = Probe.counter "earley.leo_uses"
 
 (* An Earley item (production, dot position, origin) is packed into one
    int — [((origin * nprods) + prod) * maxdot + dot] — so chart and queue
@@ -17,21 +19,165 @@ module IntTbl = Hashtbl.Make (struct
   let hash x = (x * 0x01000193) land max_int
 end)
 
-(* One recognizer run: the chart (packed items grouped by end position),
-   the set of completed constituents, and the input it was built for —
-   shared by recognition, size reporting and derivation reconstruction so
-   none of them pays for the chart twice. *)
-type chart = {
+(* --- compiled grammars ---------------------------------------------------
+
+   Everything [run] needs that depends only on the grammar — dense
+   nonterminal ids, per-(production, dot) symbol tables, prediction
+   lists, the nullable set — computed once.  The service registry owns
+   one [compiled] per artifact so the per-request cost is the chart
+   walk, not grammar preprocessing. *)
+
+type compiled = {
   cfg : Cfg.t;
+  nprods : int;
+  maxdot : int;  (** 1 + longest right-hand side *)
+  nnts : int;  (** dense nonterminal ids: 0 .. nnts-1 *)
+  rhs_len : int array;  (** production -> |rhs| *)
+  term_at : int array;
+      (** (prod * maxdot + dot) -> terminal char code, or -1 *)
+  await_at : int array;
+      (** (prod * maxdot + dot) -> awaited nonterminal id, or -1 *)
+  lhs_id : int array;  (** production -> nonterminal id of its lhs *)
+  preds : int array array;  (** nonterminal id -> its production indices *)
+  nullable_nt : bool array;  (** nonterminal id -> derives ε? *)
+  start_nt : int;
+}
+
+let compile (cfg : Cfg.t) =
+  let prods = cfg.Cfg.productions in
+  let nprods = Array.length prods in
+  let rhs_arr = Array.map (fun p -> Array.of_list p.Cfg.rhs) prods in
+  let maxdot =
+    1 + Array.fold_left (fun m r -> max m (Array.length r)) 0 rhs_arr
+  in
+  let nt_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun p ->
+      if not (Hashtbl.mem nt_tbl p.Cfg.lhs) then
+        Hashtbl.add nt_tbl p.Cfg.lhs (Hashtbl.length nt_tbl))
+    prods;
+  let nnts = Hashtbl.length nt_tbl in
+  let lhs_id = Array.map (fun p -> Hashtbl.find nt_tbl p.Cfg.lhs) prods in
+  let rhs_len = Array.map Array.length rhs_arr in
+  let term_at = Array.make (nprods * maxdot) (-1) in
+  let await_at = Array.make (nprods * maxdot) (-1) in
+  Array.iteri
+    (fun i r ->
+      Array.iteri
+        (fun d sym ->
+          match sym with
+          | Cfg.T c -> term_at.((i * maxdot) + d) <- Char.code c
+          | Cfg.N m -> (
+            (* a nonterminal without productions keeps -1: nothing can
+               ever complete it, so the item is simply never advanced *)
+            match Hashtbl.find_opt nt_tbl m with
+            | Some id -> await_at.((i * maxdot) + d) <- id
+            | None -> ()))
+        r)
+    rhs_arr;
+  let buckets = Array.make nnts [] in
+  Array.iteri (fun i _ -> buckets.(lhs_id.(i)) <- i :: buckets.(lhs_id.(i))) prods;
+  let preds = Array.map (fun l -> Array.of_list (List.rev l)) buckets in
+  let nl = Nullable.compute cfg in
+  let nullable_nt = Array.make nnts false in
+  Hashtbl.iter
+    (fun name id -> nullable_nt.(id) <- Nullable.mem nl name)
+    nt_tbl;
+  let start_nt =
+    match Hashtbl.find_opt nt_tbl cfg.Cfg.start with
+    | Some id -> id
+    | None -> -1 (* unreachable: Cfg.make validates the start symbol *)
+  in
+  { cfg; nprods; maxdot; nnts; rhs_len; term_at; await_at; lhs_id; preds;
+    nullable_nt; start_nt }
+
+(* --- reusable scratch ----------------------------------------------------
+
+   All per-run storage, reusable across runs: chart hash tables keep
+   their bucket arrays across [IntTbl.clear], the flat waiting/Leo
+   arrays and the two work queues are grow-only.  A scratch belongs to
+   exactly one run at a time (the service pools one per worker domain);
+   the returned chart aliases its tables, so a chart is only valid until
+   the scratch's next run. *)
+
+type scratch = {
+  mutable s_charts : unit IntTbl.t array;
+  mutable s_waiting : int list array;  (** flat (pos * nnts + nt) *)
+  mutable s_leo_top : int array;  (** 0 unknown, 1 none, enc+2 topmost *)
+  mutable s_leo_link : int array;  (** 0 none, enc+2 the unique awaiter *)
+  s_completed : unit IntTbl.t;
+  s_qa : int Queue.t;
+  s_qb : int Queue.t;
+  mutable s_nnts : int;  (** stride the flat arrays were laid out for *)
+  mutable s_used : int;  (** position slots dirtied by the last run *)
+}
+
+let scratch () =
+  { s_charts = [||];
+    s_waiting = [||];
+    s_leo_top = [||];
+    s_leo_link = [||];
+    s_completed = IntTbl.create 64;
+    s_qa = Queue.create ();
+    s_qb = Queue.create ();
+    s_nnts = 0;
+    s_used = 0 }
+
+(* Reset-and-grow.  The dirty region of the previous run is bounded by
+   [s_used] × [s_nnts]; if the stride changed (a different grammar took
+   the scratch) the flat arrays are relaid instead of cleared, because a
+   stale entry under a new stride would land at a valid index. *)
+let prepare sc ~slots ~nnts =
+  let old = Array.length sc.s_charts in
+  for i = 0 to min sc.s_used old - 1 do
+    IntTbl.clear sc.s_charts.(i)
+  done;
+  if old < slots then
+    sc.s_charts <-
+      Array.init slots (fun i ->
+          if i < old then sc.s_charts.(i) else IntTbl.create 16);
+  let need = slots * nnts in
+  if sc.s_nnts <> nnts || Array.length sc.s_waiting < need then begin
+    let cap = max need (Array.length sc.s_waiting) in
+    sc.s_waiting <- Array.make cap [];
+    sc.s_leo_top <- Array.make cap 0;
+    sc.s_leo_link <- Array.make cap 0;
+    sc.s_nnts <- nnts
+  end
+  else begin
+    let dirty = min (sc.s_used * nnts) (Array.length sc.s_waiting) in
+    Array.fill sc.s_waiting 0 dirty [];
+    Array.fill sc.s_leo_top 0 dirty 0;
+    Array.fill sc.s_leo_link 0 dirty 0
+  end;
+  IntTbl.clear sc.s_completed;
+  Queue.clear sc.s_qa;
+  Queue.clear sc.s_qb;
+  sc.s_used <- slots
+
+(* --- charts --------------------------------------------------------------
+
+   One recognizer run: the item count, the chart tables (slots 0..n of
+   possibly longer scratch-owned arrays), the completed-constituent
+   facts, and — under Leo — the reduction memos and the shortcut uses,
+   from which {!parse_tree} reconstructs the skipped intermediate
+   completions on demand. *)
+type chart = {
+  comp : compiled;
   input : string;
   charts : unit IntTbl.t array;
   completed : unit IntTbl.t; (* keys packed by [pack] below *)
+  items : int;
+  leo_top : int array;
+  leo_link : int array;
+  leo_uses : (int * int * int) list;  (* (origin, nt id, end) shortcuts *)
+  mutable expanded : bool;
 }
 
 (* (origin, end, production) of a completed constituent as one int; the
    constituent's nonterminal is implied by the production. *)
 let pack ch origin pos prod =
-  let nprods = Array.length ch.cfg.Cfg.productions in
+  let nprods = ch.comp.nprods in
   let n = String.length ch.input in
   (((origin * (n + 1)) + pos) * nprods) + prod
 
@@ -41,72 +187,64 @@ let pack ch origin pos prod =
      nonterminal is registered, at its end position, under that awaited
      nonterminal.  Completing (lhs, origin → pos) then advances exactly
      the parents waiting on [lhs] at [origin] — O(matching parents).
+     Prediction is nullable-aware: the dot advances over a nullable
+     nonterminal immediately (the Aycock–Horspool refinement), so ε-chains
+     resolve without same-set completion round-trips.  With [leo] (default
+     on), right-recursive completions additionally chain through Leo's
+     deterministic-reduction memo in O(1) — see below.
 
    - [indexed = false]: the seed behaviour, kept as the bench baseline —
      scan {e every} item of the origin chart and test its next symbol,
-     which is quadratic in chart width for each completion.
+     which is quadratic in chart width for each completion, with the
+     dynamic ε-completion check at prediction time.
 
-   Both produce the identical item set.  The waiting index is complete
-   because items are only ever added to chart [x] while the scan position
-   is at [x] (prediction adds at the current position, scanning at the
-   next), so by the time a longer constituent completes back into [x] the
-   index over [x] is final; same-position completions that race with
-   insertion are caught — in both modes — by the ε-completion check when
-   the late item is popped. *)
-let run ?(indexed = true) ?poll (cfg : Cfg.t) w =
+   Indexed (Leo off) and scan produce the identical item set: the static
+   nullable advance adds [A → α m • β] exactly when the dynamic engine's
+   ε-completion of [m] over (pos, pos) would — a nullable nonterminal
+   predicted at [pos] always completes there — and the waiting index is
+   complete because items are only added to chart [x] while the scan
+   position is at [x], so by the time a longer constituent completes
+   back into [x] the index over [x] is final.  Same-position completions
+   are of nullable nonterminals by definition, so their late-registered
+   parents are covered by the static advance.
+
+   Leo's optimization: when set [k] holds {e exactly one} item awaiting
+   [B] and that item's dot sits before its final symbol — a deterministic
+   reduction [A → α • B, o] — completing [B] over (k, pos) can skip the
+   whole reduction chain and enqueue the {e topmost} transitive item
+   directly (itself found by chasing the unique-awaiter condition upward
+   through (o, A), memoized per (set, nonterminal)).  Right-recursive
+   tails then cost O(1) per completion instead of O(chain), and the chart
+   stays linear for LR-regular grammars.  The facts a shortcut skips are
+   recoverable: every shortcut records its (origin, nonterminal, end),
+   and {!expand_walk} re-walks the memoized links to materialize them on
+   demand — in full for [parse_tree], and only for the chains ending at
+   the last position for [accepts]. *)
+let run_compiled ?(indexed = true) ?(leo = true) ?scratch:sc ?poll comp w =
+  let leo = leo && indexed in
   let chart_items = ref 0 in
+  let peak = ref 0 in
   Probe.with_span "earley.run"
     ~fields:(fun () ->
       [ ("len", Ev.Int (String.length w));
-        ("chart_items", Ev.Int !chart_items) ])
+        ("chart_items", Ev.Int !chart_items);
+        ("chart_peak", Ev.Int !peak) ])
   @@ fun () ->
   let n = String.length w in
-  let prods = cfg.Cfg.productions in
-  let nprods = Array.length prods in
-  (* per-run precomputations: rhs as arrays (a dot lookup is an array
-     access, not a list walk), dense nonterminal ids for the waiting
-     index, and a productions-by-name table so prediction does not rescan
-     the whole production list *)
-  let rhs_arr = Array.map (fun p -> Array.of_list p.Cfg.rhs) prods in
-  let maxdot =
-    1 + Array.fold_left (fun m r -> max m (Array.length r)) 0 rhs_arr
+  let { nprods; maxdot; nnts; rhs_len; term_at; await_at; lhs_id; preds;
+        nullable_nt; start_nt; _ } =
+    comp
   in
-  let encode origin prod dot = ((origin * nprods) + prod) * maxdot + dot in
-  let nt_ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
-  Array.iter
-    (fun p ->
-      if not (Hashtbl.mem nt_ids p.Cfg.lhs) then
-        Hashtbl.add nt_ids p.Cfg.lhs (Hashtbl.length nt_ids))
-    prods;
-  let nnts = Hashtbl.length nt_ids in
-  let lhs_id = Array.map (fun p -> Hashtbl.find nt_ids p.Cfg.lhs) prods in
-  let prods_by_name : (string, (int * Cfg.production) list) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  Array.iteri
-    (fun i p ->
-      let l =
-        match Hashtbl.find_opt prods_by_name p.Cfg.lhs with
-        | Some l -> l
-        | None -> []
-      in
-      Hashtbl.replace prods_by_name p.Cfg.lhs (l @ [ (i, p) ]))
-    prods;
-  let predictions m =
-    match Hashtbl.find_opt prods_by_name m with Some l -> l | None -> []
-  in
+  let sc = match sc with Some sc -> sc | None -> scratch () in
+  prepare sc ~slots:(n + 1) ~nnts;
+  let charts = sc.s_charts in
+  let waiting = sc.s_waiting in
+  let leo_top = sc.s_leo_top in
+  let leo_link = sc.s_leo_link in
+  let completed = sc.s_completed in
+  let encode origin prod dot = (((origin * nprods) + prod) * maxdot) + dot in
   let packc origin pos prod = (((origin * (n + 1)) + pos) * nprods) + prod in
-  let charts : unit IntTbl.t array =
-    Array.init (n + 1) (fun _ -> IntTbl.create 16)
-  in
-  (* waiting.(pos).(ntid): items ending at [pos] whose dot awaits that
-     nonterminal.  A nonterminal with no productions gets no id — nothing
-     can ever complete it, so its awaiters need no registration. *)
-  let waiting : int list array array =
-    Array.init (if indexed then n + 1 else 0) (fun _ -> Array.make nnts [])
-  in
-  let completed = IntTbl.create 64 in
-  let queues = Array.init (n + 1) (fun _ -> Queue.create ()) in
+  let leo_uses = ref [] in
   let enqueue pos enc queue =
     if not (IntTbl.mem charts.(pos) enc) then begin
       Probe.bump c_items;
@@ -115,23 +253,55 @@ let run ?(indexed = true) ?poll (cfg : Cfg.t) w =
       if indexed then begin
         let dot = enc mod maxdot in
         let prod = enc / maxdot mod nprods in
-        let rhs = rhs_arr.(prod) in
-        if dot < Array.length rhs then
-          match rhs.(dot) with
-          | Cfg.N m -> (
-            match Hashtbl.find_opt nt_ids m with
-            | Some id -> waiting.(pos).(id) <- enc :: waiting.(pos).(id)
-            | None -> ())
-          | Cfg.T _ -> ()
+        let aw = await_at.((prod * maxdot) + dot) in
+        if aw >= 0 then
+          waiting.((pos * nnts) + aw) <- enc :: waiting.((pos * nnts) + aw)
       end;
       Queue.add enc queue
     end
   in
-  List.iter
-    (fun (i, _) -> enqueue 0 (encode 0 i 0) queues.(0))
-    (Cfg.productions_of cfg cfg.Cfg.start);
+  (* Leo memo: topmost transitive item for (set k, nonterminal b), or -1.
+     Encoded in the flat arrays as value+2 with 0 = not yet computed and
+     the in-progress slot pre-set to "none" — a re-entrant read (only
+     possible through degenerate unit cycles) then conservatively falls
+     back to regular completion, which terminates by chart dedup. *)
+  let rec leo_of k b =
+    let idx = (k * nnts) + b in
+    let v = leo_top.(idx) in
+    if v <> 0 then v - 2
+    else begin
+      leo_top.(idx) <- 1;
+      let result =
+        match waiting.(idx) with
+        | [ enc ] ->
+          let dot = enc mod maxdot in
+          let pd = enc / maxdot in
+          let prod = pd mod nprods in
+          let o = pd / nprods in
+          if dot + 1 <> rhs_len.(prod) then -1 (* b is not the final symbol *)
+          else begin
+            leo_link.(idx) <- enc + 2;
+            match leo_of o lhs_id.(prod) with
+            | t when t >= 0 -> t
+            | _ -> enc + 1
+          end
+        | _ -> -1
+      in
+      if result >= 0 then Probe.bump c_leo_items;
+      leo_top.(idx) <- result + 2;
+      result
+    end
+  in
+  Array.iter
+    (fun i -> enqueue 0 (encode 0 i 0) sc.s_qa)
+    (if start_nt >= 0 then preds.(start_nt) else [||]);
   for pos = 0 to n do
-    let queue = queues.(pos) in
+    (* two queues, swapped per position: scans feed the next one,
+       prediction and completion the current one *)
+    let queue, next_queue =
+      if pos land 1 = 0 then (sc.s_qa, sc.s_qb) else (sc.s_qb, sc.s_qa)
+    in
+    if Probe.enabled () then peak := max !peak (IntTbl.length charts.(pos));
     while not (Queue.is_empty queue) do
       (match poll with Some p -> p () | None -> ());
       let enc = Queue.pop queue in
@@ -139,59 +309,128 @@ let run ?(indexed = true) ?poll (cfg : Cfg.t) w =
       let pd = enc / maxdot in
       let prod = pd mod nprods in
       let origin = pd / nprods in
-      let rhs = rhs_arr.(prod) in
-      if dot >= Array.length rhs then begin
+      if dot >= rhs_len.(prod) then begin
         (* complete *)
         Probe.bump c_completed;
         IntTbl.replace completed (packc origin pos prod) ();
-        if indexed then
-          (* the list read is a snapshot: parents registered during these
-             enqueues are same-position items, handled by the pop-time
-             ε-check *)
-          List.iter
-            (fun parent -> enqueue pos (parent + 1) queue)
-            waiting.(origin).(lhs_id.(prod))
+        let b = lhs_id.(prod) in
+        if indexed then begin
+          let top = if leo && origin < pos then leo_of origin b else -1 in
+          if top >= 0 then begin
+            Probe.bump c_leo_uses;
+            leo_uses := (origin, b, pos) :: !leo_uses;
+            enqueue pos top queue
+          end
+          else
+            (* the list read is a snapshot: parents registered during
+               these enqueues are same-position items awaiting a nullable
+               nonterminal, covered by the static advance at their pop *)
+            List.iter
+              (fun parent -> enqueue pos (parent + 1) queue)
+              waiting.((origin * nnts) + b)
+        end
         else
           (* seed behaviour, kept as the bench baseline: scan every item
              of the origin chart and test its next symbol *)
-          let lhs = prods.(prod).Cfg.lhs in
           IntTbl.iter
             (fun parent () ->
               let pdot = parent mod maxdot in
               let pprod = parent / maxdot mod nprods in
-              match List.nth_opt prods.(pprod).Cfg.rhs pdot with
-              | Some (Cfg.N m) when String.equal m lhs ->
-                enqueue pos (parent + 1) queue
-              | Some _ | None -> ())
+              if
+                pdot < rhs_len.(pprod)
+                && await_at.((pprod * maxdot) + pdot) = b
+              then enqueue pos (parent + 1) queue)
             charts.(origin)
       end
-      else
-        match rhs.(dot) with
-        | Cfg.T c ->
-          if pos < n && Char.equal w.[pos] c then
-            enqueue (pos + 1) (enc + 1) queues.(pos + 1)
-        | Cfg.N m ->
-          List.iter
-            (fun (i, _) -> enqueue pos (encode pos i 0) queue)
-            (predictions m);
-          (* if m has already been completed over (pos, pos) — ε — advance *)
-          List.iter
-            (fun (i, _) ->
-              if IntTbl.mem completed (packc pos pos i) then
-                enqueue pos (enc + 1) queue)
-            (predictions m)
+      else begin
+        let slot = (prod * maxdot) + dot in
+        let t = term_at.(slot) in
+        if t >= 0 then begin
+          if pos < n && Char.code w.[pos] = t then
+            enqueue (pos + 1) (enc + 1) next_queue
+        end
+        else
+          let m = await_at.(slot) in
+          if m >= 0 then begin
+            Array.iter
+              (fun i -> enqueue pos (encode pos i 0) queue)
+              preds.(m);
+            if indexed then begin
+              (* nullable-aware prediction: advance over a nullable
+                 nonterminal directly *)
+              if nullable_nt.(m) then enqueue pos (enc + 1) queue
+            end
+            else
+              (* seed: if m has already been completed over (pos, pos) —
+                 ε — advance *)
+              Array.iter
+                (fun i ->
+                  if IntTbl.mem completed (packc pos pos i) then
+                    enqueue pos (enc + 1) queue)
+                preds.(m)
+          end
+      end
     done
   done;
-  { cfg; input = w; charts; completed }
+  { comp;
+    input = w;
+    charts;
+    completed;
+    items = !chart_items;
+    leo_top;
+    leo_link;
+    leo_uses = !leo_uses;
+    expanded = false }
+
+let run ?indexed ?leo ?poll (cfg : Cfg.t) w =
+  run_compiled ?indexed ?leo ?poll (compile cfg) w
+
+(* Leo expansion: re-walk a shortcut's memoized link chain and insert the
+   completed-constituent facts the shortcut skipped.  A chain node's
+   link is the unique awaiter [A → α • B, o]; its advance completes A
+   over (o, end).  The walk continues exactly while the memoized topmost
+   lies strictly above the link's own advance. *)
+let expand_walk ch uses =
+  let { nprods; maxdot; nnts; lhs_id; _ } = ch.comp in
+  let n = String.length ch.input in
+  let seen = Hashtbl.create 16 in
+  let rec walk k b pos =
+    if not (Hashtbl.mem seen (k, b, pos)) then begin
+      Hashtbl.add seen (k, b, pos) ();
+      let idx = (k * nnts) + b in
+      let link = ch.leo_link.(idx) - 2 in
+      if link >= 0 then begin
+        let pd = link / maxdot in
+        let prod = pd mod nprods in
+        let o = pd / nprods in
+        IntTbl.replace ch.completed
+          ((((o * (n + 1)) + pos) * nprods) + prod)
+          ();
+        if ch.leo_top.(idx) - 2 <> link + 1 then walk o lhs_id.(prod) pos
+      end
+    end
+  in
+  List.iter (fun (k, b, pos) -> walk k b pos) uses
+
+let expand ch =
+  if not ch.expanded then begin
+    ch.expanded <- true;
+    expand_walk ch ch.leo_uses
+  end
 
 let accepts ch =
   let n = String.length ch.input in
-  List.exists
-    (fun (i, _) -> IntTbl.mem ch.completed (pack ch 0 n i))
-    (Cfg.productions_of ch.cfg ch.cfg.Cfg.start)
+  (* a start-production fact over (0, n) may sit inside a skipped chain;
+     materialize just the chains ending at [n] — bounded by the work the
+     classical engine spends on its final item set alone *)
+  if not ch.expanded then
+    expand_walk ch (List.filter (fun (_, _, pos) -> pos = n) ch.leo_uses);
+  ch.comp.start_nt >= 0
+  && Array.exists
+       (fun i -> IntTbl.mem ch.completed (pack ch 0 n i))
+       ch.comp.preds.(ch.comp.start_nt)
 
-let size ch =
-  Array.fold_left (fun acc tbl -> acc + IntTbl.length tbl) 0 ch.charts
+let size ch = ch.items
 
 type tree =
   | Leaf of char
@@ -200,7 +439,8 @@ type tree =
 (* Derivation reconstruction over the completed-constituent facts, with an
    active set to avoid looping through nullable/left-recursive cycles. *)
 let parse_tree ch =
-  let cfg = ch.cfg and w = ch.input in
+  expand ch;
+  let cfg = ch.comp.cfg and w = ch.input in
   let n = String.length w in
   let active = Hashtbl.create 16 in
   let rec build_nt name i j =
@@ -228,17 +468,23 @@ let parse_tree ch =
         Option.map (fun ts -> Leaf c :: ts) (build_seq rest (i + 1) j)
       else None
     | Cfg.N m :: rest ->
-      let rec split k =
-        if k > j then None
-        else
-          match build_nt m i k with
-          | Some t -> (
-            match build_seq rest k j with
-            | Some ts -> Some (t :: ts)
-            | None -> split (k + 1))
-          | None -> split (k + 1)
-      in
-      split i
+      if rest = [] then
+        (* the final symbol must span exactly to [j]; scanning earlier
+           split points would rebuild (and discard) every shorter
+           constituent — exponentially, on right-recursive grammars *)
+        Option.map (fun t -> [ t ]) (build_nt m i j)
+      else
+        let rec split k =
+          if k > j then None
+          else
+            match build_nt m i k with
+            | Some t -> (
+              match build_seq rest k j with
+              | Some ts -> Some (t :: ts)
+              | None -> split (k + 1))
+            | None -> split (k + 1)
+        in
+        split i
   in
   build_nt cfg.Cfg.start 0 n
 

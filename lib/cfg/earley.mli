@@ -9,25 +9,71 @@
     constituent advances exactly the parents waiting on it at its origin,
     instead of scanning the whole origin chart ([~indexed:false] keeps
     the scanning completer as a bench baseline — both construct the
-    identical item set).  One {!run} produces a {!chart} that
-    {!accepts}, {!size} and {!parse_tree} all interrogate, so a
-    recognize-and-report pays for the chart once. *)
+    identical item set).  Prediction is nullable-aware (Aycock–Horspool):
+    the dot advances over a nullable nonterminal immediately, using the
+    shared {!Nullable} fixpoint.  Right recursion runs in linear time via
+    Leo's deterministic-reduction memo ([~leo], default on): completion
+    chains of unique awaiters are collapsed to their topmost item in
+    O(1), so [S → a S] charts grow O(n) instead of O(n²).  A Leo chart
+    answers {!accepts} directly; {!parse_tree} lazily re-materializes the
+    skipped intermediate completions from the memo before reconstructing.
+
+    Grammar-dependent preprocessing lives in a {!compiled} value, and all
+    per-run storage in a reusable {!scratch}, so a hot caller (the parse
+    service) pays neither grammar analysis nor fresh chart allocation per
+    request.  One {!run} produces a {!chart} that {!accepts}, {!size} and
+    {!parse_tree} all interrogate, so a recognize-and-report pays for the
+    chart once. *)
+
+type compiled
+(** A grammar compiled for the recognizer: packed-item geometry, dense
+    nonterminal ids, per-(production, dot) symbol tables, prediction
+    lists and the nullable set.  Reusable across runs and threads (it is
+    immutable after {!compile}). *)
+
+val compile : Cfg.t -> compiled
+
+type scratch
+(** Reusable per-run storage: chart tables, the waiting index, Leo memo
+    arrays and work queues.  Growing but never shrinking, so a warm
+    scratch serves a request without chart allocation.  A scratch may be
+    used by at most one run at a time, and the returned {!chart} aliases
+    its tables — a chart is invalidated by the scratch's next run. *)
+
+val scratch : unit -> scratch
 
 type chart
 (** The result of one recognizer run over one input. *)
 
-val run : ?indexed:bool -> ?poll:(unit -> unit) -> Cfg.t -> string -> chart
+val run :
+  ?indexed:bool -> ?leo:bool -> ?poll:(unit -> unit) -> Cfg.t -> string -> chart
+(** [compile] then {!run_compiled} with a fresh scratch. *)
+
+val run_compiled :
+  ?indexed:bool ->
+  ?leo:bool ->
+  ?scratch:scratch ->
+  ?poll:(unit -> unit) ->
+  compiled ->
+  string ->
+  chart
 (** Build the chart.  [indexed] (default [true]) selects the
-    nonterminal-indexed completer; [false] the seed's full-scan
-    completer.  [poll] is invoked once per popped item; it may raise to
-    abort the run (deadline cancellation — the exception propagates). *)
+    nonterminal-indexed completer with nullable-aware prediction;
+    [false] the seed's full-scan completer with the dynamic ε-completion
+    check.  [leo] (default [true], only meaningful when indexed) enables
+    Leo's right-recursion shortcut; with it off the item set is
+    identical to the scanning completer's.  [scratch] supplies reused
+    storage (default: fresh).  [poll] is invoked once per popped item;
+    it may raise to abort the run (deadline cancellation — the exception
+    propagates, and the scratch is safely reset on its next use). *)
 
 val accepts : chart -> bool
 (** Was the whole input derived from the start symbol? *)
 
 val size : chart -> int
 (** Total number of Earley items constructed (a work measure for the
-    benches). *)
+    benches).  Under Leo this is smaller than the classical chart —
+    linear instead of quadratic on right-recursive grammars. *)
 
 type tree =
   | Leaf of char
@@ -36,7 +82,9 @@ type tree =
 
 val parse_tree : chart -> tree option
 (** One derivation tree (the first found when walking back through
-    completed items); [None] if the word is not in the language. *)
+    completed items); [None] if the word is not in the language.  On a
+    Leo chart this first expands the memoized reduction chains so every
+    intermediate completion fact the shortcut skipped is available. *)
 
 val recognizes : Cfg.t -> string -> bool
 (** [accepts (run cfg w)]. *)

@@ -11,25 +11,15 @@ type t = {
 let get tbl n = Option.value (Hashtbl.find_opt tbl n) ~default:Cset.empty
 
 let compute (cfg : Cfg.t) =
+  (* the nullable fixpoint is shared with CYK and Earley via {!Nullable};
+     FIRST/FOLLOW keep their table representation for O(1) probes *)
   let nullable_tbl = Hashtbl.create 8 in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun p ->
-        if
-          (not (Hashtbl.mem nullable_tbl p.Cfg.lhs))
-          && List.for_all
-               (function
-                 | Cfg.T _ -> false
-                 | Cfg.N m -> Hashtbl.mem nullable_tbl m)
-               p.Cfg.rhs
-        then begin
-          Hashtbl.add nullable_tbl p.Cfg.lhs ();
-          changed := true
-        end)
-      cfg.Cfg.productions
-  done;
+  let nl = Nullable.compute cfg in
+  Array.iter
+    (fun p ->
+      if Nullable.mem nl p.Cfg.lhs && not (Hashtbl.mem nullable_tbl p.Cfg.lhs)
+      then Hashtbl.add nullable_tbl p.Cfg.lhs ())
+    cfg.Cfg.productions;
   let first_tbl = Hashtbl.create 8 in
   let changed = ref true in
   while !changed do

@@ -1,0 +1,32 @@
+module Sset = Set.Make (String)
+
+type t = Sset.t
+
+let compute (cfg : Cfg.t) =
+  let nullable = ref Sset.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun p ->
+        if
+          (not (Sset.mem p.Cfg.lhs !nullable))
+          && List.for_all
+               (function
+                 | Cfg.T _ -> false
+                 | Cfg.N m -> Sset.mem m !nullable)
+               p.Cfg.rhs
+        then begin
+          nullable := Sset.add p.Cfg.lhs !nullable;
+          changed := true
+        end)
+      cfg.Cfg.productions
+  done;
+  !nullable
+
+let mem t n = Sset.mem n t
+
+let seq_nullable t rhs =
+  List.for_all (function Cfg.T _ -> false | Cfg.N m -> mem t m) rhs
+
+let set t = t

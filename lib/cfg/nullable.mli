@@ -1,0 +1,25 @@
+(** The nullable-nonterminal analysis, shared by every consumer.
+
+    One fixpoint over the production list answers "does this nonterminal
+    derive ε?" — the same computation CYK's ε-elimination, the
+    FIRST/FOLLOW analysis and Earley's nullable-aware prediction all
+    need.  Computing it here once keeps the three engines' notions of
+    nullability definitionally identical (they are differentially tested
+    against each other). *)
+
+type t
+
+val compute : Cfg.t -> t
+(** Least fixpoint of: a nonterminal is nullable iff it has a production
+    whose right-hand side is all nullable nonterminals (in particular an
+    ε-production). *)
+
+val mem : t -> string -> bool
+(** Does the nonterminal derive ε?  Unknown names are not nullable. *)
+
+val seq_nullable : t -> Cfg.symbol list -> bool
+(** Does the sentential form derive ε?  (No terminal occurs and every
+    nonterminal is nullable.) *)
+
+val set : t -> Set.Make(String).t
+(** The nullable set itself, for consumers that fold over it. *)

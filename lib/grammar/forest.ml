@@ -72,6 +72,22 @@ type t = {
 
 type status = Building | Built of node
 
+(* A reusable arena of node records plus the span memo table.  [pn.(0 ..
+   filled)] are records allocated by earlier builds, recycled in order
+   ([next] is the allocation cursor); the memo keeps its bucket array
+   across [Tbl.clear].  A warm pool therefore serves a build with almost
+   no fresh allocation.  A pool belongs to one build at a time, and the
+   forest it produced aliases its records — a forest is invalidated by
+   the pool's next build. *)
+type pool = {
+  mutable pn : node array;
+  mutable filled : int; (* records available for recycling *)
+  mutable next : int; (* allocation cursor of the current build *)
+  pmemo : status Tbl.t;
+}
+
+let pool () = { pn = [||]; filled = 0; next = 0; pmemo = Tbl.create 256 }
+
 let saturated = max_int
 
 let sat_add a b =
@@ -83,16 +99,45 @@ let sat_mul a b =
   else if a > saturated / b then saturated
   else a * b
 
-let build_span ?cs ?poll g s i0 j0 =
+let build_span ?cs ?pool:p ?poll g s i0 j0 =
   let cs = match cs with Some cs -> cs | None -> Charsets.shared () in
   let ag = Charsets.annotate cs g in
-  let memo : status Tbl.t = Tbl.create 64 in
+  let memo : status Tbl.t =
+    match p with
+    | Some p ->
+      Tbl.clear p.pmemo;
+      p.next <- 0;
+      p.pmemo
+    | None -> Tbl.create 64
+  in
   let n_nodes = ref 0 and n_packed = ref 0 in
   let empty = { alts = []; ncount = 0 } in
   let mk alts =
     incr n_nodes;
     (match alts with _ :: _ :: _ -> incr n_packed | _ -> ());
-    { alts; ncount = -1 }
+    match p with
+    | Some p when p.next < p.filled ->
+      let node = p.pn.(p.next) in
+      p.next <- p.next + 1;
+      node.alts <- alts;
+      node.ncount <- -1;
+      node
+    | _ ->
+      let node = { alts; ncount = -1 } in
+      (match p with
+      | Some p ->
+        if p.filled >= Array.length p.pn then begin
+          (* slots past [filled] alias [node] as a placeholder; they are
+             always written before being handed out *)
+          let arr = Array.make (max 64 (2 * Array.length p.pn)) node in
+          Array.blit p.pn 0 arr 0 p.filled;
+          p.pn <- arr
+        end;
+        p.pn.(p.filled) <- node;
+        p.filled <- p.filled + 1;
+        p.next <- p.filled
+      | None -> ());
+      node
   in
   let rec go (a : Charsets.ann) i j =
     if not (Charsets.admits a.ainfo s i j) then empty
@@ -173,9 +218,9 @@ let build_span ?cs ?poll g s i0 j0 =
   Probe.add c_packed !n_packed;
   { root; nodes = !n_nodes; packed = !n_packed }
 
-let build ?cs ?poll g s =
+let build ?cs ?pool ?poll g s =
   Probe.with_span "forest.build" ~fields:(len_field s) @@ fun () ->
-  build_span ?cs ?poll g s 0 (String.length s)
+  build_span ?cs ?pool ?poll g s 0 (String.length s)
 
 let nodes f = f.nodes
 let packed f = f.packed

@@ -22,15 +22,33 @@
 type t
 (** A built forest for one grammar over one input span. *)
 
-val build : ?cs:Charsets.t -> ?poll:(unit -> unit) -> Grammar.t -> string -> t
+type pool
+(** A reusable node arena plus memo table.  A warm pool lets {!build}
+    recycle the records and hash buckets of earlier builds instead of
+    allocating fresh ones (the service layer keeps one per worker
+    scratch).  A pool serves one build at a time, and the forest it
+    produced aliases its records — building again invalidates the
+    previous forest. *)
+
+val pool : unit -> pool
+
+val build :
+  ?cs:Charsets.t ->
+  ?pool:pool ->
+  ?poll:(unit -> unit) ->
+  Grammar.t ->
+  string ->
+  t
 (** [build g s] constructs the forest of parses of the whole of [s].
     [cs] supplies a private analysis state instead of {!Charsets.shared}
     (the service layer passes a per-artifact state warmed at compile
-    time); [poll] runs at every definition-instance visit and may raise
-    to abort the build (deadline cancellation). *)
+    time); [pool] recycles node storage from an earlier build; [poll]
+    runs at every definition-instance visit and may raise to abort the
+    build (deadline cancellation). *)
 
 val build_span :
   ?cs:Charsets.t ->
+  ?pool:pool ->
   ?poll:(unit -> unit) ->
   Grammar.t ->
   string ->

@@ -9,6 +9,18 @@ let c_requests = Probe.counter "service.requests"
 let c_timeouts = Probe.counter "service.timeouts"
 let c_fault_retries = Probe.counter "service.fault_retries"
 
+(* One counter per resolved engine: which machinery actually serves the
+   traffic (cache hits included — the engine was still the choice). *)
+let c_engine =
+  List.map
+    (fun n -> (n, Probe.counter ("exec.engine." ^ n)))
+    [ "ll1"; "slr"; "earley"; "enum"; "forest" ]
+
+let bump_engine name =
+  match List.assoc_opt name c_engine with
+  | Some c -> Probe.bump c
+  | None -> ()
+
 (* One clock read per 256 polls: the hooks sit in engine hot loops. *)
 let make_poll deadline_ns =
   match deadline_ns with
@@ -65,11 +77,17 @@ let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
     if want_tree then Protocol.Accepted (Some (tree_string tree))
     else Protocol.Accepted None
   in
+  (* charts and forests alias pooled scratch storage, so every verdict
+     (including tree rendering) is produced inside the checkout *)
   match engine with
   | `Forest ->
-    let forest = Grammar.Forest.build ~cs:a.cs ?poll a.grammar req.input in
-    let count = Grammar.Forest.count forest in
-    Protocol.Count { count; saturated = Grammar.Forest.is_saturated count }
+    Registry.with_scratch a (fun sc ->
+        let forest =
+          Grammar.Forest.build ~cs:a.cs ~pool:sc.Registry.fp ?poll a.grammar
+            req.input
+        in
+        let count = Grammar.Forest.count forest in
+        Protocol.Count { count; saturated = Grammar.Forest.is_saturated count })
   | `Ll1 table -> (
     match Ll1.parse table req.input with
     | Ok tree -> accepted tree
@@ -78,23 +96,32 @@ let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
     match Slr.parse table req.input with
     | Ok tree -> accepted tree
     | Error _ -> Protocol.Rejected)
-  | `Earley -> (
-    let chart = Earley.run ?poll a.cfg req.input in
-    if not (Earley.accepts chart) then Protocol.Rejected
-    else
-      match if want_tree then Earley.parse_tree chart else None with
-      | Some tree -> accepted tree
-      | None -> Protocol.Accepted None)
+  | `Earley ->
+    Registry.with_scratch a (fun sc ->
+        let leo = Option.value req.leo ~default:true in
+        let chart =
+          Earley.run_compiled ~leo ~scratch:sc.Registry.es ?poll a.earley
+            req.input
+        in
+        if not (Earley.accepts chart) then Protocol.Rejected
+        else
+          match if want_tree then Earley.parse_tree chart else None with
+          | Some tree -> accepted tree
+          | None -> Protocol.Accepted None)
   | `Enum ->
     if not want_tree then
       if Grammar.Enum.accepts ~cs:a.cs ?poll a.grammar req.input then
         Protocol.Accepted None
       else Protocol.Rejected
-    else (
-      let forest = Grammar.Forest.build ~cs:a.cs ?poll a.grammar req.input in
-      match Grammar.Forest.first_parse forest with
-      | Some p -> Protocol.Accepted (Some (Grammar.Ptree.to_string p))
-      | None -> Protocol.Rejected)
+    else
+      Registry.with_scratch a (fun sc ->
+          let forest =
+            Grammar.Forest.build ~cs:a.cs ~pool:sc.Registry.fp ?poll a.grammar
+              req.input
+          in
+          match Grammar.Forest.first_parse forest with
+          | Some p -> Protocol.Accepted (Some (Grammar.Ptree.to_string p))
+          | None -> Protocol.Rejected)
 
 let run_once registry ?deadline_ns (req : Protocol.request) =
   Probe.bump c_requests;
@@ -127,7 +154,17 @@ let run_once registry ?deadline_ns (req : Protocol.request) =
       (Error (Protocol.Bad_request msg))
   | Ok engine -> (
     let name = engine_name engine in
-    let key = query_tag req.query ^ ":" ^ name in
+    bump_engine name;
+    let key =
+      query_tag req.query ^ ":" ^ name
+      ^
+      (* a pinned-off Leo run never shares cache entries with default
+         runs: verdicts are identical by construction, but the knob
+         exists to compare the engines, so keep the traffic separate *)
+      match (engine, req.leo) with
+      | `Earley, Some false -> ":noleo"
+      | _ -> ""
+    in
     match
       Registry.find_result registry ~digest:artifact.digest ~key
         ~input:req.input

@@ -18,6 +18,7 @@ type request = {
   input : string;
   query : query;
   engine : engine_choice;
+  leo : bool option;
   timeout_ms : float option;
 }
 
@@ -116,6 +117,14 @@ let parse_request line =
     | Some "enum" -> Ok Enum
     | Some e -> Error (Fmt.str "unknown engine %S (auto|ll1|slr|earley|enum)" e)
   in
+  let* leo =
+    match Json.mem "leo" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.bool_ v with
+      | Some b -> Ok (Some b)
+      | None -> Error "\"leo\" must be a boolean")
+  in
   let* timeout_ms =
     match Json.mem "timeout_ms" j with
     | None -> Ok None
@@ -124,7 +133,7 @@ let parse_request line =
       | Some ms when ms >= 0. -> Ok (Some ms)
       | _ -> Error "\"timeout_ms\" must be a non-negative number")
   in
-  Ok { id; cfg; gname; input; query; engine; timeout_ms }
+  Ok { id; cfg; gname; input; query; engine; leo; timeout_ms }
 
 (* --- responses ----------------------------------------------------------- *)
 

@@ -18,6 +18,11 @@
       ["enum"].  [auto] picks the cheapest applicable table
       (LL(1) → SLR(1) → Earley); pinning an engine whose table does not
       exist for the grammar is a bad request.
+    - [leo]: boolean; pins the Earley engine's Leo right-recursion
+      optimization on or off for this request (default on — only
+      meaningful when the request runs Earley; verdicts are identical
+      either way, the knob exists for differential testing and perf
+      comparison).
     - [timeout_ms]: per-request deadline; expiry yields a [timeout]
       response.
 
@@ -47,6 +52,7 @@ type request = {
   input : string;
   query : query;
   engine : engine_choice;
+  leo : bool option;  (** Earley Leo optimization pin; [None] = default *)
   timeout_ms : float option;
 }
 

@@ -3,6 +3,20 @@ module Charsets = Lambekd_grammar.Charsets
 module Clock = Lambekd_telemetry.Clock
 module Probe = Lambekd_telemetry.Probe
 
+module Forest = Lambekd_grammar.Forest
+
+(* A scratch bundle: the allocation-heavy per-request state the engines
+   can recycle — Earley chart storage and forest node arenas.  Bundles
+   are checked out exclusively ({!with_scratch}), so the mutable state
+   inside never crosses two concurrent requests. *)
+type scratch = { es : Earley.scratch; fp : Forest.pool }
+
+type scratch_pool = {
+  pmu : Mutex.t;
+  mutable free : scratch list;
+  mutable avail : int;
+}
+
 type artifact = {
   cfg : Cfg.t;
   digest : string;
@@ -11,10 +25,13 @@ type artifact = {
   ff : First_follow.t;
   ll1 : Ll1.table option;
   slr : Slr.table option;
+  earley : Earley.compiled;
+  pool : scratch_pool;
   compile_ns : float;
 }
 
 let c_compile = Probe.counter "service.compile"
+let c_scratch_reuse = Probe.counter "earley.scratch_reuse"
 let c_artifact_hit = Probe.counter "service.artifact_hit"
 let c_artifact_miss = Probe.counter "service.artifact_miss"
 let c_result_hit = Probe.counter "service.result_hit"
@@ -81,8 +98,43 @@ let compile cfg =
       let ff = First_follow.compute cfg in
       let ll1 = Result.to_option (Ll1.build cfg) in
       let slr = Result.to_option (Slr.build cfg) in
+      let earley = Earley.compile cfg in
+      let pool = { pmu = Mutex.create (); free = []; avail = 0 } in
       let compile_ns = Clock.now_ns () -. t0 in
-      { cfg; digest; grammar; cs; ff; ll1; slr; compile_ns })
+      { cfg; digest; grammar; cs; ff; ll1; slr; earley; pool; compile_ns })
+
+(* Bundles a worker finished with are kept for the next request against
+   the same artifact; the cap only matters when more domains than this
+   ever hammer one grammar at once, and merely re-allocates beyond it. *)
+let scratch_cap = 8
+
+let with_scratch a f =
+  let sc =
+    Mutex.protect a.pool.pmu (fun () ->
+        match a.pool.free with
+        | s :: rest ->
+          a.pool.free <- rest;
+          a.pool.avail <- a.pool.avail - 1;
+          Some s
+        | [] -> None)
+  in
+  let sc =
+    match sc with
+    | Some s ->
+      Probe.bump c_scratch_reuse;
+      s
+    | None -> { es = Earley.scratch (); fp = Forest.pool () }
+  in
+  (* check in even when [f] raises (deadline aborts): a scratch is reset
+     at the start of its next run, so a dirty bundle is safe to reuse *)
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect a.pool.pmu (fun () ->
+          if a.pool.avail < scratch_cap then begin
+            a.pool.free <- sc :: a.pool.free;
+            a.pool.avail <- a.pool.avail + 1
+          end))
+    (fun () -> f sc)
 
 (* --- registry ------------------------------------------------------------ *)
 

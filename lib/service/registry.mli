@@ -19,6 +19,17 @@
     ever resolve is already cached), so artifacts are shared freely
     across scheduler domains. *)
 
+type scratch = {
+  es : Lambekd_cfg.Earley.scratch;
+  fp : Lambekd_grammar.Forest.pool;
+}
+(** One worker's reusable allocation-heavy state: Earley chart storage
+    plus a forest node arena.  Obtained only through {!with_scratch},
+    which guarantees exclusive use for the duration of the callback. *)
+
+type scratch_pool
+(** Per-artifact free list of {!scratch} bundles (mutex-guarded, capped). *)
+
 type artifact = private {
   cfg : Lambekd_cfg.Cfg.t;
   digest : string;  (** structural digest (hex) *)
@@ -28,8 +39,18 @@ type artifact = private {
   ff : Lambekd_cfg.First_follow.t;
   ll1 : Lambekd_cfg.Ll1.table option;
   slr : Lambekd_cfg.Slr.table option;
+  earley : Lambekd_cfg.Earley.compiled;
+      (** the recognizer's grammar tables, compiled once per artifact *)
+  pool : scratch_pool;
   compile_ns : float;  (** wall-clock cost of this compilation *)
 }
+
+val with_scratch : artifact -> (scratch -> 'a) -> 'a
+(** Check a scratch bundle out of the artifact's pool (allocating one on
+    a cold pool — a warm checkout bumps the [earley.scratch_reuse]
+    probe), run the callback with exclusive use of it, and check it back
+    in, also on exception.  Results that alias scratch storage (charts,
+    forests) must not escape the callback. *)
 
 val digest_cfg : Lambekd_cfg.Cfg.t -> string
 (** Hex digest of the canonical structural rendering (start symbol plus

@@ -668,7 +668,9 @@ let test_earley_indexed_vs_scan () =
     (fun (cfg, inputs) ->
       List.iter
         (fun w ->
-          let fast = Earley.run cfg w in
+          (* leo off: the shortcut deliberately builds a smaller item
+             set, so size equality is stated for the classical chart *)
+          let fast = Earley.run ~leo:false cfg w in
           let slow = Earley.run ~indexed:false cfg w in
           check_bool
             (Fmt.str "accepts agree on %S" w)
@@ -701,10 +703,62 @@ let test_first_last () =
   Alcotest.(check (list char)) "first D" [ '(' ] (Ff.first ffd "D");
   Alcotest.(check (list char)) "last D" [ ')' ] (Ff.last ffd "D")
 
+(* --- Leo right recursion -------------------------------------------------- *)
+
+(* E -> a | a E : the textbook right-recursive case.  The classical chart
+   holds ~n²/2 items on a^n (every suffix carries the full completion
+   chain); Leo's deterministic-reduction memo collapses each chain to its
+   topmost item, so the chart is linear. *)
+let right_rec =
+  Cfg.make ~start:"E"
+    ~productions:[ ("E", [ Cfg.T 'a' ]); ("E", [ Cfg.T 'a'; Cfg.N "E" ]) ]
+
+let test_earley_leo_right_recursion () =
+  let n = 2048 in
+  let w = String.make n 'a' in
+  let on = Earley.run right_rec w in
+  let off = Earley.run ~leo:false right_rec w in
+  check_bool "leo accepts a^2048" true (Earley.accepts on);
+  check_bool "classical engine also accepts a^2048" true (Earley.accepts off);
+  check_bool
+    (Fmt.str "leo chart >= 10x smaller (%d vs %d items)" (Earley.size on)
+       (Earley.size off))
+    true
+    (Earley.size on * 10 <= Earley.size off);
+  check_bool
+    (Fmt.str "leo chart linear (%d items for n=%d)" (Earley.size on) n)
+    true
+    (Earley.size on <= 16 * n);
+  (match Earley.parse_tree on with
+  | Some t ->
+    check_bool "leo tree yields the input" true
+      (String.equal (Earley.tree_yield t) w)
+  | None -> Alcotest.fail "leo chart lost the parse");
+  check_bool "leo rejects a^n b" false
+    (Earley.accepts (Earley.run right_rec (w ^ "b")))
+
+(* Leo on and off must be observationally identical: same acceptance,
+   same parse tree (after the Leo chart re-materializes the completion
+   facts its shortcuts skipped), and the Leo chart never larger. *)
+let prop_leo_differential =
+  QCheck.Test.make ~name:"leo on/off observationally identical" ~count:220
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0x1e0 |] in
+      let cfg = random_cfg rng in
+      List.for_all
+        (fun w ->
+          let on = Earley.run cfg w in
+          let off = Earley.run ~leo:false cfg w in
+          Bool.equal (Earley.accepts on) (Earley.accepts off)
+          && Earley.size on <= Earley.size off
+          && Earley.parse_tree on = Earley.parse_tree off)
+        (L.words [ 'a'; 'b' ] ~max_len:4))
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_dyck_roundtrip; prop_expr_roundtrip; prop_earley_cyk_agree;
-      prop_slr_earley_agree ]
+      prop_slr_earley_agree; prop_leo_differential ]
 
 let suite =
   [ ("cfg make/validate", `Quick, test_cfg_make);
@@ -715,6 +769,7 @@ let suite =
     ("earley parse on hard grammar", `Quick, test_earley_parse_hard);
     ("earley chart size", `Quick, test_earley_chart_size_grows);
     ("earley indexed vs scan completer", `Quick, test_earley_indexed_vs_scan);
+    ("earley leo right recursion", `Quick, test_earley_leo_right_recursion);
     ("earley shared chart", `Quick, test_earley_shared_chart);
     ("first/last sets", `Quick, test_first_last);
     ("cyk matches earley", `Quick, test_cyk_matches_earley);

@@ -335,7 +335,7 @@ let test_registry_differential () =
       let w = random_word rng in
       let req =
         { Protocol.id = None; cfg; gname = "random"; input = w;
-          query = Protocol.Membership; engine = Protocol.Auto;
+          query = Protocol.Membership; engine = Protocol.Auto; leo = None;
           timeout_ms = None }
       in
       let cold = Exec.run (Registry.create ~artifact_cap:0 ~result_cap:0 ()) req in
@@ -742,6 +742,116 @@ let test_fuzz_corpus () =
         (List.combine golden got))
     cases
 
+(* --- engine counters ------------------------------------------------------ *)
+
+(* exec.engine.* records which machinery served each request (cache hits
+   included: the engine was still the resolved choice). *)
+let test_engine_counters () =
+  let was_enabled = Probe.enabled () in
+  Probe.enable ();
+  let counter n = Probe.counter ("exec.engine." ^ n) in
+  let names = [ "ll1"; "slr"; "earley"; "enum"; "forest" ] in
+  let before = List.map (fun n -> (n, Probe.value (counter n))) names in
+  let reg = Registry.create ~result_cap:0 () in
+  let run line =
+    match Protocol.parse_request line with
+    | Ok r -> ignore (Exec.run reg r)
+    | Error e -> Alcotest.fail e
+  in
+  run {|{"grammar":"expr","input":"n"}|};
+  (* auto → ll1 *)
+  run {|{"grammar":"expr_lr","input":"n"}|};
+  (* auto → slr *)
+  run {|{"grammar":"expr_plain","input":"n+n","engine":"earley"}|};
+  run {|{"grammar":"expr_plain","input":"n+n","engine":"earley","leo":false}|};
+  run {|{"grammar":"dyck","input":"()","engine":"enum"}|};
+  run {|{"grammar":"ss","input":"aaa","query":"count"}|};
+  (* count → forest *)
+  let grew n want =
+    let b = List.assoc n before in
+    check_int ("exec.engine." ^ n) (b + want) (Probe.value (counter n))
+  in
+  grew "ll1" 1;
+  grew "slr" 1;
+  grew "earley" 2;
+  grew "enum" 1;
+  grew "forest" 1;
+  if not was_enabled then Probe.disable ()
+
+(* --- pooled scratch ------------------------------------------------------- *)
+
+(* Requests that hammer the allocation-lean paths: Earley charts (leo on
+   and pinned off), Leo expansion + tree rendering from pooled charts,
+   and forest node arenas — against a handful of artifacts with input
+   sizes that grow and shrink, so a stale scratch entry from a longer
+   earlier run would surface as a wrong verdict or a corrupt tree. *)
+let scratch_requests () =
+  List.filter_map
+    (fun line ->
+      match Protocol.parse_request line with
+      | Ok r -> Some r
+      | Error e -> Alcotest.fail e)
+    (List.concat
+       (List.init 30 (fun i ->
+            [ Fmt.str
+                {|{"id":"p%d","grammar":"expr_plain","input":"n%s","query":"parse","engine":"earley"}|}
+                i
+                (String.concat "" (List.init (i * 5 mod 23) (fun _ -> "+n")));
+              Fmt.str
+                {|{"id":"m%d","grammar":"anbn","input":"%s","engine":"earley","leo":%b}|}
+                i
+                (String.make (i mod 9) 'a' ^ String.make (i mod 9) 'b')
+                (i mod 2 = 0);
+              Fmt.str
+                {|{"id":"c%d","grammar":"ss","input":"%s","query":"count"}|}
+                i
+                (String.make (1 + (i * 3 mod 14)) 'a');
+              Fmt.str
+                {|{"id":"d%d","grammar":"dyck","input":"%s","query":"parse","engine":"earley"}|}
+                i
+                (String.concat "" (List.init (i mod 11) (fun _ -> "()"))) ])))
+
+(* Pooled scratch must never leak state across requests or domains: the
+   4-domain run must be byte-identical to the serial reference, clean and
+   under a committed fault schedule (faults retry requests, re-entering
+   scratch checkout on the same worker). *)
+let test_scratch_domain_stress () =
+  let was_enabled = Probe.enabled () in
+  Probe.enable ();
+  let reuse = Probe.counter "earley.scratch_reuse" in
+  let reuse_before = Probe.value reuse in
+  let reqs = scratch_requests () in
+  let total = List.length reqs in
+  let render rs =
+    String.concat "\n" (List.map (Protocol.response_to_json ~times:false) rs)
+  in
+  let serial =
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    render (List.map (Exec.run reg) reqs)
+  in
+  check_bool "serial run reuses pooled scratch" true
+    (Probe.value reuse > reuse_before);
+  let parallel () =
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    let sched = Scheduler.create ~domains:4 ~queue_cap:128 ~registry:reg () in
+    let out = Array.make total None in
+    List.iteri
+      (fun i r -> Scheduler.submit sched r (fun resp -> out.(i) <- Some resp))
+      reqs;
+    Scheduler.shutdown sched;
+    render (Array.to_list (Array.map Option.get out))
+  in
+  check_string "4-domain scratch churn byte-identical to serial" serial
+    (parallel ());
+  let faulted =
+    with_schedule "seed=11;exec.run:fail:0.4;registry.get:corrupt:0.4"
+      (fun () -> parallel ())
+  in
+  check_string "identical under fault schedule too" serial faulted;
+  if not was_enabled then Probe.disable ()
+
 let suite =
   [ Alcotest.test_case "lru: recency eviction" `Quick test_lru_basic;
     Alcotest.test_case "lru: replace" `Quick test_lru_replace;
@@ -781,6 +891,9 @@ let suite =
       `Quick test_scheduler_parallel_identical;
     Alcotest.test_case "scheduler: shutdown drains" `Quick
       test_scheduler_shutdown_drains;
+    Alcotest.test_case "exec: engine counters" `Quick test_engine_counters;
+    Alcotest.test_case "scratch: 4-domain pooled-state stress" `Quick
+      test_scratch_domain_stress;
     Alcotest.test_case "json: surrogate pairs" `Quick test_json_surrogates;
     QCheck_alcotest.to_alcotest qcheck_json_string_roundtrip;
     Alcotest.test_case "fault: schedule parsing" `Quick test_fault_parse;
