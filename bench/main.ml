@@ -1002,6 +1002,52 @@ let bench_fault_overhead () =
     [ ("armed idle", "seed=1");
       ("armed corrupt", "seed=1;registry.get:corrupt:0.5;registry.result:corrupt:0.5") ]
 
+(* --- PR6 operations plane: metrics and tracing overhead ---------------------------- *)
+
+(* The zero-overhead-when-disabled contract extends to the operations
+   plane: with the metrics registry off, the observe calls compiled into
+   [Exec] are one atomic load and a branch; switching them on buys two
+   histogram records per request (global + per-engine); asking for a
+   trace adds the clock stamps.  All three modes run the same warm
+   request so the disabled row must track the pre-metrics service. *)
+let bench_metrics_overhead () =
+  let module Sv = Lambekd_service in
+  let module Tm = Lambekd_telemetry.Metrics in
+  header
+    "PR6 operations plane — request cost: metrics disabled vs enabled vs \
+     traced (warm registry)";
+  let parse l =
+    match Sv.Protocol.parse_request l with Ok r -> r | Error e -> failwith e
+  in
+  let plain =
+    parse {|{"grammar":"expr","input":"n+n+n+n+n+n","query":"member"}|}
+  in
+  let traced =
+    parse
+      {|{"grammar":"expr","input":"n+n+n+n+n+n","query":"member","trace":true}|}
+  in
+  let reg = Sv.Registry.create ~artifact_cap:8 ~result_cap:0 () in
+  ignore (Sv.Exec.run reg plain);
+  Tm.disable ();
+  let disabled_ns = time_ns (fun () -> Sv.Exec.run reg plain) in
+  row [ cell "%-14s" "disabled"; pp_ns disabled_ns ];
+  json ~section:"metrics_overhead"
+    [ ("mode", Ev.Str "disabled"); ("ns", Ev.Float disabled_ns) ];
+  Tm.enable ();
+  let report label req =
+    let ns = time_ns (fun () -> Sv.Exec.run reg req) in
+    json ~section:"metrics_overhead"
+      [ ("mode", Ev.Str label);
+        ("ns", Ev.Float ns);
+        ("overhead_vs_disabled", Ev.Float (ns /. disabled_ns)) ];
+    row
+      [ cell "%-14s" label; pp_ns ns;
+        cell "%6.2fx vs disabled" (ns /. disabled_ns) ]
+  in
+  report "enabled" plain;
+  report "traced" traced;
+  Tm.disable ()
+
 (* --- baseline regression check ----------------------------------------------------- *)
 
 (* [--check BASELINE.json] re-reads the JSON-lines this run just wrote and
@@ -1143,6 +1189,7 @@ let sections =
     ("surface", bench_surface);
     ("service", bench_service);
     ("fault_overhead", bench_fault_overhead);
+    ("metrics_overhead", bench_metrics_overhead);
     ("probe_overhead", bench_probe_overhead);
     ("micro", bench_micro) ]
 

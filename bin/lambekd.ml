@@ -469,7 +469,7 @@ let with_faults f =
 
 let serve_cmd =
   let run common domains queue_cap artifact_cap result_cap no_times tcp
-      max_conns max_line_bytes =
+      max_conns max_line_bytes metrics_tcp slow_ms =
     with_telemetry common @@ fun () ->
     with_faults @@ fun () ->
     (* a vanished peer must surface as EPIPE on the write, not kill the
@@ -478,33 +478,107 @@ let serve_cmd =
     let registry = Sv.Registry.create ~artifact_cap ~result_cap () in
     let times = not no_times in
     let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
-    Fun.protect ~finally:(fun () -> Sv.Scheduler.shutdown sched)
-    @@ fun () ->
-    match tcp with
-    | None ->
-      status_exit
-        (Sv.Server.serve_stream ~max_line_bytes ~sched ~times Unix.stdin
-           Unix.stdout)
-    | Some port -> (
-      match Sv.Server.tcp_create ~port () with
-      | Error msg ->
-        Fmt.epr "lambekd: %s@." msg;
-        2
-      | Ok t ->
-        (* graceful drain: stop accepting, flush in-flight responses,
-           exit 0 — so an orchestrator's TERM is not data loss *)
-        List.iter
-          (fun s ->
-            Sys.set_signal s
-              (Sys.Signal_handle (fun _ -> Sv.Server.stop t)))
-          [ Sys.sigint; Sys.sigterm ];
-        Logs.app (fun m ->
-            m "lambekd: serving on 127.0.0.1:%d" (Sv.Server.port t));
-        Sv.Server.run ~max_conns ~max_line_bytes ~sched ~times t;
-        Logs.app (fun m ->
-            m "lambekd: drained after %d connections"
-              (Sv.Server.connections t));
-        0)
+    (* the operations plane is always on while serving: counters and
+       latency histograms cost one atomic op per event, and the wire
+       metrics/health ops should never answer empty.  [--stats] /
+       [--trace-json] sinks, if any, were installed above — enabling
+       here keeps them *)
+    T.Metrics.enable ();
+    if not (T.Probe.enabled ()) then T.Probe.enable ();
+    let stats () = Sv.Registry.stats registry in
+    T.Metrics.gauge "lambekd_queue_depth" (fun () ->
+        float_of_int (Sv.Scheduler.depth sched));
+    T.Metrics.gauge "lambekd_artifact_cache_size" (fun () ->
+        float_of_int (stats ()).Sv.Registry.artifact_size);
+    T.Metrics.gauge "lambekd_result_cache_size" (fun () ->
+        float_of_int (stats ()).Sv.Registry.result_size);
+    T.Metrics.gauge "lambekd_scratch_in_use" (fun () ->
+        float_of_int (stats ()).Sv.Registry.scratch_out);
+    T.Metrics.gauge "lambekd_scratch_pooled" (fun () ->
+        float_of_int (stats ()).Sv.Registry.scratch_free);
+    (* the slow-request log: JSON lines on stderr, one writer mutex so
+       worker threads never interleave bytes *)
+    let slow =
+      Option.map
+        (fun ms ->
+          let mu = Mutex.create () in
+          { Sv.Server.threshold_ns = ms *. 1e6;
+            emit =
+              (fun line ->
+                Mutex.protect mu (fun () ->
+                    output_string stderr (line ^ "\n");
+                    flush stderr)) })
+        slow_ms
+    in
+    (* drain visibility for the HTTP /health path: flipped by the signal
+       handler just before the accept loop is told to stop *)
+    let drain_flag = Atomic.make false in
+    let health_json () =
+      Sv.Protocol.health_response ~draining:(Atomic.get drain_flag)
+        ~extra:
+          [ ("queue_depth",
+             Sv.Json.Num (float_of_int (Sv.Scheduler.depth sched)));
+            ("domains",
+             Sv.Json.Num (float_of_int (Sv.Scheduler.domains sched))) ]
+        ()
+      ^ "\n"
+    in
+    let endpoint =
+      match metrics_tcp with
+      | None -> Ok None
+      | Some mport ->
+        Result.map Option.some
+          (Sv.Server.metrics_tcp ~port:mport
+             ~expose:(fun () -> T.Metrics.expose ())
+             ~health:health_json ())
+    in
+    match endpoint with
+    | Error msg ->
+      Fmt.epr "lambekd: %s@." msg;
+      Sv.Scheduler.shutdown sched;
+      2
+    | Ok endpoint ->
+      Option.iter
+        (fun e ->
+          Logs.app (fun m ->
+              m "lambekd: metrics on http://127.0.0.1:%d/metrics"
+                (Sv.Server.metrics_port e)))
+        endpoint;
+      Fun.protect
+        ~finally:(fun () ->
+          Sv.Scheduler.shutdown sched;
+          Option.iter Sv.Server.metrics_stop endpoint)
+      @@ fun () ->
+      (match tcp with
+      | None ->
+        status_exit
+          (Sv.Server.serve_stream ~max_line_bytes ?slow ~sched ~times
+             Unix.stdin Unix.stdout)
+      | Some port -> (
+        match Sv.Server.tcp_create ~port () with
+        | Error msg ->
+          Fmt.epr "lambekd: %s@." msg;
+          2
+        | Ok t ->
+          T.Metrics.gauge "lambekd_connections" (fun () ->
+              float_of_int (Sv.Server.active_connections t));
+          (* graceful drain: stop accepting, flush in-flight responses,
+             exit 0 — so an orchestrator's TERM is not data loss *)
+          List.iter
+            (fun s ->
+              Sys.set_signal s
+                (Sys.Signal_handle
+                   (fun _ ->
+                     Atomic.set drain_flag true;
+                     Sv.Server.stop t)))
+            [ Sys.sigint; Sys.sigterm ];
+          Logs.app (fun m ->
+              m "lambekd: serving on 127.0.0.1:%d" (Sv.Server.port t));
+          Sv.Server.run ~max_conns ~max_line_bytes ?slow ~sched ~times t;
+          Logs.app (fun m ->
+              m "lambekd: drained after %d connections"
+                (Sv.Server.connections t));
+          0))
   in
   let domains =
     Arg.(
@@ -576,6 +650,29 @@ let serve_cmd =
             "Per-line read limit.  An oversized line is consumed (never \
              buffered) and answered with a $(i,bad_request) response.")
   in
+  let metrics_tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-tcp" ] ~docv:"PORT"
+          ~doc:
+            "Serve a Prometheus text exposition on \
+             http://127.0.0.1:$(docv)/metrics and a JSON liveness report \
+             on /health (0 picks an ephemeral port).  Runs on its own \
+             thread, so scrapes keep answering while the main front end \
+             drains.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log requests whose received-to-written latency exceeds \
+             $(docv) milliseconds as JSON lines on stderr, with the \
+             per-stage breakdown (queue, engine, compile) and fault \
+             events from the request's trace.")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits:service_exits
        ~doc:
@@ -586,7 +683,8 @@ let serve_cmd =
           format.")
     Term.(
       const run $ common_term $ domains $ queue_cap $ artifact_cap
-      $ result_cap $ no_times $ tcp $ max_conns $ max_line_bytes)
+      $ result_cap $ no_times $ tcp $ max_conns $ max_line_bytes
+      $ metrics_tcp $ slow_ms)
 
 let batch_cmd =
   let run common file domains queue_cap artifact_cap result_cap no_times
@@ -609,37 +707,66 @@ let batch_cmd =
       let times = not no_times in
       let writer = Ordered_writer.create stdout in
       let flags = flags_create () in
-      let respond s r =
+      let respond ?trace s r =
         flags_note flags r;
-        Ordered_writer.write writer s (Sv.Protocol.response_to_json ~times r)
+        Option.iter Sv.Trace.stamp_written trace;
+        Ordered_writer.write writer s
+          (Sv.Protocol.response_to_json ~times ?trace r)
+      in
+      (* admin lines are answered inline, like the serve loop; batch has
+         no live queue or connections, so no volatile extras either *)
+      let answer_admin s aid op =
+        Ordered_writer.write writer s
+          (match op with
+          | Sv.Protocol.Op_health ->
+            Sv.Protocol.health_response ?id:aid ~draining:false ~extra:[] ()
+          | Sv.Protocol.Op_metrics ->
+            Sv.Protocol.metrics_response ?id:aid ~extra:[] ())
       in
       (* decode everything up front on this thread; grammar construction
-         is not domain-safe *)
+         is not domain-safe.  Traced requests get their id ([t<seq>])
+         and received stamp here, at the same point the serve loop
+         assigns them *)
       let requests =
         List.mapi
           (fun s line ->
-            let req = Sv.Protocol.parse_request line in
+            let req = Sv.Protocol.parse_line line in
             let req =
               (* force-pin the Leo optimization off for the whole batch:
                  diffing against a default run checks the optimized and
                  classical Earley engines end to end *)
               if no_leo then
                 Result.map
-                  (fun r -> { r with Sv.Protocol.leo = Some false })
+                  (function
+                    | Sv.Protocol.Request r ->
+                      Sv.Protocol.Request
+                        { r with Sv.Protocol.leo = Some false }
+                    | l -> l)
                   req
               else req
             in
+            (match req with
+            | Ok (Sv.Protocol.Request { Sv.Protocol.trace = Some tr; _ }) ->
+              Sv.Trace.set_id tr (Fmt.str "t%d" s);
+              Sv.Trace.stamp_received tr
+            | _ -> ());
             (s, req))
           lines
       in
       if domains = Some 0 then
         (* serial reference mode: same pipeline, no pool — the baseline
-           the differential test and the bench compare against *)
+           the differential test and the bench compare against.  The
+           dequeued stamp lands right before [Exec.run], so traced
+           stage-presence lists are identical to a pooled run *)
         List.iter
           (fun (s, req) ->
             match req with
             | Error msg -> respond s (Sv.Protocol.bad_request msg)
-            | Ok req -> respond s (Sv.Exec.run registry req))
+            | Ok (Sv.Protocol.Admin { aid; op }) -> answer_admin s aid op
+            | Ok (Sv.Protocol.Request req) ->
+              Option.iter Sv.Trace.stamp_dequeued req.Sv.Protocol.trace;
+              respond ?trace:req.Sv.Protocol.trace s
+                (Sv.Exec.run registry req))
           requests
       else begin
         let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
@@ -647,7 +774,10 @@ let batch_cmd =
           (fun (s, req) ->
             match req with
             | Error msg -> respond s (Sv.Protocol.bad_request msg)
-            | Ok req -> Sv.Scheduler.submit sched req (respond s))
+            | Ok (Sv.Protocol.Admin { aid; op }) -> answer_admin s aid op
+            | Ok (Sv.Protocol.Request req) ->
+              Sv.Scheduler.submit sched req
+                (respond ?trace:req.Sv.Protocol.trace s))
           requests;
         Sv.Scheduler.shutdown sched
       end;
@@ -891,20 +1021,63 @@ let fuzz_cmd =
       $ faults $ corpus $ write_goldens)
 
 let grammars_cmd =
-  let run () =
-    List.iter
-      (fun name ->
-        Fmt.pr "%-12s %s@." name
-          (Option.value ~default:"" (Sv.Builtin.describe name)))
-      Sv.Builtin.names;
-    0
+  let run cache_stats =
+    if not cache_stats then begin
+      List.iter
+        (fun name ->
+          Fmt.pr "%-12s %s@." name
+            (Option.value ~default:"" (Sv.Builtin.describe name)))
+        Sv.Builtin.names;
+      0
+    end
+    else begin
+      (* compile every builtin through a fresh registry, probe each a
+         second time, and report what the caches saw — the same numbers
+         the serve-mode gauges and Prometheus exposition carry *)
+      let reg = Sv.Registry.create () in
+      List.iter
+        (fun name ->
+          let cfg = Option.get (Sv.Builtin.find name) in
+          let a, first = Sv.Registry.get reg cfg in
+          let _, second = Sv.Registry.get reg cfg in
+          let hm = function `Hit -> "hit" | `Miss -> "miss" in
+          Fmt.pr "%-12s digest %s  compile %8.2f ms  first %-4s  again %s@."
+            name
+            (String.sub a.Sv.Registry.digest 0 12)
+            (a.Sv.Registry.compile_ns /. 1e6)
+            (hm first) (hm second))
+        Sv.Builtin.names;
+      let st = Sv.Registry.stats reg in
+      Fmt.pr "artifact cache: %d/%d entries, %d evictions, %d hits / %d \
+              misses since boot@."
+        st.Sv.Registry.artifact_size st.Sv.Registry.artifact_cap
+        st.Sv.Registry.artifact_evictions st.Sv.Registry.artifact_hits
+        st.Sv.Registry.artifact_misses;
+      Fmt.pr "result cache:   %d/%d entries, %d evictions, %d hits / %d \
+              misses since boot@."
+        st.Sv.Registry.result_size st.Sv.Registry.result_cap
+        st.Sv.Registry.result_evictions st.Sv.Registry.result_hits
+        st.Sv.Registry.result_misses;
+      Fmt.pr "scratch pools:  %d parked, %d checked out@."
+        st.Sv.Registry.scratch_free st.Sv.Registry.scratch_out;
+      0
+    end
+  in
+  let cache_stats =
+    Arg.(
+      value & flag
+      & info [ "cache-stats" ]
+          ~doc:
+            "Compile every builtin through a fresh registry and report \
+             per-grammar digests and compile costs plus artifact/result \
+             LRU occupancy, evictions and hit/miss counts.")
   in
   Cmd.v
     (Cmd.info "grammars"
        ~doc:
          "List the builtin grammars the parse service accepts by name in \
           the $(i,grammar) request field.")
-    Term.(const run $ const ())
+    Term.(const run $ cache_stats)
 
 let main =
   Cmd.group

@@ -2,6 +2,7 @@ open Lambekd_cfg
 module Grammar = Lambekd_grammar
 module Clock = Lambekd_telemetry.Clock
 module Probe = Lambekd_telemetry.Probe
+module Metrics = Lambekd_telemetry.Metrics
 
 exception Deadline
 
@@ -20,6 +21,24 @@ let bump_engine name =
   match List.assoc_opt name c_engine with
   | Some c -> Probe.bump c
   | None -> ()
+
+(* Request-latency histograms: one overall, one per resolved engine.
+   Handles are created eagerly (creation is the cold path); [observe]
+   is a no-op while {!Metrics} is disabled. *)
+let h_latency = Metrics.histogram "lambekd_request_ns"
+
+let h_engine =
+  List.map
+    (fun n -> (n, Metrics.histogram ("lambekd_request_ns_" ^ n)))
+    [ "ll1"; "slr"; "earley"; "enum"; "forest" ]
+
+let observe_latency ~engine_used dur_ns =
+  if Metrics.enabled () then begin
+    Metrics.observe h_latency dur_ns;
+    match List.assoc_opt engine_used h_engine with
+    | Some h -> Metrics.observe h dur_ns
+    | None -> ()
+  end
 
 (* One clock read per 256 polls: the hooks sit in engine hot loops. *)
 let make_poll deadline_ns =
@@ -139,14 +158,16 @@ let run_once registry ?deadline_ns (req : Protocol.request) =
          { after_ms = Option.value req.timeout_ms ~default:0. })
   in
   let finish ~engine_used ~artifact_cache ~result_cache outcome =
+    let dur_ns = Clock.now_ns () -. t0 in
+    observe_latency ~engine_used dur_ns;
     { Protocol.rid = req.id;
       outcome;
       engine_used;
       artifact_cache;
       result_cache;
-      dur_ns = Clock.now_ns () -. t0 }
+      dur_ns }
   in
-  let artifact, artifact_hm = Registry.get registry req.cfg in
+  let artifact, artifact_hm = Registry.get ?trace:req.trace registry req.cfg in
   let artifact_cache = (artifact_hm :> [ `Hit | `Miss | `None ]) in
   match resolve artifact req with
   | Error msg ->
@@ -166,8 +187,8 @@ let run_once registry ?deadline_ns (req : Protocol.request) =
       | _ -> ""
     in
     match
-      Registry.find_result registry ~digest:artifact.digest ~key
-        ~input:req.input
+      Registry.find_result ?trace:req.trace registry ~digest:artifact.digest
+        ~key ~input:req.input
     with
     | Some verdict ->
       finish ~engine_used:name ~artifact_cache ~result_cache:`Hit (Ok verdict)
@@ -179,9 +200,19 @@ let run_once registry ?deadline_ns (req : Protocol.request) =
       then finish ~engine_used:name ~artifact_cache ~result_cache:`None (timeout ())
       else (
         let poll = make_poll deadline_ns in
-        match
+        let run () =
           Probe.with_span ("service.engine." ^ name) (fun () ->
               run_engine engine artifact req poll)
+        in
+        match
+          (* stamp the engine stages only when the request asked for a
+             trace — the [Fun.protect] wrapper (end stamped on Deadline
+             too: the engine did run) costs nothing otherwise *)
+          match req.trace with
+          | None -> run ()
+          | Some tr ->
+            Trace.stamp_engine_start tr;
+            Fun.protect ~finally:(fun () -> Trace.stamp_engine_end tr) run
         with
         | verdict ->
           Registry.put_result registry ~digest:artifact.digest ~key
@@ -204,6 +235,7 @@ let run registry ?deadline_ns (req : Protocol.request) =
     | resp -> resp
     | exception Fault.Injected _ ->
       Probe.bump c_fault_retries;
+      Option.iter Trace.add_fault req.trace;
       attempt ()
   in
   attempt ()

@@ -1,7 +1,17 @@
 module Cfg = Lambekd_cfg.Cfg
 
 let default_max_line_bytes = 8192
-let render = Protocol.response_to_json ~times:false
+
+let render ?trace r = Protocol.response_to_json ~times:false ?trace r
+
+(* Admin lines are answered by the front end on both sides; normalized
+   rendering carries no volatile snapshot fields, and the reference is
+   never draining, so the bytes are identical by construction. *)
+let render_admin aid op =
+  match op with
+  | Protocol.Op_health ->
+    Protocol.health_response ?id:aid ~draining:false ~extra:[] ()
+  | Protocol.Op_metrics -> Protocol.metrics_response ?id:aid ~extra:[] ()
 
 (* --- stream generation ------------------------------------------------------ *)
 
@@ -76,8 +86,21 @@ let gen_lines ~seed ~requests =
       | _ -> []
     in
     let id = if int 10 < 8 then [ field "id" (Fmt.str "r%d" i) ] else [] in
+    (* ~1/5 of valid requests opt into tracing: the response then
+       carries a normalized trace object whose stage-presence list must
+       be identical serial vs multi-domain *)
+    let traced = if int 5 = 0 then [ ("trace", Json.Bool true) ] else [] in
     obj (id @ [ field "grammar" gname; field "input" input;
-                field "query" query ] @ extras)
+                field "query" query ] @ extras @ traced)
+  in
+  let admin i =
+    let id = if int 10 < 8 then [ field "id" (Fmt.str "r%d" i) ] else [] in
+    match int 6 with
+    | 0 | 1 -> obj (id @ [ field "op" "health" ])
+    | 2 | 3 | 4 -> obj (id @ [ field "op" "metrics" ])
+    | _ ->
+      (* unknown op: a deterministic bad request *)
+      obj (id @ [ field "op" (Fmt.str "op%d" (int 3)) ])
   in
   let inline i =
     let nts = 1 + int 3 in
@@ -152,12 +175,13 @@ let gen_lines ~seed ~requests =
   in
   List.init requests (fun i ->
       match int 100 with
-      | n when n < 55 -> valid i
-      | n when n < 62 -> inline i
-      | n when n < 74 -> malformed i
-      | n when n < 81 -> bad_field i
-      | n when n < 90 -> unicode i
-      | n when n < 95 -> oversized i
+      | n when n < 52 -> valid i
+      | n when n < 60 -> inline i
+      | n when n < 72 -> malformed i
+      | n when n < 79 -> bad_field i
+      | n when n < 88 -> unicode i
+      | n when n < 93 -> oversized i
+      | n when n < 97 -> admin i
       | _ -> pick [ ""; "   "; "\t" ])
 
 (* --- classification and the serial reference -------------------------------- *)
@@ -166,32 +190,61 @@ type item =
   | Blank
   | Oversized_line
   | Malformed of string
+  | Admin of { aid : string option; op : Protocol.admin_op }
   | Request of Protocol.request
 
 let classify ~max_line_bytes line =
   if String.length line > max_line_bytes then Oversized_line
   else if String.trim line = "" then Blank
   else
-    match Protocol.parse_request line with
+    match Protocol.parse_line line with
     | Error msg -> Malformed msg
-    | Ok r -> Request r
+    | Ok (Protocol.Admin { aid; op }) -> Admin { aid; op }
+    | Ok (Protocol.Request r) -> Request r
 
 let direct_response ~max_line_bytes = function
   | Blank -> None
   | Oversized_line ->
     Some (Protocol.bad_request (Server.oversized_message max_line_bytes))
   | Malformed msg -> Some (Protocol.bad_request msg)
-  | Request _ -> None
+  | Admin _ | Request _ -> None
+
+(* Traced requests: the front end owns the id ([t<slot>], where slots
+   number the non-blank lines) and the received stamp; the serial
+   reference stamps [dequeued] itself right before {!Exec.run} so stage
+   presence matches the scheduler path. *)
+let prep_trace slot (r : Protocol.request) =
+  Option.iter
+    (fun tr ->
+      Trace.set_id tr (Fmt.str "t%d" slot);
+      Trace.stamp_received tr)
+    r.Protocol.trace
+
+let run_request_serial reg slot (r : Protocol.request) =
+  prep_trace slot r;
+  Option.iter Trace.stamp_dequeued r.Protocol.trace;
+  let resp = Exec.run reg r in
+  Option.iter Trace.stamp_written r.Protocol.trace;
+  render ?trace:r.Protocol.trace resp
 
 let reference ?(max_line_bytes = default_max_line_bytes) reg lines =
+  let slot = ref 0 in
   List.filter_map
     (fun line ->
       let item = classify ~max_line_bytes line in
       match direct_response ~max_line_bytes item with
-      | Some r -> Some (render r)
+      | Some r ->
+        incr slot;
+        Some (render r)
       | None -> (
         match item with
-        | Request r -> Some (render (Exec.run reg r))
+        | Admin { aid; op } ->
+          incr slot;
+          Some (render_admin aid op)
+        | Request r ->
+          let s = !slot in
+          incr slot;
+          Some (run_request_serial reg s r)
         | _ -> None))
     lines
 
@@ -207,7 +260,18 @@ let warm reg items =
   List.iter
     (function
       | Request r -> ignore (Registry.get reg r.Protocol.cfg)
-      | Blank | Oversized_line | Malformed _ -> ())
+      | Blank | Oversized_line | Malformed _ | Admin _ -> ())
+    items
+
+(* Traces are mutable and the item list is shared by both replays: give
+   each replay fresh ones, so stamps from one side can never leak into
+   (and mask a divergence in) the other side's stage-presence list. *)
+let reset_traces items =
+  List.map
+    (function
+      | Request ({ Protocol.trace = Some _; _ } as r) ->
+        Request { r with Protocol.trace = Some (Trace.create ()) }
+      | item -> item)
     items
 
 (* Both registries are pre-warmed over every grammar in the stream so
@@ -217,19 +281,30 @@ let warm reg items =
 let fresh_registry () = Registry.create ~artifact_cap:2048 ~result_cap:0 ()
 
 let run_serial ~max_line_bytes items =
+  let items = reset_traces items in
   let reg = fresh_registry () in
   warm reg items;
+  let slot = ref 0 in
   List.filter_map
     (fun item ->
       match direct_response ~max_line_bytes item with
-      | Some r -> Some (render r)
+      | Some r ->
+        incr slot;
+        Some (render r)
       | None -> (
         match item with
-        | Request r -> Some (render (Exec.run reg r))
+        | Admin { aid; op } ->
+          incr slot;
+          Some (render_admin aid op)
+        | Request r ->
+          let s = !slot in
+          incr slot;
+          Some (run_request_serial reg s r)
         | _ -> None))
     items
 
 let run_service ~domains ~max_line_bytes ~schedule items =
+  let items = reset_traces items in
   let reg = fresh_registry () in
   warm reg items;
   let n_resp =
@@ -252,10 +327,18 @@ let run_service ~domains ~max_line_bytes ~schedule items =
       | None -> (
         match item with
         | Blank -> ()
+        | Admin { aid; op } ->
+          (* the serve loop answers admin ops inline, off-queue *)
+          let s = !slot in
+          incr slot;
+          out.(s) <- Some (render_admin aid op)
         | Request r ->
           let s = !slot in
           incr slot;
-          Scheduler.submit sched r (fun resp -> out.(s) <- Some (render resp))
+          prep_trace s r;
+          Scheduler.submit sched r (fun resp ->
+              Option.iter Trace.stamp_written r.Protocol.trace;
+              out.(s) <- Some (render ?trace:r.Protocol.trace resp))
         | Oversized_line | Malformed _ -> assert false))
     items;
   Scheduler.shutdown sched;

@@ -36,6 +36,10 @@ type item =
   | Blank
   | Oversized_line
   | Malformed of string  (** decode error *)
+  | Admin of { aid : string option; op : Protocol.admin_op }
+      (** answered inline by the front end on both sides; normalized
+          admin responses carry no volatile fields, so the bytes are
+          identical by construction *)
   | Request of Protocol.request
 
 val classify : max_line_bytes:int -> string -> item

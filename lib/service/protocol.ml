@@ -20,7 +20,12 @@ type request = {
   engine : engine_choice;
   leo : bool option;
   timeout_ms : float option;
+  trace : Trace.t option;
 }
+
+type admin_op = Op_metrics | Op_health
+
+type line = Admin of { aid : string option; op : admin_op } | Request of request
 
 (* --- request decoding ---------------------------------------------------- *)
 
@@ -75,9 +80,7 @@ let inline_cfg j =
     | exception (Invalid_argument msg | Failure msg) ->
       Error (Fmt.str "invalid grammar: %s" msg)
 
-let parse_request line =
-  let* j = Json.parse line in
-  let* () = match j with Json.Obj _ -> Ok () | _ -> Error "request must be an object" in
+let decode_request j =
   let id = Option.bind (Json.mem "id" j) Json.str in
   let* gname, cfg =
     match Json.mem "grammar" j with
@@ -133,7 +136,40 @@ let parse_request line =
       | Some ms when ms >= 0. -> Ok (Some ms)
       | _ -> Error "\"timeout_ms\" must be a non-negative number")
   in
-  Ok { id; cfg; gname; input; query; engine; leo; timeout_ms }
+  let* trace =
+    match Json.mem "trace" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.bool_ v with
+      | Some true -> Ok (Some (Trace.create ()))
+      | Some false -> Ok None
+      | None -> Error "\"trace\" must be a boolean")
+  in
+  Ok { id; cfg; gname; input; query; engine; leo; timeout_ms; trace }
+
+let parse_request line =
+  let* j = Json.parse line in
+  let* () =
+    match j with Json.Obj _ -> Ok () | _ -> Error "request must be an object"
+  in
+  decode_request j
+
+let parse_line line =
+  let* j = Json.parse line in
+  let* () =
+    match j with Json.Obj _ -> Ok () | _ -> Error "request must be an object"
+  in
+  match Json.mem "op" j with
+  | None ->
+    let* r = decode_request j in
+    Ok (Request r)
+  | Some op -> (
+    let aid = Option.bind (Json.mem "id" j) Json.str in
+    match Json.str op with
+    | Some "metrics" -> Ok (Admin { aid; op = Op_metrics })
+    | Some "health" -> Ok (Admin { aid; op = Op_health })
+    | Some other -> Error (Fmt.str "unknown op %S (metrics|health)" other)
+    | None -> Error "\"op\" must be a string")
 
 (* --- responses ----------------------------------------------------------- *)
 
@@ -161,7 +197,7 @@ let cache_field name = function
   | `Miss -> [ (name, Json.Str "miss") ]
   | `None -> []
 
-let response_to_json ?(times = true) r =
+let response_to_json ?(times = true) ?trace r =
   let id = match r.rid with Some id -> [ ("id", Json.Str id) ] | None -> [] in
   let body =
     match r.outcome with
@@ -196,10 +232,67 @@ let response_to_json ?(times = true) r =
           [ ("error", Json.Str "overloaded");
             ("retry_after_ms", Json.Num (float_of_int retry_after_ms)) ])
   in
+  let trace_field =
+    match trace with
+    | Some tr -> [ ("trace", Trace.to_json ~times tr) ]
+    | None -> []
+  in
   let times =
     if times then [ ("ns", Json.Num (Float.round r.dur_ns)) ] else []
   in
-  Json.to_string (Json.Obj (id @ body @ times))
+  Json.to_string (Json.Obj (id @ body @ trace_field @ times))
+
+(* --- admin responses ------------------------------------------------------ *)
+
+let id_field = function Some id -> [ ("id", Json.Str id) ] | None -> []
+
+let health_response ?id ~draining ~extra () =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [ ("ok", Json.Bool true);
+           ("status", Json.Str (if draining then "draining" else "ready")) ]
+       @ extra))
+
+let metrics_response ?id ~extra () =
+  Json.to_string
+    (Json.Obj
+       (id_field id
+       @ [ ("ok", Json.Bool true); ("op", Json.Str "metrics") ]
+       @ extra))
+
+(* --- the slow-request log ------------------------------------------------- *)
+
+let slow_line (tr : Trace.t) r =
+  let dur name a b =
+    if Float.is_nan a || Float.is_nan b then []
+    else [ (name, Json.Num (Float.round (b -. a))) ]
+  in
+  Json.to_string
+    (Json.Obj
+       ([ ("ev", Json.Str "slow") ]
+       @ id_field r.rid
+       @ [ ("trace", Json.Str tr.Trace.id) ]
+       @ (match r.outcome with
+         | Ok _ -> [ ("ok", Json.Bool true) ]
+         | Error (Bad_request _) ->
+           [ ("ok", Json.Bool false); ("error", Json.Str "bad_request") ]
+         | Error (Timeout _) ->
+           [ ("ok", Json.Bool false); ("error", Json.Str "timeout") ]
+         | Error (Overloaded _) ->
+           [ ("ok", Json.Bool false); ("error", Json.Str "overloaded") ])
+       @ (if r.engine_used <> "" then
+            [ ("engine", Json.Str r.engine_used) ]
+          else [])
+       @ cache_field "artifact" r.artifact_cache
+       @ cache_field "result" r.result_cache
+       @ dur "queue_ns" tr.Trace.received_ns tr.Trace.dequeued_ns
+       @ dur "engine_ns" tr.Trace.engine_start_ns tr.Trace.engine_end_ns
+       @ dur "total_ns" tr.Trace.received_ns tr.Trace.written_ns
+       @ (if not (Float.is_nan tr.Trace.compile_ns) then
+            [ ("compile_ns", Json.Num (Float.round tr.Trace.compile_ns)) ]
+          else [])
+       @ [ ("faults", Json.Num (float_of_int tr.Trace.faults)) ]))
 
 let bad_request ?id msg =
   { rid = id;

@@ -54,11 +54,27 @@ type request = {
   engine : engine_choice;
   leo : bool option;  (** Earley Leo optimization pin; [None] = default *)
   timeout_ms : float option;
+  trace : Trace.t option;
+      (** present iff the request carried ["trace":true]; the front end
+          assigns the id and stamps stages as the request moves *)
 }
+
+(** Admin operations answered by the front end itself, never queued:
+    [{"op":"metrics"}] returns a counter/gauge/histogram snapshot,
+    [{"op":"health"}] the ready/draining state — both keep working when
+    the queue is full. *)
+type admin_op = Op_metrics | Op_health
+
+type line = Admin of { aid : string option; op : admin_op } | Request of request
 
 val parse_request : string -> (request, string) result
 (** Decode one NDJSON line.  Resolves the grammar (builtin lookup or
     inline construction) immediately — call only from the main thread. *)
+
+val parse_line : string -> (line, string) result
+(** Like {!parse_request}, but an object carrying an ["op"] field
+    decodes as an {!Admin} line instead of a request.  The serve and
+    batch front ends (and the fuzzer) speak this. *)
 
 type verdict =
   | Accepted of string option  (** optional rendered parse tree *)
@@ -79,10 +95,30 @@ type response = {
   dur_ns : float;
 }
 
-val response_to_json : ?times:bool -> response -> string
+val response_to_json : ?times:bool -> ?trace:Trace.t -> response -> string
 (** Render one response line (no trailing newline).  [~times:false]
     omits the [ns] field so output is byte-reproducible for CI diffs and
-    the serial/parallel identical-output checks. *)
+    the serial/parallel identical-output checks.  [?trace] appends a
+    ["trace"] object (rendered by {!Trace.to_json} in the same [times]
+    mode) — pass it only when the request asked for one. *)
+
+val health_response :
+  ?id:string -> draining:bool -> extra:(string * Json.t) list -> unit -> string
+(** The [{"op":"health"}] answer: [id] (mirrored), [ok], and a
+    [status] of ["ready"] or ["draining"].  [extra] carries volatile
+    detail (queue depth, live connections) — leave it empty when output
+    must be byte-reproducible. *)
+
+val metrics_response :
+  ?id:string -> extra:(string * Json.t) list -> unit -> string
+(** The [{"op":"metrics"}] ack.  As with {!health_response}, volatile
+    snapshot fields ride in [extra] and are omitted in normalized
+    output. *)
+
+val slow_line : Trace.t -> response -> string
+(** One JSON-lines record for the slow-request log: the request and
+    trace ids, outcome, engine, cache outcomes, per-stage durations and
+    fault-event count. *)
 
 val bad_request : ?id:string -> string -> response
 (** A failure response for a line that never became a request. *)

@@ -15,6 +15,7 @@ type scratch_pool = {
   pmu : Mutex.t;
   mutable free : scratch list;
   mutable avail : int;
+  mutable out : int;  (** bundles currently checked out *)
 }
 
 type artifact = {
@@ -99,7 +100,7 @@ let compile cfg =
       let ll1 = Result.to_option (Ll1.build cfg) in
       let slr = Result.to_option (Slr.build cfg) in
       let earley = Earley.compile cfg in
-      let pool = { pmu = Mutex.create (); free = []; avail = 0 } in
+      let pool = { pmu = Mutex.create (); free = []; avail = 0; out = 0 } in
       let compile_ns = Clock.now_ns () -. t0 in
       { cfg; digest; grammar; cs; ff; ll1; slr; earley; pool; compile_ns })
 
@@ -111,6 +112,7 @@ let scratch_cap = 8
 let with_scratch a f =
   let sc =
     Mutex.protect a.pool.pmu (fun () ->
+        a.pool.out <- a.pool.out + 1;
         match a.pool.free with
         | s :: rest ->
           a.pool.free <- rest;
@@ -130,6 +132,7 @@ let with_scratch a f =
   Fun.protect
     ~finally:(fun () ->
       Mutex.protect a.pool.pmu (fun () ->
+          a.pool.out <- a.pool.out - 1;
           if a.pool.avail < scratch_cap then begin
             a.pool.free <- sc :: a.pool.free;
             a.pool.avail <- a.pool.avail + 1
@@ -147,27 +150,43 @@ type t = {
           a scan beats a contended futex by orders of magnitude when
           several domains serve the same few grammars. *)
   results : (string * string * string, Protocol.verdict) Lru.t;
+  (* registry-local cache outcome counters: unlike the Probe counters
+     above these count even with telemetry disabled, so the [grammars
+     --cache-stats] report and the metrics gauges work unconditionally *)
+  a_hits : int Atomic.t;
+  a_misses : int Atomic.t;
+  r_hits : int Atomic.t;
+  r_misses : int Atomic.t;
 }
 
 let create ?(artifact_cap = 64) ?(result_cap = 4096) () =
   { mu = Mutex.create ();
     artifacts = Lru.create ~cap:artifact_cap;
     snap = Atomic.make [];
-    results = Lru.create ~cap:result_cap }
+    results = Lru.create ~cap:result_cap;
+    a_hits = Atomic.make 0;
+    a_misses = Atomic.make 0;
+    r_hits = Atomic.make 0;
+    r_misses = Atomic.make 0 }
 
-let get t cfg =
+let tick c = ignore (Atomic.fetch_and_add c 1)
+
+let get ?trace t cfg =
   Fault.delay Fault.Registry_get;
   let digest = digest_cfg cfg in
   (* a [corrupt] fault poisons the lock-free snapshot probe; the locked
      LRU path below recovers (and still reports a hit), so the fault is
      invisible in responses — which the fuzz differential asserts *)
+  let degraded = Fault.degraded Fault.Registry_get in
+  if degraded then Option.iter Trace.add_fault trace;
   let snap =
-    if Fault.degraded Fault.Registry_get then None
+    if degraded then None
     else List.assoc_opt digest (Atomic.get t.snap)
   in
   match snap with
   | Some a ->
     Probe.bump c_artifact_hit;
+    tick t.a_hits;
     (* refresh LRU recency opportunistically: skip rather than contend *)
     if Mutex.try_lock t.mu then begin
       ignore (Lru.find t.artifacts digest);
@@ -181,29 +200,37 @@ let get t cfg =
         match Lru.find t.artifacts digest with
         | Some a ->
           Probe.bump c_artifact_hit;
+          tick t.a_hits;
           (a, `Hit)
         | None ->
           Probe.bump c_artifact_miss;
+          tick t.a_misses;
           let a = compile cfg in
+          Option.iter (fun tr -> Trace.set_compile_ns tr a.compile_ns) trace;
           Lru.put t.artifacts digest a;
           Atomic.set t.snap (Lru.bindings t.artifacts);
           (a, `Miss))
 
-let find_result t ~digest ~key ~input =
+let find_result ?trace t ~digest ~key ~input =
   if Lru.cap t.results = 0 then None
   else begin
     Fault.delay Fault.Registry_result;
     (* a [corrupt] fault forces a miss: the engine recomputes the same
        verdict and re-inserts it, so recovery is the recompute *)
-    if Fault.degraded Fault.Registry_result then None
+    if Fault.degraded Fault.Registry_result then begin
+      Option.iter Trace.add_fault trace;
+      None
+    end
     else
       Mutex.protect t.mu (fun () ->
           match Lru.find t.results (digest, key, input) with
           | Some _ as r ->
             Probe.bump c_result_hit;
+            tick t.r_hits;
             r
           | None ->
             Probe.bump c_result_miss;
+            tick t.r_misses;
             None)
   end
 
@@ -213,6 +240,52 @@ let put_result t ~digest ~key ~input v =
 
 let artifact_evictions t = Mutex.protect t.mu (fun () -> Lru.evictions t.artifacts)
 let result_evictions t = Mutex.protect t.mu (fun () -> Lru.evictions t.results)
+
+type stats = {
+  artifact_size : int;
+  artifact_cap : int;
+  artifact_evictions : int;
+  artifact_hits : int;
+  artifact_misses : int;
+  result_size : int;
+  result_cap : int;
+  result_evictions : int;
+  result_hits : int;
+  result_misses : int;
+  scratch_free : int;
+  scratch_out : int;
+}
+
+let stats t =
+  let artifact_size, artifact_cap, artifact_evictions,
+      result_size, result_cap, result_evictions, pools =
+    Mutex.protect t.mu (fun () ->
+        ( Lru.size t.artifacts,
+          Lru.cap t.artifacts,
+          Lru.evictions t.artifacts,
+          Lru.size t.results,
+          Lru.cap t.results,
+          Lru.evictions t.results,
+          List.map (fun (_, a) -> a.pool) (Lru.bindings t.artifacts) ))
+  in
+  let scratch_free, scratch_out =
+    List.fold_left
+      (fun (free, out) p ->
+        Mutex.protect p.pmu (fun () -> (free + p.avail, out + p.out)))
+      (0, 0) pools
+  in
+  { artifact_size;
+    artifact_cap;
+    artifact_evictions;
+    artifact_hits = Atomic.get t.a_hits;
+    artifact_misses = Atomic.get t.a_misses;
+    result_size;
+    result_cap;
+    result_evictions;
+    result_hits = Atomic.get t.r_hits;
+    result_misses = Atomic.get t.r_misses;
+    scratch_free;
+    scratch_out }
 
 let clear t =
   Mutex.protect t.mu (fun () ->

@@ -66,19 +66,50 @@ val create : ?artifact_cap:int -> ?result_cap:int -> unit -> t
 (** Defaults: 64 artifacts, 4096 results.  A cap of 0 disables that
     cache. *)
 
-val get : t -> Lambekd_cfg.Cfg.t -> artifact * [ `Hit | `Miss ]
+val get : ?trace:Trace.t -> t -> Lambekd_cfg.Cfg.t -> artifact * [ `Hit | `Miss ]
 (** Fetch the artifact for a grammar, compiling on a miss.  The digest
     is computed outside the lock; compilation happens under it (the
     registry serves one compile at a time — queries against already
-    compiled grammars do not wait on it beyond the cache probe). *)
+    compiled grammars do not wait on it beyond the cache probe).
+    With [?trace], a degraded-probe fault event is counted on the trace
+    and a miss records the compile cost it paid. *)
 
 val find_result :
-  t -> digest:string -> key:string -> input:string -> Protocol.verdict option
-(** Probe the result cache.  [key] encodes query kind and engine. *)
+  ?trace:Trace.t ->
+  t ->
+  digest:string ->
+  key:string ->
+  input:string ->
+  Protocol.verdict option
+(** Probe the result cache.  [key] encodes query kind and engine.
+    With [?trace], a corrupt-fault forced miss counts as a fault event. *)
 
 val put_result :
   t -> digest:string -> key:string -> input:string -> Protocol.verdict -> unit
 
 val artifact_evictions : t -> int
 val result_evictions : t -> int
+
+type stats = {
+  artifact_size : int;
+  artifact_cap : int;
+  artifact_evictions : int;
+  artifact_hits : int;
+  artifact_misses : int;
+  result_size : int;
+  result_cap : int;
+  result_evictions : int;
+  result_hits : int;
+  result_misses : int;
+  scratch_free : int;  (** pooled scratch bundles parked across all artifacts *)
+  scratch_out : int;  (** scratch bundles currently checked out *)
+}
+(** A point-in-time snapshot of both caches and the scratch pools.  The
+    hit/miss counters are registry-local and count since {!create}
+    regardless of telemetry state (the Probe counters are process-global
+    and gated); sizes are read under the registry lock, so the snapshot
+    is internally consistent for the caches. *)
+
+val stats : t -> stats
+
 val clear : t -> unit

@@ -27,6 +27,7 @@ type t = {
 
 let domains t = t.ndomains
 let registry t = t.reg
+let depth t = Mutex.protect t.mu (fun () -> Queue.length t.queue)
 
 let job_of req k =
   let deadline_ns =
@@ -45,6 +46,7 @@ let expired_in_queue job =
 
 let run_job t job =
   Probe.bump c_dequeued;
+  Option.iter Trace.stamp_dequeued job.req.Protocol.trace;
   let resp =
     if expired_in_queue job then begin
       Probe.bump c_expired_in_queue;

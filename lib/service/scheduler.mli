@@ -28,6 +28,10 @@ val create :
 val domains : t -> int
 val registry : t -> Registry.t
 
+val depth : t -> int
+(** Jobs currently queued (a point-in-time reading — the queue-depth
+    gauge and health detail, not a synchronization primitive). *)
+
 val try_submit :
   t -> Protocol.request -> (Protocol.response -> unit) -> (unit, int) result
 (** Enqueue, or shed: [Error retry_after_ms] when the queue is full (the

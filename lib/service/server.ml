@@ -1,6 +1,9 @@
 module Probe = Lambekd_telemetry.Probe
+module Metrics = Lambekd_telemetry.Metrics
+module Histogram = Lambekd_telemetry.Histogram
 
 let c_connections = Probe.counter "server.connections"
+let c_slow = Probe.counter "server.slow_requests"
 let c_shed_conns = Probe.counter "server.shed_connections"
 let c_oversized = Probe.counter "server.oversized_lines"
 let c_write_errors = Probe.counter "server.write_errors"
@@ -149,17 +152,70 @@ let stream_dead st = Mutex.protect st.mu (fun () -> st.dead)
 
 type status = [ `Clean | `Malformed | `Timed_out ]
 
-let serve_stream ?(max_line_bytes = default_max_line_bytes) ~sched ~times
-    fd_in fd_out : status =
+type slow_log = {
+  threshold_ns : float;
+  emit : string -> unit;
+      (** called from worker threads — must be write-safe (the CLI wraps
+          a mutex-guarded stderr writer) *)
+}
+
+(* Volatile detail for [{"op":"metrics"}] answers: the wire snapshot
+   counterpart of the Prometheus exposition.  Only rendered under
+   [~times:true] — normalized output must stay byte-reproducible. *)
+let metrics_extra () =
+  let counters =
+    List.map
+      (fun (n, v) -> (n, Json.Num (float_of_int v)))
+      (Probe.counters ())
+  in
+  let gauges = List.map (fun (n, v) -> (n, Json.Num v)) (Metrics.gauges ()) in
+  let hists =
+    List.map
+      (fun (n, h) ->
+        ( n,
+          Json.Obj
+            [ ("count", Json.Num (float_of_int (Histogram.count h)));
+              ("p50", Json.Num (Histogram.quantile h 0.5));
+              ("p90", Json.Num (Histogram.quantile h 0.9));
+              ("p99", Json.Num (Histogram.quantile h 0.99)) ] ))
+      (Metrics.histograms ())
+  in
+  [ ("counters", Json.Obj counters);
+    ("gauges", Json.Obj gauges);
+    ("histograms", Json.Obj hists) ]
+
+let serve_stream ?(max_line_bytes = default_max_line_bytes) ?slow
+    ?(draining = fun () -> false) ?(live = fun () -> 0) ~sched ~times fd_in
+    fd_out : status =
   let st = stream fd_out in
   let malformed = Atomic.make false in
   let timed_out = Atomic.make false in
-  let respond seq (r : Protocol.response) =
+  (* [tr = Some (trace, echo)]: the request carries a trace — stamp
+     [written] at render time, emit a slow-log line past the threshold,
+     and echo the trace on the wire iff the client asked for it
+     ([echo = false] marks a slow-log-only internal trace) *)
+  let respond ?tr seq (r : Protocol.response) =
     (match r.outcome with
     | Error (Protocol.Bad_request _) -> Atomic.set malformed true
     | Error (Protocol.Timeout _) -> Atomic.set timed_out true
     | Error (Protocol.Overloaded _) | Ok _ -> ());
-    stream_emit st seq (Protocol.response_to_json ~times r)
+    let line =
+      match tr with
+      | None -> Protocol.response_to_json ~times r
+      | Some (trace, echo) ->
+        Trace.stamp_written trace;
+        (match slow with
+        | Some sl
+          when trace.Trace.written_ns -. trace.Trace.received_ns
+               >= sl.threshold_ns ->
+          Probe.bump c_slow;
+          sl.emit (Protocol.slow_line trace r)
+        | _ -> ());
+        Protocol.response_to_json ~times
+          ?trace:(if echo then Some trace else None)
+          r
+    in
+    stream_emit st seq line
   in
   let rdr = reader fd_in in
   let seq = ref 0 in
@@ -167,6 +223,24 @@ let serve_stream ?(max_line_bytes = default_max_line_bytes) ~sched ~times
     let s = !seq in
     incr seq;
     s
+  in
+  let answer_admin s aid op =
+    let line =
+      match op with
+      | Protocol.Op_health ->
+        let extra =
+          if times then
+            [ ("queue_depth", Json.Num (float_of_int (Scheduler.depth sched)));
+              ("domains", Json.Num (float_of_int (Scheduler.domains sched)));
+              ("connections", Json.Num (float_of_int (live ()))) ]
+          else []
+        in
+        Protocol.health_response ?id:aid ~draining:(draining ()) ~extra ()
+      | Protocol.Op_metrics ->
+        let extra = if times then metrics_extra () else [] in
+        Protocol.metrics_response ?id:aid ~extra ()
+    in
+    stream_emit st s line
   in
   let rec loop () =
     (* a dead peer cannot receive anything we would compute: stop
@@ -183,13 +257,33 @@ let serve_stream ?(max_line_bytes = default_max_line_bytes) ~sched ~times
       | Line l ->
         if String.trim l <> "" then begin
           let s = next_seq () in
-          (match Protocol.parse_request l with
+          (match Protocol.parse_line l with
           | Error msg -> respond s (Protocol.bad_request msg)
-          | Ok req -> (
-            match Scheduler.try_submit sched req (respond s) with
+          | Ok (Protocol.Admin { aid; op }) ->
+            (* admin ops are answered here, never queued: health and
+               metrics keep working when the scheduler queue is full *)
+            answer_admin s aid op
+          | Ok (Protocol.Request req) -> (
+            let tr =
+              match req.Protocol.trace with
+              | Some t -> Some (t, true)
+              | None ->
+                if slow <> None then Some (Trace.create (), false) else None
+            in
+            let req =
+              match (tr, req.Protocol.trace) with
+              | Some (t, _), None -> { req with Protocol.trace = Some t }
+              | _ -> req
+            in
+            Option.iter
+              (fun (t, _) ->
+                Trace.set_id t (Fmt.str "t%d" s);
+                Trace.stamp_received t)
+              tr;
+            match Scheduler.try_submit sched req (respond ?tr s) with
             | Ok () -> ()
             | Error retry_after_ms ->
-              respond s
+              respond ?tr s
                 (Protocol.overloaded ?id:req.Protocol.id ~retry_after_ms ())))
         end;
         loop ()
@@ -247,11 +341,17 @@ let tcp_create ?(backlog = 64) ~port () =
 
 let port t = t.tcp_port
 let connections t = Atomic.get t.accepted
+
+let active_connections t =
+  Mutex.protect t.tmu (fun () -> Hashtbl.length t.active)
+
 let stop t = Atomic.set t.stopping true
 
-let handle_connection t ~max_line_bytes ~sched ~times fd =
+let handle_connection t ?slow ~max_line_bytes ~sched ~times fd =
+  let draining () = Atomic.get t.stopping in
+  let live () = active_connections t in
   (try
-     ignore (serve_stream ~max_line_bytes ~sched ~times fd fd)
+     ignore (serve_stream ~max_line_bytes ?slow ~draining ~live ~sched ~times fd fd)
    with _ -> ());
   (* remove from the active set BEFORE closing: once closed, the kernel
      may reuse the descriptor number, and the drain path must never
@@ -260,8 +360,8 @@ let handle_connection t ~max_line_bytes ~sched ~times fd =
   (try Unix.close fd with Unix.Unix_error _ -> ());
   Mutex.protect t.tmu (fun () -> Condition.broadcast t.conn_done)
 
-let run ?(max_conns = 64) ?(max_line_bytes = default_max_line_bytes) ~sched
-    ~times t =
+let run ?(max_conns = 64) ?(max_line_bytes = default_max_line_bytes) ?slow
+    ~sched ~times t =
   while not (Atomic.get t.stopping) do
     (* poll-accept: a quarter-second tick bounds stop latency without
        signal-delivery trickery, and EINTR (a signal did arrive) just
@@ -300,7 +400,8 @@ let run ?(max_conns = 64) ?(max_line_bytes = default_max_line_bytes) ~sched
           Mutex.protect t.tmu (fun () -> Hashtbl.replace t.active fd ());
           ignore
             (Thread.create
-               (fun () -> handle_connection t ~max_line_bytes ~sched ~times fd)
+               (fun () ->
+                 handle_connection t ?slow ~max_line_bytes ~sched ~times fd)
                ())
         end)
   done;
@@ -318,3 +419,95 @@ let run ?(max_conns = 64) ?(max_line_bytes = default_max_line_bytes) ~sched
     Condition.wait t.conn_done t.tmu
   done;
   Mutex.unlock t.tmu
+
+(* --- the metrics/health HTTP endpoint --------------------------------------- *)
+
+(* A deliberately tiny HTTP/1.0 server: one thread, poll-accept like the
+   main loop, one request per connection.  Enough for a Prometheus
+   scraper or a curl; emphatically not a web server. *)
+type metrics_endpoint = {
+  msock : Unix.file_descr;
+  mport : int;
+  mstop : bool Atomic.t;
+  mutable mthread : Thread.t option;
+}
+
+let http_reply ~content_type body =
+  Fmt.str
+    "HTTP/1.0 200 OK\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    content_type (String.length body) body
+
+let metrics_conn ~expose ~health fd =
+  let rdr = reader fd in
+  let req_line =
+    match read_line rdr ~max_bytes:8192 with Line l -> l | _ -> ""
+  in
+  (* consume the header block so closing our side never resets the
+     socket before the client read the reply *)
+  let rec skip n =
+    if n < 100 then
+      match read_line rdr ~max_bytes:8192 with
+      | Line "" | Line "\r" | Eof -> ()
+      | Line _ | Oversized _ -> skip (n + 1)
+  in
+  skip 0;
+  let is_health =
+    String.length req_line >= 11 && String.sub req_line 0 11 = "GET /health"
+  in
+  let reply =
+    if is_health then http_reply ~content_type:"application/json" (health ())
+    else
+      http_reply ~content_type:"text/plain; version=0.0.4" (expose ())
+  in
+  (try write_all fd reply with Unix.Unix_error _ | Sys_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let metrics_tcp ?(backlog = 16) ~port ~expose ~health () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock backlog
+  with
+  | () ->
+    let mport =
+      match Unix.getsockname sock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    in
+    let t =
+      { msock = sock; mport; mstop = Atomic.make false; mthread = None }
+    in
+    let accept_loop () =
+      while not (Atomic.get t.mstop) do
+        match Unix.select [ sock ] [] [] 0.25 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | [], _, _ -> ()
+        | _ -> (
+          match Unix.accept sock with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+            (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10. with
+            | Unix.Unix_error _ -> ());
+            (try metrics_conn ~expose ~health fd with _ -> ()))
+      done;
+      try Unix.close sock with Unix.Unix_error _ -> ()
+    in
+    t.mthread <- Some (Thread.create accept_loop ());
+    Ok t
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error
+      (Fmt.str "cannot listen on 127.0.0.1:%d: %s" port (Unix.error_message e))
+
+let metrics_port t = t.mport
+
+let metrics_stop t =
+  Atomic.set t.mstop true;
+  Option.iter Thread.join t.mthread;
+  t.mthread <- None

@@ -62,8 +62,21 @@ type status = [ `Clean | `Malformed | `Timed_out ]
     if any line was bad (exit-code-3 class), else [`Timed_out] if any
     request timed out (exit-code-4 class). *)
 
+type slow_log = {
+  threshold_ns : float;  (** emit when received→written exceeds this *)
+  emit : string -> unit;
+      (** receives one JSON-lines record ({!Protocol.slow_line});
+          called from worker threads, so it must be write-safe *)
+}
+(** The slow-request log.  When configured, every request gets a trace
+    (an internal one when the client didn't ask — never echoed on the
+    wire) and requests over the threshold emit a structured line. *)
+
 val serve_stream :
   ?max_line_bytes:int ->
+  ?slow:slow_log ->
+  ?draining:(unit -> bool) ->
+  ?live:(unit -> int) ->
   sched:Scheduler.t ->
   times:bool ->
   Unix.file_descr ->
@@ -73,7 +86,14 @@ val serve_stream :
     execute on the scheduler pool, emit responses in request order.
     Returns when the input is exhausted and every in-flight response
     has been written (or dropped, if the peer vanished).  Never raises
-    on peer-caused I/O errors; does not close either descriptor. *)
+    on peer-caused I/O errors; does not close either descriptor.
+
+    Admin lines ([{"op":"health"}], [{"op":"metrics"}]) are answered
+    inline without touching the scheduler queue — [draining] and [live]
+    supply the health status and connection count (defaults: never
+    draining, zero connections; the TCP front end wires the real ones).
+    Requests carrying ["trace":true] get a trace id [t<seq>] assigned
+    here and echo a ["trace"] object on their response. *)
 
 (** {1 The TCP front end} *)
 
@@ -89,6 +109,9 @@ val port : tcp -> int
 val connections : tcp -> int
 (** Connections accepted so far (shed ones included). *)
 
+val active_connections : tcp -> int
+(** Connections live right now — the [lambekd_connections] gauge. *)
+
 val stop : tcp -> unit
 (** Request a graceful drain.  Async-signal-safe (sets a flag the
     accept loop polls); callable from any thread or a signal
@@ -97,6 +120,7 @@ val stop : tcp -> unit
 val run :
   ?max_conns:int ->
   ?max_line_bytes:int ->
+  ?slow:slow_log ->
   sched:Scheduler.t ->
   times:bool ->
   tcp ->
@@ -108,3 +132,26 @@ val run :
     connection's read side is shut down (its stream drains and
     flushes), and [run] returns once all connections finished.  The
     caller still owns the scheduler and shuts it down afterwards. *)
+
+(** {1 The metrics/health HTTP endpoint} *)
+
+type metrics_endpoint
+(** A one-thread HTTP/1.0 listener serving two paths: [GET /health]
+    returns the [health] callback's JSON, anything else the [expose]
+    callback's Prometheus text exposition.  Runs on its own thread, so
+    scrapes keep answering while the main front end drains. *)
+
+val metrics_tcp :
+  ?backlog:int ->
+  port:int ->
+  expose:(unit -> string) ->
+  health:(unit -> string) ->
+  unit ->
+  (metrics_endpoint, string) result
+(** Bind [127.0.0.1:port] ([0] picks an ephemeral port) and start
+    answering scrapes immediately. *)
+
+val metrics_port : metrics_endpoint -> int
+
+val metrics_stop : metrics_endpoint -> unit
+(** Stop the listener and join its thread.  Idempotent. *)

@@ -1,0 +1,67 @@
+module Clock = Lambekd_telemetry.Clock
+
+type t = {
+  mutable id : string;
+  mutable received_ns : float;
+  mutable dequeued_ns : float;
+  mutable engine_start_ns : float;
+  mutable engine_end_ns : float;
+  mutable written_ns : float;
+  mutable compile_ns : float;
+  mutable faults : int;
+}
+
+let create ?(id = "") () =
+  { id;
+    received_ns = Float.nan;
+    dequeued_ns = Float.nan;
+    engine_start_ns = Float.nan;
+    engine_end_ns = Float.nan;
+    written_ns = Float.nan;
+    compile_ns = Float.nan;
+    faults = 0 }
+
+let set_id t id = t.id <- id
+
+let stamp_received t = t.received_ns <- Clock.now_ns ()
+let stamp_dequeued t = t.dequeued_ns <- Clock.now_ns ()
+let stamp_engine_start t = t.engine_start_ns <- Clock.now_ns ()
+let stamp_engine_end t = t.engine_end_ns <- Clock.now_ns ()
+let stamp_written t = t.written_ns <- Clock.now_ns ()
+
+let add_fault t = t.faults <- t.faults + 1
+let set_compile_ns t ns = t.compile_ns <- ns
+
+let stamped ns = not (Float.is_nan ns)
+
+let stages t =
+  List.filter_map
+    (fun (name, ns) -> if stamped ns then Some name else None)
+    [ ("received", t.received_ns);
+      ("dequeued", t.dequeued_ns);
+      ("engine_start", t.engine_start_ns);
+      ("engine_end", t.engine_end_ns);
+      ("written", t.written_ns) ]
+
+let to_json ~times t =
+  let id = [ ("id", Json.Str t.id) ] in
+  if not times then
+    Json.Obj
+      (id
+      @ [ ("stages", Json.Arr (List.map (fun s -> Json.Str s) (stages t))) ])
+  else begin
+    let dur name a b =
+      if stamped a && stamped b then
+        [ (name, Json.Num (Float.round (b -. a))) ]
+      else []
+    in
+    Json.Obj
+      (id
+      @ dur "queue_ns" t.received_ns t.dequeued_ns
+      @ dur "engine_ns" t.engine_start_ns t.engine_end_ns
+      @ dur "total_ns" t.received_ns t.written_ns
+      @ (if stamped t.compile_ns then
+           [ ("compile_ns", Json.Num (Float.round t.compile_ns)) ]
+         else [])
+      @ [ ("faults", Json.Num (float_of_int t.faults)) ])
+  end

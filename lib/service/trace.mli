@@ -1,0 +1,58 @@
+(** Per-request traces: one id, five stage timestamps, fault events.
+
+    A trace is created at the front end (the serve loop, the batch
+    driver, or the fuzzer) and rides inside the request through
+    {!Scheduler} → {!Exec} → {!Registry}; each layer stamps the stage
+    it owns:
+
+    - [received] — the front end decoded the line;
+    - [dequeued] — a worker claimed the job (the serial reference
+      stamps it just before {!Exec.run}, so stage presence is identical
+      serial vs multi-domain);
+    - [engine_start] / [engine_end] — around the engine run (absent
+      when no engine ran: cache hit, failed engine pin, queued expiry);
+    - [written] — just before the response was serialized.
+
+    Timestamps are {!Lambekd_telemetry.Clock.now_ns} instants;
+    [Float.nan] marks a stage not reached.  The wire rendering
+    ({!to_json}) has two modes: with [~times:true] it carries the stage
+    durations plus fault-plane event counts; with [~times:false] every
+    timestamp is normalized away and only the id and the stage-presence
+    list remain — a deterministic function of the request's control
+    flow, which is what the serial/multi-domain byte-identity
+    differential compares. *)
+
+type t = {
+  mutable id : string;
+  mutable received_ns : float;
+  mutable dequeued_ns : float;
+  mutable engine_start_ns : float;
+  mutable engine_end_ns : float;
+  mutable written_ns : float;
+  mutable compile_ns : float;
+      (** artifact compile cost paid by this request (nan: cache hit) *)
+  mutable faults : int;  (** fault-plane events observed en route *)
+}
+
+val create : ?id:string -> unit -> t
+(** A fresh trace: all stages unstamped, no faults. *)
+
+val set_id : t -> string -> unit
+
+val stamp_received : t -> unit
+val stamp_dequeued : t -> unit
+val stamp_engine_start : t -> unit
+val stamp_engine_end : t -> unit
+val stamp_written : t -> unit
+
+val add_fault : t -> unit
+val set_compile_ns : t -> float -> unit
+
+val stages : t -> string list
+(** Names of the stamped stages, in pipeline order. *)
+
+val to_json : times:bool -> t -> Json.t
+(** The wire object.  [~times:true]: id, stage durations ([queue_ns],
+    [engine_ns], [total_ns], [compile_ns] when present) and [faults].
+    [~times:false]: id and the {!stages} list only — byte-reproducible
+    across runs and domain counts. *)

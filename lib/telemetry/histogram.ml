@@ -1,0 +1,100 @@
+(* Log-linear bucketing: values 0..3 get unit buckets; every value v >= 4
+   with floor(log2 v) = o lands in one of four equal sub-buckets of the
+   octave [2^o, 2^(o+1)), each 2^(o-2) wide.  All arithmetic is on
+   integers, so bucket assignment is exact and platform-independent. *)
+
+let octaves = 61 (* 63-bit ints: msb index of max_int *)
+let nbuckets = 4 + (4 * (octaves - 1)) (* 0..3 unit buckets, then 4/octave *)
+
+let msb v =
+  (* index of the highest set bit; v >= 1 *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of_int v =
+  if v < 4 then max v 0
+  else
+    let o = msb v in
+    (4 * (o - 1)) + ((v lsr (o - 2)) land 3)
+
+let bucket_of_ns ns =
+  if Float.is_nan ns || ns <= 0. then 0
+  else if ns >= float_of_int max_int then nbuckets - 1
+  else bucket_of_int (int_of_float ns)
+
+let bucket_lower i =
+  if i < 4 then float_of_int i
+  else
+    let o = (i lsr 2) + 1 and sub = i land 3 in
+    Float.of_int (4 + sub) *. Float.pow 2. (float_of_int (o - 2))
+
+let bucket_upper i =
+  if i >= nbuckets - 1 then Float.infinity else bucket_lower (i + 1)
+
+(* One shard = one atomic counter per bucket plus an atomic running sum.
+   Domains hash onto shards by id; a collision costs fetch-and-add
+   contention, never a lost count or a lock. *)
+let nshards = 8
+
+type shard = { buckets : int Atomic.t array; sum : int Atomic.t }
+
+type t = shard array
+
+let make_shard () =
+  { buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+    sum = Atomic.make 0 }
+
+let create () = Array.init nshards (fun _ -> make_shard ())
+
+let[@inline] observe t ns =
+  let s = t.((Domain.self () :> int) land (nshards - 1)) in
+  let v =
+    if Float.is_nan ns || ns <= 0. then 0
+    else if ns >= float_of_int max_int then max_int
+    else int_of_float ns
+  in
+  ignore (Atomic.fetch_and_add s.buckets.(bucket_of_int v) 1);
+  ignore (Atomic.fetch_and_add s.sum v)
+
+let snapshot t =
+  Array.init nbuckets (fun i ->
+      Array.fold_left (fun acc s -> acc + Atomic.get s.buckets.(i)) 0 t)
+
+let count t =
+  Array.fold_left
+    (fun acc s ->
+      Array.fold_left (fun acc c -> acc + Atomic.get c) acc s.buckets)
+    0 t
+
+let sum_ns t =
+  float_of_int
+    (Array.fold_left (fun acc s -> acc + Atomic.get s.sum) 0 t)
+
+let quantile t q =
+  let counts = snapshot t in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    let cum = ref 0 and idx = ref (nbuckets - 1) in
+    (try
+       Array.iteri
+         (fun i c ->
+           cum := !cum + c;
+           if !cum >= rank then begin
+             idx := i;
+             raise Exit
+           end)
+         counts
+     with Exit -> ());
+    (* the upper edge: never below the true quantile's bucket *)
+    if !idx >= nbuckets - 1 then bucket_lower (nbuckets - 1)
+    else bucket_upper !idx
+  end
+
+let reset t =
+  Array.iter
+    (fun s ->
+      Array.iter (fun c -> Atomic.set c 0) s.buckets;
+      Atomic.set s.sum 0)
+    t

@@ -1,0 +1,61 @@
+(** Fixed log-bucket latency histograms with per-domain lock-free shards.
+
+    Values are durations in nanoseconds.  The bucketing is log-linear
+    (HDR-style): four equal-width sub-buckets per power-of-two octave,
+    so bucket boundaries are exact integers, bucket assignment is pure
+    integer arithmetic (deterministic on every platform), and the
+    relative width of any bucket above 4 ns is at most 25% — which
+    bounds the quantile estimation error (see {!quantile}).
+
+    Recording is lock-free: each observation picks a shard by the
+    calling domain's id and increments one atomic bucket counter, so
+    concurrent domains never contend on a lock and never lose counts.
+    Reads ({!snapshot}, {!quantile}) merge the shards by elementwise
+    sum — a deterministic function of the recorded multiset, whatever
+    interleaving produced it. *)
+
+type t
+
+val nbuckets : int
+(** Number of buckets (covers 0 ns up to beyond 2^62 ns; the last
+    bucket absorbs any overflow). *)
+
+val bucket_of_ns : float -> int
+(** The bucket a value lands in.  Negative and NaN values land in
+    bucket 0. *)
+
+val bucket_lower : int -> float
+(** Inclusive lower bound of a bucket, in ns. *)
+
+val bucket_upper : int -> float
+(** Exclusive upper bound of a bucket ([bucket_lower (i+1)], or
+    infinity for the last bucket). *)
+
+val create : unit -> t
+
+val observe : t -> float -> unit
+(** Record one duration (ns).  Lock-free; safe from any domain. *)
+
+val count : t -> int
+(** Total observations (merged over shards). *)
+
+val sum_ns : t -> float
+(** Sum of all observed durations, ns (merged over shards; exact — the
+    sum is tracked as an integer alongside the buckets). *)
+
+val snapshot : t -> int array
+(** Merged per-bucket counts, length {!nbuckets}.  Deterministic:
+    equal recorded multisets give equal snapshots regardless of which
+    domains recorded them. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] (with [0 < q <= 1]) estimates the [q]-quantile as
+    the upper bound of the first bucket at which the cumulative count
+    reaches [ceil (q * count)].  The estimate never undershoots the
+    true quantile's bucket and overshoots by at most the bucket width,
+    i.e. by < 25% relative error for values ≥ 4 ns.  Returns 0 when
+    the histogram is empty. *)
+
+val reset : t -> unit
+(** Zero every shard.  Not atomic with respect to concurrent
+    observations (meant for tests and between bench runs). *)

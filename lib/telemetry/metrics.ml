@@ -1,0 +1,105 @@
+(* Registries are mutex-guarded on the cold paths only (handle creation,
+   gauge registration, exposition); the hot path — [observe] — is one
+   atomic load, one branch, and a lock-free histogram increment. *)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let mu = Mutex.create ()
+let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+let gauge_tbl : (string, unit -> float) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create () in
+        Hashtbl.add hists name h;
+        h)
+
+let[@inline] observe h ns = if Atomic.get on then Histogram.observe h ns
+
+let gauge name f = Mutex.protect mu (fun () -> Hashtbl.replace gauge_tbl name f)
+let remove_gauge name = Mutex.protect mu (fun () -> Hashtbl.remove gauge_tbl name)
+
+let sorted_bindings tbl =
+  Mutex.protect mu (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let gauges () =
+  List.filter_map
+    (fun (name, f) ->
+      match f () with
+      | v -> Some (name, v)
+      | exception _ -> None (* a dead gauge must not kill a scrape *))
+    (sorted_bindings gauge_tbl)
+
+let histograms () = sorted_bindings hists
+
+let prom_name name =
+  let b = Buffer.create (String.length name + 8) in
+  let has_prefix =
+    String.length name >= 7 && String.sub name 0 7 = "lambekd"
+  in
+  if not has_prefix then Buffer.add_string b "lambekd_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let pp_num ppf v =
+  (* integral values print without a decimal point: bucket bounds and
+     counts stay grep-able integers *)
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Fmt.pf ppf "%.0f" v
+  else Fmt.pf ppf "%.6g" v
+
+let expose () =
+  let b = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      line "# TYPE %s_total counter" n;
+      line "%s_total %d" n v)
+    (Probe.counters ());
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      line "# TYPE %s gauge" n;
+      line "%s %a" n pp_num v)
+    (gauges ());
+  List.iter
+    (fun (name, h) ->
+      let n = prom_name name in
+      line "# TYPE %s histogram" n;
+      let counts = Histogram.snapshot h in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i c ->
+          if c > 0 then begin
+            cum := !cum + c;
+            (* the overflow bucket has no finite upper edge; the +Inf
+               line below accounts for it *)
+            if i < Histogram.nbuckets - 1 then
+              line "%s_bucket{le=\"%a\"} %d" n pp_num
+                (Histogram.bucket_upper i) !cum
+          end)
+        counts;
+      (* [cum] misses nothing: every occupied bucket added to it *)
+      line "%s_bucket{le=\"+Inf\"} %d" n !cum;
+      line "%s_sum %a" n pp_num (Histogram.sum_ns h);
+      line "%s_count %d" n !cum)
+    (histograms ());
+  Buffer.contents b
+
+let reset () =
+  Mutex.protect mu (fun () ->
+      Hashtbl.iter (fun _ h -> Histogram.reset h) hists;
+      Hashtbl.reset gauge_tbl)

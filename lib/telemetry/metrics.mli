@@ -1,0 +1,58 @@
+(** The live metrics registry: histograms, gauges, and text exposition.
+
+    This is the operations-plane counterpart of {!Probe}: where probes
+    stream events to a sink for offline analysis, the metrics registry
+    holds aggregates a live endpoint can read at any moment — latency
+    histograms ({!Histogram}), gauge callbacks sampled at exposition
+    time, and the process-global {!Probe} counters (which {!expose}
+    folds in, so one scrape sees everything).
+
+    The same zero-overhead-when-disabled contract as {!Probe}: a
+    disabled {!observe} is one atomic load and one branch.  Handles are
+    created once at module initialization ({!histogram}) and used in
+    hot loops; gauges are registered by whoever owns the sampled state
+    and read only at exposition time, so a gauge costs nothing between
+    scrapes.
+
+    Enabling metrics does not enable {!Probe}: the service front end
+    turns both on, so counters count while histograms fill.  Everything
+    here is domain-safe. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val histogram : string -> Histogram.t
+(** [histogram name] returns the (unique, registered) histogram called
+    [name], creating it on first use.  Use Prometheus-style names
+    ([lambekd_request_ns]); {!expose} emits them as-is. *)
+
+val observe : Histogram.t -> float -> unit
+(** Record a duration (ns) when enabled; no-op otherwise. *)
+
+val gauge : string -> (unit -> float) -> unit
+(** Register (or replace) a gauge: the callback is sampled at
+    exposition time only.  A callback that raises is skipped. *)
+
+val remove_gauge : string -> unit
+
+val gauges : unit -> (string * float) list
+(** Sample every registered gauge, sorted by name; raising callbacks
+    are omitted. *)
+
+val histograms : unit -> (string * Histogram.t) list
+(** All registered histograms, sorted by name. *)
+
+val prom_name : string -> string
+(** Prometheus-safe metric name: non-[[a-zA-Z0-9_]] characters become
+    [_], and a [lambekd_] prefix is added unless already present. *)
+
+val expose : unit -> string
+(** Prometheus text exposition (format 0.0.4): every nonzero {!Probe}
+    counter as a [counter] family ([_total] suffix), every gauge as a
+    [gauge] family, every histogram as a [histogram] family (occupied
+    buckets with cumulative counts, [+Inf], [_sum], [_count]).  Ends
+    with a newline. *)
+
+val reset : unit -> unit
+(** Reset every histogram and drop every gauge (for tests). *)

@@ -326,6 +326,142 @@ let test_tcp_graceful_drain () =
       false
     | exception Unix.Unix_error _ -> true)
 
+(* --- the operations plane on the wire ------------------------------------- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_serve_stream_admin_and_trace () =
+  with_sched @@ fun sched ->
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  write_all in_w
+    (String.concat "\n"
+       [ {|{"id":"h1","op":"health"}|};
+         {|{"id":"m1","op":"metrics"}|};
+         {|{"id":"r2","grammar":"dyck","input":"()","trace":true}|};
+         {|{"id":"r3","grammar":"expr","input":"n"}|} ]
+    ^ "\n");
+  Unix.close in_w;
+  let status =
+    Server.serve_stream ~max_line_bytes:1024 ~sched ~times:false in_r out_w
+  in
+  Unix.close out_w;
+  let lines = read_all_lines out_r in
+  Unix.close out_r;
+  Unix.close in_r;
+  check_bool "clean stream" true (status = `Clean);
+  match lines with
+  | [ h; m; traced; plain ] ->
+    (* admin lines answered inline; normalized, so exact bytes *)
+    check_string "health inline" {|{"id":"h1","ok":true,"status":"ready"}|} h;
+    check_string "metrics inline" {|{"id":"m1","ok":true,"op":"metrics"}|} m;
+    (* trace ids are t<seq> over answered lines: the request is line 2 *)
+    check_string "traced response echoes its trace"
+      {|{"id":"r2","ok":true,"verdict":"accept","engine":"ll1","artifact":"miss","result":"miss","trace":{"id":"t2","stages":["received","dequeued","engine_start","engine_end","written"]}}|}
+      traced;
+    check_bool "untraced response carries no trace" true
+      (not (contains plain {|"trace"|}))
+  | _ -> Alcotest.failf "expected 4 responses, got %d" (List.length lines)
+
+let test_serve_stream_slow_log () =
+  with_sched @@ fun sched ->
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  let mu = Mutex.create () in
+  let slow_lines = ref [] in
+  let slow =
+    { Server.threshold_ns = 0.;
+      emit =
+        (fun l -> Mutex.protect mu (fun () -> slow_lines := l :: !slow_lines))
+    }
+  in
+  write_all in_w
+    ({|{"id":"s0","grammar":"dyck","input":"()"}|} ^ "\n"
+    ^ {|{"id":"s1","grammar":"dyck","input":"(())","trace":true}|} ^ "\n");
+  Unix.close in_w;
+  ignore
+    (Server.serve_stream ~max_line_bytes:1024 ~slow ~sched ~times:false in_r
+       out_w
+      : Server.status);
+  Unix.close out_w;
+  let lines = read_all_lines out_r in
+  Unix.close out_r;
+  Unix.close in_r;
+  check_int "responses" 2 (List.length lines);
+  (* the slow log gives every request an internal trace, but only the
+     client-requested one is echoed on the wire *)
+  check_bool "internal trace never echoed" true
+    (not (contains (List.nth lines 0) {|"trace"|}));
+  check_bool "requested trace still echoed" true
+    (contains (List.nth lines 1) {|"trace"|});
+  (* threshold 0: every request is over it *)
+  check_int "one slow record per request" 2 (List.length !slow_lines);
+  List.iter
+    (fun l ->
+      match Sv.Json.parse l with
+      | Error e -> Alcotest.failf "unparseable slow record %s: %s" l e
+      | Ok j ->
+        check_bool "ev:slow" true
+          (Option.bind (Sv.Json.mem "ev" j) Sv.Json.str = Some "slow");
+        check_bool "has total_ns" true (Sv.Json.mem "total_ns" j <> None);
+        check_bool "has trace id" true (Sv.Json.mem "trace" j <> None))
+    !slow_lines
+
+let http_get port path =
+  let fd = connect port in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  write_all fd (Fmt.str "GET %s HTTP/1.0\r\nHost: localhost\r\n\r\n" path);
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let test_metrics_endpoint () =
+  let module M = Lambekd_telemetry.Metrics in
+  M.reset ();
+  M.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      M.disable ();
+      M.reset ())
+  @@ fun () ->
+  let h = M.histogram "test_endpoint_ns" in
+  M.observe h 100.;
+  M.gauge "test_endpoint_gauge" (fun () -> 7.);
+  let health () =
+    Protocol.health_response ~draining:false
+      ~extra:[ ("queue_depth", Sv.Json.Num 0.) ]
+      ()
+    ^ "\n"
+  in
+  match Server.metrics_tcp ~port:0 ~expose:M.expose ~health () with
+  | Error e -> Alcotest.fail e
+  | Ok ep ->
+    Fun.protect ~finally:(fun () -> Server.metrics_stop ep) @@ fun () ->
+    let port = Server.metrics_port ep in
+    let m = http_get port "/metrics" in
+    check_bool "scrape is 200" true (contains m "200 OK");
+    check_bool "prometheus content type" true
+      (contains m "text/plain; version=0.0.4");
+    check_bool "histogram family served" true
+      (contains m "# TYPE lambekd_test_endpoint_ns histogram");
+    check_bool "gauge served" true (contains m "lambekd_test_endpoint_gauge 7");
+    let hh = http_get port "/health" in
+    check_bool "health is 200" true (contains hh "200 OK");
+    check_bool "health content type" true (contains hh "application/json");
+    check_bool "health status" true (contains hh {|"status":"ready"|})
+
 let suite =
   [ Alcotest.test_case "read_line: chunk-straddling lines" `Quick
       test_read_line_basic;
@@ -345,4 +481,10 @@ let suite =
     Alcotest.test_case "tcp: abrupt disconnects do not poison the server"
       `Quick test_tcp_abrupt_disconnect;
     Alcotest.test_case "tcp: graceful drain flushes and exits" `Quick
-      test_tcp_graceful_drain ]
+      test_tcp_graceful_drain;
+    Alcotest.test_case "serve_stream: admin ops inline, traces echoed" `Quick
+      test_serve_stream_admin_and_trace;
+    Alcotest.test_case "serve_stream: slow-request log" `Quick
+      test_serve_stream_slow_log;
+    Alcotest.test_case "metrics endpoint: /metrics and /health over HTTP"
+      `Quick test_metrics_endpoint ]

@@ -336,7 +336,7 @@ let test_registry_differential () =
       let req =
         { Protocol.id = None; cfg; gname = "random"; input = w;
           query = Protocol.Membership; engine = Protocol.Auto; leo = None;
-          timeout_ms = None }
+          timeout_ms = None; trace = None }
       in
       let cold = Exec.run (Registry.create ~artifact_cap:0 ~result_cap:0 ()) req in
       let warm = Exec.run reg req in
@@ -852,6 +852,239 @@ let test_scratch_domain_stress () =
   check_string "identical under fault schedule too" serial faulted;
   if not was_enabled then Probe.disable ()
 
+(* --- operations plane: admin lines, traces, cache stats ------------------- *)
+
+module Trace = Sv.Trace
+
+let test_parse_line_admin () =
+  (match Protocol.parse_line {|{"op":"health"}|} with
+  | Ok (Protocol.Admin { aid = None; op = Protocol.Op_health }) -> ()
+  | _ -> Alcotest.fail "bare health op");
+  (match Protocol.parse_line {|{"id":"a1","op":"metrics"}|} with
+  | Ok (Protocol.Admin { aid = Some "a1"; op = Protocol.Op_metrics }) -> ()
+  | _ -> Alcotest.fail "metrics op with id");
+  (match Protocol.parse_line {|{"grammar":"dyck","input":"()"}|} with
+  | Ok (Protocol.Request _) -> ()
+  | _ -> Alcotest.fail "op-less lines still decode as requests");
+  List.iter
+    (fun line ->
+      check_bool ("rejects " ^ line) true
+        (Result.is_error (Protocol.parse_line line)))
+    [ {|{"op":"frobnicate"}|}; {|{"op":7}|} ];
+  (* normalized admin acks: no volatile fields, byte-reproducible *)
+  check_string "ready" {|{"ok":true,"status":"ready"}|}
+    (Protocol.health_response ~draining:false ~extra:[] ());
+  check_string "draining, id mirrored"
+    {|{"id":"a1","ok":true,"status":"draining"}|}
+    (Protocol.health_response ~id:"a1" ~draining:true ~extra:[] ());
+  check_string "metrics ack" {|{"id":"m","ok":true,"op":"metrics"}|}
+    (Protocol.metrics_response ~id:"m" ~extra:[] ())
+
+(* A front end in miniature: decode, assign the id, stamp the stages the
+   serve loop and batch driver own, run, stamp written. *)
+let run_traced ?(reg = Registry.create ()) line =
+  match Protocol.parse_request line with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    let tr = Option.get r.Protocol.trace in
+    Trace.set_id tr "t0";
+    Trace.stamp_received tr;
+    Trace.stamp_dequeued tr;
+    let resp = Exec.run reg r in
+    Trace.stamp_written tr;
+    (tr, resp)
+
+let test_trace_decode_and_render () =
+  (match Protocol.parse_request {|{"grammar":"dyck","input":"()"}|} with
+  | Ok r -> check_bool "no trace by default" true (r.Protocol.trace = None)
+  | Error e -> Alcotest.fail e);
+  (match
+     Protocol.parse_request {|{"grammar":"dyck","input":"()","trace":false}|}
+   with
+  | Ok r -> check_bool "trace:false is no trace" true (r.Protocol.trace = None)
+  | Error e -> Alcotest.fail e);
+  check_bool "trace must be a boolean" true
+    (Result.is_error
+       (Protocol.parse_request {|{"grammar":"dyck","input":"()","trace":1}|}));
+  let tr, resp =
+    run_traced {|{"id":"r1","grammar":"dyck","input":"()","trace":true}|}
+  in
+  (* normalized: id + stage presence only — the fuzz differential's oracle *)
+  check_string "normalized render"
+    {|{"id":"r1","ok":true,"verdict":"accept","engine":"ll1","artifact":"miss","result":"miss","trace":{"id":"t0","stages":["received","dequeued","engine_start","engine_end","written"]}}|}
+    (Protocol.response_to_json ~times:false ~trace:tr resp);
+  (* timed: stage durations and fault count ride along *)
+  match Json.parse (Protocol.response_to_json ~trace:tr resp) with
+  | Error e -> Alcotest.fail e
+  | Ok j ->
+    let t = Option.get (Json.mem "trace" j) in
+    List.iter
+      (fun f ->
+        check_bool ("timed trace has " ^ f) true (Json.mem f t <> None))
+      [ "id"; "queue_ns"; "engine_ns"; "total_ns"; "compile_ns"; "faults" ]
+
+let test_exec_trace_stages () =
+  let reg = Registry.create () in
+  let line = {|{"grammar":"dyck","input":"(())","trace":true}|} in
+  let cold, cold_resp = run_traced ~reg line in
+  check_bool "cold run reaches the engine" true
+    (Trace.stages cold
+    = [ "received"; "dequeued"; "engine_start"; "engine_end"; "written" ]);
+  check_bool "cold run pays a compile" false (Float.is_nan cold.Trace.compile_ns);
+  check_bool "cold result is a miss" true
+    (cold_resp.Protocol.result_cache = `Miss);
+  let warm, warm_resp = run_traced ~reg line in
+  check_bool "result-cache hit skips the engine" true
+    (Trace.stages warm = [ "received"; "dequeued"; "written" ]);
+  check_bool "warm result is a hit" true
+    (warm_resp.Protocol.result_cache = `Hit);
+  check_bool "warm run pays no compile" true (Float.is_nan warm.Trace.compile_ns);
+  let expired, expired_resp =
+    run_traced ~reg {|{"grammar":"dyck","input":"()","timeout_ms":0,"trace":true}|}
+  in
+  check_bool "expired deadline never starts the engine" true
+    (Trace.stages expired = [ "received"; "dequeued"; "written" ]);
+  (match expired_resp.Protocol.outcome with
+  | Error (Protocol.Timeout _) -> ()
+  | _ -> Alcotest.fail "expected a timeout");
+  check_int "no faults in a clean run" 0 cold.Trace.faults
+
+let test_registry_stats () =
+  let reg = Registry.create ~artifact_cap:1 ~result_cap:8 () in
+  let d = Option.get (Builtin.find "dyck") in
+  let e = Option.get (Builtin.find "expr") in
+  ignore (Registry.get reg d);
+  ignore (Registry.get reg d);
+  let art, _ = Registry.get reg e in
+  (* expr evicted dyck (cap 1) *)
+  let s = Registry.stats reg in
+  check_int "artifact size" 1 s.Registry.artifact_size;
+  check_int "artifact cap" 1 s.Registry.artifact_cap;
+  check_int "artifact evictions" 1 s.Registry.artifact_evictions;
+  check_int "artifact hits" 1 s.Registry.artifact_hits;
+  check_int "artifact misses" 2 s.Registry.artifact_misses;
+  let digest = art.Registry.digest and key = "member:auto" in
+  check_bool "result probe misses" true
+    (Registry.find_result reg ~digest ~key ~input:"n" = None);
+  Registry.put_result reg ~digest ~key ~input:"n" (Protocol.Accepted None);
+  check_bool "result probe hits" true
+    (Registry.find_result reg ~digest ~key ~input:"n"
+    = Some (Protocol.Accepted None));
+  let s = Registry.stats reg in
+  check_int "result size" 1 s.Registry.result_size;
+  check_int "result hits" 1 s.Registry.result_hits;
+  check_int "result misses" 1 s.Registry.result_misses;
+  Registry.with_scratch art (fun _ ->
+      let s = Registry.stats reg in
+      check_int "scratch checked out" 1 s.Registry.scratch_out);
+  let s = Registry.stats reg in
+  check_int "scratch checked back in" 0 s.Registry.scratch_out;
+  check_bool "scratch parked" true (s.Registry.scratch_free >= 1)
+
+(* Satellite: trace determinism.  The same traced stream through the
+   serial reference and a 4-domain scheduler — the service side under a
+   committed fault schedule — must render byte-identically with times
+   off: stage presence is a function of control flow, not of timing,
+   domain count, or fault luck. *)
+let test_trace_parallel_identical () =
+  let lines =
+    List.concat
+      (List.init 12 (fun i ->
+           [ Fmt.str
+               {|{"id":"d%d","grammar":"dyck","input":"%s","trace":true}|} i
+               (String.concat "" (List.init (i mod 5) (fun _ -> "()")));
+             Fmt.str
+               {|{"id":"e%d","grammar":"expr","input":"n%s","query":"parse","trace":true}|}
+               i
+               (String.concat "" (List.init (i mod 4) (fun _ -> "+n")));
+             Fmt.str
+               {|{"id":"s%d","grammar":"ss","input":"%s","query":"count","trace":true}|}
+               i
+               (String.make (1 + (i mod 4)) 'a') ]))
+  in
+  (* each run re-parses so each side stamps its own fresh traces *)
+  let parse_all () =
+    List.map
+      (fun l ->
+        match Protocol.parse_request l with
+        | Ok r -> r
+        | Error e -> Alcotest.fail e)
+      lines
+  in
+  let prep i (r : Protocol.request) =
+    let tr = Option.get r.Protocol.trace in
+    Trace.set_id tr (Fmt.str "t%d" i);
+    Trace.stamp_received tr;
+    tr
+  in
+  let render tr resp = Protocol.response_to_json ~times:false ~trace:tr resp in
+  let serial =
+    let reqs = parse_all () in
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    List.mapi
+      (fun i r ->
+        let tr = prep i r in
+        Trace.stamp_dequeued tr;
+        let resp = Exec.run reg r in
+        Trace.stamp_written tr;
+        render tr resp)
+      reqs
+  in
+  let parallel () =
+    let reqs = parse_all () in
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    let sched = Scheduler.create ~domains:4 ~queue_cap:64 ~registry:reg () in
+    let out = Array.make (List.length reqs) None in
+    List.iteri
+      (fun i r ->
+        let tr = prep i r in
+        Scheduler.submit sched r (fun resp ->
+            Trace.stamp_written tr;
+            out.(i) <- Some (render tr resp)))
+      reqs;
+    Scheduler.shutdown sched;
+    Array.to_list (Array.map Option.get out)
+  in
+  check_bool "4-domain traces identical to serial" true
+    (List.equal String.equal serial (parallel ()));
+  let faulted =
+    with_schedule "seed=2;exec.run:fail:0.4;registry.get:corrupt:0.5"
+      (fun () -> parallel ())
+  in
+  check_bool "identical under a committed fault schedule" true
+    (List.equal String.equal serial faulted)
+
+let test_slow_line_shape () =
+  let tr = Trace.create ~id:"t9" () in
+  tr.Trace.received_ns <- 1000.;
+  tr.Trace.dequeued_ns <- 3000.;
+  tr.Trace.engine_start_ns <- 4000.;
+  tr.Trace.engine_end_ns <- 9000.;
+  tr.Trace.written_ns <- 11000.;
+  Trace.set_compile_ns tr 500.;
+  Trace.add_fault tr;
+  let resp =
+    { Protocol.rid = Some "r9";
+      outcome = Ok (Protocol.Accepted None);
+      engine_used = "earley";
+      artifact_cache = `Miss;
+      result_cache = `Miss;
+      dur_ns = 10000. }
+  in
+  check_string "slow record"
+    {|{"ev":"slow","id":"r9","trace":"t9","ok":true,"engine":"earley","artifact":"miss","result":"miss","queue_ns":2000,"engine_ns":5000,"total_ns":10000,"compile_ns":500,"faults":1}|}
+    (Protocol.slow_line tr resp);
+  (* failure shape: no engine/cache fields, error tag instead *)
+  let timeout_resp = Protocol.timeout ~id:"r10" ~after_ms:5. () in
+  let tr2 = Trace.create ~id:"t10" () in
+  tr2.Trace.received_ns <- 0.;
+  tr2.Trace.written_ns <- 7000.;
+  check_string "slow timeout record"
+    {|{"ev":"slow","id":"r10","trace":"t10","ok":false,"error":"timeout","total_ns":7000,"faults":0}|}
+    (Protocol.slow_line tr2 timeout_resp)
+
 let suite =
   [ Alcotest.test_case "lru: recency eviction" `Quick test_lru_basic;
     Alcotest.test_case "lru: replace" `Quick test_lru_replace;
@@ -908,4 +1141,14 @@ let suite =
     Alcotest.test_case "fuzz: differential (clean and faulted)" `Quick
       test_fuzz_differential;
     Alcotest.test_case "fuzz: committed corpus matches goldens" `Quick
-      test_fuzz_corpus ]
+      test_fuzz_corpus;
+    Alcotest.test_case "protocol: admin lines" `Quick test_parse_line_admin;
+    Alcotest.test_case "trace: decode and render" `Quick
+      test_trace_decode_and_render;
+    Alcotest.test_case "trace: exec stage presence" `Quick
+      test_exec_trace_stages;
+    Alcotest.test_case "registry: cache statistics" `Quick test_registry_stats;
+    Alcotest.test_case "trace: 4-domain identical to serial under faults"
+      `Quick test_trace_parallel_identical;
+    Alcotest.test_case "protocol: slow-request record" `Quick
+      test_slow_line_shape ]

@@ -198,6 +198,172 @@ let test_accepts_fixpoint_counter () =
       check_bool "balanced" true (E.accepts Dyck.grammar "()()");
       check_bool "at least one fixpoint pass" true (Probe.value iters >= 1))
 
+(* --- histograms and the metrics registry -------------------------------- *)
+
+module H = T.Histogram
+module Metrics = T.Metrics
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_histogram_buckets () =
+  (* hand-computed assignments: unit buckets below 4, then four equal
+     sub-buckets per octave — all integer arithmetic, so exact *)
+  List.iter
+    (fun (v, want) -> check_int (Fmt.str "bucket of %g" v) want (H.bucket_of_ns v))
+    [ (0., 0); (1., 1); (2., 2); (3., 3); (4., 4); (5., 5); (7., 7);
+      (8., 8); (9., 8) (* [8,10) *); (100., 22) (* [96,112) *);
+      (1000., 35) (* [896,1024) *); (-3., 0); (Float.nan, 0) ];
+  Alcotest.(check (float 0.)) "bucket 35 lower" 896. (H.bucket_lower 35);
+  Alcotest.(check (float 0.)) "bucket 35 upper" 1024. (H.bucket_upper 35);
+  (* the quantile error bound rests on this: width ≤ 25% of the lower
+     bound for every finite bucket above 4 ns *)
+  for i = 4 to H.nbuckets - 2 do
+    let w = H.bucket_upper i -. H.bucket_lower i in
+    check_bool
+      (Fmt.str "bucket %d relative width" i)
+      true
+      (w <= (0.25 *. H.bucket_lower i) +. 1e-9)
+  done;
+  let h = H.create () in
+  List.iter (H.observe h) [ 0.; 1.; 2.; 3.; 4.; 5.; 7.; 8.; 9.; 1000. ];
+  let snap = H.snapshot h in
+  check_int "count" 10 (H.count h);
+  check_int "unit bucket 0" 1 snap.(0);
+  check_int "8 and 9 share a bucket" 2 snap.(8);
+  check_int "1000 in bucket 35" 1 snap.(35);
+  Alcotest.(check (float 0.)) "exact sum" 1039. (H.sum_ns h)
+
+let test_histogram_quantile () =
+  let h = H.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (H.quantile h 0.5);
+  for _ = 1 to 10 do
+    H.observe h 100.
+  done;
+  (* 100 lands in [96,112): every quantile reports the upper edge, a
+     12% overestimate — inside the 25% bound *)
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.)) (Fmt.str "p%g" (q *. 100.)) 112.
+        (H.quantile h q))
+    [ 0.5; 0.9; 0.99; 1.0 ];
+  H.observe h 1000.;
+  Alcotest.(check (float 0.)) "p99 follows the tail" 1024. (H.quantile h 0.99)
+
+let test_histogram_shard_merge () =
+  (* the same multiset recorded serially and spread over 4 domains must
+     merge to identical snapshots: shards sum elementwise *)
+  let vals = List.init 2000 (fun i -> float_of_int (i * 7919 mod 50_000)) in
+  let serial = H.create () in
+  List.iter (H.observe serial) vals;
+  let sharded = H.create () in
+  let chunk k =
+    List.filteri (fun i _ -> i mod 4 = k) vals
+  in
+  let ds =
+    List.init 4 (fun k ->
+        Domain.spawn (fun () -> List.iter (H.observe sharded) (chunk k)))
+  in
+  List.iter Domain.join ds;
+  check_bool "snapshots identical" true
+    (H.snapshot serial = H.snapshot sharded);
+  check_int "counts identical" (H.count serial) (H.count sharded);
+  Alcotest.(check (float 0.)) "sums identical" (H.sum_ns serial)
+    (H.sum_ns sharded)
+
+let test_metrics_registry () =
+  Metrics.reset ();
+  Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.disable ();
+      Metrics.reset ())
+  @@ fun () ->
+  let h = Metrics.histogram "test_expose_ns" in
+  check_bool "same name, same histogram" true
+    (Metrics.histogram "test_expose_ns" == h);
+  Metrics.observe h 100.;
+  Metrics.observe h 1000.;
+  Metrics.gauge "test_gauge" (fun () -> 3.5);
+  Metrics.gauge "test_dead_gauge" (fun () -> failwith "scrape crash");
+  let text = Metrics.expose () in
+  List.iter
+    (fun needle ->
+      check_bool (Fmt.str "exposition has %S" needle) true
+        (contains text needle))
+    [ "# TYPE lambekd_test_expose_ns histogram";
+      "lambekd_test_expose_ns_bucket{le=\"112\"} 1";
+      "lambekd_test_expose_ns_bucket{le=\"+Inf\"} 2";
+      "lambekd_test_expose_ns_sum 1100";
+      "lambekd_test_expose_ns_count 2";
+      "# TYPE lambekd_test_gauge gauge";
+      "lambekd_test_gauge 3.5" ];
+  check_bool "a raising gauge never kills a scrape" true
+    (not (contains text "test_dead_gauge"));
+  (* prom_name sanitization *)
+  Alcotest.(check string) "prefix added" "lambekd_service_enqueued"
+    (Metrics.prom_name "service.enqueued");
+  Alcotest.(check string) "prefix kept" "lambekd_request_ns"
+    (Metrics.prom_name "lambekd_request_ns");
+  (* disabled = frozen *)
+  Metrics.disable ();
+  Metrics.observe h 5.;
+  check_int "observe gated when disabled" 2 (H.count h)
+
+(* satellite: sink swaps and enable/disable churn racing emitters on
+   other domains — the sink holder is an Atomic, so churn can never
+   tear a read or wedge an emitter *)
+let test_probe_churn_under_domains () =
+  Probe.reset ();
+  let c = Probe.counter "test.churn" in
+  let stop = Atomic.make false in
+  let emitters =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            while not (Atomic.get stop) do
+              Probe.bump c;
+              Probe.with_span "churn.span" (fun () ->
+                  Probe.emit "churn.point" [ ("k", Ev.Int 1) ])
+            done))
+  in
+  for _ = 1 to 200 do
+    let sink, _ = Sink.memory () in
+    Probe.enable ~sink:(Sink.synchronized sink) ();
+    Probe.set_sink Sink.null;
+    Probe.disable ()
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join emitters;
+  Probe.disable ();
+  Probe.reset ();
+  check_bool "survived enable/disable churn" true true
+
+(* satellite: control characters, quotes and astral-plane names must
+   round-trip through the event JSON encoder — checked with the service
+   JSON parser, the same decoder the wire protocol uses *)
+let test_event_escaping_roundtrip () =
+  let module J = Lambekd_service.Json in
+  List.iter
+    (fun name ->
+      let json = Ev.to_json (Ev.Point { name; fields = [ ("s", Ev.Str name) ] }) in
+      match J.parse json with
+      | Error e -> Alcotest.failf "unparseable event %s: %s" json e
+      | Ok j ->
+        Alcotest.(check (option string))
+          (Fmt.str "name %S round-trips" name)
+          (Some name)
+          (Option.bind (J.mem "name" j) J.str);
+        Alcotest.(check (option string))
+          (Fmt.str "field %S round-trips" name)
+          (Some name)
+          (Option.bind (J.mem "fields" j) (fun f ->
+               Option.bind (J.mem "s" f) J.str)))
+    [ "line\nbreak"; "tab\there"; {|a "quoted" span|}; "back\\slash";
+      "astral \xf0\x9f\x98\x80 and \xce\xb1 and \xf0\x9d\x84\x9e";
+      "ctl\x01\x1f"; "cr\rlf" ]
+
 (* --- satellite: the Enum interface contract ----------------------------- *)
 
 let abc = [ 'a'; 'b'; 'c' ]
@@ -247,5 +413,11 @@ let suite =
     ("json-lines encoding", `Quick, test_json_encoding);
     ("clock", `Quick, test_clock);
     ("count_fast memo traffic on Dyck", `Quick, test_count_fast_memo_dyck);
-    ("accepts fixpoint counter", `Quick, test_accepts_fixpoint_counter) ]
+    ("accepts fixpoint counter", `Quick, test_accepts_fixpoint_counter);
+    ("histogram bucket assignment", `Quick, test_histogram_buckets);
+    ("histogram quantiles", `Quick, test_histogram_quantile);
+    ("histogram shard merge deterministic", `Quick, test_histogram_shard_merge);
+    ("metrics registry and exposition", `Quick, test_metrics_registry);
+    ("probe churn under domains", `Quick, test_probe_churn_under_domains);
+    ("event escaping round-trips", `Quick, test_event_escaping_roundtrip) ]
   @ qcheck_tests
