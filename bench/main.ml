@@ -803,6 +803,177 @@ let bench_probe_overhead () =
       row [ cell "%6d" (String.length input); pp_ns ns ])
     [ 4; 16; 64 ]
 
+(* --- PR7: dense bitset CYK — the raw-speed floor ---------------------------------- *)
+
+module Binarize = Lambekd_cfg.Binarize
+module CykD = Lambekd_cfg.Cyk_dense
+
+let ss_cfg =
+  Cfg.make ~start:"S"
+    ~productions:[ ("S", [ Cfg.N "S"; Cfg.N "S" ]); ("S", [ Cfg.T 'a' ]) ]
+
+let anbn_cfg =
+  Cfg.make ~start:"S"
+    ~productions:[ ("S", []); ("S", [ Cfg.T 'a'; Cfg.N "S"; Cfg.T 'b' ]) ]
+
+(* best of 3: the pinned speedup ratios must survive scheduler noise *)
+let best3 f =
+  let t = ref infinity in
+  for _ = 1 to 3 do
+    t := Float.min !t (time_ns f)
+  done;
+  !t
+
+(* The tentpole claim: on a dense ambiguous grammar the bitset chart's
+   n³/63 word operations beat indexed Earley's item bookkeeping.  S→SS|a
+   saturates every cell, the worst case for Earley's completer and the
+   best case for a word-parallel OR. *)
+let bench_cyk_dense () =
+  header
+    "PR7 cyk — dense bitset CYK vs indexed Earley on S → SS | a over a^n \
+     (every span derivable: Earley's completer worst case)";
+  let b = Binarize.of_cfg_exn ss_cfg in
+  let comp = Earley.compile ss_cfg in
+  let es = Earley.scratch () in
+  let cy = CykD.scratch () in
+  row
+    [ cell "%6s" "len"; cell "%11s" "cyk"; cell "%11s" "earley";
+      cell "%8s" "speedup" ];
+  List.iter
+    (fun n ->
+      let input = String.make n 'a' in
+      let cyk_ns =
+        best3 (fun () -> ignore (CykD.accepts ~scratch:cy b input))
+      in
+      let earley_ns =
+        if n <= 256 then
+          Some
+            (best3 (fun () ->
+                 ignore
+                   (Earley.accepts
+                      (Earley.run_compiled ~scratch:es comp input))))
+        else None
+      in
+      json ~section:"cyk_dense"
+        [ ("len", Ev.Int n);
+          ("cyk_ns", Ev.Float cyk_ns);
+          opt_field "earley_ns" (fun ns -> Ev.Float ns) earley_ns;
+          opt_field "speedup"
+            (fun e -> Ev.Float (e /. cyk_ns))
+            earley_ns ];
+      row
+        [ cell "%6d" n;
+          pp_ns cyk_ns;
+          (match earley_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)");
+          (match earley_ns with
+           | Some e -> cell "%7.1fx" (e /. cyk_ns)
+           | None -> cell "%8s" "-") ])
+    [ 32; 64; 128; 256; 512; 1024 ]
+
+(* The Valiant-style blocked schedule: same chart, same bit facts, but
+   middle splits are walked tile-by-tile so the working set per product
+   stage is two cache-resident row segments instead of a stride across
+   the whole triangle.  The win appears once the row tables outgrow L2. *)
+let bench_cyk_blocked () =
+  header
+    "PR7 cyk — blocked (Valiant-style, 64-position tiles) vs unblocked \
+     schedule on a^n b^n and Dyck";
+  row
+    [ cell "%6s" "gram"; cell "%7s" "len"; cell "%11s" "blocked";
+      cell "%11s" "unblocked"; cell "%8s" "speedup" ];
+  let cy = CykD.scratch () in
+  List.iter
+    (fun (gname, cfg, word) ->
+      let b = Binarize.of_cfg_exn cfg in
+      List.iter
+        (fun n ->
+          let input = word n in
+          let blocked_ns =
+            best3 (fun () ->
+                ignore
+                  (CykD.accepts ~block:CykD.default_block ~scratch:cy b input))
+          in
+          let unblocked_ns =
+            best3 (fun () -> ignore (CykD.accepts ~scratch:cy b input))
+          in
+          json ~section:"cyk_blocked"
+            [ ("grammar", Ev.Str gname);
+              ("len", Ev.Int (String.length input));
+              ("blocked_ns", Ev.Float blocked_ns);
+              ("unblocked_ns", Ev.Float unblocked_ns);
+              ("speedup", Ev.Float (unblocked_ns /. blocked_ns)) ];
+          row
+            [ cell "%6s" gname;
+              cell "%7d" (String.length input);
+              pp_ns blocked_ns;
+              pp_ns unblocked_ns;
+              cell "%7.2fx" (unblocked_ns /. blocked_ns) ])
+        [ 1024; 2048; 4096 ])
+    [ ("anbn", anbn_cfg, fun n -> String.make (n / 2) 'a' ^ String.make (n / 2) 'b');
+      ("dyck", dyck_cfg, fun n -> String.concat "" (List.init (n / 2) (fun _ -> "()"))) ]
+
+(* Where [Auto] should flip: sweep grammar density × input length across
+   the Earley/CYK boundary.  The service constant (Exec.cyk_auto_crossover
+   = 16, membership queries only) is read off this table: the dense ss
+   grammar flips early, the sparse Dyck/expr grammars stay with Earley
+   throughout the interactive range — exactly the density signal. *)
+let bench_engine_crossover () =
+  header
+    "PR7 cyk — Auto crossover: density x len sweep (service flips to cyk \
+     at product >= 16 on membership queries)";
+  row
+    [ cell "%10s" "gram"; cell "%6s" "len"; cell "%8s" "density";
+      cell "%8s" "product"; cell "%11s" "earley"; cell "%11s" "cyk";
+      cell "%7s" "winner" ];
+  let cy = CykD.scratch () in
+  List.iter
+    (fun (gname, cfg, word, lens) ->
+      let b = Binarize.of_cfg_exn cfg in
+      let comp = Earley.compile cfg in
+      let es = Earley.scratch () in
+      let density = Binarize.density b in
+      List.iter
+        (fun n ->
+          let input = word n in
+          let len = String.length input in
+          let earley_ns =
+            best3 (fun () ->
+                ignore
+                  (Earley.accepts (Earley.run_compiled ~scratch:es comp input)))
+          in
+          let cyk_ns =
+            best3 (fun () ->
+                ignore
+                  (CykD.accepts ?block:(CykD.auto_block len) ~scratch:cy b
+                     input))
+          in
+          let product = density *. float_of_int len in
+          let winner = if cyk_ns < earley_ns then "cyk" else "earley" in
+          json ~section:"engine_crossover"
+            [ ("grammar", Ev.Str gname);
+              ("len", Ev.Int len);
+              ("density", Ev.Float density);
+              ("product", Ev.Float product);
+              ("earley_ns", Ev.Float earley_ns);
+              ("cyk_ns", Ev.Float cyk_ns);
+              ("winner", Ev.Str winner) ];
+          row
+            [ cell "%10s" gname; cell "%6d" len; cell "%8.2f" density;
+              cell "%8.1f" product; pp_ns earley_ns; pp_ns cyk_ns;
+              cell "%7s" winner ])
+        lens)
+    [ ("ss", ss_cfg, (fun n -> String.make n 'a'), [ 8; 16; 32; 64; 128 ]);
+      ( "expr_plain",
+        expr_cfg_plain,
+        (fun n -> "n" ^ String.concat "" (List.init n (fun _ -> "+n"))),
+        [ 8; 32; 128 ] );
+      ( "dyck",
+        dyck_cfg,
+        (fun n -> String.concat "" (List.init n (fun _ -> "()"))),
+        [ 8; 32; 128 ] ) ]
+
 (* --- PR3: service layer — registry amortization and batch throughput ----------- *)
 
 (* The serving claims (ISSUE PR3): (a) a warm grammar registry makes a
@@ -1186,6 +1357,9 @@ let sections =
     ("earley_completer", bench_earley_completer);
     ("earley_leo", bench_earley_leo);
     ("scratch_reuse", bench_scratch_reuse);
+    ("cyk_dense", bench_cyk_dense);
+    ("cyk_blocked", bench_cyk_blocked);
+    ("engine_crossover", bench_engine_crossover);
     ("surface", bench_surface);
     ("service", bench_service);
     ("fault_overhead", bench_fault_overhead);

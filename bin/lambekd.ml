@@ -688,8 +688,19 @@ let serve_cmd =
 
 let batch_cmd =
   let run common file domains queue_cap artifact_cap result_cap no_times
-      no_leo =
+      no_leo engine =
     with_telemetry common @@ fun () ->
+    let engine_pin =
+      match engine with
+      | None -> Ok None
+      | Some name ->
+        Result.map Option.some (Sv.Protocol.engine_choice_of_name name)
+    in
+    match engine_pin with
+    | Error msg ->
+      Fmt.epr "lambekd: --engine: %s@." msg;
+      2
+    | Ok engine_pin -> (
     match open_in file with
     | exception Sys_error msg ->
       Fmt.epr "lambekd: %s@." msg;
@@ -745,6 +756,20 @@ let batch_cmd =
                   req
               else req
             in
+            let req =
+              (* force-pin an engine for the whole batch (as if each
+                 request carried "engine":NAME); pin errors surface per
+                 request, same as a wire pin *)
+              match engine_pin with
+              | None -> req
+              | Some e ->
+                Result.map
+                  (function
+                    | Sv.Protocol.Request r ->
+                      Sv.Protocol.Request { r with Sv.Protocol.engine = e }
+                    | l -> l)
+                  req
+            in
             (match req with
             | Ok (Sv.Protocol.Request { Sv.Protocol.trace = Some tr; _ }) ->
               Sv.Trace.set_id tr (Fmt.str "t%d" s);
@@ -781,7 +806,7 @@ let batch_cmd =
           requests;
         Sv.Scheduler.shutdown sched
       end;
-      flags_exit flags
+      flags_exit flags)
   in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ndjson")
@@ -830,6 +855,19 @@ let batch_cmd =
              diffing a $(b,--no-leo) run against a default run \
              exercises both completer paths end to end.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"NAME"
+          ~doc:
+            "Force-pin an engine for every request in the batch (as if \
+             each carried $(i,\"engine\":NAME)): auto, ll1, slr, earley, \
+             cyk or enum.  Requests the pinned engine cannot serve (no \
+             table, over the cyk binarization budget, cyk on a parse \
+             query) answer $(i,bad_request), exactly as a wire pin \
+             would.")
+  in
   Cmd.v
     (Cmd.info "batch" ~exits:service_exits
        ~doc:
@@ -837,7 +875,7 @@ let batch_cmd =
           pipeline and print one response line per request, in order.")
     Term.(
       const run $ common_term $ file $ domains $ queue_cap $ artifact_cap
-      $ result_cap $ no_times $ no_leo)
+      $ result_cap $ no_times $ no_leo $ engine)
 
 (* Corpus mode: replay every committed .ndjson case through the serial
    reference and diff (or rewrite) its .expected golden. *)

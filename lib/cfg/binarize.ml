@@ -1,0 +1,239 @@
+module Cset = Lambekd_grammar.Charsets.Cset
+module Sset = Set.Make (String)
+
+let bits_per_word = 63
+
+type t = {
+  start : int;
+  num_nts : int;
+  nt_words : int;
+  nullable_start : bool;
+  nt_names : string array;
+  num_term_rules : int;
+  num_binary_rules : int;
+  num_pairs : int;
+  pair_b : int array;
+  pair_c : int array;
+  pair_lhs : int array;
+  term_masks : int array;
+  term_csets : Cset.t array;
+  alphabet : Cset.t;
+}
+
+type overflow = { nts_reached : int; rules_reached : int }
+
+exception Budget
+
+let of_cfg ?max_nts ?max_rules (cfg : Cfg.t) =
+  let nullable = Nullable.set (Nullable.compute cfg) in
+  (* name table: original nonterminals, lifted terminals, helper splits *)
+  let names = Hashtbl.create 64 in
+  let count = ref 0 in
+  let over_nts = match max_nts with None -> max_int | Some n -> n in
+  let over_rules = match max_rules with None -> max_int | Some n -> n in
+  let intern name =
+    match Hashtbl.find_opt names name with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      if !count > over_nts then raise Budget;
+      Hashtbl.add names name i;
+      i
+  in
+  (* [rules] counts admitted rules and expanded ε-variants both, so
+     variant expansion is budgeted even when deduplication collapses the
+     rules themselves (A → B…B with B nullable has 2^k variants but only
+     k distinct right-hand sides) *)
+  let rules = ref 0 in
+  let charge () =
+    incr rules;
+    if !rules > over_rules then raise Budget
+  in
+  let term_seen = Hashtbl.create 64 in
+  let term_rules = ref [] in
+  let bin_seen = Hashtbl.create 64 in
+  let binary_rules = ref [] in
+  let unit_seen = Hashtbl.create 64 in
+  let unit_rules = ref [] in
+  let add_term i c =
+    if not (Hashtbl.mem term_seen (i, c)) then begin
+      Hashtbl.add term_seen (i, c) ();
+      term_rules := (i, c) :: !term_rules
+    end
+  in
+  let add_binary a x y =
+    if not (Hashtbl.mem bin_seen (a, x, y)) then begin
+      Hashtbl.add bin_seen (a, x, y) ();
+      binary_rules := (a, x, y) :: !binary_rules
+    end
+  in
+  let add_unit a b =
+    if not (Hashtbl.mem unit_seen (a, b)) then begin
+      Hashtbl.add unit_seen (a, b) ();
+      unit_rules := (a, b) :: !unit_rules
+    end
+  in
+  let lift_terminal c =
+    let i = intern (Fmt.str "#chr%c" c) in
+    add_term i c;
+    i
+  in
+  let fresh_split =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      intern (Fmt.str "#split%d" !k)
+  in
+  let add_rule lhs rhs_nts =
+    charge ();
+    match rhs_nts with
+    | [] -> () (* ε variants are dropped; ε handled by nullable_start *)
+    | [ single ] -> add_unit lhs single
+    | [ a; b ] -> add_binary lhs a b
+    | a :: rest ->
+      let rec chain a rest lhs =
+        match rest with
+        | [ b ] -> add_binary lhs a b
+        | b :: more ->
+          let helper = fresh_split () in
+          add_binary lhs a helper;
+          chain b more helper
+        | [] -> assert false
+      in
+      chain a rest lhs
+  in
+  (* Expand the 2^(nullable occurrences) ε-free variants of each
+     production lazily — no materialized variant list, so a budgeted run
+     aborts after [max_rules] leaves instead of allocating the blowup
+     first. *)
+  let rec expand lhs rhs acc =
+    match rhs with
+    | [] -> add_rule lhs (List.rev acc)
+    | Cfg.T c :: rest -> expand lhs rest (lift_terminal c :: acc)
+    | Cfg.N m :: rest ->
+      let id = intern m in
+      expand lhs rest (id :: acc);
+      if Sset.mem m nullable then expand lhs rest acc
+  in
+  let build () =
+    let start = intern cfg.Cfg.start in
+    Array.iter
+      (fun p -> expand (intern p.Cfg.lhs) p.Cfg.rhs [])
+      cfg.Cfg.productions;
+    (* unit-rule elimination: transitive closure over the unit graph,
+       then copy the non-unit rules of everything reachable *)
+    let num = !count in
+    let succs = Array.make num [] in
+    List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) !unit_rules;
+    let terms_of = Array.make num [] in
+    List.iter (fun (i, c) -> terms_of.(i) <- c :: terms_of.(i)) !term_rules;
+    let bins_of = Array.make num [] in
+    List.iter
+      (fun (a, x, y) -> bins_of.(a) <- (x, y) :: bins_of.(a))
+      !binary_rules;
+    let final_term_seen = Hashtbl.create 64 in
+    let final_terms = ref [] in
+    let final_bin_seen = Hashtbl.create 64 in
+    let final_bins = ref [] in
+    let reached = Array.make num false in
+    for a = 0 to num - 1 do
+      Array.fill reached 0 num false;
+      let rec visit b =
+        if not reached.(b) then begin
+          reached.(b) <- true;
+          List.iter
+            (fun c ->
+              if not (Hashtbl.mem final_term_seen (a, c)) then begin
+                Hashtbl.add final_term_seen (a, c) ();
+                charge ();
+                final_terms := (a, c) :: !final_terms
+              end)
+            terms_of.(b);
+          List.iter
+            (fun (x, y) ->
+              if not (Hashtbl.mem final_bin_seen (a, x, y)) then begin
+                Hashtbl.add final_bin_seen (a, x, y) ();
+                charge ();
+                final_bins := (a, x, y) :: !final_bins
+              end)
+            bins_of.(b);
+          List.iter visit succs.(b)
+        end
+      in
+      visit a
+    done;
+    (* pack: names, terminal bitmaps, binary rules grouped by RHS pair *)
+    let nt_words = (num + bits_per_word - 1) / bits_per_word in
+    let nt_words = max nt_words 1 in
+    let nt_names = Array.make num "" in
+    Hashtbl.iter (fun name i -> nt_names.(i) <- name) names;
+    let term_masks = Array.make (256 * nt_words) 0 in
+    let term_csets = Array.make num Cset.empty in
+    let alphabet = ref Cset.empty in
+    List.iter
+      (fun (i, c) ->
+        let k = Char.code c in
+        term_masks.((k * nt_words) + (i / bits_per_word)) <-
+          term_masks.((k * nt_words) + (i / bits_per_word))
+          lor (1 lsl (i mod bits_per_word));
+        term_csets.(i) <- Cset.union term_csets.(i) (Cset.singleton c);
+        alphabet := Cset.union !alphabet (Cset.singleton c))
+      !final_terms;
+    (* pair ids in first-seen order: construction stays deterministic
+       for a given grammar, so artifacts digest-share across domains *)
+    let pair_ids = Hashtbl.create 64 in
+    let pair_order = ref [] in
+    let npairs = ref 0 in
+    List.iter
+      (fun (_, x, y) ->
+        if not (Hashtbl.mem pair_ids (x, y)) then begin
+          Hashtbl.add pair_ids (x, y) !npairs;
+          pair_order := (x, y) :: !pair_order;
+          incr npairs
+        end)
+      !final_bins;
+    let npairs = !npairs in
+    let pair_b = Array.make (max npairs 1) 0 in
+    let pair_c = Array.make (max npairs 1) 0 in
+    List.iter
+      (fun (x, y) ->
+        let p = Hashtbl.find pair_ids (x, y) in
+        pair_b.(p) <- x;
+        pair_c.(p) <- y)
+      !pair_order;
+    let pair_lhs = Array.make (max (npairs * nt_words) 1) 0 in
+    List.iter
+      (fun (a, x, y) ->
+        let p = Hashtbl.find pair_ids (x, y) in
+        pair_lhs.((p * nt_words) + (a / bits_per_word)) <-
+          pair_lhs.((p * nt_words) + (a / bits_per_word))
+          lor (1 lsl (a mod bits_per_word)))
+      !final_bins;
+    { start;
+      num_nts = num;
+      nt_words;
+      nullable_start = Sset.mem cfg.Cfg.start nullable;
+      nt_names;
+      num_term_rules = List.length !final_terms;
+      num_binary_rules = List.length !final_bins;
+      num_pairs = npairs;
+      pair_b;
+      pair_c;
+      pair_lhs;
+      term_masks;
+      term_csets;
+      alphabet = !alphabet }
+  in
+  match build () with
+  | t -> Ok t
+  | exception Budget ->
+    Error { nts_reached = !count; rules_reached = !rules }
+
+let of_cfg_exn cfg =
+  match of_cfg cfg with
+  | Ok t -> t
+  | Error _ -> assert false (* unbudgeted construction cannot overflow *)
+
+let density t = float_of_int t.num_binary_rules /. float_of_int (max t.num_nts 1)
+let accepts_empty t = t.nullable_start

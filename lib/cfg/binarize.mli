@@ -1,0 +1,73 @@
+(** Grammar binarization: a compact, int-indexed Chomsky normal form.
+
+    {!Cyk.of_cfg} is the semantic specification — ε-variant expansion,
+    terminal lifting, binary splitting and unit-rule transitive closure —
+    but its association-list output is built for readability, not speed.
+    This pass produces the same normal form as flat arrays shaped for the
+    dense recognizer ({!Cyk_dense}):
+
+    - binary rules are grouped by their right-hand-side {e pair}
+      [(B, C)]: the recognizer asks "does any split realize [B·C]?" once
+      per pair and then ORs in every left-hand side at once, so the pair
+      list plus a left-hand-side bitmask per pair is the whole rule set;
+    - terminal rules become a 256-entry table of nonterminal bitmasks
+      (which nonterminals derive this byte directly), plus per-nonterminal
+      {!Lambekd_grammar.Charsets.Cset} character bitmaps and their union —
+      the same 256-bit set representation the enumeration engines prune
+      with, reused here as a one-pass input prefilter: a byte outside
+      [alphabet] refutes membership before any table is touched.
+
+    Construction interns every name and rule in hash tables (the legacy
+    pass deduplicates with [List.mem], quadratic in the rule count) and
+    accepts optional budgets so a service can refuse adversarial
+    grammars: ε-variant expansion is 2^(nullable occurrences) per
+    production, so an inline grammar can be exponentially larger in CNF
+    than on the wire.  With budgets set, construction aborts as soon as
+    either limit is crossed and reports how far it got. *)
+
+val bits_per_word : int
+(** Nonterminal bitsets are packed [bits_per_word] (= 63, one OCaml
+    immediate int) nonterminals per word. *)
+
+type t = private {
+  start : int;
+  num_nts : int;  (** nonterminals: originals, lifted terminals, splits *)
+  nt_words : int;  (** words per nonterminal bitset *)
+  nullable_start : bool;  (** the empty word is in the language *)
+  nt_names : string array;  (** id → name, for diagnostics *)
+  num_term_rules : int;
+  num_binary_rules : int;  (** after unit-rule closure *)
+  num_pairs : int;  (** distinct binary right-hand sides *)
+  pair_b : int array;  (** pair → left child nonterminal *)
+  pair_c : int array;  (** pair → right child nonterminal *)
+  pair_lhs : int array;
+      (** pair → left-hand-side bitmask, [nt_words] words per pair *)
+  term_masks : int array;
+      (** byte → bitmask of nonterminals deriving it, [nt_words] words
+          per byte (256 rows) *)
+  term_csets : Lambekd_grammar.Charsets.Cset.t array;
+      (** nonterminal → characters it derives directly *)
+  alphabet : Lambekd_grammar.Charsets.Cset.t;
+      (** union of [term_csets]: every byte a member word can contain *)
+}
+
+type overflow = {
+  nts_reached : int;  (** nonterminals interned when the budget tripped *)
+  rules_reached : int;  (** rules (and ε-variants) admitted by then *)
+}
+
+val of_cfg : ?max_nts:int -> ?max_rules:int -> Cfg.t -> (t, overflow) result
+(** Binarize.  [max_nts] bounds interned nonterminals (originals plus
+    lifted terminals plus split helpers); [max_rules] bounds admitted
+    rules {e and} expanded ε-variants, so a production whose variants
+    collapse by deduplication still cannot drive exponential work.
+    Unbounded (the default) never returns [Error]. *)
+
+val of_cfg_exn : Cfg.t -> t
+(** Unbudgeted [of_cfg]; for tests and benches. *)
+
+val density : t -> float
+(** Binary rules per nonterminal — the static grammar-density signal the
+    service's [Auto] engine heuristic multiplies by input length. *)
+
+val accepts_empty : t -> bool

@@ -31,13 +31,27 @@ let of_cfg (cfg : Cfg.t) =
       Hashtbl.add names name i;
       i
   in
+  (* every rule list is interned through a hash table: the old
+     [List.mem] dedup rescanned the growing lists per candidate,
+     quadratic in the rule count of the closure *)
+  let term_seen = Hashtbl.create 64 in
   let term_rules = ref [] in
+  let bin_seen = Hashtbl.create 64 in
   let binary_rules = ref [] in
   let unit_rules = ref [] in
+  let add_binary a x y =
+    if not (Hashtbl.mem bin_seen (a, x, y)) then begin
+      Hashtbl.add bin_seen (a, x, y) ();
+      binary_rules := (a, x, y) :: !binary_rules
+    end
+  in
   let lift_terminal c =
     let name = Fmt.str "#chr%c" c in
     let i = intern name in
-    if not (List.mem (i, c) !term_rules) then term_rules := (i, c) :: !term_rules;
+    if not (Hashtbl.mem term_seen (i, c)) then begin
+      Hashtbl.add term_seen (i, c) ();
+      term_rules := (i, c) :: !term_rules
+    end;
     i
   in
   let fresh_split =
@@ -61,14 +75,14 @@ let of_cfg (cfg : Cfg.t) =
     match rhs_nts with
     | [] -> () (* ε variants are dropped; ε handled by nullable_start *)
     | [ single ] -> unit_rules := (lhs, single) :: !unit_rules
-    | [ a; b ] -> binary_rules := (lhs, a, b) :: !binary_rules
+    | [ a; b ] -> add_binary lhs a b
     | a :: rest ->
       let rec chain a rest lhs =
         match rest with
-        | [ b ] -> binary_rules := (lhs, a, b) :: !binary_rules
+        | [ b ] -> add_binary lhs a b
         | b :: more ->
           let helper = fresh_split () in
-          binary_rules := (lhs, a, helper) :: !binary_rules;
+          add_binary lhs a helper;
           chain b more helper
         | [] -> assert false
       in
@@ -79,38 +93,44 @@ let of_cfg (cfg : Cfg.t) =
       let lhs = intern p.Cfg.lhs in
       List.iter (add_rule lhs) (variants p.Cfg.rhs))
     cfg.Cfg.productions;
-  (* unit-rule elimination: transitive closure, then copy non-unit rules *)
+  (* unit-rule elimination: a reachability walk over the unit graph per
+     nonterminal (the closure fixpoint is implicit in the DFS), copying
+     the non-unit rules of everything reached — rules grouped by
+     left-hand side up front, duplicates interned away *)
   let num = !count in
-  let unit_closure = Array.init num (fun i -> [ i ]) in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (a, b) ->
+  let succs = Array.make (max num 1) [] in
+  List.iter (fun (a, b) -> succs.(a) <- b :: succs.(a)) !unit_rules;
+  let terms_of = Array.make (max num 1) [] in
+  List.iter (fun (i, c) -> terms_of.(i) <- c :: terms_of.(i)) !term_rules;
+  let bins_of = Array.make (max num 1) [] in
+  List.iter (fun (a, x, y) -> bins_of.(a) <- (x, y) :: bins_of.(a)) !binary_rules;
+  let final_term_seen = Hashtbl.create 64 in
+  let final_bin_seen = Hashtbl.create 64 in
+  let final_terms = ref [] and final_bins = ref [] in
+  let reached = Array.make (max num 1) false in
+  for a = 0 to num - 1 do
+    Array.fill reached 0 num false;
+    let rec visit b =
+      if not reached.(b) then begin
+        reached.(b) <- true;
         List.iter
           (fun c ->
-            if not (List.mem c unit_closure.(a)) then begin
-              unit_closure.(a) <- c :: unit_closure.(a);
-              changed := true
+            if not (Hashtbl.mem final_term_seen (a, c)) then begin
+              Hashtbl.add final_term_seen (a, c) ();
+              final_terms := (a, c) :: !final_terms
             end)
-          unit_closure.(b))
-      !unit_rules
-  done;
-  let final_terms = ref [] and final_bins = ref [] in
-  for a = 0 to num - 1 do
-    List.iter
-      (fun b ->
+          terms_of.(b);
         List.iter
-          (fun (lhs, c) ->
-            if lhs = b && not (List.mem (a, c) !final_terms) then
-              final_terms := (a, c) :: !final_terms)
-          !term_rules;
-        List.iter
-          (fun (lhs, x, y) ->
-            if lhs = b && not (List.mem (a, x, y) !final_bins) then
-              final_bins := (a, x, y) :: !final_bins)
-          !binary_rules)
-      unit_closure.(a)
+          (fun (x, y) ->
+            if not (Hashtbl.mem final_bin_seen (a, x, y)) then begin
+              Hashtbl.add final_bin_seen (a, x, y) ();
+              final_bins := (a, x, y) :: !final_bins
+            end)
+          bins_of.(b);
+        List.iter visit succs.(b)
+      end
+    in
+    visit a
   done;
   {
     start = intern cfg.Cfg.start;

@@ -1,0 +1,264 @@
+module BA = Bigarray
+module Cset = Lambekd_grammar.Charsets.Cset
+module Probe = Lambekd_telemetry.Probe
+
+let c_runs = Probe.counter "cyk.runs"
+let c_cells = Probe.counter "cyk.cells"
+let c_grow = Probe.counter "cyk.grow"
+
+let w_bits = Binarize.bits_per_word
+
+type buf = (int, BA.int_elt, BA.c_layout) BA.Array1.t
+
+type scratch = { mutable buf : buf; mutable acc_tile : int array }
+
+let scratch () =
+  { buf = BA.Array1.create BA.int BA.c_layout 0; acc_tile = [||] }
+
+(* Grow-only arena with a dirty-prefix reset: a run addresses exactly
+   [need] words, so only that prefix is zeroed — stale bits past it
+   (from a larger earlier run, under whatever row stride that run used)
+   are never read. *)
+let ensure sc need =
+  let dim = BA.Array1.dim sc.buf in
+  if dim < need then begin
+    Probe.bump c_grow;
+    sc.buf <- BA.Array1.create BA.int BA.c_layout (max need (2 * dim))
+  end;
+  BA.Array1.fill (BA.Array1.sub sc.buf 0 need) 0
+
+let ensure_tile sc need =
+  if Array.length sc.acc_tile < need then sc.acc_tile <- Array.make need 0
+
+(* Index of the lowest set bit ([x] has at least one). *)
+let ntz x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFFFFFF = 0 then begin
+    n := !n + 32;
+    x := !x lsr 32
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+let default_block = 64
+let blocked_threshold = 2048
+let auto_block len = if len >= blocked_threshold then Some default_block else None
+
+let accepts ?block ?scratch:sc ?poll (g : Binarize.t) w =
+  let n = String.length w in
+  if n = 0 then g.nullable_start
+  else begin
+    (* alphabet prefilter: a byte no terminal rule derives refutes
+       membership before the arena is touched *)
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if not (Cset.mem (String.unsafe_get w i) g.alphabet) then ok := false
+    done;
+    if not !ok then false
+    else begin
+      Probe.bump c_runs;
+      let sc = match sc with Some s -> s | None -> scratch () in
+      let poll = match poll with Some f -> f | None -> Fun.id in
+      let nw = g.nt_words in
+      let npairs = g.num_pairs in
+      let stride = ((n + 1) + w_bits - 1) / w_bits in
+      let rows = g.num_nts * (n + 1) in
+      let need = 2 * rows * stride in
+      ensure sc need;
+      let tbl = sc.buf in
+      let srow a i = ((a * (n + 1)) + i) * stride in
+      let erow a j = (rows + (a * (n + 1)) + j) * stride in
+      let get o = BA.Array1.unsafe_get tbl o in
+      let set_bit base k =
+        let o = base + (k / w_bits) in
+        BA.Array1.unsafe_set tbl o (get o lor (1 lsl (k mod w_bits)))
+      in
+      (* length-1 layer: one 256-entry mask lookup per input byte *)
+      for i = 0 to n - 1 do
+        let k = Char.code (String.unsafe_get w i) * nw in
+        for wd = 0 to nw - 1 do
+          let m = ref (Array.unsafe_get g.term_masks (k + wd)) in
+          while !m <> 0 do
+            let bit = ntz !m in
+            m := !m land (!m - 1);
+            let a = (wd * w_bits) + bit in
+            set_bit (srow a i) (i + 1);
+            set_bit (erow a (i + 1)) i
+          done
+        done
+      done;
+      let cells = ref 0 in
+      (* accumulator helpers over an [nt_words]-wide cell slice at
+         [base] inside [arr] — the same code serves the single scratch
+         cell of the unblocked schedule and the tile buffer rows of the
+         blocked one *)
+      let subsumed arr base off =
+        let s = ref true in
+        for wd = 0 to nw - 1 do
+          if
+            Array.unsafe_get g.pair_lhs (off + wd)
+            land lnot (Array.unsafe_get arr (base + wd))
+            <> 0
+          then s := false
+        done;
+        !s
+      in
+      let or_lhs arr base off =
+        for wd = 0 to nw - 1 do
+          Array.unsafe_set arr (base + wd)
+            (Array.unsafe_get arr (base + wd)
+            lor Array.unsafe_get g.pair_lhs (off + wd))
+        done
+      in
+      let commit arr base i j =
+        for wd = 0 to nw - 1 do
+          let m = ref (Array.unsafe_get arr (base + wd)) in
+          while !m <> 0 do
+            let bit = ntz !m in
+            m := !m land (!m - 1);
+            let a = (wd * w_bits) + bit in
+            set_bit (srow a i) j;
+            set_bit (erow a j) i
+          done
+        done
+      in
+      (* one word-parallel existence scan: any split bit in words
+         [wlo..whi] common to start(b, i) and end(c, j)?  Windows may
+         round outward to word boundaries: every chart bit is a true
+         derivation fact, so any hit is a valid split. *)
+      let hit b i c j wlo whi =
+        let sb = srow b i and eb = erow c j in
+        let h = ref false and wd = ref wlo in
+        while (not !h) && !wd <= whi do
+          if get (sb + !wd) land get (eb + !wd) <> 0 then h := true;
+          incr wd
+        done;
+        !h
+      in
+      let acc = Array.make nw 0 in
+      (* cell (i, j) with every split in range: the unblocked schedule
+         and the blocked schedule's diagonal tiles *)
+      let direct_cell i j =
+        poll ();
+        incr cells;
+        Array.fill acc 0 nw 0;
+        let wlo = (i + 1) / w_bits and whi = (j - 1) / w_bits in
+        for p = 0 to npairs - 1 do
+          let off = p * nw in
+          if not (subsumed acc 0 off) then
+            if
+              hit (Array.unsafe_get g.pair_b p) i (Array.unsafe_get g.pair_c p)
+                j wlo whi
+            then or_lhs acc 0 off
+        done;
+        commit acc 0 i j
+      in
+      (match block with
+      | None ->
+        for len = 2 to n do
+          for i = 0 to n - len do
+            direct_cell i (i + len)
+          done
+        done
+      | Some bsize ->
+        let bsize = max 2 bsize in
+        let nb = (n + bsize) / bsize in
+        let tlo t = t * bsize in
+        let thi t = min (((t + 1) * bsize) - 1) n in
+        ensure_tile sc (bsize * bsize * nw);
+        let accs = sc.acc_tile in
+        for d = 0 to nb - 1 do
+          for ti = 0 to nb - 1 - d do
+            let tj = ti + d in
+            let ilo = tlo ti and ihi = thi ti in
+            let jlo = tlo tj and jhi = thi tj in
+            if d = 0 then
+              (* intra-tile closure: the base algorithm on a tile-local
+                 chart slice *)
+              for len = 2 to ihi - ilo do
+                for i = ilo to ihi - len do
+                  direct_cell i (i + len)
+                done
+              done
+            else begin
+              let tw = jhi - jlo + 1 in
+              let idx i j = (((i - ilo) * tw) + (j - jlo)) * nw in
+              Array.fill accs 0 ((ihi - ilo + 1) * tw * nw) 0;
+              (* product stage: whole middle tiles as submatrix
+                 products — operand segments are a word or two per row,
+                 resident across the tile pair's cells *)
+              for tk = ti + 1 to tj - 1 do
+                let wlo = tlo tk / w_bits and whi = thi tk / w_bits in
+                for p = 0 to npairs - 1 do
+                  let b = Array.unsafe_get g.pair_b p
+                  and c = Array.unsafe_get g.pair_c p in
+                  let off = p * nw in
+                  for j = jlo to jhi do
+                    poll ();
+                    (* skip the whole column when end(c, j) has no
+                       split bit in this tile *)
+                    let eb = erow c j in
+                    let any = ref false in
+                    for wd = wlo to whi do
+                      if get (eb + wd) <> 0 then any := true
+                    done;
+                    if !any then
+                      for i = ilo to ihi do
+                        let o = idx i j in
+                        if not (subsumed accs o off) then
+                          if hit b i c j wlo whi then or_lhs accs o off
+                      done
+                  done
+                done
+              done;
+              (* sweep stage: finish the intra-pair splits (k in tile
+                 [ti] or tile [tj]) in span-length order, committing
+                 each cell before any longer cell reads it *)
+              for len = max 2 (jlo - ihi) to jhi - ilo do
+                let i0 = max ilo (jlo - len) and i1 = min ihi (jhi - len) in
+                for i = i0 to i1 do
+                  let j = i + len in
+                  poll ();
+                  incr cells;
+                  let o = idx i j in
+                  let wlo1 = (i + 1) / w_bits and whi1 = ihi / w_bits in
+                  let wlo2 = jlo / w_bits and whi2 = (j - 1) / w_bits in
+                  for p = 0 to npairs - 1 do
+                    let off = p * nw in
+                    if not (subsumed accs o off) then begin
+                      let b = Array.unsafe_get g.pair_b p
+                      and c = Array.unsafe_get g.pair_c p in
+                      if
+                        hit b i c j wlo1 whi1
+                        || (whi2 >= wlo2 && hit b i c j wlo2 whi2)
+                      then or_lhs accs o off
+                    end
+                  done;
+                  commit accs o i j
+                done
+              done
+            end
+          done
+        done);
+      Probe.add c_cells !cells;
+      get (srow g.start 0 + (n / w_bits)) land (1 lsl (n mod w_bits)) <> 0
+    end
+  end
+
+let recognizes cfg w = accepts (Binarize.of_cfg_exn cfg) w

@@ -1,0 +1,64 @@
+(** Dense CYK: bitset recognition over a binarized grammar.
+
+    The chart keeps, per nonterminal [A], two bit-rows per input
+    position: [start(A, i)] has bit [k] set iff [A] derives [w.[i..k)],
+    and [end(A, j)] has bit [k] set iff [A] derives [w.[k..j)].  A cell
+    [(i, j)] then asks, once per distinct binary right-hand-side pair
+    [(B, C)], whether [start(B, i) ∧ end(C, j)] is non-zero over the
+    split range — one word-parallel AND over [⌈len/63⌉] words instead of
+    [len] pointwise probes — and ORs the pair's whole left-hand-side
+    mask into the cell on a hit.  Cells only ever gain bits, and every
+    bit written is a true derivation fact, so scan windows can round
+    outward to word boundaries without masking.
+
+    Two schedules compute the same closure:
+    - {e unblocked}: the textbook [len → i] sweep; at large [n] every
+      cell streams two long rows through the cache;
+    - {e blocked} ([~block], Valiant-style): positions are tiled; a tile
+      pair [(I, J)] first accumulates split contributions from whole
+      middle tiles — submatrix products whose operand segments (a couple
+      of words per row) stay cache-resident across the tile's cells —
+      then finishes the intra-tile splits in dependency (span-length)
+      order.  Verdicts are identical by construction (the closure is
+      confluent); only the memory traffic differs.
+
+    Per-run storage lives in a {!scratch} arena in the {!Earley.scratch}
+    mold: one grow-only [Bigarray] backing both tables, with only the
+    prefix a run actually addresses reset on reuse (the dirty suffix
+    from a larger earlier run is never read). *)
+
+type scratch
+
+val scratch : unit -> scratch
+(** A fresh, empty arena.  At most one run may use it at a time; reuse
+    across runs is the point (zero steady-state allocation). *)
+
+val accepts :
+  ?block:int ->
+  ?scratch:scratch ->
+  ?poll:(unit -> unit) ->
+  Binarize.t ->
+  string ->
+  bool
+(** Is the word in the language?  [block] selects the blocked schedule
+    with the given tile width (default: unblocked).  [poll] is invoked
+    once per chart cell; it may raise to abort the run (deadline
+    cancellation — the scratch is safely reset on its next use).
+    A byte outside {!Binarize.alphabet} refutes membership in one input
+    scan, before the arena is touched. *)
+
+val default_block : int
+(** Tile width used when callers ask for automatic blocking (64:
+    one-to-two words of split bits per segment). *)
+
+val blocked_threshold : int
+(** Input length from which {!auto_block} switches to the blocked
+    schedule — where the two tables outgrow the last-level cache;
+    crossover measured by the [cyk_blocked] bench section. *)
+
+val auto_block : int -> int option
+(** [auto_block len] is [Some default_block] when [len >=
+    blocked_threshold], else [None] — the service's blocking policy. *)
+
+val recognizes : Cfg.t -> string -> bool
+(** One-shot: binarize (unbudgeted) and run; for tests and benches. *)

@@ -15,7 +15,7 @@ let c_fault_retries = Probe.counter "service.fault_retries"
 let c_engine =
   List.map
     (fun n -> (n, Probe.counter ("exec.engine." ^ n)))
-    [ "ll1"; "slr"; "earley"; "enum"; "forest" ]
+    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest" ]
 
 let bump_engine name =
   match List.assoc_opt name c_engine with
@@ -30,7 +30,7 @@ let h_latency = Metrics.histogram "lambekd_request_ns"
 let h_engine =
   List.map
     (fun n -> (n, Metrics.histogram ("lambekd_request_ns_" ^ n)))
-    [ "ll1"; "slr"; "earley"; "enum"; "forest" ]
+    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest" ]
 
 let observe_latency ~engine_used dur_ns =
   if Metrics.enabled () then begin
@@ -54,6 +54,21 @@ let make_poll deadline_ns =
 let tree_string (t : Earley.tree) =
   Grammar.Ptree.to_string (Earley.tree_to_ptree t)
 
+(* [Auto]'s Earley-vs-CYK crossover: by the time both deterministic
+   tables have failed the grammar is typically ambiguous, which is where
+   Earley's completion constants blow up and the dense chart's n³/63
+   word operations win.  The static signal is binarized grammar density
+   (CNF binary rules per nonterminal) × input length; the constant is
+   read off the [engine_crossover] bench section (EXPERIMENTS E24): on
+   the S→SS|a builtin (density 0.5) dense CYK wins from n ≈ 32, so the
+   product threshold sits at 16 with the short side left to Earley. *)
+let cyk_auto_crossover = 16.0
+
+let auto_cyk (b : Binarize.t) (req : Protocol.request) =
+  req.query = Protocol.Membership
+  && Binarize.density b *. float_of_int (String.length req.input)
+     >= cyk_auto_crossover
+
 (* The engine [Auto] resolves to, given what the artifact offers. *)
 let resolve (a : Registry.artifact) (req : Protocol.request) =
   match req.query with
@@ -64,7 +79,10 @@ let resolve (a : Registry.artifact) (req : Protocol.request) =
       match (a.ll1, a.slr) with
       | Some t, _ -> Ok (`Ll1 t)
       | None, Some t -> Ok (`Slr t)
-      | None, None -> Ok `Earley)
+      | None, None -> (
+        match a.cnf with
+        | Some b when auto_cyk b req -> Ok (`Cyk b)
+        | _ -> Ok `Earley))
     | Protocol.Ll1 -> (
       match a.ll1 with
       | Some t -> Ok (`Ll1 t)
@@ -74,12 +92,25 @@ let resolve (a : Registry.artifact) (req : Protocol.request) =
       | Some t -> Ok (`Slr t)
       | None -> Error "grammar is not SLR(1); cannot pin engine \"slr\"")
     | Protocol.Earley -> Ok `Earley
+    | Protocol.Cyk ->
+      if req.query = Protocol.Parse then
+        Error "engine \"cyk\" is a recognizer; it cannot answer \"parse\" queries"
+      else (
+        match a.cnf with
+        | Some b -> Ok (`Cyk b)
+        | None ->
+          Error
+            (Fmt.str
+               "grammar exceeds the cyk binarization budget (%d of %d \
+                nonterminals); cannot pin engine \"cyk\""
+               a.cnf_nts a.cyk_nt_budget))
     | Protocol.Enum -> Ok `Enum)
 
 let engine_name = function
   | `Ll1 _ -> "ll1"
   | `Slr _ -> "slr"
   | `Earley -> "earley"
+  | `Cyk _ -> "cyk"
   | `Enum -> "enum"
   | `Forest -> "forest"
 
@@ -127,6 +158,17 @@ let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
           match if want_tree then Earley.parse_tree chart else None with
           | Some tree -> accepted tree
           | None -> Protocol.Accepted None)
+  | `Cyk b ->
+    (* recognizer only (resolve rejects parse queries): bitset chart in
+       the pooled arena, blocked schedule from the measured length
+       threshold *)
+    Registry.with_scratch a (fun sc ->
+        if
+          Cyk_dense.accepts
+            ?block:(Cyk_dense.auto_block (String.length req.input))
+            ~scratch:sc.Registry.cy ?poll b req.input
+        then Protocol.Accepted None
+        else Protocol.Rejected)
   | `Enum ->
     if not want_tree then
       if Grammar.Enum.accepts ~cs:a.cs ?poll a.grammar req.input then

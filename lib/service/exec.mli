@@ -3,7 +3,9 @@
     One call = one request against one registry.  The engine policy for
     [Auto] picks the cheapest applicable machinery the compiled artifact
     offers — LL(1) table, else SLR(1) table, else the indexed Earley
-    recognizer; [Count] queries always run the packed forest; [Enum] pins
+    recognizer, with the dense bitset CYK taking over membership queries
+    when grammar density × input length crosses the bench-measured
+    threshold; [Count] queries always run the packed forest; [Enum] pins
     the grammar-model enumeration engines.  The engine actually used is
     recorded in the response.
 

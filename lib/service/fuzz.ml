@@ -75,8 +75,9 @@ let gen_lines ~seed ~requests =
       match int 10 with
       | 0 ->
         (* engine pins: earley/enum always apply; ll1/slr may be a
-           (deterministic) bad request on grammars without the table *)
-        [ field "engine" (pick [ "ll1"; "slr"; "earley"; "enum" ]) ]
+           (deterministic) bad request on grammars without the table,
+           cyk on parse queries (it is a recognizer) *)
+        [ field "engine" (pick [ "ll1"; "slr"; "earley"; "cyk"; "enum" ]) ]
       | 1 | 2 ->
         (* an already-expired deadline: exercises the queued-expiry
            path; only with the auto engine, whose resolution cannot
@@ -152,7 +153,7 @@ let gen_lines ~seed ~requests =
     match int 4 with
     | 0 -> obj [ id; field "grammar" (Fmt.str "nosuch%d" (int 5)); field "input" "x" ]
     | 1 -> obj [ id; field "grammar" "dyck"; field "input" "()"; field "query" "frobnicate" ]
-    | 2 -> obj [ id; field "grammar" "dyck"; field "input" "()"; field "engine" "cyk" ]
+    | 2 -> obj [ id; field "grammar" "dyck"; field "input" "()"; field "engine" "glr" ]
     | _ -> obj [ id; field "grammar" "dyck"; field "input" "()"; ("timeout_ms", Json.Num (-5.)) ]
   in
   let unicode i =

@@ -2,14 +2,24 @@ open Lambekd_cfg
 
 type query = Membership | Parse | Count
 
-type engine_choice = Auto | Ll1 | Slr | Earley | Enum
+type engine_choice = Auto | Ll1 | Slr | Earley | Cyk | Enum
 
 let engine_choice_name = function
   | Auto -> "auto"
   | Ll1 -> "ll1"
   | Slr -> "slr"
   | Earley -> "earley"
+  | Cyk -> "cyk"
   | Enum -> "enum"
+
+let engine_choice_of_name = function
+  | "auto" -> Ok Auto
+  | "ll1" -> Ok Ll1
+  | "slr" -> Ok Slr
+  | "earley" -> Ok Earley
+  | "cyk" -> Ok Cyk
+  | "enum" -> Ok Enum
+  | e -> Error (Fmt.str "unknown engine %S (auto|ll1|slr|earley|cyk|enum)" e)
 
 type request = {
   id : string option;
@@ -113,12 +123,7 @@ let decode_request j =
   let* engine =
     match Option.bind (Json.mem "engine" j) Json.str with
     | None -> Ok Auto
-    | Some "auto" -> Ok Auto
-    | Some "ll1" -> Ok Ll1
-    | Some "slr" -> Ok Slr
-    | Some "earley" -> Ok Earley
-    | Some "enum" -> Ok Enum
-    | Some e -> Error (Fmt.str "unknown engine %S (auto|ll1|slr|earley|enum)" e)
+    | Some e -> engine_choice_of_name e
   in
   let* leo =
     match Json.mem "leo" j with

@@ -14,10 +14,14 @@
       [[lhs, [sym, ...]]] and a symbol is either ["'c'"] (a quoted
       terminal character) or a bare nonterminal name.
     - [query]: ["member"] (default), ["parse"], or ["count"].
-    - [engine]: ["auto"] (default), ["ll1"], ["slr"], ["earley"], or
-      ["enum"].  [auto] picks the cheapest applicable table
-      (LL(1) → SLR(1) → Earley); pinning an engine whose table does not
-      exist for the grammar is a bad request.
+    - [engine]: ["auto"] (default), ["ll1"], ["slr"], ["earley"],
+      ["cyk"], or ["enum"].  [auto] picks the cheapest applicable table
+      (LL(1) → SLR(1) → Earley, with dense-CYK taking over from Earley
+      on membership queries when grammar density × input length crosses
+      the measured crossover); pinning an engine whose table does not
+      exist for the grammar is a bad request, as is pinning the
+      recognizer-only ["cyk"] on a ["parse"] query or on a grammar whose
+      binarized form exceeds the registry's nonterminal budget.
     - [leo]: boolean; pins the Earley engine's Leo right-recursion
       optimization on or off for this request (default on — only
       meaningful when the request runs Earley; verdicts are identical
@@ -41,9 +45,14 @@
 
 type query = Membership | Parse | Count
 
-type engine_choice = Auto | Ll1 | Slr | Earley | Enum
+type engine_choice = Auto | Ll1 | Slr | Earley | Cyk | Enum
 
 val engine_choice_name : engine_choice -> string
+
+val engine_choice_of_name : string -> (engine_choice, string) result
+(** Inverse of {!engine_choice_name} — the same decoder the wire
+    ["engine"] field goes through, exposed for CLI flags that pin an
+    engine for a whole run. *)
 
 type request = {
   id : string option;

@@ -9,7 +9,7 @@ module Forest = Lambekd_grammar.Forest
    can recycle — Earley chart storage and forest node arenas.  Bundles
    are checked out exclusively ({!with_scratch}), so the mutable state
    inside never crosses two concurrent requests. *)
-type scratch = { es : Earley.scratch; fp : Forest.pool }
+type scratch = { es : Earley.scratch; fp : Forest.pool; cy : Cyk_dense.scratch }
 
 type scratch_pool = {
   pmu : Mutex.t;
@@ -27,6 +27,9 @@ type artifact = {
   ll1 : Ll1.table option;
   slr : Slr.table option;
   earley : Earley.compiled;
+  cnf : Binarize.t option;
+  cnf_nts : int;
+  cyk_nt_budget : int;
   pool : scratch_pool;
   compile_ns : float;
 }
@@ -88,7 +91,14 @@ let warm cs root_ann =
   in
   go root_ann
 
-let compile cfg =
+(* The dense-CYK engine's binarized form is budgeted: ε-variant
+   expansion is exponential in nullable occurrences per production, so
+   an adversarial inline grammar could otherwise stall the compile lock.
+   Over budget, the artifact records how far binarization got and the
+   [cyk] pin becomes a resolve-time bad request. *)
+let default_cyk_nt_budget = 512
+
+let compile ?(cyk_nt_budget = default_cyk_nt_budget) cfg =
   Probe.with_span "service.compile" (fun () ->
       Probe.bump c_compile;
       let t0 = Clock.now_ns () in
@@ -100,9 +110,18 @@ let compile cfg =
       let ll1 = Result.to_option (Ll1.build cfg) in
       let slr = Result.to_option (Slr.build cfg) in
       let earley = Earley.compile cfg in
+      let cnf, cnf_nts =
+        match
+          Binarize.of_cfg ~max_nts:cyk_nt_budget
+            ~max_rules:(cyk_nt_budget * 64) cfg
+        with
+        | Ok b -> (Some b, b.Binarize.num_nts)
+        | Error o -> (None, o.Binarize.nts_reached)
+      in
       let pool = { pmu = Mutex.create (); free = []; avail = 0; out = 0 } in
       let compile_ns = Clock.now_ns () -. t0 in
-      { cfg; digest; grammar; cs; ff; ll1; slr; earley; pool; compile_ns })
+      { cfg; digest; grammar; cs; ff; ll1; slr; earley; cnf; cnf_nts;
+        cyk_nt_budget; pool; compile_ns })
 
 (* Bundles a worker finished with are kept for the next request against
    the same artifact; the cap only matters when more domains than this
@@ -125,7 +144,8 @@ let with_scratch a f =
     | Some s ->
       Probe.bump c_scratch_reuse;
       s
-    | None -> { es = Earley.scratch (); fp = Forest.pool () }
+    | None ->
+      { es = Earley.scratch (); fp = Forest.pool (); cy = Cyk_dense.scratch () }
   in
   (* check in even when [f] raises (deadline aborts): a scratch is reset
      at the start of its next run, so a dirty bundle is safe to reuse *)
@@ -157,9 +177,11 @@ type t = {
   a_misses : int Atomic.t;
   r_hits : int Atomic.t;
   r_misses : int Atomic.t;
+  cyk_nt_budget : int;
 }
 
-let create ?(artifact_cap = 64) ?(result_cap = 4096) () =
+let create ?(artifact_cap = 64) ?(result_cap = 4096)
+    ?(cyk_nt_budget = default_cyk_nt_budget) () =
   { mu = Mutex.create ();
     artifacts = Lru.create ~cap:artifact_cap;
     snap = Atomic.make [];
@@ -167,7 +189,8 @@ let create ?(artifact_cap = 64) ?(result_cap = 4096) () =
     a_hits = Atomic.make 0;
     a_misses = Atomic.make 0;
     r_hits = Atomic.make 0;
-    r_misses = Atomic.make 0 }
+    r_misses = Atomic.make 0;
+    cyk_nt_budget }
 
 let tick c = ignore (Atomic.fetch_and_add c 1)
 
@@ -205,7 +228,7 @@ let get ?trace t cfg =
         | None ->
           Probe.bump c_artifact_miss;
           tick t.a_misses;
-          let a = compile cfg in
+          let a = compile ~cyk_nt_budget:t.cyk_nt_budget cfg in
           Option.iter (fun tr -> Trace.set_compile_ns tr a.compile_ns) trace;
           Lru.put t.artifacts digest a;
           Atomic.set t.snap (Lru.bindings t.artifacts);

@@ -22,10 +22,12 @@
 type scratch = {
   es : Lambekd_cfg.Earley.scratch;
   fp : Lambekd_grammar.Forest.pool;
+  cy : Lambekd_cfg.Cyk_dense.scratch;
 }
-(** One worker's reusable allocation-heavy state: Earley chart storage
-    plus a forest node arena.  Obtained only through {!with_scratch},
-    which guarantees exclusive use for the duration of the callback. *)
+(** One worker's reusable allocation-heavy state: Earley chart storage,
+    a forest node arena and the dense-CYK bitset arena.  Obtained only
+    through {!with_scratch}, which guarantees exclusive use for the
+    duration of the callback. *)
 
 type scratch_pool
 (** Per-artifact free list of {!scratch} bundles (mutex-guarded, capped). *)
@@ -41,6 +43,13 @@ type artifact = private {
   slr : Lambekd_cfg.Slr.table option;
   earley : Lambekd_cfg.Earley.compiled;
       (** the recognizer's grammar tables, compiled once per artifact *)
+  cnf : Lambekd_cfg.Binarize.t option;
+      (** the dense-CYK engine's binarized form; [None] when it blew the
+          nonterminal/rule budget *)
+  cnf_nts : int;
+      (** binarized nonterminal count — on an over-budget grammar, how
+          far construction got before aborting (a lower bound) *)
+  cyk_nt_budget : int;  (** the budget this artifact was compiled under *)
   pool : scratch_pool;
   compile_ns : float;  (** wall-clock cost of this compilation *)
 }
@@ -56,15 +65,20 @@ val digest_cfg : Lambekd_cfg.Cfg.t -> string
 (** Hex digest of the canonical structural rendering (start symbol plus
     the production list in order). *)
 
-val compile : Lambekd_cfg.Cfg.t -> artifact
+val compile : ?cyk_nt_budget:int -> Lambekd_cfg.Cfg.t -> artifact
 (** Compile outside any registry — what {!get} does on a miss, exposed
-    for the differential tests and the cold-path bench. *)
+    for the differential tests and the cold-path bench.  [cyk_nt_budget]
+    (default 512) bounds the binarized form: ε-variant expansion is
+    exponential per production, so an adversarial inline grammar must
+    not stall the compile lock; over budget, [cnf] is [None] and
+    pinning the [cyk] engine is a resolve-time bad request. *)
 
 type t
 
-val create : ?artifact_cap:int -> ?result_cap:int -> unit -> t
-(** Defaults: 64 artifacts, 4096 results.  A cap of 0 disables that
-    cache. *)
+val create :
+  ?artifact_cap:int -> ?result_cap:int -> ?cyk_nt_budget:int -> unit -> t
+(** Defaults: 64 artifacts, 4096 results, 512 binarized nonterminals.
+    A cap of 0 disables that cache. *)
 
 val get : ?trace:Trace.t -> t -> Lambekd_cfg.Cfg.t -> artifact * [ `Hit | `Miss ]
 (** Fetch the artifact for a grammar, compiling on a miss.  The digest

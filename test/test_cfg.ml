@@ -5,6 +5,8 @@
 module Cfg = Lambekd_cfg.Cfg
 module Earley = Lambekd_cfg.Earley
 module Cyk = Lambekd_cfg.Cyk
+module Binarize = Lambekd_cfg.Binarize
+module CykD = Lambekd_cfg.Cyk_dense
 module Ff = Lambekd_cfg.First_follow
 module Ll1 = Lambekd_cfg.Ll1
 module Mu = Lambekd_cfg.Mu_regex
@@ -755,10 +757,142 @@ let prop_leo_differential =
           && Earley.parse_tree on = Earley.parse_tree off)
         (L.words [ 'a'; 'b' ] ~max_len:4))
 
+(* --- dense CYK (binarize + bitset chart) --------------------------------- *)
+
+(* Like {!random_cfg}, but biased toward the CNF pass's hard cases:
+   ε-productions everywhere and bare unit rules (which form cycles as
+   soon as two nonterminals pick each other). *)
+let random_cfg_eps rng =
+  let nts = [ "S"; "T"; "U" ] in
+  let nt () = Cfg.N (List.nth nts (Random.State.int rng 3)) in
+  let sym () =
+    match Random.State.int rng 5 with
+    | 0 -> Cfg.T 'a'
+    | 1 -> Cfg.T 'b'
+    | _ -> nt ()
+  in
+  let rhs () =
+    match Random.State.int rng 5 with
+    | 0 -> [] (* ε-heavy *)
+    | 1 -> [ nt () ] (* unit rules, often cyclic *)
+    | _ -> List.init (1 + Random.State.int rng 3) (fun _ -> sym ())
+  in
+  let productions =
+    List.concat_map
+      (fun n -> List.init (1 + Random.State.int rng 3) (fun _ -> (n, rhs ())))
+      nts
+  in
+  Cfg.make ~start:"S" ~productions
+
+(* The dense engine against both oracles — the indexed Earley recognizer
+   and the legacy list CYK it shares a normal form with — over random
+   grammars (half of them ε/unit-cycle heavy) and every short word.
+   [~block:2] forces maximal tiling (length-5 words already produce
+   middle tiles), so the product/sweep stages run under the oracle too;
+   one shared scratch across all 220 grammars exercises the arena's
+   stride-change resets. *)
+let prop_cyk_dense_differential =
+  let sc = CykD.scratch () in
+  QCheck.Test.make ~name:"dense cyk agrees with earley and legacy cyk"
+    ~count:220
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| seed; 0xcbc |] in
+      let cfg = if seed land 1 = 0 then random_cfg rng else random_cfg_eps rng in
+      let b = Binarize.of_cfg_exn cfg in
+      let cnf = Cyk.of_cfg cfg in
+      List.for_all
+        (fun w ->
+          let e = Earley.recognizes cfg w in
+          Bool.equal e (CykD.accepts ~scratch:sc b w)
+          && Bool.equal e (CykD.accepts ~block:2 ~scratch:sc b w)
+          && Bool.equal e (Cyk.recognizes cnf w))
+        (L.words [ 'a'; 'b' ] ~max_len:5))
+
+(* Blocked and unblocked schedules compute the same fixpoint: identity
+   at lengths straddling tile boundaries of the default block (64) and
+   the auto-blocking threshold, on accepted and rejected inputs, with
+   Earley as ground truth. *)
+let test_cyk_dense_blocked_identity () =
+  let dyck_b = Binarize.of_cfg_exn dyck_cfg in
+  let anbn_b = Binarize.of_cfg_exn anbn in
+  let sc = CykD.scratch () in
+  let check_id name b cfg w =
+    let plain = CykD.accepts ~scratch:sc b w in
+    check_bool
+      (Fmt.str "%s blocked=unblocked len %d" name (String.length w))
+      plain
+      (CykD.accepts ~block:CykD.default_block ~scratch:sc b w);
+    check_bool
+      (Fmt.str "%s matches earley len %d" name (String.length w))
+      (Earley.recognizes cfg w) plain
+  in
+  List.iter
+    (fun len ->
+      let half = len / 2 in
+      check_id "dyck" dyck_b dyck_cfg
+        (String.concat "" (List.init half (fun _ -> "()"))
+        ^ String.make (len - (2 * half)) '(');
+      check_id "dyck" dyck_b dyck_cfg (String.make len '(');
+      check_id "anbn" anbn_b anbn
+        (String.make half 'a' ^ String.make (len - half) 'b'))
+    [ 1; 2; 62; 63; 64; 65; 127; 128; 129 ];
+  (* straddle the auto-blocking length threshold with the policy the
+     service applies *)
+  List.iter
+    (fun len ->
+      let w = String.make (len / 2) 'a' ^ String.make (len - (len / 2)) 'b' in
+      let auto = CykD.accepts ?block:(CykD.auto_block len) ~scratch:sc anbn_b w in
+      check_bool
+        (Fmt.str "auto-block identity len %d" len)
+        (CykD.accepts ~scratch:sc anbn_b w)
+        auto)
+    [ CykD.blocked_threshold - 1; CykD.blocked_threshold ];
+  (* a byte outside the binarized alphabet short-circuits to reject *)
+  check_bool "alphabet prefilter rejects" false
+    (CykD.accepts ~scratch:sc anbn_b "acb");
+  check_bool "alphabet prefilter matches earley" (Earley.recognizes anbn "acb")
+    (CykD.accepts ~scratch:sc anbn_b "acb")
+
+let test_binarize_shape_and_budget () =
+  let b = Binarize.of_cfg_exn anbn in
+  check_bool "anbn nullable start" true (Binarize.accepts_empty b);
+  check_bool "anbn has pairs" true (b.Binarize.num_pairs > 0);
+  check_bool "anbn density positive" true (Binarize.density b > 0.);
+  check_bool "pair count bounded by rules" true
+    (b.Binarize.num_pairs <= b.Binarize.num_binary_rules);
+  (* the nonterminal budget trips on split helpers *)
+  (match Binarize.of_cfg ~max_nts:2 dyck_cfg with
+  | Error o -> check_bool "budget reports progress" true (o.Binarize.nts_reached > 2)
+  | Ok _ -> Alcotest.fail "expected a nonterminal-budget overflow");
+  (* ε-variant expansion is budgeted even when the expanded rules
+     deduplicate away: A → B^12 with B nullable has 2^12 variants *)
+  let blowup =
+    Cfg.make ~start:"A"
+      ~productions:
+        [ ("A", List.init 12 (fun _ -> Cfg.N "B"));
+          ("B", []);
+          ("B", [ Cfg.T 'b' ]) ]
+  in
+  (match Binarize.of_cfg ~max_rules:64 blowup with
+  | Error o -> check_bool "rule budget trips" true (o.Binarize.rules_reached > 64)
+  | Ok _ -> Alcotest.fail "expected a rule-budget overflow");
+  (* unbudgeted, the same grammar still binarizes correctly *)
+  let bb = Binarize.of_cfg_exn blowup in
+  let sc = CykD.scratch () in
+  List.iter
+    (fun k ->
+      check_bool
+        (Fmt.str "blowup accepts b^%d" k)
+        (k <= 12)
+        (CykD.accepts ~scratch:sc bb (String.make k 'b')))
+    [ 0; 1; 7; 12; 13 ]
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_dyck_roundtrip; prop_expr_roundtrip; prop_earley_cyk_agree;
-      prop_slr_earley_agree; prop_leo_differential ]
+      prop_slr_earley_agree; prop_leo_differential;
+      prop_cyk_dense_differential ]
 
 let suite =
   [ ("cfg make/validate", `Quick, test_cfg_make);
@@ -799,6 +933,8 @@ let suite =
     ("slr left association", `Quick, test_slr_left_associated);
     ("slr dyck", `Quick, test_slr_dyck);
     ("random cfg differential", `Quick, test_random_cfg_differential);
+    ("cyk dense blocked identity", `Quick, test_cyk_dense_blocked_identity);
+    ("binarize shape and budgets", `Quick, test_binarize_shape_and_budget);
     ("random cfg earley trees", `Quick, test_random_cfg_earley_trees);
     ("random cfg mu roundtrip", `Quick, test_random_cfg_mu_roundtrip);
     ("expr unambiguity scaled", `Quick, test_expr_sigma_unambiguous_scaled);

@@ -203,7 +203,7 @@ let test_parse_request_errors () =
       {|{"grammar":"nope","input":"x"}|};
       {|{"grammar":"dyck"}|};
       {|{"grammar":"dyck","input":"x","query":"frobnicate"}|};
-      {|{"grammar":"dyck","input":"x","engine":"cyk"}|};
+      {|{"grammar":"dyck","input":"x","engine":"glr"}|};
       {|{"grammar":"dyck","input":"x","timeout_ms":-1}|};
       {|{"grammar":{"start":"S","prods":[["S",["T"]]]},"input":"x"}|};
       {|{"grammar":{"start":"S","prods":[["S",["''"]]]},"input":"x"}|} ]
@@ -354,6 +354,11 @@ let run_line ?(reg = Registry.create ()) line =
   | Error e -> Alcotest.fail e
   | Ok req -> Exec.run reg req
 
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
 let test_engine_policy () =
   let engine line =
     (run_line line).Protocol.engine_used
@@ -367,7 +372,21 @@ let test_engine_policy () =
   check_string "count always runs the forest" "forest"
     (engine {|{"grammar":"ss","input":"aaa","query":"count"}|});
   check_string "enum pin respected" "enum"
-    (engine {|{"grammar":"dyck","input":"()","engine":"enum"}|})
+    (engine {|{"grammar":"dyck","input":"()","engine":"enum"}|});
+  check_string "cyk pin respected" "cyk"
+    (engine {|{"grammar":"dyck","input":"()","engine":"cyk"}|});
+  (* the Auto crossover: density(ss) = 0.5, so short membership inputs
+     stay on Earley and long ones flip to the dense chart *)
+  check_string "auto stays on earley below the crossover" "earley"
+    (engine {|{"grammar":"ss","input":"aaaa"}|});
+  check_string "auto flips to cyk past the crossover" "cyk"
+    (engine
+       (Fmt.str {|{"grammar":"ss","input":"%s"}|} (String.make 64 'a')));
+  (* parse queries never flip: cyk is a recognizer *)
+  check_string "auto keeps parse queries on earley" "earley"
+    (engine
+       (Fmt.str {|{"grammar":"ss","input":"%s","query":"parse"}|}
+          (String.make 64 'a')))
 
 let test_engine_pin_errors () =
   let r = run_line {|{"grammar":"ss","input":"aa","engine":"ll1"}|} in
@@ -375,9 +394,39 @@ let test_engine_pin_errors () =
   | Error (Protocol.Bad_request _) -> ()
   | _ -> Alcotest.fail "pinning ll1 on a non-LL(1) grammar must fail");
   let r = run_line {|{"grammar":"ss","input":"aa","engine":"slr"}|} in
-  match r.Protocol.outcome with
+  (match r.Protocol.outcome with
   | Error (Protocol.Bad_request _) -> ()
-  | _ -> Alcotest.fail "pinning slr on a non-SLR(1) grammar must fail"
+  | _ -> Alcotest.fail "pinning slr on a non-SLR(1) grammar must fail");
+  (* cyk is a recognizer: a parse query under the pin is a bad request *)
+  let r =
+    run_line {|{"grammar":"dyck","input":"()","query":"parse","engine":"cyk"}|}
+  in
+  match r.Protocol.outcome with
+  | Error (Protocol.Bad_request msg) ->
+    check_bool "error names the engine" true
+      (contains ~affix:"recognizer" msg)
+  | _ -> Alcotest.fail "pinning cyk on a parse query must fail"
+
+(* The binarization budget: a registry created with a tiny cyk budget
+   still answers every non-cyk query, and the cyk pin degrades to the
+   same bad-request shape as an absent LL(1)/SLR(1) table. *)
+let test_cyk_budget_pin_error () =
+  let reg = Registry.create ~cyk_nt_budget:2 () in
+  let r = run_line ~reg {|{"grammar":"dyck","input":"()","engine":"cyk"}|} in
+  (match r.Protocol.outcome with
+  | Error (Protocol.Bad_request msg) ->
+    check_bool "error names the budget" true
+      (contains ~affix:"binarization budget" msg)
+  | _ -> Alcotest.fail "over-budget cyk pin must be a bad request");
+  (* the same grammar still serves everything else (auto never picks an
+     absent cnf) *)
+  let r = run_line ~reg {|{"grammar":"dyck","input":"()"}|} in
+  check_bool "auto unaffected by the missing cnf" true
+    (r.Protocol.outcome = Ok (Protocol.Accepted None));
+  (* and a default-budget registry serves the same pin fine *)
+  let r = run_line {|{"grammar":"dyck","input":"()","engine":"cyk"}|} in
+  check_bool "default budget admits dyck" true
+    (r.Protocol.outcome = Ok (Protocol.Accepted None))
 
 let test_verdicts_across_engines () =
   (* all engines agree with each other on the same inputs *)
@@ -397,7 +446,7 @@ let test_verdicts_across_engines () =
             | _ -> Alcotest.fail "unexpected failure"
           in
           check_bool (Fmt.str "%s on %S" eng w) expect got)
-        [ "auto"; "ll1"; "slr"; "earley"; "enum" ])
+        [ "auto"; "ll1"; "slr"; "earley"; "cyk"; "enum" ])
     [ ("", true); ("()", true); ("(())()", true); ("(", false);
       ("())", false) ]
 
@@ -750,7 +799,7 @@ let test_engine_counters () =
   let was_enabled = Probe.enabled () in
   Probe.enable ();
   let counter n = Probe.counter ("exec.engine." ^ n) in
-  let names = [ "ll1"; "slr"; "earley"; "enum"; "forest" ] in
+  let names = [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest" ] in
   let before = List.map (fun n -> (n, Probe.value (counter n))) names in
   let reg = Registry.create ~result_cap:0 () in
   let run line =
@@ -765,6 +814,7 @@ let test_engine_counters () =
   run {|{"grammar":"expr_plain","input":"n+n","engine":"earley"}|};
   run {|{"grammar":"expr_plain","input":"n+n","engine":"earley","leo":false}|};
   run {|{"grammar":"dyck","input":"()","engine":"enum"}|};
+  run {|{"grammar":"anbn","input":"ab","engine":"cyk"}|};
   run {|{"grammar":"ss","input":"aaa","query":"count"}|};
   (* count → forest *)
   let grew n want =
@@ -774,6 +824,7 @@ let test_engine_counters () =
   grew "ll1" 1;
   grew "slr" 1;
   grew "earley" 2;
+  grew "cyk" 1;
   grew "enum" 1;
   grew "forest" 1;
   if not was_enabled then Probe.disable ()
@@ -1111,6 +1162,8 @@ let suite =
     Alcotest.test_case "exec: engine policy" `Quick test_engine_policy;
     Alcotest.test_case "exec: engine pin errors" `Quick
       test_engine_pin_errors;
+    Alcotest.test_case "exec: cyk binarization budget" `Quick
+      test_cyk_budget_pin_error;
     Alcotest.test_case "exec: engines agree on dyck" `Quick
       test_verdicts_across_engines;
     Alcotest.test_case "exec: count query" `Quick test_count_query;
