@@ -526,6 +526,96 @@ let bench_forest_count () =
            | None -> Fmt.str "%11s" "(skipped)") ])
     [ 6; 10; 14; 18; 24 ]
 
+(* --- weighted: lazy k-best vs full enumeration ----------------------------------- *)
+
+module Wt = Lambekd_weighted
+module Hg = Wt.Hypergraph
+
+let ss_cfg_weighted () =
+  let cfg =
+    Cfg.make ~start:"S"
+      ~productions:[ ("S", [ Cfg.N "S"; Cfg.N "S" ]); ("S", [ Cfg.T 'a' ]) ]
+  in
+  let wt =
+    match Wt.Weights.normalize cfg [| 0.4; 0.6 |] with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  (Cfg.to_grammar cfg, Wt.Weights.edge_weight wt)
+
+let bench_weighted_kbest () =
+  header
+    "weighted — lazy k-best (Huang–Chiang) on S → SS | a over a^n \
+     (Catalan(n-1) derivations): top-5 touches a frontier, enumeration \
+     materializes everything";
+  let g, weight = ss_cfg_weighted () in
+  row
+    [ cell "%4s" "n"; cell "%16s" "parses"; cell "%11s" "build";
+      cell "%11s" "kbest5"; cell "%11s" "enumerate" ];
+  List.iter
+    (fun n ->
+      let input = String.make n 'a' in
+      let h = ref (Hg.build g input) in
+      let build_ns = time_ns (fun () -> h := Hg.build g input) in
+      let parses = Hg.count !h in
+      let top = ref [] in
+      let kbest_ns = time_ns (fun () -> top := Hg.kbest ~weight ~k:5 !h) in
+      assert (List.length !top = min 5 parses);
+      let enum_ns =
+        if n <= 12 then Some (time_ns (fun () -> ignore (E.parses g input)))
+        else None
+      in
+      json ~section:"weighted_kbest"
+        [ ("n", Ev.Int n);
+          ("parses", Ev.Int parses);
+          ("build_ns", Ev.Float build_ns);
+          ("kbest5_ns", Ev.Float kbest_ns);
+          opt_field "enumerate_ns" (fun ns -> Ev.Float ns) enum_ns ];
+      row
+        [ cell "%4d" n; cell "%16d" parses; pp_ns build_ns; pp_ns kbest_ns;
+          (match enum_ns with
+           | Some ns -> pp_ns ns
+           | None -> Fmt.str "%11s" "(skipped)") ])
+    [ 6; 10; 12; 18; 24 ]
+
+(* --- weighted: inside/outside sweeps --------------------------------------------- *)
+
+let bench_inside_outside () =
+  header
+    "weighted — inside/outside over the parse hypergraph of S → SS | a \
+     (P = 0.4/0.6, log-space): one forward and one backward array sweep";
+  let g, weight = ss_cfg_weighted () in
+  row
+    [ cell "%4s" "n"; cell "%9s" "nodes"; cell "%11s" "build";
+      cell "%11s" "inside"; cell "%11s" "outside"; cell "%14s" "log_mass" ];
+  List.iter
+    (fun n ->
+      let input = String.make n 'a' in
+      let h = ref (Hg.build g input) in
+      let build_ns = time_ns (fun () -> h := Hg.build g input) in
+      let ins = ref [||] in
+      let inside_ns =
+        time_ns (fun () ->
+            ins := Hg.inside (module Wt.Semiring.Inside) ~weight !h)
+      in
+      let outside_ns =
+        time_ns (fun () ->
+            ignore
+              (Hg.outside (module Wt.Semiring.Inside) ~weight ~inside:!ins !h))
+      in
+      let log_mass = !ins.(Hg.root !h) in
+      json ~section:"inside_outside"
+        [ ("n", Ev.Int n);
+          ("nodes", Ev.Int (Hg.nodes !h));
+          ("build_ns", Ev.Float build_ns);
+          ("inside_ns", Ev.Float inside_ns);
+          ("outside_ns", Ev.Float outside_ns);
+          ("log_mass", Ev.Float log_mass) ];
+      row
+        [ cell "%4d" n; cell "%9d" (Hg.nodes !h); pp_ns build_ns;
+          pp_ns inside_ns; pp_ns outside_ns; cell "%14.6f" log_mass ])
+    [ 8; 16; 32; 64; 128 ]
+
 (* --- engine: worklist membership vs whole-recomputation fixpoint ----------------- *)
 
 let bench_accepts_worklist () =
@@ -1353,6 +1443,8 @@ let sections =
     ("c415", bench_c415);
     ("counting", bench_counting_ablation);
     ("forest_count", bench_forest_count);
+    ("weighted_kbest", bench_weighted_kbest);
+    ("inside_outside", bench_inside_outside);
     ("accepts_worklist", bench_accepts_worklist);
     ("earley_completer", bench_earley_completer);
     ("earley_leo", bench_earley_leo);

@@ -1063,8 +1063,14 @@ let grammars_cmd =
     if not cache_stats then begin
       List.iter
         (fun name ->
-          Fmt.pr "%-12s %s@." name
-            (Option.value ~default:"" (Sv.Builtin.describe name)))
+          Fmt.pr "%-12s %s%s@." name
+            (Option.value ~default:"" (Sv.Builtin.describe name))
+            (match Sv.Builtin.default_weights name with
+            | None -> ""
+            | Some w ->
+              Fmt.str "  [weights %s]"
+                (String.concat " "
+                   (Array.to_list (Array.map (Fmt.str "%g") w)))))
         Sv.Builtin.names;
       0
     end

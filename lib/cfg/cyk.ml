@@ -1,3 +1,7 @@
+module Probe = Lambekd_telemetry.Probe
+
+let c_scratch_reuse = Probe.counter "cyk.scratch_reuse"
+
 (* CNF: nonterminals are ints; rules are either N -> c or N -> N1 N2. *)
 type cnf = {
   start : int;
@@ -142,17 +146,41 @@ let of_cfg (cfg : Cfg.t) =
 
 (* --- recognition ---------------------------------------------------------- *)
 
-let recognizes g w =
+(* The chart is a flat byte arena, one cell per (i, len, nt): what used
+   to be [n] boxed matrices of [n * num_nts] bools per call is one
+   [Bytes.t] that a pooled scratch keeps across calls — a warm call
+   resets the prefix it needs with a single [Bytes.fill] and allocates
+   nothing. *)
+type scratch = { mutable bits : Bytes.t }
+
+let scratch () = { bits = Bytes.empty }
+
+let recognizes ?scratch:sc g w =
   let n = String.length w in
   if n = 0 then g.nullable_start
   else begin
-    (* table.(i).(len-1).(nt) : derivable over w[i .. i+len) *)
-    let table =
-      Array.init n (fun _ -> Array.make_matrix n g.num_nts false)
+    let cells = n * n * g.num_nts in
+    let bits =
+      match sc with
+      | Some s ->
+        if Bytes.length s.bits >= cells then begin
+          Probe.bump c_scratch_reuse;
+          Bytes.fill s.bits 0 cells '\000';
+          s.bits
+        end
+        else begin
+          s.bits <- Bytes.make cells '\000';
+          s.bits
+        end
+      | None -> Bytes.make cells '\000'
     in
+    (* cell (i, len, nt): derivable over w[i .. i+len) *)
+    let idx i len nt = (((i * n) + (len - 1)) * g.num_nts) + nt in
+    let get i len nt = Bytes.unsafe_get bits (idx i len nt) <> '\000' in
+    let set i len nt = Bytes.unsafe_set bits (idx i len nt) '\001' in
     for i = 0 to n - 1 do
       List.iter
-        (fun (nt, c) -> if Char.equal c w.[i] then table.(i).(0).(nt) <- true)
+        (fun (nt, c) -> if Char.equal c w.[i] then set i 1 nt)
         g.term_rules
     done;
     for len = 2 to n do
@@ -160,15 +188,13 @@ let recognizes g w =
         for split = 1 to len - 1 do
           List.iter
             (fun (nt, x, y) ->
-              if
-                table.(i).(split - 1).(x)
-                && table.(i + split).(len - split - 1).(y)
-              then table.(i).(len - 1).(nt) <- true)
+              if get i split x && get (i + split) (len - split) y then
+                set i len nt)
             g.binary_rules
         done
       done
     done;
-    table.(0).(n - 1).(g.start)
+    get 0 n g.start
   end
 
 let recognizes_cfg cfg w = recognizes (of_cfg cfg) w

@@ -15,6 +15,7 @@ let c_memo_hit = Probe.counter "enum.memo_hit"
 let c_memo_miss = Probe.counter "enum.memo_miss"
 let c_fix_iters = Probe.counter "enum.fixpoint_iters"
 let c_worklist_pops = Probe.counter "enum.worklist_pops"
+let c_intern_cutoff = Probe.counter "enum.intern_cutoff"
 
 let len_field s () = [ ("len", Ev.Int (String.length s)) ]
 
@@ -65,6 +66,69 @@ let count_fast g s =
 
 let first_parse g s = Forest.first_parse (Forest.build g s)
 
+(* --- terminal interning --------------------------------------------------- *)
+
+(* The terminal alphabet of a grammar is tiny and fixed; the input is
+   arbitrary bytes.  Interning maps each byte to a dense terminal-class
+   id once per grammar (256-entry table, [-1] = not a terminal), so a
+   membership run encodes the input to class codes in one O(n) pass and
+   the [Chr] hot path compares those ints.  When the walk proves the
+   alphabet {e complete} — no [Top] or [Atom] in the definition closure,
+   every reachable body resolved within budget — an input byte with no
+   class refutes membership outright: the whole solver is skipped
+   ([enum.intern_cutoff] counts these). *)
+type intern = {
+  classes : int array;  (* 256 entries: byte -> class id, -1 = unknown *)
+  n_classes : int;
+  exact : bool;  (* alphabet is complete: unknown byte => no parse *)
+}
+
+(* Bounds the definition-closure walk for pathological instance sets
+   (counter automata reference unboundedly many indices); exhaustion
+   only costs exactness, never soundness. *)
+let intern_ref_budget = 4096
+
+let intern ?cs g =
+  let cs = match cs with Some cs -> cs | None -> Charsets.shared () in
+  let classes = Array.make 256 (-1) in
+  let next = ref 0 in
+  let exact = ref true in
+  let seen = Hashtbl.create 64 in
+  let budget = ref intern_ref_budget in
+  let rec go (a : Charsets.ann) =
+    match a.view with
+    | AChr c ->
+      let k = Char.code c in
+      if classes.(k) < 0 then begin
+        classes.(k) <- !next;
+        incr next
+      end
+    | AEps | AVoid -> ()
+    | ATop | AAtom _ -> exact := false
+    | ASeq (x, y) ->
+      go x;
+      go y
+    | AAlt comps | AAnd comps -> List.iter (fun (_, k) -> go k) comps
+    | ARef r ->
+      if not (Hashtbl.mem seen r.Charsets.ruid) then
+        if !budget = 0 then exact := false
+        else begin
+          decr budget;
+          Hashtbl.add seen r.Charsets.ruid ();
+          match Charsets.ref_body cs r with
+          | body -> go body
+          | exception _ ->
+            (* uninstalled rule: the solver would raise where we give up;
+               conservatively drop both exactness claims *)
+            exact := false
+        end
+  in
+  go (Charsets.annotate cs g);
+  { classes; n_classes = !next; exact = !exact }
+
+let intern_classes t = t.n_classes
+let intern_exact t = t.exact
+
 (* --- membership: semi-naive worklist over the item graph ------------------ *)
 
 (* Membership is the least fixpoint of the monotone system whose unknowns
@@ -105,12 +169,41 @@ type item = {
   mutable iqueued : bool;
 }
 
-let accepts ?cs ?poll g s =
+let accepts ?cs ?intern:it ?poll g s =
   Probe.with_span "enum.accepts" ~fields:(len_field s) @@ fun () ->
-  Probe.bump c_fix_iters;
   let cs = match cs with Some cs -> cs | None -> Charsets.shared () in
-  let ag = Charsets.annotate cs g in
   let n = String.length s in
+  (* encode the input to terminal-class codes once; with a complete
+     alphabet an out-of-alphabet byte refutes membership before the
+     solver allocates anything *)
+  let codes =
+    match it with
+    | None -> [||]
+    | Some t ->
+      let codes = Array.make n 0 in
+      for i = 0 to n - 1 do
+        codes.(i) <- Array.unsafe_get t.classes (Char.code (String.unsafe_get s i))
+      done;
+      codes
+  in
+  (* [Chr] hot-path comparison: interned class ids when the terminal was
+     seen by the closure walk, raw bytes otherwise (possible only under
+     walk-budget exhaustion, where [exact] is false anyway) *)
+  let chr =
+    match it with
+    | Some t ->
+      fun i c ->
+        let cc = Array.unsafe_get t.classes (Char.code c) in
+        if cc >= 0 then Array.unsafe_get codes i = cc else Char.equal s.[i] c
+    | None -> fun i c -> Char.equal s.[i] c
+  in
+  match it with
+  | Some t when t.exact && Array.exists (fun c -> c < 0) codes ->
+    Probe.bump c_intern_cutoff;
+    false
+  | _ ->
+  Probe.bump c_fix_iters;
+  let ag = Charsets.annotate cs g in
   let items : item ITbl.t = ITbl.create (16 + n) in
   let queue : item Queue.t = Queue.create () in
   let add_reader it reader =
@@ -132,7 +225,7 @@ let accepts ?cs ?poll g s =
     (* leaves are exact checks already — the [admits] filter and the
        [sure_null] empty-span fast path only pay off on composite nodes *)
     match a.view with
-    | AChr c -> j = i + 1 && Char.equal s.[i] c
+    | AChr c -> j = i + 1 && chr i c
     | AEps -> i = j
     | AVoid -> false
     | ATop -> true

@@ -39,16 +39,48 @@ val count_fast : Grammar.t -> string -> int
     with {!count} (tested) under the same ε-acyclicity proviso;
     saturates at [max_int]. *)
 
+type intern
+(** A grammar's interned terminal alphabet: a 256-entry byte → dense
+    class-id table plus a completeness flag, built once per grammar
+    (per artifact in the service) by walking the annotated definition
+    closure. *)
+
+val intern : ?cs:Charsets.t -> Grammar.t -> intern
+(** Build the interning table.  The alphabet is recorded as {e complete}
+    when the closure walk saw no [Top] or [Atom] node and resolved every
+    reachable definition body within budget — then a byte outside the
+    alphabet can never be consumed by any parse. *)
+
+val intern_classes : intern -> int
+(** Number of distinct terminals interned. *)
+
+val intern_exact : intern -> bool
+(** Whether the alphabet is complete (see {!intern}). *)
+
 val accepts :
-  ?cs:Charsets.t -> ?poll:(unit -> unit) -> Grammar.t -> string -> bool
+  ?cs:Charsets.t ->
+  ?intern:intern ->
+  ?poll:(unit -> unit) ->
+  Grammar.t ->
+  string ->
+  bool
 (** Exact membership: the boolean least fixpoint, solved by a semi-naive
     worklist ([enum.worklist_pops] counts re-propagations).
 
     [cs] supplies a private analysis state instead of {!Charsets.shared}
     — the service layer passes a per-artifact state that was fully
-    warmed at compile time, so concurrent domains only read it.  [poll]
-    is invoked at every definition-instance visit; it may raise to abort
-    the run (deadline cancellation — the exception propagates). *)
+    warmed at compile time, so concurrent domains only read it.
+
+    [intern] supplies the grammar's interned alphabet: the input is
+    encoded to terminal-class codes in one pass, the [Chr] hot path
+    compares ints, and — when the alphabet is complete — an input with
+    an out-of-alphabet byte is rejected before the solver runs at all
+    ([enum.intern_cutoff] counts these cutoffs).  The verdict is
+    identical with or without it.
+
+    [poll] is invoked at every definition-instance visit; it may raise
+    to abort the run (deadline cancellation — the exception
+    propagates). *)
 
 val accepts_fixpoint : Grammar.t -> string -> bool
 (** The seed membership algorithm — iterated full recomputation to

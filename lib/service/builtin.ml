@@ -89,24 +89,40 @@ let stmt =
            ("F", [ Cfg.T 'n' ]);
            ("F", [ Cfg.T '('; Cfg.N "E"; Cfg.T ')' ]) ])
 
+(* Default PCFG weight tables, raw (the registry normalizes per LHS),
+   one entry per production in production order.  Only grammars whose
+   probability model is worth exercising get one — the rest fall back to
+   uniform.  [ss] is subcritical (P(S -> S S) < 1/2), so its mass
+   queries converge; it is the k-best poster child. *)
 let table =
-  [ ("dyck", dyck, "balanced parentheses (LL(1))");
-    ("expr", expr, "arithmetic expressions, LL(1) form");
-    ("expr_lr", expr_lr, "left-recursive expressions: SLR(1), not LL(1)");
-    ("expr_plain", expr_plain, "right-biased expressions (not LL(1))");
-    ("ss", ss, "S -> S S | a: ambiguous, for parse counting");
-    ("anbn", anbn, "a^n b^n");
-    ("arith", arith, "three-level arithmetic with unary minus (SLR(1))");
-    ("stmt", stmt, "statement language: assign/if/while/blocks (SLR(1))") ]
+  [ ("dyck", dyck, Some [| 0.6; 0.4 |], "balanced parentheses (LL(1))");
+    ("expr", expr, None, "arithmetic expressions, LL(1) form");
+    ("expr_lr", expr_lr, None,
+     "left-recursive expressions: SLR(1), not LL(1)");
+    ("expr_plain", expr_plain, Some [| 0.7; 0.3; 0.8; 0.2 |],
+     "right-biased expressions (not LL(1))");
+    ("ss", ss, Some [| 0.4; 0.6 |],
+     "S -> S S | a: ambiguous, for parse counting");
+    ("anbn", anbn, None, "a^n b^n");
+    ("arith", arith, None,
+     "three-level arithmetic with unary minus (SLR(1))");
+    ("stmt", stmt, None,
+     "statement language: assign/if/while/blocks (SLR(1))") ]
 
 let find name =
   List.find_map
-    (fun (n, cfg, _) -> if String.equal n name then Some (Lazy.force cfg) else None)
+    (fun (n, cfg, _, _) ->
+      if String.equal n name then Some (Lazy.force cfg) else None)
     table
 
-let names = List.map (fun (n, _, _) -> n) table
+let names = List.map (fun (n, _, _, _) -> n) table
 
 let describe name =
   List.find_map
-    (fun (n, _, d) -> if String.equal n name then Some d else None)
+    (fun (n, _, _, d) -> if String.equal n name then Some d else None)
+    table
+
+let default_weights name =
+  List.find_map
+    (fun (n, _, w, _) -> if String.equal n name then w else None)
     table

@@ -16,3 +16,9 @@ val names : string list
 val describe : string -> string option
 (** One-line description for [--help] and the [grammars] protocol
     command. *)
+
+val default_weights : string -> float array option
+(** Raw per-production default weight table for weighted queries
+    against this builtin, in production order (the registry normalizes
+    per LHS).  [None]: the builtin has no opinion and weighted queries
+    fall back to a uniform table. *)

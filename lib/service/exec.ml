@@ -1,5 +1,6 @@
 open Lambekd_cfg
 module Grammar = Lambekd_grammar
+module W = Lambekd_weighted
 module Clock = Lambekd_telemetry.Clock
 module Probe = Lambekd_telemetry.Probe
 module Metrics = Lambekd_telemetry.Metrics
@@ -15,7 +16,7 @@ let c_fault_retries = Probe.counter "service.fault_retries"
 let c_engine =
   List.map
     (fun n -> (n, Probe.counter ("exec.engine." ^ n)))
-    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest" ]
+    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest"; "kbest"; "mass" ]
 
 let bump_engine name =
   match List.assoc_opt name c_engine with
@@ -30,7 +31,7 @@ let h_latency = Metrics.histogram "lambekd_request_ns"
 let h_engine =
   List.map
     (fun n -> (n, Metrics.histogram ("lambekd_request_ns_" ^ n)))
-    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest" ]
+    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest"; "kbest"; "mass" ]
 
 let observe_latency ~engine_used dur_ns =
   if Metrics.enabled () then begin
@@ -69,10 +70,26 @@ let auto_cyk (b : Binarize.t) (req : Protocol.request) =
   && Binarize.density b *. float_of_int (String.length req.input)
      >= cyk_auto_crossover
 
-(* The engine [Auto] resolves to, given what the artifact offers. *)
+(* The engine [Auto] resolves to, given what the artifact offers.  Like
+   [Count], the weighted queries ignore engine pins: a mass query, or a
+   parse carrying ["weights"]/["kbest"], is answered by the hypergraph
+   engine with the request's normalized weight table (builtin defaults,
+   else uniform, when the request ships none) — a table the registry
+   fails to normalize is a bad request. *)
 let resolve (a : Registry.artifact) (req : Protocol.request) =
+  let weighted k =
+    let raw =
+      match req.weights with
+      | Some _ as w -> w
+      | None -> Builtin.default_weights req.gname
+    in
+    Result.map k (Registry.weights a raw)
+  in
   match req.query with
   | Protocol.Count -> Ok `Forest
+  | Protocol.Mass -> weighted (fun wt -> `Mass wt)
+  | Protocol.Parse when req.kbest <> None || req.weights <> None ->
+    weighted (fun wt -> `Kbest wt)
   | Protocol.Membership | Protocol.Parse -> (
     match req.engine with
     | Protocol.Auto -> (
@@ -113,11 +130,14 @@ let engine_name = function
   | `Cyk _ -> "cyk"
   | `Enum -> "enum"
   | `Forest -> "forest"
+  | `Kbest _ -> "kbest"
+  | `Mass _ -> "mass"
 
 let query_tag = function
   | Protocol.Membership -> "member"
   | Protocol.Parse -> "parse"
   | Protocol.Count -> "count"
+  | Protocol.Mass -> "mass"
 
 let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
   let want_tree = req.query = Protocol.Parse in
@@ -171,7 +191,10 @@ let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
         else Protocol.Rejected)
   | `Enum ->
     if not want_tree then
-      if Grammar.Enum.accepts ~cs:a.cs ?poll a.grammar req.input then
+      if
+        Grammar.Enum.accepts ~cs:a.cs ~intern:a.Registry.intern ?poll
+          a.grammar req.input
+      then
         Protocol.Accepted None
       else Protocol.Rejected
     else
@@ -183,6 +206,30 @@ let run_engine engine (a : Registry.artifact) (req : Protocol.request) poll =
           match Grammar.Forest.first_parse forest with
           | Some p -> Protocol.Accepted (Some (Grammar.Ptree.to_string p))
           | None -> Protocol.Rejected)
+  | `Kbest wt ->
+    (* the hypergraph allocates its own arrays (no pooled arena yet), so
+       no scratch checkout; lazy k-best touches only the derivations the
+       top-k frontier needs *)
+    let h = W.Hypergraph.build ~cs:a.cs ?poll a.grammar req.input in
+    if not (W.Hypergraph.accepts h) then Protocol.Rejected
+    else
+      let k = Option.value req.kbest ~default:1 in
+      let ds =
+        W.Hypergraph.kbest ?poll ~weight:(W.Weights.edge_weight wt) ~k h
+      in
+      Protocol.Ranked
+        { parses =
+            List.map
+              (fun (d : W.Hypergraph.derivation) ->
+                (d.logw, Grammar.Ptree.to_string d.tree))
+              ds }
+  | `Mass wt ->
+    let h = W.Hypergraph.build ~cs:a.cs ?poll a.grammar req.input in
+    Protocol.Mass
+      { log_mass =
+          W.Hypergraph.inside_root
+            (module W.Semiring.Inside)
+            ~weight:(W.Weights.edge_weight wt) h }
 
 let run_once registry ?deadline_ns (req : Protocol.request) =
   Probe.bump c_requests;
@@ -220,12 +267,21 @@ let run_once registry ?deadline_ns (req : Protocol.request) =
     bump_engine name;
     let key =
       query_tag req.query ^ ":" ^ name
-      ^
-      (* a pinned-off Leo run never shares cache entries with default
-         runs: verdicts are identical by construction, but the knob
-         exists to compare the engines, so keep the traffic separate *)
-      match (engine, req.leo) with
+      ^ (* a pinned-off Leo run never shares cache entries with default
+           runs: verdicts are identical by construction, but the knob
+           exists to compare the engines, so keep the traffic separate *)
+      (match (engine, req.leo) with
       | `Earley, Some false -> ":noleo"
+      | _ -> "")
+      ^
+      (* weighted verdicts depend on the normalized table and (for
+         ranked output) on K, so both join the key: same input under a
+         different table or depth is a different cache line *)
+      match engine with
+      | `Kbest wt ->
+        ":" ^ W.Weights.digest wt ^ ":k"
+        ^ string_of_int (Option.value req.kbest ~default:1)
+      | `Mass wt -> ":" ^ W.Weights.digest wt
       | _ -> ""
     in
     match

@@ -68,9 +68,40 @@ let gen_lines ~seed ~requests =
   let valid i =
     let gname = pick builtins in
     let cfg = Option.get (Builtin.find gname) in
-    let query = match int 10 with 0 | 1 -> "parse" | 2 -> "count" | _ -> "member" in
+    let query =
+      match int 10 with
+      | 0 | 1 -> "parse"
+      | 2 -> "count"
+      | 3 -> "mass"
+      | _ -> "member"
+    in
     let maxlen = if query = "count" then 10 else 24 in
     let input = word (terminals cfg) (int (maxlen + 1)) in
+    (* weighted traffic: some parse queries carry "kbest" and/or raw
+       "weights" (always well-formed here — strictly positive, one per
+       production — malformed tables live in [bad_field]), some mass
+       queries ship a table instead of the builtin default *)
+    let raw_weights () =
+      let np = Array.length cfg.Cfg.productions in
+      ( "weights",
+        Json.Arr
+          (List.init np (fun _ ->
+               Json.Num (float_of_int (1 + int 4) /. 4.))) )
+    in
+    let weighted =
+      match query with
+      | "parse" -> (
+        match int 6 with
+        | 0 -> [ ("kbest", Json.Num (float_of_int (1 + int 6))) ]
+        | 1 ->
+          raw_weights ()
+          :: (if int 2 = 0 then
+                [ ("kbest", Json.Num (float_of_int (1 + int 4))) ]
+              else [])
+        | _ -> [])
+      | "mass" -> if int 3 = 0 then [ raw_weights () ] else []
+      | _ -> []
+    in
     let extras =
       match int 10 with
       | 0 ->
@@ -92,7 +123,7 @@ let gen_lines ~seed ~requests =
        be identical serial vs multi-domain *)
     let traced = if int 5 = 0 then [ ("trace", Json.Bool true) ] else [] in
     obj (id @ [ field "grammar" gname; field "input" input;
-                field "query" query ] @ extras @ traced)
+                field "query" query ] @ weighted @ extras @ traced)
   in
   let admin i =
     let id = if int 10 < 8 then [ field "id" (Fmt.str "r%d" i) ] else [] in
@@ -150,11 +181,29 @@ let gen_lines ~seed ~requests =
   in
   let bad_field i =
     let id = field "id" (Fmt.str "r%d" i) in
-    match int 4 with
+    match int 8 with
     | 0 -> obj [ id; field "grammar" (Fmt.str "nosuch%d" (int 5)); field "input" "x" ]
     | 1 -> obj [ id; field "grammar" "dyck"; field "input" "()"; field "query" "frobnicate" ]
     | 2 -> obj [ id; field "grammar" "dyck"; field "input" "()"; field "engine" "glr" ]
-    | _ -> obj [ id; field "grammar" "dyck"; field "input" "()"; ("timeout_ms", Json.Num (-5.)) ]
+    | 3 -> obj [ id; field "grammar" "dyck"; field "input" "()"; ("timeout_ms", Json.Num (-5.)) ]
+    | 4 ->
+      (* wrong arity: ss has two productions *)
+      obj [ id; field "grammar" "ss"; field "input" "aa";
+            field "query" "parse"; ("weights", Json.Arr [ Json.Num 1. ]) ]
+    | 5 ->
+      (* a negative weight fails registry normalization *)
+      obj [ id; field "grammar" "ss"; field "input" "aa";
+            field "query" "parse";
+            ("weights", Json.Arr [ Json.Num (-1.); Json.Num 1. ]) ]
+    | 6 ->
+      (* kbest off a parse query is a decode-time bad request *)
+      obj [ id; field "grammar" "dyck"; field "input" "()";
+            field "query" "member"; ("kbest", Json.Num 3.) ]
+    | _ ->
+      (* kbest out of [1, 256] *)
+      obj [ id; field "grammar" "ss"; field "input" "aa";
+            field "query" "parse";
+            ("kbest", Json.Num (float_of_int (pick [ 0; 500 ]))) ]
   in
   let unicode i =
     match int 4 with

@@ -1,6 +1,6 @@
 open Lambekd_cfg
 
-type query = Membership | Parse | Count
+type query = Membership | Parse | Count | Mass
 
 type engine_choice = Auto | Ll1 | Slr | Earley | Cyk | Enum
 
@@ -29,6 +29,8 @@ type request = {
   query : query;
   engine : engine_choice;
   leo : bool option;
+  weights : float array option;
+  kbest : int option;
   timeout_ms : float option;
   trace : Trace.t option;
 }
@@ -118,7 +120,8 @@ let decode_request j =
     | Some "member" -> Ok Membership
     | Some "parse" -> Ok Parse
     | Some "count" -> Ok Count
-    | Some q -> Error (Fmt.str "unknown query %S (member|parse|count)" q)
+    | Some "mass" -> Ok Mass
+    | Some q -> Error (Fmt.str "unknown query %S (member|parse|count|mass)" q)
   in
   let* engine =
     match Option.bind (Json.mem "engine" j) Json.str with
@@ -132,6 +135,40 @@ let decode_request j =
       match Json.bool_ v with
       | Some b -> Ok (Some b)
       | None -> Error "\"leo\" must be a boolean")
+  in
+  let* weights =
+    match Json.mem "weights" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.arr v with
+      | Some xs ->
+        let* ws =
+          List.fold_left
+            (fun acc x ->
+              let* acc = acc in
+              match Json.num x with
+              | Some w -> Ok (w :: acc)
+              | None -> Error "\"weights\" must be an array of numbers")
+            (Ok []) xs
+        in
+        Ok (Some (Array.of_list (List.rev ws)))
+      | None -> Error "\"weights\" must be an array of numbers")
+  in
+  let* kbest =
+    match Json.mem "kbest" j with
+    | None -> Ok None
+    | Some v -> (
+      match Json.num v with
+      | Some k when Float.is_integer k && k >= 1. && k <= 256. ->
+        Ok (Some (int_of_float k))
+      | _ -> Error "\"kbest\" must be an integer between 1 and 256")
+  in
+  let* () =
+    if kbest <> None && query <> Parse then
+      Error "\"kbest\" requires a \"parse\" query"
+    else if weights <> None && not (query = Parse || query = Mass) then
+      Error "\"weights\" requires a \"parse\" or \"mass\" query"
+    else Ok ()
   in
   let* timeout_ms =
     match Json.mem "timeout_ms" j with
@@ -150,7 +187,9 @@ let decode_request j =
       | Some false -> Ok None
       | None -> Error "\"trace\" must be a boolean")
   in
-  Ok { id; cfg; gname; input; query; engine; leo; timeout_ms; trace }
+  Ok
+    { id; cfg; gname; input; query; engine; leo; weights; kbest; timeout_ms;
+      trace }
 
 let parse_request line =
   let* j = Json.parse line in
@@ -182,6 +221,12 @@ type verdict =
   | Accepted of string option
   | Rejected
   | Count of { count : int; saturated : bool }
+  | Ranked of { parses : (float * string) list }
+      (** best-first (log-probability, rendered tree) pairs; weights
+          non-increasing, ties broken on item order *)
+  | Mass of { log_mass : float }
+      (** inside log-probability of the input under the request's
+          weight table; [neg_infinity] = no parse, mass 0 *)
 
 type failure =
   | Bad_request of string
@@ -214,7 +259,29 @@ let response_to_json ?(times = true) ?trace r =
         | Count { count; saturated } ->
           [ ("verdict", Json.Str "count");
             ("count", Json.Num (float_of_int count)) ]
-          @ if saturated then [ ("saturated", Json.Bool true) ] else []
+          @ (if saturated then [ ("saturated", Json.Bool true) ] else [])
+        | Ranked { parses } ->
+          [ ("verdict", Json.Str "ranked");
+            ("k", Json.Num (float_of_int (List.length parses)));
+            ("parses",
+             Json.Arr
+               (List.map
+                  (fun (logp, tree) ->
+                    (* JSON has no -inf: a zero-probability derivation
+                       (possible under zero raw weights) omits "logp" *)
+                    Json.Obj
+                      ((if Float.is_finite logp then
+                          [ ("logp", Json.Num logp) ]
+                        else [])
+                      @ [ ("tree", Json.Str tree) ]))
+                  parses)) ]
+        | Mass { log_mass } ->
+          [ ("verdict", Json.Str "mass");
+            ("mass", Json.Num (Float.exp log_mass)) ]
+          @
+          if Float.is_finite log_mass then
+            [ ("log_mass", Json.Num log_mass) ]
+          else []
       in
       let tree =
         match v with

@@ -13,7 +13,9 @@
       with [start] and [prods], where each production is
       [[lhs, [sym, ...]]] and a symbol is either ["'c'"] (a quoted
       terminal character) or a bare nonterminal name.
-    - [query]: ["member"] (default), ["parse"], or ["count"].
+    - [query]: ["member"] (default), ["parse"], ["count"], or ["mass"]
+      (inside probability of the input under the request's weight
+      table).
     - [engine]: ["auto"] (default), ["ll1"], ["slr"], ["earley"],
       ["cyk"], or ["enum"].  [auto] picks the cheapest applicable table
       (LL(1) → SLR(1) → Earley, with dense-CYK taking over from Earley
@@ -27,6 +29,15 @@
       meaningful when the request runs Earley; verdicts are identical
       either way, the knob exists for differential testing and perf
       comparison).
+    - [weights]: an array of raw production weights, one per production
+      in production order (builtin or inline), normalized per
+      left-hand side by the registry; valid on ["parse"] and ["mass"]
+      queries.  Omitted, a builtin's default weight table applies, or a
+      uniform table when it has none.
+    - [kbest]: an integer K in [1, 256]; valid on ["parse"] queries
+      only.  The response carries the K best derivations under the
+      weight table, best first ([{"verdict":"ranked"}]).  A weighted
+      parse with no [kbest] is [kbest = 1]: the Viterbi derivation.
     - [timeout_ms]: per-request deadline; expiry yields a [timeout]
       response.
 
@@ -43,7 +54,7 @@
     inline grammar allocates definitions through the process-global
     declaration counter, which is not domain-safe. *)
 
-type query = Membership | Parse | Count
+type query = Membership | Parse | Count | Mass
 
 type engine_choice = Auto | Ll1 | Slr | Earley | Cyk | Enum
 
@@ -62,6 +73,11 @@ type request = {
   query : query;
   engine : engine_choice;
   leo : bool option;  (** Earley Leo optimization pin; [None] = default *)
+  weights : float array option;
+      (** raw per-production weights from the wire; [None] = the
+          grammar's default table (builtin defaults, else uniform) *)
+  kbest : int option;  (** K for ranked parse enumeration; decode
+          guarantees [1 <= K <= 256] and query = parse *)
   timeout_ms : float option;
   trace : Trace.t option;
       (** present iff the request carried ["trace":true]; the front end
@@ -89,6 +105,16 @@ type verdict =
   | Accepted of string option  (** optional rendered parse tree *)
   | Rejected
   | Count of { count : int; saturated : bool }
+  | Ranked of { parses : (float * string) list }
+      (** (log-probability, rendered tree), best first; weights
+          non-increasing in rank, ties broken deterministically on item
+          order.  Renders as ["verdict":"ranked"] with a ["parses"]
+          array of [{"logp":..,"tree":..}] objects ([logp] omitted when
+          not finite — JSON has no [-inf]). *)
+  | Mass of { log_mass : float }
+      (** inside log-probability of the input; renders ["mass"] (the
+          probability, possibly underflowing to 0) plus ["log_mass"]
+          when finite.  [neg_infinity] = rejected, mass 0. *)
 
 type failure =
   | Bad_request of string

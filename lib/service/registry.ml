@@ -4,12 +4,18 @@ module Clock = Lambekd_telemetry.Clock
 module Probe = Lambekd_telemetry.Probe
 
 module Forest = Lambekd_grammar.Forest
+module Weights = Lambekd_weighted.Weights
 
 (* A scratch bundle: the allocation-heavy per-request state the engines
    can recycle — Earley chart storage and forest node arenas.  Bundles
    are checked out exclusively ({!with_scratch}), so the mutable state
    inside never crosses two concurrent requests. *)
-type scratch = { es : Earley.scratch; fp : Forest.pool; cy : Cyk_dense.scratch }
+type scratch = {
+  es : Earley.scratch;
+  fp : Forest.pool;
+  cy : Cyk_dense.scratch;
+  lc : Cyk.scratch;
+}
 
 type scratch_pool = {
   pmu : Mutex.t;
@@ -30,11 +36,18 @@ type artifact = {
   cnf : Binarize.t option;
   cnf_nts : int;
   cyk_nt_budget : int;
+  intern : Lambekd_grammar.Enum.intern;
   pool : scratch_pool;
+  wmu : Mutex.t;
+  mutable wtables : (string * Weights.t) list;
+      (** normalized weight tables served against this artifact, keyed
+          by the raw wire weights (canonically rendered); see {!weights} *)
   compile_ns : float;
 }
 
 let c_compile = Probe.counter "service.compile"
+let c_weights_hit = Probe.counter "service.weights_hit"
+let c_weights_miss = Probe.counter "service.weights_miss"
 let c_scratch_reuse = Probe.counter "earley.scratch_reuse"
 let c_artifact_hit = Probe.counter "service.artifact_hit"
 let c_artifact_miss = Probe.counter "service.artifact_miss"
@@ -118,10 +131,12 @@ let compile ?(cyk_nt_budget = default_cyk_nt_budget) cfg =
         | Ok b -> (Some b, b.Binarize.num_nts)
         | Error o -> (None, o.Binarize.nts_reached)
       in
+      let intern = Lambekd_grammar.Enum.intern ~cs grammar in
       let pool = { pmu = Mutex.create (); free = []; avail = 0; out = 0 } in
       let compile_ns = Clock.now_ns () -. t0 in
       { cfg; digest; grammar; cs; ff; ll1; slr; earley; cnf; cnf_nts;
-        cyk_nt_budget; pool; compile_ns })
+        cyk_nt_budget; intern; pool; wmu = Mutex.create (); wtables = [];
+        compile_ns })
 
 (* Bundles a worker finished with are kept for the next request against
    the same artifact; the cap only matters when more domains than this
@@ -145,7 +160,10 @@ let with_scratch a f =
       Probe.bump c_scratch_reuse;
       s
     | None ->
-      { es = Earley.scratch (); fp = Forest.pool (); cy = Cyk_dense.scratch () }
+      { es = Earley.scratch ();
+        fp = Forest.pool ();
+        cy = Cyk_dense.scratch ();
+        lc = Cyk.scratch () }
   in
   (* check in even when [f] raises (deadline aborts): a scratch is reset
      at the start of its next run, so a dirty bundle is safe to reuse *)
@@ -158,6 +176,54 @@ let with_scratch a f =
             a.pool.avail <- a.pool.avail + 1
           end))
     (fun () -> f sc)
+
+(* --- weight tables -------------------------------------------------------- *)
+
+(* Normalization is cheap but the table digest participates in result
+   cache keys on every weighted request, so tables are cached on the
+   artifact, keyed by the canonical rendering of the raw wire weights
+   (%.17g round-trips doubles exactly).  A handful of tables per
+   grammar is the realistic population; the cap only guards against a
+   client sweeping weight space through one artifact. *)
+let weights_cache_cap = 16
+
+let raw_weights_key = function
+  | None -> "default"
+  | Some w ->
+    let b = Buffer.create (Array.length w * 16) in
+    Array.iter
+      (fun x ->
+        Buffer.add_string b (Fmt.str "%.17g" x);
+        Buffer.add_char b ',')
+      w;
+    Buffer.contents b
+
+let weights (a : artifact) raw =
+  let key = raw_weights_key raw in
+  match Mutex.protect a.wmu (fun () -> List.assoc_opt key a.wtables) with
+  | Some t ->
+    Probe.bump c_weights_hit;
+    Ok t
+  | None -> (
+    let r =
+      match raw with
+      | None -> Ok (Weights.uniform a.cfg)
+      | Some w -> Weights.normalize a.cfg w
+    in
+    match r with
+    | Ok t ->
+      Probe.bump c_weights_miss;
+      Mutex.protect a.wmu (fun () ->
+          if not (List.mem_assoc key a.wtables) then
+            a.wtables <-
+              (key, t)
+              :: (if List.length a.wtables >= weights_cache_cap then
+                    List.filteri
+                      (fun i _ -> i < weights_cache_cap - 1)
+                      a.wtables
+                  else a.wtables));
+      Ok t
+    | Error _ as e -> e)
 
 (* --- registry ------------------------------------------------------------ *)
 

@@ -23,11 +23,13 @@ type scratch = {
   es : Lambekd_cfg.Earley.scratch;
   fp : Lambekd_grammar.Forest.pool;
   cy : Lambekd_cfg.Cyk_dense.scratch;
+  lc : Lambekd_cfg.Cyk.scratch;
 }
 (** One worker's reusable allocation-heavy state: Earley chart storage,
-    a forest node arena and the dense-CYK bitset arena.  Obtained only
-    through {!with_scratch}, which guarantees exclusive use for the
-    duration of the callback. *)
+    a forest node arena, the dense-CYK bitset arena and the legacy
+    set-based CYK's flat chart arena.  Obtained only through
+    {!with_scratch}, which guarantees exclusive use for the duration of
+    the callback. *)
 
 type scratch_pool
 (** Per-artifact free list of {!scratch} bundles (mutex-guarded, capped). *)
@@ -50,9 +52,30 @@ type artifact = private {
       (** binarized nonterminal count — on an over-budget grammar, how
           far construction got before aborting (a lower bound) *)
   cyk_nt_budget : int;  (** the budget this artifact was compiled under *)
+  intern : Lambekd_grammar.Enum.intern;
+      (** the grammar's interned terminal alphabet — built once here so
+          every [enum] membership run compares dense class ids and can
+          cut out-of-alphabet inputs before the solver starts *)
   pool : scratch_pool;
+  wmu : Mutex.t;
+  mutable wtables : (string * Lambekd_weighted.Weights.t) list;
+      (** normalized weight-table cache; access through {!weights} *)
   compile_ns : float;  (** wall-clock cost of this compilation *)
 }
+
+val weights :
+  artifact ->
+  float array option ->
+  (Lambekd_weighted.Weights.t, string) result
+(** The normalized weight table for raw wire weights (one float per
+    production), or the grammar's uniform table on [None] — cached on
+    the artifact, keyed by the canonical rendering of the raw array
+    (a warm lookup bumps the [service.weights_hit] probe).  [Error] is
+    a wire-ready validation message (wrong arity, negative or
+    non-finite weight, zero-mass left-hand side); errors are not
+    cached.  The table's {!Lambekd_weighted.Weights.digest} is what
+    keys weighted verdicts into the result cache alongside the grammar
+    digest. *)
 
 val with_scratch : artifact -> (scratch -> 'a) -> 'a
 (** Check a scratch bundle out of the artifact's pool (allocating one on

@@ -1,0 +1,65 @@
+(* A plain binary min-heap over a caller-supplied total order (the k-best
+   enumerator instantiates it with "better derivation first", cf. vanda's
+   Data/Queue.hs).  Grow-only array storage; [pop] is O(log n).
+
+   Determinism note: [cmp] must be a total order with no equal distinct
+   elements the caller cares to distinguish — the k-best comparator
+   breaks weight ties on (edge index, child ranks), so pop order is a
+   pure function of the inserted set, never of insertion order. *)
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable arr : 'a array;
+  mutable size : int;
+}
+
+let create ~cmp = { cmp; arr = [||]; size = 0 }
+
+let size h = h.size
+let is_empty h = h.size = 0
+
+let swap h i j =
+  let t = h.arr.(i) in
+  h.arr.(i) <- h.arr.(j);
+  h.arr.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if h.cmp h.arr.(i) h.arr.(p) < 0 then begin
+      swap h i p;
+      sift_up h p
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < h.size && h.cmp h.arr.(l) h.arr.(!best) < 0 then best := l;
+  if r < h.size && h.cmp h.arr.(r) h.arr.(!best) < 0 then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h !best
+  end
+
+let add h x =
+  if h.size >= Array.length h.arr then begin
+    let arr = Array.make (max 8 (2 * Array.length h.arr)) x in
+    Array.blit h.arr 0 arr 0 h.size;
+    h.arr <- arr
+  end;
+  h.arr.(h.size) <- x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.arr.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.arr.(0) <- h.arr.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end

@@ -1,0 +1,15 @@
+(** A binary min-heap over a caller-supplied total order — the priority
+    queue behind the lazy k-best enumerator (cf. vanda-haskell's
+    [Data/Queue.hs]).  Storage is a grow-only array; elements compare
+    via the [cmp] given at creation, and ties must be broken inside
+    [cmp] itself if pop order is to be deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val add : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+(** Smallest element under [cmp], or [None] on an empty heap. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,369 @@
+(* Semiring-weighted parse hypergraphs.
+
+   The build recursion is [Forest.build_span] with integer node ids in
+   place of pointer-linked records: [mk] allocates the head id only
+   after every child id exists, so ids are a topological order of the
+   DAG (tails strictly smaller than heads) and the root, when the input
+   is accepted, is the last node.  Keeping the recursion line-for-line
+   parallel with the forest's — same [Charsets.admits] pruning, same
+   split window, same Ref-only memo with the Building ε-cycle cut — is
+   what makes the counting sweep here and [Forest.count] exact mutual
+   oracles rather than merely close. *)
+
+open Lambekd_grammar
+module Probe = Lambekd_telemetry.Probe
+
+let c_nodes = Probe.counter "weighted.nodes"
+let c_edges = Probe.counter "weighted.edges"
+let c_kbest_derivs = Probe.counter "kbest.derivs"
+let c_kbest_pushed = Probe.counter "kbest.pushed"
+
+type label =
+  | LTok of char
+  | LEps
+  | LTop of string
+  | LAtom of Ptree.t
+  | LPair
+  | LInj of Index.t
+  | LTuple of Index.t array
+  | LRoll of string
+
+type edge = { label : label; tails : int array }
+
+type t = {
+  edges_of : edge array array;  (* node id -> alternatives, topo-sorted *)
+  root : int;  (* -1 = rejected *)
+  n_edges : int;
+}
+
+module Key = struct
+  type t = int * int * int
+
+  let equal (u, i, j) (u', i', j') = u = u' && i = i' && j = j'
+
+  let hash (u, i, j) =
+    let h = (u * 0x01000193) lxor i in
+    (h * 0x01000193) lxor j
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type status = Building | Built of int
+
+(* -1 is the empty pseudo-node: it has no derivations, no edge may name
+   it as a tail, and alternatives are only recorded when every child is
+   non-empty — the same invariant [Forest]'s shared [empty] node keeps. *)
+let build_span ?cs ?poll g s i0 j0 =
+  let cs = match cs with Some cs -> cs | None -> Charsets.shared () in
+  let ag = Charsets.annotate cs g in
+  let memo : status Tbl.t = Tbl.create 64 in
+  let buf = ref (Array.make 64 [||]) in
+  let n = ref 0 in
+  let ne = ref 0 in
+  let mk edges =
+    let id = !n in
+    if id >= Array.length !buf then begin
+      let arr = Array.make (2 * Array.length !buf) [||] in
+      Array.blit !buf 0 arr 0 id;
+      buf := arr
+    end;
+    let ea = Array.of_list edges in
+    !buf.(id) <- ea;
+    incr n;
+    ne := !ne + Array.length ea;
+    id
+  in
+  let rec go (a : Charsets.ann) i j =
+    if not (Charsets.admits a.ainfo s i j) then -1
+    else
+      match a.view with
+      | AChr c ->
+        if j = i + 1 && Char.equal s.[i] c then
+          mk [ { label = LTok c; tails = [||] } ]
+        else -1
+      | AEps -> if i = j then mk [ { label = LEps; tails = [||] } ] else -1
+      | AVoid -> -1
+      | ATop -> mk [ { label = LTop (String.sub s i (j - i)); tails = [||] } ]
+      | AAtom at -> (
+        let w = String.sub s i (j - i) in
+        match
+          List.filter (fun t -> String.equal (Ptree.yield t) w)
+            (at.Grammar.atom_parses w)
+        with
+        | [] -> -1
+        | ts -> mk (List.map (fun t -> { label = LAtom t; tails = [||] }) ts))
+      | ASeq (ka, kb) ->
+        let lo, hi = Charsets.split_bounds ka.ainfo kb.ainfo i j in
+        let alts = ref [] in
+        for k = hi downto lo do
+          if Charsets.admits kb.ainfo s k j then begin
+            let ln = go ka i k in
+            if ln >= 0 then begin
+              let rn = go kb k j in
+              if rn >= 0 then
+                alts := { label = LPair; tails = [| ln; rn |] } :: !alts
+            end
+          end
+        done;
+        (match !alts with [] -> -1 | alts -> mk alts)
+      | AAlt comps -> (
+        match
+          List.filter_map
+            (fun (tag, k) ->
+              let c = go k i j in
+              if c < 0 then None
+              else Some { label = LInj tag; tails = [| c |] })
+            comps
+        with
+        | [] -> -1
+        | alts -> mk alts)
+      | AAnd comps ->
+        let rec all acc = function
+          | [] -> Some (List.rev acc)
+          | (tag, k) :: rest ->
+            let c = go k i j in
+            if c < 0 then None else all ((tag, c) :: acc) rest
+        in
+        (match all [] comps with
+        | None -> -1
+        | Some ns ->
+          mk
+            [ { label = LTuple (Array.of_list (List.map fst ns));
+                tails = Array.of_list (List.map snd ns) } ])
+      | ARef r -> (
+        (match poll with Some p -> p () | None -> ());
+        let key = (r.Charsets.ruid, i, j) in
+        match Tbl.find_opt memo key with
+        | Some (Built id) -> id
+        | Some Building -> -1 (* ε-cycle cut, as in the seed engines *)
+        | None ->
+          Tbl.replace memo key Building;
+          let body = Charsets.ref_body cs r in
+          let bn = go body i j in
+          let id =
+            if bn < 0 then -1
+            else
+              mk
+                [ { label = LRoll (Grammar.def_name r.Charsets.rdef);
+                    tails = [| bn |] } ]
+          in
+          Tbl.replace memo key (Built id);
+          id)
+  in
+  let root = go ag i0 j0 in
+  Probe.add c_nodes !n;
+  Probe.add c_edges !ne;
+  { edges_of = Array.sub !buf 0 !n; root; n_edges = !ne }
+
+let build ?cs ?poll g s = build_span ?cs ?poll g s 0 (String.length s)
+
+let nodes h = Array.length h.edges_of
+let n_edges h = h.n_edges
+let root h = h.root
+let accepts h = h.root >= 0
+let edges_of h v = h.edges_of.(v)
+
+(* --- semiring sweeps ----------------------------------------------------- *)
+
+let inside (type w) (module S : Semiring.S with type t = w) ~weight h =
+  let n = Array.length h.edges_of in
+  let ins = Array.make n S.zero in
+  for v = 0 to n - 1 do
+    let acc = ref S.zero in
+    Array.iter
+      (fun e ->
+        let p = ref (weight e.label) in
+        Array.iter (fun u -> p := S.times !p ins.(u)) e.tails;
+        acc := S.plus !acc !p)
+      h.edges_of.(v);
+    ins.(v) <- !acc
+  done;
+  ins
+
+let inside_root (type w) (module S : Semiring.S with type t = w) ~weight h =
+  if h.root < 0 then S.zero else (inside (module S) ~weight h).(h.root)
+
+let outside (type w) (module S : Semiring.S with type t = w) ~weight
+    ~inside:ins h =
+  let n = Array.length h.edges_of in
+  let out = Array.make n S.zero in
+  if h.root >= 0 then out.(h.root) <- S.one;
+  (* reverse topo order: by the time we expand v, every head above it
+     has already contributed to out.(v) *)
+  for v = n - 1 downto 0 do
+    let ov = out.(v) in
+    if not (S.equal ov S.zero) then
+      Array.iter
+        (fun e ->
+          let w = S.times ov (weight e.label) in
+          let m = Array.length e.tails in
+          for p = 0 to m - 1 do
+            let c = ref w in
+            for q = 0 to m - 1 do
+              if q <> p then c := S.times !c ins.(e.tails.(q))
+            done;
+            let u = e.tails.(p) in
+            out.(u) <- S.plus out.(u) !c
+          done)
+        h.edges_of.(v)
+  done;
+  out
+
+let count h =
+  inside_root (module Semiring.Counting) ~weight:(fun _ -> 1) h
+
+(* --- lazy k-best (Huang & Chiang, Algorithm 3) --------------------------- *)
+
+type derivation = { logw : float; tree : Ptree.t }
+
+(* A ranked derivation at a node: which edge, and which rank of each
+   tail's own ranked list.  (redge, rranks) identifies it uniquely
+   within its node, which is what the deterministic tie-break orders. *)
+type rderiv = { rw : float; redge : int; rranks : int array }
+
+let cmp_ranks a b =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Better first: larger weight, then item order — smaller edge index,
+   then lexicographically smaller ranks.  Total on distinct derivations
+   of one node, so heap pop order is independent of insertion order. *)
+let cmp_deriv a b =
+  let c = Float.compare b.rw a.rw in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.redge b.redge in
+    if c <> 0 then c else cmp_ranks a.rranks b.rranks
+
+type kstate = {
+  cand : rderiv Heap.t array;
+  seen : (int * int array, unit) Hashtbl.t array;
+  ranked : rderiv array array array;  (* per node: chunked ranked list *)
+  nrank : int array;
+  inited : bool array;
+}
+
+let kbest ?poll ~weight ~k h =
+  if h.root < 0 || k <= 0 then []
+  else begin
+    let n = Array.length h.edges_of in
+    let st =
+      { cand = Array.init n (fun _ -> Heap.create ~cmp:cmp_deriv);
+        seen = Array.init n (fun _ -> Hashtbl.create 4);
+        ranked = Array.make n [||];
+        nrank = Array.make n 0;
+        inited = Array.make n false }
+    in
+    let ranked_get v r =
+      (* ranked.(v) is a chunk list: chunk c holds ranks [8c .. 8c+7] *)
+      st.ranked.(v).(r lsr 3).(r land 7)
+    in
+    let ranked_push v d =
+      let r = st.nrank.(v) in
+      let chunk = r lsr 3 in
+      if chunk >= Array.length st.ranked.(v) then begin
+        let arr = Array.make (max 4 (2 * Array.length st.ranked.(v))) [||] in
+        Array.blit st.ranked.(v) 0 arr 0 (Array.length st.ranked.(v));
+        st.ranked.(v) <- arr
+      end;
+      if st.ranked.(v).(chunk) = [||] then
+        st.ranked.(v).(chunk) <- Array.make 8 d;
+      st.ranked.(v).(chunk).(r land 7) <- d;
+      st.nrank.(v) <- r + 1
+    in
+    (* get_rank v r: force v's ranked list out to rank r, lazily.  Tails
+       of v have smaller ids, so the mutual recursion is well-founded. *)
+    let rec get_rank v r =
+      init v;
+      while st.nrank.(v) <= r && next v do
+        ()
+      done;
+      if r < st.nrank.(v) then Some (ranked_get v r) else None
+    and init v =
+      if not st.inited.(v) then begin
+        st.inited.(v) <- true;
+        Array.iteri
+          (fun ei e ->
+            let ranks = Array.make (Array.length e.tails) 0 in
+            push_cand v ei e ranks)
+          h.edges_of.(v)
+      end
+    and push_cand v ei e ranks =
+      if not (Hashtbl.mem st.seen.(v) (ei, ranks)) then begin
+        Hashtbl.replace st.seen.(v) (ei, ranks) ();
+        (* every node has a rank-0 derivation (the build only records
+           alternatives with non-empty children), so only ranks > 0 can
+           fail here *)
+        let w = ref (Some (weight e.label)) in
+        Array.iteri
+          (fun p u ->
+            match !w with
+            | None -> ()
+            | Some acc -> (
+              match get_rank u ranks.(p) with
+              | Some d -> w := Some (acc +. d.rw)
+              | None -> w := None))
+          e.tails;
+        match !w with
+        | Some rw ->
+          Probe.bump c_kbest_pushed;
+          Heap.add st.cand.(v) { rw; redge = ei; rranks = ranks }
+        | None -> ()
+      end
+    and next v =
+      (match poll with Some p -> p () | None -> ());
+      match Heap.pop st.cand.(v) with
+      | None -> false
+      | Some d ->
+        ranked_push v d;
+        Probe.bump c_kbest_derivs;
+        let e = h.edges_of.(v).(d.redge) in
+        Array.iteri
+          (fun p _ ->
+            let ranks = Array.copy d.rranks in
+            ranks.(p) <- ranks.(p) + 1;
+            push_cand v d.redge e ranks)
+          e.tails;
+        true
+    in
+    let rec tree_of v r =
+      let d = ranked_get v r in
+      let e = h.edges_of.(v).(d.redge) in
+      match e.label with
+      | LTok c -> Ptree.Tok c
+      | LEps -> Ptree.Eps
+      | LTop w -> Ptree.TopP w
+      | LAtom t -> t
+      | LPair ->
+        Ptree.Pair (tree_of e.tails.(0) d.rranks.(0),
+                    tree_of e.tails.(1) d.rranks.(1))
+      | LInj tag -> Ptree.Inj (tag, tree_of e.tails.(0) d.rranks.(0))
+      | LTuple tags ->
+        Ptree.Tuple
+          (Array.to_list
+             (Array.mapi
+                (fun p tag -> (tag, tree_of e.tails.(p) d.rranks.(p)))
+                tags))
+      | LRoll name -> Ptree.Roll (name, tree_of e.tails.(0) d.rranks.(0))
+    in
+    let out = ref [] in
+    let r = ref 0 in
+    let continue = ref true in
+    while !continue && !r < k do
+      match get_rank h.root !r with
+      | Some d ->
+        out := { logw = d.rw; tree = tree_of h.root !r } :: !out;
+        incr r
+      | None -> continue := false
+    done;
+    List.rev !out
+  end
+
+let viterbi ~weight h =
+  match kbest ~weight ~k:1 h with [] -> None | d :: _ -> Some d

@@ -1,0 +1,121 @@
+(** Semiring-weighted parse hypergraphs.
+
+    This engine generalizes [Lambekd_grammar.Forest]: where the forest
+    packs derivation choices into shared nodes and supports one fixed
+    sweep (saturating ambiguity counts), the hypergraph names every node
+    with a dense integer id and every local choice with a labelled
+    hyperedge, so {e any} semiring sweep runs over the same structure —
+    membership, counting, Viterbi best-derivation, inside/outside mass
+    (cf. vanda-haskell's [Data.Hypergraph]).
+
+    Construction mirrors [Forest.build] exactly — same [Charsets]
+    pruning, same [Ref]-only memoization, same ε-cycle cut — so the two
+    engines are mutual differential oracles: the counting-semiring
+    inside weight at the root equals [Forest.count] bit for bit,
+    saturation included.
+
+    Node ids are assigned in creation order, children strictly before
+    parents, so every [tails] entry of a node's edges is smaller than
+    the node's own id.  Inside and outside are therefore single array
+    sweeps (forward resp. backward), and the root — when the input is
+    accepted — is the last node, [nodes h - 1]. *)
+
+open Lambekd_grammar
+
+(** What a hyperedge derives, mirroring [Forest.shape] / the [Ptree]
+    constructors.  Rule weights attach at [LInj] edges: a CFG realized
+    by [Cfg.to_grammar] tags its alternatives with [Index.N i] where [i]
+    is the global production index. *)
+type label =
+  | LTok of char
+  | LEps
+  | LTop of string
+  | LAtom of Ptree.t  (** one edge per surviving atom parse *)
+  | LPair
+  | LInj of Index.t
+  | LTuple of Index.t array
+  | LRoll of string
+
+type edge = {
+  label : label;
+  tails : int array;  (** child node ids, each [< ] the head's id *)
+}
+
+type t
+
+val build :
+  ?cs:Charsets.t -> ?poll:(unit -> unit) -> Grammar.t -> string -> t
+
+val build_span :
+  ?cs:Charsets.t ->
+  ?poll:(unit -> unit) ->
+  Grammar.t ->
+  string ->
+  int ->
+  int ->
+  t
+
+val nodes : t -> int
+val n_edges : t -> int
+
+val root : t -> int
+(** Id of the goal item, or [-1] when the input has no parse. *)
+
+val accepts : t -> bool
+val edges_of : t -> int -> edge array
+
+(** {1 Semiring sweeps} *)
+
+val inside :
+  (module Semiring.S with type t = 'w) ->
+  weight:(label -> 'w) ->
+  t ->
+  'w array
+(** One forward sweep: the inside weight of each node is ⊕ over its
+    edges of the edge weight ⊗ the inside weights of its tails. *)
+
+val inside_root :
+  (module Semiring.S with type t = 'w) -> weight:(label -> 'w) -> t -> 'w
+(** The root's inside weight; [S.zero] when the input is rejected. *)
+
+val outside :
+  (module Semiring.S with type t = 'w) ->
+  weight:(label -> 'w) ->
+  inside:'w array ->
+  t ->
+  'w array
+(** One backward sweep from [outside root = S.one]: a tail [u] of an
+    edge [e] headed at [v] receives
+    [outside v ⊗ weight e ⊗ Π inside (other tails of e)].
+    Nodes unreachable from the root keep [S.zero]. *)
+
+val count : t -> int
+(** Inside sweep under {!Semiring.Counting} with every edge weighing
+    [one] — equal to [Forest.count] on the same grammar and input,
+    saturating at [max_int] identically. *)
+
+(** {1 Viterbi and lazy k-best}
+
+    Ranked enumeration is monomorphic in the {!Semiring.Viterbi} /
+    {!Semiring.Inside} carrier: weights are log-probabilities, a
+    derivation's weight is the sum of its edge weights, and better
+    means larger.  Ties are broken on item order — smaller edge index
+    first, then lexicographically smaller child-rank vectors — never on
+    float identity, so ranked output is deterministic across runs and
+    domains. *)
+
+type derivation = {
+  logw : float;  (** log-probability of this derivation *)
+  tree : Ptree.t;
+}
+
+val viterbi : weight:(label -> float) -> t -> derivation option
+(** The single best derivation, or [None] on a rejecting input. *)
+
+val kbest :
+  ?poll:(unit -> unit) -> weight:(label -> float) -> k:int -> t -> derivation list
+(** The [min k total] best derivations, best first, weights
+    non-increasing, [k = 1] agreeing with {!viterbi}.  Lazy in the
+    Huang–Chiang sense: per-node candidate heaps materialize only the
+    derivations the top-[k] frontier touches, never the full set —
+    [Probe] counter [kbest.derivs] reports how many were popped. *)

@@ -10,5 +10,6 @@ let () =
       ("core", Test_core.suite);
       ("surface", Test_surface.suite);
       ("telemetry", Test_telemetry.suite);
+      ("weighted", Test_weighted.suite);
       ("service", Test_service.suite);
       ("server", Test_server.suite) ]

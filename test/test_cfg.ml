@@ -21,6 +21,7 @@ module A = Lambekd_grammar.Ambiguity
 module T = Lambekd_grammar.Transformer
 module Q = Lambekd_grammar.Equivalence
 module I = Lambekd_grammar.Index
+module Probe = Lambekd_telemetry.Probe
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -136,6 +137,30 @@ let test_cyk_empty () =
   let no_eps = Cfg.make ~start:"S" ~productions:[ ("S", [ Cfg.T 'a' ]) ] in
   check_bool "no eps" false (Cyk.accepts_empty (Cyk.of_cfg no_eps));
   check_bool "rules exist" true (Cyk.rule_count (Cyk.of_cfg anbn) > 0)
+
+(* The pooled flat-chart arena must be invisible: verdicts with a shared
+   scratch across many calls (including a longer word after shorter
+   ones, and vice versa) equal the scratch-free ones, and warm calls
+   actually reuse the arena. *)
+let test_cyk_scratch_reuse () =
+  let was_enabled = Probe.enabled () in
+  Probe.enable ();
+  let reuse = Probe.counter "cyk.scratch_reuse" in
+  let before = Probe.value reuse in
+  let sc = Cyk.scratch () in
+  List.iter
+    (fun cfg ->
+      let cnf = Cyk.of_cfg cfg in
+      List.iter
+        (fun w ->
+          check_bool (Fmt.str "scratch verdict %S" w)
+            (Cyk.recognizes cnf w)
+            (Cyk.recognizes ~scratch:sc cnf w))
+        ([ "aaabbb"; "ab"; ""; "aabbab" ]
+        @ L.words (Cfg.alphabet cfg) ~max_len:5))
+    [ anbn; hard; dyck_cfg ];
+  check_bool "warm calls reuse the arena" true (Probe.value reuse > before);
+  if not was_enabled then Probe.disable ()
 
 (* --- FIRST/FOLLOW and LL(1) ----------------------------------------------------- *)
 
@@ -908,6 +933,7 @@ let suite =
     ("first/last sets", `Quick, test_first_last);
     ("cyk matches earley", `Quick, test_cyk_matches_earley);
     ("cyk empty string", `Quick, test_cyk_empty);
+    ("cyk scratch reuse", `Quick, test_cyk_scratch_reuse);
     ("first/follow", `Quick, test_first_follow);
     ("ll1 table construction", `Quick, test_ll1_build);
     ("ll1 parser", `Quick, test_ll1_parse);

@@ -336,7 +336,7 @@ let test_registry_differential () =
       let req =
         { Protocol.id = None; cfg; gname = "random"; input = w;
           query = Protocol.Membership; engine = Protocol.Auto; leo = None;
-          timeout_ms = None; trace = None }
+          weights = None; kbest = None; timeout_ms = None; trace = None }
       in
       let cold = Exec.run (Registry.create ~artifact_cap:0 ~result_cap:0 ()) req in
       let warm = Exec.run reg req in

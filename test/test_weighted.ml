@@ -1,0 +1,526 @@
+(* Tests for the weighted-hypergraph subsystem: semiring laws, the
+   counting-semiring differential against [Forest.count] on random
+   grammars, Viterbi / lazy k-best (ordering, determinism, hand
+   oracles), inside/outside consistency, PCFG weight-table validation,
+   terminal interning for [Enum.accepts], and a 4-domain stress test
+   asserting ranked output is byte-identical to serial — clean and under
+   a committed fault schedule. *)
+
+module W = Lambekd_weighted
+module S = W.Semiring
+module H = W.Hypergraph
+module Weights = W.Weights
+module Cfg = Lambekd_cfg.Cfg
+module Grammar = Lambekd_grammar.Grammar
+module Forest = Lambekd_grammar.Forest
+module Enum = Lambekd_grammar.Enum
+module Ptree = Lambekd_grammar.Ptree
+module Probe = Lambekd_telemetry.Probe
+module Sv = Lambekd_service
+module Protocol = Sv.Protocol
+module Registry = Sv.Registry
+module Exec = Sv.Exec
+module Scheduler = Sv.Scheduler
+module Builtin = Sv.Builtin
+module Fault = Sv.Fault
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let check_close msg expected got =
+  if not (Float.abs (expected -. got) <= 1e-9 *. (1. +. Float.abs expected))
+  then Alcotest.failf "%s: expected %.17g, got %.17g" msg expected got
+
+(* --- semiring laws -------------------------------------------------------- *)
+
+(* The integer semirings satisfy the laws exactly (Counting in the
+   saturating sense); the float semirings only up to rounding —
+   [Float.max] is exact, but [+.] re-association and log-sum-exp are
+   not, so those are checked with a relative tolerance. *)
+let laws_exact (type w) (module M : S.S with type t = w) name samples =
+  List.iter
+    (fun (a, b, c) ->
+      let chk msg x y =
+        if not (M.equal x y) then
+          Alcotest.failf "%s %s: %s <> %s" name msg (M.to_string x)
+            (M.to_string y)
+      in
+      chk "plus assoc" (M.plus (M.plus a b) c) (M.plus a (M.plus b c));
+      chk "plus comm" (M.plus a b) (M.plus b a);
+      chk "plus zero" (M.plus a M.zero) a;
+      chk "times assoc" (M.times (M.times a b) c) (M.times a (M.times b c));
+      chk "times one" (M.times a M.one) a;
+      chk "one times" (M.times M.one a) a;
+      chk "zero annihilates" (M.times a M.zero) M.zero;
+      chk "distrib" (M.times a (M.plus b c))
+        (M.plus (M.times a b) (M.times a c)))
+    samples
+
+let laws_approx (type w) (module M : S.S with type t = w)
+    (to_float : w -> float) name samples =
+  List.iter
+    (fun (a, b, c) ->
+      let chk msg x y =
+        let x = to_float x and y = to_float y in
+        let same =
+          (Float.is_finite x && Float.is_finite y
+          && Float.abs (x -. y) <= 1e-9 *. (1. +. Float.abs x))
+          || (not (Float.is_finite x)) && x = y
+        in
+        if not same then
+          Alcotest.failf "%s %s: %.17g <> %.17g" name msg x y
+      in
+      chk "plus assoc" (M.plus (M.plus a b) c) (M.plus a (M.plus b c));
+      chk "plus comm" (M.plus a b) (M.plus b a);
+      chk "plus zero" (M.plus a M.zero) a;
+      chk "times assoc" (M.times (M.times a b) c) (M.times a (M.times b c));
+      chk "times one" (M.times a M.one) a;
+      chk "zero annihilates" (M.times a M.zero) M.zero;
+      chk "distrib" (M.times a (M.plus b c))
+        (M.plus (M.times a b) (M.times a c)))
+    samples
+
+let test_semiring_laws () =
+  let rng = Random.State.make [| 0xbeef |] in
+  let triples gen = List.init 300 (fun _ -> (gen (), gen (), gen ())) in
+  laws_exact (module S.Boolean) "bool"
+    (triples (fun () -> Random.State.bool rng));
+  (* mix small counts with values near the clamp so saturation paths run *)
+  let count () =
+    match Random.State.int rng 5 with
+    | 0 -> 0
+    | 1 -> max_int - Random.State.int rng 3
+    | 2 -> max_int / (1 + Random.State.int rng 4)
+    | _ -> Random.State.int rng 1000
+  in
+  laws_exact (module S.Counting) "counting" (triples count);
+  let logp () = -.Float.of_int (Random.State.int rng 40) /. 3. in
+  laws_approx (module S.Viterbi) Fun.id "viterbi" (triples logp);
+  laws_approx (module S.Inside) Fun.id "inside" (triples logp);
+  check_bool "counting saturates" true
+    (S.saturated S.Counting.(times (times max_int 2) 2));
+  check_close "log_add oracle" (Float.log 3.)
+    (S.log_add (Float.log 1.) (Float.log 2.));
+  check_close "log_add neg_infinity" (Float.log 2.)
+    (S.log_add Float.neg_infinity (Float.log 2.))
+
+(* --- random-grammar differentials ---------------------------------------- *)
+
+(* Same shape as the registry differential's generator: every
+   nonterminal productive by construction, terminals drawn from {a,b}
+   so a word with a 'c' exercises the interning cutoff. *)
+let random_cfg rng =
+  let nts = 1 + Random.State.int rng 3 in
+  let nt i = Fmt.str "N%d" i in
+  let sym () =
+    match Random.State.int rng 4 with
+    | 0 -> Cfg.T 'a'
+    | 1 -> Cfg.T 'b'
+    | _ -> Cfg.N (nt (Random.State.int rng nts))
+  in
+  let productions =
+    List.concat_map
+      (fun i ->
+        let prods = 1 + Random.State.int rng 2 in
+        List.init prods (fun _ ->
+            let len = Random.State.int rng 4 in
+            (nt i, List.init len (fun _ -> sym ()))))
+      (List.init nts Fun.id)
+  in
+  Cfg.make ~start:(nt 0) ~productions
+
+let random_word ?(alphabet = "ab") rng =
+  let n = String.length alphabet in
+  String.init (Random.State.int rng 6) (fun _ ->
+      alphabet.[Random.State.int rng n])
+
+(* The built-in differential oracle: the counting-semiring inside weight
+   at the root must equal [Forest.count] bit for bit, and the hypergraph
+   accepts exactly when membership holds.  200 random grammars, several
+   words each, seeded through qcheck so failures shrink to a seed. *)
+let qcheck_counting_differential =
+  QCheck.Test.make ~name:"counting inside = Forest.count on random grammars"
+    ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| 0xc0de; seed |] in
+      let cfg = random_cfg rng in
+      let g = Cfg.to_grammar cfg in
+      List.for_all
+        (fun w ->
+          let h = H.build g w in
+          H.count h = Forest.count_string g w
+          && H.accepts h = Enum.accepts g w)
+        (List.init 4 (fun _ -> random_word rng)))
+
+let qcheck_kbest_properties =
+  QCheck.Test.make
+    ~name:"kbest: non-increasing, k=1 = viterbi, length = min k count"
+    ~count:150
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| 0x6b65; seed |] in
+      let cfg = random_cfg rng in
+      let g = Cfg.to_grammar cfg in
+      let wt = Weights.uniform cfg in
+      let weight = Weights.edge_weight wt in
+      List.for_all
+        (fun w ->
+          let h = H.build g w in
+          let total = H.count h in
+          let k = 1 + Random.State.int rng 7 in
+          let ds = H.kbest ~weight ~k h in
+          let rec non_incr = function
+            | ({ H.logw = a; _ } : H.derivation)
+              :: ({ H.logw = b; _ } as d2)
+              :: rest ->
+              a >= b && non_incr (d2 :: rest)
+            | _ -> true
+          in
+          let len_ok =
+            if S.saturated total then List.length ds <= k
+            else List.length ds = min k total
+          in
+          let head_ok =
+            match (H.viterbi ~weight h, ds) with
+            | None, [] -> true
+            | Some v, d :: _ -> Float.equal v.H.logw d.H.logw
+            | _ -> false
+          in
+          let yields_ok =
+            List.for_all (fun d -> String.equal (Ptree.yield d.H.tree) w) ds
+          in
+          len_ok && non_incr ds && head_ok && yields_ok)
+        (List.init 3 (fun _ -> random_word rng)))
+
+let qcheck_intern_transparent =
+  QCheck.Test.make
+    ~name:"Enum.accepts with interning = without, cutoff included"
+    ~count:150
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Random.State.make [| 0x17e2; seed |] in
+      let cfg = random_cfg rng in
+      let g = Cfg.to_grammar cfg in
+      let it = Enum.intern g in
+      List.for_all
+        (* 'c' is outside every generated grammar's alphabet, so some
+           words take the early-cutoff path *)
+          (fun w -> Enum.accepts g w = Enum.accepts ~intern:it g w)
+        (List.init 5 (fun _ -> random_word ~alphabet:"abc" rng)))
+
+(* --- hand oracles: ss with P(S->SS)=0.4, P(S->a)=0.6 ---------------------- *)
+
+let ss_cfg () = (Option.get (Builtin.find "ss") : Cfg.t)
+
+let ss_weights () =
+  match Weights.normalize (ss_cfg ()) [| 0.4; 0.6 |] with
+  | Ok wt -> wt
+  | Error e -> Alcotest.fail e
+
+let test_mass_oracle () =
+  let cfg = ss_cfg () in
+  let g = Cfg.to_grammar cfg in
+  let wt = ss_weights () in
+  let weight = Weights.edge_weight wt in
+  let mass w =
+    Float.exp (H.inside_root (module S.Inside) ~weight (H.build g w))
+  in
+  (* a^n has Catalan(n-1) parses, each using n-1 branch rules and n leaf
+     rules: mass(a^n) = C(n-1) · 0.4^(n-1) · 0.6^n *)
+  check_close "mass a" 0.6 (mass "a");
+  check_close "mass aa" 0.144 (mass "aa");
+  check_close "mass aaa" 0.06912 (mass "aaa");
+  check_close "mass aaaa" (5. *. (0.4 ** 3.) *. (0.6 ** 4.)) (mass "aaaa");
+  check_close "rejected mass is zero" 0. (mass "b");
+  (* the boolean sweep is membership *)
+  check_bool "boolean inside accepts" true
+    (H.inside_root (module S.Boolean) ~weight:(fun _ -> true) (H.build g "aaa"));
+  check_bool "boolean inside rejects" false
+    (H.inside_root (module S.Boolean) ~weight:(fun _ -> true) (H.build g "b"))
+
+let test_kbest_oracle () =
+  let cfg = ss_cfg () in
+  let g = Cfg.to_grammar cfg in
+  let weight = Weights.edge_weight (ss_weights ()) in
+  let h = H.build g "aaaa" in
+  check_int "a^4 has Catalan(3) = 5 parses" 5 (H.count h);
+  let ds = H.kbest ~weight ~k:10 h in
+  check_int "kbest exhausts at 5" 5 (List.length ds);
+  (* every derivation of a^4 uses 3 branch and 4 leaf applications *)
+  let expected = (3. *. Float.log 0.4) +. (4. *. Float.log 0.6) in
+  List.iter (fun d -> check_close "uniform tie weight" expected d.H.logw) ds;
+  (* ranked output is deterministic: ties broken on item order *)
+  let render ds =
+    String.concat "\n"
+      (List.map (fun d -> Ptree.to_string d.H.tree) ds)
+  in
+  check_string "tie order stable across rebuilds" (render ds)
+    (render (H.kbest ~weight ~k:10 (H.build g "aaaa")));
+  let trees = List.map (fun d -> Ptree.to_string d.H.tree) ds in
+  check_int "derivations distinct" 5
+    (List.length (List.sort_uniq String.compare trees));
+  List.iter
+    (fun d -> check_string "yield" "aaaa" (Ptree.yield d.H.tree))
+    ds;
+  match H.viterbi ~weight h with
+  | None -> Alcotest.fail "viterbi rejected an accepted input"
+  | Some v ->
+    check_string "viterbi = kbest head" (Ptree.to_string v.H.tree)
+      (Ptree.to_string (List.hd ds).H.tree)
+
+let test_inside_outside_consistency () =
+  let rng = Random.State.make [| 0x10ca1 |] in
+  for _ = 1 to 50 do
+    let cfg = random_cfg rng in
+    let g = Cfg.to_grammar cfg in
+    let w = random_word rng in
+    let h = H.build g w in
+    if H.accepts h then begin
+      let one _ = 1 in
+      let ins = H.inside (module S.Counting) ~weight:one h in
+      let out = H.outside (module S.Counting) ~weight:one ~inside:ins h in
+      let root = H.root h in
+      let total = ins.(root) in
+      check_int "outside(root) = one" 1 out.(root);
+      check_int "inside(root) = count" (H.count h) total;
+      (* through-count: derivations containing node v; a node is on at
+         most every derivation, and the root is on all of them *)
+      if not (S.saturated total) then
+        for v = 0 to H.nodes h - 1 do
+          let through = S.Counting.times ins.(v) out.(v) in
+          if through > total then
+            Alcotest.failf "node %d: through %d > total %d" v through total
+        done
+    end
+  done
+
+(* --- weight tables -------------------------------------------------------- *)
+
+let test_weights_validation () =
+  let cfg = ss_cfg () in
+  let err w =
+    match Weights.normalize cfg w with
+    | Ok _ -> Alcotest.fail "expected validation error"
+    | Error e -> e
+  in
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    n = 0 || go 0
+  in
+  check_bool "arity error names the expected count" true
+    (contains ~affix:"2" (err [| 1. |]));
+  check_bool "negative weight rejected" true
+    (String.length (err [| -1.; 1. |]) > 0);
+  check_bool "nan rejected" true (String.length (err [| Float.nan; 1. |]) > 0);
+  check_bool "infinite rejected" true
+    (String.length (err [| Float.infinity; 1. |]) > 0);
+  check_bool "zero-mass lhs rejected" true
+    (String.length (err [| 0.; 0. |]) > 0);
+  (* normalization is per-LHS: scaling a table leaves it unchanged *)
+  let t1 = Result.get_ok (Weights.normalize cfg [| 1.; 3. |]) in
+  let t2 = Result.get_ok (Weights.normalize cfg [| 2.; 6. |]) in
+  check_string "scaled tables share a digest" (Weights.digest t1)
+    (Weights.digest t2);
+  let t3 = Result.get_ok (Weights.normalize cfg [| 3.; 1. |]) in
+  check_bool "distinct tables get distinct digests" false
+    (String.equal (Weights.digest t1) (Weights.digest t3));
+  check_int "table covers every production" 2 (Weights.n t1);
+  check_close "logp normalized" (Float.log 0.25) (Weights.logp t1 0);
+  let u = Weights.uniform cfg in
+  check_close "uniform logp" (Float.log 0.5) (Weights.logp u 0)
+
+(* --- terminal interning --------------------------------------------------- *)
+
+let test_intern_basic () =
+  let g = Cfg.to_grammar (ss_cfg ()) in
+  let it = Enum.intern g in
+  check_bool "ss alphabet is complete" true (Enum.intern_exact it);
+  check_int "one terminal class" 1 (Enum.intern_classes it);
+  check_bool "member" true (Enum.accepts ~intern:it g "aaa");
+  check_bool "non-member in alphabet" true (Enum.accepts ~intern:it g "a");
+  check_bool "out-of-alphabet rejected" false (Enum.accepts ~intern:it g "aab");
+  (* Top consumes arbitrary bytes: the alphabet cannot be complete *)
+  let topg = Grammar.Seq (Grammar.Top, Grammar.Chr 'a') in
+  let itop = Enum.intern topg in
+  check_bool "Top defeats exactness" false (Enum.intern_exact itop);
+  check_bool "inexact interning still answers" true
+    (Enum.accepts ~intern:itop topg "xa")
+
+let test_intern_cutoff_probe () =
+  let was_enabled = Probe.enabled () in
+  Probe.enable ();
+  let c = Probe.counter "enum.intern_cutoff" in
+  let before = Probe.value c in
+  let g = Cfg.to_grammar (ss_cfg ()) in
+  let it = Enum.intern g in
+  check_bool "cut" false (Enum.accepts ~intern:it g "aaxa");
+  check_int "cutoff counted" (before + 1) (Probe.value c);
+  (* in-alphabet traffic never takes the cutoff *)
+  check_bool "no cut" true (Enum.accepts ~intern:it g "aa");
+  check_int "counter unchanged" (before + 1) (Probe.value c);
+  (* the service path wires the artifact's table in *)
+  let a = Registry.compile (ss_cfg ()) in
+  check_bool "artifact interning is exact" true
+    (Enum.intern_exact a.Registry.intern);
+  if not was_enabled then Probe.disable ()
+
+(* --- service wire --------------------------------------------------------- *)
+
+let run_line ?(reg = Registry.create ()) line =
+  match Protocol.parse_request line with
+  | Error e -> Alcotest.fail e
+  | Ok req -> Exec.run reg req
+
+let test_wire_kbest_and_mass () =
+  let reg = Registry.create () in
+  let r =
+    run_line ~reg
+      {|{"id":"k","grammar":"ss","input":"aaaa","query":"parse","kbest":5}|}
+  in
+  check_string "engine" "kbest" r.Protocol.engine_used;
+  (match r.Protocol.outcome with
+  | Ok (Protocol.Ranked { parses }) ->
+    check_int "five ranked parses" 5 (List.length parses);
+    let rec non_incr = function
+      | (a, _) :: ((b, _) :: _ as rest) -> a >= b && non_incr rest
+      | _ -> true
+    in
+    check_bool "ranked non-increasing" true (non_incr parses)
+  | _ -> Alcotest.fail "expected a ranked verdict");
+  let m =
+    run_line ~reg
+      {|{"id":"m","grammar":"ss","input":"aa","query":"mass","weights":[0.4,0.6]}|}
+  in
+  (match m.Protocol.outcome with
+  | Ok (Protocol.Mass { log_mass }) ->
+    check_close "mass aa" 0.144 (Float.exp log_mass)
+  | _ -> Alcotest.fail "expected a mass verdict");
+  let rej =
+    run_line ~reg {|{"id":"r","grammar":"ss","input":"b","query":"mass"}|}
+  in
+  (match rej.Protocol.outcome with
+  | Ok (Protocol.Mass { log_mass }) ->
+    check_close "rejected mass" 0. (Float.exp log_mass)
+  | _ -> Alcotest.fail "expected a mass verdict");
+  (* malformed weights are a bad request, not a crash *)
+  let bad =
+    run_line ~reg
+      {|{"id":"b","grammar":"ss","input":"a","query":"parse","kbest":2,"weights":[1]}|}
+  in
+  (match bad.Protocol.outcome with
+  | Error (Protocol.Bad_request _) -> ()
+  | _ -> Alcotest.fail "expected bad_request on arity mismatch");
+  (* the per-engine latency histograms reach the metrics endpoint *)
+  let module Metrics = Lambekd_telemetry.Metrics in
+  let was_on = Metrics.enabled () in
+  Metrics.enable ();
+  ignore
+    (run_line ~reg
+       {|{"id":"h","grammar":"ss","input":"aa","query":"parse","kbest":2}|});
+  ignore (run_line ~reg {|{"id":"h2","grammar":"ss","input":"aa","query":"mass"}|});
+  let exposition = Metrics.expose () in
+  let contains ~affix s =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    n = 0 || go 0
+  in
+  check_bool "kbest histogram exposed" true
+    (contains ~affix:"lambekd_request_ns_kbest" exposition);
+  check_bool "mass histogram exposed" true
+    (contains ~affix:"lambekd_request_ns_mass" exposition);
+  if not was_on then Metrics.disable ()
+
+(* --- 4-domain ranked-output stress ---------------------------------------- *)
+
+let with_schedule s f =
+  match Fault.parse s with
+  | Error e -> Alcotest.failf "schedule %S: %s" s e
+  | Ok cfg ->
+    Fault.install cfg;
+    Fun.protect ~finally:Fault.clear f
+
+let ranked_requests () =
+  List.filter_map
+    (fun line ->
+      match Protocol.parse_request line with
+      | Ok r -> Some r
+      | Error e -> Alcotest.fail e)
+    (List.concat
+       (List.init 30 (fun i ->
+            let ss_w = String.make (1 + (i mod 8)) 'a' in
+            let expr_in =
+              "n" ^ String.concat "" (List.init (i mod 5) (fun _ -> "+n"))
+            in
+            [ Fmt.str
+                {|{"id":"k%d","grammar":"ss","input":"%s","query":"parse","kbest":%d}|}
+                i ss_w
+                (1 + (i mod 6));
+              Fmt.str
+                {|{"id":"w%d","grammar":"expr_plain","input":"%s","query":"parse","kbest":3,"weights":[%s]}|}
+                i expr_in
+                (match i mod 3 with
+                | 0 -> "1,1,1,1"
+                | 1 -> "0.7,0.3,0.8,0.2"
+                | _ -> "2,1,3,4");
+              Fmt.str
+                {|{"id":"s%d","grammar":"ss","input":"%s","query":"mass"%s}|}
+                i
+                (if i mod 7 = 0 then "b" else ss_w)
+                (if i mod 2 = 0 then {|,"weights":[0.3,0.7]|} else "") ])))
+
+(* Ranked output must be deterministic: weights go through the same
+   normalized table, ties break on item order, floats render with a
+   fixed format — so the 4-domain run is byte-identical to serial,
+   clean and under a committed fault schedule (faults retry requests,
+   recomputing k-best from scratch on the same artifact). *)
+let test_ranked_domain_stress () =
+  let reqs = ranked_requests () in
+  let total = List.length reqs in
+  let render rs =
+    String.concat "\n" (List.map (Protocol.response_to_json ~times:false) rs)
+  in
+  let serial =
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    render (List.map (Exec.run reg) reqs)
+  in
+  let parallel () =
+    let reg = Registry.create ~result_cap:0 () in
+    List.iter (fun r -> ignore (Registry.get reg r.Protocol.cfg)) reqs;
+    let sched = Scheduler.create ~domains:4 ~queue_cap:128 ~registry:reg () in
+    let out = Array.make total None in
+    List.iteri
+      (fun i r -> Scheduler.submit sched r (fun resp -> out.(i) <- Some resp))
+      reqs;
+    Scheduler.shutdown sched;
+    render (Array.to_list (Array.map Option.get out))
+  in
+  check_string "4-domain ranked output byte-identical to serial" serial
+    (parallel ());
+  let faulted =
+    with_schedule "seed=11;exec.run:fail:0.4;registry.get:corrupt:0.4"
+      (fun () -> parallel ())
+  in
+  check_string "identical under fault schedule too" serial faulted
+
+let suite =
+  [ Alcotest.test_case "semiring laws" `Quick test_semiring_laws;
+    Alcotest.test_case "mass hand oracle (ss)" `Quick test_mass_oracle;
+    Alcotest.test_case "kbest hand oracle (ss)" `Quick test_kbest_oracle;
+    Alcotest.test_case "inside/outside consistency" `Quick
+      test_inside_outside_consistency;
+    Alcotest.test_case "weight-table validation" `Quick
+      test_weights_validation;
+    Alcotest.test_case "interning basics" `Quick test_intern_basic;
+    Alcotest.test_case "interning cutoff probe" `Quick
+      test_intern_cutoff_probe;
+    Alcotest.test_case "wire: kbest + mass" `Quick test_wire_kbest_and_mass;
+    Alcotest.test_case "4-domain ranked stress" `Slow
+      test_ranked_domain_stress ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ qcheck_counting_differential;
+        qcheck_kbest_properties;
+        qcheck_intern_transparent ]
