@@ -730,6 +730,85 @@ let bench_earley_leo () =
           cell "%7.1fx" (off_ns /. on_ns) ])
     [ 128; 512; 2048; 4096 ]
 
+(* --- sessions: incremental re-parse via chart-prefix reuse ------------------------ *)
+
+let bench_incremental () =
+  header
+    "sessions — incremental re-parse: chart-prefix reuse on a 1-char append \
+     vs a from-scratch parse of the same buffer";
+  let comp = Earley.compile dyck_cfg in
+  row
+    [ cell "%6s" "len"; cell "%7s" "reused"; cell "%11s" "incr";
+      cell "%11s" "scratch"; cell "%8s" "speedup" ];
+  List.iter
+    (fun n ->
+      let base = String.concat "" (List.init (n / 2) (fun _ -> "()")) in
+      let text = base ^ "(" in
+      let es = Earley.session comp in
+      ignore (Earley.feed es base);
+      (* the timed op is the 1-char-append re-feed alone; the untimed
+         re-shrink between rounds restores the shorter buffer so every
+         timed feed reuses the same n-set prefix *)
+      let reused = ref 0 in
+      let incr_ns =
+        let t = ref infinity in
+        for _ = 1 to 5 do
+          ignore (Earley.feed es base);
+          t := Float.min !t (time_ns (fun () -> ignore (Earley.feed es text)));
+          reused := Earley.session_reused es
+        done;
+        !t
+      in
+      let scratch_ns =
+        let t = ref infinity in
+        for _ = 1 to 5 do
+          t :=
+            Float.min !t
+              (time_ns (fun () -> ignore (Earley.run_compiled comp text)))
+        done;
+        !t
+      in
+      json ~section:"incremental"
+        [ ("len", Ev.Int (String.length text));
+          ("reused_sets", Ev.Int !reused);
+          ("incremental_ns", Ev.Float incr_ns);
+          ("from_scratch_ns", Ev.Float scratch_ns);
+          ("speedup", Ev.Float (scratch_ns /. incr_ns)) ];
+      row
+        [ cell "%6d" (String.length text); cell "%7d" !reused;
+          pp_ns incr_ns; pp_ns scratch_ns;
+          cell "%7.1fx" (scratch_ns /. incr_ns) ])
+    [ 512; 2048; 4096 ];
+  (* streaming accepts-as-you-go: feed 64 chunks of 32 bytes and answer
+     after each, vs re-parsing the growing buffer from scratch per chunk *)
+  let chunks = List.init 64 (fun _ -> String.concat "" (List.init 16 (fun _ -> "()"))) in
+  let es = Earley.session comp in
+  let stream_incr_ns =
+    time_ns (fun () ->
+        ignore (Earley.feed es "");
+        List.iter
+          (fun c -> ignore (Earley.feed es (Earley.session_text es ^ c)))
+          chunks)
+  in
+  let stream_scratch_ns =
+    time_ns (fun () ->
+        let buf = Buffer.create 4096 in
+        List.iter
+          (fun c ->
+            Buffer.add_string buf c;
+            ignore (Earley.run_compiled comp (Buffer.contents buf)))
+          chunks)
+  in
+  json ~section:"incremental"
+    [ ("stream_chunks", Ev.Int (List.length chunks));
+      ("stream_incremental_ns", Ev.Float stream_incr_ns);
+      ("stream_from_scratch_ns", Ev.Float stream_scratch_ns);
+      ("stream_speedup", Ev.Float (stream_scratch_ns /. stream_incr_ns)) ];
+  row
+    [ cell "%-13s" "stream 64x32"; pp_ns stream_incr_ns;
+      pp_ns stream_scratch_ns;
+      cell "%7.1fx" (stream_scratch_ns /. stream_incr_ns) ]
+
 (* --- engine: allocation-lean hot path --------------------------------------------- *)
 
 let bench_scratch_reuse () =
@@ -1448,6 +1527,7 @@ let sections =
     ("accepts_worklist", bench_accepts_worklist);
     ("earley_completer", bench_earley_completer);
     ("earley_leo", bench_earley_leo);
+    ("incremental", bench_incremental);
     ("scratch_reuse", bench_scratch_reuse);
     ("cyk_dense", bench_cyk_dense);
     ("cyk_blocked", bench_cyk_blocked);

@@ -469,7 +469,7 @@ let with_faults f =
 
 let serve_cmd =
   let run common domains queue_cap artifact_cap result_cap no_times tcp
-      max_conns max_line_bytes metrics_tcp slow_ms =
+      max_conns max_line_bytes metrics_tcp slow_ms paranoid session_cap =
     with_telemetry common @@ fun () ->
     with_faults @@ fun () ->
     (* a vanished peer must surface as EPIPE on the write, not kill the
@@ -478,6 +478,9 @@ let serve_cmd =
     let registry = Sv.Registry.create ~artifact_cap ~result_cap () in
     let times = not no_times in
     let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
+    (* one session table shared by every connection: a session opened on
+       one TCP connection can be appended to from another *)
+    let sessions = Sv.Session.create ~cap:session_cap ~paranoid ~registry () in
     (* the operations plane is always on while serving: counters and
        latency histograms cost one atomic op per event, and the wire
        metrics/health ops should never answer empty.  [--stats] /
@@ -496,6 +499,8 @@ let serve_cmd =
         float_of_int (stats ()).Sv.Registry.scratch_out);
     T.Metrics.gauge "lambekd_scratch_pooled" (fun () ->
         float_of_int (stats ()).Sv.Registry.scratch_free);
+    T.Metrics.gauge "lambekd_sessions" (fun () ->
+        float_of_int (Sv.Session.live sessions));
     (* the slow-request log: JSON lines on stderr, one writer mutex so
        worker threads never interleave bytes *)
     let slow =
@@ -546,14 +551,15 @@ let serve_cmd =
         endpoint;
       Fun.protect
         ~finally:(fun () ->
+          Sv.Session.close_all sessions;
           Sv.Scheduler.shutdown sched;
           Option.iter Sv.Server.metrics_stop endpoint)
       @@ fun () ->
       (match tcp with
       | None ->
         status_exit
-          (Sv.Server.serve_stream ~max_line_bytes ?slow ~sched ~times
-             Unix.stdin Unix.stdout)
+          (Sv.Server.serve_stream ~max_line_bytes ?slow ~sessions ~sched
+             ~times Unix.stdin Unix.stdout)
       | Some port -> (
         match Sv.Server.tcp_create ~port () with
         | Error msg ->
@@ -574,7 +580,8 @@ let serve_cmd =
             [ Sys.sigint; Sys.sigterm ];
           Logs.app (fun m ->
               m "lambekd: serving on 127.0.0.1:%d" (Sv.Server.port t));
-          Sv.Server.run ~max_conns ~max_line_bytes ?slow ~sched ~times t;
+          Sv.Server.run ~max_conns ~max_line_bytes ?slow ~sessions ~sched
+            ~times t;
           Logs.app (fun m ->
               m "lambekd: drained after %d connections"
                 (Sv.Server.connections t));
@@ -673,6 +680,26 @@ let serve_cmd =
              per-stage breakdown (queue, engine, compile) and fault \
              events from the request's trace.")
   in
+  let paranoid =
+    Arg.(
+      value & flag
+      & info [ "paranoid" ]
+          ~doc:
+            "Cross-check every incremental session answer against a \
+             from-scratch re-parse of the whole buffer; a divergence \
+             fails the op with a $(i,bad_request) naming it.  A \
+             correctness harness, not a production mode: every session \
+             op pays a full parse.")
+  in
+  let session_cap =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "session-cap" ] ~docv:"N"
+          ~doc:
+            "Live incremental-session cap; opening past it evicts the \
+             least-recently-used session (its id stops resolving).")
+  in
   Cmd.v
     (Cmd.info "serve" ~exits:service_exits
        ~doc:
@@ -684,7 +711,7 @@ let serve_cmd =
     Term.(
       const run $ common_term $ domains $ queue_cap $ artifact_cap
       $ result_cap $ no_times $ tcp $ max_conns $ max_line_bytes
-      $ metrics_tcp $ slow_ms)
+      $ metrics_tcp $ slow_ms $ paranoid $ session_cap)
 
 let batch_cmd =
   let run common file domains queue_cap artifact_cap result_cap no_times
@@ -752,6 +779,15 @@ let batch_cmd =
                     | Sv.Protocol.Request r ->
                       Sv.Protocol.Request
                         { r with Sv.Protocol.leo = Some false }
+                    | Sv.Protocol.Session
+                        ({ Sv.Protocol.sq_op =
+                             Sv.Protocol.S_open { cfg; gname; leo = _ };
+                           _ } as sq) ->
+                      Sv.Protocol.Session
+                        { sq with
+                          Sv.Protocol.sq_op =
+                            Sv.Protocol.S_open
+                              { cfg; gname; leo = Some false } }
                     | l -> l)
                   req
               else req
@@ -771,13 +807,16 @@ let batch_cmd =
                   req
             in
             (match req with
-            | Ok (Sv.Protocol.Request { Sv.Protocol.trace = Some tr; _ }) ->
+            | Ok (Sv.Protocol.Request { Sv.Protocol.trace = Some tr; _ })
+            | Ok (Sv.Protocol.Session { Sv.Protocol.sq_trace = Some tr; _ })
+              ->
               Sv.Trace.set_id tr (Fmt.str "t%d" s);
               Sv.Trace.stamp_received tr
             | _ -> ());
             (s, req))
           lines
       in
+      let sessions = Sv.Session.create ~registry () in
       if domains = Some 0 then
         (* serial reference mode: same pipeline, no pool — the baseline
            the differential test and the bench compare against.  The
@@ -791,7 +830,12 @@ let batch_cmd =
             | Ok (Sv.Protocol.Request req) ->
               Option.iter Sv.Trace.stamp_dequeued req.Sv.Protocol.trace;
               respond ?trace:req.Sv.Protocol.trace s
-                (Sv.Exec.run registry req))
+                (Sv.Exec.run registry req)
+            | Ok (Sv.Protocol.Session sq) ->
+              let routed = Sv.Session.route sessions sq in
+              Option.iter Sv.Trace.stamp_dequeued sq.Sv.Protocol.sq_trace;
+              respond ?trace:sq.Sv.Protocol.sq_trace s
+                (Sv.Session.exec routed))
           requests
       else begin
         let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
@@ -802,10 +846,17 @@ let batch_cmd =
             | Ok (Sv.Protocol.Admin { aid; op }) -> answer_admin s aid op
             | Ok (Sv.Protocol.Request req) ->
               Sv.Scheduler.submit sched req
-                (respond ?trace:req.Sv.Protocol.trace s))
+                (respond ?trace:req.Sv.Protocol.trace s)
+            | Ok (Sv.Protocol.Session sq) ->
+              (* routed here, in line order; executed on the pool in
+                 per-session ticket order *)
+              let routed = Sv.Session.route sessions sq in
+              Sv.Scheduler.submit_session sched routed
+                (respond ?trace:sq.Sv.Protocol.sq_trace s))
           requests;
         Sv.Scheduler.shutdown sched
       end;
+      Sv.Session.close_all sessions;
       flags_exit flags)
   in
   let file =

@@ -102,10 +102,13 @@ let compile (cfg : Cfg.t) =
 
 type scratch = {
   mutable s_charts : unit IntTbl.t array;
+  mutable s_compl : unit IntTbl.t array;
+      (** per end position: completed (origin * nprods + prod) facts *)
+  mutable s_uses : (int * int) list array;
+      (** per end position: (origin, nt id) Leo shortcut uses *)
   mutable s_waiting : int list array;  (** flat (pos * nnts + nt) *)
   mutable s_leo_top : int array;  (** 0 unknown, 1 none, enc+2 topmost *)
   mutable s_leo_link : int array;  (** 0 none, enc+2 the unique awaiter *)
-  s_completed : unit IntTbl.t;
   s_qa : int Queue.t;
   s_qb : int Queue.t;
   mutable s_nnts : int;  (** stride the flat arrays were laid out for *)
@@ -114,14 +117,20 @@ type scratch = {
 
 let scratch () =
   { s_charts = [||];
+    s_compl = [||];
+    s_uses = [||];
     s_waiting = [||];
     s_leo_top = [||];
     s_leo_link = [||];
-    s_completed = IntTbl.create 64;
     s_qa = Queue.create ();
     s_qb = Queue.create ();
     s_nnts = 0;
     s_used = 0 }
+
+let grow_tables arr slots =
+  let old = Array.length arr in
+  if old >= slots then arr
+  else Array.init slots (fun i -> if i < old then arr.(i) else IntTbl.create 16)
 
 (* Reset-and-grow.  The dirty region of the previous run is bounded by
    [s_used] × [s_nnts]; if the stride changed (a different grammar took
@@ -130,12 +139,17 @@ let scratch () =
 let prepare sc ~slots ~nnts =
   let old = Array.length sc.s_charts in
   for i = 0 to min sc.s_used old - 1 do
-    IntTbl.clear sc.s_charts.(i)
+    IntTbl.clear sc.s_charts.(i);
+    IntTbl.clear sc.s_compl.(i);
+    sc.s_uses.(i) <- []
   done;
-  if old < slots then
-    sc.s_charts <-
+  if old < slots then begin
+    sc.s_charts <- grow_tables sc.s_charts slots;
+    sc.s_compl <- grow_tables sc.s_compl slots;
+    sc.s_uses <-
       Array.init slots (fun i ->
-          if i < old then sc.s_charts.(i) else IntTbl.create 16);
+          if i < old then sc.s_uses.(i) else [])
+  end;
   let need = slots * nnts in
   if sc.s_nnts <> nnts || Array.length sc.s_waiting < need then begin
     let cap = max need (Array.length sc.s_waiting) in
@@ -150,10 +164,55 @@ let prepare sc ~slots ~nnts =
     Array.fill sc.s_leo_top 0 dirty 0;
     Array.fill sc.s_leo_link 0 dirty 0
   end;
-  IntTbl.clear sc.s_completed;
   Queue.clear sc.s_qa;
   Queue.clear sc.s_qb;
   sc.s_used <- slots
+
+(* Suffix reset for incremental re-parses: chart sets [0..keep] stay
+   live, everything above is cleared (tables, waiting/Leo rows), then
+   the arrays grow to [slots].  Only valid when the stride is unchanged
+   — a session owns its scratch, so it always is.  Returns the number
+   of chart items dropped. *)
+let invalidate_suffix sc ~slots ~nnts ~keep =
+  let old_used = sc.s_used in
+  let removed = ref 0 in
+  let hi = min old_used (Array.length sc.s_charts) in
+  for i = keep + 1 to hi - 1 do
+    removed := !removed + IntTbl.length sc.s_charts.(i);
+    IntTbl.clear sc.s_charts.(i);
+    IntTbl.clear sc.s_compl.(i);
+    sc.s_uses.(i) <- []
+  done;
+  let old = Array.length sc.s_charts in
+  if old < slots then begin
+    sc.s_charts <- grow_tables sc.s_charts slots;
+    sc.s_compl <- grow_tables sc.s_compl slots;
+    sc.s_uses <-
+      Array.init slots (fun i -> if i < old then sc.s_uses.(i) else [])
+  end;
+  let lo = (keep + 1) * nnts in
+  let fhi = min (old_used * nnts) (Array.length sc.s_waiting) in
+  if fhi > lo then begin
+    Array.fill sc.s_waiting lo (fhi - lo) [];
+    Array.fill sc.s_leo_top lo (fhi - lo) 0;
+    Array.fill sc.s_leo_link lo (fhi - lo) 0
+  end;
+  let need = slots * nnts in
+  if Array.length sc.s_waiting < need then begin
+    let cap = max need (2 * Array.length sc.s_waiting) in
+    let grow a fill =
+      let b = Array.make cap fill in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    in
+    sc.s_waiting <- grow sc.s_waiting [];
+    sc.s_leo_top <- grow sc.s_leo_top 0;
+    sc.s_leo_link <- grow sc.s_leo_link 0
+  end;
+  Queue.clear sc.s_qa;
+  Queue.clear sc.s_qb;
+  sc.s_used <- slots;
+  !removed
 
 (* --- charts --------------------------------------------------------------
 
@@ -166,20 +225,21 @@ type chart = {
   comp : compiled;
   input : string;
   charts : unit IntTbl.t array;
-  completed : unit IntTbl.t; (* keys packed by [pack] below *)
+  compl : unit IntTbl.t array;
+      (* per end position: (origin * nprods + prod) completed facts.
+         Keys are independent of the input length, so a retained chart
+         prefix stays valid across session edits. *)
   items : int;
   leo_top : int array;
   leo_link : int array;
-  leo_uses : (int * int * int) list;  (* (origin, nt id, end) shortcuts *)
+  uses : (int * int) list array;  (* per end position: (origin, nt id) *)
   mutable expanded : bool;
 }
 
-(* (origin, end, production) of a completed constituent as one int; the
+(* Is (origin, end = pos, production) a completed constituent?  The
    constituent's nonterminal is implied by the production. *)
-let pack ch origin pos prod =
-  let nprods = ch.comp.nprods in
-  let n = String.length ch.input in
-  (((origin * (n + 1)) + pos) * nprods) + prod
+let fact ch origin pos prod =
+  IntTbl.mem ch.compl.(pos) ((origin * ch.comp.nprods) + prod)
 
 (* The completer has two implementations:
 
@@ -220,31 +280,27 @@ let pack ch origin pos prod =
    and {!expand_walk} re-walks the memoized links to materialize them on
    demand — in full for [parse_tree], and only for the chains ending at
    the last position for [accepts]. *)
-let run_compiled ?(indexed = true) ?(leo = true) ?scratch:sc ?poll comp w =
-  let leo = leo && indexed in
-  let chart_items = ref 0 in
-  let peak = ref 0 in
-  Probe.with_span "earley.run"
-    ~fields:(fun () ->
-      [ ("len", Ev.Int (String.length w));
-        ("chart_items", Ev.Int !chart_items);
-        ("chart_peak", Ev.Int !peak) ])
-  @@ fun () ->
+(* The position loop shared by one-shot runs and session feeds.  The
+   scratch has been prepared (or suffix-invalidated); [start] either
+   seeds the initial predictions ([`Fresh]) or re-scans the retained set
+   [k] over the (possibly new) character at [k] to seed set [k+1]'s
+   queue ([`Rescan k]) — set [k+1] receives items only through scans
+   from set [k], so that is exactly the fresh run's contribution and the
+   loop regenerates the rest. *)
+let run_core ~indexed ~leo ?poll comp sc w ~start ~chart_items ~peak =
   let n = String.length w in
   let { nprods; maxdot; nnts; rhs_len; term_at; await_at; lhs_id; preds;
         nullable_nt; start_nt; _ } =
     comp
   in
-  let sc = match sc with Some sc -> sc | None -> scratch () in
-  prepare sc ~slots:(n + 1) ~nnts;
   let charts = sc.s_charts in
+  let compl = sc.s_compl in
+  let uses = sc.s_uses in
   let waiting = sc.s_waiting in
   let leo_top = sc.s_leo_top in
   let leo_link = sc.s_leo_link in
-  let completed = sc.s_completed in
   let encode origin prod dot = (((origin * nprods) + prod) * maxdot) + dot in
-  let packc origin pos prod = (((origin * (n + 1)) + pos) * nprods) + prod in
-  let leo_uses = ref [] in
+  let packc origin prod = (origin * nprods) + prod in
   let enqueue pos enc queue =
     if not (IntTbl.mem charts.(pos) enc) then begin
       Probe.bump c_items;
@@ -292,10 +348,28 @@ let run_compiled ?(indexed = true) ?(leo = true) ?scratch:sc ?poll comp w =
       result
     end
   in
-  Array.iter
-    (fun i -> enqueue 0 (encode 0 i 0) sc.s_qa)
-    (if start_nt >= 0 then preds.(start_nt) else [||]);
-  for pos = 0 to n do
+  let from =
+    match start with
+    | `Fresh ->
+      Array.iter
+        (fun i -> enqueue 0 (encode 0 i 0) sc.s_qa)
+        (if start_nt >= 0 then preds.(start_nt) else [||]);
+      0
+    | `Rescan k ->
+      if k < n then begin
+        let c = Char.code w.[k] in
+        let nq = if (k + 1) land 1 = 0 then sc.s_qa else sc.s_qb in
+        IntTbl.iter
+          (fun enc () ->
+            let dot = enc mod maxdot in
+            let prod = enc / maxdot mod nprods in
+            if term_at.((prod * maxdot) + dot) = c then
+              enqueue (k + 1) (enc + 1) nq)
+          charts.(k)
+      end;
+      k + 1
+  in
+  for pos = from to n do
     (* two queues, swapped per position: scans feed the next one,
        prediction and completion the current one *)
     let queue, next_queue =
@@ -312,13 +386,13 @@ let run_compiled ?(indexed = true) ?(leo = true) ?scratch:sc ?poll comp w =
       if dot >= rhs_len.(prod) then begin
         (* complete *)
         Probe.bump c_completed;
-        IntTbl.replace completed (packc origin pos prod) ();
+        IntTbl.replace compl.(pos) (packc origin prod) ();
         let b = lhs_id.(prod) in
         if indexed then begin
           let top = if leo && origin < pos then leo_of origin b else -1 in
           if top >= 0 then begin
             Probe.bump c_leo_uses;
-            leo_uses := (origin, b, pos) :: !leo_uses;
+            uses.(pos) <- (origin, b) :: uses.(pos);
             enqueue pos top queue
           end
           else
@@ -365,57 +439,163 @@ let run_compiled ?(indexed = true) ?(leo = true) ?scratch:sc ?poll comp w =
                  ε — advance *)
               Array.iter
                 (fun i ->
-                  if IntTbl.mem completed (packc pos pos i) then
+                  if IntTbl.mem compl.(pos) (packc pos i) then
                     enqueue pos (enc + 1) queue)
                 preds.(m)
           end
       end
     done
-  done;
+  done
+
+let chart_of comp sc w ~items =
   { comp;
     input = w;
-    charts;
-    completed;
-    items = !chart_items;
-    leo_top;
-    leo_link;
-    leo_uses = !leo_uses;
+    charts = sc.s_charts;
+    compl = sc.s_compl;
+    items;
+    leo_top = sc.s_leo_top;
+    leo_link = sc.s_leo_link;
+    uses = sc.s_uses;
     expanded = false }
+
+let run_compiled ?(indexed = true) ?(leo = true) ?scratch:sc ?poll comp w =
+  let leo = leo && indexed in
+  let chart_items = ref 0 in
+  let peak = ref 0 in
+  Probe.with_span "earley.run"
+    ~fields:(fun () ->
+      [ ("len", Ev.Int (String.length w));
+        ("chart_items", Ev.Int !chart_items);
+        ("chart_peak", Ev.Int !peak) ])
+  @@ fun () ->
+  let n = String.length w in
+  let sc = match sc with Some sc -> sc | None -> scratch () in
+  prepare sc ~slots:(n + 1) ~nnts:comp.nnts;
+  run_core ~indexed ~leo ?poll comp sc w ~start:`Fresh ~chart_items ~peak;
+  chart_of comp sc w ~items:!chart_items
 
 let run ?indexed ?leo ?poll (cfg : Cfg.t) w =
   run_compiled ?indexed ?leo ?poll (compile cfg) w
+
+(* --- incremental sessions ------------------------------------------------
+
+   A session retains the scratch (and therefore the chart) of its last
+   run and re-parses only the suffix affected by an edit.  Earley set
+   [p] is fully determined by characters [0..p-1]: prediction and
+   completion within a set never read the input, scans {e from} set [p]
+   consume character [p] feeding set [p+1], and items are only added to
+   chart [x] while the scan position is at [x].  So after replacing the
+   buffer with one sharing a prefix of length [lcp], sets
+   [0..min lcp valid] are exactly what a from-scratch run would build —
+   including the Leo memos and waiting lists over those positions, which
+   depend only on sets at or below their own index.  {!feed} clears
+   everything above the reuse point, re-scans the boundary set over the
+   new character, and resumes the ordinary position loop.
+
+   A feed aborted by [poll] (deadline) leaves the scratch mid-build:
+   the session marks itself invalid and the next feed recomputes from
+   scratch.  Charts returned by earlier feeds alias the scratch and are
+   invalidated by the next feed, exactly like {!run_compiled} with a
+   reused scratch. *)
+
+type session = {
+  ss_comp : compiled;
+  ss_leo : bool;
+  ss_sc : scratch;
+  mutable ss_buf : string;
+  mutable ss_valid : int;  (* last position with a final chart set; -1 none *)
+  mutable ss_items : int;  (* live items across sets 0..ss_valid *)
+  mutable ss_reused : int;  (* sets kept by the most recent feed *)
+}
+
+let session ?(leo = true) ?scratch:sc comp =
+  let sc = match sc with Some sc -> sc | None -> scratch () in
+  { ss_comp = comp;
+    ss_leo = leo;
+    ss_sc = sc;
+    ss_buf = "";
+    ss_valid = -1;
+    ss_items = 0;
+    ss_reused = 0 }
+
+let session_text s = s.ss_buf
+let session_reused s = s.ss_reused
+
+let feed ?poll s w =
+  let comp = s.ss_comp in
+  let sc = s.ss_sc in
+  let n = String.length w in
+  let keep =
+    if s.ss_valid < 0 then -1
+    else begin
+      let old = s.ss_buf in
+      let m = min (String.length old) n in
+      let i = ref 0 in
+      while
+        !i < m && Char.equal (String.unsafe_get old !i) (String.unsafe_get w !i)
+      do
+        incr i
+      done;
+      min !i s.ss_valid
+    end
+  in
+  s.ss_buf <- w;
+  s.ss_valid <- -1;
+  s.ss_reused <- keep + 1;
+  let chart_items = ref 0 in
+  let peak = ref 0 in
+  Probe.with_span "earley.feed"
+    ~fields:(fun () ->
+      [ ("len", Ev.Int n);
+        ("reused_sets", Ev.Int s.ss_reused);
+        ("chart_items", Ev.Int !chart_items) ])
+  @@ fun () ->
+  if keep < 0 then begin
+    prepare sc ~slots:(n + 1) ~nnts:comp.nnts;
+    s.ss_items <- 0;
+    run_core ~indexed:true ~leo:s.ss_leo ?poll comp sc w ~start:`Fresh
+      ~chart_items ~peak
+  end
+  else begin
+    let removed = invalidate_suffix sc ~slots:(n + 1) ~nnts:comp.nnts ~keep in
+    s.ss_items <- s.ss_items - removed;
+    run_core ~indexed:true ~leo:s.ss_leo ?poll comp sc w ~start:(`Rescan keep)
+      ~chart_items ~peak
+  end;
+  s.ss_items <- s.ss_items + !chart_items;
+  s.ss_valid <- n;
+  chart_of comp sc w ~items:s.ss_items
 
 (* Leo expansion: re-walk a shortcut's memoized link chain and insert the
    completed-constituent facts the shortcut skipped.  A chain node's
    link is the unique awaiter [A → α • B, o]; its advance completes A
    over (o, end).  The walk continues exactly while the memoized topmost
    lies strictly above the link's own advance. *)
-let expand_walk ch uses =
+let expand_at ch pos =
   let { nprods; maxdot; nnts; lhs_id; _ } = ch.comp in
-  let n = String.length ch.input in
   let seen = Hashtbl.create 16 in
-  let rec walk k b pos =
-    if not (Hashtbl.mem seen (k, b, pos)) then begin
-      Hashtbl.add seen (k, b, pos) ();
+  let rec walk k b =
+    if not (Hashtbl.mem seen (k, b)) then begin
+      Hashtbl.add seen (k, b) ();
       let idx = (k * nnts) + b in
       let link = ch.leo_link.(idx) - 2 in
       if link >= 0 then begin
         let pd = link / maxdot in
         let prod = pd mod nprods in
         let o = pd / nprods in
-        IntTbl.replace ch.completed
-          ((((o * (n + 1)) + pos) * nprods) + prod)
-          ();
-        if ch.leo_top.(idx) - 2 <> link + 1 then walk o lhs_id.(prod) pos
+        IntTbl.replace ch.compl.(pos) ((o * nprods) + prod) ();
+        if ch.leo_top.(idx) - 2 <> link + 1 then walk o lhs_id.(prod)
       end
     end
   in
-  List.iter (fun (k, b, pos) -> walk k b pos) uses
+  List.iter (fun (k, b) -> walk k b) ch.uses.(pos)
 
 let expand ch =
   if not ch.expanded then begin
     ch.expanded <- true;
-    expand_walk ch ch.leo_uses
+    for pos = 0 to String.length ch.input do
+      expand_at ch pos
+    done
   end
 
 let accepts ch =
@@ -423,11 +603,10 @@ let accepts ch =
   (* a start-production fact over (0, n) may sit inside a skipped chain;
      materialize just the chains ending at [n] — bounded by the work the
      classical engine spends on its final item set alone *)
-  if not ch.expanded then
-    expand_walk ch (List.filter (fun (_, _, pos) -> pos = n) ch.leo_uses);
+  if not ch.expanded then expand_at ch n;
   ch.comp.start_nt >= 0
   && Array.exists
-       (fun i -> IntTbl.mem ch.completed (pack ch 0 n i))
+       (fun i -> fact ch 0 n i)
        ch.comp.preds.(ch.comp.start_nt)
 
 let size ch = ch.items
@@ -450,7 +629,7 @@ let parse_tree ch =
       let result =
         List.find_map
           (fun (pi, p) ->
-            if IntTbl.mem ch.completed (pack ch i j pi) then
+            if fact ch i j pi then
               Option.map
                 (fun children -> Node (name, pi, children))
                 (build_seq p.Cfg.rhs i j)

@@ -67,6 +67,41 @@ val run_compiled :
     it may raise to abort the run (deadline cancellation — the exception
     propagates, and the scratch is safely reset on its next use). *)
 
+type session
+(** An incremental recognizer: a retained chart plus the buffer it was
+    built over.  {!feed} replaces the buffer and reuses the chart
+    prefix — Earley set [p] depends only on characters [0..p-1], so
+    after an edit whose longest common prefix with the old buffer is
+    [p], sets [0..p] (including Leo memos and the waiting index over
+    those positions) are exactly what a from-scratch run would build,
+    and only the suffix is re-scanned.  A session owns its scratch; a
+    chart returned by {!feed} aliases it and is invalidated by the next
+    feed. *)
+
+val session : ?leo:bool -> ?scratch:scratch -> compiled -> session
+(** A fresh session (empty buffer, no chart yet).  The completer is
+    always the indexed one; [leo] (default [true]) as in
+    {!run_compiled}.  [scratch] supplies reused storage which the
+    session then owns until it is dropped. *)
+
+val feed : ?poll:(unit -> unit) -> session -> string -> chart
+(** Replace the session buffer with [w] and return its chart, reusing
+    the longest valid chart prefix (identical re-feeds reuse
+    everything; appends reuse all previous sets).  [poll] may raise to
+    abort — the buffer is already [w] but the retained chart is marked
+    invalid, so the next feed recomputes from scratch.  The chart is
+    equivalent to [run_compiled comp w]: {!accepts}, {!size} (live
+    items for the current buffer) and {!parse_tree} all agree with the
+    from-scratch run. *)
+
+val session_text : session -> string
+(** The current buffer (the argument of the last {!feed}, or [""]). *)
+
+val session_reused : session -> int
+(** How many chart sets the most recent {!feed} retained — [0] for a
+    from-scratch rebuild, [n+1] for an identical re-feed of a length-[n]
+    buffer.  A reuse observability hook for tests and benches. *)
+
 val accepts : chart -> bool
 (** Was the whole input derived from the start symbol? *)
 

@@ -31,7 +31,8 @@ let h_latency = Metrics.histogram "lambekd_request_ns"
 let h_engine =
   List.map
     (fun n -> (n, Metrics.histogram ("lambekd_request_ns_" ^ n)))
-    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest"; "kbest"; "mass" ]
+    [ "ll1"; "slr"; "earley"; "cyk"; "enum"; "forest"; "kbest"; "mass";
+      "session" ]
 
 let observe_latency ~engine_used dur_ns =
   if Metrics.enabled () then begin
@@ -256,6 +257,17 @@ let run_once registry ?deadline_ns (req : Protocol.request) =
       result_cache;
       dur_ns }
   in
+  (* A zero (or negative) budget, or a deadline already past at entry,
+     answers timeout deterministically before any dispatch work — no
+     registry probe, no engine resolution, no result-cache hit racing
+     the clock.  This matches the queue-expiry path, so the serial and
+     scheduled pipelines agree on zero-budget requests regardless of
+     engine pins or cache temperature. *)
+  if
+    (match req.timeout_ms with Some ms -> ms <= 0. | None -> false)
+    || match deadline_ns with Some d -> Clock.now_ns () > d | None -> false
+  then finish ~engine_used:"" ~artifact_cache:`None ~result_cache:`None (timeout ())
+  else begin
   let artifact, artifact_hm = Registry.get ?trace:req.trace registry req.cfg in
   let artifact_cache = (artifact_hm :> [ `Hit | `Miss | `None ]) in
   match resolve artifact req with
@@ -320,6 +332,7 @@ let run_once registry ?deadline_ns (req : Protocol.request) =
         | exception Deadline ->
           finish ~engine_used:name ~artifact_cache ~result_cache:`Miss
             (timeout ())))
+  end
 
 (* The [exec.run] fault point fires before any engine state is touched,
    so a retry is a clean re-execution; the per-site consecutive-failure

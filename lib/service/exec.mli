@@ -16,6 +16,22 @@
 
 exception Deadline
 
+val make_poll : float option -> (unit -> unit) option
+(** The engines' cooperative deadline hook: a rate-limited clock check
+    (one read per 256 polls) raising {!Deadline} past the absolute
+    instant.  [None] deadline = no hook.  Shared with the session
+    executor so incremental feeds abort like one-shot runs. *)
+
+val tree_string : Lambekd_cfg.Earley.tree -> string
+(** The wire rendering of an Earley derivation ([Ptree.to_string] of
+    {!Lambekd_cfg.Earley.tree_to_ptree}) — the session layer must render
+    trees byte-identically to the stateless parse path. *)
+
+val observe_latency : engine_used:string -> float -> unit
+(** Feed the request-latency histograms (overall plus the per-engine
+    family, which includes ["session"]).  No-op while metrics are
+    disabled. *)
+
 val run :
   Registry.t -> ?deadline_ns:float -> Protocol.request -> Protocol.response
 (** Execute one request.  [deadline_ns] is an absolute

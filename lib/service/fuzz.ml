@@ -223,15 +223,95 @@ let gen_lines ~seed ~requests =
     obj [ field "id" (Fmt.str "r%d" i); field "grammar" "dyck";
           field "input" (String.make (default_max_line_bytes + 512 + int 1024) '(') ]
   in
+  (* Session traffic.  Ids are predictable — the table names sessions
+     "s0","s1",... in open order and every generated open decodes, so a
+     counter tracks them.  Ops target known ids (live, closed, or
+     evicted — all deterministic), plus unknown ones.  Timeouts on
+     session ops are only ever 0 (an immediate deterministic timeout):
+     a positive budget could abort mid-parse at a wall-clock-dependent
+     point and diverge between replays. *)
+  let opened = ref 0 in
+  let session_chars = [ '('; ')'; 'a'; 'b'; 'n'; '+' ] in
+  let session i =
+    let id = if int 10 < 8 then [ field "id" (Fmt.str "r%d" i) ] else [] in
+    let traced = if int 6 = 0 then [ ("trace", Json.Bool true) ] else [] in
+    let tmo = if int 12 = 0 then [ ("timeout_ms", Json.Num 0.) ] else [] in
+    let sid_field () =
+      let sid =
+        if int 10 = 0 || !opened = 0 then Fmt.str "nosuch%d" (int 3)
+        else Fmt.str "s%d" (int !opened)
+      in
+      field "session" sid
+    in
+    let num k v = (k, Json.Num (float_of_int v)) in
+    match int 12 with
+    | 0 | 1 ->
+      incr opened;
+      obj
+        (id
+        @ [ field "op" "session_open";
+            field "grammar" (pick [ "dyck"; "anbn"; "expr"; "ss" ]) ]
+        @ tmo @ traced)
+    | 2 | 3 | 4 ->
+      obj
+        (id
+        @ [ field "op" "append"; sid_field ();
+            field "chunk" (word session_chars (int 7)) ]
+        @ tmo @ traced)
+    | 5 | 6 ->
+      (* [at]/[del] range past plausible buffer lengths: out-of-range
+         splices are deterministic bad requests *)
+      obj
+        (id
+        @ [ field "op" "edit"; sid_field (); num "at" (int 10);
+            num "del" (int 5); field "ins" (word session_chars (int 5)) ]
+        @ tmo @ traced)
+    | 7 | 8 ->
+      obj
+        (id
+        @ [ field "op" "query"; sid_field ();
+            field "query" (pick [ "member"; "parse" ]) ]
+        @ tmo @ traced)
+    | 9 -> obj (id @ [ field "op" "session_close"; sid_field () ] @ traced)
+    | 10 ->
+      (* decode-time rejects: bad splice fields, bad session query,
+         missing chunk *)
+      pick
+        [ obj (id @ [ field "op" "edit"; sid_field ();
+                      ("at", Json.Num (-1.)); field "ins" "a" ]);
+          obj (id @ [ field "op" "query"; sid_field ();
+                      field "query" "count" ]);
+          obj (id @ [ field "op" "append"; sid_field () ]);
+          obj (id @ [ field "op" "append"; field "chunk" "ab" ]) ]
+    | _ ->
+      (* an inline-grammar open: sessions are not builtin-only *)
+      incr opened;
+      obj
+        (id
+        @ [ field "op" "session_open";
+            ("grammar",
+             Json.Obj
+               [ field "start" "S";
+                 ("prods",
+                  Json.Arr
+                    [ Json.Arr [ Json.Str "S"; Json.Arr [] ];
+                      Json.Arr
+                        [ Json.Str "S";
+                          Json.Arr
+                            [ Json.Str "'a'"; Json.Str "S"; Json.Str "'b'" ] ]
+                    ]) ]) ]
+        @ tmo @ traced)
+  in
   List.init requests (fun i ->
       match int 100 with
-      | n when n < 52 -> valid i
-      | n when n < 60 -> inline i
-      | n when n < 72 -> malformed i
-      | n when n < 79 -> bad_field i
-      | n when n < 88 -> unicode i
-      | n when n < 93 -> oversized i
-      | n when n < 97 -> admin i
+      | n when n < 46 -> valid i
+      | n when n < 54 -> inline i
+      | n when n < 66 -> malformed i
+      | n when n < 73 -> bad_field i
+      | n when n < 82 -> unicode i
+      | n when n < 87 -> oversized i
+      | n when n < 91 -> admin i
+      | n when n < 97 -> session i
       | _ -> pick [ ""; "   "; "\t" ])
 
 (* --- classification and the serial reference -------------------------------- *)
@@ -242,6 +322,7 @@ type item =
   | Malformed of string
   | Admin of { aid : string option; op : Protocol.admin_op }
   | Request of Protocol.request
+  | Session of Protocol.session_req
 
 let classify ~max_line_bytes line =
   if String.length line > max_line_bytes then Oversized_line
@@ -251,13 +332,14 @@ let classify ~max_line_bytes line =
     | Error msg -> Malformed msg
     | Ok (Protocol.Admin { aid; op }) -> Admin { aid; op }
     | Ok (Protocol.Request r) -> Request r
+    | Ok (Protocol.Session sq) -> Session sq
 
 let direct_response ~max_line_bytes = function
   | Blank -> None
   | Oversized_line ->
     Some (Protocol.bad_request (Server.oversized_message max_line_bytes))
   | Malformed msg -> Some (Protocol.bad_request msg)
-  | Admin _ | Request _ -> None
+  | Admin _ | Request _ | Session _ -> None
 
 (* Traced requests: the front end owns the id ([t<slot>], where slots
    number the non-blank lines) and the received stamp; the serial
@@ -270,6 +352,24 @@ let prep_trace slot (r : Protocol.request) =
       Trace.stamp_received tr)
     r.Protocol.trace
 
+let prep_strace slot (sq : Protocol.session_req) =
+  Option.iter
+    (fun tr ->
+      Trace.set_id tr (Fmt.str "t%d" slot);
+      Trace.stamp_received tr)
+    sq.Protocol.sq_trace
+
+(* the serial session path mirrors the scheduler's stage stamps exactly
+   (received at route, dequeued before exec, written after), so traced
+   session ops have identical stage presence on both sides *)
+let run_session_serial tab slot (sq : Protocol.session_req) =
+  prep_strace slot sq;
+  let routed = Session.route tab sq in
+  Option.iter Trace.stamp_dequeued sq.Protocol.sq_trace;
+  let resp = Session.exec routed in
+  Option.iter Trace.stamp_written sq.Protocol.sq_trace;
+  render ?trace:sq.Protocol.sq_trace resp
+
 let run_request_serial reg slot (r : Protocol.request) =
   prep_trace slot r;
   Option.iter Trace.stamp_dequeued r.Protocol.trace;
@@ -278,6 +378,7 @@ let run_request_serial reg slot (r : Protocol.request) =
   render ?trace:r.Protocol.trace resp
 
 let reference ?(max_line_bytes = default_max_line_bytes) reg lines =
+  let tab = Session.create ~registry:reg () in
   let slot = ref 0 in
   List.filter_map
     (fun line ->
@@ -295,6 +396,10 @@ let reference ?(max_line_bytes = default_max_line_bytes) reg lines =
           let s = !slot in
           incr slot;
           Some (run_request_serial reg s r)
+        | Session sq ->
+          let s = !slot in
+          incr slot;
+          Some (run_session_serial tab s sq)
         | _ -> None))
     lines
 
@@ -310,7 +415,9 @@ let warm reg items =
   List.iter
     (function
       | Request r -> ignore (Registry.get reg r.Protocol.cfg)
-      | Blank | Oversized_line | Malformed _ | Admin _ -> ())
+      | Session { Protocol.sq_op = Protocol.S_open { cfg; _ }; _ } ->
+        ignore (Registry.get reg cfg)
+      | Blank | Oversized_line | Malformed _ | Admin _ | Session _ -> ())
     items
 
 (* Traces are mutable and the item list is shared by both replays: give
@@ -321,6 +428,8 @@ let reset_traces items =
     (function
       | Request ({ Protocol.trace = Some _; _ } as r) ->
         Request { r with Protocol.trace = Some (Trace.create ()) }
+      | Session ({ Protocol.sq_trace = Some _; _ } as sq) ->
+        Session { sq with Protocol.sq_trace = Some (Trace.create ()) }
       | item -> item)
     items
 
@@ -334,6 +443,11 @@ let run_serial ~max_line_bytes items =
   let items = reset_traces items in
   let reg = fresh_registry () in
   warm reg items;
+  (* the serial side runs its sessions paranoid: every incremental
+     answer is cross-checked against a from-scratch parse, so a
+     chart-reuse bug surfaces as a serial-vs-service divergence even
+     when both replays would have computed the same wrong answer *)
+  let tab = Session.create ~paranoid:true ~registry:reg () in
   let slot = ref 0 in
   List.filter_map
     (fun item ->
@@ -350,6 +464,10 @@ let run_serial ~max_line_bytes items =
           let s = !slot in
           incr slot;
           Some (run_request_serial reg s r)
+        | Session sq ->
+          let s = !slot in
+          incr slot;
+          Some (run_session_serial tab s sq)
         | _ -> None))
     items
 
@@ -366,6 +484,7 @@ let run_service ~domains ~max_line_bytes ~schedule items =
   (match schedule with Some (cfg, _) -> Fault.install cfg | None -> ());
   Fun.protect ~finally:Fault.clear @@ fun () ->
   let sched = Scheduler.create ~domains ~queue_cap:64 ~registry:reg () in
+  let tab = Session.create ~registry:reg () in
   let slot = ref 0 in
   List.iter
     (fun item ->
@@ -389,6 +508,16 @@ let run_service ~domains ~max_line_bytes ~schedule items =
           Scheduler.submit sched r (fun resp ->
               Option.iter Trace.stamp_written r.Protocol.trace;
               out.(s) <- Some (render ?trace:r.Protocol.trace resp))
+        | Session sq ->
+          (* routed HERE, in line order on this thread — ids, evictions
+             and close-unbinding are fixed before the op is queued *)
+          let s = !slot in
+          incr slot;
+          prep_strace s sq;
+          let routed = Session.route tab sq in
+          Scheduler.submit_session sched routed (fun resp ->
+              Option.iter Trace.stamp_written sq.Protocol.sq_trace;
+              out.(s) <- Some (render ?trace:sq.Protocol.sq_trace resp))
         | Oversized_line | Malformed _ -> assert false))
     items;
   Scheduler.shutdown sched;

@@ -41,6 +41,11 @@ type item =
           admin responses carry no volatile fields, so the bytes are
           identical by construction *)
   | Request of Protocol.request
+  | Session of Protocol.session_req
+      (** routed through a per-replay {!Session.t} table on the
+          submitting thread in line order; the serial side runs its
+          table [paranoid], so every incremental answer is also checked
+          against a from-scratch oracle parse *)
 
 val classify : max_line_bytes:int -> string -> item
 

@@ -139,7 +139,15 @@ let parse s =
       if not !any then fail "expected digit"
     in
     if peek () = Some '-' then advance ();
-    digits ();
+    (* RFC 8259: the integer part is "0" or a nonzero digit followed by
+       digits — a leading zero ("01", "-0042") is not JSON *)
+    (match peek () with
+    | Some '0' -> (
+      advance ();
+      match peek () with
+      | Some '0' .. '9' -> fail "leading zero in number"
+      | _ -> ())
+    | _ -> digits ());
     if peek () = Some '.' then begin
       advance ();
       digits ()

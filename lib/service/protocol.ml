@@ -37,7 +37,29 @@ type request = {
 
 type admin_op = Op_metrics | Op_health
 
-type line = Admin of { aid : string option; op : admin_op } | Request of request
+(* Session ops are stateful: the service routes them to a per-session
+   entry (ticketed, so edits never race) instead of the stateless
+   request path.  [S_open] carries the grammar; every other op names an
+   existing session on the wire. *)
+type session_op =
+  | S_open of { cfg : Cfg.t; gname : string; leo : bool option }
+  | S_append of { chunk : string }
+  | S_edit of { at : int; del : int; ins : string }
+  | S_query of { q : query }  (** [Membership] or [Parse] only *)
+  | S_close
+
+type session_req = {
+  sq_id : string option;
+  sq_sid : string;  (** target session id; [""] for [S_open] *)
+  sq_op : session_op;
+  sq_timeout_ms : float option;
+  sq_trace : Trace.t option;
+}
+
+type line =
+  | Admin of { aid : string option; op : admin_op }
+  | Request of request
+  | Session of session_req
 
 (* --- request decoding ---------------------------------------------------- *)
 
@@ -92,23 +114,41 @@ let inline_cfg j =
     | exception (Invalid_argument msg | Failure msg) ->
       Error (Fmt.str "invalid grammar: %s" msg)
 
+let decode_grammar j =
+  match Json.mem "grammar" j with
+  | Some (Json.Str name) -> (
+    match Builtin.find name with
+    | Some cfg -> Ok (name, cfg)
+    | None ->
+      Error
+        (Fmt.str "unknown grammar %S (builtins: %s)" name
+           (String.concat ", " Builtin.names)))
+  | Some (Json.Obj _ as g) ->
+    let* cfg = inline_cfg g in
+    Ok ("inline", cfg)
+  | Some _ -> Error "\"grammar\" must be a builtin name or an inline object"
+  | None -> Error "request needs a \"grammar\""
+
+let decode_timeout_ms j =
+  match Json.mem "timeout_ms" j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.num v with
+    | Some ms when ms >= 0. -> Ok (Some ms)
+    | _ -> Error "\"timeout_ms\" must be a non-negative number")
+
+let decode_trace j =
+  match Json.mem "trace" j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.bool_ v with
+    | Some true -> Ok (Some (Trace.create ()))
+    | Some false -> Ok None
+    | None -> Error "\"trace\" must be a boolean")
+
 let decode_request j =
   let id = Option.bind (Json.mem "id" j) Json.str in
-  let* gname, cfg =
-    match Json.mem "grammar" j with
-    | Some (Json.Str name) -> (
-      match Builtin.find name with
-      | Some cfg -> Ok (name, cfg)
-      | None ->
-        Error
-          (Fmt.str "unknown grammar %S (builtins: %s)" name
-             (String.concat ", " Builtin.names)))
-    | Some (Json.Obj _ as g) ->
-      let* cfg = inline_cfg g in
-      Ok ("inline", cfg)
-    | Some _ -> Error "\"grammar\" must be a builtin name or an inline object"
-    | None -> Error "request needs a \"grammar\""
-  in
+  let* gname, cfg = decode_grammar j in
   let* input =
     match Option.bind (Json.mem "input" j) Json.str with
     | Some s -> Ok s
@@ -170,26 +210,79 @@ let decode_request j =
       Error "\"weights\" requires a \"parse\" or \"mass\" query"
     else Ok ()
   in
-  let* timeout_ms =
-    match Json.mem "timeout_ms" j with
-    | None -> Ok None
-    | Some v -> (
-      match Json.num v with
-      | Some ms when ms >= 0. -> Ok (Some ms)
-      | _ -> Error "\"timeout_ms\" must be a non-negative number")
-  in
-  let* trace =
-    match Json.mem "trace" j with
-    | None -> Ok None
-    | Some v -> (
-      match Json.bool_ v with
-      | Some true -> Ok (Some (Trace.create ()))
-      | Some false -> Ok None
-      | None -> Error "\"trace\" must be a boolean")
-  in
+  let* timeout_ms = decode_timeout_ms j in
+  let* trace = decode_trace j in
   Ok
     { id; cfg; gname; input; query; engine; leo; weights; kbest; timeout_ms;
       trace }
+
+(* --- session decoding ----------------------------------------------------- *)
+
+let decode_nonneg_int j name =
+  match Json.mem name j with
+  | None -> Ok None
+  | Some v -> (
+    match Json.num v with
+    | Some x when Float.is_integer x && x >= 0. && x <= 1073741823. ->
+      Ok (Some (int_of_float x))
+    | _ -> Error (Fmt.str "%S must be a non-negative integer" name))
+
+let decode_session kind j =
+  let sq_id = Option.bind (Json.mem "id" j) Json.str in
+  let* sq_sid =
+    if kind = `Open then Ok ""
+    else
+      match Option.bind (Json.mem "session" j) Json.str with
+      | Some s when s <> "" -> Ok s
+      | Some _ -> Error "\"session\" must be a non-empty id string"
+      | None -> Error "session op needs a \"session\" id"
+  in
+  let* sq_op =
+    match kind with
+    | `Open ->
+      let* gname, cfg = decode_grammar j in
+      let* leo =
+        match Json.mem "leo" j with
+        | None -> Ok None
+        | Some v -> (
+          match Json.bool_ v with
+          | Some b -> Ok (Some b)
+          | None -> Error "\"leo\" must be a boolean")
+      in
+      Ok (S_open { cfg; gname; leo })
+    | `Append -> (
+      match Option.bind (Json.mem "chunk" j) Json.str with
+      | Some chunk -> Ok (S_append { chunk })
+      | None -> Error "append needs a \"chunk\" string")
+    | `Edit ->
+      let* at =
+        match decode_nonneg_int j "at" with
+        | Ok (Some at) -> Ok at
+        | Ok None -> Error "edit needs an \"at\" position"
+        | Error _ as e -> e
+      in
+      let* del = Result.map (Option.value ~default:0) (decode_nonneg_int j "del") in
+      let ins =
+        Option.value ~default:""
+          (Option.bind (Json.mem "ins" j) Json.str)
+      in
+      let* () =
+        match Json.mem "ins" j with
+        | Some v when Json.str v = None -> Error "\"ins\" must be a string"
+        | _ -> Ok ()
+      in
+      Ok (S_edit { at; del; ins })
+    | `Query -> (
+      match Option.bind (Json.mem "query" j) Json.str with
+      | None | Some "member" -> Ok (S_query { q = Membership })
+      | Some "parse" -> Ok (S_query { q = Parse })
+      | Some q ->
+        Error (Fmt.str "unknown session query %S (member|parse)" q))
+    | `Close -> Ok S_close
+  in
+  let* sq_timeout_ms = decode_timeout_ms j in
+  let* sq_trace = decode_trace j in
+  Ok (Session { sq_id; sq_sid; sq_op; sq_timeout_ms; sq_trace })
 
 let parse_request line =
   let* j = Json.parse line in
@@ -212,7 +305,17 @@ let parse_line line =
     match Json.str op with
     | Some "metrics" -> Ok (Admin { aid; op = Op_metrics })
     | Some "health" -> Ok (Admin { aid; op = Op_health })
-    | Some other -> Error (Fmt.str "unknown op %S (metrics|health)" other)
+    | Some "session_open" -> decode_session `Open j
+    | Some "append" -> decode_session `Append j
+    | Some "edit" -> decode_session `Edit j
+    | Some "query" -> decode_session `Query j
+    | Some "session_close" -> decode_session `Close j
+    | Some other ->
+      Error
+        (Fmt.str
+           "unknown op %S \
+            (metrics|health|session_open|append|edit|query|session_close)"
+           other)
     | None -> Error "\"op\" must be a string")
 
 (* --- responses ----------------------------------------------------------- *)
@@ -227,6 +330,11 @@ type verdict =
   | Mass of { log_mass : float }
       (** inside log-probability of the input under the request's
           weight table; [neg_infinity] = no parse, mass 0 *)
+  | Session_opened of { sid : string }
+  | Session_closed of { sid : string }
+  | Session_state of { len : int; accept : bool; tree : string option }
+      (** acceptance of the whole session buffer after an
+          append/edit/query — the streaming accepts-as-you-go answer *)
 
 type failure =
   | Bad_request of string
@@ -282,10 +390,20 @@ let response_to_json ?(times = true) ?trace r =
           if Float.is_finite log_mass then
             [ ("log_mass", Json.Num log_mass) ]
           else []
+        | Session_opened { sid } ->
+          [ ("verdict", Json.Str "session_opened");
+            ("session", Json.Str sid) ]
+        | Session_closed { sid } ->
+          [ ("verdict", Json.Str "session_closed");
+            ("session", Json.Str sid) ]
+        | Session_state { len; accept; tree = _ } ->
+          [ ("verdict", Json.Str (if accept then "accept" else "reject"));
+            ("len", Json.Num (float_of_int len)) ]
       in
       let tree =
         match v with
-        | Accepted (Some t) -> [ ("tree", Json.Str t) ]
+        | Accepted (Some t) | Session_state { tree = Some t; _ } ->
+          [ ("tree", Json.Str t) ]
         | _ -> []
       in
       [ ("ok", Json.Bool true) ]

@@ -90,7 +90,44 @@ type request = {
     the queue is full. *)
 type admin_op = Op_metrics | Op_health
 
-type line = Admin of { aid : string option; op : admin_op } | Request of request
+(** Session operations ([{"op":"session_open"|"append"|"edit"|"query"|
+    "session_close"}]): stateful lines the service routes to a
+    per-session entry instead of the stateless request path.
+
+    {v
+    {"op":"session_open","id":"o","grammar":"dyck"}        -> session id
+    {"op":"append","session":"s0","chunk":"(()"}           -> accept/reject
+    {"op":"edit","session":"s0","at":1,"del":2,"ins":")("} -> accept/reject
+    {"op":"query","session":"s0","query":"parse"}          -> tree
+    {"op":"session_close","session":"s0"}
+    v}
+
+    [append] concatenates [chunk] to the session buffer; [edit] splices
+    [ins] over [del] bytes at byte offset [at]; both answer acceptance
+    of the {e whole} buffer — the streaming accepts-as-you-go mode.
+    [query] re-answers without mutating ([member], or [parse] for a
+    tree).  Every answer is computed incrementally by chart-prefix
+    reuse and is byte-identical to a from-scratch parse of the final
+    buffer. *)
+type session_op =
+  | S_open of { cfg : Lambekd_cfg.Cfg.t; gname : string; leo : bool option }
+  | S_append of { chunk : string }
+  | S_edit of { at : int; del : int; ins : string }
+  | S_query of { q : query }  (** decode guarantees [Membership]/[Parse] *)
+  | S_close
+
+type session_req = {
+  sq_id : string option;
+  sq_sid : string;  (** target session id; [""] for [S_open] *)
+  sq_op : session_op;
+  sq_timeout_ms : float option;
+  sq_trace : Trace.t option;
+}
+
+type line =
+  | Admin of { aid : string option; op : admin_op }
+  | Request of request
+  | Session of session_req
 
 val parse_request : string -> (request, string) result
 (** Decode one NDJSON line.  Resolves the grammar (builtin lookup or
@@ -98,8 +135,8 @@ val parse_request : string -> (request, string) result
 
 val parse_line : string -> (line, string) result
 (** Like {!parse_request}, but an object carrying an ["op"] field
-    decodes as an {!Admin} line instead of a request.  The serve and
-    batch front ends (and the fuzzer) speak this. *)
+    decodes as an {!Admin} or {!Session} line instead of a request.
+    The serve and batch front ends (and the fuzzer) speak this. *)
 
 type verdict =
   | Accepted of string option  (** optional rendered parse tree *)
@@ -115,6 +152,13 @@ type verdict =
       (** inside log-probability of the input; renders ["mass"] (the
           probability, possibly underflowing to 0) plus ["log_mass"]
           when finite.  [neg_infinity] = rejected, mass 0. *)
+  | Session_opened of { sid : string }
+      (** renders ["verdict":"session_opened"] with the ["session"] id *)
+  | Session_closed of { sid : string }
+  | Session_state of { len : int; accept : bool; tree : string option }
+      (** the session answer after an append/edit/query: acceptance of
+          the whole buffer (["verdict":"accept"|"reject"]), its byte
+          length (["len"]), and a tree on [parse] queries *)
 
 type failure =
   | Bad_request of string

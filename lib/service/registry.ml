@@ -143,7 +143,11 @@ let compile ?(cyk_nt_budget = default_cyk_nt_budget) cfg =
    ever hammer one grammar at once, and merely re-allocates beyond it. *)
 let scratch_cap = 8
 
-let with_scratch a f =
+(* Long-lived checkout for incremental sessions: the bundle leaves the
+   pool until {!give_scratch} returns it (session close or eviction),
+   and counts as [out] the whole time so the scratch gauge reflects
+   retained charts. *)
+let take_scratch a =
   let sc =
     Mutex.protect a.pool.pmu (fun () ->
         a.pool.out <- a.pool.out + 1;
@@ -154,28 +158,29 @@ let with_scratch a f =
           Some s
         | [] -> None)
   in
-  let sc =
-    match sc with
-    | Some s ->
-      Probe.bump c_scratch_reuse;
-      s
-    | None ->
-      { es = Earley.scratch ();
-        fp = Forest.pool ();
-        cy = Cyk_dense.scratch ();
-        lc = Cyk.scratch () }
-  in
-  (* check in even when [f] raises (deadline aborts): a scratch is reset
-     at the start of its next run, so a dirty bundle is safe to reuse *)
-  Fun.protect
-    ~finally:(fun () ->
-      Mutex.protect a.pool.pmu (fun () ->
-          a.pool.out <- a.pool.out - 1;
-          if a.pool.avail < scratch_cap then begin
-            a.pool.free <- sc :: a.pool.free;
-            a.pool.avail <- a.pool.avail + 1
-          end))
-    (fun () -> f sc)
+  match sc with
+  | Some s ->
+    Probe.bump c_scratch_reuse;
+    s
+  | None ->
+    { es = Earley.scratch ();
+      fp = Forest.pool ();
+      cy = Cyk_dense.scratch ();
+      lc = Cyk.scratch () }
+
+let give_scratch a sc =
+  Mutex.protect a.pool.pmu (fun () ->
+      a.pool.out <- a.pool.out - 1;
+      if a.pool.avail < scratch_cap then begin
+        a.pool.free <- sc :: a.pool.free;
+        a.pool.avail <- a.pool.avail + 1
+      end)
+
+(* check in even when [f] raises (deadline aborts): a scratch is reset
+   at the start of its next run, so a dirty bundle is safe to reuse *)
+let with_scratch a f =
+  let sc = take_scratch a in
+  Fun.protect ~finally:(fun () -> give_scratch a sc) (fun () -> f sc)
 
 (* --- weight tables -------------------------------------------------------- *)
 

@@ -84,6 +84,17 @@ val with_scratch : artifact -> (scratch -> 'a) -> 'a
     in, also on exception.  Results that alias scratch storage (charts,
     forests) must not escape the callback. *)
 
+val take_scratch : artifact -> scratch
+(** Check a bundle out for the long haul — an incremental session
+    retains its Earley chart between requests, so the bundle stays out
+    of the pool (and counted in {!stats}'s [scratch_out]) until
+    {!give_scratch} returns it at session close or eviction. *)
+
+val give_scratch : artifact -> scratch -> unit
+(** Return a bundle obtained by {!take_scratch}.  Must be called exactly
+    once per checkout; the bundle is parked for reuse (or dropped beyond
+    the pool cap). *)
+
 val digest_cfg : Lambekd_cfg.Cfg.t -> string
 (** Hex digest of the canonical structural rendering (start symbol plus
     the production list in order). *)

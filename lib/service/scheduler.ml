@@ -7,8 +7,18 @@ let c_shed = Probe.counter "service.shed"
 let c_expired_in_queue = Probe.counter "scheduler.expired_in_queue"
 let c_claim_faults = Probe.counter "scheduler.claim_faults"
 
+(* The two kinds of queued work.  Stateless requests may be answered
+   straight from the queue when their deadline already expired; session
+   ops may NOT — the entry's turn only advances inside [Session.exec],
+   so shortcutting one would deadlock every later op of that session
+   (the executor answers an expired budget itself, before touching the
+   buffer). *)
+type work =
+  | W_request of Protocol.request
+  | W_session of Session.routed
+
 type job = {
-  req : Protocol.request;
+  work : work;
   deadline_ns : float option;  (** fixed at submission: queue time counts *)
   k : Protocol.response -> unit;
 }
@@ -29,11 +39,25 @@ let domains t = t.ndomains
 let registry t = t.reg
 let depth t = Mutex.protect t.mu (fun () -> Queue.length t.queue)
 
+let deadline_of timeout_ms =
+  Option.map (fun ms -> Clock.now_ns () +. (ms *. 1e6)) timeout_ms
+
 let job_of req k =
-  let deadline_ns =
-    Option.map (fun ms -> Clock.now_ns () +. (ms *. 1e6)) req.Protocol.timeout_ms
-  in
-  { req; deadline_ns; k }
+  { work = W_request req; deadline_ns = deadline_of req.Protocol.timeout_ms; k }
+
+let session_job_of routed k =
+  let sq = Session.sreq routed in
+  { work = W_session routed;
+    deadline_ns = deadline_of sq.Protocol.sq_timeout_ms;
+    k }
+
+let work_trace = function
+  | W_request req -> req.Protocol.trace
+  | W_session routed -> (Session.sreq routed).Protocol.sq_trace
+
+let work_id = function
+  | W_request req -> req.Protocol.id
+  | W_session routed -> (Session.sreq routed).Protocol.sq_id
 
 (* A deadline that expired while the job sat queued yields the timeout
    response right here, without ever entering an engine — [Exec.run]
@@ -46,21 +70,25 @@ let expired_in_queue job =
 
 let run_job t job =
   Probe.bump c_dequeued;
-  Option.iter Trace.stamp_dequeued job.req.Protocol.trace;
+  Option.iter Trace.stamp_dequeued (work_trace job.work);
   let resp =
-    if expired_in_queue job then begin
+    match job.work with
+    | W_request req when expired_in_queue job ->
       Probe.bump c_expired_in_queue;
-      Protocol.timeout ?id:job.req.Protocol.id
-        ~after_ms:(Option.value job.req.Protocol.timeout_ms ~default:0.)
+      Protocol.timeout ?id:req.Protocol.id
+        ~after_ms:(Option.value req.Protocol.timeout_ms ~default:0.)
         ()
-    end
-    else
-      match Exec.run t.reg ?deadline_ns:job.deadline_ns job.req with
+    | work -> (
+      match
+        match work with
+        | W_request req -> Exec.run t.reg ?deadline_ns:job.deadline_ns req
+        | W_session routed -> Session.exec ?deadline_ns:job.deadline_ns routed
+      with
       | resp -> resp
       | exception exn ->
         (* an engine bug must not kill the worker; surface it to the client *)
-        Protocol.bad_request ?id:job.req.Protocol.id
-          (Fmt.str "internal error: %s" (Printexc.to_string exn))
+        Protocol.bad_request ?id:(work_id work)
+          (Fmt.str "internal error: %s" (Printexc.to_string exn)))
   in
   try job.k resp with _ -> ()
 
@@ -129,8 +157,7 @@ let create ?domains ?(queue_cap = 64) ~registry () =
   t.workers <- List.init ndomains (fun _ -> Domain.spawn (worker t));
   t
 
-let try_submit t req k =
-  let job = job_of req k in
+let try_submit_job t job =
   Mutex.protect t.mu (fun () ->
       if t.stopping then invalid_arg "Scheduler: submit after shutdown";
       let len = Queue.length t.queue in
@@ -147,8 +174,10 @@ let try_submit t req k =
         Ok ()
       end)
 
-let submit t req k =
-  let job = job_of req k in
+let try_submit t req k = try_submit_job t (job_of req k)
+let try_submit_session t routed k = try_submit_job t (session_job_of routed k)
+
+let submit_job t job =
   Mutex.lock t.mu;
   while Queue.length t.queue >= t.cap && not t.stopping do
     Condition.wait t.not_full t.mu
@@ -161,6 +190,9 @@ let submit t req k =
   if Queue.is_empty t.queue then Condition.signal t.not_empty;
   Queue.push job t.queue;
   Mutex.unlock t.mu
+
+let submit t req k = submit_job t (job_of req k)
+let submit_session t routed k = submit_job t (session_job_of routed k)
 
 let drain_one t =
   let job =

@@ -42,6 +42,19 @@ val submit : t -> Protocol.request -> (Protocol.response -> unit) -> unit
 (** Blocking enqueue — waits for queue space instead of shedding.  The
     batch front end uses this; the serve loop uses {!try_submit}. *)
 
+val try_submit_session :
+  t -> Session.routed -> (Protocol.response -> unit) -> (unit, int) result
+(** {!try_submit} for a routed session op.  On [Error] the caller must
+    {!Session.cancel} the routed op (the scheduler does not), or the
+    session's later ops deadlock behind the dead ticket.  Queued session
+    ops are never answered from the queue on deadline expiry — the
+    session executor itself answers expired budgets, because only it
+    advances the session's turn. *)
+
+val submit_session :
+  t -> Session.routed -> (Protocol.response -> unit) -> unit
+(** Blocking enqueue of a routed session op. *)
+
 val drain_one : t -> bool
 (** Pop and execute one request on the calling thread; [false] if the
     queue was empty.  For [domains = 0] tests. *)

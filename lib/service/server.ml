@@ -185,8 +185,16 @@ let metrics_extra () =
     ("histograms", Json.Obj hists) ]
 
 let serve_stream ?(max_line_bytes = default_max_line_bytes) ?slow
-    ?(draining = fun () -> false) ?(live = fun () -> 0) ~sched ~times fd_in
-    fd_out : status =
+    ?(draining = fun () -> false) ?(live = fun () -> 0) ?sessions ~sched
+    ~times fd_in fd_out : status =
+  (* session lines need a table; a caller that passes none gets a
+     stream-private one (closed with the stream), callers that share one
+     across connections own its lifecycle *)
+  let owned_sessions, stab =
+    match sessions with
+    | Some tab -> (false, tab)
+    | None -> (true, Session.create ~registry:(Scheduler.registry sched) ())
+  in
   let st = stream fd_out in
   let malformed = Atomic.make false in
   let timed_out = Atomic.make false in
@@ -284,7 +292,34 @@ let serve_stream ?(max_line_bytes = default_max_line_bytes) ?slow
             | Ok () -> ()
             | Error retry_after_ms ->
               respond ?tr s
-                (Protocol.overloaded ?id:req.Protocol.id ~retry_after_ms ())))
+                (Protocol.overloaded ?id:req.Protocol.id ~retry_after_ms ()))
+          | Ok (Protocol.Session sq) -> (
+            let tr =
+              match sq.Protocol.sq_trace with
+              | Some t -> Some (t, true)
+              | None ->
+                if slow <> None then Some (Trace.create (), false) else None
+            in
+            let sq =
+              match (tr, sq.Protocol.sq_trace) with
+              | Some (t, _), None -> { sq with Protocol.sq_trace = Some t }
+              | _ -> sq
+            in
+            Option.iter
+              (fun (t, _) ->
+                Trace.set_id t (Fmt.str "t%d" s);
+                Trace.stamp_received t)
+              tr;
+            (* routing happens HERE, on the reading thread in line order:
+               session ids, evictions and close-unbinding are decided
+               before the op is queued (see {!Session.route}) *)
+            let routed = Session.route stab sq in
+            match Scheduler.try_submit_session sched routed (respond ?tr s) with
+            | Ok () -> ()
+            | Error retry_after_ms ->
+              Session.cancel routed;
+              respond ?tr s
+                (Protocol.overloaded ?id:sq.Protocol.sq_id ~retry_after_ms ())))
         end;
         loop ()
   in
@@ -297,6 +332,9 @@ let serve_stream ?(max_line_bytes = default_max_line_bytes) ?slow
     Condition.wait st.flushed st.mu
   done;
   Mutex.unlock st.mu;
+  (* every op of a stream-private table has executed by now (its
+     response was sequenced above), so closing releases the scratches *)
+  if owned_sessions then Session.close_all stab;
   if Atomic.get malformed then `Malformed
   else if Atomic.get timed_out then `Timed_out
   else `Clean
@@ -347,11 +385,13 @@ let active_connections t =
 
 let stop t = Atomic.set t.stopping true
 
-let handle_connection t ?slow ~max_line_bytes ~sched ~times fd =
+let handle_connection t ?slow ?sessions ~max_line_bytes ~sched ~times fd =
   let draining () = Atomic.get t.stopping in
   let live () = active_connections t in
   (try
-     ignore (serve_stream ~max_line_bytes ?slow ~draining ~live ~sched ~times fd fd)
+     ignore
+       (serve_stream ~max_line_bytes ?slow ~draining ~live ?sessions ~sched
+          ~times fd fd)
    with _ -> ());
   (* remove from the active set BEFORE closing: once closed, the kernel
      may reuse the descriptor number, and the drain path must never
@@ -361,7 +401,7 @@ let handle_connection t ?slow ~max_line_bytes ~sched ~times fd =
   Mutex.protect t.tmu (fun () -> Condition.broadcast t.conn_done)
 
 let run ?(max_conns = 64) ?(max_line_bytes = default_max_line_bytes) ?slow
-    ~sched ~times t =
+    ?sessions ~sched ~times t =
   while not (Atomic.get t.stopping) do
     (* poll-accept: a quarter-second tick bounds stop latency without
        signal-delivery trickery, and EINTR (a signal did arrive) just
@@ -401,7 +441,8 @@ let run ?(max_conns = 64) ?(max_line_bytes = default_max_line_bytes) ?slow
           ignore
             (Thread.create
                (fun () ->
-                 handle_connection t ?slow ~max_line_bytes ~sched ~times fd)
+                 handle_connection t ?slow ?sessions ~max_line_bytes ~sched
+                   ~times fd)
                ())
         end)
   done;

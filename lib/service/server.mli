@@ -77,6 +77,7 @@ val serve_stream :
   ?slow:slow_log ->
   ?draining:(unit -> bool) ->
   ?live:(unit -> int) ->
+  ?sessions:Session.t ->
   sched:Scheduler.t ->
   times:bool ->
   Unix.file_descr ->
@@ -93,7 +94,13 @@ val serve_stream :
     supply the health status and connection count (defaults: never
     draining, zero connections; the TCP front end wires the real ones).
     Requests carrying ["trace":true] get a trace id [t<seq>] assigned
-    here and echo a ["trace"] object on their response. *)
+    here and echo a ["trace"] object on their response.
+
+    Session lines are routed (in line order, on this thread) through
+    [sessions] and executed on the scheduler pool like requests; when
+    no table is passed, the stream gets a private one whose sessions
+    die with the stream.  Pass a shared table to let sessions span
+    connections (the TCP front end does). *)
 
 (** {1 The TCP front end} *)
 
@@ -121,6 +128,7 @@ val run :
   ?max_conns:int ->
   ?max_line_bytes:int ->
   ?slow:slow_log ->
+  ?sessions:Session.t ->
   sched:Scheduler.t ->
   times:bool ->
   tcp ->

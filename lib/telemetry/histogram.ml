@@ -75,7 +75,14 @@ let quantile t q =
   let total = Array.fold_left ( + ) 0 counts in
   if total = 0 then 0.
   else begin
-    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int total))) in
+    (* clamp q into [0, 1] (NaN -> 0) and the rank into [1, total]:
+       q = 1. must select the last occupied bucket, not fall off the
+       cumulative scan and report the top bucket's lower edge *)
+    let q = if Float.is_nan q then 0. else Float.min 1. (Float.max 0. q) in
+    let rank =
+      min total
+        (max 1 (int_of_float (Float.ceil (q *. float_of_int total))))
+    in
     let cum = ref 0 and idx = ref (nbuckets - 1) in
     (try
        Array.iteri

@@ -49,12 +49,15 @@ val snapshot : t -> int array
     domains recorded them. *)
 
 val quantile : t -> float -> float
-(** [quantile t q] (with [0 < q <= 1]) estimates the [q]-quantile as
-    the upper bound of the first bucket at which the cumulative count
-    reaches [ceil (q * count)].  The estimate never undershoots the
-    true quantile's bucket and overshoots by at most the bucket width,
-    i.e. by < 25% relative error for values ≥ 4 ns.  Returns 0 when
-    the histogram is empty. *)
+(** [quantile t q] estimates the [q]-quantile as the upper bound of the
+    first bucket at which the cumulative count reaches
+    [ceil (q * count)].  The estimate never undershoots the true
+    quantile's bucket and overshoots by at most the bucket width, i.e.
+    by < 25% relative error for values ≥ 4 ns.  Returns 0 when the
+    histogram is empty.  [q] is clamped into [0, 1] (NaN counts as 0):
+    [q = 0.] selects the first occupied bucket, [q = 1.] the last —
+    out-of-range quantiles never report an edge of the top bucket no
+    observation ever reached. *)
 
 val reset : t -> unit
 (** Zero every shard.  Not atomic with respect to concurrent

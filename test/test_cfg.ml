@@ -913,11 +913,119 @@ let test_binarize_shape_and_budget () =
         (CykD.accepts ~scratch:sc bb (String.make k 'b')))
     [ 0; 1; 7; 12; 13 ]
 
+(* --- incremental sessions -------------------------------------------------- *)
+
+(* The session contract: after [feed s w], the chart answers exactly as a
+   fresh [run_compiled] over [w] — accepts, size, and tree rendering. *)
+let check_session_state comp es w ch =
+  let fresh = Earley.run_compiled comp w in
+  check_bool (Fmt.str "accepts %S" w) (Earley.accepts fresh)
+    (Earley.accepts ch);
+  check_int (Fmt.str "size %S" w) (Earley.size fresh) (Earley.size ch);
+  Alcotest.(check string) (Fmt.str "text %S" w) w (Earley.session_text es);
+  match (Earley.parse_tree fresh, Earley.parse_tree ch) with
+  | None, None -> ()
+  | Some a, Some b ->
+    Alcotest.(check string)
+      (Fmt.str "tree %S" w)
+      (P.to_string (Earley.tree_to_ptree a))
+      (P.to_string (Earley.tree_to_ptree b))
+  | Some _, None -> Alcotest.fail (Fmt.str "incremental lost the tree on %S" w)
+  | None, Some _ -> Alcotest.fail (Fmt.str "incremental invented a tree on %S" w)
+
+let splice buf at del ins =
+  String.sub buf 0 at ^ ins
+  ^ String.sub buf (at + del) (String.length buf - at - del)
+
+let test_earley_session_stream () =
+  let comp = Earley.compile dyck_cfg in
+  let es = Earley.session comp in
+  let buf = ref "" in
+  (* streaming accepts-as-you-go over a growing Dyck word *)
+  List.iter
+    (fun chunk ->
+      buf := !buf ^ chunk;
+      let ch = Earley.feed es !buf in
+      check_session_state comp es !buf ch)
+    [ "("; "()"; ")"; "(())"; ""; "()" ];
+  (* append-only reuse: all previously valid sets survive *)
+  let before = String.length !buf in
+  ignore (Earley.feed es (!buf ^ "()"));
+  check_int "append reuses every old set" (before + 1)
+    (Earley.session_reused es)
+
+let test_earley_session_edits () =
+  List.iter
+    (fun (cfg, script) ->
+      let comp = Earley.compile cfg in
+      let es = Earley.session comp in
+      let buf = ref "" in
+      List.iter
+        (fun (at, del, ins) ->
+          buf := splice !buf at del ins;
+          let ch = Earley.feed es !buf in
+          check_session_state comp es !buf ch)
+        script)
+    [ (dyck_cfg,
+       [ (0, 0, "(())()"); (2, 2, ""); (1, 0, ")("); (0, 3, ""); (3, 0, "((") ]);
+      (anbn, [ (0, 0, "aabb"); (2, 0, "ab"); (0, 1, ""); (4, 1, "b") ]);
+      (hard, [ (0, 0, "abab"); (2, 2, "ba"); (0, 0, "ab"); (3, 1, "") ]);
+      (right_rec, [ (0, 0, "aaaa"); (4, 0, "aaaa"); (2, 1, ""); (0, 7, "") ]) ]
+
+(* A deadline abort mid-feed leaves the retained chart invalid, never
+   wrong: the next feed recomputes from scratch and agrees with a fresh
+   run again. *)
+let test_earley_session_abort_recovers () =
+  let comp = Earley.compile dyck_cfg in
+  let es = Earley.session comp in
+  ignore (Earley.feed es "(()())");
+  (match
+     Earley.feed es ~poll:(fun () -> raise Exit) "(()())()"
+   with
+  | _ -> Alcotest.fail "poll abort did not propagate"
+  | exception Exit -> ());
+  let w = "(()())()()" in
+  let ch = Earley.feed es w in
+  check_session_state comp es w ch
+
+(* Random edit scripts, every step compared against a from-scratch run —
+   the engine-level mirror of the service's --paranoid oracle. *)
+let prop_session_differential =
+  let gen =
+    QCheck.make
+      ~print:(fun ops ->
+        String.concat ";"
+          (List.map (fun (a, d, s) -> Fmt.str "(%d,%d,%S)" a d s) ops))
+      QCheck.Gen.(
+        list_size (1 -- 12)
+          (triple (0 -- 20) (0 -- 6)
+             (string_size ~gen:(oneofl [ '('; ')'; 'a'; 'b' ]) (0 -- 6))))
+  in
+  QCheck.Test.make ~name:"session edits agree with from-scratch runs" ~count:60
+    gen (fun script ->
+      List.for_all
+        (fun cfg ->
+          let comp = Earley.compile cfg in
+          let es = Earley.session comp in
+          let buf = ref "" in
+          List.for_all
+            (fun (at, del, ins) ->
+              let n = String.length !buf in
+              let at = min at n in
+              let del = min del (n - at) in
+              buf := splice !buf at del ins;
+              let ch = Earley.feed es !buf in
+              let fresh = Earley.run_compiled comp !buf in
+              Bool.equal (Earley.accepts fresh) (Earley.accepts ch)
+              && Earley.size fresh = Earley.size ch)
+            script)
+        [ dyck_cfg; hard; right_rec ])
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_dyck_roundtrip; prop_expr_roundtrip; prop_earley_cyk_agree;
       prop_slr_earley_agree; prop_leo_differential;
-      prop_cyk_dense_differential ]
+      prop_cyk_dense_differential; prop_session_differential ]
 
 let suite =
   [ ("cfg make/validate", `Quick, test_cfg_make);
@@ -930,6 +1038,9 @@ let suite =
     ("earley indexed vs scan completer", `Quick, test_earley_indexed_vs_scan);
     ("earley leo right recursion", `Quick, test_earley_leo_right_recursion);
     ("earley shared chart", `Quick, test_earley_shared_chart);
+    ("earley session streaming", `Quick, test_earley_session_stream);
+    ("earley session edits", `Quick, test_earley_session_edits);
+    ("earley session abort recovery", `Quick, test_earley_session_abort_recovers);
     ("first/last sets", `Quick, test_first_last);
     ("cyk matches earley", `Quick, test_cyk_matches_earley);
     ("cyk empty string", `Quick, test_cyk_empty);

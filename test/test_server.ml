@@ -8,6 +8,7 @@ module Server = Sv.Server
 module Scheduler = Sv.Scheduler
 module Registry = Sv.Registry
 module Protocol = Sv.Protocol
+module Session = Sv.Session
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -161,24 +162,32 @@ type running = {
   t : Server.tcp;
   sched : Scheduler.t;
   thread : Thread.t;
+  sessions : Session.t option;
 }
 
-let start_server ?max_conns ?max_line_bytes () =
+let start_server ?max_conns ?max_line_bytes ?(use_sessions = false) () =
   let reg = Registry.create () in
   let sched = Scheduler.create ~domains:2 ~queue_cap:32 ~registry:reg () in
+  (* a shared table (same registry as the scheduler) lets sessions span
+     connections, as lambekd serve wires it *)
+  let sessions =
+    if use_sessions then Some (Session.create ~registry:reg ()) else None
+  in
   match Server.tcp_create ~port:0 () with
   | Error e -> Alcotest.fail e
   | Ok t ->
     let thread =
       Thread.create
-        (fun () -> Server.run ?max_conns ?max_line_bytes ~sched ~times:false t)
+        (fun () ->
+          Server.run ?max_conns ?max_line_bytes ?sessions ~sched ~times:false t)
         ()
     in
-    { t; sched; thread }
+    { t; sched; thread; sessions }
 
 let stop_server r =
   Server.stop r.t;
   Thread.join r.thread;
+  Option.iter Session.close_all r.sessions;
   Scheduler.shutdown r.sched
 
 let connect port =
@@ -462,6 +471,143 @@ let test_metrics_endpoint () =
     check_bool "health content type" true (contains hh "application/json");
     check_bool "health status" true (contains hh {|"status":"ready"|})
 
+(* --- sessions on the wire --------------------------------------------------- *)
+
+let test_serve_stream_sessions () =
+  with_sched @@ fun sched ->
+  let in_r, in_w = Unix.pipe () in
+  let out_r, out_w = Unix.pipe () in
+  write_all in_w
+    (String.concat "\n"
+       [ {|{"id":"o","op":"session_open","grammar":"dyck"}|};
+         {|{"id":"a1","op":"append","session":"s0","chunk":"(("}|};
+         {|{"id":"e1","op":"edit","session":"s0","at":2,"del":0,"ins":"))"}|};
+         {|{"id":"q1","op":"query","session":"s0","query":"parse"}|};
+         {|{"id":"t1","op":"append","session":"s0","chunk":"x","timeout_ms":0}|};
+         {|{"id":"u1","op":"append","session":"nope","chunk":"x"}|};
+         {|{"id":"c1","op":"session_close","session":"s0"}|};
+         {|{"id":"z1","op":"append","session":"s0","chunk":"x"}|} ]
+    ^ "\n");
+  Unix.close in_w;
+  let status =
+    Server.serve_stream ~max_line_bytes:4096 ~sched ~times:false in_r out_w
+  in
+  Unix.close out_w;
+  let lines = read_all_lines out_r in
+  Unix.close out_r;
+  Unix.close in_r;
+  (* the unknown-session rejections are the bad-line class, the zero
+     budget the timeout class: malformed wins for the exit code *)
+  check_bool "rejections mark the stream malformed" true (status = `Malformed);
+  match lines with
+  | [ o; a1; e1; q1; t1; u1; c1; z1 ] ->
+    check_string "open allocates s0"
+      {|{"id":"o","ok":true,"verdict":"session_opened","session":"s0","engine":"session","artifact":"miss"}|}
+      o;
+    check_string "append answers whole-buffer acceptance"
+      {|{"id":"a1","ok":true,"verdict":"reject","len":2,"engine":"session"}|}
+      a1;
+    check_string "edit splices and re-answers"
+      {|{"id":"e1","ok":true,"verdict":"accept","len":4,"engine":"session"}|}
+      e1;
+    check_bool "parse query carries a tree" true
+      (contains q1 {|"verdict":"accept"|} && contains q1 {|"tree":"|});
+    (* a zero budget is a deterministic timeout that mutates nothing *)
+    check_string "zero budget times out on the wire"
+      {|{"id":"t1","ok":false,"error":"timeout","after_ms":0}|} t1;
+    check_string "unknown session rejected"
+      {|{"id":"u1","ok":false,"error":"bad_request","message":"unknown session \"nope\""}|}
+      u1;
+    check_string "close confirms"
+      {|{"id":"c1","ok":true,"verdict":"session_closed","session":"s0","engine":"session"}|}
+      c1;
+    check_string "closed name is unbound"
+      {|{"id":"z1","ok":false,"error":"bad_request","message":"unknown session \"s0\""}|}
+      z1
+  | _ -> Alcotest.failf "expected 8 responses, got %d" (List.length lines)
+
+let test_tcp_sessions_span_connections () =
+  let r = start_server ~use_sessions:true () in
+  Fun.protect ~finally:(fun () -> stop_server r) @@ fun () ->
+  let port = Server.port r.t in
+  (* connection 1 opens and feeds the session *)
+  let c1 = connect port in
+  write_all c1
+    ({|{"id":"o","op":"session_open","grammar":"dyck"}|} ^ "\n"
+    ^ {|{"id":"a","op":"append","session":"s0","chunk":"(()"}|} ^ "\n");
+  (match recv_line c1 with
+  | Some l -> check_bool "opened on conn 1" true (contains l {|"session":"s0"|})
+  | None -> Alcotest.fail "no open response");
+  Unix.close c1;
+  (* connection 2 picks the same session up: the table is shared *)
+  let c2 = connect port in
+  write_all c2 ({|{"id":"b","op":"append","session":"s0","chunk":")"}|} ^ "\n");
+  (match recv_line c2 with
+  | Some l ->
+    check_bool "session survives across connections" true
+      (contains l {|"verdict":"accept"|} && contains l {|"len":4|})
+  | None -> Alcotest.fail "no response on conn 2");
+  Unix.close c2;
+  match r.sessions with
+  | Some tab -> check_int "one live session at shutdown" 1 (Session.live tab)
+  | None -> Alcotest.fail "server had no table"
+
+let test_session_churn_no_fd_leak () =
+  (* stream-private tables: every serve_stream call must release all
+     session state (scratch bundles back to the pool, no descriptors) *)
+  with_sched @@ fun sched ->
+  let churn () =
+    let in_r, in_w = Unix.pipe () in
+    let out_r, out_w = Unix.pipe () in
+    let writer =
+      Thread.create
+        (fun () ->
+          for i = 1 to 250 do
+            write_all in_w
+              (Fmt.str {|{"id":"o%d","op":"session_open","grammar":"dyck"}|} i
+              ^ "\n"
+              ^ Fmt.str {|{"id":"a%d","op":"append","session":"s%d","chunk":"()"}|}
+                  i (i - 1)
+              ^ "\n"
+              ^ Fmt.str {|{"id":"c%d","op":"session_close","session":"s%d"}|} i
+                  (i - 1)
+              ^ "\n")
+          done;
+          Unix.close in_w)
+        ()
+    in
+    let answered = ref 0 in
+    let drainer =
+      Thread.create (fun () -> answered := List.length (read_all_lines out_r)) ()
+    in
+    ignore
+      (Server.serve_stream ~max_line_bytes:4096 ~sched ~times:false in_r out_w
+        : Server.status);
+    Unix.close out_w;
+    Thread.join writer;
+    Thread.join drainer;
+    Unix.close out_r;
+    Unix.close in_r;
+    check_int "every session line answered" 750 !answered
+  in
+  churn ();
+  let before = open_fds () in
+  for _ = 1 to 4 do churn () done;
+  let rec settle tries =
+    let now = open_fds () in
+    if now <= before + 4 || tries = 0 then now
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.05;
+      settle (tries - 1)
+    end
+  in
+  let after = settle 40 in
+  check_bool
+    (Fmt.str "no fd growth across 1000 session opens (%d -> %d)" before after)
+    true
+    (after <= before + 4)
+
 let suite =
   [ Alcotest.test_case "read_line: chunk-straddling lines" `Quick
       test_read_line_basic;
@@ -487,4 +633,10 @@ let suite =
     Alcotest.test_case "serve_stream: slow-request log" `Quick
       test_serve_stream_slow_log;
     Alcotest.test_case "metrics endpoint: /metrics and /health over HTTP"
-      `Quick test_metrics_endpoint ]
+      `Quick test_metrics_endpoint;
+    Alcotest.test_case "serve_stream: session conversation on the wire" `Quick
+      test_serve_stream_sessions;
+    Alcotest.test_case "tcp: shared table spans connections" `Quick
+      test_tcp_sessions_span_connections;
+    Alcotest.test_case "serve_stream: 1000-session churn, no fd leak" `Quick
+      test_session_churn_no_fd_leak ]

@@ -1136,6 +1136,383 @@ let test_slow_line_shape () =
     {|{"ev":"slow","id":"r10","trace":"t10","ok":false,"error":"timeout","total_ns":7000,"faults":0}|}
     (Protocol.slow_line tr2 timeout_resp)
 
+(* --- json: RFC 8259 numbers ----------------------------------------------- *)
+
+let test_json_numbers () =
+  let ok s v =
+    match Json.parse s with
+    | Ok (Json.Num f) -> check_bool (Fmt.str "%s parses" s) true (f = v)
+    | Ok _ -> Alcotest.failf "%s: not a number" s
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  let bad s =
+    check_bool (Fmt.str "rejects %s" s) true
+      (Result.is_error (Json.parse s))
+  in
+  List.iter (fun (s, v) -> ok s v)
+    [ ("0", 0.); ("-0", 0.); ("0.5", 0.5); ("10", 10.); ("1e10", 1e10);
+      ("1.25e-3", 1.25e-3); ("-120", -120.); ("0.0625", 0.0625) ];
+  (* a leading zero in the integer part is not JSON: the part is "0" or
+     starts with a nonzero digit (RFC 8259 §6) *)
+  List.iter bad
+    [ "01"; "00"; "-0042"; "0123.5"; {|{"timeout_ms":01}|}; {|[01]|} ];
+  (match Json.parse "01" with
+  | Error e ->
+    check_bool "error names the leading zero" true
+      (contains ~affix:"leading zero" e)
+  | Ok _ -> Alcotest.fail "01 accepted");
+  (* the usual non-JSON number spellings stay rejected *)
+  List.iter bad
+    [ "0x1p3"; "1_000"; "nan"; "inf"; "+1"; "1."; ".5"; "1e"; "-"; "--1" ]
+
+(* --- protocol: session lines ----------------------------------------------- *)
+
+let sline l =
+  match Protocol.parse_line l with
+  | Ok (Protocol.Session sq) -> sq
+  | Ok _ -> Alcotest.failf "not a session line: %s" l
+  | Error e -> Alcotest.failf "%s: %s" l e
+
+let test_parse_session_lines () =
+  let sq = sline {|{"op":"session_open","id":"o1","grammar":"dyck"}|} in
+  check_string "open id" "o1" (Option.value ~default:"" sq.Protocol.sq_id);
+  check_string "open carries no sid" "" sq.Protocol.sq_sid;
+  (match sq.Protocol.sq_op with
+  | Protocol.S_open { gname; leo; _ } ->
+    check_string "grammar name" "dyck" gname;
+    check_bool "leo defaults to None" true (leo = None)
+  | _ -> Alcotest.fail "expected S_open");
+  (match sline {|{"op":"append","session":"s0","chunk":"(("}|} with
+  | { Protocol.sq_sid = "s0"; sq_op = Protocol.S_append { chunk = "((" }; _ }
+    -> ()
+  | _ -> Alcotest.fail "append decode");
+  (* edit defaults: del = 0, ins = "" *)
+  (match (sline {|{"op":"edit","session":"s0","at":3}|}).Protocol.sq_op with
+  | Protocol.S_edit { at = 3; del = 0; ins = "" } -> ()
+  | _ -> Alcotest.fail "edit defaults");
+  (match
+     (sline {|{"op":"query","session":"s0","timeout_ms":0}|}).Protocol.sq_op
+   with
+  | Protocol.S_query { q = Protocol.Membership } -> ()
+  | _ -> Alcotest.fail "query defaults to member");
+  (match (sline {|{"op":"query","session":"s0","query":"parse"}|}).Protocol.sq_op
+   with
+  | Protocol.S_query { q = Protocol.Parse } -> ()
+  | _ -> Alcotest.fail "query parse");
+  (match (sline {|{"op":"session_close","session":"s9"}|}).Protocol.sq_op with
+  | Protocol.S_close -> ()
+  | _ -> Alcotest.fail "close decode");
+  (* inline grammars open sessions too *)
+  (match
+     (sline
+        {|{"op":"session_open","grammar":{"start":"S","prods":[["S",[]],["S",["'a'","S","'b'"]]]}}|})
+       .Protocol.sq_op
+   with
+  | Protocol.S_open { gname = "inline"; _ } -> ()
+  | _ -> Alcotest.fail "inline open");
+  let err l affix =
+    match Protocol.parse_line l with
+    | Error e ->
+      check_bool (Fmt.str "%s -> %s" l affix) true (contains ~affix e)
+    | Ok _ -> Alcotest.failf "decoded: %s" l
+  in
+  err {|{"op":"append","chunk":"x"}|} {|needs a "session" id|};
+  err {|{"op":"append","session":"","chunk":"x"}|} "non-empty id string";
+  err {|{"op":"append","session":"s0"}|} {|needs a "chunk" string|};
+  err {|{"op":"edit","session":"s0"}|} {|needs an "at" position|};
+  err {|{"op":"edit","session":"s0","at":-1}|} "non-negative integer";
+  err {|{"op":"edit","session":"s0","at":0,"ins":7}|} {|"ins" must be a string|};
+  err {|{"op":"query","session":"s0","query":"count"}|}
+    {|unknown session query "count" (member|parse)|};
+  err {|{"op":"session_open","grammar":"nosuch"}|} "unknown grammar";
+  err {|{"op":"frobnicate"}|} "unknown op"
+
+(* --- exec: a zero budget is decided before dispatch ------------------------ *)
+
+let test_exec_zero_budget () =
+  (* populate the result cache, then prove a zero budget answers before
+     the cache could: the deadline gate runs before any registry or
+     cache lookup, so the response shows no engine or cache involvement *)
+  let reg = Registry.create () in
+  let line = {|{"grammar":"dyck","input":"(())"}|} in
+  let warm = run_line ~reg line in
+  check_bool "warming run accepted" true
+    (warm.Protocol.outcome = Ok (Protocol.Accepted None));
+  let r = run_line ~reg {|{"grammar":"dyck","input":"(())","timeout_ms":0}|} in
+  (match r.Protocol.outcome with
+  | Error (Protocol.Timeout { after_ms }) ->
+    check_bool "after_ms echoes the budget" true (after_ms = 0.)
+  | _ -> Alcotest.fail "expected a timeout");
+  check_string "no engine ran" "" r.Protocol.engine_used;
+  check_bool "no artifact lookup" true (r.Protocol.artifact_cache = `None);
+  check_bool "no result lookup" true (r.Protocol.result_cache = `None)
+
+(* --- sessions: the service-level table ------------------------------------- *)
+
+module Session = Sv.Session
+
+let srun tab l = Session.exec (Session.route tab (sline l))
+
+let session_state name (r : Protocol.response) =
+  match r.Protocol.outcome with
+  | Ok (Protocol.Session_state { len; accept; tree }) -> (len, accept, tree)
+  | _ -> Alcotest.failf "%s: expected a session state" name
+
+let session_sid name (r : Protocol.response) =
+  match r.Protocol.outcome with
+  | Ok (Protocol.Session_opened { sid }) -> sid
+  | _ -> Alcotest.failf "%s: expected session_opened" name
+
+let test_session_flow () =
+  let reg = Registry.create ~result_cap:0 () in
+  let tab = Session.create ~registry:reg () in
+  check_string "first sid" "s0"
+    (session_sid "open" (srun tab {|{"op":"session_open","grammar":"dyck"}|}));
+  let r = srun tab {|{"op":"append","session":"s0","chunk":"(("}|} in
+  check_string "session answers say so" "session" r.Protocol.engine_used;
+  let len, accept, _ = session_state "append 1" r in
+  check_int "len after append" 2 len;
+  check_bool "(( rejected" false accept;
+  let len, accept, _ =
+    session_state "append 2"
+      (srun tab {|{"op":"append","session":"s0","chunk":"))"}|})
+  in
+  check_int "len after second append" 4 len;
+  check_bool "(()) accepted" true accept;
+  (* a parse query returns the same tree a stateless parse of the
+     buffer would *)
+  let _, _, tree =
+    session_state "query parse"
+      (srun tab {|{"op":"query","session":"s0","query":"parse"}|})
+  in
+  let want =
+    match
+      (run_line ~reg {|{"grammar":"dyck","input":"(())","query":"parse"}|})
+        .Protocol.outcome
+    with
+    | Ok (Protocol.Accepted t) -> t
+    | _ -> Alcotest.fail "stateless parse failed"
+  in
+  check_bool "session tree = stateless tree" true
+    (tree <> None && tree = want);
+  let len, accept, _ =
+    session_state "edit"
+      (srun tab {|{"op":"edit","session":"s0","at":0,"del":4,"ins":"()"}|})
+  in
+  check_int "len after edit" 2 len;
+  check_bool "() accepted" true accept;
+  check_int "one live session" 1 (Session.live tab);
+  (match
+     (srun tab {|{"op":"session_close","session":"s0"}|}).Protocol.outcome
+   with
+  | Ok (Protocol.Session_closed { sid }) -> check_string "closed sid" "s0" sid
+  | _ -> Alcotest.fail "expected session_closed");
+  check_int "no live sessions" 0 (Session.live tab);
+  (* a close unbinds the name at routing time *)
+  (match
+     (srun tab {|{"op":"append","session":"s0","chunk":"x"}|}).Protocol.outcome
+   with
+  | Error (Protocol.Bad_request e) ->
+    check_bool "unknown after close" true (contains ~affix:"unknown session" e)
+  | _ -> Alcotest.fail "expected a bad request")
+
+let test_session_validation () =
+  let reg = Registry.create () in
+  let tab = Session.create ~max_buf:8 ~registry:reg () in
+  ignore (srun tab {|{"op":"session_open","grammar":"dyck"}|});
+  let bad name l affix =
+    match (srun tab l).Protocol.outcome with
+    | Error (Protocol.Bad_request e) -> check_bool name true (contains ~affix e)
+    | _ -> Alcotest.failf "%s: expected a bad request" name
+  in
+  bad "edit beyond end" {|{"op":"edit","session":"s0","at":5,"ins":"x"}|}
+    "beyond buffer length";
+  bad "delete past end" {|{"op":"edit","session":"s0","at":0,"del":3}|}
+    "beyond buffer length";
+  bad "append over max_buf"
+    {|{"op":"append","session":"s0","chunk":"((((((((("}|} "would exceed";
+  bad "unknown sid" {|{"op":"append","session":"zzz","chunk":"x"}|}
+    {|unknown session "zzz"|};
+  (* a rejected op leaves the buffer untouched *)
+  let len, _, _ =
+    session_state "query" (srun tab {|{"op":"query","session":"s0"}|})
+  in
+  check_int "buffer unchanged by rejected ops" 0 len;
+  (* a zero budget times out deterministically and mutates nothing *)
+  (match
+     (srun tab {|{"op":"append","session":"s0","chunk":"()","timeout_ms":0}|})
+       .Protocol.outcome
+   with
+  | Error (Protocol.Timeout { after_ms }) ->
+    check_bool "zero budget" true (after_ms = 0.)
+  | _ -> Alcotest.fail "expected a timeout");
+  let len, _, _ =
+    session_state "query" (srun tab {|{"op":"query","session":"s0"}|})
+  in
+  check_int "buffer unchanged by a timed-out op" 0 len;
+  (* a timed-out open still consumed its id at routing: the name exists
+     but is never opened, and the next open does not reuse it *)
+  (match
+     (srun tab {|{"op":"session_open","grammar":"dyck","timeout_ms":0}|})
+       .Protocol.outcome
+   with
+  | Error (Protocol.Timeout _) -> ()
+  | _ -> Alcotest.fail "expected the open to time out");
+  bad "ops on a timed-out open"
+    {|{"op":"append","session":"s1","chunk":"x"}|} "is not open";
+  check_string "ids are never reused" "s2"
+    (session_sid "reopen" (srun tab {|{"op":"session_open","grammar":"dyck"}|}));
+  Session.close_all tab;
+  check_int "close_all empties the table" 0 (Session.live tab)
+
+let test_session_eviction () =
+  let reg = Registry.create () in
+  let tab = Session.create ~cap:2 ~registry:reg () in
+  let open_one () =
+    session_sid "open" (srun tab {|{"op":"session_open","grammar":"dyck"}|})
+  in
+  let s0 = open_one () in
+  let s1 = open_one () in
+  (* touching s0 makes s1 the LRU victim of the third open *)
+  ignore
+    (srun tab (Fmt.str {|{"op":"append","session":"%s","chunk":"()"}|} s0));
+  check_string "ids in open order" "s2" (open_one ());
+  check_int "cap holds" 2 (Session.live tab);
+  check_int "one eviction" 1 (Session.evictions tab);
+  (match
+     (srun tab (Fmt.str {|{"op":"append","session":"%s","chunk":"x"}|} s1))
+       .Protocol.outcome
+   with
+  | Error (Protocol.Bad_request e) ->
+    check_bool "evicted name unbound" true (contains ~affix:"unknown session" e)
+  | _ -> Alcotest.fail "expected a bad request");
+  let _, accept, _ =
+    session_state "s0 survives"
+      (srun tab (Fmt.str {|{"op":"query","session":"%s"}|} s0))
+  in
+  check_bool "s0 kept its buffer" true accept;
+  Session.close_all tab;
+  check_int "close_all empties the table" 0 (Session.live tab)
+
+(* paranoid mode cross-checks every incremental answer against a
+   from-scratch oracle; on agreement the answers are unchanged *)
+let test_session_paranoid () =
+  let reg = Registry.create () in
+  let tab = Session.create ~paranoid:true ~registry:reg () in
+  check_bool "flag readable" true (Session.paranoid tab);
+  ignore (srun tab {|{"op":"session_open","grammar":"anbn"}|});
+  List.iter
+    (fun (l, want) ->
+      let _, accept, _ = session_state l (srun tab l) in
+      check_bool l want accept)
+    [ ({|{"op":"append","session":"s0","chunk":"aab"}|}, false);
+      ({|{"op":"append","session":"s0","chunk":"b"}|}, true);
+      ({|{"op":"edit","session":"s0","at":1,"del":2,"ins":"abab"}|}, false);
+      ({|{"op":"edit","session":"s0","at":0,"del":6,"ins":"aaabbb"}|}, true);
+      ({|{"op":"query","session":"s0","query":"parse"}|}, true) ];
+  Session.close_all tab
+
+(* --- sessions: qcheck differential against the 4-domain scheduler ---------- *)
+
+(* Deterministic wire scripts from op-code tuples: every generated open
+   allocates the next "sN", so the script can name sessions that are
+   guaranteed to decode (and sometimes ones already closed or never
+   opened — those must fail identically on both sides). *)
+let build_session_lines ops =
+  let opened = ref 1 in
+  let lines =
+    List.map
+      (fun (code, a, d, s) ->
+        let sid = Fmt.str "s%d" (a mod !opened) in
+        let chunk =
+          String.init (s mod 5) (fun i ->
+              match (a + s + i) mod 4 with
+              | 0 -> '('
+              | 1 -> ')'
+              | 2 -> 'a'
+              | _ -> 'b')
+        in
+        match code with
+        | 0 ->
+          incr opened;
+          Fmt.str {|{"op":"session_open","grammar":"%s"}|}
+            (if d mod 2 = 0 then "dyck" else "anbn")
+        | 1 | 2 | 3 ->
+          Fmt.str {|{"op":"append","session":"%s","chunk":"%s"}|} sid chunk
+        | 4 | 5 ->
+          Fmt.str {|{"op":"edit","session":"%s","at":%d,"del":%d,"ins":"%s"}|}
+            sid (s mod 8) (d mod 3) chunk
+        | 6 | 7 ->
+          Fmt.str {|{"op":"query","session":"%s","query":"%s"}|} sid
+            (if d mod 2 = 0 then "member" else "parse")
+        | 8 -> Fmt.str {|{"op":"session_close","session":"%s"}|} sid
+        | _ ->
+          Fmt.str {|{"op":"append","session":"nosuch","chunk":"%s"}|} chunk)
+      ops
+  in
+  {|{"op":"session_open","grammar":"dyck"}|} :: lines
+
+(* both replays must see identical artifact hit/miss on opens, so both
+   registries are pre-warmed with every grammar the script can name *)
+let warm_session_reg reg =
+  List.iter
+    (fun g ->
+      match Builtin.find g with
+      | Some cfg -> ignore (Registry.get reg cfg)
+      | None -> Alcotest.failf "builtin %s missing" g)
+    [ "dyck"; "anbn" ]
+
+let replay_sessions_parallel lines =
+  let reg = Registry.create ~result_cap:0 () in
+  warm_session_reg reg;
+  let sched = Scheduler.create ~domains:4 ~queue_cap:64 ~registry:reg () in
+  let tab = Session.create ~registry:reg () in
+  let out = Array.make (List.length lines) "" in
+  let pending = ref 0 in
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  List.iteri
+    (fun i l ->
+      (* routing happens here, on the submitting thread in line order *)
+      let routed = Session.route tab (sline l) in
+      Mutex.protect mu (fun () -> incr pending);
+      Scheduler.submit_session sched routed (fun r ->
+          out.(i) <- Protocol.response_to_json ~times:false r;
+          Mutex.protect mu (fun () ->
+              decr pending;
+              Condition.signal cv)))
+    lines;
+  Mutex.protect mu (fun () ->
+      while !pending > 0 do
+        Condition.wait cv mu
+      done);
+  Session.close_all tab;
+  Scheduler.shutdown sched;
+  Array.to_list out
+
+let prop_session_service_differential =
+  QCheck.Test.make ~count:15
+    ~name:"sessions: 4-domain replay identical to serial (clean and faulted)"
+    (QCheck.make
+       ~print:(fun ops -> String.concat "\n" (build_session_lines ops))
+       QCheck.Gen.(
+         list_size (int_range 4 18)
+           (quad (int_bound 9) (int_bound 9) (int_bound 4) (int_bound 99))))
+    (fun ops ->
+      let lines = build_session_lines ops in
+      let serial =
+        let reg = Registry.create ~result_cap:0 () in
+        warm_session_reg reg;
+        Fuzz.reference reg lines
+      in
+      let parallel = replay_sessions_parallel lines in
+      let faulted =
+        with_schedule "seed=3;scheduler.claim:fail:0.4;registry.get:delay:0.3:2"
+          (fun () -> replay_sessions_parallel lines)
+      in
+      List.equal String.equal serial parallel
+      && List.equal String.equal serial faulted)
+
 let suite =
   [ Alcotest.test_case "lru: recency eviction" `Quick test_lru_basic;
     Alcotest.test_case "lru: replace" `Quick test_lru_replace;
@@ -1204,4 +1581,17 @@ let suite =
     Alcotest.test_case "trace: 4-domain identical to serial under faults"
       `Quick test_trace_parallel_identical;
     Alcotest.test_case "protocol: slow-request record" `Quick
-      test_slow_line_shape ]
+      test_slow_line_shape;
+    Alcotest.test_case "json: rfc 8259 numbers" `Quick test_json_numbers;
+    Alcotest.test_case "protocol: session lines" `Quick
+      test_parse_session_lines;
+    Alcotest.test_case "exec: zero budget answered before dispatch" `Quick
+      test_exec_zero_budget;
+    Alcotest.test_case "session: open/append/edit/query/close" `Quick
+      test_session_flow;
+    Alcotest.test_case "session: validation and zero budgets" `Quick
+      test_session_validation;
+    Alcotest.test_case "session: lru eviction" `Quick test_session_eviction;
+    Alcotest.test_case "session: paranoid oracle agrees" `Quick
+      test_session_paranoid;
+    QCheck_alcotest.to_alcotest prop_session_service_differential ]

@@ -252,6 +252,31 @@ let test_histogram_quantile () =
   H.observe h 1000.;
   Alcotest.(check (float 0.)) "p99 follows the tail" 1024. (H.quantile h 0.99)
 
+(* The edge cases: q is clamped into [0, 1] (NaN as 0), and the rank
+   into [1, count] — out-of-range quantiles land on occupied buckets,
+   never on an edge of the top bucket no observation ever reached. *)
+let test_histogram_quantile_edges () =
+  let chk name want got = Alcotest.(check (float 0.)) name want got in
+  let h = H.create () in
+  (* empty: every q answers 0, in range or not *)
+  List.iter
+    (fun q -> chk (Fmt.str "empty q=%g" q) 0. (H.quantile h q))
+    [ 0.; 0.5; 1.; -1.; 2.; Float.nan ];
+  (* a single observation: every q selects its bucket *)
+  H.observe h 100.;
+  List.iter
+    (fun q -> chk (Fmt.str "single q=%g" q) 112. (H.quantile h q))
+    [ 0.; 1e-9; 0.5; 1.; -3.; 7.; Float.nan ];
+  (* two occupied buckets: q=0 pins the first, q=1 the last, and the
+     clamps snap out-of-range q to those same answers *)
+  H.observe h 1000.;
+  chk "q=0 first occupied bucket" 112. (H.quantile h 0.);
+  chk "q below the first rank" 112. (H.quantile h 1e-9);
+  chk "q=1 last occupied bucket" 1024. (H.quantile h 1.);
+  chk "q<0 clamps to 0" 112. (H.quantile h (-0.5));
+  chk "q>1 clamps to 1" 1024. (H.quantile h 2.);
+  chk "nan counts as 0" 112. (H.quantile h Float.nan)
+
 let test_histogram_shard_merge () =
   (* the same multiset recorded serially and spread over 4 domains must
      merge to identical snapshots: shards sum elementwise *)
@@ -416,6 +441,7 @@ let suite =
     ("accepts fixpoint counter", `Quick, test_accepts_fixpoint_counter);
     ("histogram bucket assignment", `Quick, test_histogram_buckets);
     ("histogram quantiles", `Quick, test_histogram_quantile);
+    ("histogram quantile edge cases", `Quick, test_histogram_quantile_edges);
     ("histogram shard merge deterministic", `Quick, test_histogram_shard_merge);
     ("metrics registry and exposition", `Quick, test_metrics_registry);
     ("probe churn under domains", `Quick, test_probe_churn_under_domains);
