@@ -1293,6 +1293,121 @@ let bench_service () =
       cell "%6.1fx vs cold" speedup;
       cell "%s" (if identical then "outputs identical" else "OUTPUTS DIFFER") ]
 
+(* --- PR10: persistent artifact store — zero cold start ---------------------------- *)
+
+(* The tentpole claim: booting against a populated store costs loads, not
+   compiles, so cold start ≈ warm start.  Measured two ways: per-grammar
+   (first-request latency, compile vs validated store load) and
+   boot-to-ready (every builtin compiled into a fresh registry vs
+   preloaded from the store).  The pinned [boot_speedup] must stay ≥10x. *)
+let bench_store_coldstart () =
+  let module Sv = Lambekd_service in
+  header
+    "PR10 store — zero cold start: boot-to-ready against a populated \
+     artifact store vs fresh compiles";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "lambekd-bench-store"
+  in
+  (* a clean slate: stale entries from a previous run must not turn
+     compile measurements into load measurements *)
+  (match Sys.readdir dir with
+  | names -> Array.iter (fun f -> Sys.remove (Filename.concat dir f)) names
+  | exception Sys_error _ -> ());
+  let st =
+    match Sv.Store.open_root dir with
+    | Ok st -> st
+    | Error e -> failwith ("store: " ^ e)
+  in
+  let builtins =
+    List.map (fun n -> (n, Option.get (Sv.Builtin.find n))) Sv.Builtin.names
+  in
+  (* populate: one write-through pass over every builtin *)
+  let seed = Sv.Registry.create ~result_cap:0 ~store:st () in
+  List.iter (fun (_, cfg) -> ignore (Sv.Registry.get seed cfg)) builtins;
+  (* per-grammar first-request latency: a fresh storeless registry pays
+     the compile; a fresh store-armed registry pays a validated load *)
+  row
+    [ cell "%12s" "grammar"; cell "%11s" "compile"; cell "%11s" "load";
+      cell "%8s" "speedup" ];
+  List.iter
+    (fun (name, cfg) ->
+      let compile_ns =
+        best3 (fun () ->
+            let reg = Sv.Registry.create ~result_cap:0 () in
+            ignore (Sv.Registry.get reg cfg))
+      in
+      let load_ns =
+        best3 (fun () ->
+            let reg = Sv.Registry.create ~result_cap:0 ~store:st () in
+            ignore (Sv.Registry.get reg cfg))
+      in
+      json ~section:"store_coldstart"
+        [ ("grammar", Ev.Str name);
+          ("compile_ns", Ev.Float compile_ns);
+          ("load_ns", Ev.Float load_ns);
+          ("speedup", Ev.Float (compile_ns /. load_ns)) ];
+      row
+        [ cell "%12s" name; pp_ns compile_ns; pp_ns load_ns;
+          cell "%7.1fx" (compile_ns /. load_ns) ])
+    builtins;
+  (* boot-to-ready (every builtin live in the in-memory LRU), three
+     configurations:
+     - empty store: the first-ever boot — every builtin compiles, is
+       encoded and crash-safely persisted (write + fsync + rename);
+     - populated store: every later boot — a preload lifts each entry
+       in with a validated load;
+     - no store: the pre-store baseline, compiles only.
+     The pinned claim is empty vs populated: what enabling the store
+     costs once vs what it saves on every restart after. *)
+  let clean () =
+    match Sys.readdir dir with
+    | names -> Array.iter (fun f -> Sys.remove (Filename.concat dir f)) names
+    | exception Sys_error _ -> ()
+  in
+  let empty_boot_ns = ref infinity in
+  for _ = 1 to 3 do
+    clean ();
+    (* the cleanup is setup, not boot: time only the boot itself *)
+    let t0 = now_ns () in
+    let reg = Sv.Registry.create ~result_cap:0 ~store:st () in
+    List.iter (fun (_, cfg) -> ignore (Sv.Registry.get reg cfg)) builtins;
+    empty_boot_ns := Float.min !empty_boot_ns (now_ns () -. t0)
+  done;
+  let empty_boot_ns = !empty_boot_ns in
+  (* the last empty-store boot left the store populated *)
+  let warm_boot_ns =
+    best3 (fun () ->
+        let reg = Sv.Registry.create ~result_cap:0 ~store:st () in
+        ignore (Sv.Registry.preload reg))
+  in
+  let nostore_boot_ns =
+    best3 (fun () ->
+        let reg = Sv.Registry.create ~result_cap:0 () in
+        List.iter (fun (_, cfg) -> ignore (Sv.Registry.get reg cfg)) builtins)
+  in
+  let boot_speedup = empty_boot_ns /. warm_boot_ns in
+  let s = Sv.Store.stats st in
+  json ~section:"store_coldstart"
+    [ ("mode", Ev.Str "boot");
+      ("grammars", Ev.Int (List.length builtins));
+      ("empty_store_boot_ns", Ev.Float empty_boot_ns);
+      ("populated_store_boot_ns", Ev.Float warm_boot_ns);
+      ("no_store_boot_ns", Ev.Float nostore_boot_ns);
+      ("boot_speedup", Ev.Float boot_speedup);
+      ("no_store_speedup", Ev.Float (nostore_boot_ns /. warm_boot_ns));
+      ("store_entries", Ev.Int s.Sv.Store.s_entries);
+      ("store_bytes", Ev.Int s.Sv.Store.s_bytes) ];
+  row
+    [ cell "%-14s" "boot: empty"; pp_ns empty_boot_ns;
+      cell "%s" "(compile + persist)" ];
+  row
+    [ cell "%-14s" "boot: no store"; pp_ns nostore_boot_ns;
+      cell "%s" "(compile only)" ];
+  row
+    [ cell "%-14s" "boot: warm"; pp_ns warm_boot_ns;
+      cell "%7.1fx vs empty" boot_speedup;
+      cell "%7.1fx vs no store" (nostore_boot_ns /. warm_boot_ns) ]
+
 (* --- PR4: fault plane — disarmed probe overhead --------------------------------- *)
 
 (* The fault plane's contract (ISSUE PR4) is zero production cost: a
@@ -1534,6 +1649,7 @@ let sections =
     ("engine_crossover", bench_engine_crossover);
     ("surface", bench_surface);
     ("service", bench_service);
+    ("store_coldstart", bench_store_coldstart);
     ("fault_overhead", bench_fault_overhead);
     ("metrics_overhead", bench_metrics_overhead);
     ("probe_overhead", bench_probe_overhead);

@@ -467,15 +467,99 @@ let with_faults f =
             (Option.value ~default:"?" (Sys.getenv_opt "LAMBEKD_FAULTS")));
     Fun.protect ~finally:Sv.Fault.clear f
 
+(* --- the persistent artifact store (serve/batch/warm/fuzz/grammars) ---------- *)
+
+let store_term =
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~env:(Cmd.Env.info Sv.Store.env_var)
+          ~doc:
+            "Persistent on-disk artifact store: every compiled grammar is \
+             written (crash-safely) to $(docv), and later boots load \
+             entries back instead of recompiling — cold start ≈ warm \
+             start.  The store is invisible in responses: verdict bytes \
+             are identical with it present, absent, corrupted or \
+             mid-eviction.  Entries are validated (format version, \
+             build fingerprint, checksum, structural digest) and any \
+             failure falls back to a fresh compile.")
+  in
+  let max_entries =
+    Arg.(
+      value
+      & opt int 512
+      & info [ "store-max-entries" ] ~docv:"N"
+          ~doc:
+            "Store eviction cap by file count: past it the \
+             least-recently-used entries are deleted after each write.")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt int (256 * 1024 * 1024)
+      & info [ "store-max-bytes" ] ~docv:"BYTES"
+          ~doc:"Store eviction cap by total payload bytes on disk.")
+  in
+  Term.(
+    const (fun dir max_entries max_bytes -> (dir, max_entries, max_bytes))
+    $ dir $ max_entries $ max_bytes)
+
+(* Open the store named by --store / LAMBEKD_STORE, or refuse to start:
+   a service pointed at an unusable root (a regular file, an uncreatable
+   or unwritable directory) must fail fast with exit 2, not run silently
+   storeless. *)
+let open_store (dir, max_entries, max_bytes) =
+  match dir with
+  | None -> Ok None
+  | Some dir ->
+    Result.map Option.some (Sv.Store.open_root ~max_entries ~max_bytes dir)
+
+(* Boot-time warm start: lift the store's MRU entries into the in-memory
+   LRU so the first request against each is an in-memory hit. *)
+let preload_store registry =
+  match Sv.Registry.store registry with
+  | None -> ()
+  | Some st ->
+    let n = Sv.Registry.preload registry in
+    (* Logs.info, not Logs.app: app-level goes to stdout, which in
+       stdio-serve and batch modes is the NDJSON response stream *)
+    Logs.info (fun m ->
+        m "preloaded %d artifact(s) from store %s" n (Sv.Store.root st))
+
+let store_gauges stats =
+  List.iter
+    (fun (name, f) -> T.Metrics.gauge name (fun () -> float_of_int (f ())))
+    [ ("lambekd_store_entries",
+       fun () -> (stats ()).Sv.Registry.store_entries);
+      ("lambekd_store_bytes", fun () -> (stats ()).Sv.Registry.store_bytes);
+      ("lambekd_store_hits", fun () -> (stats ()).Sv.Registry.store_hits);
+      ("lambekd_store_misses",
+       fun () -> (stats ()).Sv.Registry.store_misses);
+      ("lambekd_store_writes",
+       fun () -> (stats ()).Sv.Registry.store_writes);
+      ("lambekd_store_invalid",
+       fun () -> (stats ()).Sv.Registry.store_invalid);
+      ("lambekd_store_evictions",
+       fun () -> (stats ()).Sv.Registry.store_evictions) ]
+
 let serve_cmd =
   let run common domains queue_cap artifact_cap result_cap no_times tcp
-      max_conns max_line_bytes metrics_tcp slow_ms paranoid session_cap =
+      max_conns max_line_bytes metrics_tcp slow_ms paranoid session_cap
+      store =
     with_telemetry common @@ fun () ->
     with_faults @@ fun () ->
+    match open_store store with
+    | Error msg ->
+      Fmt.epr "lambekd: --store: %s@." msg;
+      2
+    | Ok store ->
     (* a vanished peer must surface as EPIPE on the write, not kill the
        process *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let registry = Sv.Registry.create ~artifact_cap ~result_cap () in
+    let registry = Sv.Registry.create ~artifact_cap ~result_cap ?store () in
+    preload_store registry;
     let times = not no_times in
     let sched = Sv.Scheduler.create ?domains ~queue_cap ~registry () in
     (* one session table shared by every connection: a session opened on
@@ -501,6 +585,7 @@ let serve_cmd =
         float_of_int (stats ()).Sv.Registry.scratch_free);
     T.Metrics.gauge "lambekd_sessions" (fun () ->
         float_of_int (Sv.Session.live sessions));
+    if Option.is_some store then store_gauges stats;
     (* the slow-request log: JSON lines on stderr, one writer mutex so
        worker threads never interleave bytes *)
     let slow =
@@ -711,11 +796,11 @@ let serve_cmd =
     Term.(
       const run $ common_term $ domains $ queue_cap $ artifact_cap
       $ result_cap $ no_times $ tcp $ max_conns $ max_line_bytes
-      $ metrics_tcp $ slow_ms $ paranoid $ session_cap)
+      $ metrics_tcp $ slow_ms $ paranoid $ session_cap $ store_term)
 
 let batch_cmd =
   let run common file domains queue_cap artifact_cap result_cap no_times
-      no_leo engine =
+      no_leo engine store =
     with_telemetry common @@ fun () ->
     let engine_pin =
       match engine with
@@ -728,6 +813,11 @@ let batch_cmd =
       Fmt.epr "lambekd: --engine: %s@." msg;
       2
     | Ok engine_pin -> (
+    match open_store store with
+    | Error msg ->
+      Fmt.epr "lambekd: --store: %s@." msg;
+      2
+    | Ok store -> (
     match open_in file with
     | exception Sys_error msg ->
       Fmt.epr "lambekd: %s@." msg;
@@ -741,7 +831,8 @@ let batch_cmd =
          done
        with End_of_file -> close_in ic);
       let lines = List.rev !lines in
-      let registry = Sv.Registry.create ~artifact_cap ~result_cap () in
+      let registry = Sv.Registry.create ~artifact_cap ~result_cap ?store () in
+      preload_store registry;
       let times = not no_times in
       let writer = Ordered_writer.create stdout in
       let flags = flags_create () in
@@ -857,7 +948,7 @@ let batch_cmd =
         Sv.Scheduler.shutdown sched
       end;
       Sv.Session.close_all sessions;
-      flags_exit flags)
+      flags_exit flags))
   in
   let file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ndjson")
@@ -926,7 +1017,7 @@ let batch_cmd =
           pipeline and print one response line per request, in order.")
     Term.(
       const run $ common_term $ file $ domains $ queue_cap $ artifact_cap
-      $ result_cap $ no_times $ no_leo $ engine)
+      $ result_cap $ no_times $ no_leo $ engine $ store_term)
 
 (* Corpus mode: replay every committed .ndjson case through the serial
    reference and diff (or rewrite) its .expected golden. *)
@@ -995,12 +1086,17 @@ let fuzz_corpus ~write dir =
 
 let fuzz_cmd =
   let run common seed requests domains max_line_bytes faults corpus
-      write_goldens =
+      write_goldens store =
     with_telemetry common @@ fun () ->
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     match corpus with
     | Some dir -> fuzz_corpus ~write:write_goldens dir
-    | None ->
+    | None -> (
+    match open_store store with
+    | Error msg ->
+      Fmt.epr "lambekd: --store: %s@." msg;
+      2
+    | Ok store ->
     let parsed =
       List.map
         (fun s ->
@@ -1017,19 +1113,28 @@ let fuzz_cmd =
       2
     | None ->
       let schedules = List.filter_map Result.to_option parsed in
-      (* always one clean round; then one round per fault schedule *)
-      let rounds = None :: List.map Option.some schedules in
+      (* always one clean round; with --store, a store-armed round (the
+         service replay runs over store-loaded artifacts against the
+         storeless serial reference); then one round per fault schedule *)
+      let rounds =
+        ((None : (Sv.Fault.config * string) option), None)
+        :: (match store with
+           | None -> []
+           | Some st -> [ (None, Some st) ])
+        @ List.map (fun s -> (Some s, None)) schedules
+      in
       let failures =
         List.fold_left
-          (fun failures schedule ->
+          (fun failures (schedule, st) ->
             let label =
-              match schedule with
-              | None -> "no faults"
-              | Some (_, s) -> Fmt.str "faults %s" s
+              match (schedule, st) with
+              | None, None -> "no faults"
+              | None, Some _ -> "store-armed"
+              | Some (_, s), _ -> Fmt.str "faults %s" s
             in
             match
-              Sv.Fuzz.differential ?domains ~max_line_bytes ?schedule ~seed
-                ~requests ()
+              Sv.Fuzz.differential ?domains ~max_line_bytes ?schedule
+                ?store:st ~seed ~requests ()
             with
             | Ok r ->
               Fmt.pr "fuzz ok: seed %d, %d lines, %d responses, %s@." seed
@@ -1041,7 +1146,7 @@ let fuzz_cmd =
               failures + 1)
           0 rounds
       in
-      if failures = 0 then 0 else 1
+      if failures = 0 then 0 else 1)
   in
   let seed =
     Arg.(
@@ -1107,10 +1212,122 @@ let fuzz_cmd =
           outputs are byte-identical.")
     Term.(
       const run $ common_term $ seed $ requests $ domains $ max_line_bytes
-      $ faults $ corpus $ write_goldens)
+      $ faults $ corpus $ write_goldens $ store_term)
+
+(* --- warm: precompile into the store ------------------------------------------ *)
+
+let warm_cmd =
+  let run common store grammar_files =
+    with_telemetry common @@ fun () ->
+    match open_store store with
+    | Error msg ->
+      Fmt.epr "lambekd: --store: %s@." msg;
+      2
+    | Ok None ->
+      Fmt.epr "lambekd: warm needs a store (--store DIR or LAMBEKD_STORE)@.";
+      2
+    | Ok (Some st) ->
+      let reg = Sv.Registry.create ~store:st () in
+      let failed = ref 0 in
+      let malformed = ref false in
+      (* one grammar: compile (write-through to the store), prewarm its
+         default weight table into the bundle, and re-persist so the
+         table rides along — the first weighted request after a restart
+         then skips normalization too *)
+      let warm_one name cfg default_weights =
+        let t0 = Unix.gettimeofday () in
+        let a, outcome = Sv.Registry.get reg cfg in
+        (match Sv.Registry.weights a default_weights with
+        | Ok _ -> ()
+        | Error msg ->
+          Fmt.epr "lambekd: %s: default weights rejected: %s@." name msg);
+        if not (Sv.Registry.persist reg a) then begin
+          incr failed;
+          Fmt.epr "lambekd: %s: store write failed@." name
+        end
+        else
+          (* a "miss" here means the registry went to the store or the
+             compiler; which one is invisible by design — the wall time
+             tells the operator which happened *)
+          Fmt.pr "warmed %-16s %s  %8.2f ms  (%s)@." name
+            (String.sub a.Sv.Registry.digest 0 12)
+            ((Unix.gettimeofday () -. t0) *. 1e3)
+            (match outcome with `Hit -> "cached" | `Miss -> "ready")
+      in
+      List.iter
+        (fun name ->
+          warm_one name
+            (Option.get (Sv.Builtin.find name))
+            (Sv.Builtin.default_weights name))
+        Sv.Builtin.names;
+      (* --grammar FILE: one inline grammar object per line, the same
+         {"start":...,"prods":[...]} shape the wire grammar field takes *)
+      List.iter
+        (fun file ->
+          match open_in file with
+          | exception Sys_error msg ->
+            Fmt.epr "lambekd: %s@." msg;
+            incr failed
+          | ic ->
+            let lines =
+              Fun.protect
+                ~finally:(fun () -> close_in ic)
+                (fun () ->
+                  let rec go acc =
+                    match input_line ic with
+                    | l -> go (l :: acc)
+                    | exception End_of_file -> List.rev acc
+                  in
+                  go [])
+            in
+            List.iteri
+              (fun i line ->
+                if String.trim line <> "" then
+                  let cfg =
+                    Result.bind (Sv.Json.parse line) Sv.Protocol.inline_cfg
+                  in
+                  match cfg with
+                  | Error msg ->
+                    malformed := true;
+                    Fmt.epr "lambekd: %s:%d: %s@." file (i + 1) msg
+                  | Ok cfg ->
+                    warm_one (Fmt.str "%s:%d" (Filename.basename file) (i + 1))
+                      cfg None)
+              lines)
+        grammar_files;
+      let s = Sv.Store.stats st in
+      Fmt.pr "store %s: %d entries, %d bytes@." (Sv.Store.root st)
+        s.Sv.Store.s_entries s.Sv.Store.s_bytes;
+      if !malformed then exit_malformed else if !failed > 0 then 1 else 0
+  in
+  let grammar_files =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "grammar" ] ~docv:"FILE"
+          ~doc:
+            "Also warm every inline grammar in $(docv) (one \
+             $(i,{\"start\":...,\"prods\":[...]}) object per line, the \
+             wire format's inline shape).  Repeatable.")
+  in
+  Cmd.v
+    (Cmd.info "warm" ~exits:service_exits
+       ~doc:
+         "Precompile grammars into the persistent artifact store: every \
+          builtin (plus any $(b,--grammar) file's inline grammars) is \
+          compiled, its default weight table normalized, and the bundle \
+          written to the store — so the next $(b,serve) or $(b,batch) \
+          boot against the same store starts warm.  Safe to run while a \
+          server is live: writes are atomic and last-writer-wins.")
+    Term.(const run $ common_term $ store_term $ grammar_files)
 
 let grammars_cmd =
-  let run cache_stats =
+  let run cache_stats store =
+    match open_store store with
+    | Error msg ->
+      Fmt.epr "lambekd: --store: %s@." msg;
+      2
+    | Ok store ->
     if not cache_stats then begin
       List.iter
         (fun name ->
@@ -1128,8 +1345,10 @@ let grammars_cmd =
     else begin
       (* compile every builtin through a fresh registry, probe each a
          second time, and report what the caches saw — the same numbers
-         the serve-mode gauges and Prometheus exposition carry *)
-      let reg = Sv.Registry.create () in
+         the serve-mode gauges and Prometheus exposition carry.  With
+         --store, the registry is store-armed: against a warm store the
+         compile column collapses to load costs *)
+      let reg = Sv.Registry.create ?store () in
       List.iter
         (fun name ->
           let cfg = Option.get (Sv.Builtin.find name) in
@@ -1155,6 +1374,17 @@ let grammars_cmd =
         st.Sv.Registry.result_misses;
       Fmt.pr "scratch pools:  %d parked, %d checked out@."
         st.Sv.Registry.scratch_free st.Sv.Registry.scratch_out;
+      (match store with
+      | None -> ()
+      | Some s ->
+        Fmt.pr "store:          %d entries, %d bytes on disk (%s)@."
+          st.Sv.Registry.store_entries st.Sv.Registry.store_bytes
+          (Sv.Store.root s);
+        Fmt.pr "store traffic:  %d hits / %d misses, %d writes, %d \
+                invalid, %d evictions@."
+          st.Sv.Registry.store_hits st.Sv.Registry.store_misses
+          st.Sv.Registry.store_writes st.Sv.Registry.store_invalid
+          st.Sv.Registry.store_evictions);
       0
     end
   in
@@ -1165,20 +1395,22 @@ let grammars_cmd =
           ~doc:
             "Compile every builtin through a fresh registry and report \
              per-grammar digests and compile costs plus artifact/result \
-             LRU occupancy, evictions and hit/miss counts.")
+             LRU occupancy, evictions and hit/miss counts.  With \
+             $(b,--store), also the persistent store's occupancy and \
+             traffic counters.")
   in
   Cmd.v
     (Cmd.info "grammars"
        ~doc:
          "List the builtin grammars the parse service accepts by name in \
           the $(i,grammar) request field.")
-    Term.(const run $ cache_stats)
+    Term.(const run $ cache_stats $ store_term)
 
 let main =
   Cmd.group
     (Cmd.info "lambekd" ~version:"1.0.0"
        ~doc:"Intrinsically verified parsing in Dependent Lambek Calculus.")
     [ regex_cmd; dyck_cmd; expr_cmd; forest_cmd; reify_cmd; ambiguity_cmd;
-      check_cmd; serve_cmd; batch_cmd; fuzz_cmd; grammars_cmd ]
+      check_cmd; serve_cmd; batch_cmd; fuzz_cmd; warm_cmd; grammars_cmd ]
 
 let () = exit (Cmd.eval' main)

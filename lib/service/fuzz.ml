@@ -471,9 +471,24 @@ let run_serial ~max_line_bytes items =
         | _ -> None))
     items
 
-let run_service ~domains ~max_line_bytes ~schedule items =
+let run_service ~domains ~max_line_bytes ~schedule ~store items =
   let items = reset_traces items in
-  let reg = fresh_registry () in
+  let reg =
+    match store with
+    | None -> fresh_registry ()
+    | Some st ->
+      (* store-armed replay: a scratch registry compiles every grammar
+         in the stream into the store first, so the replay registry's
+         warm pass below serves each artifact from disk — the whole
+         round then runs over store-loaded artifacts, and any byte the
+         store changed in them shows up as a divergence from the
+         storeless serial reference *)
+      let scratch =
+        Registry.create ~artifact_cap:2048 ~result_cap:0 ~store:st ()
+      in
+      warm scratch items;
+      Registry.create ~artifact_cap:2048 ~result_cap:0 ~store:st ()
+  in
   warm reg items;
   let n_resp =
     List.fold_left
@@ -529,7 +544,7 @@ let run_service ~domains ~max_line_bytes ~schedule items =
        out)
 
 let differential ?(domains = 4) ?(max_line_bytes = default_max_line_bytes)
-    ?schedule ~seed ~requests () =
+    ?schedule ?store ~seed ~requests () =
   let domains = max 1 domains in
   Fault.clear ();
   let lines = gen_lines ~seed ~requests in
@@ -545,7 +560,7 @@ let differential ?(domains = 4) ?(max_line_bytes = default_max_line_bytes)
   let* serial = guard "serial" (fun () -> run_serial ~max_line_bytes items) in
   let* service =
     guard "service" (fun () ->
-        run_service ~domains ~max_line_bytes ~schedule items)
+        run_service ~domains ~max_line_bytes ~schedule ~store items)
   in
   let rec compare i a b =
     match (a, b) with

@@ -66,6 +66,7 @@ val differential :
   ?domains:int ->
   ?max_line_bytes:int ->
   ?schedule:Fault.config * string ->
+  ?store:Store.t ->
   seed:int ->
   requests:int ->
   unit ->
@@ -73,5 +74,9 @@ val differential :
 (** Run one generate-and-replay round.  [schedule] arms the fault
     plane for the service replay only (the string is echoed in
     reports); the plane is disarmed again before returning, whatever
-    happens.  [Error] carries the first mismatch (with both lines) or
-    the exception that crashed a side. *)
+    happens.  [store] arms the {e service replay only} with a
+    persistent store pre-populated over every grammar in the stream, so
+    the replay runs entirely over store-loaded artifacts — proving the
+    store invisible against the storeless serial reference.  [Error]
+    carries the first mismatch (with both lines) or the exception that
+    crashed a side. *)

@@ -129,6 +129,11 @@ type line =
   | Request of request
   | Session of session_req
 
+val inline_cfg : Json.t -> (Lambekd_cfg.Cfg.t, string) result
+(** Decode an inline grammar object ([{"start":...,"prods":[...]}]) —
+    the same decoder the wire ["grammar"] field goes through, exposed
+    for [lambekd warm]'s [--grammar FILE] grammar lists. *)
+
 val parse_request : string -> (request, string) result
 (** Decode one NDJSON line.  Resolves the grammar (builtin lookup or
     inline construction) immediately — call only from the main thread. *)

@@ -230,6 +230,96 @@ let weights (a : artifact) raw =
       Ok t
     | Error _ as e -> e)
 
+(* --- persistence ----------------------------------------------------------
+
+   The on-disk shape of a compiled artifact: everything immutable and
+   heap-representable — the runtime-only pieces (scratch pool, mutexes)
+   are rebuilt at load.  Serialized with [Marshal.Closures]: grammar
+   terms embed generative definitions whose rule bodies are closures,
+   so entries are only decodable inside the executable build that wrote
+   them — which {!Store} guarantees up front via its binary token, and
+   the marshaller's own code-segment digest enforces as a backstop.
+   Internal sharing (the [Cfg.t]'s definition is the same definition
+   the charsets/intern state is keyed by) survives marshalling because
+   the whole bundle is one value.
+
+   Nothing decoded is trusted: [decode_artifact] re-derives the
+   structural digest from the decoded grammar and compares it to the
+   digest the entry claims to be, and rejects bundles compiled under a
+   different CYK binarization budget (the budget decides whether [cyk]
+   pins are servable, which must not depend on who compiled). *)
+
+let persist_format = 1
+(* bumped with any change to [persisted] or the types it reaches;
+   [Store.format_version] guards the framing, this guards the bundle *)
+
+type persisted = {
+  p_format : int;
+  p_digest : string;
+  p_cfg : Cfg.t;
+  p_grammar : Lambekd_grammar.Grammar.t;
+  p_cs : Charsets.t;
+  p_ff : First_follow.t;
+  p_ll1 : Ll1.table option;
+  p_slr : Slr.table option;
+  p_earley : Earley.compiled;
+  p_cnf : Binarize.t option;
+  p_cnf_nts : int;
+  p_cyk_nt_budget : int;
+  p_intern : Lambekd_grammar.Enum.intern;
+  p_wtables : (string * Weights.t) list;
+  p_compile_ns : float;
+}
+
+let encode_artifact (a : artifact) =
+  let p =
+    { p_format = persist_format;
+      p_digest = a.digest;
+      p_cfg = a.cfg;
+      p_grammar = a.grammar;
+      p_cs = a.cs;
+      p_ff = a.ff;
+      p_ll1 = a.ll1;
+      p_slr = a.slr;
+      p_earley = a.earley;
+      p_cnf = a.cnf;
+      p_cnf_nts = a.cnf_nts;
+      p_cyk_nt_budget = a.cyk_nt_budget;
+      p_intern = a.intern;
+      p_wtables = Mutex.protect a.wmu (fun () -> a.wtables);
+      p_compile_ns = a.compile_ns }
+  in
+  Marshal.to_string p [ Marshal.Closures ]
+
+let decode_artifact ~digest ~cyk_nt_budget payload : artifact option =
+  match (Marshal.from_string payload 0 : persisted) with
+  | exception _ -> None
+  | p ->
+    if
+      p.p_format <> persist_format
+      || p.p_digest <> digest
+      || p.p_cyk_nt_budget <> cyk_nt_budget
+      || digest_cfg p.p_cfg <> digest
+    then None
+    else
+      Some
+        { cfg = p.p_cfg;
+          digest;
+          grammar = p.p_grammar;
+          cs = p.p_cs;
+          ff = p.p_ff;
+          ll1 = p.p_ll1;
+          slr = p.p_slr;
+          earley = p.p_earley;
+          cnf = p.p_cnf;
+          cnf_nts = p.p_cnf_nts;
+          cyk_nt_budget = p.p_cyk_nt_budget;
+          intern = p.p_intern;
+          pool = { pmu = Mutex.create (); free = []; avail = 0; out = 0 };
+          wmu = Mutex.create ();
+          wtables = p.p_wtables;
+          compile_ns = p.p_compile_ns }
+
 (* --- registry ------------------------------------------------------------ *)
 
 type t = {
@@ -249,10 +339,22 @@ type t = {
   r_hits : int Atomic.t;
   r_misses : int Atomic.t;
   cyk_nt_budget : int;
+  store : Store.t option;
+      (** the persistent artifact store, when armed: probed on every
+          in-memory miss, rewritten after every compile *)
+  preloaded : (string, unit) Hashtbl.t;
+      (** digests lifted in by [preload] and not yet requested.  The
+          store must be invisible in responses, so a preloaded
+          artifact's {e first} request reports the [`Miss] a storeless
+          boot would have reported (while still skipping the compile);
+          this set marks which cache entries still owe that miss.
+          Guarded by [mu]; [pre_pending] lets the lock-free hit path
+          skip the lookup entirely once the set drains. *)
+  pre_pending : int Atomic.t;
 }
 
 let create ?(artifact_cap = 64) ?(result_cap = 4096)
-    ?(cyk_nt_budget = default_cyk_nt_budget) () =
+    ?(cyk_nt_budget = default_cyk_nt_budget) ?store () =
   { mu = Mutex.create ();
     artifacts = Lru.create ~cap:artifact_cap;
     snap = Atomic.make [];
@@ -261,8 +363,12 @@ let create ?(artifact_cap = 64) ?(result_cap = 4096)
     a_misses = Atomic.make 0;
     r_hits = Atomic.make 0;
     r_misses = Atomic.make 0;
-    cyk_nt_budget }
+    cyk_nt_budget;
+    store;
+    preloaded = Hashtbl.create 16;
+    pre_pending = Atomic.make 0 }
 
+let store t = t.store
 let tick c = ignore (Atomic.fetch_and_add c 1)
 
 let get ?trace t cfg =
@@ -277,7 +383,26 @@ let get ?trace t cfg =
     if degraded then None
     else List.assoc_opt digest (Atomic.get t.snap)
   in
+  (* a preloaded artifact's first request reports the [`Miss] a
+     storeless boot would have (the whole point of the store is skipping
+     the compile, not rewriting response metadata); drain the digest
+     from the preloaded set exactly once.  Called with [mu] held. *)
+  let preload_owed_miss_locked a =
+    if Hashtbl.mem t.preloaded digest then begin
+      Hashtbl.remove t.preloaded digest;
+      ignore (Atomic.fetch_and_add t.pre_pending (-1));
+      Probe.bump c_artifact_miss;
+      tick t.a_misses;
+      Option.iter (fun tr -> Trace.set_compile_ns tr a.compile_ns) trace;
+      true
+    end
+    else false
+  in
   match snap with
+  | Some a
+    when Atomic.get t.pre_pending > 0
+         && Mutex.protect t.mu (fun () -> preload_owed_miss_locked a) ->
+    (a, `Miss)
   | Some a ->
     Probe.bump c_artifact_hit;
     tick t.a_hits;
@@ -292,6 +417,7 @@ let get ?trace t cfg =
         (* double-check under the lock: another domain may have compiled
            this grammar while we were waiting *)
         match Lru.find t.artifacts digest with
+        | Some a when preload_owed_miss_locked a -> (a, `Miss)
         | Some a ->
           Probe.bump c_artifact_hit;
           tick t.a_hits;
@@ -299,11 +425,96 @@ let get ?trace t cfg =
         | None ->
           Probe.bump c_artifact_miss;
           tick t.a_misses;
-          let a = compile ~cyk_nt_budget:t.cyk_nt_budget cfg in
-          Option.iter (fun tr -> Trace.set_compile_ns tr a.compile_ns) trace;
+          (* in-memory miss: the persistent store answers before any
+             compile.  A validated entry costs a read + decode; any
+             mismatch, corruption or decode error falls through to a
+             fresh compile whose result rewrites the entry — so the
+             store can degrade a request to a compile but never change
+             its response.  The wire [artifact] field stays "miss"
+             either way: the store must be invisible in responses. *)
+          let a =
+            let from_store =
+              match t.store with
+              | None -> None
+              | Some st ->
+                let t0 = Clock.now_ns () in
+                let r =
+                  Store.load st ~digest
+                    ~decode:
+                      (decode_artifact ~digest
+                         ~cyk_nt_budget:t.cyk_nt_budget)
+                in
+                (match r with
+                | Some _ ->
+                  (* the load is this request's "compile" stage cost *)
+                  Option.iter
+                    (fun tr ->
+                      Trace.set_compile_ns tr (Clock.now_ns () -. t0))
+                    trace
+                | None -> ());
+                r
+            in
+            match from_store with
+            | Some a -> a
+            | None ->
+              let a = compile ~cyk_nt_budget:t.cyk_nt_budget cfg in
+              Option.iter
+                (fun tr -> Trace.set_compile_ns tr a.compile_ns)
+                trace;
+              Option.iter
+                (fun st ->
+                  ignore (Store.save st ~digest (encode_artifact a)))
+                t.store;
+              a
+          in
           Lru.put t.artifacts digest a;
           Atomic.set t.snap (Lru.bindings t.artifacts);
           (a, `Miss))
+
+(* Re-serialize an artifact into the store (no-op without one) — how
+   [lambekd warm] persists weight tables it prewarmed after the
+   compile-time write. *)
+let persist t (a : artifact) =
+  match t.store with
+  | None -> false
+  | Some st -> Store.save st ~digest:a.digest (encode_artifact a)
+
+(* Boot-time preload: lift the store's most-recently-used entries into
+   the in-memory LRU so the first request against each is a snapshot
+   hit, not even a store read.  Bounded by the artifact cap (preloading
+   past it would only evict what was just loaded). *)
+let preload ?limit t =
+  match t.store with
+  | None -> 0
+  | Some st ->
+    let cap = Lru.cap t.artifacts in
+    let limit = match limit with Some l -> min l cap | None -> cap in
+    let loaded = ref 0 in
+    Mutex.protect t.mu (fun () ->
+        let es =
+          List.filteri (fun i _ -> i < limit) (Store.entries st)
+        in
+        (* insert LRU-first so recency in the cache mirrors the store *)
+        List.iter
+          (fun (e : Store.entry) ->
+            let digest = e.Store.e_digest in
+            if Lru.find t.artifacts digest = None then
+              match
+                Store.load st ~digest
+                  ~decode:
+                    (decode_artifact ~digest
+                       ~cyk_nt_budget:t.cyk_nt_budget)
+              with
+              | Some a ->
+                Lru.put t.artifacts digest a;
+                (* owes its first requester a storeless-boot [`Miss] *)
+                Hashtbl.replace t.preloaded digest ();
+                incr loaded
+              | None -> ())
+          (List.rev es);
+        Atomic.set t.pre_pending (Hashtbl.length t.preloaded);
+        Atomic.set t.snap (Lru.bindings t.artifacts));
+    !loaded
 
 let find_result ?trace t ~digest ~key ~input =
   if Lru.cap t.results = 0 then None
@@ -348,6 +559,13 @@ type stats = {
   result_misses : int;
   scratch_free : int;
   scratch_out : int;
+  store_entries : int;
+  store_bytes : int;
+  store_hits : int;
+  store_misses : int;
+  store_writes : int;
+  store_invalid : int;
+  store_evictions : int;
 }
 
 let stats t =
@@ -368,6 +586,12 @@ let stats t =
         Mutex.protect p.pmu (fun () -> (free + p.avail, out + p.out)))
       (0, 0) pools
   in
+  let ss =
+    match t.store with
+    | None -> None
+    | Some st -> Some (Store.stats st)
+  in
+  let sf f = match ss with None -> 0 | Some s -> f s in
   { artifact_size;
     artifact_cap;
     artifact_evictions;
@@ -379,10 +603,19 @@ let stats t =
     result_hits = Atomic.get t.r_hits;
     result_misses = Atomic.get t.r_misses;
     scratch_free;
-    scratch_out }
+    scratch_out;
+    store_entries = sf (fun s -> s.Store.s_entries);
+    store_bytes = sf (fun s -> s.Store.s_bytes);
+    store_hits = sf (fun s -> s.Store.s_hits);
+    store_misses = sf (fun s -> s.Store.s_misses);
+    store_writes = sf (fun s -> s.Store.s_writes);
+    store_invalid = sf (fun s -> s.Store.s_invalid);
+    store_evictions = sf (fun s -> s.Store.s_evictions) }
 
 let clear t =
   Mutex.protect t.mu (fun () ->
       Lru.clear t.artifacts;
       Atomic.set t.snap [];
+      Hashtbl.reset t.preloaded;
+      Atomic.set t.pre_pending 0;
       Lru.clear t.results)

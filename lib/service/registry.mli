@@ -110,9 +110,41 @@ val compile : ?cyk_nt_budget:int -> Lambekd_cfg.Cfg.t -> artifact
 type t
 
 val create :
-  ?artifact_cap:int -> ?result_cap:int -> ?cyk_nt_budget:int -> unit -> t
+  ?artifact_cap:int ->
+  ?result_cap:int ->
+  ?cyk_nt_budget:int ->
+  ?store:Store.t ->
+  unit ->
+  t
 (** Defaults: 64 artifacts, 4096 results, 512 binarized nonterminals.
-    A cap of 0 disables that cache. *)
+    A cap of 0 disables that cache.  With [?store], every in-memory
+    artifact miss probes the persistent store before compiling
+    (validated load — see {!Store}), and every compile rewrites its
+    store entry; the store is invisible in responses (the wire
+    [artifact] field still reads "miss", verdict bytes are identical
+    with the store present, absent, corrupted or mid-eviction). *)
+
+val store : t -> Store.t option
+
+val preload : ?limit:int -> t -> int
+(** Lift the store's most-recently-used entries into the in-memory
+    artifact LRU (boot-time warm start), newest-recency ordering
+    preserved.  Bounded by [limit] and the artifact cap.  Returns the
+    number of artifacts loaded; 0 without a store.  Entries that fail
+    validation are dropped (and removed) exactly as on the request
+    path.
+
+    Invisibility: a preloaded artifact's {e first} {!get} reports
+    [`Miss] — the outcome a storeless boot would have reported — while
+    still skipping the compile; subsequent gets are [`Hit]s.  Response
+    bytes are therefore identical to a storeless run on any traffic,
+    preload or not. *)
+
+val persist : t -> artifact -> bool
+(** Re-serialize an artifact into the store (false without one, or on
+    an I/O failure).  [lambekd warm] uses this to persist weight
+    tables prewarmed after the compile-time write; the request path
+    writes automatically on every compile. *)
 
 val get : ?trace:Trace.t -> t -> Lambekd_cfg.Cfg.t -> artifact * [ `Hit | `Miss ]
 (** Fetch the artifact for a grammar, compiling on a miss.  The digest
@@ -151,6 +183,13 @@ type stats = {
   result_misses : int;
   scratch_free : int;  (** pooled scratch bundles parked across all artifacts *)
   scratch_out : int;  (** scratch bundles currently checked out *)
+  store_entries : int;  (** persistent-store occupancy; all 0 without a store *)
+  store_bytes : int;  (** total payload bytes on disk *)
+  store_hits : int;
+  store_misses : int;
+  store_writes : int;
+  store_invalid : int;  (** validation/decode failures (file removed) *)
+  store_evictions : int;  (** cap-enforcement deletions *)
 }
 (** A point-in-time snapshot of both caches and the scratch pools.  The
     hit/miss counters are registry-local and count since {!create}

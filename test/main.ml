@@ -12,4 +12,5 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("weighted", Test_weighted.suite);
       ("service", Test_service.suite);
+      ("store", Test_store.suite);
       ("server", Test_server.suite) ]
